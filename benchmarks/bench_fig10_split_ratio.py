@@ -1,0 +1,28 @@
+"""Fig. 10: the GPU split ratio stored in database_g versus workload.
+
+The paper's observations: the initial value is 0.889 (the peak ratio);
+stored values differ strongly from it below ~1300 Gflop and settle with
+little fluctuation above.
+"""
+
+from repro.bench import fig10_split_ratio
+
+
+def test_fig10_split_ratio(benchmark, save_report):
+    data = benchmark.pedantic(fig10_split_ratio, rounds=1, iterations=1)
+    save_report("fig10_split_ratio", data.render())
+
+    assert data.summary["initial GSplit (paper 0.889)"] == __import__("pytest").approx(
+        0.889, abs=0.002
+    )
+    stored = data.series["stored GSplit"]
+    small = [v for w, v in stored if w < 1300]
+    large = [v for w, v in stored if w >= 1300]
+    assert small and large, "the run must cross the 1300 Gflop knee"
+    # Below the knee the split departs far from 0.889...
+    assert min(small) < 0.70
+    # ...and above it it settles close to (slightly below) the initial value.
+    assert all(0.80 < v < 0.95 for v in large)
+    spread_small = data.summary["split spread below 1300 Gflop (max-min)"]
+    spread_large = data.summary["split spread above 1300 Gflop (max-min)"]
+    assert spread_small > 2 * spread_large

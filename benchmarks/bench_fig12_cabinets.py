@@ -1,0 +1,26 @@
+"""Fig. 12: Linpack performance scaling from 1 to 80 cabinets.
+
+Paper anchors: 8.02 TFLOPS on one cabinet, 563.1 TFLOPS on the full 80
+(87.76% scaling efficiency), with N growing from 280 000 to 2 400 000 and
+the GPUs at the thermally-stable 575 MHz.
+"""
+
+from repro.bench import fig12_cabinet_scaling
+
+
+def test_fig12_cabinet_scaling(benchmark, save_report):
+    data = benchmark.pedantic(fig12_cabinet_scaling, rounds=1, iterations=1)
+    save_report("fig12_cabinet_scaling", data.render())
+
+    one = data.summary["1 cabinet(s) (paper 8.02 TFLOPS at 1)"]
+    full = data.summary["80 cabinets (paper 563.1 TFLOPS at 80)"]
+    efficiency = data.summary["scaling efficiency (paper 87.76% over 1->80)"]
+
+    assert one == __import__("pytest").approx(8.02, rel=0.10)
+    assert full == __import__("pytest").approx(563.1, rel=0.10)
+    assert 0.80 < efficiency < 0.95
+
+    # Monotone scaling across the whole sweep.
+    points = sorted(data.series["Linpack (ours)"])
+    tflops = [y for _, y in points]
+    assert tflops == sorted(tflops)

@@ -1,0 +1,22 @@
+"""Fig. 13: performance over the progress of the full-configuration run.
+
+Paper: still 604.74 TFLOPS at 97.17% of progress, then a drop of ~41.6
+TFLOPS over the final 2.83% to the 563.1 TFLOPS result, "because the GPU is
+less effective when the matrix size is relatively small".
+"""
+
+from repro.bench import fig13_progress
+
+
+def test_fig13_progress(benchmark, save_report):
+    data = benchmark.pedantic(fig13_progress, rounds=1, iterations=1)
+    save_report("fig13_progress", data.render())
+
+    at_9717 = data.summary["at 97.17% progress (paper 604.74 TFLOPS)"]
+    final = data.summary["final (paper 563.1 TFLOPS)"]
+    drop = data.summary["endgame drop (paper ~41.6 TFLOPS)"]
+
+    assert 520 < at_9717 < 680
+    assert 500 < final < 640
+    assert drop > 5.0, "the endgame must visibly drag the average down"
+    assert at_9717 > final

@@ -1,0 +1,28 @@
+"""Fig. 8: DGEMM performance by matrix size, five configurations.
+
+Regenerates the full series with the exact DES executor and checks the
+paper's three average-gain claims (adaptive +14.64% over all sizes,
+pipeline +7.61% above N=8192 and ~0 below, combined +22.19%).
+"""
+
+from repro.bench import fig8_dgemm_sweep
+
+
+def test_fig8_dgemm_sweep(benchmark, save_report):
+    data = benchmark.pedantic(fig8_dgemm_sweep, rounds=1, iterations=1)
+    save_report("fig8_dgemm", data.render())
+
+    adaptive_gain = data.summary["adaptive gain avg (paper +14.64%)"]
+    pipe_above = data.summary["pipeline gain avg, N>8192 (paper +7.61%)"]
+    pipe_below = data.summary["pipeline gain avg, N<=8192 (paper ~0%)"]
+    both_gain = data.summary["combined gain avg, N>8192 (paper +22.19%)"]
+
+    assert 0.08 < adaptive_gain < 0.30, "adaptive gain out of the paper's band"
+    assert 0.03 < pipe_above < 0.25, "pipeline gain (N>8192) out of band"
+    assert abs(pipe_below) < 0.01, "pipelining must not help below the task knee"
+    assert both_gain > max(adaptive_gain, pipe_above), "combined must beat each alone"
+
+    # Every hybrid configuration beats the CPU-only series at large N.
+    cpu = dict(data.series["CPU"])
+    both = dict(data.series["ACMLG+both"])
+    assert both[16384] > 5 * cpu[16384]

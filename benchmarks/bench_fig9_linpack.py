@@ -1,0 +1,28 @@
+"""Fig. 9: Linpack performance by matrix size, five configurations.
+
+Checks the Section VI.B headline anchors: 196.7 GFLOPS (70.1% of the
+280.5 GFLOPS element peak), 3.3x over the vendor library, 5.49x over
+host-only.
+"""
+
+from repro.bench import fig9_linpack_sweep
+
+
+def test_fig9_linpack_sweep(benchmark, save_report):
+    data = benchmark.pedantic(fig9_linpack_sweep, rounds=1, iterations=1)
+    save_report("fig9_linpack", data.render())
+
+    best = data.summary["ACMLG+both at N=46000 (paper 196.7 GFLOPS)"]
+    fraction = data.summary["fraction of 280.5 GFLOPS element peak (paper 70.1%)"]
+    over_acmlg = data.summary["speedup over ACMLG (paper 3.3x)"]
+    over_cpu = data.summary["speedup over CPU-only (paper 5.49x)"]
+
+    assert 165 < best < 230, f"single-element Linpack {best} outside the anchor band"
+    assert 0.60 < fraction < 0.82
+    assert 2.5 < over_acmlg < 6.5
+    assert 4.0 < over_cpu < 7.5
+
+    # Performance grows with N for every configuration (Fig. 9's shape).
+    for label, points in data.series.items():
+        ordered = [y for _, y in sorted(points)]
+        assert ordered[-1] > ordered[0], f"{label} does not grow with N"

@@ -1,0 +1,17 @@
+"""Section V.A's worked example: why pipelining is needed, and what it buys."""
+
+import pytest
+
+from repro.bench import worked_example
+
+
+def test_worked_example(benchmark, save_report):
+    example = benchmark.pedantic(worked_example, rounds=1, iterations=1)
+    save_report("worked_example_vA", example.render())
+    assert example.matrix_mb == pytest.approx(800.0)
+    assert example.transfer_seconds == pytest.approx(5.28, rel=1e-3)
+    assert example.compute_seconds == pytest.approx(8.33, rel=1e-2)
+    # With pipelining the GPU path approaches kernel time: the 5.28 s of
+    # unoptimized transfer shrinks to the prologue/epilogue slice.
+    exposed = example.pipelined_gpu_path_seconds - example.workload_gflop / 194.0
+    assert exposed < 1.0

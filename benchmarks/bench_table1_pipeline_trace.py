@@ -1,0 +1,42 @@
+"""Table I: the software pipeline's CT/NT schedule, shifted in time."""
+
+from repro.bench import table1_trace
+from repro.core.pipeline import SoftwarePipeline
+from repro.core.taskqueue import build_task_queue
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.sim import Simulator, Tracer
+from repro.sim.gantt import render_tracer
+from repro.util.units import dgemm_flops
+
+
+def test_table1_pipeline_trace(benchmark, save_report):
+    trace = benchmark.pedantic(table1_trace, rounds=1, iterations=1)
+    save_report("table1_pipeline_trace", trace.render())
+    # The paper's bounce-corner-turn order and the Fig. 7 overlap must hold.
+    assert trace.task_order == ["T0", "T1", "T3", "T2"]
+    assert trace.overlap_confirmed
+    assert trace.duration > 0
+
+
+def test_fig7_overlap_gantt(benchmark, save_report):
+    """Fig. 7 as an ASCII Gantt: inputs hiding under the previous EO stage."""
+
+    def run():
+        n, k = 16384, 1216
+        sim = Simulator()
+        element = ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+        tracer = Tracer(sim)
+        queue = build_task_queue(n, n, k, beta_nonzero=False, gpu_memory_bytes=1e9)
+        executor = SoftwarePipeline(element, jitter=False, tracer=tracer)
+        rate = element.gpu.kernel_rate(dgemm_flops(n, n, k))
+        sim.run(until=sim.process(executor.execute(queue, rate)))
+        return tracer
+
+    tracer = benchmark.pedantic(run, rounds=1, iterations=1)
+    gantt = render_tracer(tracer, width=64)
+    save_report("fig7_overlap_gantt", gantt)
+    eo0 = tracer.intervals(actor="T0", phase="eo")[0]
+    in1 = tracer.intervals(actor="T1", phase="input")[0]
+    assert eo0.overlaps(in1)

@@ -1,0 +1,23 @@
+"""What-if studies: the operating-point tradeoff and the paper's future work."""
+
+from repro.bench.whatif import clock_sweep, endgame_fallback_study
+
+
+def test_clock_sweep(benchmark, save_report):
+    data = benchmark.pedantic(clock_sweep, rounds=1, iterations=1)
+    save_report("whatif_clock_sweep", data.render())
+    tflops = dict(data.series["TFLOPS"])
+    temps = dict(data.series["die temp C"])
+    # Raw performance rises with clock, but 750 MHz crosses the stability line.
+    assert tflops[750.0] > tflops[575.0]
+    assert temps[750.0] > 100.0 >= data.summary["stability limit (C)"] - 1e-9
+    assert 575.0 <= data.summary["fastest thermally-stable clock"] <= 675.0
+
+
+def test_endgame_fallback(benchmark, save_report):
+    data = benchmark.pedantic(endgame_fallback_study, rounds=1, iterations=1)
+    save_report("whatif_endgame_fallback", data.render())
+    # The fallback can only help, and should recover a visible fraction of
+    # the endgame drop the paper attributes to small-matrix GPU inefficiency.
+    assert data.summary["improvement"] >= 0.0
+    assert data.summary["optimized TFLOPS"] >= data.summary["baseline TFLOPS"]

@@ -1,0 +1,32 @@
+"""Shared plumbing for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, writes the
+rendered text to ``benchmarks/out/<name>.txt`` (the files EXPERIMENTS.md is
+compiled from) and registers a representative unit of work with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture()
+def save_report(report_dir):
+    def _save(name: str, text: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Adaptive mapping under fire: inject failures, watch it rebalance.
+
+Three scenarios on one compute element, adaptive vs static side by side:
+
+1. thermal emergency — the GPU is downclocked 750 -> 575 MHz mid-sequence
+   (the paper had to do exactly this for long runs);
+2. a compute core degrades to 60% (a sick DIMM, a noisy neighbour — the
+   Section IV.A scenario where "the end time is the last who finishes");
+3. both at once.
+
+Run:  python examples/adaptive_under_fire.py
+"""
+
+from repro import (
+    AdaptiveMapper,
+    ComputeElement,
+    HybridDgemm,
+    Simulator,
+    StaticMapper,
+    tianhe1_element,
+)
+from repro.machine.presets import DOWNCLOCKED_MHZ
+from repro.machine.variability import NO_VARIABILITY
+from repro.util.tables import TextTable
+from repro.util.units import dgemm_flops
+
+N = 10240
+RUNS = 10
+INJECT_AT = 4
+
+
+def make(mapper_kind):
+    element = ComputeElement(Simulator(), tianhe1_element(), variability=NO_VARIABILITY)
+    if mapper_kind == "adaptive":
+        mapper = AdaptiveMapper(
+            element.initial_gsplit, 3, max_workload=dgemm_flops(N, N, N) * 1.05
+        )
+    else:
+        mapper = StaticMapper(element.initial_gsplit, 3)
+    return element, mapper, HybridDgemm(element, mapper, pipelined=True, jitter=False)
+
+
+def scenario(name, inject):
+    print(f"\n=== {name} (injected before run {INJECT_AT}) ===")
+    table = TextTable(["run", "static GFLOPS", "adaptive GFLOPS", "adaptive GSplit"])
+    engines = {kind: make(kind) for kind in ("static", "adaptive")}
+    for run in range(RUNS):
+        row = [run]
+        for kind in ("static", "adaptive"):
+            element, mapper, engine = engines[kind]
+            if run == INJECT_AT:
+                inject(element)
+            result = engine.run_to_completion(N, N, N)
+            row.append(f"{result.gflops:.1f}")
+            if kind == "adaptive":
+                row.append(f"{result.gsplit:.3f}")
+        table.add_row(*row)
+    print(table.render())
+    for kind in ("static", "adaptive"):
+        element, _, _ = engines[kind]
+        print(f"  {kind}: total simulated time {element.sim.now:.1f} s")
+
+
+def main() -> None:
+    scenario("GPU downclock 750 -> 575 MHz",
+             lambda el: el.gpu.set_clock(DOWNCLOCKED_MHZ))
+
+    def degrade_core(el):
+        el.compute_cores[1].static_factor *= 0.6
+
+    scenario("compute core 1 degrades to 60%", degrade_core)
+
+    def both(el):
+        el.gpu.set_clock(DOWNCLOCKED_MHZ)
+        degrade_core(el)
+
+    scenario("both failures at once", both)
+
+    print("\nThe static mapper keeps shipping 88.9% of every DGEMM to a GPU "
+          "that lost a quarter of its clock,\nand keeps splitting the CPU "
+          "share evenly across unequal cores; the adaptive mapper re-reads\n"
+          "reality every call and re-balances within one iteration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Drive the reproduction from a classic HPL.dat input file.
+
+Reads the same input format the paper's runs used (HPL 2.0), maps each
+(N, NB, P x Q) combination onto the analytic stepper over a matching
+TianHe-1 slice, and prints an HPL-style results table.  Without an argument
+it uses the paper's full-system configuration: N=2 240 000, NB=1216, 64x80.
+
+Run:  python examples/hpl_dat_driver.py [path/to/HPL.dat]
+"""
+
+import sys
+
+from repro import Cluster, run_linpack, tianhe1_cluster
+from repro.hpl.hpl_dat import TIANHE1_HPL_DAT, parse_hpl_dat
+from repro.util.tables import TextTable
+from repro.util.units import fmt_time
+
+
+def main(path: str | None = None) -> None:
+    if path:
+        dat = parse_hpl_dat(open(path).read())
+        print(f"parsed {path}:")
+    else:
+        dat = TIANHE1_HPL_DAT
+        print("no input file given — using the paper's full-system HPL.dat:")
+    print(dat.render())
+    print()
+
+    table = TextTable(
+        ["N", "NB", "P", "Q", "time", "GFLOPS"],
+        title="repro Linpack results (configuration: ACMLG+both)",
+    )
+    for n, nb, grid in dat.runs():
+        cabinets = max(1, -(-grid.size // 64))
+        if cabinets > 80:
+            raise SystemExit(f"grid {grid.nprow}x{grid.npcol} exceeds TianHe-1")
+        cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=2009)
+        result = run_linpack(
+            "acmlg_both", n, cluster, grid, overrides={"nb": nb}
+        )
+        table.add_row(
+            n, nb, grid.nprow, grid.npcol, fmt_time(result.elapsed), result.gflops
+        )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

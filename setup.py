@@ -1,0 +1,4 @@
+"""Shim so editable installs work on offline hosts without the wheel package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Benchmark harness: one data generator per table/figure of the paper.
+
+Each generator returns plain data structures (series of (x, y) points plus a
+summary dict) and can render itself as a text table, so the same code backs
+``benchmarks/`` (pytest-benchmark targets), ``examples/`` and EXPERIMENTS.md.
+
+| Paper artifact | Generator |
+|---|---|
+| Table I (pipeline schedule)            | :func:`repro.bench.pipeline_trace.table1_trace` |
+| §V.A worked example                    | :func:`repro.bench.pipeline_trace.worked_example` |
+| Fig 8 (DGEMM by size, 5 configs)       | :func:`repro.bench.dgemm_sweep.fig8_dgemm_sweep` |
+| Fig 9 (Linpack by size, 5 configs)     | :func:`repro.bench.linpack_sweep.fig9_linpack_sweep` |
+| Fig 10 (GSplit vs workload)            | :func:`repro.bench.linpack_sweep.fig10_split_ratio` |
+| Fig 11 (ours vs Qilin, 1-64 procs)     | :func:`repro.bench.cabinet.fig11_adaptive_vs_qilin` |
+| Fig 12 (scaling by cabinets)           | :func:`repro.bench.scaling.fig12_cabinet_scaling` |
+| Fig 13 (performance vs progress)       | :func:`repro.bench.scaling.fig13_progress` |
+"""
+
+from repro.bench.report import SeriesData, series_table
+from repro.bench.dgemm_sweep import fig8_dgemm_sweep
+from repro.bench.linpack_sweep import fig9_linpack_sweep, fig10_split_ratio
+from repro.bench.cabinet import fig11_adaptive_vs_qilin
+from repro.bench.scaling import fig12_cabinet_scaling, fig13_progress
+from repro.bench.pipeline_trace import table1_trace, worked_example
+from repro.bench.whatif import clock_sweep, endgame_fallback_study
+
+__all__ = [
+    "clock_sweep",
+    "endgame_fallback_study",
+    "SeriesData",
+    "series_table",
+    "fig8_dgemm_sweep",
+    "fig9_linpack_sweep",
+    "fig10_split_ratio",
+    "fig11_adaptive_vs_qilin",
+    "fig12_cabinet_scaling",
+    "fig13_progress",
+    "table1_trace",
+    "worked_example",
+]

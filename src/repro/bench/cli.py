@@ -1,0 +1,129 @@
+"""Command-line entry point: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench fig8 [--quick] [--format text|csv|json] [--out FILE]
+    python -m repro.bench headline
+
+``--quick`` shrinks problem sizes so every figure finishes in seconds —
+useful for smoke-testing an installation; full-size runs match
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+from repro.bench.cabinet import fig11_adaptive_vs_qilin
+from repro.bench.dgemm_sweep import fig8_dgemm_sweep
+from repro.bench.linpack_sweep import fig9_linpack_sweep, fig10_split_ratio
+from repro.bench.pipeline_trace import table1_trace, worked_example
+from repro.bench.report import SeriesData
+from repro.bench.scaling import fig12_cabinet_scaling, fig13_progress
+from repro.bench.whatif import clock_sweep, endgame_fallback_study
+
+
+def _fig8(quick: bool) -> SeriesData:
+    sizes = (4096, 10240, 16384) if quick else (2048, 4096, 6144, 8192, 10240, 12288, 14336, 16384)
+    return fig8_dgemm_sweep(sizes=sizes)
+
+
+def _fig9(quick: bool) -> SeriesData:
+    sizes = (11500, 23000) if quick else (5750, 11500, 23000, 34500, 46000)
+    return fig9_linpack_sweep(sizes=sizes)
+
+
+def _fig10(quick: bool) -> SeriesData:
+    return fig10_split_ratio(n=12000 if quick else 30000)
+
+
+def _fig11(quick: bool) -> SeriesData:
+    if quick:
+        return fig11_adaptive_vs_qilin(proc_counts=(1, 4, 16), seeds=(1,), per_element_n=20000)
+    return fig11_adaptive_vs_qilin()
+
+
+def _fig12(quick: bool) -> SeriesData:
+    return fig12_cabinet_scaling(cabinets=(1, 2, 4) if quick else (1, 2, 4, 8, 16, 32, 64, 80))
+
+
+def _fig13(quick: bool) -> SeriesData:
+    if quick:
+        return fig13_progress(cabinets=1, n=120_000)
+    return fig13_progress()
+
+
+def _clock_sweep(quick: bool) -> SeriesData:
+    return clock_sweep(n=120_000 if quick else 280_000)
+
+
+def _endgame(quick: bool) -> SeriesData:
+    return endgame_fallback_study(n=120_000 if quick else 280_000)
+
+
+FIGURES: dict[str, Callable[[bool], SeriesData]] = {
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "clock-sweep": _clock_sweep,
+    "endgame-fallback": _endgame,
+}
+
+#: Artifacts that render straight to text (no series structure).
+TEXT_ARTIFACTS = {
+    "table1": lambda quick: table1_trace().render(),
+    "worked-example": lambda quick: worked_example().render(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "figure",
+        nargs="?",
+        choices=sorted(FIGURES) + sorted(TEXT_ARTIFACTS),
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--list", action="store_true", help="list available artifacts")
+    parser.add_argument("--quick", action="store_true", help="reduced problem sizes")
+    parser.add_argument(
+        "--format", choices=("text", "csv", "json"), default="text", help="output format"
+    )
+    parser.add_argument("--out", default=None, help="write output to a file instead of stdout")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or args.figure is None:
+        print("available artifacts:")
+        for name in sorted(FIGURES) + sorted(TEXT_ARTIFACTS):
+            print(f"  {name}")
+        return 0
+    if args.figure in TEXT_ARTIFACTS:
+        if args.format != "text":
+            print(f"{args.figure} only supports --format text", file=sys.stderr)
+            return 2
+        output = TEXT_ARTIFACTS[args.figure](args.quick)
+    else:
+        data = FIGURES[args.figure](args.quick)
+        output = {"text": data.render, "csv": data.to_csv, "json": data.to_json}[args.format]()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output + "\n")
+    else:
+        print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

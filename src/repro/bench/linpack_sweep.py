@@ -1,0 +1,113 @@
+"""Fig. 9 (Linpack by size, five configurations) and Fig. 10 (GSplit vs
+workload).
+
+Fig. 9 uses the analytic stepper on a single compute element at the standard
+750 MHz clock.  Fig. 10 replays the paper's exact procedure with the DES
+executor: run the Linpack sequence of trailing-update DGEMMs through the
+adaptive framework ("The databases used in the adaptive method is just the
+initial version.  During the running ... the databases are updated
+continuously") and read ``database_g`` afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.report import SeriesData
+from repro.core.adaptive import AdaptiveMapper
+from repro.core.hybrid_dgemm import HybridDgemm
+from repro.hpl.driver import CONFIG_LABELS, CONFIGURATIONS, run_linpack_element
+from repro.machine.node import ComputeElement
+from repro.machine.presets import NB_GPU, tianhe1_element
+from repro.machine.variability import VariabilitySpec
+from repro.model import calibration as cal
+from repro.sim import Simulator
+from repro.util.rng import RngStream
+from repro.util.units import GFLOP, dgemm_flops
+
+DEFAULT_SIZES = (5750, 11500, 23000, 34500, 46000)
+
+
+def fig9_linpack_sweep(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    variability: VariabilitySpec = None,
+    seed: int = 7,
+    configs: Sequence[str] = tuple(CONFIGURATIONS),
+) -> SeriesData:
+    """Regenerate Fig. 9 plus the Section VI.B headline comparisons."""
+    data = SeriesData(
+        title="Fig 9 — Linpack performance by matrix size (GFLOPS, one compute element)",
+        x_label="N",
+        y_label="GFLOPS",
+    )
+    values: dict[str, dict[int, float]] = {c: {} for c in configs}
+    for n in sizes:
+        for config in configs:
+            result = run_linpack_element(config, n, variability=variability, seed=seed)
+            values[config][n] = result.gflops
+            data.add_point(CONFIG_LABELS[config], n, result.gflops)
+    top = max(sizes)
+    if "acmlg_both" in configs:
+        best = values["acmlg_both"][top]
+        data.summary[f"ACMLG+both at N={top} (paper 196.7 GFLOPS)"] = best
+        data.summary["fraction of 280.5 GFLOPS element peak (paper 70.1%)"] = (
+            best * 1e9 / cal.ELEMENT_PEAK
+        )
+        if "acmlg" in configs:
+            data.summary["speedup over ACMLG (paper 3.3x)"] = best / values["acmlg"][top]
+        if "cpu" in configs:
+            data.summary["speedup over CPU-only (paper 5.49x)"] = best / values["cpu"][top]
+    return data
+
+
+def fig10_split_ratio(
+    n: int = 30000,
+    nb: int = NB_GPU,
+    variability: VariabilitySpec = None,
+    seed: int = 3,
+    n_bins: int = 64,
+) -> SeriesData:
+    """Regenerate Fig. 10: the GPU split ratio stored per workload bin.
+
+    Runs the Linpack trailing-update sequence (M = N_t, K = NB) through the
+    DES hybrid executor with the adaptive mapper, then reports every
+    ``database_g`` write (workload, new GSplit) plus the final per-bin
+    values.  The initial value is the peak ratio 0.889 (Section VI.B).
+    """
+    var = variability if variability is not None else VariabilitySpec()
+    sim = Simulator()
+    element = ComputeElement(
+        sim, tianhe1_element(), variability=var, rng=RngStream(seed).child("fig10")
+    )
+    max_workload = dgemm_flops(n, n, nb) * 1.05
+    mapper = AdaptiveMapper(element.initial_gsplit, 3, max_workload=max_workload, n_bins=n_bins)
+    engine = HybridDgemm(
+        element, mapper, pipelined=True, jitter=not var.deterministic
+    )
+    trailing = n
+    while trailing > nb:
+        trailing -= nb
+        engine.run_to_completion(trailing, trailing, nb)
+
+    data = SeriesData(
+        title="Fig 10 — GPU split ratio vs workload (database_g after a Linpack run)",
+        x_label="workload (Gflop)",
+        y_label="GSplit",
+    )
+    for write in mapper.database_g.history:
+        data.add_point("stored GSplit", write.workload / GFLOP, write.value)
+    values = mapper.database_g.values()
+    mask = mapper.database_g.written_mask()
+    for i in range(n_bins):
+        if mask[i]:
+            low, high = mapper.database_g.bin_range(i)
+            data.add_point("final per-bin value", (low + high) / 2 / GFLOP, float(values[i]))
+    data.summary["initial GSplit (paper 0.889)"] = element.initial_gsplit
+    knee = cal.SPLIT_KNEE_GFLOP
+    below = [v for w, v in data.series.get("stored GSplit", []) if w < knee]
+    above = [v for w, v in data.series.get("stored GSplit", []) if w >= knee]
+    if below:
+        data.summary[f"split spread below {knee:.0f} Gflop (max-min)"] = max(below) - min(below)
+    if above:
+        data.summary[f"split spread above {knee:.0f} Gflop (max-min)"] = max(above) - min(above)
+    return data

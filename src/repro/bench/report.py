@@ -1,0 +1,94 @@
+"""Shared result containers and text/CSV/JSON rendering for the harness."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.util.tables import TextTable
+
+
+@dataclass
+class SeriesData:
+    """One figure's data: named series over a common x axis, plus a summary.
+
+    ``series`` maps a display label to ``[(x, y), ...]`` points; ``summary``
+    carries the headline comparisons (average gains, anchor values) that
+    EXPERIMENTS.md quotes against the paper.
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    summary: dict[str, Any] = field(default_factory=dict)
+
+    def add_point(self, label: str, x: float, y: float) -> None:
+        self.series.setdefault(label, []).append((x, y))
+
+    def xs(self) -> list[float]:
+        """The union of x values across series, sorted."""
+        values: set[float] = set()
+        for points in self.series.values():
+            values.update(x for x, _ in points)
+        return sorted(values)
+
+    def table(self) -> TextTable:
+        return series_table(self.title, self.x_label, self.series)
+
+    def render(self) -> str:
+        """The table plus the summary lines."""
+        lines = [self.table().render()]
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                if isinstance(value, float):
+                    lines.append(f"{key}: {value:.4g}")
+                else:
+                    lines.append(f"{key}: {value}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV with one row per x value and one column per series."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        labels = list(self.series)
+        writer.writerow([self.x_label] + labels)
+        lookup = {label: dict(points) for label, points in self.series.items()}
+        for x in self.xs():
+            writer.writerow([x] + [lookup[label].get(x, "") for label in labels])
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """JSON document with title, axes, series and summary."""
+        return json.dumps(
+            {
+                "title": self.title,
+                "x_label": self.x_label,
+                "y_label": self.y_label,
+                "series": {k: [[x, y] for x, y in v] for k, v in self.series.items()},
+                "summary": self.summary,
+            },
+            indent=2,
+            default=float,
+        )
+
+
+def series_table(
+    title: str, x_label: str, series: dict[str, Sequence[tuple[float, float]]]
+) -> TextTable:
+    """Render named series sharing an x axis as one aligned table."""
+    labels = list(series)
+    table = TextTable([x_label] + labels, title=title)
+    xs: list[float] = sorted({x for pts in series.values() for x, _ in pts})
+    lookup = {label: dict(points) for label, points in series.items()}
+    for x in xs:
+        row: list[Any] = [int(x) if float(x).is_integer() else x]
+        for label in labels:
+            y = lookup[label].get(x)
+            row.append("" if y is None else f"{y:.4g}")
+        table.add_row(*row)
+    return table

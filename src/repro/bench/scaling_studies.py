@@ -1,0 +1,68 @@
+"""Strong scaling and run-energy studies (beyond the paper's weak scaling).
+
+Fig. 12 is a weak-scaling sweep (N grows with the machine).  These
+generators add the strong-scaling view (fixed N, growing machine) and the
+energy ledger of a full run — including how the Qilin training bill compares
+to the energy of the Linpack run itself.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.report import SeriesData
+from repro.bench.scaling import GRIDS
+from repro.hpl.driver import run_linpack
+from repro.hpl.grid import ProcessGrid
+from repro.machine.cluster import Cluster
+from repro.machine.power import TIANHE1_POWER
+from repro.machine.presets import DOWNCLOCKED_MHZ, tianhe1_cluster
+from repro.model import calibration as cal
+
+
+def strong_scaling(
+    n: int = 560_000,
+    cabinets: Sequence[int] = (1, 2, 4, 8, 16),
+    seed: int = 7,
+) -> SeriesData:
+    """Fixed problem, growing machine: where communication starts to bite."""
+    data = SeriesData(
+        title=f"Strong scaling: fixed N={n}, growing machine",
+        x_label="cabinets",
+        y_label="TFLOPS",
+    )
+    base = None
+    for cabs in cabinets:
+        cluster = Cluster(tianhe1_cluster(cabinets=cabs), seed=2009)
+        result = run_linpack("acmlg_both", n, cluster, ProcessGrid(*GRIDS[cabs]), seed=seed)
+        if base is None:
+            base = (cabs, result.tflops)
+        data.add_point("TFLOPS", cabs, result.tflops)
+        data.add_point(
+            "parallel efficiency %", cabs,
+            100.0 * result.tflops / (base[1] * cabs / base[0]),
+        )
+    first, last = cabinets[0], cabinets[-1]
+    points = dict(data.series["parallel efficiency %"])
+    data.summary["parallel efficiency at largest machine"] = points[last] / 100.0
+    return data
+
+
+def run_energy_ledger(seed: int = 7) -> SeriesData:
+    """Energy of the full-system Linpack run vs the Qilin training bill."""
+    cluster = Cluster(tianhe1_cluster(cabinets=80), seed=2009)
+    result = run_linpack("acmlg_both", cal.FULL_SYSTEM_N, cluster, ProcessGrid(64, 80), seed=seed)
+    run_kwh = TIANHE1_POWER.energy_kwh(80, result.elapsed, clock_mhz=DOWNCLOCKED_MHZ)
+    training_kwh = cal.QILIN_TRAINING_KWH_FULL_SYSTEM
+    data = SeriesData(
+        title="Energy ledger: one full-system Linpack vs Qilin's training bill",
+        x_label="item",
+        y_label="kWh",
+    )
+    data.summary["run wall time (h)"] = result.elapsed / 3600.0
+    data.summary["run energy (kWh)"] = run_kwh
+    data.summary["Qilin training energy (kWh, paper 2960)"] = training_kwh
+    data.summary["training / run energy"] = training_kwh / run_kwh
+    data.summary["energy per Pflop (kWh)"] = run_kwh / (result.analytic.flops / 1e15)
+    data.summary["TFLOPS"] = result.tflops
+    return data

@@ -1,0 +1,84 @@
+"""What-if studies beyond the paper's measurements.
+
+* :func:`clock_sweep` — the operating-point tradeoff behind Section VI.A's
+  750 -> 575 MHz downclock: Linpack performance, power and MFLOPS/W as a
+  function of GPU clock, with the thermal-stability constraint overlaid.
+* :func:`endgame_fallback_study` — the paper's closing "potential
+  optimization": fall back to all four CPU cores when the trailing update
+  is too small for the GPU, and measure what it recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.report import SeriesData
+from repro.hpl.driver import run_linpack
+from repro.hpl.grid import ProcessGrid
+from repro.machine.cluster import Cluster
+from repro.machine.power import TIANHE1_POWER
+from repro.machine.presets import tianhe1_cluster
+from repro.machine.variability import ThermalModel
+
+
+def clock_sweep(
+    clocks_mhz: Sequence[float] = (575.0, 625.0, 675.0, 725.0, 750.0),
+    cabinets: int = 1,
+    n: int = 280_000,
+    seed: int = 7,
+) -> SeriesData:
+    """Linpack performance / power / efficiency vs GPU core clock."""
+    thermal = ThermalModel()
+    data = SeriesData(
+        title="What-if: GPU clock operating point (one cabinet Linpack)",
+        x_label="clock MHz",
+        y_label="TFLOPS",
+    )
+    best_stable = None
+    for clock in clocks_mhz:
+        cluster = Cluster(tianhe1_cluster(cabinets=cabinets, gpu_clock_mhz=clock), seed=2009)
+        result = run_linpack("acmlg_both", n, cluster, ProcessGrid(8, 8), seed=seed)
+        kw = TIANHE1_POWER.system_kw(cabinets, clock_mhz=clock)
+        green = TIANHE1_POWER.mflops_per_watt(result.gflops * 1e9, cabinets, clock_mhz=clock)
+        data.add_point("TFLOPS", clock, result.tflops)
+        data.add_point("power kW", clock, kw)
+        data.add_point("MFLOPS/W", clock, green)
+        data.add_point("die temp C", clock, thermal.temperature(clock))
+        if thermal.is_stable(clock):
+            best_stable = (clock, result.tflops)
+    if best_stable is not None:
+        data.summary["fastest thermally-stable clock"] = best_stable[0]
+        data.summary["TFLOPS at that clock"] = best_stable[1]
+    data.summary["stability limit (C)"] = ThermalModel.STABILITY_LIMIT_C
+    data.summary["max stable clock (MHz)"] = thermal.max_stable_clock()
+    return data
+
+
+def endgame_fallback_study(
+    n: int = 280_000,
+    cabinets: int = 1,
+    seed: int = 7,
+) -> SeriesData:
+    """The paper's future-work optimization, quantified."""
+    cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=2009)
+    grid = ProcessGrid(8, 8)
+    base = run_linpack("acmlg_both", n, cluster, grid, seed=seed, collect_steps=True)
+    opt = run_linpack(
+        "acmlg_both", n, cluster, grid, seed=seed, collect_steps=True,
+        overrides={"endgame_cpu_fallback": True},
+    )
+    data = SeriesData(
+        title="What-if: endgame CPU fallback (Section VI.C's 'potential optimization')",
+        x_label="progress (%)",
+        y_label="TFLOPS",
+    )
+    for label, result in (("baseline", base), ("with endgame fallback", opt)):
+        curve = result.analytic.progress_curve()
+        stride = max(1, len(curve) // 25)
+        for i in list(range(0, len(curve), stride)) + [len(curve) - 1]:
+            fraction, gflops = curve[i]
+            data.add_point(label, round(fraction * 100, 2), gflops / 1e3)
+    data.summary["baseline TFLOPS"] = base.tflops
+    data.summary["optimized TFLOPS"] = opt.tflops
+    data.summary["improvement"] = opt.gflops / base.gflops - 1.0
+    return data

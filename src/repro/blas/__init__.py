@@ -1,0 +1,23 @@
+"""Numeric kernels: the BLAS3/LAPACK subset HPL is built from.
+
+These run real float64 math with numpy (which is the only "vendor library"
+available here); the simulator charges their *time* to the modeled devices.
+The subset is exactly what the paper's Linpack uses:
+
+* :func:`~repro.blas.dgemm.dgemm` — C = alpha*A@B + beta*C, the kernel that
+  "dominates the computation time of HPL";
+* :func:`~repro.blas.dtrsm.dtrsm` — triangular solve with multiple RHS
+  (the U-panel update);
+* :func:`~repro.blas.dgetrf.dgetf2` / :func:`~repro.blas.dgetrf.dgetrf` —
+  unblocked panel and blocked right-looking LU with partial pivoting;
+* :func:`~repro.blas.dlaswp.dlaswp` — pivot row interchanges.
+
+:mod:`repro.blas.reference` holds naive implementations used only by tests.
+"""
+
+from repro.blas.dgemm import dgemm, split_rows
+from repro.blas.dtrsm import dtrsm
+from repro.blas.dgetrf import dgetf2, dgetrf
+from repro.blas.dlaswp import dlaswp
+
+__all__ = ["dgemm", "split_rows", "dtrsm", "dgetf2", "dgetrf", "dlaswp"]

@@ -1,0 +1,72 @@
+"""DGEMM: general matrix-matrix multiply, plus row-partitioning helpers.
+
+``C = alpha * A @ B + beta * C`` — the Level-3 BLAS operation the paper's
+whole framework is built to accelerate (Section IV.C).  The hybrid executor
+partitions A by rows between GPU and CPU cores (Fig. 3:
+``A = A1 ∪ A2`` with ``M = M1 + M2``); :func:`split_rows` computes those row
+counts from split fractions, guaranteeing they sum to M exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.util.validation import require
+
+
+def dgemm(
+    alpha: float,
+    a: np.ndarray,
+    b: np.ndarray,
+    beta: float = 0.0,
+    c: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Compute ``alpha * a @ b + beta * c`` in float64.
+
+    When *c* is provided it is updated **in place** and returned (matching
+    BLAS semantics); otherwise a fresh array is returned and *beta* must be 0.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    require(a.ndim == 2 and b.ndim == 2, "dgemm operates on 2-D matrices")
+    require(a.shape[1] == b.shape[0], f"inner dimensions differ: {a.shape} x {b.shape}")
+    if c is None:
+        require(beta == 0.0, "beta != 0 requires an input C")
+        return alpha * (a @ b)
+    require(isinstance(c, np.ndarray) and c.dtype == np.float64, "C must be a float64 ndarray")
+    require(c.shape == (a.shape[0], b.shape[1]), f"C has shape {c.shape}, expected {(a.shape[0], b.shape[1])}")
+    if beta == 0.0:
+        np.matmul(a, b, out=c)
+        if alpha != 1.0:
+            c *= alpha
+    elif beta == 1.0 and alpha == 1.0:
+        c += a @ b
+    else:
+        c *= beta
+        c += alpha * (a @ b)
+    return c
+
+
+def split_rows(m: int, fractions: Sequence[float]) -> list[int]:
+    """Partition *m* rows according to *fractions* (which must sum to ~1).
+
+    Uses largest-remainder rounding so the parts always sum to exactly *m*
+    and no part is negative.  This is how both mapper levels convert split
+    fractions (GSplit, CSplit_i) into row counts.
+    """
+    require(m >= 0, "m must be >= 0")
+    fracs = [float(f) for f in fractions]
+    require(len(fracs) >= 1, "need at least one fraction")
+    require(all(f >= 0 for f in fracs), f"fractions must be >= 0, got {fracs}")
+    total = sum(fracs)
+    require(abs(total - 1.0) < 1e-6, f"fractions must sum to 1, got {total}")
+    raw = [f * m for f in fracs]
+    counts = [int(np.floor(r)) for r in raw]
+    shortfall = m - sum(counts)
+    # Distribute leftover rows to the largest fractional remainders.
+    remainders = sorted(range(len(fracs)), key=lambda i: raw[i] - counts[i], reverse=True)
+    for i in range(shortfall):
+        counts[remainders[i % len(fracs)]] += 1
+    return counts

@@ -1,0 +1,98 @@
+"""LU factorization with partial pivoting: unblocked panel + blocked driver.
+
+:func:`dgetf2` is the unblocked "panel" factorization HPL performs on the
+current NB-wide column block (CPU work, not offloaded); :func:`dgetrf` is the
+blocked right-looking algorithm whose trailing update is the DGEMM that the
+paper offloads to GPUs.  Both store L (unit lower) and U packed in-place,
+returning 0-based absolute pivot indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blas.dgemm import dgemm
+from repro.blas.dlaswp import dlaswp
+from repro.blas.dtrsm import dtrsm
+from repro.util.validation import require
+
+
+class SingularMatrixError(RuntimeError):
+    """A zero pivot was encountered; the matrix is (numerically) singular."""
+
+
+def dgetf2(a: np.ndarray, offset: int = 0) -> np.ndarray:
+    """Unblocked LU with partial pivoting on the m x n panel *a*, in place.
+
+    Returns absolute pivot row indices (0-based, relative to the panel's own
+    rows plus *offset* so callers embedding the panel in a larger matrix get
+    global indices directly).
+    """
+    require(a.ndim == 2, "panel must be 2-D")
+    m, n = a.shape
+    piv = np.empty(min(m, n), dtype=np.int64)
+    for j in range(min(m, n)):
+        # Partial pivoting: the largest |value| in the remaining column.
+        p = j + int(np.argmax(np.abs(a[j:, j])))
+        if a[p, j] == 0.0:
+            raise SingularMatrixError(f"zero pivot in column {j}")
+        piv[j] = p + offset
+        if p != j:
+            a[[j, p], :] = a[[p, j], :]
+        # Scale the multipliers and rank-1 update the trailing panel.
+        a[j + 1 :, j] /= a[j, j]
+        if j + 1 < n:
+            a[j + 1 :, j + 1 :] -= np.outer(a[j + 1 :, j], a[j, j + 1 :])
+    return piv
+
+
+def dgetrf(a: np.ndarray, nb: int = 64) -> np.ndarray:
+    """Blocked right-looking LU with partial pivoting, in place.
+
+    The loop body mirrors one HPL iteration: factor the current panel
+    (:func:`dgetf2`), apply its pivots across the full width
+    (:func:`~repro.blas.dlaswp.dlaswp`), solve for the U block row
+    (:func:`~repro.blas.dtrsm.dtrsm`), then the trailing DGEMM update —
+    "the matrix update step ... an O(N^3) operation" the paper accelerates.
+    """
+    require(a.ndim == 2, "A must be 2-D")
+    require(nb >= 1, "nb must be >= 1")
+    m, n = a.shape
+    piv = np.empty(min(m, n), dtype=np.int64)
+    for j in range(0, min(m, n), nb):
+        jb = min(nb, min(m, n) - j)
+        # Factor the m-j x jb panel; pivots are global row indices.
+        panel_piv = dgetf2(a[j:, j : j + jb], offset=j)
+        piv[j : j + jb] = panel_piv
+        # Apply the interchanges to the columns left and right of the panel.
+        rel = panel_piv  # absolute already
+        if j > 0:
+            dlaswp(a[:, :j], rel, offset=j)
+        if j + jb < n:
+            dlaswp(a[:, j + jb :], rel, offset=j)
+            # U block row: solve L11 U12 = A12.
+            dtrsm(a[j : j + jb, j : j + jb], a[j : j + jb, j + jb :], side="left",
+                  uplo="lower", unit_diag=True)
+            # Trailing update: A22 -= L21 @ U12  (the offloadable DGEMM).
+            if j + jb < m:
+                dgemm(-1.0, a[j + jb :, j : j + jb], a[j : j + jb, j + jb :],
+                      beta=1.0, c=a[j + jb :, j + jb :])
+    return piv
+
+
+def lu_solve(a_factored: np.ndarray, piv: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` given the in-place LU factors and pivots.
+
+    *b* may be a vector or matrix of right-hand sides; returns the solution
+    (a fresh array).
+    """
+    require(a_factored.shape[0] == a_factored.shape[1], "A must be square")
+    x = np.array(b, dtype=np.float64, copy=True)
+    vector = x.ndim == 1
+    if vector:
+        x = x.reshape(-1, 1)
+    require(x.shape[0] == a_factored.shape[0], "b has wrong length")
+    dlaswp(x, piv)
+    dtrsm(a_factored, x, side="left", uplo="lower", unit_diag=True)
+    dtrsm(a_factored, x, side="left", uplo="upper", unit_diag=False)
+    return x.ravel() if vector else x

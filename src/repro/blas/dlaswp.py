@@ -1,0 +1,40 @@
+"""DLASWP: apply a sequence of row interchanges.
+
+LU with partial pivoting records, for each factored column ``i``, the row
+``piv[i]`` that was swapped into position ``i``.  The swaps must be applied
+*sequentially* (each may refer to rows moved by earlier swaps), exactly as
+LAPACK's DLASWP does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require
+
+
+def dlaswp(a: np.ndarray, piv: np.ndarray, offset: int = 0) -> np.ndarray:
+    """Swap row ``offset + i`` with row ``piv[i]`` for each i, in order.
+
+    *piv* holds absolute row indices into *a* (LAPACK ipiv converted to
+    0-based).  Returns *a*, modified in place.
+    """
+    require(a.ndim == 2, "A must be 2-D")
+    piv = np.asarray(piv)
+    for i, p in enumerate(piv):
+        row = offset + i
+        require(0 <= p < a.shape[0], f"pivot {p} out of range for {a.shape[0]} rows")
+        if p != row:
+            a[[row, p], :] = a[[p, row], :]
+    return a
+
+
+def invert_permutation(piv: np.ndarray, n: int, offset: int = 0) -> np.ndarray:
+    """The permutation vector ``perm`` such that ``A_factored = A[perm]``.
+
+    Useful for verifying ``P A = L U``: applying :func:`dlaswp` to
+    ``arange(n)`` yields the row ordering the factorization used.
+    """
+    perm = np.arange(n).reshape(n, 1)
+    dlaswp(perm, piv, offset=offset)
+    return perm.ravel()

@@ -1,0 +1,96 @@
+"""DTRSM: triangular solve with multiple right-hand sides.
+
+HPL uses the ``side='left', uplo='lower', trans='N', diag='unit'`` case to
+compute ``U = L^-1 * B`` after each panel factorization, and the upper
+variants in the final back-substitution.  Implemented as blocked forward/
+backward substitution so the inner work is numpy matmuls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require
+
+_DEFAULT_BLOCK = 64
+
+
+def dtrsm(
+    a: np.ndarray,
+    b: np.ndarray,
+    side: str = "left",
+    uplo: str = "lower",
+    unit_diag: bool = False,
+    block: int = _DEFAULT_BLOCK,
+) -> np.ndarray:
+    """Solve ``op(A) X = B`` (side='left') or ``X op(A) = B`` (side='right').
+
+    *A* is triangular as described by *uplo*; *B* is overwritten with the
+    solution and returned.  Only the cases HPL needs are implemented.
+    """
+    require(side in ("left", "right"), f"side must be left/right, got {side!r}")
+    require(uplo in ("lower", "upper"), f"uplo must be lower/upper, got {uplo!r}")
+    require(a.ndim == 2 and a.shape[0] == a.shape[1], "A must be square")
+    require(b.ndim == 2, "B must be 2-D")
+    require(block >= 1, "block must be >= 1")
+    n = a.shape[0]
+    if side == "left":
+        require(b.shape[0] == n, f"B rows {b.shape[0]} != A order {n}")
+    else:
+        require(b.shape[1] == n, f"B cols {b.shape[1]} != A order {n}")
+    if n == 0 or b.size == 0:
+        return b
+
+    if side == "left" and uplo == "lower":
+        _solve_lower_left(a, b, unit_diag, block)
+    elif side == "left" and uplo == "upper":
+        _solve_upper_left(a, b, unit_diag, block)
+    elif side == "right" and uplo == "upper":
+        # X U = B  <=>  U^T X^T = B^T: reuse the lower-left path on transposes.
+        bt = np.ascontiguousarray(b.T)
+        _solve_lower_left(a.T, bt, unit_diag, block)
+        b[...] = bt.T
+    else:  # side == "right" and uplo == "lower"
+        bt = np.ascontiguousarray(b.T)
+        _solve_upper_left(a.T, bt, unit_diag, block)
+        b[...] = bt.T
+    return b
+
+
+def _solve_diag_lower(a: np.ndarray, b: np.ndarray, unit_diag: bool) -> None:
+    """Unblocked forward substitution on a small diagonal block."""
+    n = a.shape[0]
+    for i in range(n):
+        if i > 0:
+            b[i, :] -= a[i, :i] @ b[:i, :]
+        if not unit_diag:
+            b[i, :] /= a[i, i]
+
+
+def _solve_diag_upper(a: np.ndarray, b: np.ndarray, unit_diag: bool) -> None:
+    """Unblocked backward substitution on a small diagonal block."""
+    n = a.shape[0]
+    for i in range(n - 1, -1, -1):
+        if i < n - 1:
+            b[i, :] -= a[i, i + 1 :] @ b[i + 1 :, :]
+        if not unit_diag:
+            b[i, :] /= a[i, i]
+
+
+def _solve_lower_left(a: np.ndarray, b: np.ndarray, unit_diag: bool, block: int) -> None:
+    n = a.shape[0]
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        if start > 0:
+            b[start:stop, :] -= a[start:stop, :start] @ b[:start, :]
+        _solve_diag_lower(a[start:stop, start:stop], b[start:stop, :], unit_diag)
+
+
+def _solve_upper_left(a: np.ndarray, b: np.ndarray, unit_diag: bool, block: int) -> None:
+    n = a.shape[0]
+    starts = list(range(0, n, block))
+    for start in reversed(starts):
+        stop = min(start + block, n)
+        if stop < n:
+            b[start:stop, :] -= a[start:stop, stop:] @ b[stop:, :]
+        _solve_diag_upper(a[start:stop, start:stop], b[start:stop, :], unit_diag)

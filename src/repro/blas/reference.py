@@ -1,0 +1,71 @@
+"""Naive reference implementations, used only by the test suite.
+
+Deliberately simple O(n^3) loops and unblocked algorithms: slow, obviously
+correct, and independent of the production code paths they validate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def naive_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Triple-loop matrix multiply (no numpy matmul)."""
+    m, k = a.shape
+    k2, n = b.shape
+    assert k == k2
+    out = np.zeros((m, n))
+    for i in range(m):
+        for j in range(n):
+            acc = 0.0
+            for p in range(k):
+                acc += a[i, p] * b[p, j]
+            out[i, j] = acc
+    return out
+
+
+def naive_lower_solve(l: np.ndarray, b: np.ndarray, unit_diag: bool) -> np.ndarray:
+    """Column-by-column forward substitution."""
+    n = l.shape[0]
+    x = b.astype(np.float64).copy()
+    for col in range(x.shape[1]):
+        for i in range(n):
+            for j in range(i):
+                x[i, col] -= l[i, j] * x[j, col]
+            if not unit_diag:
+                x[i, col] /= l[i, i]
+    return x
+
+
+def naive_upper_solve(u: np.ndarray, b: np.ndarray, unit_diag: bool) -> np.ndarray:
+    """Column-by-column backward substitution."""
+    n = u.shape[0]
+    x = b.astype(np.float64).copy()
+    for col in range(x.shape[1]):
+        for i in range(n - 1, -1, -1):
+            for j in range(i + 1, n):
+                x[i, col] -= u[i, j] * x[j, col]
+            if not unit_diag:
+                x[i, col] /= u[i, i]
+    return x
+
+
+def extract_lu(a_factored: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unpack the in-place LU storage into explicit (L, U) factors."""
+    n, m = a_factored.shape
+    k = min(n, m)
+    l = np.tril(a_factored[:, :k], -1) + np.eye(n, k)
+    u = np.triu(a_factored[:k, :])
+    return l, u
+
+
+def hpl_residual(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    """The HPL correctness metric: ||Ax-b||_inf / (eps * (||A||_inf ||x||_inf + ||b||_inf) * n).
+
+    HPL accepts a solve when this is O(1) (the official threshold is 16).
+    """
+    n = a.shape[0]
+    r = a @ x - b
+    eps = np.finfo(np.float64).eps
+    denom = eps * (np.linalg.norm(a, np.inf) * np.linalg.norm(x, np.inf) + np.linalg.norm(b, np.inf)) * n
+    return float(np.linalg.norm(r, np.inf) / denom)

@@ -1,0 +1,43 @@
+"""The paper's contribution: adaptive two-level task mapping + software pipelining.
+
+* :mod:`repro.core.split` — the two split databases (``database_g`` indexed
+  by workload bins, ``database_c`` indexed by core number) of Section IV.B.
+* :mod:`repro.core.adaptive` — the two-level adaptive mapper: measure
+  ``P = W/T`` at run time, re-split as ``P_G/(P_G+P_C)``.
+* :mod:`repro.core.static_map` — the static peak-ratio baseline
+  (Fatica-style mapping, what the vendor path uses).
+* :mod:`repro.core.qilin` — the train-then-fix baseline modeled on Qilin,
+  with the training-cost accounting of Section VI.C.
+* :mod:`repro.core.taskqueue` — texture-limit task splitting, bounce-corner-
+  turn ordering and GPU-memory residency planning (Section V.C).
+* :mod:`repro.core.pipeline` — the CT/NT software pipeline with INPUT and
+  fused Execution/Output stages (Section V, Table I).
+* :mod:`repro.core.hybrid_dgemm` — the hybrid DGEMM executor combining a
+  mapper, the pipeline and a compute element; Fig. 3's two-level partition.
+"""
+
+from repro.core.split import CoreSplitDatabase, SplitDatabase
+from repro.core.adaptive import AdaptiveMapper, Observation
+from repro.core.static_map import StaticMapper
+from repro.core.qilin import QilinMapper
+from repro.core.taskqueue import GpuTask, TaskQueue, bounce_corner_turn_order, build_task_queue
+from repro.core.pipeline import PipelineResult, SoftwarePipeline, SyncExecutor
+from repro.core.hybrid_dgemm import HybridDgemm, HybridDgemmResult
+
+__all__ = [
+    "SplitDatabase",
+    "CoreSplitDatabase",
+    "AdaptiveMapper",
+    "Observation",
+    "StaticMapper",
+    "QilinMapper",
+    "GpuTask",
+    "TaskQueue",
+    "bounce_corner_turn_order",
+    "build_task_queue",
+    "SoftwarePipeline",
+    "SyncExecutor",
+    "PipelineResult",
+    "HybridDgemm",
+    "HybridDgemmResult",
+]

@@ -1,0 +1,283 @@
+"""The hybrid DGEMM executor: mapper x pipeline x compute element.
+
+This is Fig. 3 end to end.  One call:
+
+1. looks up GSplit in the mapper (level 1) and partitions A's rows into
+   ``A1`` (GPU) and ``A2`` (CPU);
+2. looks up CSplit_i (level 2) and partitions ``A2``'s rows across the
+   compute cores;
+3. runs the GPU portion through the task queue + (optionally) the software
+   pipeline, and the CPU portions concurrently on the cores;
+4. measures ``T_G`` (host-visible, transfers included) and every ``T_Ci``,
+   and feeds the observation back to the mapper — which, for the adaptive
+   mapper, writes the new mappings into both databases.
+
+In numeric mode the same call also performs the real float64 math, so
+correctness is testable independently of the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.blas.dgemm import split_rows
+from repro.core.adaptive import Observation, update_overhead_seconds
+from repro.core.pipeline import (
+    NumericContext,
+    PipelineResult,
+    SoftwarePipeline,
+    SyncExecutor,
+)
+from repro.core.taskqueue import build_task_queue
+from repro.machine.node import ComputeElement
+from repro.sim import Event
+from repro.util.units import dgemm_flops
+from repro.util.validation import require
+
+
+@dataclass
+class HybridDgemmResult:
+    """Timing of one hybrid DGEMM call."""
+
+    m: int
+    n: int
+    k: int
+    workload: float
+    gsplit: float
+    m1: int
+    core_rows: tuple[int, ...]
+    t_total: float
+    t_gpu: float
+    core_times: tuple[float, ...]
+    pipeline: PipelineResult
+    mapper_overhead: float
+
+    @property
+    def t_cpu(self) -> float:
+        """CPU-portion completion: the slowest core."""
+        return max(self.core_times) if self.core_times else 0.0
+
+    @property
+    def gflops(self) -> float:
+        """Achieved whole-call rate in GFLOPS."""
+        return self.workload / self.t_total / 1e9 if self.t_total > 0 else 0.0
+
+
+class HybridDgemm:
+    """Reusable hybrid-DGEMM engine bound to one compute element and mapper."""
+
+    def __init__(
+        self,
+        element: ComputeElement,
+        mapper,
+        pipelined: bool = True,
+        pinned: bool = True,
+        reuse: bool = True,
+        eo_block_rows: int = 512,
+        input_chunk_bytes: float = 64e6,
+        record_states: bool = False,
+        jitter: bool = True,
+        enforce_gpu_memory: bool = True,
+    ) -> None:
+        self.element = element
+        self.sim = element.sim
+        self.mapper = mapper
+        self.pipelined = pipelined
+        self.pinned = pinned
+        self.reuse = reuse
+        self.jitter = jitter
+        self.enforce_gpu_memory = enforce_gpu_memory
+        executor_cls = SoftwarePipeline if pipelined else SyncExecutor
+        self.executor = executor_cls(
+            element,
+            pinned=pinned,
+            eo_block_rows=eo_block_rows,
+            input_chunk_bytes=input_chunk_bytes,
+            record_states=record_states,
+            jitter=jitter,
+        )
+
+    # -- DES process --------------------------------------------------------------
+    def run(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        beta_nonzero: bool = True,
+        a: Optional[np.ndarray] = None,
+        b: Optional[np.ndarray] = None,
+        c: Optional[np.ndarray] = None,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+    ) -> Generator[Event, Any, HybridDgemmResult]:
+        """DES process body for one call ``C[m,n] (+)= alpha A[m,k] B[k,n] + beta C``.
+
+        Pass *a*, *b*, *c* for numeric mode (*c* is updated in place); leave
+        them ``None`` for pure performance simulation.
+        """
+        numeric = a is not None
+        if numeric:
+            require(b is not None and c is not None, "numeric mode needs a, b and c")
+            require(a.shape == (m, k), f"A shape {a.shape} != {(m, k)}")
+            require(b.shape == (k, n), f"B shape {b.shape} != {(k, n)}")
+            require(c.shape == (m, n), f"C shape {c.shape} != {(m, n)}")
+            beta_nonzero = beta != 0.0
+
+        sim = self.sim
+        element = self.element
+        workload = dgemm_flops(m, n, k)
+        gsplit = self.mapper.gsplit(workload)
+        m1, m2 = split_rows(m, [gsplit, 1.0 - gsplit])
+        csplits = self.mapper.csplits()
+        cores = element.compute_cores
+        require(
+            len(csplits) == len(cores),
+            f"mapper has {len(csplits)} core splits, element has {len(cores)} compute cores",
+        )
+        core_rows = split_rows(m2, list(csplits))
+
+        queue = build_task_queue(
+            m1,
+            n,
+            k,
+            texture_limit=element.spec.gpu.max_texture_dim,
+            reuse=self.reuse,
+            beta_nonzero=beta_nonzero,
+            gpu_memory_bytes=(
+                element.spec.gpu.local_memory_bytes if self.enforce_gpu_memory else None
+            ),
+            eo_block_rows=self.executor.eo_block_rows,
+        )
+        w_gpu = dgemm_flops(m1, n, k)
+        rate = element.gpu.kernel_rate(w_gpu) if w_gpu > 0 else None
+
+        gpu_numeric = None
+        if numeric and m1 > 0:
+            gpu_numeric = NumericContext(
+                a1=a[:m1, :], b=b, c1=c[:m1, :], alpha=alpha, beta=beta
+            )
+
+        start = sim.now
+        waits: list[Event] = []
+        gpu_proc: Optional[Event] = None
+        hybrid = len(queue) > 0
+        if hybrid:
+            element.begin_hybrid()
+            gpu_proc = sim.process(
+                self.executor.execute(queue, rate, gpu_numeric), name="gpu.portion"
+            )
+            waits.append(gpu_proc)
+
+        core_procs: list[Event] = []
+        row_offset = m1
+        for core, rows in zip(cores, core_rows):
+            a2 = a[row_offset : row_offset + rows, :] if numeric else None
+            c2 = c[row_offset : row_offset + rows, :] if numeric else None
+            proc = sim.process(
+                self._core_work(core, rows, n, k, a2, b, c2, alpha, beta),
+                name=f"cpu.{core.name}",
+            )
+            core_procs.append(proc)
+            waits.append(proc)
+            row_offset += rows
+
+        if waits:
+            yield sim.all_of(waits)
+        if hybrid:
+            element.end_hybrid()
+        t_gpu = float(gpu_proc.value.duration) if gpu_proc is not None else 0.0
+        core_times = tuple(float(p.value) for p in core_procs)
+
+        # Step 2 of both levels: measure, recompute, store (Section IV.B).
+        obs = Observation(
+            workload=workload,
+            gpu_workload=w_gpu,
+            gpu_time=t_gpu,
+            core_workloads=tuple(dgemm_flops(rows, n, k) for rows in core_rows),
+            core_times=core_times,
+        )
+        self.mapper.observe(obs)
+        overhead = update_overhead_seconds() if self.mapper.adapts_at_runtime else 0.0
+        if overhead > 0:
+            yield sim.timeout(overhead)
+
+        pipeline_result = (
+            gpu_proc.value
+            if gpu_proc is not None
+            else PipelineResult(0.0, 0.0, 0.0, 0.0, 0)
+        )
+        return HybridDgemmResult(
+            m=m,
+            n=n,
+            k=k,
+            workload=workload,
+            gsplit=gsplit,
+            m1=m1,
+            core_rows=tuple(core_rows),
+            t_total=sim.now - start,
+            t_gpu=t_gpu,
+            core_times=core_times,
+            pipeline=pipeline_result,
+            mapper_overhead=overhead,
+        )
+
+    def _core_work(
+        self,
+        core,
+        rows: int,
+        n: int,
+        k: int,
+        a2: Optional[np.ndarray],
+        b: Optional[np.ndarray],
+        c2: Optional[np.ndarray],
+        alpha: float,
+        beta: float,
+    ) -> Generator[Event, Any, float]:
+        start = self.sim.now
+        flops = dgemm_flops(rows, n, k)
+        if flops > 0:
+            yield core.compute(flops, jitter=self.jitter)
+            if a2 is not None and rows > 0:
+                block = a2 @ b
+                if beta == 0.0:
+                    c2[...] = alpha * block
+                else:
+                    c2 *= beta
+                    c2 += alpha * block
+        return self.sim.now - start
+
+    # -- convenience ---------------------------------------------------------------
+    def run_to_completion(self, *args, **kwargs) -> HybridDgemmResult:
+        """Run one call on a fresh slice of simulated time and return the result."""
+        return self.sim.run(until=self.sim.process(self.run(*args, **kwargs)))
+
+
+def cpu_only_dgemm(
+    element: ComputeElement,
+    m: int,
+    n: int,
+    k: int,
+    jitter: bool = True,
+) -> Generator[Event, Any, float]:
+    """DES process: DGEMM on all four CPU cores (the "CPU"/MKL configuration).
+
+    No transfer core is reserved — a host-only run uses the whole socket.
+    Returns the elapsed time; an even row split models MKL's own scheduling.
+    """
+    sim = element.sim
+    cores = element.all_cores
+    rows = split_rows(m, [1.0 / len(cores)] * len(cores))
+    start = sim.now
+    procs = [
+        sim.process(_plain_core(core, dgemm_flops(r, n, k), jitter)) for core, r in zip(cores, rows)
+    ]
+    yield sim.all_of(procs)
+    return sim.now - start
+
+
+def _plain_core(core, flops: float, jitter: bool) -> Generator[Event, Any, None]:
+    if flops > 0:
+        yield core.compute(flops, jitter=jitter)

@@ -1,0 +1,220 @@
+"""Generalised adaptive mapping over D devices, and the dual-GPU executor.
+
+The paper's two levels are the D=2 and D=n instances of one rule:
+``fraction_i <- P_i / sum_j P_j`` with measured rates ``P_i = W_i / T_i``.
+:class:`MultiDeviceMapper` applies that rule over an arbitrary device list
+(here: GPU chip 0, GPU chip 1, the CPU core group), keeping the per-workload
+binning of ``database_g`` and the per-core level 2 of ``database_c``.
+
+:class:`DualGpuDgemm` executes one DGEMM across both chips of a
+:class:`~repro.machine.dual.DualGpuElement` plus the compute cores — each
+chip gets its own task queue and software pipeline, but the two pipelines
+share the element's single PCIe link and transfer thread, which is where
+the sublinear scaling comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.blas.dgemm import split_rows
+from repro.core.adaptive import floor_normalize, update_overhead_seconds
+from repro.core.pipeline import SoftwarePipeline, SyncExecutor
+from repro.core.split import CoreSplitDatabase
+from repro.core.taskqueue import build_task_queue
+from repro.machine.dual import DualGpuElement
+from repro.sim import Event
+from repro.util.units import dgemm_flops
+from repro.util.validation import require, require_positive
+
+
+class MultiSplitDatabase:
+    """Per-workload-bin device fractions (database_g generalised to D devices)."""
+
+    def __init__(self, n_devices: int, n_bins: int, max_workload: float,
+                 initial: "list[float] | np.ndarray") -> None:
+        require(n_devices >= 2, "need at least two devices")
+        require(n_bins >= 1, "n_bins must be >= 1")
+        require_positive(max_workload, "max_workload")
+        initial = np.asarray(initial, dtype=float)
+        require(initial.shape == (n_devices,), f"expected {n_devices} initial fractions")
+        require(abs(initial.sum() - 1.0) < 1e-6, "initial fractions must sum to 1")
+        self.n_devices = n_devices
+        self.n_bins = n_bins
+        self.max_workload = float(max_workload)
+        self._values = np.tile(initial, (n_bins, 1))
+
+    def bin_index(self, workload: float) -> int:
+        if workload <= 0:
+            return 0
+        width = self.max_workload / self.n_bins
+        return min(self.n_bins - 1, int(np.ceil(workload / width)) - 1)
+
+    def lookup(self, workload: float) -> np.ndarray:
+        return self._values[self.bin_index(workload)].copy()
+
+    def store(self, workload: float, fractions: np.ndarray) -> None:
+        fractions = np.asarray(fractions, dtype=float)
+        require(fractions.shape == (self.n_devices,), "wrong fraction count")
+        require(np.all(fractions >= 0), "fractions must be >= 0")
+        require(abs(fractions.sum() - 1.0) < 1e-6, "fractions must sum to 1")
+        self._values[self.bin_index(workload)] = fractions
+
+
+class MultiDeviceMapper:
+    """Level 1 over D devices + the usual level 2 over CPU cores."""
+
+    name = "multi-adaptive"
+    adapts_at_runtime = True
+
+    def __init__(
+        self,
+        initial: "list[float]",
+        n_cores: int,
+        max_workload: float,
+        n_bins: int = 64,
+        min_fraction: float = 0.01,
+    ) -> None:
+        self.database = MultiSplitDatabase(len(initial), n_bins, max_workload, initial)
+        self.database_c = CoreSplitDatabase(n_cores)
+        self.min_fraction = min_fraction
+        self.updates = 0
+
+    def fractions(self, workload: float) -> np.ndarray:
+        return self.database.lookup(workload)
+
+    def csplits(self) -> np.ndarray:
+        return self.database_c.lookup()
+
+    def observe(self, workload: float, device_workloads, device_times,
+                core_workloads=(), core_times=()) -> None:
+        """fraction_i <- P_i / sum P_j, with a starvation floor."""
+        rates = []
+        for w, t in zip(device_workloads, device_times):
+            rates.append(w / t if (w > 0 and t > 0) else 0.0)
+        total = sum(rates)
+        if total > 0:
+            new = floor_normalize(np.array(rates) / total, self.min_fraction)
+            self.database.store(workload, new)
+        if core_workloads and all(w > 0 and t > 0 for w, t in zip(core_workloads, core_times)):
+            core_rates = np.array([w / t for w, t in zip(core_workloads, core_times)])
+            self.database_c.store(core_rates / core_rates.sum())
+        self.updates += 1
+
+
+@dataclass
+class DualGpuResult:
+    """Timing of one dual-GPU hybrid DGEMM."""
+
+    workload: float
+    fractions: tuple[float, ...]  # (gpu0, gpu1, cpu)
+    t_gpu: tuple[float, float]
+    core_times: tuple[float, ...]
+    t_total: float
+
+    @property
+    def gflops(self) -> float:
+        return self.workload / self.t_total / 1e9 if self.t_total > 0 else 0.0
+
+
+class DualGpuDgemm:
+    """Hybrid DGEMM across both chips + CPU cores of a DualGpuElement."""
+
+    def __init__(
+        self,
+        element: DualGpuElement,
+        mapper: MultiDeviceMapper,
+        pipelined: bool = True,
+        pinned: bool = True,
+        jitter: bool = True,
+    ) -> None:
+        require(isinstance(element, DualGpuElement), "DualGpuDgemm needs a DualGpuElement")
+        self.element = element
+        self.sim = element.sim
+        self.mapper = mapper
+        self.jitter = jitter
+        executor_cls = SoftwarePipeline if pipelined else SyncExecutor
+        # One executor per chip: kernels go to that chip, but all transfers
+        # flow through the element's single shared PCIe link.
+        self.executors = []
+        for gpu in element.gpus:
+            executor = executor_cls(element, pinned=pinned, jitter=jitter)
+            executor.gpu = gpu
+            self.executors.append((executor, gpu))
+
+    def _gpu_portion(self, executor, gpu, rows, n, k, rate):
+        queue = build_task_queue(
+            rows, n, k,
+            texture_limit=gpu.spec.max_texture_dim,
+            beta_nonzero=True,
+            gpu_memory_bytes=gpu.spec.local_memory_bytes,
+        )
+        start = self.sim.now
+
+        def body():
+            yield from executor.execute(queue, rate)
+            return self.sim.now - start
+
+        return self.sim.process(body(), name=f"dual.{gpu.name}")
+
+    def run(self, m: int, n: int, k: int) -> Generator[Event, Any, DualGpuResult]:
+        """DES process body for one call (timing only)."""
+        sim = self.sim
+        element = self.element
+        workload = dgemm_flops(m, n, k)
+        fractions = self.mapper.fractions(workload)
+        rows = split_rows(m, list(fractions))
+        gpu_rows, cpu_rows_total = rows[:-1], rows[-1]
+        csplits = self.mapper.csplits()
+        core_rows = split_rows(cpu_rows_total, list(csplits))
+
+        element.begin_hybrid()
+        start = sim.now
+        gpu_procs = []
+        for (executor, gpu), g_rows in zip(self.executors, gpu_rows):
+            if g_rows > 0:
+                rate = gpu.kernel_rate(dgemm_flops(g_rows, n, k))
+                gpu_procs.append(self._gpu_portion(executor, gpu, g_rows, n, k, rate))
+            else:
+                gpu_procs.append(None)
+        core_procs = []
+        for core, c_rows in zip(element.compute_cores, core_rows):
+            flops = dgemm_flops(c_rows, n, k)
+            core_procs.append(sim.process(_timed_compute(core, flops, self.jitter)))
+        waits = [p for p in gpu_procs if p is not None] + core_procs
+        if waits:
+            yield sim.all_of(waits)
+        element.end_hybrid()
+
+        t_gpu = tuple(float(p.value) if p is not None else 0.0 for p in gpu_procs)
+        core_times = tuple(float(p.value) for p in core_procs)
+        device_workloads = [dgemm_flops(r, n, k) for r in gpu_rows] + [
+            dgemm_flops(cpu_rows_total, n, k)
+        ]
+        device_times = list(t_gpu) + [max(core_times) if core_times else 0.0]
+        self.mapper.observe(
+            workload, device_workloads, device_times,
+            core_workloads=tuple(dgemm_flops(r, n, k) for r in core_rows),
+            core_times=core_times,
+        )
+        yield sim.timeout(update_overhead_seconds())
+        return DualGpuResult(
+            workload=workload,
+            fractions=tuple(float(f) for f in fractions),
+            t_gpu=(t_gpu[0], t_gpu[1]),
+            core_times=core_times,
+            t_total=sim.now - start,
+        )
+
+    def run_to_completion(self, m: int, n: int, k: int) -> DualGpuResult:
+        return self.sim.run(until=self.sim.process(self.run(m, n, k)))
+
+
+def _timed_compute(core, flops: float, jitter: bool):
+    start = core.sim.now
+    if flops > 0:
+        yield core.compute(flops, jitter=jitter)
+    return core.sim.now - start

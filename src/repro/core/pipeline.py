@@ -1,0 +1,319 @@
+"""Software pipelining of the GPU task queue (Section V).
+
+Two controller objects manage the queue exactly as the paper describes:
+
+* **CT (Current Task)** — states ``IDLE -> INPUT -> EO``.  The INPUT state is
+  the pipeline prologue; the fused Execution/Output (EO) stage runs the
+  kernel in H-row blocks, writing results alternately into the CB0/CB1
+  buffers so each block's output transfer overlaps the next block's kernel
+  (Fig. 6).
+* **NT (Next Task)** — states ``N-IDLE -> N-INPUT``.  While CT is in EO, NT
+  stages the following task's input blocks, so from the second task onward
+  input time is hidden (Fig. 7 / Table I).
+
+All transfers (CT outputs and NT inputs) flow through the element's single
+PCIe path, which serialises them FIFO — the "one thread dedicated to
+transfer" constraint that motivates splitting the input phase into blocks.
+
+:class:`SyncExecutor` is the unpipelined counterpart (vendor-library
+behaviour): input, kernel and output strictly serial per task.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.core.taskqueue import GpuTask, TaskQueue
+from repro.machine.node import ComputeElement
+from repro.sim import Event
+from repro.util.validation import require, require_positive
+
+#: CT states (Section V.C).
+IDLE, INPUT, EO = "Idle", "Input", "EO"
+#: NT states.
+N_IDLE, N_INPUT = "N-Idle", "N-Input"
+
+
+@dataclass(frozen=True)
+class StateRecord:
+    """One controller state transition — the raw material of Table I."""
+
+    time: float
+    controller: str  # "CT" | "NT"
+    state: str
+    task: Optional[int]  # task index, None when the queue is exhausted
+
+
+@dataclass
+class NumericContext:
+    """Real-array side of the GPU portion (numeric mode).
+
+    ``a1`` is the GPU's row slice of A, ``b`` the full B, ``c1`` the GPU's
+    row slice of C (updated in place with ``alpha``/``beta`` semantics).
+    """
+
+    a1: np.ndarray
+    b: np.ndarray
+    c1: np.ndarray
+    alpha: float = 1.0
+    beta: float = 1.0
+
+
+@dataclass
+class PipelineResult:
+    """Timing and traffic of one task-queue execution on the GPU path."""
+
+    duration: float
+    kernel_time: float
+    input_bytes: float
+    output_bytes: float
+    n_tasks: int
+    state_log: list[StateRecord] = field(default_factory=list)
+
+    def schedule_rows(self) -> list[dict[str, str]]:
+        """Table-I-shaped rows: one per state change, T<i> in the state column."""
+        rows = []
+        current = {IDLE: "", INPUT: "", EO: "", N_IDLE: "", N_INPUT: ""}
+        for rec in self.state_log:
+            for col in ([IDLE, INPUT, EO] if rec.controller == "CT" else [N_IDLE, N_INPUT]):
+                current[col] = ""
+            if rec.task is not None:
+                current[rec.state] = f"T{rec.task}"
+            rows.append(dict(current))
+        return rows
+
+
+class _ExecutorBase:
+    """Shared plumbing: transfers, kernels, numeric block updates."""
+
+    def __init__(
+        self,
+        element: ComputeElement,
+        pinned: bool = True,
+        eo_block_rows: int = 512,
+        input_chunk_bytes: float = 64e6,
+        record_states: bool = False,
+        jitter: bool = True,
+        tracer=None,
+    ) -> None:
+        require_positive(eo_block_rows, "eo_block_rows")
+        require_positive(input_chunk_bytes, "input_chunk_bytes")
+        self.element = element
+        self.sim = element.sim
+        self.pinned = pinned
+        self.eo_block_rows = eo_block_rows
+        self.input_chunk_bytes = input_chunk_bytes
+        self.record_states = record_states
+        self.jitter = jitter
+        #: Optional :class:`repro.sim.Tracer`; when set, each task's input
+        #: and EO stages are recorded as intervals (renderable as a Gantt).
+        self.tracer = tracer if tracer is not None else element.tracer
+        #: The GPU this executor launches kernels on.  Defaults to the
+        #: element's (only) chip; a dual-GPU driver binds one executor per
+        #: chip while both share the element's PCIe link.
+        self.gpu = element.gpu
+        self._log: list[StateRecord] = []
+
+    def _trace(self, method: str, task: GpuTask, phase: str) -> None:
+        if self.tracer is not None:
+            getattr(self.tracer, method)(f"T{task.index}", phase)
+
+    def _record(self, controller: str, state: str, task: Optional[int]) -> None:
+        if self.record_states:
+            self._log.append(StateRecord(self.sim.now, controller, state, task))
+
+    def _transfer_in(self, nbytes: float) -> Generator[Event, Any, None]:
+        """Stage *nbytes* host -> GPU in chunks (so outputs can interleave)."""
+        remaining = float(nbytes)
+        while remaining > 0:
+            chunk = min(remaining, self.input_chunk_bytes)
+            yield self.element.pcie.to_gpu(chunk, pinned=self.pinned)
+            remaining -= chunk
+
+    def _input_task(self, task: GpuTask) -> Generator[Event, Any, None]:
+        """Stage one task's required operand blocks."""
+        if task.input_bytes > 0:
+            self._trace("begin", task, "input")
+            yield from self._transfer_in(task.input_bytes)
+            self._trace("end", task, "input")
+
+    def _kernel_block(
+        self,
+        task: GpuTask,
+        rows: int,
+        row_offset: int,
+        rate: float,
+        numeric: Optional[NumericContext],
+    ) -> Generator[Event, Any, None]:
+        """Run the kernel for *rows* rows of the task (and the real math)."""
+        flops = 2.0 * rows * task.n * task.k
+        yield self.gpu.run_kernel(flops, jitter=self.jitter, rate=rate)
+        if numeric is not None:
+            r0 = task.row_start + row_offset
+            r1 = r0 + rows
+            c0, c1 = task.col_start, task.col_start + task.n
+            k0, k1 = task.k_start, task.k_start + task.k
+            block = numeric.a1[r0:r1, k0:k1] @ numeric.b[k0:k1, c0:c1]
+            target = numeric.c1[r0:r1, c0:c1]
+            if task.is_first_k:
+                if numeric.beta == 0.0:
+                    target[...] = numeric.alpha * block
+                else:
+                    target *= numeric.beta
+                    target += numeric.alpha * block
+            else:
+                target += numeric.alpha * block
+
+
+class SoftwarePipeline(_ExecutorBase):
+    """The paper's pipelined executor (CT/NT + fused EO)."""
+
+    name = "pipelined"
+    pipelined = True
+
+    def execute(
+        self,
+        queue: TaskQueue,
+        rate: float,
+        numeric: Optional[NumericContext] = None,
+    ) -> Generator[Event, Any, PipelineResult]:
+        """DES process body: run *queue* at the call-level kernel *rate*.
+
+        A single-task queue degenerates to the synchronous path — matching
+        the paper's measurement that "the pipeline method has no performance
+        benefit when the matrix size N is less than or equal to 8192, since
+        only one task is in the queue" (Section VI.B).
+        """
+        if len(queue) <= 1:
+            sync = SyncExecutor(
+                self.element,
+                pinned=self.pinned,
+                eo_block_rows=self.eo_block_rows,
+                input_chunk_bytes=self.input_chunk_bytes,
+                record_states=self.record_states,
+                jitter=self.jitter,
+            )
+            result = yield from sync.execute(queue, rate, numeric)
+            return result
+        sim = self.sim
+        start = sim.now
+        kernel_time = 0.0
+        pending_outputs: list[Event] = []
+        prefetched: dict[int, Event] = {}
+        tasks = queue.tasks
+        self._log = []
+        self._record("NT", N_IDLE, 1 if len(tasks) > 1 else None)
+
+        for idx, task in enumerate(tasks):
+            self._record("CT", IDLE, task.index)
+            ready = prefetched.pop(idx, None)
+            if ready is None:
+                # Prologue (or a task NT never reached): CT does the input.
+                self._record("CT", INPUT, task.index)
+                yield from self._input_task(task)
+            else:
+                yield ready  # usually already complete; otherwise wait it out
+            # NT stages the following task while CT executes this one.
+            if idx + 1 < len(tasks):
+                nxt = tasks[idx + 1]
+                self._record("NT", N_INPUT, nxt.index)
+                prefetched[idx + 1] = sim.process(
+                    self._input_task(nxt), name=f"nt.input.T{nxt.index}"
+                )
+            self._record("CT", EO, task.index)
+            self._trace("begin", task, "eo")
+            kernel_before = sim.now
+            yield from self._eo_stage(task, rate, pending_outputs, numeric)
+            kernel_time += sim.now - kernel_before
+            self._trace("end", task, "eo")
+        # Pipeline epilogue: drain the remaining output transfers.
+        if pending_outputs:
+            yield sim.all_of(pending_outputs)
+        self._record("CT", IDLE, None)
+        return PipelineResult(
+            duration=sim.now - start,
+            kernel_time=kernel_time,
+            input_bytes=queue.input_bytes,
+            output_bytes=queue.output_bytes,
+            n_tasks=len(tasks),
+            state_log=list(self._log),
+        )
+
+    def _eo_stage(
+        self,
+        task: GpuTask,
+        rate: float,
+        pending_outputs: list[Event],
+        numeric: Optional[NumericContext],
+    ) -> Generator[Event, Any, None]:
+        """Fused Execution/Output: blocked kernel with CB0/CB1 double buffering.
+
+        Block i+1's kernel may start once block i-1's output buffer is free
+        (two buffers); each block's output transfer is submitted without
+        waiting, overlapping the next kernel.
+        """
+        h = min(self.eo_block_rows, task.m)
+        n_blocks = math.ceil(task.m / h)
+        buffer_free: list[Optional[Event]] = [None, None]  # CB0 / CB1
+        offset = 0
+        for i in range(n_blocks):
+            rows = min(h, task.m - offset)
+            gate = buffer_free[i % 2]
+            if gate is not None and not gate.processed:
+                yield gate
+            yield from self._kernel_block(task, rows, offset, rate, numeric)
+            if task.is_last_k:
+                out = self.element.pcie.to_host(
+                    rows * task.n * 8.0, pinned=self.pinned
+                )
+                buffer_free[i % 2] = out
+                pending_outputs.append(out)
+            offset += rows
+
+
+class SyncExecutor(_ExecutorBase):
+    """Unpipelined execution: input -> kernel -> output, strictly serial.
+
+    This is the vendor-library behaviour the paper's +pipe configurations
+    are measured against; it still honours the task split (texture limits
+    are physical) and optional operand reuse.
+    """
+
+    name = "synchronous"
+    pipelined = False
+
+    def execute(
+        self,
+        queue: TaskQueue,
+        rate: float,
+        numeric: Optional[NumericContext] = None,
+    ) -> Generator[Event, Any, PipelineResult]:
+        """DES process body: run *queue* without any overlap."""
+        sim = self.sim
+        start = sim.now
+        kernel_time = 0.0
+        self._log = []
+        for task in queue.tasks:
+            self._record("CT", INPUT, task.index)
+            yield from self._input_task(task)
+            self._record("CT", EO, task.index)
+            self._trace("begin", task, "eo")
+            before = sim.now
+            yield from self._kernel_block(task, task.m, 0, rate, numeric)
+            kernel_time += sim.now - before
+            if task.output_bytes > 0:
+                yield self.element.pcie.to_host(task.output_bytes, pinned=self.pinned)
+            self._trace("end", task, "eo")
+        self._record("CT", IDLE, None)
+        return PipelineResult(
+            duration=sim.now - start,
+            kernel_time=kernel_time,
+            input_bytes=queue.input_bytes,
+            output_bytes=queue.output_bytes,
+            n_tasks=len(queue.tasks),
+            state_log=list(self._log),
+        )

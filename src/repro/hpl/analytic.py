@@ -1,0 +1,439 @@
+"""Vectorized analytic HPL stepper — the petascale engine.
+
+Exactly the per-panel dataflow of :mod:`repro.hpl.dist`, but with every
+rank's timing computed from the calibrated closed-form models
+(:mod:`repro.model.dgemm_model`'s formulas, vectorized over the whole P x Q
+grid with numpy) instead of discrete events.  This is what makes the paper's
+full-configuration experiments computable: N = 2 240 000 over a 64 x 80 grid
+is ~1840 panel steps of array arithmetic.
+
+Per step (panel ``jb``, width ``jbw``):
+
+1. panel factorization on the owning grid column (CPU, plus the per-column
+   pivot-search allreduce),
+2. panel broadcast along grid rows (binomial alpha-beta),
+3. pivot row exchanges inside grid columns,
+4. U12 triangular solve on the owning grid row + broadcast down columns,
+5. per-rank hybrid trailing update — GPU path (task split, transfers,
+   pipeline overlap) vs CPU path, split according to the configured mapping
+   — and the step completes when the slowest rank finishes.
+
+Mappings:
+
+* ``adaptive``  — the paper's framework: split from *fresh* (last-step)
+  measurements, per-core level-2 balancing.
+* ``static``    — peak-ratio split, even core splits, never updated.
+* ``qilin``     — split trained before the run (cold rates + measurement
+  noise, an independent realisation of the slow condition noise), then
+  frozen; even core splits (Qilin has no level 2 — Section IV.A).
+* ``gpu_only``  — the vendor-library offload (ACML-GPU): everything on the
+  GPU, synchronous transfers.
+* ``cpu_only``  — MKL on all four cores, no GPU, no transfers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.hpl.grid import ProcessGrid
+from repro.machine.cluster import ElementRateTable
+from repro.machine.specs import InterconnectSpec
+from repro.machine.variability import SlowNoise, VariabilitySpec
+from repro.util.rng import RngStream
+from repro.util.units import DOUBLE_BYTES, lu_flops
+from repro.util.validation import require, require_positive
+
+MAPPINGS = ("adaptive", "static", "qilin", "gpu_only", "cpu_only")
+
+
+@dataclass(frozen=True)
+class AnalyticConfig:
+    """Configuration of one analytic Linpack run."""
+
+    nb: int = 1216
+    mapping: str = "adaptive"
+    pipelined: bool = True
+    pinned: bool = True
+    host_bw_override: Optional[float] = None  # explicit host-hop bandwidth
+    lookahead: bool = True  # overlap panel factorization with the update
+    level2: bool = True  # per-core (level-2) adaptation for adaptive mapping
+    # Section VI.C closes with "the GPU is less effective when the matrix
+    # size is relatively small and this can be a potential optimization".
+    # This flag implements that future-work idea: when a rank's hybrid
+    # makespan would exceed a pure-CPU update on all four cores (transfer
+    # core reclaimed, no PCIe traffic), fall back to the CPU path.
+    endgame_cpu_fallback: bool = False
+    # Panel broadcast algorithm along grid rows: "binomial" costs
+    # ceil(log2 Q) alpha-beta hops; "ring" pipelines long messages down the
+    # chain (HPL's increasing-ring), costing ~2 message times once full.
+    panel_bcast: str = "binomial"
+
+    texture_limit: int = 8192
+    panel_efficiency: float = 0.6  # CPU efficiency on the panel phase
+    split_iterations: int = 6  # fixed-point iterations for balanced splits
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        require(self.mapping in MAPPINGS, f"unknown mapping {self.mapping!r}")
+        require_positive(self.nb, "nb")
+        require(
+            self.panel_bcast in ("binomial", "ring"),
+            f"unknown panel_bcast {self.panel_bcast!r}",
+        )
+
+
+@dataclass
+class StepTrace:
+    """Timing of one panel step (for the progress curve, Fig. 13)."""
+
+    step: int
+    j: int
+    trailing: int
+    step_time: float
+    update_time: float
+    panel_time: float
+    comm_time: float
+    flops: float
+    cum_time: float
+    cum_flops: float
+    mean_gsplit: float
+
+    @property
+    def cum_gflops(self) -> float:
+        """Average rate up to and including this step."""
+        return self.cum_flops / self.cum_time / 1e9 if self.cum_time > 0 else 0.0
+
+
+@dataclass
+class AnalyticResult:
+    """Outcome of one analytic Linpack run."""
+
+    n: int
+    grid: tuple[int, int]
+    config: AnalyticConfig
+    elapsed: float
+    flops: float
+    steps: list[StepTrace] = field(default_factory=list)
+
+    @property
+    def gflops(self) -> float:
+        """The HPL figure of merit: (2/3 N^3 + 2 N^2) / time."""
+        return self.flops / self.elapsed / 1e9
+
+    @property
+    def tflops(self) -> float:
+        return self.gflops / 1e3
+
+    def progress_curve(self) -> list[tuple[float, float]]:
+        """(fraction of flops completed, cumulative GFLOPS) per step — Fig. 13."""
+        return [(s.cum_flops / self.flops, s.cum_gflops) for s in self.steps]
+
+
+def _first_local_at_or_after(g: int, nb: int, nprocs: int) -> np.ndarray:
+    """Vectorized BlockCyclic.first_local_at_or_after over all procs."""
+    procs = np.arange(nprocs)
+    block, offset = divmod(g, nb)
+    cycle, pos = divmod(block, nprocs)
+    out = np.where(procs > pos, cycle * nb, (cycle + 1) * nb)
+    out = np.where(procs == pos, cycle * nb + offset, out)
+    return out
+
+
+def _local_count(n: int, nb: int, nprocs: int) -> np.ndarray:
+    """Vectorized BlockCyclic.local_count over all procs."""
+    procs = np.arange(nprocs)
+    nblocks = -(-n // nb) if n else 0
+    if nblocks == 0:
+        return np.zeros(nprocs, dtype=int)
+    owned = (nblocks - procs + nprocs - 1) // nprocs
+    count = owned * nb
+    count[(nblocks - 1) % nprocs] -= nblocks * nb - n
+    return count
+
+
+class AnalyticHpl:
+    """One reusable stepper bound to a rate table, grid and interconnect."""
+
+    def __init__(
+        self,
+        table: ElementRateTable,
+        grid: ProcessGrid,
+        interconnect: Optional[InterconnectSpec],
+        variability: Optional[VariabilitySpec] = None,
+        config: AnalyticConfig = AnalyticConfig(),
+    ) -> None:
+        require(
+            table.n_elements >= grid.size,
+            f"rate table has {table.n_elements} elements, grid needs {grid.size}",
+        )
+        self.table = table.subset(np.arange(grid.size))
+        self.grid = grid
+        self.net = interconnect
+        self.var = variability if variability is not None else VariabilitySpec()
+        self.config = config
+        self._rng = RngStream(config.seed).child("analytic").generator()
+        self._kernel_overhead2d = np.asarray(self.table.kernel_overhead)[
+            : grid.size
+        ].reshape(grid.nprow, grid.npcol)
+
+    # -- per-rank 2-D views of the element population ------------------------------
+    def _grid_array(self, flat: np.ndarray) -> np.ndarray:
+        return np.asarray(flat)[: self.grid.size].reshape(self.grid.nprow, self.grid.npcol)
+
+    def _alpha_beta(self, nbytes: float, hops: int) -> float:
+        if self.net is None or hops <= 0:
+            return 0.0
+        return hops * (self.net.latency + nbytes / self.net.bandwidth)
+
+    # -- the hybrid update model (vectorized twin of model.dgemm_model) ------------
+    def _update_times(
+        self,
+        m: np.ndarray,
+        n: np.ndarray,
+        k: int,
+        gsplit: np.ndarray,
+        gpu_rate_of,  # callable w_gpu -> rate array
+        cpu_rate: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(t_gpu, t_cpu, makespan) for C[m,n] += A[m,k] B[k,n] per rank."""
+        cfg = self.config
+        m1 = np.rint(m * gsplit)
+        w = 2.0 * m * n * k
+        w_gpu = 2.0 * m1 * n * k
+        w_cpu = w - w_gpu
+        rate = gpu_rate_of(w_gpu)
+        rows = np.maximum(1, np.ceil(m1 / cfg.texture_limit))
+        colsb = np.maximum(1, np.ceil(n / cfg.texture_limit))
+        n_tasks = np.where(m1 > 0, rows * colsb, 0)
+        t_kernel = np.where(
+            w_gpu > 0, n_tasks * self._kernel_overhead2d + w_gpu / np.maximum(rate, 1e-9), 0.0
+        )
+        if cfg.host_bw_override is not None:
+            host_bw = cfg.host_bw_override
+        else:
+            host_bw = self.table.pinned_bw if cfg.pinned else self.table.pageable_bw
+        per_byte_serial = 1.0 / host_bw + 1.0 / self.table.gpu_bw
+        in_bytes = (m1 * k + k * n + m1 * n) * DOUBLE_BYTES  # A1, B, C-in (beta=1)
+        out_bytes = m1 * n * DOUBLE_BYTES
+        lat = self.table.pcie_latency
+        t_in = 3 * n_tasks * lat + in_bytes * per_byte_serial
+        t_out = n_tasks * lat + out_bytes * per_byte_serial
+        if cfg.pipelined:
+            first_in = (m1 / np.maximum(rows, 1) * (k + n / np.maximum(colsb, 1)) + k * n / np.maximum(colsb, 1)) * DOUBLE_BYTES
+            prologue = 3 * lat + first_in * per_byte_serial
+            t_link = 4 * n_tasks * lat + (in_bytes + out_bytes) / host_bw
+            t_pipe = np.maximum(t_kernel, t_link - prologue) + prologue
+            t_sync = t_in + t_kernel + t_out
+            t_gpu = np.where(n_tasks > 1, t_pipe, t_sync)
+        else:
+            t_gpu = t_in + t_kernel + t_out
+        t_gpu = np.where(w_gpu > 0, t_gpu, 0.0)
+        t_cpu = np.where(w_cpu > 0, w_cpu / np.maximum(cpu_rate, 1e-9), 0.0)
+        return t_gpu, t_cpu, np.maximum(t_gpu, t_cpu)
+
+    def _balanced_split(
+        self, m: np.ndarray, n: np.ndarray, k: int, gpu_rate_of, cpu_rate: np.ndarray
+    ) -> np.ndarray:
+        """The level-1 fixed point GSplit <- P_G/(P_G+P_C), vectorized."""
+        gsplit = np.full(m.shape, 0.7)
+        for _ in range(self.config.split_iterations):
+            t_gpu, t_cpu, _ = self._update_times(m, n, k, gsplit, gpu_rate_of, cpu_rate)
+            w = 2.0 * m * n * k
+            w_gpu = w * gsplit
+            p_g = np.where(t_gpu > 0, w_gpu / np.maximum(t_gpu, 1e-12), 0.0)
+            p_c = np.where(t_cpu > 0, (w - w_gpu) / np.maximum(t_cpu, 1e-12), cpu_rate)
+            with np.errstate(invalid="ignore"):
+                new = p_g / np.maximum(p_g + p_c, 1e-9)
+            gsplit = np.clip(np.where(np.isfinite(new), new, gsplit), 0.01, 1.0)
+        return gsplit
+
+    # -- the run -----------------------------------------------------------------------
+    def run(self, n: int, collect_steps: bool = True) -> AnalyticResult:
+        """Run one Linpack of order *n*; returns timing (no numerics)."""
+        require_positive(n, "n")
+        cfg = self.config
+        grid, table, var = self.grid, self.table, self.var
+        P, Q = grid.nprow, grid.npcol
+        nb = cfg.nb
+        n_blocks = -(-n // nb)
+
+        # Independent slowly-varying condition noise for the GPU (thermal
+        # state) and the CPU side (OS/daemon activity, memory contention) of
+        # each element.  Their *relative* drift is what staleness costs: a
+        # split balanced for trained rates puts the slower-than-trained side
+        # on the critical path, and "the end time is the last who finishes".
+        gpu_noise = SlowNoise(grid.size, var.slow_noise_sigma, var.slow_noise_rho, self._rng)
+        cpu_noise = SlowNoise(grid.size, var.slow_noise_sigma, var.slow_noise_rho, self._rng)
+        meas_sigma = var.measurement_sigma
+
+        gpu_base = self._grid_array(table.gpu_peak)
+        eff_max = self._grid_array(table.eff_max)
+        w_half = self._grid_array(table.w_half)
+        drift_depth = self._grid_array(table.drift_depth)
+        cpu_hybrid = self._grid_array(table.cpu_hybrid_rate)
+        cpu_even = self._grid_array(table.cpu_hybrid_even_rate)
+        cpu_full = self._grid_array(table.cpu_full_rate)
+        initial_gsplit = self._grid_array(table.initial_gsplit)
+
+        def gpu_rate_factory(peak_now: np.ndarray):
+            def rate_of(w_gpu: np.ndarray) -> np.ndarray:
+                eff = np.where(w_gpu > 0, eff_max * w_gpu / (w_gpu + w_half), 0.0)
+                return peak_now * eff
+
+            return rate_of
+
+        # Qilin: one training realisation, frozen for the whole run.
+        frozen_split_of = None
+        if cfg.mapping == "qilin":
+            train_noise = SlowNoise(
+                grid.size, var.slow_noise_sigma, var.slow_noise_rho,
+                RngStream(cfg.seed).child("qilin-train").generator(),
+            )
+            train_peak = gpu_base * self._grid_array(train_noise.factors())
+            train_sigma = var.training_measurement_sigma
+            if train_sigma > 0:
+                err = RngStream(cfg.seed).child("qilin-meas").generator()
+                train_peak = train_peak * np.exp(
+                    err.normal(-0.5 * train_sigma**2, train_sigma, train_peak.shape)
+                )
+                train_cpu = cpu_even * np.exp(
+                    err.normal(-0.5 * train_sigma**2, train_sigma, cpu_even.shape)
+                )
+            else:
+                train_cpu = cpu_even
+            train_rate_of = gpu_rate_factory(train_peak)
+
+            def frozen_split_of(m: np.ndarray, nn: np.ndarray, k: int) -> np.ndarray:
+                return self._balanced_split(m, nn, k, train_rate_of, train_cpu)
+
+        elapsed = 0.0
+        cum_flops = 0.0
+        steps: list[StepTrace] = []
+        total_flops = lu_flops(n)
+
+        for jb in range(n_blocks):
+            j = jb * nb
+            jbw = min(nb, n - j)
+            gpu_noise.step()
+            cpu_noise.step()
+            gpu_slow = self._grid_array(gpu_noise.factors())
+            cpu_slow = self._grid_array(cpu_noise.factors())
+            drift = 1.0 - drift_depth * (1.0 - math.exp(-elapsed / table.drift_tau)) if table.drift_tau > 0 else 1.0 - drift_depth
+            peak_now = gpu_base * drift * gpu_slow
+            rate_of = gpu_rate_factory(peak_now)
+
+            m_after = _first_local_at_or_after(j + jbw, nb, P)
+            m_loc = _local_count(n, nb, P) - m_after  # rows below the panel, per grid row
+            n_after = _first_local_at_or_after(j + jbw, nb, Q)
+            n_loc = _local_count(n, nb, Q) - n_after  # trailing cols per grid col
+            m2 = m_loc[:, None] * np.ones((1, Q))
+            n2 = np.ones((P, 1)) * n_loc[None, :]
+
+            # -- choose the split per mapping --------------------------------------
+            if cfg.mapping == "cpu_only":
+                gsplit = np.zeros((P, Q))
+                cpu_rate = cpu_full * cpu_slow
+            elif cfg.mapping == "gpu_only":
+                gsplit = np.ones((P, Q))
+                cpu_rate = cpu_hybrid * cpu_slow  # unused (no CPU share)
+            elif cfg.mapping == "static":
+                gsplit = initial_gsplit.copy()
+                cpu_rate = cpu_even * cpu_slow
+            elif cfg.mapping == "qilin":
+                gsplit = frozen_split_of(m2, n2, jbw)
+                cpu_rate = cpu_even * cpu_slow
+            else:  # adaptive: fresh (last-step) measurements, level-2 balanced
+                cpu_rate = (cpu_hybrid if cfg.level2 else cpu_even) * cpu_slow
+                if meas_sigma > 0:
+                    mfac = np.exp(
+                        self._rng.normal(-0.5 * meas_sigma**2, meas_sigma, (2, P, Q))
+                    )
+                else:
+                    mfac = np.ones((2, P, Q))
+                measured_rate_of = gpu_rate_factory(peak_now * mfac[0])
+                gsplit = self._balanced_split(m2, n2, jbw, measured_rate_of, cpu_rate * mfac[1])
+
+            # -- the trailing update (slowest rank gates the step) ------------------
+            t_gpu_u, t_cpu_u, makespan = self._update_times(
+                m2, n2, jbw, gsplit, rate_of, cpu_rate
+            )
+            if cfg.endgame_cpu_fallback and cfg.mapping not in ("cpu_only",):
+                # Future-work optimization: reclaim the transfer core and run
+                # small updates on all four cores when that is faster.
+                w_step = 2.0 * m2 * n2 * jbw
+                t_cpu_full = np.where(
+                    w_step > 0, w_step / np.maximum(cpu_full * cpu_slow, 1e-9), 0.0
+                )
+                makespan = np.minimum(makespan, t_cpu_full)
+            t_update = float(makespan.max()) if makespan.size else 0.0
+
+            # DTRSM (the U12 block row) runs through the same hybrid engine as
+            # the update — it is BLAS3 of jbw^2 x n_loc flops, ~NB/2M of the
+            # update, so charge it at the update's effective hybrid rate.
+            n_loc_max = int(n_loc.max()) if n_loc.size else 0
+            w_update_max = float((2.0 * m2 * n2 * jbw).max()) if makespan.size else 0.0
+            hybrid_rate = w_update_max / t_update if t_update > 0 else float(np.mean(cpu_rate))
+            t_dtrsm = (jbw * jbw * n_loc_max) / max(hybrid_rate, 1e-9)
+
+            # -- panel factorization + communication --------------------------------
+            panel_rows_local = max(int(np.ceil((n - j) / P)), jbw) if P > 1 else n - j
+            cpu_panel_rate = float(np.mean(cpu_hybrid)) * cfg.panel_efficiency
+            t_panel = (panel_rows_local * jbw * jbw - jbw**3 / 3.0) / cpu_panel_rate
+            if P > 1:
+                # pivot search allreduce per column of the panel
+                t_panel += jbw * self._alpha_beta(16.0, max(1, math.ceil(math.log2(P))))
+            panel_bytes = panel_rows_local * jbw * DOUBLE_BYTES
+            if Q <= 1:
+                t_pbcast = 0.0
+            elif cfg.panel_bcast == "ring":
+                # Pipelined chain: once streaming, ~2 message times end to end.
+                t_pbcast = self._alpha_beta(panel_bytes, 2) + (Q - 2) * (
+                    self.net.latency if self.net else 0.0
+                )
+            else:
+                t_pbcast = self._alpha_beta(panel_bytes, math.ceil(math.log2(Q)))
+            swap_bytes = jbw * n_loc_max * DOUBLE_BYTES
+            t_swap = self._alpha_beta(swap_bytes, 1) if P > 1 else 0.0
+            t_ubcast = self._alpha_beta(
+                jbw * n_loc_max * DOUBLE_BYTES, math.ceil(math.log2(P)) if P > 1 else 0
+            )
+            t_comm = t_pbcast + t_swap + t_ubcast
+            if cfg.lookahead:
+                # Depth-1 look-ahead: next panel's factorization + broadcast
+                # proceed in the shadow of the current trailing update.
+                step_time = max(t_update + t_dtrsm, t_panel + t_pbcast) + t_swap + t_ubcast
+            else:
+                step_time = t_panel + t_dtrsm + t_comm + t_update
+
+            elapsed += step_time
+            step_flops = (2.0 / 3.0) * ((n - j) ** 3 - (n - j - jbw) ** 3)
+            cum_flops += step_flops
+            if collect_steps:
+                steps.append(
+                    StepTrace(
+                        step=jb,
+                        j=j,
+                        trailing=n - j - jbw,
+                        step_time=step_time,
+                        update_time=t_update,
+                        panel_time=t_panel + t_dtrsm,
+                        comm_time=t_comm,
+                        flops=step_flops,
+                        cum_time=elapsed,
+                        cum_flops=cum_flops,
+                        mean_gsplit=float(np.mean(gsplit)),
+                    )
+                )
+
+        # Back-substitution: 2 N^2 flops spread over the grid, CPU-bound.
+        solve_rate = float(np.mean(cpu_full if cfg.mapping == "cpu_only" else cpu_hybrid))
+        elapsed += 2.0 * n * n / (grid.size * solve_rate) + self._alpha_beta(
+            n * DOUBLE_BYTES, 2 * (P + Q)
+        )
+        return AnalyticResult(
+            n=n, grid=(P, Q), config=cfg, elapsed=elapsed, flops=total_flops, steps=steps
+        )

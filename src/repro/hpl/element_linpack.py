@@ -1,0 +1,157 @@
+"""Event-driven Linpack on a single compute element.
+
+The exact-DES twin of the single-element analytic runs: every trailing
+update (and the U12 DTRSM) executes through the real
+:class:`~repro.core.hybrid_dgemm.HybridDgemm` machinery — task queues,
+bounce-corner-turn transfers, the CT/NT pipeline, the adaptive mapper
+updating its databases — on the virtual clock.  The panel factorization is
+charged to the compute cores (optionally overlapped with the update,
+depth-1 look-ahead); there is no process grid, so no network terms.
+
+Used by tests to cross-validate :mod:`repro.hpl.analytic`, and by Fig. 10 to
+replay the paper's database-evolution experiment with full fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.core.hybrid_dgemm import HybridDgemm
+from repro.hpl.dist import panel_factor_flops
+from repro.machine.node import ComputeElement
+from repro.sim import Event
+from repro.util.units import lu_flops
+from repro.util.validation import require, require_positive
+
+
+@dataclass
+class ElementStep:
+    """Timing of one panel step on the element."""
+
+    j: int
+    trailing: int
+    gsplit: float
+    update_time: float
+    dtrsm_time: float
+    panel_time: float
+    step_time: float
+
+
+@dataclass
+class ElementLinpackResult:
+    """Outcome of one DES single-element Linpack."""
+
+    n: int
+    nb: int
+    elapsed: float
+    flops: float
+    steps: list[ElementStep] = field(default_factory=list)
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.elapsed / 1e9
+
+
+class ElementLinpack:
+    """Reusable DES Linpack bound to one element and mapper."""
+
+    def __init__(
+        self,
+        element: ComputeElement,
+        mapper,
+        nb: int = 1216,
+        pipelined: bool = True,
+        pinned: bool = True,
+        lookahead: bool = True,
+        panel_efficiency: float = 0.6,
+        jitter: bool = True,
+    ) -> None:
+        require_positive(nb, "nb")
+        self.element = element
+        self.sim = element.sim
+        self.nb = nb
+        self.lookahead = lookahead
+        self.panel_efficiency = panel_efficiency
+        self.hybrid = HybridDgemm(
+            element, mapper, pipelined=pipelined, pinned=pinned, jitter=jitter
+        )
+
+    def _panel(self, rows: int, jbw: int) -> Generator[Event, Any, float]:
+        """Panel factorization charged to the compute cores.
+
+        Under look-ahead this runs in the shadow of the trailing update; the
+        CPU-contention between the two is ignored, exactly as in the
+        analytic model (the panel is a few percent of the update's flops).
+        """
+        start = self.sim.now
+        flops = panel_factor_flops(rows, jbw)
+        rate = self.element.cpu_compute_rate() * self.panel_efficiency
+        if flops > 0:
+            yield self.sim.timeout(flops / rate)
+        return self.sim.now - start
+
+    def run(self, n: int, collect_steps: bool = False) -> Generator[Event, Any, ElementLinpackResult]:
+        """DES process body: one full Linpack of order *n*."""
+        require_positive(n, "n")
+        sim = self.sim
+        nb = self.nb
+        start = sim.now
+        steps: list[ElementStep] = []
+        n_blocks = -(-n // nb)
+        pending_panel: Optional[Event] = None  # look-ahead panel in flight
+        for jb in range(n_blocks):
+            j = jb * nb
+            jbw = min(nb, n - j)
+            trailing = n - j - jbw
+            step_start = sim.now
+            # Panel for THIS step: either prefactored by look-ahead, or now.
+            if pending_panel is not None:
+                panel_time = yield pending_panel
+                pending_panel = None
+                panel_exposed = 0.0
+            else:
+                panel_time = yield sim.process(self._panel(n - j, jbw))
+                panel_exposed = panel_time
+            dtrsm_time = 0.0
+            update_time = 0.0
+            gsplit = 0.0
+            if trailing > 0:
+                if self.lookahead and jb + 1 < n_blocks:
+                    next_jbw = min(nb, n - (j + jbw))
+                    pending_panel = sim.process(self._panel(n - j - jbw, next_jbw))
+                # U12 = L11^-1 A12: BLAS3 of jbw^2 x trailing flops, run
+                # hybrid like the update (rows jbw/2 gives the same count).
+                before = sim.now
+                dtrsm_result = yield from self.hybrid.run(
+                    max(1, jbw // 2), trailing, jbw, beta_nonzero=False
+                )
+                dtrsm_time = sim.now - before
+                before = sim.now
+                update = yield from self.hybrid.run(trailing, trailing, jbw)
+                update_time = sim.now - before
+                gsplit = update.gsplit
+            if collect_steps:
+                steps.append(
+                    ElementStep(
+                        j=j,
+                        trailing=trailing,
+                        gsplit=gsplit,
+                        update_time=update_time,
+                        dtrsm_time=dtrsm_time,
+                        panel_time=panel_time,
+                        step_time=sim.now - step_start,
+                    )
+                )
+        if pending_panel is not None:
+            yield pending_panel
+        # Back substitution: 2 N^2 flops on the compute cores.
+        solve_rate = self.element.cpu_compute_rate()
+        yield sim.timeout(2.0 * n * n / solve_rate)
+        return ElementLinpackResult(
+            n=n, nb=nb, elapsed=sim.now - start, flops=lu_flops(n), steps=steps
+        )
+
+    def run_to_completion(self, n: int, collect_steps: bool = False) -> ElementLinpackResult:
+        """Run on a fresh slice of simulated time and return the result."""
+        return self.sim.run(until=self.sim.process(self.run(n, collect_steps)))

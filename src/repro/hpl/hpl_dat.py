@@ -1,0 +1,110 @@
+"""Read and write HPL.dat — the classic HPL input file format.
+
+The paper's runs are plain HPL configurations ("The version of HPL is 2.0"),
+so the reproduction speaks the same file format: problem sizes, block sizes
+and process grids are parsed from/emitted to HPL.dat lines, and mapped onto
+:class:`~repro.hpl.driver.HplConfig` objects.
+
+The format is positional: line 1-2 header, then pairs of
+``<count>``/``<values...>`` lines for Ns, NBs, and the PMAP line followed by
+the counts/values for Ps and Qs.  Only the fields this reproduction uses are
+interpreted; the rest are preserved for round-tripping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.hpl.grid import ProcessGrid
+from repro.util.validation import require
+
+
+@dataclass
+class HplDat:
+    """The subset of HPL.dat this reproduction consumes."""
+
+    ns: list[int] = field(default_factory=lambda: [46000])
+    nbs: list[int] = field(default_factory=lambda: [1216])
+    grids: list[tuple[int, int]] = field(default_factory=lambda: [(1, 1)])
+    header: str = "HPLinpack benchmark input file"
+    origin: str = "repro: TianHe-1 adaptive hybrid Linpack reproduction"
+
+    def __post_init__(self) -> None:
+        require(len(self.ns) >= 1, "need at least one problem size")
+        require(len(self.nbs) >= 1, "need at least one block size")
+        require(len(self.grids) >= 1, "need at least one process grid")
+        for n in self.ns:
+            require(n >= 1, f"N must be >= 1, got {n}")
+        for nb in self.nbs:
+            require(nb >= 1, f"NB must be >= 1, got {nb}")
+        for p, q in self.grids:
+            require(p >= 1 and q >= 1, f"grid must be positive, got {(p, q)}")
+
+    def process_grids(self) -> list[ProcessGrid]:
+        return [ProcessGrid(p, q) for p, q in self.grids]
+
+    def runs(self) -> Iterable[tuple[int, int, ProcessGrid]]:
+        """Every (N, NB, grid) combination, HPL-style cross product."""
+        for grid in self.process_grids():
+            for nb in self.nbs:
+                for n in self.ns:
+                    yield n, nb, ProcessGrid(grid.nprow, grid.npcol)
+
+    def render(self) -> str:
+        """Emit an HPL.dat (HPL 2.0 layout, defaults for unused knobs)."""
+        ps = " ".join(str(p) for p, _ in self.grids)
+        qs = " ".join(str(q) for _, q in self.grids)
+        lines = [
+            self.header,
+            self.origin,
+            "HPL.out      output file name (if any)",
+            "6            device out (6=stdout,7=stderr,file)",
+            f"{len(self.ns)}            # of problems sizes (N)",
+            " ".join(str(n) for n in self.ns) + "         Ns",
+            f"{len(self.nbs)}            # of NBs",
+            " ".join(str(nb) for nb in self.nbs) + "         NBs",
+            "0            PMAP process mapping (0=Row-,1=Column-major)",
+            f"{len(self.grids)}            # of process grids (P x Q)",
+            ps + "            Ps",
+            qs + "            Qs",
+            "16.0         threshold",
+        ]
+        return "\n".join(lines)
+
+
+def parse_hpl_dat(text: str) -> HplDat:
+    """Parse the N/NB/P/Q structure out of an HPL.dat document."""
+    lines = text.splitlines()
+    require(len(lines) >= 12, "HPL.dat too short")
+
+    def ints(line: str) -> list[int]:
+        out = []
+        for token in line.split():
+            try:
+                out.append(int(token))
+            except ValueError:
+                break  # the trailing comment starts
+        require(len(out) >= 1, f"expected integers in line {line!r}")
+        return out
+
+    n_ns = ints(lines[4])[0]
+    ns = ints(lines[5])[:n_ns]
+    require(len(ns) == n_ns, f"expected {n_ns} Ns, found {len(ns)}")
+    n_nbs = ints(lines[6])[0]
+    nbs = ints(lines[7])[:n_nbs]
+    require(len(nbs) == n_nbs, f"expected {n_nbs} NBs, found {len(nbs)}")
+    n_grids = ints(lines[9])[0]
+    ps = ints(lines[10])[:n_grids]
+    qs = ints(lines[11])[:n_grids]
+    require(
+        len(ps) == n_grids and len(qs) == n_grids,
+        f"expected {n_grids} Ps and Qs",
+    )
+    return HplDat(
+        ns=ns, nbs=nbs, grids=list(zip(ps, qs)), header=lines[0], origin=lines[1]
+    )
+
+
+#: The paper's full-system configuration as an HPL.dat (Section VI.A).
+TIANHE1_HPL_DAT = HplDat(ns=[2_240_000], nbs=[1216], grids=[(64, 80)])

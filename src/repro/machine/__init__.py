@@ -1,0 +1,57 @@
+"""Hardware models of the TianHe-1 system.
+
+Everything the paper's techniques react to lives here: CPU cores with
+per-core heterogeneity (Section IV.A's L2-sharing effect), the RV770 GPU with
+its workload-dependent efficiency and memory/texture limits, the two-hop PCIe
+path (Section V.A), compute elements/nodes/cabinets/the full cluster
+(Section III), the QDR InfiniBand interconnect, and run-to-run variability
+(jitter, manufacturing spread, thermal drift).
+
+All devices run on the :mod:`repro.sim` virtual clock.  The models are
+calibrated from numbers stated in the paper itself — see
+:mod:`repro.machine.presets` and :mod:`repro.model.calibration`.
+"""
+
+from repro.machine.specs import (
+    CPUSpec,
+    GPUSpec,
+    PCIeSpec,
+    InterconnectSpec,
+    ElementSpec,
+    NodeSpec,
+    ClusterSpec,
+)
+from repro.machine.variability import VariabilitySpec, ThermalModel, thermal_drift
+from repro.machine.cpu import CpuCore
+from repro.machine.gpu import GPUDevice, GpuMemoryError
+from repro.machine.pcie import PCIeLink
+from repro.machine.node import ComputeElement, Node
+from repro.machine.interconnect import Interconnect
+from repro.machine.cluster import Cluster, ElementRateTable
+from repro.machine.power import PowerModel, TIANHE1_POWER
+from repro.machine import presets
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "PCIeSpec",
+    "InterconnectSpec",
+    "ElementSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "VariabilitySpec",
+    "ThermalModel",
+    "thermal_drift",
+    "CpuCore",
+    "GPUDevice",
+    "GpuMemoryError",
+    "PCIeLink",
+    "ComputeElement",
+    "Node",
+    "Interconnect",
+    "Cluster",
+    "ElementRateTable",
+    "PowerModel",
+    "TIANHE1_POWER",
+    "presets",
+]

@@ -1,0 +1,242 @@
+"""Cluster-level composition and the vectorized element rate table.
+
+Petascale runs (Figs. 11-13: up to 5120 processes, N up to 2.4 million)
+cannot instantiate 5120 DES devices per panel step; instead the
+:class:`ElementRateTable` exposes the *same calibrated rate models* as numpy
+arrays over the element population, which the analytic HPL stepper
+(:mod:`repro.hpl.analytic`) consumes vectorized.  :meth:`Cluster.build_element`
+constructs the full DES object for any element with identical parameters, so
+tests can cross-validate the two paths element-by-element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.node import ComputeElement
+from repro.machine.specs import ClusterSpec, ElementSpec
+from repro.machine.variability import draw_static_factors
+from repro.sim import Simulator
+from repro.util.rng import RngStream
+from repro.util.validation import require
+
+
+@dataclass
+class ElementRateTable:
+    """Per-element calibrated rates as numpy arrays (length = n elements).
+
+    ``gpu_peak`` already includes the configured clock and the element's
+    static spread factor; GPU rate at workload ``w`` and wall time ``t`` is
+    ``gpu_peak * eff_max * w/(w + w_half) * (1 - drift_depth*(1-exp(-t/tau)))``.
+    """
+
+    gpu_peak: np.ndarray
+    eff_max: np.ndarray
+    w_half: np.ndarray
+    drift_depth: np.ndarray
+    drift_tau: float
+    kernel_overhead: np.ndarray
+    cpu_hybrid_rate: np.ndarray  # 3 compute cores, L2 penalty folded in
+    cpu_hybrid_even_rate: np.ndarray  # ditto, but even per-core splits (no level 2)
+    cpu_full_rate: np.ndarray  # all 4 cores (CPU-only runs)
+    initial_gsplit: np.ndarray  # peak-ratio split P'_G/(P'_G+P'_C) per element
+    core_jitter_sigma: float
+    gpu_jitter_sigma: float
+    pinned_bw: float
+    pageable_bw: float
+    gpu_bw: float
+    pcie_latency: float
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.gpu_peak)
+
+    def drift(self, t: float) -> np.ndarray:
+        """Per-element thermal factor at wall time *t*."""
+        if self.drift_tau <= 0:
+            return 1.0 - self.drift_depth
+        return 1.0 - self.drift_depth * (1.0 - np.exp(-t / self.drift_tau))
+
+    def gpu_rate(self, workload: "float | np.ndarray", t: float = 0.0) -> np.ndarray:
+        """Per-element sustained GPU kernel rate for the given workload(s)."""
+        w = np.asarray(workload, dtype=float)
+        eff = np.where(w > 0, self.eff_max * w / (w + self.w_half), 0.0)
+        return self.gpu_peak * eff * self.drift(t)
+
+    def gpu_kernel_time(self, workload: "float | np.ndarray", t: float = 0.0) -> np.ndarray:
+        """Per-element kernel duration including launch overhead."""
+        w = np.asarray(workload, dtype=float)
+        rate = self.gpu_rate(w, t)
+        return self.kernel_overhead + np.divide(
+            w, rate, out=np.zeros(np.broadcast(w, rate).shape), where=rate > 0
+        )
+
+    def subset(self, indices: np.ndarray) -> "ElementRateTable":
+        """A view of the table restricted to *indices* (for sub-grids)."""
+        return ElementRateTable(
+            gpu_peak=self.gpu_peak[indices],
+            eff_max=self.eff_max[indices],
+            w_half=self.w_half[indices],
+            drift_depth=self.drift_depth[indices],
+            drift_tau=self.drift_tau,
+            kernel_overhead=self.kernel_overhead[indices],
+            cpu_hybrid_rate=self.cpu_hybrid_rate[indices],
+            cpu_hybrid_even_rate=self.cpu_hybrid_even_rate[indices],
+            cpu_full_rate=self.cpu_full_rate[indices],
+            initial_gsplit=self.initial_gsplit[indices],
+            core_jitter_sigma=self.core_jitter_sigma,
+            gpu_jitter_sigma=self.gpu_jitter_sigma,
+            pinned_bw=self.pinned_bw,
+            pageable_bw=self.pageable_bw,
+            gpu_bw=self.gpu_bw,
+            pcie_latency=self.pcie_latency,
+        )
+
+
+class Cluster:
+    """A TianHe-1-like machine: spec + frozen per-element random draws.
+
+    The same seed yields the same static factors and drift depths whether an
+    element is consumed through the vectorized :meth:`rate_table` or as a
+    full DES :meth:`build_element`.
+    """
+
+    def __init__(self, spec: ClusterSpec, seed: int = 2009) -> None:
+        self.spec = spec
+        self.seed = seed
+        self._stream = RngStream(seed).child(spec.name)
+        n = spec.total_elements
+        var = spec.variability
+        self._static_factors = draw_static_factors(
+            n, var.element_spread_sigma, self._stream.child("spread").generator()
+        )
+        # Thermal sensitivity differs element to element (cooling position in
+        # the cabinet, silicon leakage): depth_i = depth * U(0.5, 1.5).
+        depth_rng = self._stream.child("drift").generator()
+        self._drift_depths = var.thermal_drift_depth * depth_rng.uniform(0.5, 1.5, size=n)
+        self._table: Optional[ElementRateTable] = None
+
+    @property
+    def n_elements(self) -> int:
+        return self.spec.total_elements
+
+    def element_spec(self, index: int) -> ElementSpec:
+        return self.spec.element_spec(index)
+
+    def static_factor(self, index: int) -> float:
+        return float(self._static_factors[index])
+
+    def drift_depth(self, index: int) -> float:
+        return float(self._drift_depths[index])
+
+    def build_element(self, sim: Simulator, index: int, name: str = "") -> ComputeElement:
+        """Instantiate the full DES model of element *index*."""
+        require(0 <= index < self.n_elements, f"element index {index} out of range")
+        return ComputeElement(
+            sim,
+            self.element_spec(index),
+            variability=self.spec.variability,
+            rng=self._stream.child(f"element{index}"),
+            static_factor=self.static_factor(index),
+            drift_depth=self.drift_depth(index),
+            name=name or f"{self.spec.name}.e{index}",
+        )
+
+    def rate_table(self) -> ElementRateTable:
+        """The vectorized rate table over all elements (cached)."""
+        if self._table is not None:
+            return self._table
+        n = self.n_elements
+        var = self.spec.variability
+        gpu_peak = np.empty(n)
+        eff_max = np.empty(n)
+        w_half = np.empty(n)
+        kernel_overhead = np.empty(n)
+        cpu_hybrid = np.empty(n)
+        cpu_even = np.empty(n)
+        cpu_full = np.empty(n)
+        initial_gsplit = np.empty(n)
+        # Element specs repeat in long runs; compute one prototype per spec.
+        cache: dict[int, tuple[float, ...]] = {}
+        for i in range(n):
+            spec = self.element_spec(i)
+            key = id(spec)
+            proto = cache.get(key)
+            if proto is None:
+                proto = (
+                    spec.gpu.peak_flops(spec.gpu_clock_mhz),
+                    spec.gpu.eff_max,
+                    spec.gpu.w_half,
+                    spec.gpu.kernel_launch_overhead,
+                    _cpu_hybrid_rate(spec, var.l2_share_penalty),
+                    spec.cpu.peak_flops * spec.cpu.dgemm_efficiency,
+                    _cpu_even_rate(spec, var.l2_share_penalty),
+                    spec.initial_gsplit,
+                )
+                cache[key] = proto
+            factor = self._static_factors[i]
+            gpu_peak[i] = proto[0] * factor
+            eff_max[i] = proto[1]
+            w_half[i] = proto[2]
+            kernel_overhead[i] = proto[3]
+            cpu_hybrid[i] = proto[4] * factor
+            cpu_full[i] = proto[5] * factor
+            cpu_even[i] = proto[6] * factor
+            initial_gsplit[i] = proto[7]
+        pcie = self.element_spec(0).pcie
+        self._table = ElementRateTable(
+            gpu_peak=gpu_peak,
+            eff_max=eff_max,
+            w_half=w_half,
+            drift_depth=self._drift_depths.copy(),
+            drift_tau=var.thermal_drift_tau,
+            kernel_overhead=kernel_overhead,
+            cpu_hybrid_rate=cpu_hybrid,
+            cpu_hybrid_even_rate=cpu_even,
+            cpu_full_rate=cpu_full,
+            initial_gsplit=initial_gsplit,
+            core_jitter_sigma=var.core_jitter_sigma,
+            gpu_jitter_sigma=var.gpu_jitter_sigma,
+            pinned_bw=pcie.pinned_bw,
+            pageable_bw=pcie.pageable_bw,
+            gpu_bw=pcie.gpu_bw,
+            pcie_latency=pcie.latency,
+        )
+        return self._table
+
+
+def _cpu_hybrid_rate(spec: ElementSpec, l2_penalty: float) -> float:
+    """Aggregate compute-core rate with the L2-share penalty folded in.
+
+    In hybrid mode transfers run most of the time, so the transfer core's L2
+    sibling is assumed penalised throughout (the DES model applies it only
+    while transfers are actually in flight; tests bound the difference).
+    """
+    sibling = spec.cpu.l2_sibling(spec.transfer_core)
+    rate = 0.0
+    for i in spec.compute_core_indices:
+        core_rate = spec.cpu.core_peak_flops * spec.cpu.dgemm_efficiency
+        if sibling is not None and i == sibling:
+            core_rate *= 1.0 - l2_penalty
+        rate += core_rate
+    return rate
+
+
+def _cpu_even_rate(spec: ElementSpec, l2_penalty: float) -> float:
+    """Effective aggregate rate under even per-core splits (no level 2).
+
+    With an even split the slowest core gates completion, so the effective
+    rate is ``n_cores x min(core rate)`` — the load-imbalance the paper's
+    level-2 adaptation removes (Section IV.A's 1-GFLOPS example).
+    """
+    sibling = spec.cpu.l2_sibling(spec.transfer_core)
+    rates = []
+    for i in spec.compute_core_indices:
+        core_rate = spec.cpu.core_peak_flops * spec.cpu.dgemm_efficiency
+        if sibling is not None and i == sibling:
+            core_rate *= 1.0 - l2_penalty
+        rates.append(core_rate)
+    return len(rates) * min(rates) if rates else 0.0

@@ -1,0 +1,101 @@
+"""CPU core device model.
+
+Each :class:`CpuCore` executes flop-counted work on the virtual clock at a
+rate assembled from:
+
+* the socket spec's per-core DGEMM rate (peak x tuned-library efficiency),
+* a static per-element factor (manufacturing/cooling spread),
+* the L2-sharing penalty while the element's transfer engine is busy
+  (Section IV.A: the core sharing an L2 with the dedicated communication core
+  slows down, and "the end time is the last who finishes"),
+* per-call multiplicative jitter (OS noise).
+
+The adaptive mapper never sees these internals — exactly like the paper, it
+only observes workloads and completion times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.machine.specs import CPUSpec
+from repro.machine.variability import jitter_factor
+from repro.sim import Simulator, Timeout
+from repro.util.validation import require, require_nonnegative
+
+
+class CpuCore:
+    """One CPU core as a DES device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: CPUSpec,
+        index: int,
+        static_factor: float = 1.0,
+        jitter_sigma: float = 0.0,
+        l2_share_penalty: float = 0.0,
+        transfer_busy: Optional[Callable[[], bool]] = None,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "",
+    ) -> None:
+        require(0 <= index < spec.n_cores, f"core index {index} out of range")
+        require(static_factor > 0, "static_factor must be > 0")
+        require_nonnegative(jitter_sigma, "jitter_sigma")
+        self.sim = sim
+        self.spec = spec
+        self.index = index
+        self.static_factor = float(static_factor)
+        self.jitter_sigma = float(jitter_sigma)
+        self.l2_share_penalty = float(l2_share_penalty)
+        self._transfer_busy = transfer_busy or (lambda: False)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.name = name or f"{spec.name}.core{index}"
+        #: Set when this core shares an L2 cache with the transfer core.
+        self.l2_shares_with_transfer = False
+        self.busy_time = 0.0
+        self.flops_done = 0.0
+
+    def base_rate(self) -> float:
+        """Sustained DGEMM rate before dynamic effects (flops/s)."""
+        return self.spec.core_peak_flops * self.spec.dgemm_efficiency * self.static_factor
+
+    def current_rate(self) -> float:
+        """Deterministic rate right now (no jitter draw).
+
+        Applies the L2-sharing penalty if this core's cache sibling is the
+        element's transfer core and a transfer is in flight.
+        """
+        rate = self.base_rate()
+        if self.l2_shares_with_transfer and self._transfer_busy():
+            rate *= 1.0 - self.l2_share_penalty
+        return rate
+
+    def compute_time(self, flops: float, jitter: bool = True) -> float:
+        """Duration of *flops* of DGEMM work starting now."""
+        require_nonnegative(flops, "flops")
+        if flops == 0.0:
+            return 0.0
+        rate = self.current_rate()
+        if jitter:
+            rate *= jitter_factor(self.jitter_sigma, self._rng)
+        return flops / rate
+
+    def compute(self, flops: float, jitter: bool = True) -> Timeout:
+        """Run *flops* of work; the returned event fires on completion."""
+        duration = self.compute_time(flops, jitter=jitter)
+        self.busy_time += duration
+        self.flops_done += flops
+        return self.sim.timeout(duration, value=flops)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Busy fraction of this core over the run (or *elapsed* seconds)."""
+        window = self.sim.now if elapsed is None else elapsed
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / window)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CpuCore {self.name} rate={self.base_rate() / 1e9:.2f} GFLOPS>"

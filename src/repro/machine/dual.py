@@ -1,0 +1,80 @@
+"""The dual-GPU compute element: both RV770 chips of one HD4870x2.
+
+Section III: "This GPU card consists of two independent RV770 chips ...
+The two GPU chips can be used together or alone."  TianHe-1's Linpack pairs
+one chip with one CPU socket (the paper's *compute element*); this module
+models the road not taken — one CPU socket driving **both** chips — so the
+tradeoff can be measured: two kernels' worth of compute behind one shared
+PCIe x16 slot and one transfer thread.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.gpu import GPUDevice
+from repro.machine.node import ComputeElement
+from repro.machine.pcie import PCIeLink
+from repro.machine.specs import ElementSpec
+from repro.machine.variability import VariabilitySpec, thermal_drift
+from repro.sim import Simulator
+from repro.util.rng import RngStream
+
+
+class DualGpuElement(ComputeElement):
+    """A compute element whose card exposes both RV770 chips.
+
+    Inherits all single-GPU behaviour (``.gpu`` is chip 0); adds ``.gpu2``
+    (chip 1, slightly hotter — it sits downstream in the card's airflow) and
+    ``.gpus``.  Both chips share the element's single :class:`PCIeLink`, so
+    their transfers serialise — the physical reason the dual configuration
+    scales sublinearly.
+    """
+
+    #: Chip 1 runs warmer than chip 0 on the shared card: extra drift depth.
+    SECOND_CHIP_EXTRA_DRIFT = 0.02
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ElementSpec,
+        variability: Optional[VariabilitySpec] = None,
+        rng: Optional[RngStream] = None,
+        static_factor: float = 1.0,
+        drift_depth: Optional[float] = None,
+        name: str = "dual-element",
+        tracer=None,
+    ) -> None:
+        super().__init__(
+            sim, spec, variability=variability, rng=rng, static_factor=static_factor,
+            drift_depth=drift_depth, name=name, tracer=tracer,
+        )
+        var = self.variability
+        stream = (rng if rng is not None else RngStream(0).child(name)).child("gpu2")
+        depth2 = self.drift_depth + self.SECOND_CHIP_EXTRA_DRIFT
+        self.gpu2 = GPUDevice(
+            sim,
+            spec.gpu,
+            clock_mhz=spec.gpu_clock_mhz,
+            static_factor=static_factor,
+            jitter_sigma=var.gpu_jitter_sigma,
+            drift=thermal_drift(depth2, var.thermal_drift_tau),
+            rng=stream.generator(),
+            name=f"{name}.gpu2",
+        )
+
+    @property
+    def gpus(self) -> list[GPUDevice]:
+        """Both chips of the HD4870x2."""
+        return [self.gpu, self.gpu2]
+
+    @property
+    def peak_flops(self) -> float:
+        """Element peak with both chips active."""
+        return 2 * self.gpu.peak_flops + self.spec.cpu.peak_flops
+
+    def initial_device_splits(self) -> list[float]:
+        """Peak-ratio splits over [gpu0, gpu1, CPU-compute-cores]."""
+        peaks = [g.peak_flops for g in self.gpus] + [self.spec.cpu_compute_peak]
+        total = sum(peaks)
+        return [p / total for p in peaks]

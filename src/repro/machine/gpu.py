@@ -1,0 +1,174 @@
+"""GPU device model (one RV770 chip of the HD4870x2 card).
+
+The kernel-time model is the load-bearing piece of the whole reproduction:
+
+``rate(W) = peak(clock) * eff_max * W / (W + w_half) * drift(t) * jitter``
+
+i.e. DGEMM kernel efficiency *saturates with workload*.  Small DGEMMs run far
+below peak (kernel-launch and shape overheads dominate), large ones approach
+``eff_max``.  This single curve produces three of the paper's observations:
+
+* Fig. 10's split-ratio knee — below ~1300 Gflop the true GPU/CPU rate ratio
+  is far from the peak ratio 0.889, so adaptive splits swing wildly there and
+  settle above it;
+* the big adaptive-mapping win at small matrix sizes in Fig. 8;
+* Fig. 13's endgame performance drop ("the GPU is less effective when the
+  matrix size is relatively small").
+
+Memory is modelled too: 1 GB of local memory and the 8192x8192 texture limit
+(Section V.C) force large DGEMMs to be split into the task queues the
+software pipeline feeds on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.machine.specs import GPUSpec
+from repro.machine.variability import jitter_factor
+from repro.sim import Simulator, Timeout
+from repro.util.validation import require, require_nonnegative, require_positive
+
+
+class GpuMemoryError(RuntimeError):
+    """An allocation exceeded GPU local memory or the texture extent limit."""
+
+
+class GPUDevice:
+    """One GPU chip as a DES device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: GPUSpec,
+        clock_mhz: Optional[float] = None,
+        static_factor: float = 1.0,
+        jitter_sigma: float = 0.0,
+        drift: Optional[Callable[[float], float]] = None,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.clock_mhz = float(clock_mhz if clock_mhz is not None else spec.ref_clock_mhz)
+        require_positive(self.clock_mhz, "clock_mhz")
+        require(static_factor > 0, "static_factor must be > 0")
+        self.static_factor = float(static_factor)
+        self.jitter_sigma = float(jitter_sigma)
+        self.drift = drift or (lambda t: 1.0)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.name = name or spec.name
+        self._allocated = 0.0
+        self.busy_time = 0.0
+        self.flops_done = 0.0
+        self.kernel_count = 0
+
+    # -- performance ---------------------------------------------------------
+    @property
+    def peak_flops(self) -> float:
+        """DP peak at the current clock."""
+        return self.spec.peak_flops(self.clock_mhz)
+
+    def set_clock(self, clock_mhz: float) -> None:
+        """Change the core clock (the paper's 750 -> 575 MHz downclock)."""
+        require_positive(clock_mhz, "clock_mhz")
+        self.clock_mhz = float(clock_mhz)
+
+    def efficiency(self, workload_flops: float) -> float:
+        """Kernel efficiency for a DGEMM of the given flop count."""
+        require_nonnegative(workload_flops, "workload_flops")
+        if workload_flops == 0.0:
+            return 0.0
+        return self.spec.eff_max * workload_flops / (workload_flops + self.spec.w_half)
+
+    def kernel_rate(self, workload_flops: float, at_time: Optional[float] = None) -> float:
+        """Deterministic sustained rate for a kernel of this size (flops/s)."""
+        t = self.sim.now if at_time is None else at_time
+        return (
+            self.peak_flops
+            * self.efficiency(workload_flops)
+            * self.static_factor
+            * self.drift(t)
+        )
+
+    def kernel_time(
+        self, workload_flops: float, jitter: bool = True, rate: Optional[float] = None
+    ) -> float:
+        """Duration of one kernel: launch overhead + flops / rate.
+
+        *rate* overrides the efficiency-curve rate — used when a large DGEMM
+        call is split into a task queue: efficiency is indexed by the *call's*
+        workload (the paper's database index), so every task kernel of that
+        call runs at the call-level rate, not the rate its own smaller flop
+        count would suggest.
+        """
+        require_nonnegative(workload_flops, "workload_flops")
+        if workload_flops == 0.0:
+            return self.spec.kernel_launch_overhead
+        effective = self.kernel_rate(workload_flops) if rate is None else rate
+        require_positive(effective, "rate")
+        if jitter:
+            effective *= jitter_factor(self.jitter_sigma, self._rng)
+        return self.spec.kernel_launch_overhead + workload_flops / effective
+
+    def run_kernel(
+        self, workload_flops: float, jitter: bool = True, rate: Optional[float] = None
+    ) -> Timeout:
+        """Execute a kernel; the returned event fires on completion."""
+        duration = self.kernel_time(workload_flops, jitter=jitter, rate=rate)
+        self.busy_time += duration
+        self.flops_done += workload_flops
+        self.kernel_count += 1
+        return self.sim.timeout(duration, value=workload_flops)
+
+    # -- memory ----------------------------------------------------------------
+    @property
+    def memory_free(self) -> float:
+        """Unallocated local memory in bytes."""
+        return self.spec.local_memory_bytes - self._allocated
+
+    @property
+    def memory_allocated(self) -> float:
+        """Currently allocated local memory in bytes."""
+        return self._allocated
+
+    def check_texture(self, rows: int, cols: int) -> None:
+        """Reject 2-D allocations exceeding the texture extent (8192 on RV770)."""
+        limit = self.spec.max_texture_dim
+        if rows > limit or cols > limit:
+            raise GpuMemoryError(
+                f"{rows}x{cols} exceeds the {limit}x{limit} texture limit of {self.name}; "
+                "split the matrix into tasks (Section V.C)"
+            )
+
+    def alloc(self, nbytes: float, rows: Optional[int] = None, cols: Optional[int] = None) -> None:
+        """Allocate local memory, optionally validating the 2-D extent."""
+        require_nonnegative(nbytes, "nbytes")
+        if rows is not None and cols is not None:
+            self.check_texture(rows, cols)
+        if self._allocated + nbytes > self.spec.local_memory_bytes:
+            raise GpuMemoryError(
+                f"allocating {nbytes / 1e6:.1f} MB would exceed {self.name}'s "
+                f"{self.spec.local_memory_bytes / 1e6:.0f} MB local memory "
+                f"({self._allocated / 1e6:.1f} MB in use)"
+            )
+        self._allocated += nbytes
+
+    def free(self, nbytes: float) -> None:
+        """Release local memory."""
+        require_nonnegative(nbytes, "nbytes")
+        if nbytes > self._allocated + 1e-6:
+            raise GpuMemoryError("freeing more memory than is allocated")
+        self._allocated = max(0.0, self._allocated - nbytes)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Busy fraction of the GPU over the run (or *elapsed* seconds)."""
+        window = self.sim.now if elapsed is None else elapsed
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / window)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GPUDevice {self.name} @{self.clock_mhz:.0f} MHz peak={self.peak_flops / 1e9:.0f} GFLOPS>"

@@ -1,0 +1,172 @@
+"""Compute elements and nodes.
+
+A *compute element* — one CPU socket plus one GPU chip plus their PCIe path —
+is the unit the paper's whole framework operates on ("One CPU processor and
+one GPU chip in the same node constitutes one basic heterogenous compute
+unit, which we call compute element", Section III).  One HPL process is bound
+to one element.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.cpu import CpuCore
+from repro.machine.gpu import GPUDevice
+from repro.machine.pcie import PCIeLink
+from repro.machine.specs import ElementSpec, NodeSpec
+from repro.machine.variability import VariabilitySpec, thermal_drift
+from repro.sim import Simulator, Tracer
+from repro.util.rng import RngStream
+
+
+class ComputeElement:
+    """One CPU + one GPU chip + PCIe path, wired onto a simulator.
+
+    The CPU core at ``spec.transfer_core`` is dedicated to CPU<->GPU
+    communication; the remaining cores compute.  The core sharing an L2 with
+    the transfer core is flagged so it suffers the Section IV.A penalty while
+    transfers are in flight.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ElementSpec,
+        variability: Optional[VariabilitySpec] = None,
+        rng: Optional[RngStream] = None,
+        static_factor: float = 1.0,
+        drift_depth: Optional[float] = None,
+        name: str = "element",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.tracer = tracer
+        var = variability if variability is not None else VariabilitySpec()
+        self.variability = var
+        stream = rng if rng is not None else RngStream(0).child(name)
+
+        self.pcie = PCIeLink(sim, spec.pcie, name=f"{name}.pcie")
+        #: Incremented while a hybrid DGEMM with GPU work is in flight.  The
+        #: transfer thread runs essentially continuously during such a call,
+        #: so the L2-sharing penalty applies to the sibling core throughout —
+        #: matching the aggregate model in :mod:`repro.machine.cluster`.
+        self._hybrid_depth = 0
+
+        depth = var.thermal_drift_depth if drift_depth is None else drift_depth
+        self.gpu = GPUDevice(
+            sim,
+            spec.gpu,
+            clock_mhz=spec.gpu_clock_mhz,
+            static_factor=static_factor,
+            jitter_sigma=var.gpu_jitter_sigma,
+            drift=thermal_drift(depth, var.thermal_drift_tau),
+            rng=stream.child("gpu").generator(),
+            name=f"{name}.gpu",
+        )
+        self.drift_depth = depth
+
+        sibling = spec.cpu.l2_sibling(spec.transfer_core)
+        self.cores: list[CpuCore] = []
+        for i in range(spec.cpu.n_cores):
+            core = CpuCore(
+                sim,
+                spec.cpu,
+                i,
+                static_factor=static_factor,
+                jitter_sigma=var.core_jitter_sigma,
+                l2_share_penalty=var.l2_share_penalty,
+                transfer_busy=lambda self=self: self.pcie.busy or self._hybrid_depth > 0,
+                rng=stream.child(f"core{i}").generator(),
+                name=f"{name}.core{i}",
+            )
+            core.l2_shares_with_transfer = sibling is not None and i == sibling
+            self.cores.append(core)
+
+    # -- hybrid-execution bookkeeping -------------------------------------------
+    def begin_hybrid(self) -> None:
+        """Mark the start of a hybrid DGEMM with GPU work (nests safely)."""
+        self._hybrid_depth += 1
+
+    def end_hybrid(self) -> None:
+        """Mark the end of a hybrid DGEMM."""
+        self._hybrid_depth = max(0, self._hybrid_depth - 1)
+
+    # -- structure ---------------------------------------------------------------
+    @property
+    def transfer_core(self) -> CpuCore:
+        """The core dedicated to CPU<->GPU communication."""
+        return self.cores[self.spec.transfer_core]
+
+    @property
+    def compute_cores(self) -> list[CpuCore]:
+        """Cores participating in computation in hybrid mode (3 of 4)."""
+        return [self.cores[i] for i in self.spec.compute_core_indices]
+
+    @property
+    def all_cores(self) -> list[CpuCore]:
+        """All cores — what a CPU-only run uses (no dedicated transfer core)."""
+        return list(self.cores)
+
+    # -- aggregate figures ----------------------------------------------------------
+    @property
+    def peak_flops(self) -> float:
+        """Element peak (GPU at configured clock + whole CPU)."""
+        return self.gpu.peak_flops + self.spec.cpu.peak_flops
+
+    @property
+    def initial_gsplit(self) -> float:
+        """The paper's initial GPU workload fraction (≈0.889 on TianHe-1)."""
+        gpu_peak = self.gpu.peak_flops
+        return gpu_peak / (gpu_peak + self.spec.cpu_compute_peak)
+
+    def cpu_compute_rate(self) -> float:
+        """Current aggregate DGEMM rate of the compute cores (flops/s)."""
+        return float(sum(core.current_rate() for core in self.compute_cores))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ComputeElement {self.name} peak={self.peak_flops / 1e9:.1f} GFLOPS>"
+
+
+class Node:
+    """A TianHe-1 compute node: two elements sharing host memory and an IB port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: NodeSpec,
+        variability: Optional[VariabilitySpec] = None,
+        rng: Optional[RngStream] = None,
+        name: str = "node",
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        stream = rng if rng is not None else RngStream(0).child(name)
+        var = variability if variability is not None else VariabilitySpec()
+        factors = _element_factors(len(spec.elements), var, stream)
+        self.elements = [
+            ComputeElement(
+                sim,
+                espec,
+                variability=var,
+                rng=stream.child(f"element{i}"),
+                static_factor=factors[i],
+                name=f"{name}.e{i}",
+            )
+            for i, espec in enumerate(spec.elements)
+        ]
+
+    @property
+    def peak_flops(self) -> float:
+        return sum(e.peak_flops for e in self.elements)
+
+
+def _element_factors(n: int, var: VariabilitySpec, stream: RngStream) -> np.ndarray:
+    from repro.machine.variability import draw_static_factors
+
+    return draw_static_factors(n, var.element_spread_sigma, stream.child("spread").generator())

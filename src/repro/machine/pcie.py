@@ -1,0 +1,103 @@
+"""The two-hop PCIe transfer path between host and GPU memory.
+
+Section V.A: "GPU communicates with CPU through PCI-E memory.  Data are
+copied to PCI-E memory first and then are transferred to GPU local memory."
+The first hop (host memory <-> PCIe buffer) runs at hundreds of MB/s for
+pageable memory; the second (PCIe buffer <-> GPU local memory) at 4-8 GB/s.
+Pinned memory removes the pageable copy but is limited to small chunks
+(4 MB at a time under CAL), giving an intermediate *effective* host-side
+bandwidth.
+
+Both directions share the two hops and are served FIFO — matching the
+implementation detail that a single dedicated CPU thread performs all
+transfers, which is why the paper splits the input phase into blocks "to
+avoid the conflict between the input stage and the output stage".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.specs import PCIeSpec
+from repro.sim import BandwidthChannel, Process, Simulator
+from repro.util.validation import require_nonnegative
+
+
+class PCIeLink:
+    """DES model of one compute element's CPU<->GPU data path."""
+
+    def __init__(self, sim: Simulator, spec: PCIeSpec, name: str = "pcie") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        # Pageable and pinned host-side traffic contend for the same physical
+        # path; model them as one channel whose per-transfer speed depends on
+        # the allocation type, by charging bytes at the channel's base rate
+        # scaled per call.  Implementation: a channel at pinned_bw, with
+        # pageable transfers inflated by the bandwidth ratio.
+        self._host = BandwidthChannel(sim, spec.pinned_bw, spec.latency, name=f"{name}.host")
+        self._gpu = BandwidthChannel(sim, spec.gpu_bw, 0.0, name=f"{name}.gpu")
+        self._active = 0
+        self.bytes_to_gpu = 0.0
+        self.bytes_to_host = 0.0
+
+    # -- timing estimates (closed form, no DES side effects) --------------------
+    def duration(self, nbytes: float, pinned: bool = True) -> float:
+        """Uncontended duration of one transfer in either direction."""
+        require_nonnegative(nbytes, "nbytes")
+        host_time = self.spec.latency + nbytes / self.spec.host_bw(pinned)
+        gpu_time = nbytes / self.spec.gpu_bw
+        return host_time + gpu_time
+
+    def bandwidth(self, pinned: bool = True) -> float:
+        """Effective end-to-end bandwidth of the two serial hops."""
+        host_bw = self.spec.host_bw(pinned)
+        return 1.0 / (1.0 / host_bw + 1.0 / self.spec.gpu_bw)
+
+    # -- DES transfers -----------------------------------------------------------
+    def _host_equiv_bytes(self, nbytes: float, pinned: bool) -> float:
+        # The host channel is parameterised at pinned_bw; a pageable transfer
+        # occupies it proportionally longer.
+        if pinned:
+            return nbytes
+        return nbytes * (self.spec.pinned_bw / self.spec.pageable_bw)
+
+    @property
+    def busy(self) -> bool:
+        """True while any transfer is in flight (drives the L2-share penalty)."""
+        return self._active > 0
+
+    def _transfer(self, nbytes: float, to_gpu: bool, pinned: bool):
+        self._active += 1
+        try:
+            if to_gpu:
+                yield self._host.transfer(self._host_equiv_bytes(nbytes, pinned))
+                yield self._gpu.transfer(nbytes)
+                self.bytes_to_gpu += nbytes
+            else:
+                yield self._gpu.transfer(nbytes)
+                yield self._host.transfer(self._host_equiv_bytes(nbytes, pinned))
+                self.bytes_to_host += nbytes
+        finally:
+            self._active -= 1
+        return nbytes
+
+    def to_gpu(self, nbytes: float, pinned: bool = True) -> Process:
+        """Move *nbytes* host -> GPU; the returned event fires when done."""
+        require_nonnegative(nbytes, "nbytes")
+        return self.sim.process(self._transfer(nbytes, True, pinned), name=f"{self.name}.to_gpu")
+
+    def to_host(self, nbytes: float, pinned: bool = True) -> Process:
+        """Move *nbytes* GPU -> host; the returned event fires when done."""
+        require_nonnegative(nbytes, "nbytes")
+        return self.sim.process(self._transfer(nbytes, False, pinned), name=f"{self.name}.to_host")
+
+    def host_utilization(self, elapsed: Optional[float] = None) -> float:
+        """Busy fraction of the (bottleneck) host-side hop."""
+        return self._host.utilization(elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PCIeLink {self.name} pinned={self.spec.pinned_bw / 1e9:.2g} GB/s "
+            f"gpu={self.spec.gpu_bw / 1e9:.2g} GB/s>"
+        )

@@ -1,0 +1,61 @@
+"""Power and energy accounting.
+
+Section III reports 379.24 MFLOPS/W for the Linpack run and Section VI.C
+gives the one-cabinet draw the Qilin training-energy argument uses: 18.5 kW
+per cabinet "without concerning the air-conditioning and UPS equipments".
+This model keeps those two anchors consistent (80 x 18.5 kW = 1.48 MW;
+563.1 TFLOPS / 1.48 MW = 380 MFLOPS/W) and supports what-if accounting for
+the benchmarks (training energy, downclock savings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_nonnegative, require_positive
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Cabinet-level power: idle floor + load-dependent part scaled by clock.
+
+    The load share scales roughly linearly with the GPU core clock (dynamic
+    power ~ f x V^2; over the paper's narrow 575-750 MHz window a linear fit
+    is within a few percent), anchored so a cabinet under Linpack load at
+    575 MHz draws the measured 18.5 kW.
+    """
+
+    idle_kw_per_cabinet: float = 6.5
+    load_kw_per_cabinet_at_575: float = 12.0
+    reference_clock_mhz: float = 575.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.idle_kw_per_cabinet, "idle_kw_per_cabinet")
+        require_nonnegative(self.load_kw_per_cabinet_at_575, "load_kw_per_cabinet_at_575")
+        require_positive(self.reference_clock_mhz, "reference_clock_mhz")
+
+    def cabinet_kw(self, clock_mhz: float = 575.0, load: float = 1.0) -> float:
+        """Draw of one cabinet at the given GPU clock and load fraction."""
+        require_nonnegative(load, "load")
+        dynamic = self.load_kw_per_cabinet_at_575 * (clock_mhz / self.reference_clock_mhz)
+        return self.idle_kw_per_cabinet + load * dynamic
+
+    def system_kw(self, cabinets: int, clock_mhz: float = 575.0, load: float = 1.0) -> float:
+        """Draw of *cabinets* cabinets."""
+        return cabinets * self.cabinet_kw(clock_mhz, load)
+
+    def energy_kwh(self, cabinets: int, seconds: float, clock_mhz: float = 575.0,
+                   load: float = 1.0) -> float:
+        """Energy of a run of the given duration."""
+        require_nonnegative(seconds, "seconds")
+        return self.system_kw(cabinets, clock_mhz, load) * seconds / 3600.0
+
+    def mflops_per_watt(self, flops_per_s: float, cabinets: int,
+                        clock_mhz: float = 575.0) -> float:
+        """The Green500 figure of merit for a sustained rate."""
+        watts = self.system_kw(cabinets, clock_mhz) * 1e3
+        return flops_per_s / 1e6 / watts
+
+
+#: Anchored to Section VI.C's 18.5 kW cabinet measurement.
+TIANHE1_POWER = PowerModel()

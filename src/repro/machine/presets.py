@@ -1,0 +1,157 @@
+"""TianHe-1 hardware presets, calibrated from numbers stated in the paper.
+
+Every constant below is traceable to the paper text:
+
+* Section III: 2560 nodes in 80 cabinets of 32; two quad-core Xeons + one
+  HD4870x2 (two RV770 chips, 1 GB each) per node; 4096 E5540 + 1024 E5450
+  CPUs; CPU aggregate peak 214.96 TFLOPS; GPU aggregate 942.08 TFLOPS; QDR
+  InfiniBand at 40 Gb/s and 1.2 us.
+* Section IV.A: element peak 280.5 GFLOPS; a CPU core ≈ 10 GFLOPS; initial
+  GSplit = P'_G/(P'_G+P'_C) reported as 0.889.
+* Section V.A: RV770 DP peak 240 GFLOPS; host<->PCIe-buffer ≈ 500 MB/s
+  pageable; PCIe-buffer<->GPU ≈ 5 GB/s; 4 MB pinned-allocation limit (CAL).
+* Section V.C: 8192x8192 texture limit.
+* Section VI.A: 750 MHz standard core clock (single-element tests), 575 MHz
+  for the full-system run; memory clock 900 -> 625 MHz.
+
+Derived checks (asserted in tests/machine/test_presets.py):
+  E5540 core: 2.53 GHz x 4 flops/cycle = 10.12 GFLOPS; socket 40.48.
+  E5450 core: 3.00 GHz x 4 = 12 GFLOPS; socket 48.
+  4096 x 40.48 + 1024 x 48 GFLOPS = 214.96 TFLOPS  (paper's CPU total)
+  5120 x 240 x 575/750 GFLOPS    = 942.08 TFLOPS  (paper's GPU total,
+                                                   i.e. quoted at 575 MHz)
+  240 + 40.48                    = 280.5 GFLOPS    (element peak, E5540)
+  240 / (240 + 3 x 10.12)        = 0.8877 ≈ 0.889  (initial GSplit)
+
+Efficiency constants (``dgemm_efficiency``, ``eff_max``, ``w_half``,
+``pinned_bw``) are calibrated so the single-element anchors of Section VI.B
+hold: CPU-only Linpack ≈ 196.7/5.49 = 35.8 GFLOPS, optimized Linpack ≈
+196.7 GFLOPS (70.1 % of peak), ACML-GPU-linked Linpack ≈ 59.2 GFLOPS, and
+Fig. 10's split knee sits near 1300 Gflop.
+"""
+
+from __future__ import annotations
+
+from repro.machine.specs import (
+    CPUSpec,
+    ClusterSpec,
+    ElementSpec,
+    GPUSpec,
+    InterconnectSpec,
+    NodeSpec,
+    PCIeSpec,
+)
+from repro.machine.variability import VariabilitySpec
+from repro.util.units import GB, MB
+
+#: Intel Xeon E5540 (Nehalem, 2.53 GHz): 4 cores x 10.12 GFLOPS DP.
+#: The pairing models shared-uncore contention adjacency; on the E5450 it is
+#: a literal shared L2 (Section IV.A singles out the E5450 architecture).
+XEON_E5540 = CPUSpec(
+    name="Xeon E5540",
+    n_cores=4,
+    core_peak_flops=10.12e9,
+    dgemm_efficiency=0.885,
+    l2_pairs=((0, 1), (2, 3)),
+)
+
+#: Intel Xeon E5450 (Harpertown, 3.0 GHz): 4 cores x 12 GFLOPS DP,
+#: L2 shared in pairs — the architecture Section IV.A discusses.
+XEON_E5450 = CPUSpec(
+    name="Xeon E5450",
+    n_cores=4,
+    core_peak_flops=12.0e9,
+    dgemm_efficiency=0.885,
+    l2_pairs=((0, 1), (2, 3)),
+)
+
+#: One RV770 chip of the ATI Radeon HD4870x2.
+RV770 = GPUSpec(
+    name="RV770",
+    ref_clock_mhz=750.0,
+    peak_flops_at_ref=240e9,
+    ref_mem_clock_mhz=900.0,
+    local_memory_bytes=1.0 * GB,
+    max_texture_dim=8192,
+    eff_max=0.84,
+    w_half=80e9,  # efficiency knee; Fig. 10's split settles above ~1300 Gflop
+    kernel_launch_overhead=1e-3,  # CAL dispatch cost per kernel
+)
+
+#: PCIe 2.0 x16 path as the paper measures it (Section V.A).
+PCIE_2 = PCIeSpec(
+    pageable_bw=500 * MB,
+    pinned_bw=4.0 * GB,  # effective host-side rate via 4 MB pinned chunks
+    gpu_bw=5.0 * GB,
+    latency=20e-6,
+    pinned_chunk_bytes=4 * MB,
+)
+
+#: Two-level QDR InfiniBand: 40 Gb/s aggregate, 1.2 us latency (Section III).
+QDR_INFINIBAND = InterconnectSpec(bandwidth=5.0 * GB, latency=1.2e-6)
+
+#: Default stochastic environment (see VariabilitySpec for the rationale).
+DEFAULT_VARIABILITY = VariabilitySpec()
+
+#: Paper operating clocks (Section VI.A).
+STANDARD_CLOCK_MHZ = 750.0
+DOWNCLOCKED_MHZ = 575.0
+
+#: Block sizes used per configuration (Section VI.A: NB=196 typical for
+#: CPU-only, NB=1216 chosen for the GPU-accelerated runs; 448 models the
+#: vendor-library default compromise).
+NB_CPU_ONLY = 196
+NB_GPU = 1216
+NB_VENDOR = 448
+
+
+def tianhe1_element(
+    cpu: CPUSpec = XEON_E5540,
+    gpu_clock_mhz: float = STANDARD_CLOCK_MHZ,
+    pcie: PCIeSpec = PCIE_2,
+    transfer_core: int = 0,
+) -> ElementSpec:
+    """One TianHe-1 compute element (default: E5540 socket at 750 MHz GPU)."""
+    return ElementSpec(
+        cpu=cpu, gpu=RV770, pcie=pcie, gpu_clock_mhz=gpu_clock_mhz, transfer_core=transfer_core
+    )
+
+
+def tianhe1_node(
+    cpu: CPUSpec = XEON_E5540, gpu_clock_mhz: float = STANDARD_CLOCK_MHZ
+) -> NodeSpec:
+    """One TianHe-1 node: two identical compute elements, 32 GB shared memory."""
+    element = tianhe1_element(cpu=cpu, gpu_clock_mhz=gpu_clock_mhz)
+    return NodeSpec(elements=(element, element), shared_memory_bytes=32 * GB)
+
+
+#: Number of E5540 nodes (4096 of the 5120 CPUs; 2 CPUs per node).
+N_E5540_NODES = 2048
+#: Number of E5450 nodes (the remaining 1024 CPUs).
+N_E5450_NODES = 512
+
+
+def tianhe1_cluster(
+    cabinets: int = 80,
+    gpu_clock_mhz: float = DOWNCLOCKED_MHZ,
+    variability: VariabilitySpec = DEFAULT_VARIABILITY,
+) -> ClusterSpec:
+    """The TianHe-1 system (or a prefix of *cabinets* cabinets).
+
+    Defaults to the full-system operating point: 80 cabinets at the
+    thermally-stable 575 MHz GPU clock (Section VI.A).  E5540 nodes fill the
+    first 64 cabinets, E5450 nodes the last 16 — preserving the paper's
+    4096/1024 CPU population when all 80 are used.
+    """
+    total_nodes = cabinets * 32
+    ranges: list[tuple[int, NodeSpec]] = [(0, tianhe1_node(XEON_E5540, gpu_clock_mhz))]
+    if total_nodes > N_E5540_NODES:
+        ranges.append((N_E5540_NODES, tianhe1_node(XEON_E5450, gpu_clock_mhz)))
+    return ClusterSpec(
+        name=f"TianHe-1[{cabinets} cabinets]",
+        cabinets=cabinets,
+        nodes_per_cabinet=32,
+        node_specs=tuple(ranges),
+        interconnect=QDR_INFINIBAND,
+        variability=variability,
+    )

@@ -1,0 +1,268 @@
+"""Immutable hardware specifications.
+
+Specs are plain frozen dataclasses so configurations can be constructed,
+compared and embedded in test fixtures without touching the simulator.
+Concrete TianHe-1 values live in :mod:`repro.machine.presets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import (
+    require,
+    require_fraction,
+    require_nonnegative,
+    require_positive,
+)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A multi-core host processor.
+
+    ``l2_pairs`` records which cores share an L2 cache — on the Xeon E5450
+    "four CPU cores is divided into two pairs and each pair shares the same
+    L2 cache" (Section IV.A), which is why a core whose sibling does PCIe
+    transfers slows down and the paper needs per-core (level-2) splits.
+    """
+
+    name: str
+    n_cores: int
+    core_peak_flops: float  # double-precision peak of one core
+    dgemm_efficiency: float  # fraction of core peak a tuned DGEMM sustains (MKL)
+    l2_pairs: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_cores, "n_cores")
+        require_positive(self.core_peak_flops, "core_peak_flops")
+        require_fraction(self.dgemm_efficiency, "dgemm_efficiency")
+        for pair in self.l2_pairs:
+            require(len(pair) == 2, f"l2 pair must have 2 cores, got {pair}")
+            for core in pair:
+                require(0 <= core < self.n_cores, f"l2 pair core {core} out of range")
+
+    @property
+    def peak_flops(self) -> float:
+        """Whole-socket double-precision peak."""
+        return self.n_cores * self.core_peak_flops
+
+    def l2_sibling(self, core: int) -> int | None:
+        """The core sharing an L2 with *core*, or None."""
+        for a, b in self.l2_pairs:
+            if core == a:
+                return b
+            if core == b:
+                return a
+        return None
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU accelerator chip (one RV770 of the HD4870x2 card).
+
+    The double-precision peak scales linearly with the core clock; the paper
+    runs at the standard 750 MHz for single-element tests and downclocks to
+    575 MHz for the full-system run (Section VI.A).  DGEMM kernel efficiency
+    follows a saturating curve in the *workload* (flop count) — the paper's
+    own design choice: "the performance can be indexed only by the workload"
+    (Section IV.C).
+    """
+
+    name: str
+    ref_clock_mhz: float
+    peak_flops_at_ref: float  # DP peak at ref_clock_mhz
+    ref_mem_clock_mhz: float
+    local_memory_bytes: float
+    max_texture_dim: int  # max rows/cols of one 2-D allocation (8192 on RV770)
+    eff_max: float  # asymptotic DGEMM kernel efficiency
+    w_half: float  # workload (flops) at which efficiency reaches eff_max/2
+    kernel_launch_overhead: float  # seconds per kernel invocation
+
+    def __post_init__(self) -> None:
+        require_positive(self.ref_clock_mhz, "ref_clock_mhz")
+        require_positive(self.peak_flops_at_ref, "peak_flops_at_ref")
+        require_positive(self.ref_mem_clock_mhz, "ref_mem_clock_mhz")
+        require_positive(self.local_memory_bytes, "local_memory_bytes")
+        require_positive(self.max_texture_dim, "max_texture_dim")
+        require_fraction(self.eff_max, "eff_max")
+        require_positive(self.w_half, "w_half")
+        require_nonnegative(self.kernel_launch_overhead, "kernel_launch_overhead")
+
+    def peak_flops(self, clock_mhz: float | None = None) -> float:
+        """DP peak at the given core clock (defaults to the reference clock)."""
+        clock = self.ref_clock_mhz if clock_mhz is None else clock_mhz
+        require_positive(clock, "clock_mhz")
+        return self.peak_flops_at_ref * clock / self.ref_clock_mhz
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """The CPU<->GPU data path (Section V.A).
+
+    Data crosses two hops: host memory <-> PCIe buffer (slow, ~hundreds of
+    MB/s pageable) and PCIe buffer <-> GPU local memory (fast, 4-8 GB/s on
+    PCIe 2.0).  Pinned (page-locked) memory eliminates the pageable copy but
+    is limited (4 MB at a time under CAL), so its *effective* host-side
+    bandwidth sits between the two.
+    """
+
+    pageable_bw: float  # host mem <-> PCIe buffer, pageable path (B/s)
+    pinned_bw: float  # effective host-side bandwidth via pinned chunks (B/s)
+    gpu_bw: float  # PCIe buffer <-> GPU local memory (B/s)
+    latency: float  # per-transfer setup latency (s)
+    pinned_chunk_bytes: float  # max pinned allocation at one time (4 MB for CAL)
+
+    def __post_init__(self) -> None:
+        require_positive(self.pageable_bw, "pageable_bw")
+        require_positive(self.pinned_bw, "pinned_bw")
+        require_positive(self.gpu_bw, "gpu_bw")
+        require_nonnegative(self.latency, "latency")
+        require_positive(self.pinned_chunk_bytes, "pinned_chunk_bytes")
+        require(
+            self.pinned_bw >= self.pageable_bw,
+            "pinned path must not be slower than the pageable path",
+        )
+
+    def host_bw(self, pinned: bool) -> float:
+        """Host-side hop bandwidth for the chosen allocation type."""
+        return self.pinned_bw if pinned else self.pageable_bw
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Node-to-node network (TianHe-1: two-level QDR InfiniBand switches)."""
+
+    bandwidth: float  # per-port bytes/s
+    latency: float  # end-to-end small-message latency (s)
+
+    def __post_init__(self) -> None:
+        require_positive(self.bandwidth, "bandwidth")
+        require_nonnegative(self.latency, "latency")
+
+
+@dataclass(frozen=True)
+class ElementSpec:
+    """One *compute element*: one CPU socket + one GPU chip + their PCIe path.
+
+    ``transfer_core`` is the CPU core dedicated to CPU<->GPU communication
+    (Section IV.C: "a CPU core is dedicated to transferring data ... and
+    other three cores are involved in the matrix-matrix multiply").
+    """
+
+    cpu: CPUSpec
+    gpu: GPUSpec
+    pcie: PCIeSpec
+    gpu_clock_mhz: float
+    transfer_core: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.gpu_clock_mhz, "gpu_clock_mhz")
+        require(
+            0 <= self.transfer_core < self.cpu.n_cores,
+            f"transfer_core {self.transfer_core} out of range for {self.cpu.n_cores} cores",
+        )
+
+    @property
+    def compute_core_indices(self) -> tuple[int, ...]:
+        """CPU cores that do math (everything except the transfer core)."""
+        return tuple(i for i in range(self.cpu.n_cores) if i != self.transfer_core)
+
+    @property
+    def peak_flops(self) -> float:
+        """Element peak = GPU peak at the configured clock + whole CPU peak.
+
+        For the TianHe-1 E5540 element at 750 MHz this is 280.5 GFLOPS
+        (Section IV.A).
+        """
+        return self.gpu.peak_flops(self.gpu_clock_mhz) + self.cpu.peak_flops
+
+    @property
+    def cpu_compute_peak(self) -> float:
+        """Peak of the CPU cores that participate in computation."""
+        return len(self.compute_core_indices) * self.cpu.core_peak_flops
+
+    @property
+    def initial_gsplit(self) -> float:
+        """The paper's initial GPU fraction P'_G / (P'_G + P'_C) ≈ 0.889."""
+        gpu_peak = self.gpu.peak_flops(self.gpu_clock_mhz)
+        return gpu_peak / (gpu_peak + self.cpu_compute_peak)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A TianHe-1 compute node: two compute elements sharing one IB port."""
+
+    elements: tuple[ElementSpec, ...]
+    shared_memory_bytes: float
+
+    def __post_init__(self) -> None:
+        require(len(self.elements) >= 1, "a node needs at least one element")
+        require_positive(self.shared_memory_bytes, "shared_memory_bytes")
+
+    @property
+    def peak_flops(self) -> float:
+        return sum(e.peak_flops for e in self.elements)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The machine-room view: cabinets of nodes plus the interconnect.
+
+    ``node_specs`` maps contiguous node-index ranges to a NodeSpec so mixed
+    populations (TianHe-1's 2048 E5540 nodes + 512 E5450 nodes) are
+    expressible without 2560 objects.
+    """
+
+    name: str
+    cabinets: int
+    nodes_per_cabinet: int
+    node_specs: tuple[tuple[int, NodeSpec], ...]  # (first_node_index, spec), sorted
+    interconnect: InterconnectSpec
+    variability: "object" = field(default=None, repr=False)  # VariabilitySpec; late-bound
+
+    def __post_init__(self) -> None:
+        require_positive(self.cabinets, "cabinets")
+        require_positive(self.nodes_per_cabinet, "nodes_per_cabinet")
+        require(len(self.node_specs) >= 1, "need at least one node spec range")
+        starts = [s for s, _ in self.node_specs]
+        require(starts == sorted(starts) and starts[0] == 0, "node_specs ranges must start at 0 and be sorted")
+
+    @property
+    def total_nodes(self) -> int:
+        return self.cabinets * self.nodes_per_cabinet
+
+    @property
+    def elements_per_node(self) -> int:
+        return len(self.node_specs[0][1].elements)
+
+    @property
+    def total_elements(self) -> int:
+        return self.total_nodes * self.elements_per_node
+
+    def node_spec(self, node_index: int) -> NodeSpec:
+        """The NodeSpec governing *node_index*."""
+        require(0 <= node_index < self.total_nodes, f"node index {node_index} out of range")
+        chosen = self.node_specs[0][1]
+        for start, spec in self.node_specs:
+            if node_index >= start:
+                chosen = spec
+            else:
+                break
+        return chosen
+
+    def element_spec(self, element_index: int) -> ElementSpec:
+        """The ElementSpec for global element *element_index*."""
+        epn = self.elements_per_node
+        node = self.node_spec(element_index // epn)
+        return node.elements[element_index % epn]
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate peak over all compute nodes."""
+        total = 0.0
+        for i in range(len(self.node_specs)):
+            start = self.node_specs[i][0]
+            end = self.node_specs[i + 1][0] if i + 1 < len(self.node_specs) else self.total_nodes
+            total += (end - start) * self.node_specs[i][1].peak_flops
+        return total

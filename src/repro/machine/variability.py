@@ -1,0 +1,196 @@
+"""Run-time variability: jitter, manufacturing spread, thermal behaviour.
+
+These effects are exactly what separates the paper's *adaptive* mapping from
+static or trained (Qilin-style) mapping:
+
+* **Per-call jitter** — OS noise and cache effects make each DGEMM's rate
+  fluctuate a few percent; a split trained once is immediately stale.
+* **Per-element static spread** — 5120 elements are not identical silicon; a
+  single cluster-wide static split misfits most elements.
+* **L2-share penalty** — the core pairing an L2 cache with the dedicated
+  transfer core loses throughput while transfers run (Section IV.A).
+* **Thermal drift** — GPUs slow as they heat over a long run.  The paper
+  reports 110 °C at 750 MHz forcing a downclock to 575 MHz (92 °C) for the
+  full-system run (Section VI.A); a Qilin database trained on cold hardware
+  mis-predicts the hot steady state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util.validation import require, require_fraction, require_nonnegative
+
+
+@dataclass(frozen=True)
+class VariabilitySpec:
+    """Magnitudes of all stochastic/heterogeneous effects.
+
+    Setting every field to zero yields a perfectly deterministic, homogeneous
+    machine (useful for analytic cross-validation tests).
+    """
+
+    core_jitter_sigma: float = 0.03  # lognormal sigma of per-call CPU rate
+    gpu_jitter_sigma: float = 0.01  # lognormal sigma of per-kernel GPU rate
+    element_spread_sigma: float = 0.02  # per-element static rate factor spread
+    l2_share_penalty: float = 0.12  # rate loss of the transfer core's L2 sibling
+    thermal_drift_depth: float = 0.06  # asymptotic GPU slowdown when hot
+    thermal_drift_tau: float = 600.0  # warm-up time constant (s)
+    # Slowly-varying per-element condition noise (thermal state, OS/daemon
+    # activity, node-level contention).  This is what makes a *trained*
+    # mapping stale: by run time each element's true rates have wandered a
+    # few percent from what the training run measured, and at scale the
+    # per-step max over all processes amplifies every under-assignment.
+    slow_noise_sigma: float = 0.06  # stationary lognormal sigma of the drift
+    slow_noise_rho: float = 0.98  # per-panel-step AR(1) correlation
+    measurement_sigma: float = 0.01  # noise on any single rate measurement
+    # A training pass covers thousands of (element, size) points in its two
+    # hours, so each trained entry rests on a single quick measurement —
+    # noisier than the adaptive loop's continuously refreshed estimates.
+    training_measurement_sigma: float = 0.04
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.core_jitter_sigma, "core_jitter_sigma")
+        require_nonnegative(self.gpu_jitter_sigma, "gpu_jitter_sigma")
+        require_nonnegative(self.element_spread_sigma, "element_spread_sigma")
+        require_fraction(self.l2_share_penalty, "l2_share_penalty")
+        require_fraction(self.thermal_drift_depth, "thermal_drift_depth")
+        require_nonnegative(self.thermal_drift_tau, "thermal_drift_tau")
+        require_nonnegative(self.slow_noise_sigma, "slow_noise_sigma")
+        require_fraction(self.slow_noise_rho, "slow_noise_rho")
+        require_nonnegative(self.measurement_sigma, "measurement_sigma")
+        require_nonnegative(self.training_measurement_sigma, "training_measurement_sigma")
+
+    @property
+    def deterministic(self) -> bool:
+        """True when no stochastic effect is enabled."""
+        return (
+            self.core_jitter_sigma == 0.0
+            and self.gpu_jitter_sigma == 0.0
+            and self.element_spread_sigma == 0.0
+        )
+
+
+#: Fully deterministic machine for analytic tests.
+NO_VARIABILITY = VariabilitySpec(
+    core_jitter_sigma=0.0,
+    gpu_jitter_sigma=0.0,
+    element_spread_sigma=0.0,
+    l2_share_penalty=0.0,
+    thermal_drift_depth=0.0,
+    thermal_drift_tau=600.0,
+    slow_noise_sigma=0.0,
+    slow_noise_rho=0.0,
+    measurement_sigma=0.0,
+    training_measurement_sigma=0.0,
+)
+
+
+class SlowNoise:
+    """Per-element AR(1) condition noise, advanced once per panel step.
+
+    ``factors()`` returns mean-one lognormal multipliers with stationary
+    sigma ``sigma`` and step-to-step correlation ``rho`` — slow enough that
+    an adaptive mapper tracking last step's measurement stays accurate,
+    but fast enough that a mapping trained hours earlier is stale.
+    """
+
+    def __init__(self, n: int, sigma: float, rho: float, rng: np.random.Generator) -> None:
+        require(n >= 0, "n must be >= 0")
+        require_nonnegative(sigma, "sigma")
+        require_fraction(rho, "rho")
+        self.sigma = sigma
+        self.rho = rho
+        self._rng = rng
+        self._state = rng.standard_normal(n) if sigma > 0 else np.zeros(n)
+
+    def step(self) -> None:
+        """Advance the process by one panel step."""
+        if self.sigma == 0.0:
+            return
+        innovation = self._rng.standard_normal(len(self._state))
+        self._state = self.rho * self._state + math.sqrt(1.0 - self.rho**2) * innovation
+
+    def factors(self) -> np.ndarray:
+        """Current mean-one multiplicative factors."""
+        if self.sigma == 0.0:
+            return np.ones(len(self._state))
+        return np.exp(self.sigma * self._state - 0.5 * self.sigma**2)
+
+
+def draw_static_factors(n: int, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    """Per-element static performance factors, lognormal around 1.
+
+    Normalised so the *median* element is exactly 1.0; the spread models
+    silicon/cooling differences across the population.
+    """
+    require(n >= 0, "n must be >= 0")
+    require_nonnegative(sigma, "sigma")
+    if sigma == 0.0:
+        return np.ones(n)
+    return np.exp(rng.normal(0.0, sigma, size=n))
+
+
+def jitter_factor(sigma: float, rng: np.random.Generator) -> float:
+    """One multiplicative per-call jitter draw (mean-one lognormal)."""
+    require_nonnegative(sigma, "sigma")
+    if sigma == 0.0:
+        return 1.0
+    return float(np.exp(rng.normal(-0.5 * sigma * sigma, sigma)))
+
+
+def thermal_drift(depth: float, tau: float) -> Callable[[float], float]:
+    """A GPU slowdown schedule: factor(t) = 1 - depth * (1 - exp(-t/tau)).
+
+    Returns a callable suitable for :attr:`GPUDevice.drift`.  At t=0 the
+    device runs at full (cold) rate; it settles ``depth`` lower once hot.
+    """
+    require_fraction(depth, "depth")
+    require_nonnegative(tau, "tau")
+
+    def factor(t: float) -> float:
+        if t <= 0 or depth == 0.0:
+            return 1.0
+        if tau == 0.0:
+            return 1.0 - depth
+        return 1.0 - depth * (1.0 - math.exp(-t / tau))
+
+    return factor
+
+
+class ThermalModel:
+    """GPU die temperature as a function of core clock.
+
+    Calibrated on the two operating points the paper reports: 750 MHz ->
+    110 °C and 575 MHz -> 92 °C (Section VI.A), linearly interpolated.  The
+    paper treats ~100 °C as the stability limit for long runs, which is why
+    the full-configuration Linpack ran at the reduced clock.
+    """
+
+    #: (clock MHz, temperature Celsius) anchors from the paper.
+    ANCHORS = ((575.0, 92.0), (750.0, 110.0))
+    #: Sustained temperature above which long runs become unstable.
+    STABILITY_LIMIT_C = 100.0
+
+    def __init__(self, anchors: tuple[tuple[float, float], ...] = ANCHORS) -> None:
+        require(len(anchors) == 2, "ThermalModel takes exactly two anchors")
+        (c0, t0), (c1, t1) = anchors
+        require(c1 > c0, "anchors must be ordered by clock")
+        self._slope = (t1 - t0) / (c1 - c0)
+        self._intercept = t0 - self._slope * c0
+
+    def temperature(self, clock_mhz: float) -> float:
+        """Steady-state die temperature at *clock_mhz* under full load."""
+        return self._slope * clock_mhz + self._intercept
+
+    def is_stable(self, clock_mhz: float) -> bool:
+        """Whether a long run at *clock_mhz* stays below the stability limit."""
+        return self.temperature(clock_mhz) <= self.STABILITY_LIMIT_C
+
+    def max_stable_clock(self) -> float:
+        """Highest clock whose steady-state temperature is stable."""
+        return (self.STABILITY_LIMIT_C - self._intercept) / self._slope

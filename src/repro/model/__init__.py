@@ -1,0 +1,27 @@
+"""Analytic performance models and paper-derived calibration anchors.
+
+:mod:`repro.model.calibration` records every number the paper states, so
+tests and EXPERIMENTS.md compare against a single source of truth.
+:mod:`repro.model.dgemm_model` provides closed-form makespan formulas for the
+hybrid DGEMM under each optimization configuration; they are cross-validated
+against the exact DES execution in ``tests/model/`` and consumed (vectorized
+over thousands of elements) by the analytic HPL stepper.
+"""
+
+from repro.model import calibration
+from repro.model.dgemm_model import (
+    DgemmShape,
+    ElementRates,
+    GpuPathBreakdown,
+    hybrid_dgemm_time,
+    transfer_bytes,
+)
+
+__all__ = [
+    "calibration",
+    "DgemmShape",
+    "ElementRates",
+    "GpuPathBreakdown",
+    "hybrid_dgemm_time",
+    "transfer_bytes",
+]

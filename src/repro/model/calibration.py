@@ -1,0 +1,87 @@
+"""Every quantitative claim in the paper, as named constants.
+
+These are the *targets* the reproduction is judged against (EXPERIMENTS.md
+records paper-vs-measured for each).  Units are SI (flops/s, seconds, bytes)
+unless the name says otherwise.
+"""
+
+from repro.util.units import GFLOPS, TFLOPS
+
+# --- Section III / Top500 (system) ------------------------------------------------
+PEAK_PFLOPS = 1.206e15  #: headline system peak (includes front-end nodes)
+COMPUTE_NODE_PEAK = (214.96 + 942.08) * TFLOPS  #: compute-node-only peak
+LINPACK_FULL_SYSTEM = 563.1 * TFLOPS  #: Rmax of the November-2009 Top500 entry
+CPU_AGGREGATE_PEAK = 214.96 * TFLOPS
+GPU_AGGREGATE_PEAK = 942.08 * TFLOPS
+TOTAL_NODES = 2560
+TOTAL_ELEMENTS = 5120
+CABINETS = 80
+NODES_PER_CABINET = 32
+MFLOPS_PER_WATT = 379.24
+IB_BANDWIDTH_GBPS = 40.0
+IB_LATENCY_S = 1.2e-6
+
+# --- Section IV (adaptive mapping) -----------------------------------------------
+ELEMENT_PEAK = 280.5 * GFLOPS  #: one E5540 compute element at 750 MHz
+INITIAL_GSPLIT = 0.889  #: P'_G / (P'_G + P'_C) for that element
+CPU_CORE_EXAMPLE_GFLOPS = 10.0  #: the "10 GFLOPS" core of Section IV.A's example
+
+# --- Section V (pipelining worked example) ---------------------------------------
+WORKED_EXAMPLE_N = 10_000
+WORKED_EXAMPLE_MATRIX_MB = 800.0
+WORKED_EXAMPLE_HOST_BW = 500e6  #: pageable host<->PCIe-buffer assumption
+WORKED_EXAMPLE_GPU_BW = 5e9
+WORKED_EXAMPLE_TRANSFER_S = 5.28  #: 800*3/500 + 800*3/5000
+WORKED_EXAMPLE_COMPUTE_S = 8.33  #: 2000 Gflop / 240 GFLOPS
+RV770_DP_PEAK = 240 * GFLOPS
+TEXTURE_LIMIT = 8192
+PINNED_LIMIT_MB = 4.0
+
+# --- Section VI.A (methodology) ----------------------------------------------------
+NB_CPU_ONLY = 196
+NB_GPU = 1216
+STANDARD_GPU_CLOCK_MHZ = 750.0
+DOWNCLOCKED_GPU_CLOCK_MHZ = 575.0
+STANDARD_MEM_CLOCK_MHZ = 900.0
+DOWNCLOCKED_MEM_CLOCK_MHZ = 625.0
+TEMP_AT_750_C = 110.0
+TEMP_AT_575_C = 92.0
+FULL_SYSTEM_N = 2_240_000
+FULL_SYSTEM_GRID = (64, 80)  #: P x Q process grid
+
+# --- Section VI.B (single compute element) ---------------------------------------
+SINGLE_ELEMENT_LINPACK = 196.7 * GFLOPS
+SINGLE_ELEMENT_PEAK_FRACTION = 0.701
+SINGLE_ELEMENT_N = 46_000
+ACMLG_LINPACK = 59.2 * GFLOPS
+ACMLG_PEAK_FRACTION = 0.211
+SPEEDUP_OVER_ACMLG = 3.3
+SPEEDUP_OVER_CPU_ONLY = 5.49
+ADAPTIVE_GAIN_AVG = 0.1464  #: DGEMM, all sizes
+PIPELINE_GAIN_AVG = 0.0761  #: DGEMM, N > 8192 only
+COMBINED_GAIN_AVG = 0.2219  #: DGEMM, N > 8192
+PIPELINE_NO_GAIN_BELOW_N = 8192
+SPLIT_KNEE_GFLOP = 1300.0  #: Fig 10: splits fluctuate below ~1300 Gflop
+
+# --- Section VI.C (multi-element) ---------------------------------------------------
+CABINET_ELEMENTS = 64
+ADAPTIVE_VS_QILIN_AT_64 = 0.1556  #: our mapping 15.56% faster at 64 processes
+QILIN_TRAINING_HOURS_PER_CABINET = 2.0
+CABINET_POWER_KW = 18.5
+QILIN_TRAINING_KWH_PER_CABINET = 37.0
+QILIN_TRAINING_KWH_FULL_SYSTEM = 2960.0
+CABINET_LINPACK = 8.02 * TFLOPS
+SCALING_EFFICIENCY_80_CABINETS = 0.8776
+SCALING_N_RANGE = (280_000, 2_400_000)
+PROGRESS_AT_DROP = 0.9717  #: Fig 13: performance up to 97.17% of progress...
+PERF_BEFORE_DROP = 604.74 * TFLOPS  #: ...is 604.74 TFLOPS...
+ENDGAME_DROP = 41.6 * TFLOPS  #: ...then drops ~41.6 TFLOPS to the final 563.1.
+
+
+def derived_cpu_only_linpack() -> float:
+    """The CPU-only (MKL) single-element Linpack the paper implies.
+
+    Stated as "outperform host-only implementation by a factor of 5.49":
+    196.7 / 5.49 = 35.8 GFLOPS.
+    """
+    return SINGLE_ELEMENT_LINPACK / SPEEDUP_OVER_CPU_ONLY

@@ -1,0 +1,324 @@
+"""Closed-form makespan model of the hybrid (CPU+GPU) DGEMM.
+
+This is the analytic twin of the exact DES executor in
+:mod:`repro.core.hybrid_dgemm`: identical inputs (shape, split, rates,
+optimization flags), a few-microsecond evaluation, and full numpy
+vectorization over element populations — which is what makes the petascale
+figures (Figs. 11-13) computable.  ``tests/model/test_cross_validation.py``
+pins the two against each other.
+
+Timing structure (one compute element):
+
+* GPU path:  ``T_G = input + kernel + output`` serial when unpipelined;
+  ``T_G = max(kernel, link) + prologue + epilogue`` when the Section-V
+  software pipeline overlaps transfers with execution.  The *link* term is
+  the single transfer thread's total busy time (input and output share it).
+* CPU path:  ``T_C = W_C / (aggregate core rate)`` with an imbalance factor
+  for non-adaptive per-core splits.
+* Makespan:  ``max(T_G, T_C)`` — "the end time is the last who finishes".
+
+GPU kernel efficiency is evaluated at the GPU's *own* workload ``W_G`` on the
+saturating curve (see :class:`repro.machine.gpu.GPUDevice`); tasks created by
+texture-limit splitting inherit the call-level rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.util.units import DOUBLE_BYTES, dgemm_flops
+from repro.util.validation import require, require_fraction, require_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class DgemmShape:
+    """Geometry of one DGEMM call ``C[m,n] (+)= A[m,k] @ B[k,n]``.
+
+    ``beta_nonzero`` marks the HPL trailing-update case (``beta=1``): C is an
+    *input* as well as an output, doubling its PCIe traffic.
+    """
+
+    m: int
+    n: int
+    k: int
+    beta_nonzero: bool = True
+
+    def __post_init__(self) -> None:
+        require(self.m >= 0 and self.n >= 0 and self.k >= 0, "dimensions must be >= 0")
+
+    @property
+    def flops(self) -> float:
+        """Total workload W of the call."""
+        return dgemm_flops(self.m, self.n, self.k)
+
+    def task_grid(self, gsplit: float, texture_limit: int) -> tuple[int, int]:
+        """(row blocks of A1, column blocks of B) after texture splitting."""
+        require_positive(texture_limit, "texture_limit")
+        m1 = int(round(self.m * gsplit))
+        r = max(1, math.ceil(m1 / texture_limit)) if m1 > 0 else 0
+        c = max(1, math.ceil(self.n / texture_limit)) if self.n > 0 else 0
+        return r, c
+
+
+@dataclass
+class ElementRates:
+    """Device rates of one element — or arrays over a whole population.
+
+    All per-element fields broadcast together; PCIe parameters are scalars
+    (the path hardware is uniform across TianHe-1).
+    """
+
+    gpu_peak: ArrayLike  # includes clock + static factor
+    eff_max: ArrayLike
+    w_half: ArrayLike
+    kernel_overhead: ArrayLike
+    cpu_rate: ArrayLike  # aggregate compute-core DGEMM rate
+    host_bw: float
+    gpu_bw: float
+    pcie_latency: float
+    drift_factor: ArrayLike = 1.0  # thermal factor at the evaluation time
+    cpu_imbalance: ArrayLike = 1.0  # >= 1; multiplies the CPU path time
+
+    def gpu_rate(self, workload: ArrayLike) -> ArrayLike:
+        """Sustained kernel rate at the given workload(s)."""
+        w = np.asarray(workload, dtype=float)
+        eff = np.where(w > 0, self.eff_max * w / (w + self.w_half), 0.0)
+        rate = self.gpu_peak * eff * self.drift_factor
+        return rate if rate.ndim else float(rate)
+
+    @classmethod
+    def from_table(cls, table, t: float = 0.0, pinned: bool = True) -> "ElementRates":
+        """Build from a :class:`repro.machine.cluster.ElementRateTable`."""
+        return cls(
+            gpu_peak=table.gpu_peak,
+            eff_max=table.eff_max,
+            w_half=table.w_half,
+            kernel_overhead=table.kernel_overhead,
+            cpu_rate=table.cpu_hybrid_rate,
+            host_bw=table.pinned_bw if pinned else table.pageable_bw,
+            gpu_bw=table.gpu_bw,
+            pcie_latency=table.pcie_latency,
+            drift_factor=table.drift(t),
+        )
+
+    @classmethod
+    def from_element(cls, element, t: float = 0.0, pinned: bool = True) -> "ElementRates":
+        """Build from a DES :class:`repro.machine.node.ComputeElement`."""
+        spec = element.spec
+        return cls(
+            gpu_peak=element.gpu.peak_flops * element.gpu.static_factor,
+            eff_max=spec.gpu.eff_max,
+            w_half=spec.gpu.w_half,
+            kernel_overhead=spec.gpu.kernel_launch_overhead,
+            cpu_rate=element.cpu_compute_rate(),
+            host_bw=spec.pcie.host_bw(pinned),
+            gpu_bw=spec.pcie.gpu_bw,
+            pcie_latency=spec.pcie.latency,
+            drift_factor=element.gpu.drift(t),
+        )
+
+
+def transfer_bytes(
+    shape: DgemmShape,
+    gsplit: float,
+    reuse: bool,
+    texture_limit: int = 8192,
+) -> tuple[float, float, int]:
+    """PCIe traffic of the GPU portion: (input bytes, output bytes, n_tasks).
+
+    With bounce-corner-turn reuse (Section V.C) every operand block crosses
+    the bus once; without it each task re-sends its A and B blocks, so A1
+    crosses ``c`` times and B crosses ``r`` times.
+    """
+    require_fraction(gsplit, "gsplit")
+    m1 = int(round(shape.m * gsplit))
+    if m1 == 0 or shape.n == 0 or shape.k == 0:
+        return 0.0, 0.0, 0
+    r, c = shape.task_grid(gsplit, texture_limit)
+    a_bytes = m1 * shape.k * DOUBLE_BYTES
+    b_bytes = shape.k * shape.n * DOUBLE_BYTES
+    c_bytes = m1 * shape.n * DOUBLE_BYTES
+    if reuse:
+        input_bytes = a_bytes + b_bytes
+    else:
+        input_bytes = c * a_bytes + r * b_bytes
+    if shape.beta_nonzero:
+        input_bytes += c_bytes  # C blocks ride in exactly once either way
+    return float(input_bytes), float(c_bytes), r * c
+
+
+@dataclass
+class GpuPathBreakdown:
+    """Per-element GPU-path timing components (arrays broadcast together)."""
+
+    t_input: ArrayLike
+    t_kernel: ArrayLike
+    t_output: ArrayLike
+    t_total: ArrayLike
+    gpu_rate: ArrayLike
+    n_tasks: int
+
+
+@dataclass
+class HybridDgemmTime:
+    """Result of :func:`hybrid_dgemm_time`."""
+
+    gpu: GpuPathBreakdown
+    t_cpu: ArrayLike
+    makespan: ArrayLike
+
+    def effective_rate(self, workload: float) -> ArrayLike:
+        """Whole-call sustained rate: W / makespan."""
+        return workload / self.makespan
+
+
+def _link_time(nbytes: ArrayLike, n_messages: int, rates: ElementRates) -> ArrayLike:
+    """Two-hop store-and-forward transfer time for *nbytes*."""
+    return n_messages * rates.pcie_latency + np.asarray(nbytes) * (
+        1.0 / rates.host_bw + 1.0 / rates.gpu_bw
+    )
+
+
+def hybrid_dgemm_time(
+    shape: DgemmShape,
+    gsplit: float,
+    rates: ElementRates,
+    pipelined: bool,
+    reuse: bool | None = None,
+    texture_limit: int = 8192,
+    eo_block_rows: int = 512,
+) -> HybridDgemmTime:
+    """Makespan of one hybrid DGEMM call under the given configuration.
+
+    ``pipelined=False`` models the vendor-library behaviour (synchronous
+    input -> kernel -> output per task, no cross-task reuse unless *reuse*
+    says otherwise); ``pipelined=True`` models the paper's software pipeline
+    (Section V): bounce-corner-turn reuse, next-task input overlapped with
+    the current EO stage, and output fused into execution via the CB0/CB1
+    double buffer.
+    """
+    require_fraction(gsplit, "gsplit")
+    if reuse is None:
+        reuse = pipelined
+    w = shape.flops
+    m1 = int(round(shape.m * gsplit))
+    w_gpu = dgemm_flops(m1, shape.n, shape.k)
+    w_cpu = w - w_gpu
+
+    in_bytes, out_bytes, n_tasks = transfer_bytes(shape, gsplit, reuse, texture_limit)
+    gpu_rate = rates.gpu_rate(w_gpu)
+    if n_tasks == 0:
+        zeros = np.zeros(np.shape(np.asarray(rates.gpu_peak)))
+        t_kernel: ArrayLike = zeros if zeros.ndim else 0.0
+        t_in = t_out = t_gpu = t_kernel
+    else:
+        t_kernel = np.asarray(n_tasks) * rates.kernel_overhead + np.asarray(w_gpu) / gpu_rate
+        # Three operand messages per task (A, B, C blocks).
+        t_in = _link_time(in_bytes, 3 * n_tasks, rates)
+        t_out = _link_time(out_bytes, n_tasks, rates)
+        if n_tasks == 1:
+            pipelined = False  # single-task queues degenerate (Section VI.B)
+        if not pipelined:
+            t_gpu = t_in + t_kernel + t_out
+        else:
+            r, c = shape.task_grid(gsplit, texture_limit)
+            m1_task = math.ceil(m1 / r)
+            n_task = math.ceil(shape.n / c)
+            first_in = (m1_task * shape.k + shape.k * n_task) * DOUBLE_BYTES
+            if shape.beta_nonzero:
+                first_in += m1_task * n_task * DOUBLE_BYTES
+            prologue = _link_time(first_in, 3, rates)
+            last_block = min(eo_block_rows, m1_task) * n_task * DOUBLE_BYTES
+            epilogue = _link_time(last_block, 1, rates)
+            # One transfer thread serves both directions; when the pipeline
+            # streams, the slow host-side hop is the bottleneck (the GPU hop
+            # of one transfer overlaps the host hop of the next).
+            t_link = (4 * n_tasks) * rates.pcie_latency + (
+                np.asarray(in_bytes) + np.asarray(out_bytes)
+            ) / rates.host_bw
+            t_gpu = np.maximum(t_kernel, t_link - prologue - epilogue) + prologue + epilogue
+    t_cpu = np.asarray(w_cpu) / np.asarray(rates.cpu_rate) * np.asarray(rates.cpu_imbalance)
+    makespan = np.maximum(t_gpu, t_cpu)
+    if np.ndim(makespan) == 0:
+        t_gpu, t_cpu, makespan = float(t_gpu), float(t_cpu), float(makespan)
+        t_in, t_out, t_kernel = float(t_in), float(t_out), float(t_kernel)
+    return HybridDgemmTime(
+        gpu=GpuPathBreakdown(
+            t_input=t_in,
+            t_kernel=t_kernel,
+            t_output=t_out,
+            t_total=t_gpu,
+            gpu_rate=gpu_rate,
+            n_tasks=n_tasks,
+        ),
+        t_cpu=t_cpu,
+        makespan=makespan,
+    )
+
+
+def balanced_gsplit(
+    shape: DgemmShape,
+    rates: ElementRates,
+    pipelined: bool,
+    texture_limit: int = 8192,
+    iterations: int = 25,
+) -> ArrayLike:
+    """The split that equalises GPU-path and CPU-path times.
+
+    This is the fixed point the paper's level-1 adaptive loop converges to
+    under stationary rates (``GSplit <- P_G / (P_G + P_C)``); computed here by
+    running that exact iteration on the closed-form model.
+    """
+    vec = np.ndim(np.asarray(rates.gpu_peak)) > 0
+    gsplit: ArrayLike = np.full_like(np.asarray(rates.gpu_peak, dtype=float), 0.5) if vec else 0.5
+    for _ in range(iterations):
+        if vec:
+            # Evaluate element-by-element: task grids depend on the split.
+            new = np.empty_like(np.asarray(gsplit))
+            for i in range(len(new)):
+                new[i] = _gsplit_step(shape, float(np.asarray(gsplit)[i]), _scalar_rates(rates, i), pipelined, texture_limit)
+            gsplit = new
+        else:
+            gsplit = _gsplit_step(shape, float(gsplit), rates, pipelined, texture_limit)
+    return gsplit
+
+
+def _gsplit_step(
+    shape: DgemmShape, gsplit: float, rates: ElementRates, pipelined: bool, texture_limit: int
+) -> float:
+    timing = hybrid_dgemm_time(shape, gsplit, rates, pipelined, texture_limit=texture_limit)
+    w = shape.flops
+    w_gpu = w * gsplit
+    w_cpu = w - w_gpu
+    t_gpu = float(np.asarray(timing.gpu.t_total))
+    t_cpu = float(np.asarray(timing.t_cpu))
+    p_gpu = w_gpu / t_gpu if t_gpu > 0 else 0.0
+    p_cpu = w_cpu / t_cpu if t_cpu > 0 else float(np.asarray(rates.cpu_rate))
+    if p_gpu + p_cpu == 0:
+        return gsplit
+    return min(1.0, max(0.0, p_gpu / (p_gpu + p_cpu)))
+
+
+def _scalar_rates(rates: ElementRates, i: int) -> ElementRates:
+    def pick(x):
+        arr = np.asarray(x)
+        return float(arr[i]) if arr.ndim else float(arr)
+
+    return ElementRates(
+        gpu_peak=pick(rates.gpu_peak),
+        eff_max=pick(rates.eff_max),
+        w_half=pick(rates.w_half),
+        kernel_overhead=pick(rates.kernel_overhead),
+        cpu_rate=pick(rates.cpu_rate),
+        host_bw=rates.host_bw,
+        gpu_bw=rates.gpu_bw,
+        pcie_latency=rates.pcie_latency,
+        drift_factor=pick(rates.drift_factor),
+        cpu_imbalance=pick(rates.cpu_imbalance),
+    )

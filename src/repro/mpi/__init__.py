@@ -1,0 +1,14 @@
+"""A simulated message-passing substrate (the mvapich2 of this reproduction).
+
+Ranks are DES processes inside one :class:`~repro.sim.Simulator`; messages
+move through :class:`~repro.machine.interconnect.Interconnect` with real
+latency/bandwidth costs and land in per-rank mailboxes.  The API mirrors the
+mpi4py conventions the HPL port needs: point-to-point ``send``/``recv`` and
+the collectives HPL's panel broadcast relies on (binomial and ring
+broadcast, allreduce, gather, barrier) — all written as generators so rank
+code simply ``yield from comm.bcast(...)``.
+"""
+
+from repro.mpi.comm import SimComm, SimMPI, payload_nbytes
+
+__all__ = ["SimMPI", "SimComm", "payload_nbytes"]

@@ -1,0 +1,262 @@
+"""Simulated communicator: mailboxes + interconnect timing + collectives.
+
+Semantics:
+
+* ``send`` is *rendezvous-free*: the returned generator completes when the
+  message has been injected and delivered to the destination mailbox (one
+  alpha-beta network traversal).
+* ``recv`` blocks (in virtual time) until a matching ``(source, tag)``
+  message is available; messages between the same pair with the same tag
+  arrive in order.
+* Collectives are generator functions; every participating rank must call
+  the same collective (deadlocks surface as the simulator's drained-calendar
+  error rather than a hang).
+
+Payload sizes are taken from the objects themselves (numpy arrays report
+their real ``nbytes``), so algorithmic message volumes are faithful.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from repro.machine.interconnect import Interconnect
+from repro.sim import Event, Simulator
+from repro.util.validation import require
+
+
+def payload_nbytes(obj: Any) -> float:
+    """Wire size of a message payload."""
+    if obj is None:
+        return 8.0
+    if isinstance(obj, np.ndarray):
+        return float(obj.nbytes)
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8.0
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj) + 16.0
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(v) for v in obj.values()) + 16.0 * len(obj)
+    if isinstance(obj, (bytes, bytearray, str)):
+        return float(len(obj))
+    return 64.0  # pickled small object
+
+
+@dataclass
+class _Message:
+    src: int
+    tag: Any
+    payload: Any
+
+
+class _Mailbox:
+    """Per-rank in-order mailbox with (source, tag) matching."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._queue: deque[_Message] = deque()
+        self._waiters: deque[tuple[Callable[[_Message], bool], Event]] = deque()
+
+    def deliver(self, message: _Message) -> None:
+        for i, (predicate, event) in enumerate(self._waiters):
+            if predicate(message):
+                del self._waiters[i]
+                event.succeed(message)
+                return
+        self._queue.append(message)
+
+    def take(self, predicate: Callable[[_Message], bool]) -> Event:
+        event = Event(self.sim)
+        for i, message in enumerate(self._queue):
+            if predicate(message):
+                del self._queue[i]
+                event.succeed(message)
+                return event
+        self._waiters.append((predicate, event))
+        return event
+
+
+class SimMPI:
+    """The world: one communicator handle per rank over one interconnect."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_ranks: int,
+        interconnect: Optional[Interconnect] = None,
+    ) -> None:
+        require(n_ranks >= 1, "n_ranks must be >= 1")
+        self.sim = sim
+        self.n_ranks = n_ranks
+        self.network = interconnect
+        self._mailboxes = [_Mailbox(sim) for _ in range(n_ranks)]
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    def comm(self, rank: int) -> "SimComm":
+        require(0 <= rank < self.n_ranks, f"rank {rank} out of range")
+        return SimComm(self, rank)
+
+    def comms(self) -> list["SimComm"]:
+        """One communicator per rank (convenience for spawning rank processes)."""
+        return [self.comm(r) for r in range(self.n_ranks)]
+
+    def _transit(self, src: int, dst: int, nbytes: float) -> Event:
+        if self.network is None:
+            return self.sim.timeout(0.0)
+        return self.network.send(src, dst, nbytes)
+
+    def _post(self, src: int, dst: int, tag: Any, payload: Any) -> Event:
+        """Inject a message; returns the delivery event."""
+        nbytes = payload_nbytes(payload)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        transit = self._transit(src, dst, nbytes)
+        done = Event(self.sim)
+
+        def on_arrival(_event: Event) -> None:
+            self._mailboxes[dst].deliver(_Message(src, tag, payload))
+            done.succeed(None)
+
+        transit.add_callback(on_arrival)
+        return done
+
+
+class SimComm:
+    """One rank's view of the world (mpi4py-flavoured API)."""
+
+    def __init__(self, world: SimMPI, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.world.n_ranks
+
+    @property
+    def sim(self) -> Simulator:
+        return self.world.sim
+
+    # -- point to point -----------------------------------------------------------
+    def isend(self, payload: Any, dest: int, tag: Any = 0) -> Event:
+        """Post a send; the event completes on delivery."""
+        require(0 <= dest < self.size, f"dest {dest} out of range")
+        return self.world._post(self.rank, dest, tag, payload)
+
+    def send(self, payload: Any, dest: int, tag: Any = 0) -> Generator[Event, Any, None]:
+        """Blocking send (generator): completes when delivered."""
+        yield self.isend(payload, dest, tag)
+
+    def irecv(self, source: Optional[int] = None, tag: Any = None) -> Event:
+        """Post a receive; the event succeeds with the matching message."""
+
+        def predicate(msg: _Message) -> bool:
+            return (source is None or msg.src == source) and (tag is None or msg.tag == tag)
+
+        return self.world._mailboxes[self.rank].take(predicate)
+
+    def recv(
+        self, source: Optional[int] = None, tag: Any = None
+    ) -> Generator[Event, Any, Any]:
+        """Blocking receive (generator): returns the payload."""
+        message = yield self.irecv(source, tag)
+        return message.payload
+
+    def sendrecv(
+        self, payload: Any, peer: int, tag: Any = 0
+    ) -> Generator[Event, Any, Any]:
+        """Simultaneous exchange with *peer* (both sides must call it)."""
+        self.isend(payload, peer, tag)
+        message = yield self.irecv(peer, tag)
+        return message.payload
+
+    # -- collectives --------------------------------------------------------------
+    def bcast(
+        self,
+        payload: Any,
+        root: int = 0,
+        algorithm: str = "binomial",
+        tag: Any = "__bcast__",
+    ) -> Generator[Event, Any, Any]:
+        """Broadcast from *root*; returns the payload on every rank.
+
+        ``binomial`` is the MPICH-style tree (log2 P rounds); ``ring`` is the
+        pipeline-friendly chain HPL favours for long panel messages.
+        """
+        require(algorithm in ("binomial", "ring"), f"unknown algorithm {algorithm!r}")
+        p = self.size
+        if p == 1:
+            return payload
+        if algorithm == "ring":
+            rel = (self.rank - root) % p
+            if rel != 0:
+                payload = yield from self.recv(source=(self.rank - 1) % p, tag=tag)
+            if rel != p - 1:
+                yield from self.send(payload, (self.rank + 1) % p, tag=tag)
+            return payload
+        # Binomial tree on relative ranks.
+        rel = (self.rank - root) % p
+        mask = 1
+        while mask < p:
+            if rel & mask:
+                src = ((rel - mask) + root) % p
+                payload = yield from self.recv(source=src, tag=tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < p:
+                dst = (rel + mask + root) % p
+                yield from self.send(payload, dst, tag=tag)
+            mask >>= 1
+        return payload
+
+    def gather(
+        self, payload: Any, root: int = 0, tag: Any = "__gather__"
+    ) -> Generator[Event, Any, Optional[list]]:
+        """Gather payloads to *root*; returns the rank-ordered list there."""
+        if self.rank != root:
+            yield from self.send((self.rank, payload), root, tag=tag)
+            return None
+        items: dict[int, Any] = {root: payload}
+        for _ in range(self.size - 1):
+            src_rank, item = yield from self.recv(tag=tag)
+            items[src_rank] = item
+        return [items[r] for r in range(self.size)]
+
+    def allreduce(
+        self, value: Any, op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        tag: Any = "__allreduce__",
+    ) -> Generator[Event, Any, Any]:
+        """Reduce-to-all via recursive doubling (works for any power; falls
+        back to gather+bcast for non-power-of-two sizes)."""
+        p = self.size
+        if p == 1:
+            return value
+        if p & (p - 1) == 0:
+            mask = 1
+            while mask < p:
+                peer = self.rank ^ mask
+                other = yield from self.sendrecv(value, peer, tag=(tag, mask))
+                value = op(value, other) if self.rank < peer else op(other, value)
+                mask <<= 1
+            return value
+        gathered = yield from self.gather(value, root=0, tag=(tag, "g"))
+        if self.rank == 0:
+            total = gathered[0]
+            for item in gathered[1:]:
+                total = op(total, item)
+        else:
+            total = None
+        return (yield from self.bcast(total, root=0, tag=(tag, "b")))
+
+    def barrier(self) -> Generator[Event, Any, None]:
+        """Synchronise all ranks."""
+        yield from self.allreduce(0, tag="__barrier__")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimComm rank {self.rank}/{self.size}>"

@@ -1,0 +1,85 @@
+"""Rank subgroups: collectives over a subset of world ranks.
+
+HPL communicates along process-grid rows (panel broadcast) and columns
+(pivot exchanges, U broadcast).  A :class:`Group` wraps a world communicator
+plus an ordered member list and re-implements the collectives on translated
+ranks, so grid code can say ``yield from row_group.bcast(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.mpi.comm import SimComm
+from repro.sim import Event
+from repro.util.validation import require
+
+
+class Group:
+    """An ordered subset of world ranks, viewed from one member."""
+
+    def __init__(self, comm: SimComm, members: Sequence[int], tag_space: Any = "grp") -> None:
+        members = list(members)
+        require(len(members) >= 1, "a group needs at least one member")
+        require(len(set(members)) == len(members), "duplicate ranks in group")
+        require(comm.rank in members, f"rank {comm.rank} not in group {members}")
+        self.comm = comm
+        self.members = members
+        self.local_rank = members.index(comm.rank)
+        self.tag_space = tag_space
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def _tag(self, tag: Any) -> Any:
+        return (self.tag_space, tag)
+
+    def send(self, payload: Any, dest_local: int, tag: Any = 0) -> Generator[Event, Any, None]:
+        """Send to the group member at *dest_local*."""
+        yield from self.comm.send(payload, self.members[dest_local], tag=self._tag(tag))
+
+    def recv(self, source_local: int, tag: Any = 0) -> Generator[Event, Any, Any]:
+        """Receive from the group member at *source_local*."""
+        return (yield from self.comm.recv(source=self.members[source_local], tag=self._tag(tag)))
+
+    def bcast(
+        self, payload: Any, root_local: int = 0, algorithm: str = "binomial", tag: Any = "__b__"
+    ) -> Generator[Event, Any, Any]:
+        """Broadcast from the member at *root_local* to the whole group."""
+        p = self.size
+        if p == 1:
+            return payload
+        rel = (self.local_rank - root_local) % p
+        if algorithm == "ring":
+            if rel != 0:
+                payload = yield from self.recv((self.local_rank - 1) % p, tag=tag)
+            if rel != p - 1:
+                yield from self.send(payload, (self.local_rank + 1) % p, tag=tag)
+            return payload
+        mask = 1
+        while mask < p:
+            if rel & mask:
+                src = (rel - mask + root_local) % p
+                payload = yield from self.recv(src, tag=tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < p:
+                yield from self.send(payload, (rel + mask + root_local) % p, tag=tag)
+            mask >>= 1
+        return payload
+
+    def gather(
+        self, payload: Any, root_local: int = 0, tag: Any = "__g__"
+    ) -> Generator[Event, Any, Any]:
+        """Gather members' payloads (local-rank order) at *root_local*."""
+        if self.local_rank != root_local:
+            yield from self.send((self.local_rank, payload), root_local, tag=tag)
+            return None
+        items = {root_local: payload}
+        for _ in range(self.size - 1):
+            src, item = yield from self.comm.recv(tag=self._tag(tag))
+            items[src] = item
+        return [items[i] for i in range(self.size)]

@@ -1,0 +1,361 @@
+"""Discrete-event simulation kernel: clock, events, processes, combinators.
+
+The design follows the classic event-calendar architecture: a priority queue
+of ``(time, sequence)``-ordered events; processing an event runs its callbacks,
+which typically resume generator processes, which schedule further events.
+Two events at the same virtual time are processed in scheduling order, making
+every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the DES kernel (not for modeled failures)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event goes through three states: *pending* (created), *triggered*
+    (``succeed``/``fail`` called, sitting in the calendar) and *processed*
+    (callbacks have run).  ``value`` carries the payload on success or the
+    exception on failure.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success payload, or the failure exception."""
+        if self._value is Event._PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed, carrying *exception*.
+
+        Unless some waiter handles (defuses) the failure, the simulator
+        re-raises the exception when the event is processed — silent failures
+        are bugs in a performance model.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay=0.0)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the simulator does not re-raise it."""
+        self._defused = True
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register *callback* to run when the event is processed."""
+        if self.processed:
+            raise SimulationError("cannot add a callback to a processed event")
+        assert self.callbacks is not None
+        self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay=self.delay)
+
+
+class Process(Event):
+    """A running generator; also an event others can wait on.
+
+    The generator ``yield``\\ s :class:`Event` instances; each resume sends the
+    event's value back in (or throws its exception).  When the generator
+    returns, the process event succeeds with the return value.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process needs a generator, got {type(generator).__name__}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick the process off via an immediately-scheduled init event so that
+        # process bodies never run re-entrantly inside the caller.
+        init = Event(sim)
+        init.succeed(None)
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        try:
+            if trigger._ok:
+                target = self.generator.send(trigger._value)
+            else:
+                trigger.defuse()
+                target = self.generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event instances"
+            )
+            self.generator.close()
+            self.fail(exc)
+            return
+        if target.sim is not self.sim:
+            self.generator.close()
+            self.fail(SimulationError("yielded an event from a different Simulator"))
+            return
+        self._waiting_on = target
+        if target.processed:
+            # The event already fired; resume on a fresh immediate event so
+            # ordering stays queue-driven.
+            relay = Event(self.sim)
+            if target._ok:
+                relay.succeed(target._value)
+            else:
+                relay.fail(target._value)  # pragma: no cover - late-join on failure
+            relay.add_callback(self._resume)
+        else:
+            target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'done' if self.triggered else 'alive'}>"
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: waits on a set of events."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._pending_count = 0
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                self._pending_count += 1
+                event.add_callback(self._check)
+        if not self.events and not self.triggered:
+            self.succeed(self._collect())
+
+    def _collect(self) -> list[Any]:
+        return [e._value for e in self.events if e.triggered and e._ok]
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when *all* events have succeeded; value is their value list.
+
+    Fails fast (with defusing) if any constituent fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defuse()
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._pending_count -= 1
+        if all(e.processed and e._ok for e in self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Succeeds when the *first* event succeeds; value is that event's value."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defuse()
+            return
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+
+class Simulator:
+    """The event loop and virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- factory helpers ------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a generator as a process; returns the process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Barrier over *events*."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race over *events*."""
+        return AnyOf(self, events)
+
+    # -- calendar --------------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def step(self) -> None:
+        """Process exactly one event from the calendar."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event calendar")
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - internal invariant
+            raise SimulationError("event calendar went backwards in time")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nobody handled this failure: surface it, pointing at the model bug.
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until the calendar drains.
+        * ``until=<float>`` — run until virtual time reaches that instant.
+        * ``until=<Event>`` — run until the event is processed; returns its
+          value (raising if it failed).
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self._queue:
+                    self.step()
+                return None
+            if isinstance(until, Event):
+                target = until
+                while not target.processed:
+                    if not self._queue:
+                        raise SimulationError(
+                            "calendar drained before the awaited event triggered (deadlock)"
+                        )
+                    self.step()
+                if not target._ok:
+                    target.defuse()
+                    raise target._value
+                return target._value
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(f"cannot run until {horizon} (< now={self._now})")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = max(self._now, horizon)
+            return None
+        finally:
+            self._running = False

@@ -1,0 +1,68 @@
+"""ASCII Gantt rendering of trace intervals.
+
+Turns a :class:`~repro.sim.trace.Tracer`'s begin/end records into the kind
+of overlap diagram the paper draws (Figs. 4 and 7): one row per
+(actor, phase) lane, time left to right, so the pipeline's transfer/kernel
+overlap is visible in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.trace import Interval, Tracer
+from repro.util.validation import require, require_positive
+
+#: Fill characters cycled across phases so adjacent lanes read distinctly.
+FILL_CHARS = "#=@%+*"
+
+
+def render_gantt(
+    intervals: Sequence[Interval],
+    width: int = 72,
+    label_width: int = 18,
+    t_start: Optional[float] = None,
+    t_end: Optional[float] = None,
+) -> str:
+    """Render *intervals* as an ASCII Gantt chart.
+
+    Lanes are (actor, phase) pairs in first-appearance order; each interval
+    paints its span with the phase's fill character.  The time axis is
+    annotated with the start/end times.
+    """
+    require_positive(width, "width")
+    require_positive(label_width, "label_width")
+    if not intervals:
+        return "(no intervals)"
+    lo = min(s.start for s in intervals) if t_start is None else t_start
+    hi = max(s.end for s in intervals) if t_end is None else t_end
+    require(hi > lo, f"empty time range [{lo}, {hi}]")
+    span = hi - lo
+
+    lanes: dict[tuple[str, str], list[Interval]] = {}
+    for interval in intervals:
+        lanes.setdefault((interval.actor, interval.phase), []).append(interval)
+    phases: dict[str, str] = {}
+    for _, phase in lanes:
+        if phase not in phases:
+            phases[phase] = FILL_CHARS[len(phases) % len(FILL_CHARS)]
+
+    lines: list[str] = []
+    for (actor, phase), spans in lanes.items():
+        row = [" "] * width
+        fill = phases[phase]
+        for interval in spans:
+            a = int((max(interval.start, lo) - lo) / span * (width - 1))
+            b = int((min(interval.end, hi) - lo) / span * (width - 1))
+            for i in range(a, max(a, b) + 1):
+                row[i] = fill
+        label = f"{actor}.{phase}"[:label_width].ljust(label_width)
+        lines.append(f"{label}|{''.join(row)}|")
+    axis = f"{'':{label_width}}|{lo:<{(width) // 2}.4g}{hi:>{width - width // 2}.4g}|"
+    legend = "  ".join(f"{char}={phase}" for phase, char in phases.items())
+    return "\n".join(lines + [axis, "legend: " + legend])
+
+
+def render_tracer(tracer: Tracer, **kwargs) -> str:
+    """Convenience: render all of a tracer's paired intervals."""
+    return render_gantt(tracer.intervals(), **kwargs)

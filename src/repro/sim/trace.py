@@ -1,0 +1,140 @@
+"""Timestamped tracing for simulations.
+
+The paper presents its pipeline as a schedule table (Table I) and overlap
+diagrams (Figs. 4, 7).  The :class:`Tracer` records ``(time, actor, phase)``
+interval events during a simulation so tests and benchmarks can reconstruct
+exactly those schedules and assert on them (e.g. "T1's input overlaps T0's
+EO stage").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One point event: *actor* entered *phase* (or hit a marker) at *time*."""
+
+    time: float
+    actor: str
+    phase: str
+    kind: str  # "begin" | "end" | "mark"
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed span during which *actor* was in *phase*."""
+
+    actor: str
+    phase: str
+    start: float
+    end: float
+    data: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two spans share a positive-length overlap."""
+        return min(self.end, other.end) > max(self.start, other.start)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` streams and pairs them into intervals."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.records: list[TraceRecord] = []
+        self._open: dict[tuple[str, str], TraceRecord] = {}
+
+    def begin(self, actor: str, phase: str, **data: Any) -> None:
+        """Mark that *actor* entered *phase* now."""
+        key = (actor, phase)
+        if key in self._open:
+            raise ValueError(f"{actor!r} already in phase {phase!r}")
+        record = TraceRecord(self.sim.now, actor, phase, "begin", dict(data))
+        self._open[key] = record
+        self.records.append(record)
+
+    def end(self, actor: str, phase: str, **data: Any) -> None:
+        """Mark that *actor* left *phase* now."""
+        key = (actor, phase)
+        if key not in self._open:
+            raise ValueError(f"{actor!r} is not in phase {phase!r}")
+        del self._open[key]
+        self.records.append(TraceRecord(self.sim.now, actor, phase, "end", dict(data)))
+
+    def mark(self, actor: str, phase: str, **data: Any) -> None:
+        """Record an instantaneous marker."""
+        self.records.append(TraceRecord(self.sim.now, actor, phase, "mark", dict(data)))
+
+    def intervals(
+        self, actor: Optional[str] = None, phase: Optional[str] = None
+    ) -> list[Interval]:
+        """Pair begin/end records into :class:`Interval` spans, optionally filtered."""
+        spans: list[Interval] = []
+        open_spans: dict[tuple[str, str], TraceRecord] = {}
+        for record in self.records:
+            key = (record.actor, record.phase)
+            if record.kind == "begin":
+                open_spans[key] = record
+            elif record.kind == "end":
+                start = open_spans.pop(key, None)
+                if start is None:  # pragma: no cover - guarded by begin/end API
+                    continue
+                data = dict(start.data)
+                data.update(record.data)
+                spans.append(Interval(record.actor, record.phase, start.time, record.time, data))
+        spans.sort(key=lambda s: (s.start, s.end, s.actor, s.phase))
+        if actor is not None:
+            spans = [s for s in spans if s.actor == actor]
+        if phase is not None:
+            spans = [s for s in spans if s.phase == phase]
+        return spans
+
+    def actors(self) -> list[str]:
+        """All actor names seen, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.actor, None)
+        return list(seen)
+
+    def marks(self, actor: Optional[str] = None, phase: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Iterate instantaneous markers, optionally filtered."""
+        for record in self.records:
+            if record.kind != "mark":
+                continue
+            if actor is not None and record.actor != actor:
+                continue
+            if phase is not None and record.phase != phase:
+                continue
+            yield record
+
+    def schedule_table(self, time_step: float, phases: list[str]) -> list[dict[str, str]]:
+        """Quantise intervals onto a fixed grid — the shape of the paper's Table I.
+
+        Returns one dict per time step mapping each phase name to the actor(s)
+        occupying it during that step (empty string if idle).
+        """
+        spans = self.intervals()
+        if not spans:
+            return []
+        horizon = max(s.end for s in spans)
+        steps = int(round(horizon / time_step))
+        table: list[dict[str, str]] = []
+        for i in range(steps):
+            lo, hi = i * time_step, (i + 1) * time_step
+            row = {phase: "" for phase in phases}
+            for span in spans:
+                if span.phase in row and min(span.end, hi) - max(span.start, lo) > 1e-12:
+                    row[span.phase] = (
+                        span.actor if not row[span.phase] else row[span.phase] + "," + span.actor
+                    )
+            table.append(row)
+        return table

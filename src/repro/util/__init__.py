@@ -1,0 +1,58 @@
+"""Shared utilities: units, validation, RNG plumbing, and table rendering.
+
+These helpers are deliberately dependency-light; everything else in
+:mod:`repro` builds on them.
+"""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    GFLOP,
+    TFLOP,
+    GFLOPS,
+    TFLOPS,
+    DOUBLE_BYTES,
+    dgemm_flops,
+    lu_flops,
+    matrix_bytes,
+    fmt_bytes,
+    fmt_flops,
+    fmt_rate,
+    fmt_time,
+)
+from repro.util.validation import (
+    require,
+    require_positive,
+    require_nonnegative,
+    require_fraction,
+    require_int,
+)
+from repro.util.rng import RngStream, spawn_rngs
+from repro.util.tables import TextTable
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "GFLOP",
+    "TFLOP",
+    "GFLOPS",
+    "TFLOPS",
+    "DOUBLE_BYTES",
+    "dgemm_flops",
+    "lu_flops",
+    "matrix_bytes",
+    "fmt_bytes",
+    "fmt_flops",
+    "fmt_rate",
+    "fmt_time",
+    "require",
+    "require_positive",
+    "require_nonnegative",
+    "require_fraction",
+    "require_int",
+    "RngStream",
+    "spawn_rngs",
+    "TextTable",
+]

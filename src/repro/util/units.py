@@ -1,0 +1,103 @@
+"""Units and workload arithmetic used throughout the reproduction.
+
+All quantities inside the simulator use SI base units: bytes, flops and
+seconds.  Rates are flops/second (so ``240 * GFLOPS`` is the RV770 peak) and
+bandwidths are bytes/second.  The helpers here centralise the handful of
+closed-form workload formulas the paper relies on:
+
+* DGEMM on ``A[M,K] @ B[K,N]`` costs ``2*M*N*K`` flops (multiply+add).
+* Linpack/HPL on an ``N x N`` system costs ``(2/3)N^3 + 2N^2`` flops -- the
+  canonical figure the Top500 divides wall time into.
+"""
+
+from __future__ import annotations
+
+# Byte units (decimal, matching vendor bandwidth specs such as "500 MBps").
+KB: float = 1e3
+MB: float = 1e6
+GB: float = 1e9
+
+# Flop units.
+GFLOP: float = 1e9
+TFLOP: float = 1e12
+
+# Rate units (flops per second).
+GFLOPS: float = 1e9
+TFLOPS: float = 1e12
+
+#: Size of one IEEE-754 double, the only element type HPL uses.
+DOUBLE_BYTES: int = 8
+
+
+def dgemm_flops(m: int, n: int, k: int) -> float:
+    """Flop count of ``C[m,n] += A[m,k] @ B[k,n]`` (fused multiply-add = 2 flops).
+
+    This is the workload ``W`` the paper's adaptive mapper indexes its
+    ``database_g`` by (Section IV.C: "the float-point operation counts of the
+    matrix-matrix multiply operation").
+    """
+    if m < 0 or n < 0 or k < 0:
+        raise ValueError(f"matrix dimensions must be non-negative, got {(m, n, k)}")
+    return 2.0 * m * n * k
+
+
+def lu_flops(n: int) -> float:
+    """Canonical HPL flop count for an ``n x n`` solve: ``2/3 n^3 + 2 n^2``.
+
+    The paper quotes the workload as ``(2/3)N^3 + O(N^2)``; the Top500 rules
+    fix the lower-order term at ``2 N^2`` (LU plus two triangular solves).
+    """
+    if n < 0:
+        raise ValueError(f"matrix order must be non-negative, got {n}")
+    return (2.0 / 3.0) * n**3 + 2.0 * n**2
+
+
+def matrix_bytes(rows: int, cols: int, elem_bytes: int = DOUBLE_BYTES) -> int:
+    """Storage footprint of a dense ``rows x cols`` matrix."""
+    if rows < 0 or cols < 0:
+        raise ValueError(f"matrix dimensions must be non-negative, got {(rows, cols)}")
+    return rows * cols * elem_bytes
+
+
+def _fmt_scaled(value: float, steps: list[tuple[float, str]], unit: str) -> str:
+    for scale, prefix in steps:
+        if abs(value) >= scale:
+            return f"{value / scale:.3g} {prefix}{unit}"
+    return f"{value:.3g} {unit}"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count (decimal prefixes, like bandwidth specs)."""
+    return _fmt_scaled(float(nbytes), [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")], "B")
+
+
+def fmt_flops(flops: float) -> str:
+    """Human-readable flop count."""
+    return _fmt_scaled(float(flops), [(1e15, "P"), (1e12, "T"), (1e9, "G"), (1e6, "M")], "flop")
+
+
+def fmt_rate(flops_per_s: float) -> str:
+    """Human-readable compute rate, e.g. ``196.7 GFLOPS``."""
+    value = float(flops_per_s)
+    for scale, prefix in [(1e15, "P"), (1e12, "T"), (1e9, "G"), (1e6, "M")]:
+        if abs(value) >= scale:
+            return f"{value / scale:.4g} {prefix}FLOPS"
+    return f"{value:.4g} FLOPS"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration."""
+    s = float(seconds)
+    if s < 0:
+        return "-" + fmt_time(-s)
+    if s < 1e-6:
+        return f"{s * 1e9:.3g} ns"
+    if s < 1e-3:
+        return f"{s * 1e6:.3g} us"
+    if s < 1.0:
+        return f"{s * 1e3:.3g} ms"
+    if s < 120.0:
+        return f"{s:.3g} s"
+    if s < 7200.0:
+        return f"{s / 60.0:.3g} min"
+    return f"{s / 3600.0:.3g} h"

@@ -1,0 +1,69 @@
+"""Tests for the repro.bench command line and export formats."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import FIGURES, TEXT_ARTIFACTS, build_parser, main
+from repro.bench.report import SeriesData
+
+
+class TestExports:
+    def make(self):
+        data = SeriesData(title="t", x_label="N", y_label="G")
+        data.add_point("s1", 1, 2.0)
+        data.add_point("s1", 3, 4.0)
+        data.add_point("s2", 1, 9.0)
+        data.summary["anchor"] = 1.5
+        return data
+
+    def test_csv_layout(self):
+        lines = self.make().to_csv().strip().splitlines()
+        assert lines[0] == "N,s1,s2"
+        assert lines[1] == "1,2.0,9.0"
+        assert lines[2] == "3,4.0,"
+
+    def test_json_roundtrip(self):
+        doc = json.loads(self.make().to_json())
+        assert doc["title"] == "t"
+        assert doc["series"]["s1"] == [[1, 2.0], [3, 4.0]]
+        assert doc["summary"]["anchor"] == 1.5
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in list(FIGURES) + list(TEXT_ARTIFACTS):
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig8" in capsys.readouterr().out
+
+    def test_worked_example_text(self, capsys):
+        assert main(["worked-example"]) == 0
+        out = capsys.readouterr().out
+        assert "5.28" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "T0 T1 T3 T2" in capsys.readouterr().out
+
+    def test_text_artifact_rejects_csv(self, capsys):
+        assert main(["table1", "--format", "csv"]) == 2
+
+    def test_quick_fig10_json(self, capsys):
+        assert main(["fig10", "--quick", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "stored GSplit" in doc["series"]
+
+    def test_quick_fig12_csv_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "fig12.csv"
+        assert main(["fig12", "--quick", "--out", str(out_file), "--format", "csv"]) == 0
+        content = out_file.read_text()
+        assert content.startswith("cabinets,")
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])

@@ -1,0 +1,111 @@
+"""Fast-path tests for every figure generator (reduced domains)."""
+
+import pytest
+
+from repro.bench.cabinet import fig11_adaptive_vs_qilin, grid_for, problem_size_for
+from repro.bench.dgemm_sweep import fig8_dgemm_sweep, run_dgemm_config
+from repro.bench.linpack_sweep import fig9_linpack_sweep, fig10_split_ratio
+from repro.bench.pipeline_trace import table1_trace, worked_example
+from repro.bench.scaling import (
+    fig12_cabinet_scaling,
+    fig13_progress,
+    problem_size_for_cabinets,
+)
+from repro.machine.variability import NO_VARIABILITY
+
+
+class TestFig8Generator:
+    def test_reduced_sweep_structure(self):
+        data = fig8_dgemm_sweep(sizes=(4096, 10240), configs=("acmlg", "acmlg_both"))
+        assert set(data.series) == {"ACMLG", "ACMLG+both"}
+        assert data.xs() == [4096, 10240]
+        assert "combined gain avg, N>8192 (paper +22.19%)" in data.summary
+
+    def test_run_single_config(self):
+        gflops = run_dgemm_config("acmlg_both", 4096, warm_runs=1)
+        assert 50 < gflops < 280
+
+    def test_cpu_config_flat(self):
+        small = run_dgemm_config("cpu", 2048)
+        large = run_dgemm_config("cpu", 8192)
+        assert small == pytest.approx(large, rel=0.02)
+
+
+class TestFig9Generator:
+    def test_reduced_sweep(self):
+        data = fig9_linpack_sweep(sizes=(8000, 16000), configs=("cpu", "acmlg_both"))
+        assert set(data.series) == {"CPU", "ACMLG+both"}
+        both = dict(data.series["ACMLG+both"])
+        assert both[16000] > both[8000]
+
+
+class TestFig10Generator:
+    def test_small_run(self):
+        data = fig10_split_ratio(n=12000, variability=NO_VARIABILITY)
+        stored = data.series["stored GSplit"]
+        assert len(stored) == 12000 // 1216
+        assert all(0 <= v <= 1 for _, v in stored)
+        assert data.summary["initial GSplit (paper 0.889)"] == pytest.approx(0.889, abs=0.002)
+
+    def test_final_bins_subset_of_history(self):
+        data = fig10_split_ratio(n=12000, variability=NO_VARIABILITY)
+        assert len(data.series["final per-bin value"]) <= len(data.series["stored GSplit"])
+
+
+class TestFig11Generator:
+    def test_grid_for_shapes(self):
+        assert (grid_for(64).nprow, grid_for(64).npcol) == (8, 8)
+        assert (grid_for(2).nprow, grid_for(2).npcol) == (1, 2)
+        assert (grid_for(12).nprow, grid_for(12).npcol) == (3, 4)
+        assert grid_for(7).size == 7
+
+    def test_problem_size_scales_with_sqrt(self):
+        assert problem_size_for(4) == 2 * problem_size_for(1)
+
+    def test_tiny_comparison(self):
+        data = fig11_adaptive_vs_qilin(
+            proc_counts=(4,), seeds=(1,), per_element_n=20000
+        )
+        assert "ours (adaptive)" in data.series
+        assert data.summary["Qilin training energy, 1 cabinet (paper 37 kWh)"] == pytest.approx(37.0)
+
+
+class TestFig12And13Generators:
+    def test_problem_sizes(self):
+        assert problem_size_for_cabinets(1) == 280_000
+        assert problem_size_for_cabinets(80) == 2_240_000
+        assert problem_size_for_cabinets(4) == 560_000
+
+    def test_small_scaling(self):
+        data = fig12_cabinet_scaling(cabinets=(1, 2))
+        points = dict(data.series["Linpack (ours)"])
+        assert points[2] > points[1] * 1.5
+
+    def test_undefined_cabinet_count_rejected(self):
+        with pytest.raises(ValueError):
+            fig12_cabinet_scaling(cabinets=(3,))
+
+    def test_progress_small(self):
+        data = fig13_progress(cabinets=1, n=120_000)
+        curve = data.series["cumulative TFLOPS"]
+        assert curve[-1][0] == pytest.approx(100.0, abs=0.1)
+        assert data.summary["final (paper 563.1 TFLOPS)"] > 0
+
+
+class TestTraceGenerators:
+    def test_table1(self):
+        trace = table1_trace()
+        assert trace.task_order == ["T0", "T1", "T3", "T2"]
+        assert trace.overlap_confirmed
+        assert len(trace.rows) > 8
+
+    def test_table1_rejects_non_2x2(self):
+        with pytest.raises(ValueError):
+            table1_trace(n=4096)
+
+    def test_worked_example_values(self):
+        example = worked_example()
+        assert example.matrix_mb == pytest.approx(800.0)
+        assert example.transfer_seconds == pytest.approx(5.28, rel=1e-3)
+        assert example.compute_seconds == pytest.approx(8.33, rel=1e-2)
+        assert example.pipelined_gpu_path_seconds < example.compute_seconds + example.transfer_seconds

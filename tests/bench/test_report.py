@@ -1,0 +1,55 @@
+"""Unit tests for the benchmark reporting containers."""
+
+import pytest
+
+from repro.bench.report import SeriesData, series_table
+
+
+class TestSeriesData:
+    def make(self):
+        data = SeriesData(title="demo", x_label="N", y_label="GFLOPS")
+        data.add_point("a", 1024, 10.0)
+        data.add_point("a", 2048, 20.0)
+        data.add_point("b", 2048, 15.0)
+        return data
+
+    def test_add_and_xs(self):
+        data = self.make()
+        assert data.xs() == [1024, 2048]
+        assert data.series["a"] == [(1024, 10.0), (2048, 20.0)]
+
+    def test_table_contains_all_series(self):
+        table = self.make().table()
+        rendered = table.render()
+        assert "a" in rendered and "b" in rendered
+        assert "demo" in rendered
+
+    def test_missing_points_blank(self):
+        rows = self.make().table().rows
+        # x=1024 has no 'b' value: blank cell.
+        assert rows[0][2] == ""
+
+    def test_render_includes_summary(self):
+        data = self.make()
+        data.summary["anchor (paper 42)"] = 41.5
+        out = data.render()
+        assert "anchor (paper 42): 41.5" in out
+
+    def test_render_non_float_summary(self):
+        data = self.make()
+        data.summary["note"] = "shape preserved"
+        assert "note: shape preserved" in data.render()
+
+
+class TestSeriesTable:
+    def test_integer_x_formatting(self):
+        table = series_table("t", "x", {"s": [(2.0, 1.5)]})
+        assert table.rows[0][0] == "2"
+
+    def test_fractional_x_kept(self):
+        table = series_table("t", "x", {"s": [(2.5, 1.5)]})
+        assert table.rows[0][0] == "2.5"
+
+    def test_rows_sorted_by_x(self):
+        table = series_table("t", "x", {"s": [(3, 1.0), (1, 2.0)]})
+        assert [r[0] for r in table.rows] == ["1", "3"]

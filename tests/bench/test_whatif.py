@@ -1,0 +1,52 @@
+"""Fast-path tests for the what-if and scaling-study generators."""
+
+import pytest
+
+from repro.bench.scaling_studies import run_energy_ledger, strong_scaling
+from repro.bench.whatif import clock_sweep, endgame_fallback_study
+
+
+class TestClockSweep:
+    def test_small_sweep(self):
+        data = clock_sweep(clocks_mhz=(575.0, 750.0), n=120_000)
+        tflops = dict(data.series["TFLOPS"])
+        assert tflops[750.0] > tflops[575.0]
+        assert data.summary["fastest thermally-stable clock"] == 575.0
+        assert data.summary["max stable clock (MHz)"] == pytest.approx(652.8, abs=1.0)
+
+    def test_temperatures_reported(self):
+        data = clock_sweep(clocks_mhz=(575.0,), n=120_000)
+        temps = dict(data.series["die temp C"])
+        assert temps[575.0] == pytest.approx(92.0)
+
+    def test_power_scales_with_clock(self):
+        data = clock_sweep(clocks_mhz=(575.0, 750.0), n=120_000)
+        power = dict(data.series["power kW"])
+        assert power[750.0] > power[575.0]
+
+
+class TestEndgameFallback:
+    def test_never_hurts(self):
+        data = endgame_fallback_study(n=120_000)
+        assert data.summary["improvement"] >= 0.0
+        assert len(data.series["baseline"]) > 5
+        assert len(data.series["with endgame fallback"]) > 5
+
+
+class TestStrongScaling:
+    def test_two_point(self):
+        data = strong_scaling(n=280_000, cabinets=(1, 4))
+        tflops = dict(data.series["TFLOPS"])
+        assert tflops[4] > tflops[1]
+        eff = dict(data.series["parallel efficiency %"])
+        assert eff[1] == pytest.approx(100.0)
+        assert eff[4] < 100.0
+
+
+class TestEnergyLedger:
+    def test_consistency(self):
+        data = run_energy_ledger()
+        assert data.summary["run energy (kWh)"] == pytest.approx(
+            data.summary["run wall time (h)"] * 80 * 18.5, rel=1e-6
+        )
+        assert data.summary["Qilin training energy (kWh, paper 2960)"] == pytest.approx(2960.0)

@@ -1,0 +1,119 @@
+"""Unit and property tests for repro.blas.dgemm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.dgemm import dgemm, split_rows
+from repro.blas.reference import naive_matmul
+
+
+def rand(m, n, seed=0):
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+class TestDgemm:
+    def test_matches_naive(self):
+        a, b = rand(5, 4, 1), rand(4, 6, 2)
+        assert np.allclose(dgemm(1.0, a, b), naive_matmul(a, b))
+
+    def test_alpha_scaling(self):
+        a, b = rand(3, 3, 1), rand(3, 3, 2)
+        assert np.allclose(dgemm(2.5, a, b), 2.5 * (a @ b))
+
+    def test_beta_accumulate_inplace(self):
+        a, b = rand(3, 4, 1), rand(4, 2, 2)
+        c = rand(3, 2, 3)
+        expected = a @ b + c
+        out = dgemm(1.0, a, b, beta=1.0, c=c)
+        assert out is c
+        assert np.allclose(c, expected)
+
+    def test_general_alpha_beta(self):
+        a, b = rand(4, 4, 1), rand(4, 4, 2)
+        c = rand(4, 4, 3)
+        expected = 0.5 * (a @ b) + (-2.0) * c
+        dgemm(0.5, a, b, beta=-2.0, c=c)
+        assert np.allclose(c, expected)
+
+    def test_beta_zero_overwrites(self):
+        a, b = rand(2, 2, 1), rand(2, 2, 2)
+        c = np.full((2, 2), np.nan)  # beta=0 must not read C
+        # NaN * 0 would poison the result if beta were applied multiplicatively.
+        dgemm(1.0, a, b, beta=0.0, c=c)
+        assert np.allclose(c, a @ b)
+
+    def test_beta_without_c_rejected(self):
+        with pytest.raises(ValueError):
+            dgemm(1.0, rand(2, 2), rand(2, 2), beta=1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dgemm(1.0, rand(2, 3), rand(4, 2))
+
+    def test_wrong_c_shape_rejected(self):
+        with pytest.raises(ValueError):
+            dgemm(1.0, rand(2, 3), rand(3, 2), beta=1.0, c=np.zeros((3, 3)))
+
+    def test_hpl_update_signature(self):
+        """The trailing update C -= L @ U used by dgetrf."""
+        l, u = rand(6, 2, 1), rand(2, 5, 2)
+        c = rand(6, 5, 3)
+        expected = c - l @ u
+        dgemm(-1.0, l, u, beta=1.0, c=c)
+        assert np.allclose(c, expected)
+
+    @given(
+        st.integers(1, 12), st.integers(1, 12), st.integers(1, 12),
+        st.floats(-3, 3), st.floats(-3, 3), st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_numpy(self, m, k, n, alpha, beta, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.standard_normal((m, k)), rng.standard_normal((k, n))
+        c = rng.standard_normal((m, n))
+        expected = alpha * (a @ b) + beta * c
+        dgemm(alpha, a, b, beta=beta, c=c)
+        assert np.allclose(c, expected, atol=1e-9)
+
+
+class TestSplitRows:
+    def test_paper_two_way_split(self):
+        # Fig 3: M1 = M * GSplit, M2 = M * (1 - GSplit).
+        m1, m2 = split_rows(1000, [0.889, 0.111])
+        assert m1 + m2 == 1000
+        assert m1 == 889
+
+    def test_three_core_split(self):
+        parts = split_rows(100, [1 / 3, 1 / 3, 1 / 3])
+        assert sum(parts) == 100
+        assert max(parts) - min(parts) <= 1
+
+    def test_zero_fraction_gets_zero(self):
+        assert split_rows(10, [1.0, 0.0]) == [10, 0]
+
+    def test_zero_rows(self):
+        assert split_rows(0, [0.5, 0.5]) == [0, 0]
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            split_rows(10, [1.2, -0.2])
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            split_rows(10, [0.5, 0.2])
+
+    @given(
+        st.integers(0, 5000),
+        st.lists(st.floats(0.001, 1.0), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_sums_to_m_and_proportional(self, m, weights):
+        total = sum(weights)
+        fractions = [w / total for w in weights]
+        parts = split_rows(m, fractions)
+        assert sum(parts) == m
+        assert all(p >= 0 for p in parts)
+        for p, f in zip(parts, fractions):
+            assert abs(p - f * m) < len(fractions) + 1

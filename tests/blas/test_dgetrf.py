@@ -1,0 +1,142 @@
+"""Unit and property tests for the LU factorization kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.dgetrf import SingularMatrixError, dgetf2, dgetrf, lu_solve
+from repro.blas.dlaswp import invert_permutation
+from repro.blas.reference import extract_lu, hpl_residual
+
+
+def random_matrix(n, m=None, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, m if m is not None else n))
+
+
+def assert_palu(a_original, a_factored, piv):
+    """Check P A = L U via the recorded pivots."""
+    n = a_original.shape[0]
+    l, u = extract_lu(a_factored)
+    perm = invert_permutation(piv, n)
+    assert np.allclose(a_original[perm], l @ u, atol=1e-9)
+
+
+class TestDgetf2:
+    def test_square_palu(self):
+        a0 = random_matrix(8, seed=1)
+        a = a0.copy()
+        piv = dgetf2(a)
+        assert_palu(a0, a, piv)
+
+    def test_tall_panel(self):
+        """The HPL panel case: m >> nb."""
+        a0 = random_matrix(20, 4, seed=2)
+        a = a0.copy()
+        piv = dgetf2(a)
+        l, u = extract_lu(a)
+        perm = invert_permutation(piv, 20)
+        assert np.allclose(a0[perm], l @ u, atol=1e-9)
+
+    def test_pivot_magnitudes(self):
+        """Partial pivoting keeps all multipliers <= 1."""
+        a = random_matrix(10, seed=3)
+        dgetf2(a)
+        l = np.tril(a, -1)
+        assert np.max(np.abs(l)) <= 1.0 + 1e-12
+
+    def test_offset_shifts_pivots(self):
+        a = random_matrix(5, seed=4)
+        piv0 = dgetf2(a.copy(), offset=0)
+        piv7 = dgetf2(a.copy(), offset=7)
+        assert np.array_equal(piv7, piv0 + 7)
+
+    def test_singular_detected(self):
+        with pytest.raises(SingularMatrixError):
+            dgetf2(np.zeros((3, 3)))
+
+    def test_1x1(self):
+        a = np.array([[2.0]])
+        piv = dgetf2(a)
+        assert piv.tolist() == [0]
+        assert a[0, 0] == 2.0
+
+
+class TestDgetrf:
+    @pytest.mark.parametrize("nb", [1, 2, 3, 8, 64])
+    def test_blocked_matches_unblocked(self, nb):
+        a0 = random_matrix(12, seed=5)
+        blocked = a0.copy()
+        piv_b = dgetrf(blocked, nb=nb)
+        unblocked = a0.copy()
+        piv_u = dgetf2(unblocked)
+        assert np.allclose(blocked, unblocked, atol=1e-9)
+        assert np.array_equal(piv_b, piv_u)
+
+    def test_palu_identity(self):
+        a0 = random_matrix(30, seed=6)
+        a = a0.copy()
+        piv = dgetrf(a, nb=7)
+        assert_palu(a0, a, piv)
+
+    def test_matches_scipy(self):
+        import scipy.linalg
+
+        a0 = random_matrix(16, seed=7)
+        a = a0.copy()
+        dgetrf(a, nb=4)
+        p, l, u = scipy.linalg.lu(a0)
+        ours_l, ours_u = extract_lu(a)
+        # Same factorization up to the permutation convention: compare P A = L U.
+        assert np.allclose(ours_l @ ours_u, (p.T @ a0), atol=1e-9)
+
+    def test_rejects_bad_nb(self):
+        with pytest.raises(ValueError):
+            dgetrf(random_matrix(4), nb=0)
+
+    @given(st.integers(2, 24), st.integers(1, 10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_palu(self, n, nb, seed):
+        a0 = random_matrix(n, seed=seed)
+        a = a0.copy()
+        piv = dgetrf(a, nb=nb)
+        assert_palu(a0, a, piv)
+
+
+class TestLuSolve:
+    def test_solve_vector(self):
+        a0 = random_matrix(12, seed=8)
+        b = random_matrix(12, 1, seed=9).ravel()
+        a = a0.copy()
+        piv = dgetrf(a, nb=4)
+        x = lu_solve(a, piv, b)
+        assert np.allclose(a0 @ x, b, atol=1e-8)
+
+    def test_solve_matrix_rhs(self):
+        a0 = random_matrix(9, seed=10)
+        b = random_matrix(9, 3, seed=11)
+        a = a0.copy()
+        piv = dgetrf(a, nb=3)
+        x = lu_solve(a, piv, b)
+        assert np.allclose(a0 @ x, b, atol=1e-8)
+
+    def test_hpl_residual_passes(self):
+        """The full HPL acceptance test on our own factorization."""
+        n = 64
+        a0 = random_matrix(n, seed=12)
+        b = random_matrix(n, 1, seed=13).ravel()
+        a = a0.copy()
+        piv = dgetrf(a, nb=16)
+        x = lu_solve(a, piv, b)
+        assert hpl_residual(a0, x, b) < 16.0
+
+    @given(st.integers(2, 20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_solution_matches_numpy(self, n, seed):
+        a0 = random_matrix(n, seed=seed)
+        b = np.random.default_rng(seed + 1).standard_normal(n)
+        a = a0.copy()
+        piv = dgetrf(a, nb=5)
+        x = lu_solve(a, piv, b)
+        assert np.allclose(x, np.linalg.solve(a0, b), atol=1e-6)

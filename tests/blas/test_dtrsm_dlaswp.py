@@ -1,0 +1,132 @@
+"""Unit and property tests for dtrsm and dlaswp."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.dlaswp import dlaswp, invert_permutation
+from repro.blas.dtrsm import dtrsm
+from repro.blas.reference import naive_lower_solve, naive_upper_solve
+
+
+def well_conditioned_tri(n, uplo, unit_diag, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) * 0.3
+    a = np.tril(a) if uplo == "lower" else np.triu(a)
+    np.fill_diagonal(a, 1.0 if unit_diag else rng.uniform(1.0, 2.0, n) * np.sign(rng.standard_normal(n)))
+    return a
+
+
+class TestDtrsm:
+    @pytest.mark.parametrize("unit_diag", [False, True])
+    def test_lower_left_matches_naive(self, unit_diag):
+        a = well_conditioned_tri(7, "lower", unit_diag, 1)
+        b = np.random.default_rng(2).standard_normal((7, 3))
+        expected = naive_lower_solve(a, b, unit_diag)
+        dtrsm(a, b, side="left", uplo="lower", unit_diag=unit_diag, block=3)
+        assert np.allclose(b, expected)
+
+    @pytest.mark.parametrize("unit_diag", [False, True])
+    def test_upper_left_matches_naive(self, unit_diag):
+        a = well_conditioned_tri(7, "upper", unit_diag, 3)
+        b = np.random.default_rng(4).standard_normal((7, 2))
+        expected = naive_upper_solve(a, b, unit_diag)
+        dtrsm(a, b, side="left", uplo="upper", unit_diag=unit_diag, block=3)
+        assert np.allclose(b, expected)
+
+    def test_right_upper(self):
+        """X U = B: used when updating a row panel."""
+        u = well_conditioned_tri(5, "upper", False, 5)
+        b = np.random.default_rng(6).standard_normal((3, 5))
+        x_expected = np.linalg.solve(u.T, b.T).T
+        dtrsm(u, b, side="right", uplo="upper")
+        assert np.allclose(b, x_expected)
+
+    def test_right_lower(self):
+        l = well_conditioned_tri(5, "lower", False, 7)
+        b = np.random.default_rng(8).standard_normal((2, 5))
+        x_expected = np.linalg.solve(l.T, b.T).T
+        dtrsm(l, b, side="right", uplo="lower")
+        assert np.allclose(b, x_expected)
+
+    def test_solve_then_multiply_roundtrip(self):
+        l = well_conditioned_tri(9, "lower", True, 9)
+        b0 = np.random.default_rng(10).standard_normal((9, 4))
+        b = b0.copy()
+        dtrsm(l, b, side="left", uplo="lower", unit_diag=True, block=4)
+        assert np.allclose(l @ b, b0)
+
+    def test_empty_b(self):
+        a = well_conditioned_tri(3, "lower", False, 1)
+        b = np.zeros((3, 0))
+        assert dtrsm(a, b).shape == (3, 0)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            dtrsm(np.zeros((3, 4)), np.zeros((3, 2)))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dtrsm(np.eye(3), np.zeros((4, 2)))
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            dtrsm(np.eye(2), np.zeros((2, 2)), side="top")
+
+    @given(st.integers(1, 20), st.integers(1, 5), st.integers(1, 8),
+           st.booleans(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_blocked_equals_scipy(self, n, nrhs, block, unit_diag, seed):
+        import scipy.linalg
+
+        a = well_conditioned_tri(n, "lower", unit_diag, seed)
+        b = np.random.default_rng(seed + 1).standard_normal((n, nrhs))
+        expected = scipy.linalg.solve_triangular(a, b, lower=True, unit_diagonal=unit_diag)
+        dtrsm(a, b, side="left", uplo="lower", unit_diag=unit_diag, block=block)
+        assert np.allclose(b, expected, atol=1e-8)
+
+
+class TestDlaswp:
+    def test_identity_pivots_no_change(self):
+        a = np.arange(12.0).reshape(4, 3)
+        before = a.copy()
+        dlaswp(a, np.array([0, 1, 2, 3]))
+        assert np.array_equal(a, before)
+
+    def test_single_swap(self):
+        a = np.arange(6.0).reshape(3, 2)
+        dlaswp(a, np.array([2]))  # swap rows 0 and 2
+        assert a[0, 0] == 4.0 and a[2, 0] == 0.0
+
+    def test_sequential_semantics(self):
+        """Later swaps see the effect of earlier ones (LAPACK order)."""
+        a = np.arange(3.0).reshape(3, 1)
+        dlaswp(a, np.array([1, 2]))  # swap(0,1) then swap(1,2)
+        assert a.ravel().tolist() == [1.0, 2.0, 0.0]
+
+    def test_offset(self):
+        a = np.arange(4.0).reshape(4, 1)
+        dlaswp(a, np.array([3]), offset=2)  # swap rows 2 and 3
+        assert a.ravel().tolist() == [0.0, 1.0, 3.0, 2.0]
+
+    def test_out_of_range_pivot_rejected(self):
+        with pytest.raises(ValueError):
+            dlaswp(np.zeros((2, 2)), np.array([5]))
+
+    def test_invert_permutation_roundtrip(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((6, 4))
+        piv = np.array([3, 1, 5, 4, 4, 5])
+        swapped = dlaswp(a.copy(), piv)
+        perm = invert_permutation(piv, 6)
+        assert np.array_equal(swapped, a[perm])
+
+    @given(st.integers(1, 15), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_swaps_are_a_permutation(self, n, seed):
+        rng = np.random.default_rng(seed)
+        piv = np.array([rng.integers(i, n) for i in range(n)])
+        a = np.arange(float(n)).reshape(n, 1)
+        dlaswp(a, piv)
+        assert sorted(a.ravel().tolist()) == list(range(n))

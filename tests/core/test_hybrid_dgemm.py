@@ -1,0 +1,184 @@
+"""Unit and integration tests for the HybridDgemm executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveMapper
+from repro.core.hybrid_dgemm import HybridDgemm, cpu_only_dgemm
+from repro.core.static_map import StaticMapper
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY, VariabilitySpec
+from repro.sim import Simulator
+from repro.util.rng import RngStream
+
+
+def make_element(variability=NO_VARIABILITY, seed=0):
+    sim = Simulator()
+    return ComputeElement(
+        sim, tianhe1_element(), variability=variability, rng=RngStream(seed).child("el")
+    )
+
+
+def make_adaptive(element, **kw):
+    return AdaptiveMapper(element.initial_gsplit, 3, max_workload=2.0 * 20000**3, **kw)
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("pipelined", [False, True])
+    def test_full_alpha_beta(self, pipelined):
+        element = make_element()
+        hd = HybridDgemm(element, StaticMapper(0.7, 3), pipelined=pipelined, jitter=False)
+        rng = np.random.default_rng(0)
+        m, n, k = 400, 350, 220
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        c = rng.standard_normal((m, n))
+        c0 = c.copy()
+        hd.run_to_completion(m, n, k, a=a, b=b, c=c, alpha=1.5, beta=-0.5)
+        assert np.allclose(c, 1.5 * (a @ b) - 0.5 * c0)
+
+    def test_adaptive_numeric_stays_correct_across_runs(self):
+        """The result must be right regardless of how the split moves."""
+        element = make_element()
+        hd = HybridDgemm(element, make_adaptive(element), jitter=False)
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            a = rng.standard_normal((150, 80))
+            b = rng.standard_normal((80, 120))
+            c = np.zeros((150, 120))
+            hd.run_to_completion(150, 120, 80, a=a, b=b, c=c, alpha=1.0, beta=0.0)
+            assert np.allclose(c, a @ b)
+
+    def test_gpu_only_split(self):
+        element = make_element()
+        hd = HybridDgemm(element, StaticMapper(1.0, 3), jitter=False)
+        rng = np.random.default_rng(2)
+        a, b = rng.standard_normal((64, 32)), rng.standard_normal((32, 48))
+        c = np.zeros((64, 48))
+        res = hd.run_to_completion(64, 48, 32, a=a, b=b, c=c, beta=0.0)
+        assert res.m1 == 64
+        assert res.core_rows == (0, 0, 0)
+        assert np.allclose(c, a @ b)
+
+    def test_cpu_only_split(self):
+        element = make_element()
+        hd = HybridDgemm(element, StaticMapper(0.0, 3), jitter=False)
+        rng = np.random.default_rng(3)
+        a, b = rng.standard_normal((64, 32)), rng.standard_normal((32, 48))
+        c = np.zeros((64, 48))
+        res = hd.run_to_completion(64, 48, 32, a=a, b=b, c=c, beta=0.0)
+        assert res.m1 == 0
+        assert np.allclose(c, a @ b)
+
+    def test_shape_validation(self):
+        element = make_element()
+        hd = HybridDgemm(element, StaticMapper(0.5, 3))
+        with pytest.raises(ValueError):
+            hd.run_to_completion(10, 10, 10, a=np.zeros((5, 5)), b=np.zeros((10, 10)), c=np.zeros((10, 10)))
+
+
+class TestTimingBehaviour:
+    def test_result_fields_consistent(self):
+        element = make_element()
+        hd = HybridDgemm(element, StaticMapper(0.889, 3), jitter=False)
+        res = hd.run_to_completion(8192, 8192, 1216)
+        assert res.t_total >= max(res.t_gpu, res.t_cpu) * 0.999
+        assert res.m1 + sum(res.core_rows) == 8192
+        assert res.gflops > 0
+        assert res.workload == 2.0 * 8192 * 8192 * 1216
+
+    def test_makespan_is_slowest_path(self):
+        """'The end time is the last who finishes' (Section IV.A)."""
+        element = make_element()
+        hd = HybridDgemm(element, StaticMapper(0.889, 3), jitter=False)
+        res = hd.run_to_completion(10000, 10000, 1216)
+        assert res.t_total == pytest.approx(max(res.t_gpu, res.t_cpu), rel=1e-3)
+
+    def test_adaptive_beats_static_after_warmup(self):
+        n = 4096
+        static_el = make_element()
+        static = HybridDgemm(static_el, StaticMapper(static_el.initial_gsplit, 3), jitter=False)
+        t_static = static.run_to_completion(n, n, n).t_total
+
+        adaptive_el = make_element()
+        adaptive = HybridDgemm(adaptive_el, make_adaptive(adaptive_el), jitter=False)
+        for _ in range(4):
+            res = adaptive.run_to_completion(n, n, n)
+        assert res.t_total < t_static
+
+    def test_pipelined_beats_sync_above_texture_limit(self):
+        n = 12288
+        sync_el = make_element()
+        sync = HybridDgemm(sync_el, StaticMapper(1.0, 3), pipelined=False, jitter=False)
+        pipe_el = make_element()
+        pipe = HybridDgemm(pipe_el, StaticMapper(1.0, 3), pipelined=True, jitter=False)
+        assert pipe.run_to_completion(n, n, n).t_total < sync.run_to_completion(n, n, n).t_total
+
+    def test_no_pipeline_benefit_at_or_below_8192(self):
+        n = 8192
+        sync_el = make_element()
+        sync = HybridDgemm(sync_el, StaticMapper(1.0, 3), pipelined=False, jitter=False)
+        pipe_el = make_element()
+        pipe = HybridDgemm(pipe_el, StaticMapper(1.0, 3), pipelined=True, jitter=False)
+        t_sync = sync.run_to_completion(n, n, n, beta_nonzero=False).t_total
+        t_pipe = pipe.run_to_completion(n, n, n, beta_nonzero=False).t_total
+        assert t_pipe == pytest.approx(t_sync, rel=1e-6)
+
+    def test_mapper_overhead_negligible(self):
+        """Adaptive overhead must be tiny relative to the DGEMM itself."""
+        element = make_element()
+        hd = HybridDgemm(element, make_adaptive(element), jitter=False)
+        res = hd.run_to_completion(8192, 8192, 1216)
+        assert res.mapper_overhead > 0
+        assert res.mapper_overhead < 1e-4 * res.t_total
+
+    def test_static_mapper_no_overhead(self):
+        element = make_element()
+        hd = HybridDgemm(element, StaticMapper(0.889, 3), jitter=False)
+        assert hd.run_to_completion(4096, 4096, 1216).mapper_overhead == 0.0
+
+    def test_level2_balances_heterogeneous_cores(self):
+        """With the L2-share penalty active, per-core splits must converge so
+        the slow core gets proportionally fewer rows."""
+        var = VariabilitySpec(
+            core_jitter_sigma=0.0, gpu_jitter_sigma=0.0, element_spread_sigma=0.0,
+            l2_share_penalty=0.3, thermal_drift_depth=0.0,
+        )
+        element = make_element(var)
+        mapper = make_adaptive(element)
+        hd = HybridDgemm(element, mapper, pipelined=True, jitter=False)
+        for _ in range(6):
+            hd.run_to_completion(12288, 12288, 1216)
+        cs = mapper.csplits()
+        # Compute cores are 1, 2, 3; core 1 shares L2 with transfer core 0.
+        assert cs[0] < cs[1] and cs[0] < cs[2]
+        # Fixed point: rates (0.7r, r, r) -> splits (0.7, 1, 1)/2.7.
+        assert cs[0] == pytest.approx(0.7 / 2.7, abs=0.03)
+
+    def test_observation_fed_to_mapper(self):
+        element = make_element()
+        mapper = make_adaptive(element)
+        hd = HybridDgemm(element, mapper, jitter=False)
+        hd.run_to_completion(4096, 4096, 1216)
+        assert mapper.updates == 1
+        assert len(mapper.database_g.history) == 1
+
+
+class TestCpuOnly:
+    def test_uses_all_four_cores(self):
+        element = make_element()
+        sim = element.sim
+        n = 4096
+        elapsed = sim.run(until=sim.process(cpu_only_dgemm(element, n, n, n, jitter=False)))
+        rate = 2.0 * n**3 / elapsed
+        # 4 cores at 10.12 GFLOPS x 0.885 efficiency.
+        assert rate == pytest.approx(4 * 10.12e9 * 0.885, rel=0.01)
+
+    def test_cpu_only_beats_three_core_share(self):
+        """A host-only run outperforms the hybrid CPU portion alone (4 vs 3 cores)."""
+        element = make_element()
+        sim = element.sim
+        elapsed = sim.run(until=sim.process(cpu_only_dgemm(element, 1024, 1024, 1024, jitter=False)))
+        three_core = 2.0 * 1024**3 / (3 * 10.12e9 * 0.885)
+        assert elapsed < three_core

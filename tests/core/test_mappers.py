@@ -1,0 +1,195 @@
+"""Unit and property tests for the three mappers (adaptive / static / Qilin)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveMapper, Observation, update_overhead_seconds
+from repro.core.qilin import QilinMapper
+from repro.core.static_map import StaticMapper
+
+
+def make_obs(workload, gsplit, gpu_rate, core_rates, csplits=None):
+    """Synthesise the observation a run at the given true rates would produce."""
+    w_g = workload * gsplit
+    w_c = workload - w_g
+    n = len(core_rates)
+    csplits = csplits if csplits is not None else [1.0 / n] * n
+    core_w = tuple(w_c * s for s in csplits)
+    return Observation(
+        workload=workload,
+        gpu_workload=w_g,
+        gpu_time=w_g / gpu_rate if gpu_rate > 0 else 0.0,
+        core_workloads=core_w,
+        core_times=tuple(w / r for w, r in zip(core_w, core_rates)),
+    )
+
+
+class TestObservation:
+    def test_cpu_aggregates(self):
+        obs = make_obs(100.0, 0.8, 10.0, [1.0, 2.0])
+        assert obs.cpu_workload == pytest.approx(20.0)
+        assert obs.cpu_time == pytest.approx(10.0)  # slowest core: 10/1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Observation(-1.0, 0.0, 0.0, (), ())
+        with pytest.raises(ValueError):
+            Observation(1.0, 0.0, 0.0, (1.0,), ())
+
+
+class TestAdaptiveMapper:
+    def make(self, initial=0.889, n_cores=3):
+        return AdaptiveMapper(initial, n_cores, max_workload=1e12, n_bins=8)
+
+    def test_initial_lookups(self):
+        mapper = self.make()
+        assert mapper.gsplit(1e9) == 0.889
+        assert np.allclose(mapper.csplits(), [1 / 3] * 3)
+
+    def test_level1_update_rule(self):
+        """GSplit' = P_G / (P_G + P_C), exactly (Section IV.B)."""
+        mapper = self.make()
+        obs = make_obs(1e9, 0.889, gpu_rate=100.0e9, core_rates=[10e9, 10e9, 10e9])
+        mapper.observe(obs)
+        assert mapper.gsplit(1e9) == pytest.approx(100.0 / 130.0)
+
+    def test_level2_update_rule(self):
+        """CSplit_i' = P_Ci / sum_j P_Cj."""
+        mapper = self.make()
+        obs = make_obs(1e9, 0.5, gpu_rate=100e9, core_rates=[10e9, 20e9, 30e9])
+        mapper.observe(obs)
+        assert np.allclose(mapper.csplits(), [10 / 60, 20 / 60, 30 / 60])
+
+    def test_convergence_under_stationary_rates(self):
+        """Repeated observations converge to the true rate ratio."""
+        mapper = self.make()
+        g_rate, c_rates = 150e9, [9e9, 10e9, 11e9]
+        for _ in range(12):
+            gs = mapper.gsplit(5e11)
+            cs = mapper.csplits()
+            mapper.observe(make_obs(5e11, gs, g_rate, c_rates, csplits=list(cs)))
+        assert mapper.gsplit(5e11) == pytest.approx(150 / 180, abs=1e-6)
+        assert np.allclose(mapper.csplits(), np.array(c_rates) / 30e9, atol=1e-6)
+
+    def test_bins_are_independent(self):
+        mapper = self.make()
+        mapper.observe(make_obs(1e9, 0.889, 100e9, [10e9] * 3))
+        assert mapper.gsplit(9e11) == 0.889  # far-away bin untouched
+
+    def test_zero_gpu_work_respects_floor(self):
+        mapper = AdaptiveMapper(0.5, 3, max_workload=1e12, min_gsplit=0.01)
+        obs = Observation(1e9, 0.0, 0.0, (3e8, 3e8, 4e8), (0.1, 0.1, 0.1))
+        mapper.observe(obs)
+        assert mapper.gsplit(1e9) == 0.01
+
+    def test_literal_paper_rule_with_zero_floor(self):
+        mapper = AdaptiveMapper(0.5, 3, max_workload=1e12, min_gsplit=0.0)
+        obs = Observation(1e9, 0.0, 0.0, (3e8, 3e8, 4e8), (0.1, 0.1, 0.1))
+        mapper.observe(obs)
+        assert mapper.gsplit(1e9) == 0.0
+
+    def test_unmeasurable_round_is_skipped(self):
+        mapper = self.make()
+        mapper.observe(Observation(1e9, 0.0, 0.0, (0.0,) * 3, (0.0,) * 3))
+        assert mapper.gsplit(1e9) == 0.889  # unchanged
+        assert np.allclose(mapper.csplits(), [1 / 3] * 3)
+
+    def test_core_starvation_floor(self):
+        mapper = AdaptiveMapper(0.5, 2, max_workload=1e12, min_csplit=0.05)
+        # One core 100x faster: raw rule would starve the slow one to ~1%.
+        mapper.observe(make_obs(1e9, 0.5, 100e9, [100e9, 1e9]))
+        cs = mapper.csplits()
+        assert cs.min() >= 0.05 - 1e-12
+        assert cs.sum() == pytest.approx(1.0)
+
+    def test_overhead_accounting(self):
+        mapper = self.make()
+        assert mapper.total_overhead_seconds == 0.0
+        mapper.observe(make_obs(1e9, 0.889, 100e9, [10e9] * 3))
+        assert mapper.total_overhead_seconds == pytest.approx(update_overhead_seconds())
+        # The paper's claim: overhead is negligible (well under a millisecond).
+        assert update_overhead_seconds() < 1e-4
+
+    @given(
+        st.floats(1e9, 1e12),
+        st.floats(0.05, 0.95),
+        st.floats(1e9, 1e12),
+        st.lists(st.floats(1e8, 1e11), min_size=2, max_size=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_splits_stay_valid(self, workload, gsplit, gpu_rate, core_rates):
+        mapper = AdaptiveMapper(0.5, len(core_rates), max_workload=1e12)
+        mapper.observe(make_obs(workload, gsplit, gpu_rate, core_rates))
+        assert 0.0 <= mapper.gsplit(workload) <= 1.0
+        cs = mapper.csplits()
+        assert np.all(cs >= 0)
+        assert cs.sum() == pytest.approx(1.0)
+
+    @given(st.floats(5e9, 5e11), st.floats(1e9, 1e12), st.lists(st.floats(1e9, 5e10), min_size=3, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_property_fixed_point_is_rate_ratio(self, workload, gpu_rate, core_rates):
+        mapper = AdaptiveMapper(0.5, 3, max_workload=1e12, min_gsplit=0.0, min_csplit=0.0)
+        for _ in range(25):
+            gs = mapper.gsplit(workload)
+            cs = mapper.csplits()
+            mapper.observe(make_obs(workload, gs, gpu_rate, core_rates, csplits=list(cs)))
+        expected = gpu_rate / (gpu_rate + sum(core_rates))
+        assert mapper.gsplit(workload) == pytest.approx(expected, rel=1e-3)
+
+
+class TestStaticMapper:
+    def test_fixed_everything(self):
+        mapper = StaticMapper(0.889, 3)
+        mapper.observe(make_obs(1e9, 0.889, 1e9, [1e9] * 3))
+        assert mapper.gsplit(1e9) == 0.889
+        assert mapper.gsplit(1e15) == 0.889
+        assert np.allclose(mapper.csplits(), [1 / 3] * 3)
+        assert mapper.total_overhead_seconds == 0.0
+
+    def test_does_not_adapt_flag(self):
+        assert StaticMapper(0.5, 2).adapts_at_runtime is False
+
+
+class TestQilinMapper:
+    def make(self):
+        return QilinMapper(0.889, 3, max_workload=1e12, n_bins=8)
+
+    def test_training_updates_then_freeze(self):
+        mapper = self.make()
+        mapper.observe(make_obs(1e9, 0.889, 100e9, [10e9] * 3))
+        trained = mapper.gsplit(1e9)
+        assert trained == pytest.approx(100 / 130)
+        mapper.freeze()
+        # Run-time conditions changed (GPU slower); mapping must not move.
+        mapper.observe(make_obs(1e9, trained, 50e9, [10e9] * 3))
+        assert mapper.gsplit(1e9) == trained
+
+    def test_training_observation_count(self):
+        mapper = self.make()
+        mapper.observe(make_obs(1e9, 0.889, 100e9, [10e9] * 3))
+        mapper.freeze()
+        mapper.observe(make_obs(1e9, 0.5, 100e9, [10e9] * 3))
+        assert mapper.training_observations == 1
+
+    def test_paper_training_energy(self):
+        """Section VI.C: 2 h at 18.5 kW = 37 kWh per cabinet."""
+        mapper = self.make()
+        mapper.record_training_time(2 * 3600.0)
+        assert mapper.training_energy_kwh(18.5) == pytest.approx(37.0)
+        # Full system: 80 cabinets' worth of training energy.
+        assert 80 * mapper.training_energy_kwh(18.5) == pytest.approx(2960.0)
+
+    def test_cannot_record_training_after_freeze(self):
+        mapper = self.make()
+        mapper.freeze()
+        with pytest.raises(ValueError):
+            mapper.record_training_time(10.0)
+
+    def test_frozen_property(self):
+        mapper = self.make()
+        assert not mapper.frozen
+        mapper.freeze()
+        assert mapper.frozen
+        assert mapper.total_overhead_seconds == 0.0

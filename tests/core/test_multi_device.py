@@ -1,0 +1,130 @@
+"""Tests for the dual-GPU element and the multi-device mapper extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveMapper
+from repro.core.hybrid_dgemm import HybridDgemm
+from repro.core.multi_device import (
+    DualGpuDgemm,
+    MultiDeviceMapper,
+    MultiSplitDatabase,
+)
+from repro.machine.dual import DualGpuElement
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.sim import Simulator
+from repro.util.units import dgemm_flops
+
+
+def make_dual():
+    sim = Simulator()
+    return DualGpuElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+
+
+def make_dual_engine(pipelined=True):
+    element = make_dual()
+    mapper = MultiDeviceMapper(
+        element.initial_device_splits(), 3,
+        max_workload=dgemm_flops(2 * 16384, 2 * 16384, 2 * 16384),
+    )
+    return element, mapper, DualGpuDgemm(element, mapper, pipelined=pipelined, jitter=False)
+
+
+class TestDualGpuElement:
+    def test_two_chips(self):
+        element = make_dual()
+        assert len(element.gpus) == 2
+        assert element.gpu2.name.endswith("gpu2")
+        assert element.gpu2.peak_flops == element.gpu.peak_flops
+
+    def test_peak_counts_both_chips(self):
+        element = make_dual()
+        assert element.peak_flops == pytest.approx(2 * 240e9 + 40.48e9, rel=1e-3)
+
+    def test_initial_splits_from_peaks(self):
+        splits = make_dual().initial_device_splits()
+        assert len(splits) == 3
+        assert sum(splits) == pytest.approx(1.0)
+        assert splits[0] == splits[1] > splits[2]
+
+    def test_second_chip_runs_hotter(self):
+        element = make_dual()
+        t = 1e6  # fully warmed
+        assert element.gpu2.drift(t) < element.gpu.drift(t)
+
+
+class TestMultiSplitDatabase:
+    def test_lookup_initial(self):
+        db = MultiSplitDatabase(3, 8, 1e12, [0.45, 0.45, 0.10])
+        assert np.allclose(db.lookup(5e11), [0.45, 0.45, 0.10])
+
+    def test_store_per_bin(self):
+        db = MultiSplitDatabase(3, 8, 1e12, [0.45, 0.45, 0.10])
+        db.store(5e11, np.array([0.5, 0.3, 0.2]))
+        assert np.allclose(db.lookup(5e11), [0.5, 0.3, 0.2])
+        assert np.allclose(db.lookup(1e11), [0.45, 0.45, 0.10])
+
+    def test_validation(self):
+        db = MultiSplitDatabase(2, 4, 1e12, [0.5, 0.5])
+        with pytest.raises(ValueError):
+            db.store(1e11, np.array([0.7, 0.7]))
+        with pytest.raises(ValueError):
+            MultiSplitDatabase(1, 4, 1e12, [1.0])
+
+
+class TestMultiDeviceMapper:
+    def test_update_rule_generalises_the_paper(self):
+        mapper = MultiDeviceMapper([0.45, 0.45, 0.10], 3, max_workload=1e12)
+        mapper.observe(1e11, [4.5e10, 4.5e10, 1e10], [0.3, 0.6, 0.5])
+        # Rates: 150e9, 75e9, 20e9 -> fractions proportional.
+        got = mapper.fractions(1e11)
+        expected = np.array([150.0, 75.0, 20.0])
+        assert np.allclose(got, expected / expected.sum(), atol=1e-6)
+
+    def test_starvation_floor(self):
+        mapper = MultiDeviceMapper([0.5, 0.4, 0.1], 3, max_workload=1e12, min_fraction=0.05)
+        mapper.observe(1e11, [5e10, 4e10, 1e10], [0.1, 0.1, 1e6])
+        assert mapper.fractions(1e11).min() >= 0.05 - 1e-12
+
+
+class TestDualGpuDgemm:
+    def test_runs_and_accounts(self):
+        _, mapper, engine = make_dual_engine()
+        result = engine.run_to_completion(16384, 16384, 1216)
+        assert result.t_total > 0
+        assert sum(result.fractions) == pytest.approx(1.0)
+        assert mapper.updates == 1
+
+    def test_both_chips_do_work(self):
+        element, _, engine = make_dual_engine()
+        engine.run_to_completion(16384, 16384, 1216)
+        assert element.gpu.flops_done > 0
+        assert element.gpu2.flops_done > 0
+
+    def test_adaptive_convergence(self):
+        _, mapper, engine = make_dual_engine()
+        for _ in range(5):
+            result = engine.run_to_completion(16384, 16384, 1216)
+        # Device times roughly equalise at the fixed point.
+        times = list(result.t_gpu) + [max(result.core_times)]
+        assert max(times) / min(times) < 1.35
+
+    def test_dual_beats_single_but_sublinearly(self):
+        """Both chips help, but the shared PCIe slot caps the gain."""
+        n, k = 16384, 1216
+        single_el = ComputeElement(Simulator(), tianhe1_element(), variability=NO_VARIABILITY)
+        single_mapper = AdaptiveMapper(
+            single_el.initial_gsplit, 3, max_workload=dgemm_flops(2 * n, 2 * n, 2 * n)
+        )
+        single = HybridDgemm(single_el, single_mapper, pipelined=True, jitter=False)
+        for _ in range(4):
+            single_result = single.run_to_completion(n, n, k)
+
+        _, _, dual_engine = make_dual_engine()
+        for _ in range(4):
+            dual_result = dual_engine.run_to_completion(n, n, k)
+
+        speedup = dual_result.gflops / single_result.gflops
+        assert 1.05 < speedup < 1.95, f"dual/single speedup {speedup:.2f}"

@@ -1,0 +1,84 @@
+"""Tests for mapping-database persistence across runs."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveMapper
+from repro.core.hybrid_dgemm import HybridDgemm
+from repro.core.persistence import load_mapper, mapper_state, restore_mapper, save_mapper
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.sim import Simulator
+from repro.util.units import dgemm_flops
+
+
+def trained_mapper():
+    mapper = AdaptiveMapper(0.889, 3, max_workload=1e12, n_bins=16)
+    from tests.core.test_mappers import make_obs
+
+    mapper.observe(make_obs(2e11, 0.889, 150e9, [9e9, 10e9, 11e9]))
+    mapper.observe(make_obs(8e11, 0.889, 180e9, [9e9, 10e9, 11e9]))
+    return mapper
+
+
+class TestRoundTrip:
+    def test_state_restores_identically(self):
+        mapper = trained_mapper()
+        clone = restore_mapper(mapper_state(mapper))
+        assert np.array_equal(clone.database_g.values(), mapper.database_g.values())
+        assert np.array_equal(clone.database_g.written_mask(), mapper.database_g.written_mask())
+        assert np.allclose(clone.csplits(), mapper.csplits())
+        assert clone.updates == mapper.updates
+        assert clone.min_gsplit == mapper.min_gsplit
+
+    def test_file_roundtrip(self, tmp_path):
+        mapper = trained_mapper()
+        path = save_mapper(mapper, tmp_path / "db.json")
+        clone = load_mapper(path)
+        assert clone.gsplit(2e11) == mapper.gsplit(2e11)
+        assert clone.gsplit(8e11) == mapper.gsplit(8e11)
+
+    def test_restored_mapper_keeps_learning(self):
+        mapper = restore_mapper(mapper_state(trained_mapper()))
+        from tests.core.test_mappers import make_obs
+
+        before = mapper.gsplit(2e11)
+        mapper.observe(make_obs(2e11, before, 60e9, [10e9] * 3))
+        assert mapper.gsplit(2e11) != before
+
+    def test_version_checked(self):
+        state = mapper_state(trained_mapper())
+        state["version"] = 99
+        with pytest.raises(ValueError):
+            restore_mapper(state)
+
+
+class TestSecondProcessProtocol:
+    """The paper's cross-run persistence: a fresh 'process' starts warm."""
+
+    def test_warm_start_beats_cold_start(self):
+        n = 4096
+        # Process 1: learn.
+        element1 = ComputeElement(Simulator(), tianhe1_element(), variability=NO_VARIABILITY)
+        mapper1 = AdaptiveMapper(
+            element1.initial_gsplit, 3, max_workload=dgemm_flops(2 * n, 2 * n, 2 * n)
+        )
+        engine1 = HybridDgemm(element1, mapper1, jitter=False)
+        for _ in range(4):
+            engine1.run_to_completion(n, n, n)
+        state = mapper_state(mapper1)
+
+        # Process 2 (fresh simulator/element): starts from the saved DBs.
+        element2 = ComputeElement(Simulator(), tianhe1_element(), variability=NO_VARIABILITY)
+        warm = HybridDgemm(element2, restore_mapper(state), jitter=False)
+        warm_first = warm.run_to_completion(n, n, n)
+
+        element3 = ComputeElement(Simulator(), tianhe1_element(), variability=NO_VARIABILITY)
+        cold_mapper = AdaptiveMapper(
+            element3.initial_gsplit, 3, max_workload=dgemm_flops(2 * n, 2 * n, 2 * n)
+        )
+        cold = HybridDgemm(element3, cold_mapper, jitter=False)
+        cold_first = cold.run_to_completion(n, n, n)
+
+        assert warm_first.gflops > cold_first.gflops

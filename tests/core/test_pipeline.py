@@ -1,0 +1,175 @@
+"""Unit tests for the software pipeline and its synchronous counterpart."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EO, IDLE, INPUT, N_INPUT, SoftwarePipeline, SyncExecutor
+from repro.core.taskqueue import build_task_queue
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.sim import Simulator
+
+
+def make_element():
+    sim = Simulator()
+    return ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+
+
+def run_executor(executor, queue, rate):
+    sim = executor.sim
+    return sim.run(until=sim.process(executor.execute(queue, rate)))
+
+
+def multi_task_queue(n=16384, k=1216, beta=False):
+    return build_task_queue(n, n, k, beta_nonzero=beta, gpu_memory_bytes=1e9)
+
+
+class TestSyncExecutor:
+    def test_duration_is_sum_of_phases(self):
+        element = make_element()
+        queue = build_task_queue(4096, 4096, 1216, beta_nonzero=False)
+        rate = 100e9
+        result = run_executor(SyncExecutor(element, jitter=False), queue, rate)
+        t_in = element.pcie.duration(queue.input_bytes)
+        t_kernel = element.spec.gpu.kernel_launch_overhead + queue.tasks[0].flops / rate
+        t_out = element.pcie.duration(queue.output_bytes)
+        # Serial input -> kernel -> output (latencies per chunk add a little).
+        assert result.duration == pytest.approx(t_in + t_kernel + t_out, rel=0.05)
+
+    def test_empty_queue(self):
+        element = make_element()
+        queue = build_task_queue(0, 100, 100)
+        result = run_executor(SyncExecutor(element), queue, 1e9)
+        assert result.duration == 0.0
+        assert result.n_tasks == 0
+
+
+class TestSoftwarePipeline:
+    def test_faster_than_sync_with_multiple_tasks(self):
+        queue = multi_task_queue()
+        rate = 150e9
+        sync = run_executor(SyncExecutor(make_element(), jitter=False), queue, rate)
+        pipe = run_executor(SoftwarePipeline(make_element(), jitter=False), queue, rate)
+        assert pipe.n_tasks > 1
+        assert pipe.duration < sync.duration
+
+    def test_single_task_degenerates_to_sync(self):
+        """Section VI.B: no benefit when only one task is in the queue."""
+        queue = build_task_queue(4096, 4096, 1216, beta_nonzero=False)
+        assert len(queue) == 1
+        rate = 150e9
+        sync = run_executor(SyncExecutor(make_element(), jitter=False), queue, rate)
+        pipe = run_executor(SoftwarePipeline(make_element(), jitter=False), queue, rate)
+        assert pipe.duration == pytest.approx(sync.duration, rel=1e-9)
+
+    def test_kernel_time_cannot_be_hidden(self):
+        """Pipeline duration is bounded below by total kernel time."""
+        queue = multi_task_queue()
+        rate = 150e9
+        element = make_element()
+        pipe = run_executor(SoftwarePipeline(element, jitter=False), queue, rate)
+        total_kernel = sum(
+            element.spec.gpu.kernel_launch_overhead + t.flops / rate for t in queue.tasks
+        )
+        assert pipe.duration >= total_kernel * 0.999
+
+    def test_compute_bound_pipeline_hides_almost_all_transfers(self):
+        """When kernels dominate, duration ~ prologue + kernels + epilogue (§V.B)."""
+        queue = multi_task_queue()
+        slow_rate = 30e9  # make kernels dominate transfers decisively
+        element = make_element()
+        pipe = run_executor(SoftwarePipeline(element, jitter=False), queue, slow_rate)
+        total_kernel = sum(
+            element.spec.gpu.kernel_launch_overhead + t.flops / slow_rate for t in queue.tasks
+        )
+        prologue = element.pcie.duration(queue.tasks[0].input_bytes)
+        assert pipe.duration == pytest.approx(total_kernel + prologue, rel=0.02)
+
+    def test_transfer_bound_pipeline_limited_by_link(self):
+        """When transfers dominate, duration ~ host-hop time of all bytes.
+
+        The host-side hop is the bottleneck; the fast GPU-side hop of one
+        transfer overlaps the host hop of the next, so total time approaches
+        bytes / host_bw rather than the serial two-hop sum.
+        """
+        queue = multi_task_queue()
+        fast_rate = 1e15  # kernels are instantaneous
+        element = make_element()
+        pipe = run_executor(SoftwarePipeline(element, jitter=False), queue, fast_rate)
+        total_bytes = queue.input_bytes + queue.output_bytes
+        host_hop = total_bytes / element.spec.pcie.pinned_bw
+        two_hop = element.pcie.duration(total_bytes)
+        assert host_hop * 0.99 <= pipe.duration <= two_hop
+
+    def test_input_overlaps_previous_eo(self):
+        """NT's N-INPUT must begin while CT is still in EO (Fig. 7)."""
+        queue = multi_task_queue()
+        element = make_element()
+        pipe = SoftwarePipeline(element, jitter=False, record_states=True)
+        result = run_executor(pipe, queue, 150e9)
+        log = result.state_log
+        # Find CT's EO start for task 0 and NT's N-INPUT for task 1.
+        eo0 = next(r for r in log if r.controller == "CT" and r.state == EO)
+        nin1 = next(r for r in log if r.controller == "NT" and r.state == N_INPUT)
+        eo0_end = next(
+            r.time for r in log if r.controller == "CT" and r.state == EO and r.task != eo0.task
+        )
+        assert eo0.time <= nin1.time < eo0_end
+
+    def test_state_log_sequence_matches_table1(self):
+        """First transitions follow Table I: CT Idle->Input->EO; NT N-Idle->N-Input."""
+        queue = multi_task_queue()
+        pipe = SoftwarePipeline(make_element(), jitter=False, record_states=True)
+        result = run_executor(pipe, queue, 150e9)
+        ct = [r.state for r in result.state_log if r.controller == "CT"]
+        assert ct[:3] == [IDLE, INPUT, EO]
+        # After the prologue, CT never enters INPUT again (all inputs prefetched).
+        assert INPUT not in ct[3:]
+        nt = [r.state for r in result.state_log if r.controller == "NT"]
+        assert nt[0] == "N-Idle"
+        assert N_INPUT in nt
+
+    def test_schedule_rows_render(self):
+        queue = multi_task_queue()
+        pipe = SoftwarePipeline(make_element(), jitter=False, record_states=True)
+        result = run_executor(pipe, queue, 150e9)
+        rows = result.schedule_rows()
+        assert len(rows) == len(result.state_log)
+        assert any(row[EO] for row in rows)
+
+    def test_numeric_mode_computes_correct_product(self):
+        from repro.core.pipeline import NumericContext
+
+        rng = np.random.default_rng(3)
+        m1, n, k = 500, 400, 300
+        a1 = rng.standard_normal((m1, k))
+        b = rng.standard_normal((k, n))
+        c1 = rng.standard_normal((m1, n))
+        c0 = c1.copy()
+        queue = build_task_queue(m1, n, k, texture_limit=256, beta_nonzero=True)
+        assert len(queue) > 4  # exercise multi-task and K-splitting
+        element = make_element()
+        ctx = NumericContext(a1=a1, b=b, c1=c1, alpha=2.0, beta=0.5)
+        run_executor_numeric(element, queue, ctx)
+        assert np.allclose(c1, 2.0 * (a1 @ b) + 0.5 * c0)
+
+    def test_numeric_mode_beta_zero(self):
+        from repro.core.pipeline import NumericContext
+
+        rng = np.random.default_rng(4)
+        m1, n, k = 300, 300, 700
+        a1 = rng.standard_normal((m1, k))
+        b = rng.standard_normal((k, n))
+        c1 = np.full((m1, n), np.nan)  # beta=0 must not read C
+        queue = build_task_queue(m1, n, k, texture_limit=256, beta_nonzero=False)
+        element = make_element()
+        ctx = NumericContext(a1=a1, b=b, c1=c1, alpha=1.0, beta=0.0)
+        run_executor_numeric(element, queue, ctx)
+        assert np.allclose(c1, a1 @ b)
+
+
+def run_executor_numeric(element, queue, ctx):
+    pipe = SoftwarePipeline(element, jitter=False)
+    sim = element.sim
+    return sim.run(until=sim.process(pipe.execute(queue, 150e9, ctx)))

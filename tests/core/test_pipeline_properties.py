@@ -1,0 +1,92 @@
+"""Property-based tests for the software pipeline (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import NumericContext, SoftwarePipeline, SyncExecutor
+from repro.core.taskqueue import build_task_queue
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.sim import Simulator
+
+shapes = st.tuples(
+    st.integers(1000, 24000),  # m1
+    st.integers(1000, 24000),  # n
+    st.integers(100, 10000),  # k
+)
+rates = st.floats(20e9, 250e9)
+
+
+def run(executor_cls, queue, rate):
+    sim = Simulator()
+    element = ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+    executor = executor_cls(element, jitter=False)
+    result = sim.run(until=sim.process(executor.execute(queue, rate)))
+    return result, element
+
+
+class TestPipelineProperties:
+    @given(shapes, rates)
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_never_slower_than_sync(self, shape, rate):
+        m1, n, k = shape
+        queue = build_task_queue(m1, n, k, gpu_memory_bytes=1e9)
+        sync, _ = run(SyncExecutor, queue, rate)
+        pipe, _ = run(SoftwarePipeline, queue, rate)
+        assert pipe.duration <= sync.duration * (1 + 1e-9)
+
+    @given(shapes, rates)
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_time_lower_bound(self, shape, rate):
+        """No scheduling trick can beat total kernel time."""
+        m1, n, k = shape
+        queue = build_task_queue(m1, n, k, gpu_memory_bytes=1e9)
+        pipe, element = run(SoftwarePipeline, queue, rate)
+        overhead = element.spec.gpu.kernel_launch_overhead
+        min_kernels = sum(t.flops for t in queue.tasks) / rate
+        assert pipe.duration >= min_kernels * 0.999
+
+    @given(shapes, rates)
+    @settings(max_examples=25, deadline=None)
+    def test_link_time_lower_bound(self, shape, rate):
+        """Nor can it beat the host-hop time of the total traffic."""
+        m1, n, k = shape
+        queue = build_task_queue(m1, n, k, gpu_memory_bytes=1e9)
+        pipe, element = run(SoftwarePipeline, queue, rate)
+        host_bw = element.spec.pcie.pinned_bw
+        link_floor = (queue.input_bytes + queue.output_bytes) / host_bw
+        assert pipe.duration >= link_floor * 0.999
+
+    @given(shapes)
+    @settings(max_examples=20, deadline=None)
+    def test_traffic_identical_between_executors(self, shape):
+        """Pipelining reorders transfers; it must not change their volume."""
+        m1, n, k = shape
+        queue = build_task_queue(m1, n, k, gpu_memory_bytes=1e9)
+        _, sync_el = run(SyncExecutor, queue, 100e9)
+        _, pipe_el = run(SoftwarePipeline, queue, 100e9)
+        assert sync_el.pcie.bytes_to_gpu == pytest.approx(pipe_el.pcie.bytes_to_gpu)
+        assert sync_el.pcie.bytes_to_host == pytest.approx(pipe_el.pcie.bytes_to_host)
+        assert sync_el.pcie.bytes_to_gpu == queue.input_bytes
+        assert sync_el.pcie.bytes_to_host == queue.output_bytes
+
+    @given(st.integers(50, 400), st.integers(50, 400), st.integers(50, 400),
+           st.integers(32, 200), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_numeric_correct_for_any_tiling(self, m1, n, k, limit, seed):
+        """Whatever the task/tile structure, the math must be exact."""
+        rng = np.random.default_rng(seed)
+        a1 = rng.standard_normal((m1, k))
+        b = rng.standard_normal((k, n))
+        c1 = rng.standard_normal((m1, n))
+        expected = a1 @ b + c1
+        queue = build_task_queue(m1, n, k, texture_limit=limit, beta_nonzero=True)
+        sim = Simulator()
+        element = ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+        pipe = SoftwarePipeline(element, jitter=False)
+        ctx = NumericContext(a1=a1, b=b, c1=c1, alpha=1.0, beta=1.0)
+        sim.run(until=sim.process(pipe.execute(queue, 100e9, ctx)))
+        assert np.allclose(c1, expected, atol=1e-9)

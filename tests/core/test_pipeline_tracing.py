@@ -1,0 +1,54 @@
+"""Interval tracing through the executors + Gantt rendering."""
+
+from repro.core.pipeline import SoftwarePipeline, SyncExecutor
+from repro.core.taskqueue import build_task_queue
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.sim import Simulator, Tracer
+from repro.sim.gantt import render_tracer
+
+
+def run_traced(executor_cls):
+    sim = Simulator()
+    element = ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+    tracer = Tracer(sim)
+    queue = build_task_queue(16384, 16384, 1216, beta_nonzero=False, gpu_memory_bytes=1e9)
+    executor = executor_cls(element, jitter=False, tracer=tracer)
+    sim.run(until=sim.process(executor.execute(queue, 150e9)))
+    return tracer
+
+
+class TestExecutorTracing:
+    def test_pipeline_inputs_overlap_previous_eo(self):
+        tracer = run_traced(SoftwarePipeline)
+        eo0 = tracer.intervals(actor="T0", phase="eo")[0]
+        in1 = tracer.intervals(actor="T1", phase="input")[0]
+        assert eo0.overlaps(in1)
+
+    def test_sync_never_overlaps(self):
+        tracer = run_traced(SyncExecutor)
+        spans = tracer.intervals()
+        for a in spans:
+            for b in spans:
+                if a is not b:
+                    assert not a.overlaps(b), f"{a} overlaps {b} in sync mode"
+
+    def test_every_task_has_eo_interval(self):
+        tracer = run_traced(SoftwarePipeline)
+        eos = tracer.intervals(phase="eo")
+        assert len(eos) == 4
+
+    def test_gantt_renders(self):
+        tracer = run_traced(SoftwarePipeline)
+        out = render_tracer(tracer, width=60)
+        assert "T0.eo" in out
+        assert "legend:" in out
+
+    def test_no_tracer_no_crash(self):
+        sim = Simulator()
+        element = ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+        queue = build_task_queue(10000, 10000, 1216, beta_nonzero=False)
+        executor = SoftwarePipeline(element, jitter=False)
+        result = sim.run(until=sim.process(executor.execute(queue, 150e9)))
+        assert result.duration > 0

@@ -1,0 +1,112 @@
+"""Unit tests for the split databases (Section IV.B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.split import CoreSplitDatabase, SplitDatabase
+
+
+class TestSplitDatabase:
+    def make(self, n_bins=10, max_w=1000.0, initial=0.889):
+        return SplitDatabase(n_bins, max_w, initial)
+
+    def test_initial_value_everywhere(self):
+        db = self.make()
+        assert db.lookup(1.0) == 0.889
+        assert db.lookup(999.0) == 0.889
+
+    def test_bin_ranges_match_paper_formula(self):
+        # Item i covers [(i-1)*W/J + 1, i*W/J] (1-based i).
+        db = self.make(n_bins=4, max_w=400.0)
+        assert db.bin_index(1.0) == 0
+        assert db.bin_index(100.0) == 0
+        assert db.bin_index(101.0) == 1
+        assert db.bin_index(400.0) == 3
+
+    def test_out_of_range_clamps(self):
+        db = self.make(n_bins=4, max_w=400.0)
+        assert db.bin_index(1e9) == 3
+        assert db.bin_index(0.0) == 0
+
+    def test_store_updates_only_its_bin(self):
+        db = self.make(n_bins=4, max_w=400.0)
+        db.store(150.0, 0.5)
+        assert db.lookup(150.0) == 0.5
+        assert db.lookup(50.0) == 0.889
+        assert db.lookup(350.0) == 0.889
+
+    def test_same_range_shares_mapping(self):
+        """Two problems in the same workload range use the same item."""
+        db = self.make(n_bins=4, max_w=400.0)
+        db.store(110.0, 0.7)
+        assert db.lookup(180.0) == 0.7
+
+    def test_history_records_writes(self):
+        db = self.make()
+        db.store(100.0, 0.5)
+        db.store(900.0, 0.6)
+        assert len(db.history) == 2
+        assert db.history[0].workload == 100.0
+        assert db.history[1].value == 0.6
+
+    def test_written_mask(self):
+        db = self.make(n_bins=4, max_w=400.0)
+        db.store(150.0, 0.5)
+        assert db.written_mask().tolist() == [False, True, False, False]
+
+    def test_bin_range(self):
+        db = self.make(n_bins=4, max_w=400.0)
+        assert db.bin_range(1) == (100.0, 200.0)
+
+    def test_rejects_bad_value(self):
+        db = self.make()
+        with pytest.raises(ValueError):
+            db.store(10.0, 1.5)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            SplitDatabase(0, 100.0, 0.5)
+        with pytest.raises(ValueError):
+            SplitDatabase(4, -1.0, 0.5)
+
+    def test_len(self):
+        assert len(self.make(n_bins=7)) == 7
+
+
+class TestCoreSplitDatabase:
+    def test_initial_is_uniform(self):
+        db = CoreSplitDatabase(3)
+        assert np.allclose(db.lookup(), [1 / 3, 1 / 3, 1 / 3])
+
+    def test_store_and_lookup(self):
+        db = CoreSplitDatabase(3)
+        db.store([0.5, 0.3, 0.2])
+        assert np.allclose(db.lookup(), [0.5, 0.3, 0.2])
+
+    def test_lookup_returns_copy(self):
+        db = CoreSplitDatabase(2)
+        values = db.lookup()
+        values[0] = 99.0
+        assert db.lookup()[0] == 0.5
+
+    def test_rejects_wrong_length(self):
+        db = CoreSplitDatabase(3)
+        with pytest.raises(ValueError):
+            db.store([0.5, 0.5])
+
+    def test_rejects_bad_sum(self):
+        db = CoreSplitDatabase(2)
+        with pytest.raises(ValueError):
+            db.store([0.6, 0.6])
+
+    def test_rejects_negative(self):
+        db = CoreSplitDatabase(2)
+        with pytest.raises(ValueError):
+            db.store([1.2, -0.2])
+
+    def test_history(self):
+        db = CoreSplitDatabase(2)
+        db.store([0.7, 0.3])
+        db.store([0.6, 0.4])
+        assert len(db.history) == 2
+        assert np.allclose(db.history[0], [0.7, 0.3])

@@ -1,0 +1,173 @@
+"""Unit and property tests for task splitting and bounce-corner-turn ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.taskqueue import (
+    bounce_corner_turn_order,
+    build_task_queue,
+    effective_block_limits,
+    split_extents,
+)
+from repro.util.units import GB
+
+
+class TestSplitExtents:
+    def test_fits_in_one(self):
+        assert split_extents(5000, 8192) == [(0, 5000)]
+
+    def test_near_equal_blocks(self):
+        blocks = split_extents(10000, 8192)
+        assert blocks == [(0, 5000), (5000, 5000)]
+
+    def test_remainder_spread(self):
+        blocks = split_extents(10, 3)
+        sizes = [s for _, s in blocks]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+        assert all(s <= 3 for s in sizes)
+
+    def test_zero(self):
+        assert split_extents(0, 8192) == []
+
+    def test_contiguous(self):
+        blocks = split_extents(1000, 77)
+        pos = 0
+        for start, size in blocks:
+            assert start == pos
+            pos += size
+        assert pos == 1000
+
+    @given(st.integers(0, 100000), st.integers(1, 9000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_cover_exactly(self, total, limit):
+        blocks = split_extents(total, limit)
+        assert sum(s for _, s in blocks) == total
+        assert all(1 <= s <= limit for _, s in blocks)
+
+
+class TestBounceCornerTurn:
+    def test_paper_2x2_example(self):
+        """Fig 5: tasks run as T0, T1, T3, T2."""
+        order = bounce_corner_turn_order(2, 2)
+        labels = [i * 2 + j for i, j in order]
+        assert labels == [0, 1, 3, 2]
+
+    def test_adjacent_tasks_share_an_operand(self):
+        order = bounce_corner_turn_order(4, 5)
+        for (i0, j0), (i1, j1) in zip(order, order[1:]):
+            assert i0 == i1 or j0 == j1  # same A row block or same B col block
+
+    def test_covers_grid_once(self):
+        order = bounce_corner_turn_order(3, 4)
+        assert len(order) == 12
+        assert len(set(order)) == 12
+
+    def test_single_row(self):
+        assert bounce_corner_turn_order(1, 3) == [(0, 0), (0, 1), (0, 2)]
+
+    def test_empty(self):
+        assert bounce_corner_turn_order(0, 5) == []
+
+
+class TestEffectiveBlockLimits:
+    def test_no_memory_constraint(self):
+        assert effective_block_limits(50000, 50000, 50000, 8192, None, 512) == (8192, 8192, 8192)
+
+    def test_paper_boundary_8192_square_fits_1gb(self):
+        """An 8192-square task must fit the RV770's 1 GB (single task at 8192)."""
+        limits = effective_block_limits(8192, 8192, 8192, 8192, 1.0 * GB, 512)
+        assert limits == (8192, 8192, 8192)
+
+    def test_large_call_shrinks(self):
+        limits = effective_block_limits(16384, 16384, 16384, 8192, 1.0 * GB, 512)
+        assert min(limits) < 8192
+
+    def test_linpack_shape_keeps_full_blocks(self):
+        """K = NB = 1216 panels: blocks stay at the texture limit."""
+        limits = effective_block_limits(40000, 40000, 1216, 8192, 1.0 * GB, 512)
+        assert limits[0] == 8192 and limits[1] == 8192
+
+
+class TestBuildTaskQueue:
+    def test_single_task_below_texture_limit(self):
+        queue = build_task_queue(4096, 4096, 1216)
+        assert len(queue) == 1
+        task = queue.tasks[0]
+        assert (task.m, task.n, task.k) == (4096, 4096, 1216)
+        assert task.send_a and task.send_b and task.is_last_k
+
+    def test_empty_queue(self):
+        assert len(build_task_queue(0, 100, 100)) == 0
+
+    def test_paper_2x2_with_reuse_skips_A_and_B1(self):
+        """Section V.C: 'the entire matrix A and matrix B1 are skipped'."""
+        queue = build_task_queue(16384, 16384, 1216, reuse=True, beta_nonzero=False)
+        assert queue.grid == (2, 2, 1)
+        t0, t1, t3, t2 = queue.tasks
+        assert (t0.send_a, t0.send_b) == (True, True)  # T0 sends A1, B1
+        assert (t1.send_a, t1.send_b) == (False, True)  # T1 reuses A1
+        assert (t3.send_a, t3.send_b) == (True, False)  # T3 reuses B2
+        assert (t2.send_a, t2.send_b) == (False, False)  # T2 reuses A2 and B1
+
+    def test_no_reuse_sends_everything(self):
+        queue = build_task_queue(16384, 16384, 1216, reuse=False, beta_nonzero=False)
+        assert all(t.send_a and t.send_b for t in queue.tasks)
+        assert queue.input_bytes == queue.naive_input_bytes
+        assert queue.bytes_saved_fraction == 0.0
+
+    def test_reuse_saves_bytes(self):
+        naive = build_task_queue(16384, 16384, 1216, reuse=False, beta_nonzero=False)
+        smart = build_task_queue(16384, 16384, 1216, reuse=True, beta_nonzero=False)
+        assert smart.input_bytes < naive.input_bytes
+        # 2x2 grid with full reuse: half the operand traffic is skipped.
+        assert smart.bytes_saved_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_beta_nonzero_stages_c_in(self):
+        queue = build_task_queue(10000, 10000, 1216, beta_nonzero=True)
+        c_in = sum(t.c_bytes for t in queue.tasks if t.send_c_in)
+        assert c_in == 10000 * 10000 * 8
+
+    def test_beta_zero_no_c_in(self):
+        queue = build_task_queue(10000, 10000, 1216, beta_nonzero=False)
+        assert not any(t.send_c_in for t in queue.tasks)
+
+    def test_outputs_once_per_c_block(self):
+        queue = build_task_queue(10000, 10000, 1216, beta_nonzero=False)
+        assert queue.output_bytes == 10000 * 10000 * 8
+
+    def test_k_split_outputs_only_after_last_chunk(self):
+        queue = build_task_queue(4096, 4096, 16384, beta_nonzero=False)
+        r, c, kp = queue.grid
+        assert kp > 1
+        for t in queue.tasks:
+            if t.is_last_k:
+                assert t.output_bytes == t.c_bytes
+            else:
+                assert t.output_bytes == 0
+        assert queue.output_bytes == 4096 * 4096 * 8
+
+    def test_k_split_covers_all_flops(self):
+        queue = build_task_queue(9000, 9000, 9000, beta_nonzero=False)
+        assert sum(t.flops for t in queue.tasks) == pytest.approx(2.0 * 9000**3)
+
+    def test_memory_limit_causes_resends_or_smaller_blocks(self):
+        unlimited = build_task_queue(16384, 16384, 16384, beta_nonzero=False)
+        limited = build_task_queue(
+            16384, 16384, 16384, beta_nonzero=False, gpu_memory_bytes=1.0 * GB
+        )
+        assert limited.input_bytes >= unlimited.input_bytes or len(limited) > len(unlimited)
+
+    @given(
+        st.integers(0, 30000), st.integers(1, 30000), st.integers(1, 20000),
+        st.booleans(), st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_flops_and_blocks_conserved(self, m1, n, k, reuse, beta):
+        queue = build_task_queue(m1, n, k, reuse=reuse, beta_nonzero=beta)
+        assert sum(t.flops for t in queue.tasks) == pytest.approx(2.0 * m1 * n * k)
+        if m1 > 0:
+            assert queue.output_bytes == m1 * n * 8
+        for t in queue.tasks:
+            assert t.m <= 8192 and t.n <= 8192 and t.k <= 8192

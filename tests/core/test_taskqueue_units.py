@@ -1,0 +1,55 @@
+"""Unit tests for GpuTask accounting and TaskQueue statistics."""
+
+import pytest
+
+from repro.core.taskqueue import GpuTask, TaskQueue, build_task_queue
+
+
+def make_task(**kw):
+    defaults = dict(
+        index=0, row=0, col=0, kblock=0, row_start=0, col_start=0, k_start=0,
+        m=100, n=200, k=50, is_first_k=True, is_last_k=True,
+    )
+    defaults.update(kw)
+    return GpuTask(**defaults)
+
+
+class TestGpuTask:
+    def test_operand_bytes(self):
+        task = make_task()
+        assert task.a_bytes == 100 * 50 * 8
+        assert task.b_bytes == 50 * 200 * 8
+        assert task.c_bytes == 100 * 200 * 8
+
+    def test_input_bytes_respects_flags(self):
+        task = make_task(send_a=False, send_b=True, send_c_in=True)
+        assert task.input_bytes == task.b_bytes + task.c_bytes
+        silent = make_task(send_a=False, send_b=False, send_c_in=False)
+        assert silent.input_bytes == 0
+
+    def test_output_only_after_last_k(self):
+        assert make_task(is_last_k=True).output_bytes == 100 * 200 * 8
+        assert make_task(is_last_k=False).output_bytes == 0
+
+    def test_flops(self):
+        assert make_task().flops == 2.0 * 100 * 200 * 50
+
+
+class TestTaskQueueStats:
+    def test_len_and_saved_fraction(self):
+        queue = build_task_queue(16384, 16384, 1216, beta_nonzero=False)
+        assert len(queue) == 4
+        assert 0.0 < queue.bytes_saved_fraction < 1.0
+
+    def test_saved_fraction_zero_for_empty(self):
+        queue = TaskQueue(tasks=[], grid=(0, 0, 0))
+        assert queue.bytes_saved_fraction == 0.0
+
+    def test_resends_counted_under_memory_pressure(self):
+        roomy = build_task_queue(16384, 16384, 16384, beta_nonzero=False)
+        tight = build_task_queue(
+            16384, 16384, 16384, beta_nonzero=False, gpu_memory_bytes=0.3e9
+        )
+        assert roomy.resends == 0
+        assert tight.resends >= 0  # eviction may or may not trigger resends
+        assert tight.input_bytes >= roomy.input_bytes

@@ -1,0 +1,133 @@
+"""Integration tests: the numeric distributed LU over simulated MPI."""
+
+import numpy as np
+import pytest
+
+from repro.blas.dgetrf import dgetf2
+from repro.hpl.dist import (
+    DistributedLU,
+    ElementEngine,
+    InstantEngine,
+    collect_matrix,
+    distribute_matrix,
+    panel_factor_flops,
+)
+from repro.hpl.grid import ProcessGrid
+from repro.hpl.solve import hpl_residual_ok, solve_from_factorization
+from repro.machine.interconnect import Interconnect
+from repro.machine.presets import QDR_INFINIBAND, tianhe1_element
+from repro.mpi.comm import SimMPI
+from repro.sim import Simulator
+
+
+def run_factorization(n, nb, nprow, npcol, seed=0, with_network=True, engines=None, sim=None):
+    sim = sim or Simulator()
+    grid = ProcessGrid(nprow, npcol)
+    network = Interconnect(sim, QDR_INFINIBAND, grid.size) if with_network else None
+    world = SimMPI(sim, grid.size, network)
+    lu = DistributedLU(sim, grid, nb, world, engines=engines)
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    result = lu.factor(a)
+    return a, grid, result
+
+
+class TestDistributeCollect:
+    def test_roundtrip_identity(self):
+        grid = ProcessGrid(2, 3)
+        a = np.random.default_rng(0).standard_normal((17, 17))
+        locals_ = distribute_matrix(grid, a, nb=3)
+        assert np.array_equal(collect_matrix(grid, locals_, 17, 17, 3), a)
+
+    def test_local_shapes(self):
+        grid = ProcessGrid(2, 2)
+        a = np.arange(64.0).reshape(8, 8)
+        locals_ = distribute_matrix(grid, a, nb=2)
+        assert all(loc.shape == (4, 4) for loc in locals_)
+        # Rank 0 holds row blocks {0,2} x col blocks {0,2}.
+        assert locals_[0][0, 0] == a[0, 0]
+        assert locals_[0][2, 0] == a[4, 0]
+
+
+@pytest.mark.parametrize(
+    "n,nb,p,q",
+    [
+        (16, 4, 1, 1),
+        (24, 4, 1, 2),
+        (24, 4, 2, 1),
+        (32, 4, 2, 2),
+        (30, 4, 2, 3),  # ragged: 30 = 7*4 + 2
+        (36, 5, 3, 2),
+        (20, 20, 2, 2),  # nb >= n: single panel
+    ],
+)
+class TestFactorizationCorrectness:
+    def test_matches_serial_lu(self, n, nb, p, q):
+        a, grid, result = run_factorization(n, nb, p, q, seed=1)
+        serial = a.copy()
+        serial_piv = dgetf2(serial)
+        factored = collect_matrix(grid, result.locals_, n, n, nb)
+        assert np.array_equal(result.piv, serial_piv)
+        assert np.allclose(factored, serial, atol=1e-9)
+
+    def test_solve_passes_hpl_residual(self, n, nb, p, q):
+        a, grid, result = run_factorization(n, nb, p, q, seed=2)
+        b = np.random.default_rng(3).standard_normal(n)
+        x = solve_from_factorization(grid, result, n, nb, b)
+        residual, ok = hpl_residual_ok(a, x, b)
+        assert ok, f"residual {residual} fails the HPL test"
+
+
+class TestTimingBehaviour:
+    def test_network_makes_it_slower_than_no_network(self):
+        _, _, with_net = run_factorization(32, 4, 2, 2, seed=4, with_network=True)
+        _, _, without = run_factorization(32, 4, 2, 2, seed=4, with_network=False)
+        assert with_net.elapsed > without.elapsed
+        assert without.elapsed == 0.0  # instant engines, no network
+
+    def test_bytes_and_messages_counted(self):
+        _, _, result = run_factorization(32, 4, 2, 2, seed=5)
+        assert result.messages > 0
+        assert result.bytes_sent > 0
+
+    def test_element_engine_charges_time(self):
+        sim = Simulator()
+        from repro.core.hybrid_dgemm import HybridDgemm
+        from repro.core.static_map import StaticMapper
+        from repro.machine.node import ComputeElement
+        from repro.machine.variability import NO_VARIABILITY
+
+        grid = ProcessGrid(1, 2)
+        engines = []
+        for r in range(grid.size):
+            element = ComputeElement(
+                sim, tianhe1_element(), variability=NO_VARIABILITY, name=f"e{r}"
+            )
+            hybrid = HybridDgemm(element, StaticMapper(0.889, 3), pipelined=True, jitter=False)
+            engines.append(ElementEngine(hybrid))
+        network = Interconnect(sim, QDR_INFINIBAND, grid.size)
+        world = SimMPI(sim, grid.size, network)
+        lu = DistributedLU(sim, grid, 8, world, engines=engines)
+        a = np.random.default_rng(6).standard_normal((32, 32))
+        result = lu.factor(a)
+        assert result.elapsed > 0
+        assert any(s.update_time > 0 for s in result.stats)
+        assert any(s.cpu_phase_time > 0 for s in result.stats)
+        # And the math is still right.
+        serial = a.copy()
+        dgetf2(serial)
+        assert np.allclose(collect_matrix(grid, result.locals_, 32, 32, 8), serial, atol=1e-9)
+
+    def test_stats_one_per_rank(self):
+        _, grid, result = run_factorization(24, 4, 2, 3, seed=7)
+        assert len(result.stats) == grid.size
+        assert all(s.elapsed >= 0 for s in result.stats)
+
+
+class TestPanelFlops:
+    def test_panel_factor_flops_positive(self):
+        assert panel_factor_flops(100, 10) == pytest.approx(100 * 100 - 1000 / 3)
+
+    def test_degenerate(self):
+        assert panel_factor_flops(0, 10) == 0.0
+        assert panel_factor_flops(10, 0) == 0.0

@@ -1,0 +1,71 @@
+"""Property-based tests for the distributed LU (random shapes and grids)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.dgetrf import dgetf2
+from repro.hpl.dist import DistributedLU, collect_matrix, distribute_matrix
+from repro.hpl.grid import ProcessGrid
+from repro.mpi.comm import SimMPI
+from repro.sim import Simulator
+
+
+@given(
+    n=st.integers(4, 40),
+    nb=st.integers(1, 12),
+    p=st.integers(1, 3),
+    q=st.integers(1, 3),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_distributed_lu_matches_serial(n, nb, p, q, seed):
+    """For any (n, nb, P, Q): identical factors and pivots to serial dgetf2."""
+    sim = Simulator()
+    grid = ProcessGrid(p, q)
+    world = SimMPI(sim, grid.size, None)
+    lu = DistributedLU(sim, grid, nb, world)
+    a = np.random.default_rng(seed).standard_normal((n, n))
+    result = lu.factor(a)
+    serial = a.copy()
+    serial_piv = dgetf2(serial)
+    assert np.array_equal(result.piv, serial_piv)
+    assert np.allclose(collect_matrix(grid, result.locals_, n, n, nb), serial, atol=1e-8)
+
+
+@given(
+    rows=st.integers(1, 30),
+    cols=st.integers(1, 30),
+    nb=st.integers(1, 10),
+    p=st.integers(1, 4),
+    q=st.integers(1, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_distribute_collect_roundtrip(rows, cols, nb, p, q, seed):
+    grid = ProcessGrid(p, q)
+    a = np.random.default_rng(seed).standard_normal((rows, cols))
+    locals_ = distribute_matrix(grid, a, nb)
+    assert np.array_equal(collect_matrix(grid, locals_, rows, cols, nb), a)
+    total = sum(loc.size for loc in locals_)
+    assert total == rows * cols
+
+
+@given(
+    n=st.integers(4, 30),
+    nb=st.integers(1, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_ring_and_binomial_bcast_equivalent(n, nb, seed):
+    """The panel broadcast algorithm must not change the mathematics."""
+    results = {}
+    for algorithm in ("binomial", "ring"):
+        sim = Simulator()
+        grid = ProcessGrid(2, 2)
+        world = SimMPI(sim, grid.size, None)
+        lu = DistributedLU(sim, grid, nb, world, bcast_algorithm=algorithm)
+        a = np.random.default_rng(seed).standard_normal((n, n))
+        result = lu.factor(a)
+        results[algorithm] = collect_matrix(grid, result.locals_, n, n, nb)
+    assert np.allclose(results["binomial"], results["ring"], atol=1e-12)

@@ -1,0 +1,110 @@
+"""Unit and property tests for ProcessGrid and BlockCyclic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpl.grid import BlockCyclic, ProcessGrid
+
+
+class TestProcessGrid:
+    def test_row_major_ranks(self):
+        grid = ProcessGrid(2, 3)
+        assert grid.size == 6
+        assert grid.coords(0) == (0, 0)
+        assert grid.coords(5) == (1, 2)
+        assert grid.rank_of(1, 2) == 5
+
+    def test_paper_grid(self):
+        grid = ProcessGrid(64, 80)
+        assert grid.size == 5120
+        assert grid.coords(5119) == (63, 79)
+
+    def test_row_and_col_members(self):
+        grid = ProcessGrid(2, 3)
+        assert grid.row_members(1) == [3, 4, 5]
+        assert grid.col_members(2) == [2, 5]
+
+    def test_bounds_checked(self):
+        grid = ProcessGrid(2, 2)
+        with pytest.raises(ValueError):
+            grid.coords(4)
+        with pytest.raises(ValueError):
+            grid.rank_of(2, 0)
+
+
+class TestBlockCyclic:
+    def test_owner_cycles_over_blocks(self):
+        bc = BlockCyclic(n=12, nb=2, nprocs=3)
+        # blocks: [0,1]->0, [2,3]->1, [4,5]->2, [6,7]->0, ...
+        assert bc.owner(0) == 0
+        assert bc.owner(3) == 1
+        assert bc.owner(5) == 2
+        assert bc.owner(7) == 0
+
+    def test_to_local_and_back(self):
+        bc = BlockCyclic(n=20, nb=3, nprocs=2)
+        for g in range(20):
+            proc, l = bc.to_local(g)
+            assert bc.to_global(proc, l) == g
+
+    def test_local_count_matches_enumeration(self):
+        bc = BlockCyclic(n=23, nb=4, nprocs=3)
+        for proc in range(3):
+            assert bc.local_count(proc) == len(bc.globals_of(proc))
+
+    def test_globals_ascending(self):
+        bc = BlockCyclic(n=50, nb=7, nprocs=4)
+        for proc in range(4):
+            g = bc.globals_of(proc)
+            assert np.all(np.diff(g) > 0)
+
+    def test_partition_is_exact(self):
+        bc = BlockCyclic(n=100, nb=6, nprocs=5)
+        union = np.sort(np.concatenate([bc.globals_of(p) for p in range(5)]))
+        assert np.array_equal(union, np.arange(100))
+
+    def test_first_local_at_or_after(self):
+        bc = BlockCyclic(n=40, nb=4, nprocs=3)
+        for proc in range(3):
+            globals_ = bc.globals_of(proc)
+            for g in range(41):
+                expected = int(np.searchsorted(globals_, g))
+                assert bc.first_local_at_or_after(proc, g) == expected
+
+    def test_count_at_or_after(self):
+        bc = BlockCyclic(n=40, nb=4, nprocs=3)
+        for proc in range(3):
+            globals_ = bc.globals_of(proc)
+            assert bc.local_count_at_or_after(proc, 17) == int(np.sum(globals_ >= 17))
+
+    def test_empty(self):
+        bc = BlockCyclic(n=0, nb=4, nprocs=2)
+        assert bc.local_count(0) == 0
+        assert len(bc.globals_of(1)) == 0
+
+    @given(st.integers(0, 400), st.integers(1, 20), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip_and_counts(self, n, nb, nprocs):
+        bc = BlockCyclic(n, nb, nprocs)
+        total = 0
+        for proc in range(nprocs):
+            globals_ = bc.globals_of(proc)
+            assert len(globals_) == bc.local_count(proc)
+            total += len(globals_)
+            for l, g in enumerate(globals_):
+                assert bc.to_local(g) == (proc, l)
+        assert total == n
+
+    @given(st.integers(1, 300), st.integers(1, 16), st.integers(1, 6), st.integers(0, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_property_suffix_structure(self, n, nb, nprocs, g):
+        """Items with global index >= g form a local suffix on every proc."""
+        g = min(g, n)
+        bc = BlockCyclic(n, nb, nprocs)
+        for proc in range(nprocs):
+            globals_ = bc.globals_of(proc)
+            first = bc.first_local_at_or_after(proc, g)
+            assert np.all(globals_[:first] < g)
+            assert np.all(globals_[first:] >= g)

@@ -1,0 +1,68 @@
+"""Tests for the HPL.dat reader/writer."""
+
+import pytest
+
+from repro.hpl.hpl_dat import TIANHE1_HPL_DAT, HplDat, parse_hpl_dat
+
+
+class TestRender:
+    def test_contains_all_fields(self):
+        dat = HplDat(ns=[1000, 2000], nbs=[64], grids=[(2, 3)])
+        text = dat.render()
+        assert "1000 2000" in text
+        assert "64" in text
+        assert "2            Ps" in text
+        assert "3            Qs" in text
+
+    def test_tianhe1_preset(self):
+        text = TIANHE1_HPL_DAT.render()
+        assert "2240000" in text
+        assert "1216" in text
+
+
+class TestParse:
+    def test_roundtrip(self):
+        dat = HplDat(ns=[46000, 23000], nbs=[1216, 196], grids=[(1, 1), (8, 8)])
+        parsed = parse_hpl_dat(dat.render())
+        assert parsed.ns == [46000, 23000]
+        assert parsed.nbs == [1216, 196]
+        assert parsed.grids == [(1, 1), (8, 8)]
+
+    def test_real_world_format(self):
+        text = """HPLinpack benchmark input file
+Innovative Computing Laboratory, University of Tennessee
+HPL.out      output file name (if any)
+6            device out (6=stdout,7=stderr,file)
+1            # of problems sizes (N)
+29184        Ns
+1            # of NBs
+192          NBs
+0            PMAP process mapping (0=Row-,1=Column-major)
+1            # of process grids (P x Q)
+2            Ps
+2            Qs
+16.0         threshold
+"""
+        parsed = parse_hpl_dat(text)
+        assert parsed.ns == [29184]
+        assert parsed.nbs == [192]
+        assert parsed.grids == [(2, 2)]
+
+    def test_runs_cross_product(self):
+        dat = HplDat(ns=[100, 200], nbs=[16], grids=[(1, 2)])
+        runs = list(dat.runs())
+        assert len(runs) == 2
+        assert runs[0][0] == 100 and runs[0][1] == 16
+        assert runs[0][2].npcol == 2
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            parse_hpl_dat("just\ntwo lines")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HplDat(ns=[])
+        with pytest.raises(ValueError):
+            HplDat(ns=[-5])
+        with pytest.raises(ValueError):
+            HplDat(grids=[(0, 2)])

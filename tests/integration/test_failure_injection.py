@@ -1,0 +1,148 @@
+"""Failure injection: the adaptive framework under changing conditions.
+
+These are the scenarios Section IV argues for: device rates change at run
+time (thermal throttling, a degraded core, drifting conditions), and a
+mapping must either track them (adaptive) or eat the imbalance (static,
+trained).  Each test injects a condition change mid-sequence and checks both
+that the adaptive mapper reacts the way the paper's update rule dictates and
+that it beats the static baseline afterwards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveMapper
+from repro.core.hybrid_dgemm import HybridDgemm
+from repro.core.static_map import StaticMapper
+from repro.machine.node import ComputeElement
+from repro.machine.presets import DOWNCLOCKED_MHZ, tianhe1_element
+from repro.machine.variability import NO_VARIABILITY, VariabilitySpec, thermal_drift
+from repro.sim import Simulator
+from repro.util.units import dgemm_flops
+
+N = 10240
+
+
+def make_engine(mapper_kind: str, variability=NO_VARIABILITY):
+    element = ComputeElement(Simulator(), tianhe1_element(), variability=variability)
+    if mapper_kind == "adaptive":
+        mapper = AdaptiveMapper(
+            element.initial_gsplit, 3, max_workload=dgemm_flops(N, N, N) * 1.05
+        )
+    else:
+        mapper = StaticMapper(element.initial_gsplit, 3)
+    return element, mapper, HybridDgemm(element, mapper, pipelined=True, jitter=False)
+
+
+class TestGpuDownclock:
+    """Mid-run 750 -> 575 MHz downclock (the paper's thermal emergency)."""
+
+    def run_sequence(self, mapper_kind):
+        element, mapper, engine = make_engine(mapper_kind)
+        times = []
+        for run in range(8):
+            if run == 4:
+                element.gpu.set_clock(DOWNCLOCKED_MHZ)
+            times.append(engine.run_to_completion(N, N, N).t_total)
+        return element, mapper, times
+
+    def test_downclock_slows_everyone(self):
+        _, _, times = self.run_sequence("static")
+        assert min(times[4:]) > max(times[:4])
+
+    def test_adaptive_rebalances_split(self):
+        element, mapper, _ = self.run_sequence("adaptive")
+        splits = [w.value for w in mapper.database_g.history]
+        # After the downclock the GPU's measured rate drops, so the stored
+        # split must decrease (work shifts toward the CPU cores).
+        assert splits[-1] < splits[3] - 0.005
+
+    def test_adaptive_recovers_better_than_static(self):
+        _, _, adaptive_times = self.run_sequence("adaptive")
+        _, _, static_times = self.run_sequence("static")
+        assert adaptive_times[-1] <= static_times[-1]
+
+
+class TestSlowCoreInjection:
+    """One compute core degrades 40% mid-run (Section IV.A's scenario)."""
+
+    def run_sequence(self, mapper_kind):
+        element, mapper, engine = make_engine(mapper_kind)
+        times = []
+        for run in range(8):
+            if run == 4:
+                element.compute_cores[1].static_factor *= 0.6
+            times.append(engine.run_to_completion(N, N, N).t_total)
+        return element, mapper, times
+
+    def test_level2_shifts_rows_away_from_slow_core(self):
+        element, mapper, _ = self.run_sequence("adaptive")
+        cs = mapper.csplits()
+        assert cs[1] < cs[0] and cs[1] < cs[2]
+        # Fixed point: rates (r, 0.6r, r) -> splits (1, 0.6, 1)/2.6.
+        assert cs[1] == pytest.approx(0.6 / 2.6, abs=0.03)
+
+    def test_adaptive_beats_static_after_injection(self):
+        _, _, adaptive_times = self.run_sequence("adaptive")
+        _, _, static_times = self.run_sequence("static")
+        assert adaptive_times[-1] < static_times[-1]
+
+    def test_static_pays_the_amplified_cost(self):
+        """With even splits the slow core gates the whole CPU portion."""
+        _, _, static_times = self.run_sequence("static")
+        _, mapper, adaptive_times = self.run_sequence("adaptive")
+        static_hit = static_times[-1] / static_times[3] - 1.0
+        adaptive_hit = adaptive_times[-1] / adaptive_times[3] - 1.0
+        assert static_hit > adaptive_hit
+
+
+class TestThermalDriftTracking:
+    """A strongly drifting GPU: adaptive follows, static does not."""
+
+    def make_drifting(self, mapper_kind, depth=0.25, tau=30.0):
+        element = ComputeElement(
+            Simulator(), tianhe1_element(), variability=NO_VARIABILITY
+        )
+        element.gpu.drift = thermal_drift(depth, tau)
+        if mapper_kind == "adaptive":
+            mapper = AdaptiveMapper(
+                element.initial_gsplit, 3, max_workload=dgemm_flops(N, N, N) * 1.05
+            )
+        else:
+            mapper = StaticMapper(element.initial_gsplit, 3)
+        return element, mapper, HybridDgemm(element, mapper, pipelined=True, jitter=False)
+
+    def test_gpu_rate_declines_over_the_run(self):
+        element, _, engine = self.make_drifting("adaptive")
+        cold = element.gpu.kernel_rate(1e12, at_time=0.0)
+        engine.run_to_completion(N, N, N)
+        hot = element.gpu.kernel_rate(1e12)
+        assert hot < cold
+
+    def test_adaptive_tracks_the_drift(self):
+        element, mapper, engine = self.make_drifting("adaptive")
+        for _ in range(6):
+            engine.run_to_completion(N, N, N)
+        splits = [w.value for w in mapper.database_g.history]
+        assert splits[-1] < splits[0]  # work migrated off the cooling-limited GPU
+
+    def test_adaptive_total_time_beats_static(self):
+        totals = {}
+        for kind in ("adaptive", "static"):
+            element, _, engine = self.make_drifting(kind)
+            for _ in range(6):
+                engine.run_to_completion(N, N, N)
+            totals[kind] = element.sim.now
+        assert totals["adaptive"] < totals["static"]
+
+
+class TestJitterRobustness:
+    def test_adaptive_splits_stay_bounded_under_noise(self):
+        var = VariabilitySpec(core_jitter_sigma=0.10, gpu_jitter_sigma=0.08)
+        element, mapper, engine = make_engine("adaptive", variability=var)
+        for _ in range(10):
+            engine.run_to_completion(N, N, N)
+        splits = np.array([w.value for w in mapper.database_g.history])
+        assert np.all((splits > 0.5) & (splits <= 1.0))
+        # The split hovers around the true balance despite 8-10% noise.
+        assert 0.8 < splits[-5:].mean() < 0.95

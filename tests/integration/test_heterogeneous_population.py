@@ -1,0 +1,92 @@
+"""The mixed E5540/E5450 population, exercised end to end.
+
+TianHe-1's last 512 nodes carry the faster-clocked E5450 (whose paired-L2
+architecture is the one Section IV.A singles out); these tests make sure
+the whole stack — specs, DES elements, rate tables, the analytic stepper —
+treats the two populations consistently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveMapper
+from repro.core.hybrid_dgemm import HybridDgemm, cpu_only_dgemm
+from repro.hpl.driver import run_linpack
+from repro.hpl.grid import ProcessGrid
+from repro.machine.cluster import Cluster
+from repro.machine.node import ComputeElement
+from repro.machine.presets import XEON_E5450, tianhe1_cluster, tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.sim import Simulator
+from repro.util.units import dgemm_flops
+
+
+def make_e5450_element():
+    return ComputeElement(
+        Simulator(), tianhe1_element(cpu=XEON_E5450), variability=NO_VARIABILITY
+    )
+
+
+class TestE5450Element:
+    def test_peak_higher_than_e5540(self):
+        e5450 = make_e5450_element()
+        e5540 = ComputeElement(Simulator(), tianhe1_element(), variability=NO_VARIABILITY)
+        assert e5450.peak_flops > e5540.peak_flops
+        assert e5450.peak_flops == pytest.approx(288e9, rel=1e-3)  # 240 + 48
+
+    def test_initial_gsplit_lower_with_faster_cpu(self):
+        """A faster CPU earns a larger share: GSplit_0 = 240/(240+36) = 0.87."""
+        e5450 = make_e5450_element()
+        assert e5450.initial_gsplit == pytest.approx(240 / 276, abs=1e-3)
+        assert e5450.initial_gsplit < 0.889
+
+    def test_l2_sibling_flag(self):
+        e5450 = make_e5450_element()
+        assert e5450.cores[1].l2_shares_with_transfer  # pairs (0,1), (2,3)
+
+    def test_cpu_only_dgemm_rate(self):
+        element = make_e5450_element()
+        sim = element.sim
+        n = 4096
+        elapsed = sim.run(until=sim.process(cpu_only_dgemm(element, n, n, n, jitter=False)))
+        assert 2.0 * n**3 / elapsed == pytest.approx(4 * 12e9 * 0.885, rel=0.01)
+
+    def test_hybrid_dgemm_faster_than_e5540(self):
+        results = {}
+        for name, element in (
+            ("e5540", ComputeElement(Simulator(), tianhe1_element(), variability=NO_VARIABILITY)),
+            ("e5450", make_e5450_element()),
+        ):
+            mapper = AdaptiveMapper(
+                element.initial_gsplit, 3, max_workload=dgemm_flops(24576, 24576, 24576)
+            )
+            engine = HybridDgemm(element, mapper, pipelined=True, jitter=False)
+            for _ in range(3):
+                results[name] = engine.run_to_completion(12288, 12288, 1216).gflops
+        assert results["e5450"] > results["e5540"]
+
+
+class TestMixedClusterLinpack:
+    def test_mixed_tail_cabinet_outperforms_head_cabinet(self):
+        """Cabinet 79 (E5450 nodes) should edge out cabinet 0 (E5540)."""
+        spec = tianhe1_cluster(cabinets=80, variability=NO_VARIABILITY)
+        cluster = Cluster(spec, seed=2009)
+        table = cluster.rate_table()
+        head = table.subset(np.arange(0, 64))
+        tail = table.subset(np.arange(table.n_elements - 64, table.n_elements))
+        assert tail.cpu_full_rate.mean() > head.cpu_full_rate.mean()
+
+    def test_full_population_counts(self):
+        spec = tianhe1_cluster(cabinets=80, variability=NO_VARIABILITY)
+        cluster = Cluster(spec, seed=1)
+        table = cluster.rate_table()
+        e5450_rate = 48e9 * 0.885
+        n_fast = int(np.sum(np.isclose(table.cpu_full_rate, e5450_rate)))
+        assert n_fast == 1024  # 512 nodes x 2 elements
+
+    def test_linpack_runs_on_mixed_grid(self):
+        """A grid spanning both populations runs and is internally consistent."""
+        spec = tianhe1_cluster(cabinets=80, variability=NO_VARIABILITY)
+        cluster = Cluster(spec, seed=2009)
+        result = run_linpack("acmlg_both", 400_000, cluster, ProcessGrid(16, 32))
+        assert result.tflops > 50

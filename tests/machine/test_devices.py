@@ -1,0 +1,250 @@
+"""Unit tests for CpuCore, GPUDevice and PCIeLink."""
+
+import pytest
+
+from repro.machine.cpu import CpuCore
+from repro.machine.gpu import GPUDevice, GpuMemoryError
+from repro.machine.pcie import PCIeLink
+from repro.machine.presets import PCIE_2, RV770, XEON_E5540
+from repro.sim import Simulator
+from repro.util.units import GB, MB
+
+
+class TestCpuCore:
+    def test_base_rate(self):
+        core = CpuCore(Simulator(), XEON_E5540, 0)
+        assert core.base_rate() == pytest.approx(10.12e9 * 0.885)
+
+    def test_compute_time_deterministic(self):
+        core = CpuCore(Simulator(), XEON_E5540, 0)
+        t = core.compute_time(1e9, jitter=False)
+        assert t == pytest.approx(1e9 / (10.12e9 * 0.885))
+
+    def test_compute_event_fires(self):
+        sim = Simulator()
+        core = CpuCore(sim, XEON_E5540, 0)
+
+        def work():
+            yield core.compute(2e9, jitter=False)
+            return sim.now
+
+        assert sim.run(until=sim.process(work())) == pytest.approx(2e9 / core.base_rate())
+
+    def test_zero_flops_is_instant(self):
+        core = CpuCore(Simulator(), XEON_E5540, 0)
+        assert core.compute_time(0.0) == 0.0
+
+    def test_static_factor_scales_rate(self):
+        fast = CpuCore(Simulator(), XEON_E5540, 0, static_factor=1.1)
+        slow = CpuCore(Simulator(), XEON_E5540, 0, static_factor=0.9)
+        assert fast.base_rate() / slow.base_rate() == pytest.approx(1.1 / 0.9)
+
+    def test_l2_penalty_applies_only_when_transfer_busy(self):
+        busy = [False]
+        core = CpuCore(
+            Simulator(),
+            XEON_E5540,
+            1,
+            l2_share_penalty=0.12,
+            transfer_busy=lambda: busy[0],
+        )
+        core.l2_shares_with_transfer = True
+        quiet_rate = core.current_rate()
+        busy[0] = True
+        assert core.current_rate() == pytest.approx(quiet_rate * 0.88)
+
+    def test_l2_penalty_ignored_without_flag(self):
+        core = CpuCore(Simulator(), XEON_E5540, 2, l2_share_penalty=0.5, transfer_busy=lambda: True)
+        assert core.current_rate() == pytest.approx(core.base_rate())
+
+    def test_jitter_changes_durations(self):
+        import numpy as np
+
+        core = CpuCore(
+            Simulator(), XEON_E5540, 0, jitter_sigma=0.05, rng=np.random.default_rng(1)
+        )
+        times = {core.compute_time(1e9) for _ in range(5)}
+        assert len(times) > 1
+
+    def test_utilization_accounting(self):
+        sim = Simulator()
+        core = CpuCore(sim, XEON_E5540, 0)
+
+        def work():
+            yield core.compute(1e9, jitter=False)
+            yield sim.timeout(core.busy_time)  # idle as long as it was busy
+
+        sim.run(until=sim.process(work()))
+        assert core.utilization() == pytest.approx(0.5)
+        assert core.flops_done == 1e9
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            CpuCore(Simulator(), XEON_E5540, 9)
+
+    def test_negative_flops_rejected(self):
+        core = CpuCore(Simulator(), XEON_E5540, 0)
+        with pytest.raises(ValueError):
+            core.compute_time(-1.0)
+
+
+class TestGPUDevice:
+    def make(self, **kw):
+        return GPUDevice(Simulator(), RV770, **kw)
+
+    def test_peak_at_default_clock(self):
+        assert self.make().peak_flops == pytest.approx(240e9)
+
+    def test_set_clock_downclock(self):
+        gpu = self.make()
+        gpu.set_clock(575.0)
+        assert gpu.peak_flops == pytest.approx(184e9)
+
+    def test_efficiency_saturates(self):
+        gpu = self.make()
+        assert gpu.efficiency(0.0) == 0.0
+        assert gpu.efficiency(RV770.w_half) == pytest.approx(RV770.eff_max / 2)
+        assert gpu.efficiency(1e15) == pytest.approx(RV770.eff_max, rel=1e-3)
+
+    def test_efficiency_monotone(self):
+        gpu = self.make()
+        workloads = [1e9, 1e10, 1e11, 1e12, 1e13]
+        effs = [gpu.efficiency(w) for w in workloads]
+        assert effs == sorted(effs)
+
+    def test_kernel_time_includes_overhead(self):
+        gpu = self.make()
+        assert gpu.kernel_time(0.0) == pytest.approx(RV770.kernel_launch_overhead)
+
+    def test_kernel_rate_with_drift(self):
+        sim = Simulator()
+        gpu = GPUDevice(sim, RV770, drift=lambda t: 0.9)
+        w = 1e12
+        assert gpu.kernel_rate(w) == pytest.approx(240e9 * gpu.efficiency(w) * 0.9)
+
+    def test_run_kernel_event(self):
+        sim = Simulator()
+        gpu = GPUDevice(sim, RV770)
+
+        def work():
+            yield gpu.run_kernel(1e12, jitter=False)
+            return sim.now
+
+        elapsed = sim.run(until=sim.process(work()))
+        assert elapsed == pytest.approx(gpu.kernel_time(1e12, jitter=False))
+        assert gpu.kernel_count == 1
+        assert gpu.flops_done == 1e12
+
+    def test_texture_limit(self):
+        gpu = self.make()
+        gpu.check_texture(8192, 8192)  # ok
+        with pytest.raises(GpuMemoryError, match="texture limit"):
+            gpu.check_texture(8193, 100)
+
+    def test_memory_accounting(self):
+        gpu = self.make()
+        gpu.alloc(400 * MB)
+        assert gpu.memory_allocated == 400 * MB
+        assert gpu.memory_free == pytest.approx(1 * GB - 400 * MB)
+        gpu.free(400 * MB)
+        assert gpu.memory_allocated == 0.0
+
+    def test_memory_overflow_raises(self):
+        gpu = self.make()
+        with pytest.raises(GpuMemoryError, match="local memory"):
+            gpu.alloc(1.5 * GB)
+
+    def test_over_free_raises(self):
+        gpu = self.make()
+        with pytest.raises(GpuMemoryError):
+            gpu.free(1.0)
+
+    def test_alloc_validates_texture_extent(self):
+        gpu = self.make()
+        with pytest.raises(GpuMemoryError):
+            gpu.alloc(1 * MB, rows=10000, cols=10)
+
+
+class TestPCIeLink:
+    def test_paper_worked_example_pageable(self):
+        # Section V.A: 3 matrices of 800 MB: 2400/500 + 2400/5000 = 5.28 s.
+        link = PCIeLink(Simulator(), PCIE_2)
+        assert link.duration(2400 * MB, pinned=False) == pytest.approx(5.28, rel=1e-3)
+
+    def test_pinned_faster(self):
+        link = PCIeLink(Simulator(), PCIE_2)
+        assert link.duration(1 * GB, pinned=True) < link.duration(1 * GB, pinned=False)
+
+    def test_effective_bandwidth(self):
+        link = PCIeLink(Simulator(), PCIE_2)
+        bw = link.bandwidth(pinned=False)
+        assert bw == pytest.approx(1.0 / (1 / 500e6 + 1 / 5e9))
+
+    def test_to_gpu_completes_at_duration(self):
+        sim = Simulator()
+        link = PCIeLink(sim, PCIE_2)
+
+        def mover():
+            yield link.to_gpu(100 * MB, pinned=True)
+            return sim.now
+
+        elapsed = sim.run(until=sim.process(mover()))
+        assert elapsed == pytest.approx(link.duration(100 * MB, pinned=True), rel=1e-6)
+        assert link.bytes_to_gpu == 100 * MB
+
+    def test_busy_flag_during_transfer(self):
+        sim = Simulator()
+        link = PCIeLink(sim, PCIE_2)
+        observed = []
+
+        def mover():
+            yield link.to_gpu(100 * MB)
+
+        def watcher():
+            yield sim.timeout(0.01)
+            observed.append(link.busy)
+            yield sim.timeout(10.0)
+            observed.append(link.busy)
+
+        sim.process(mover())
+        sim.process(watcher())
+        sim.run()
+        assert observed == [True, False]
+
+    def test_transfers_serialise_on_host_hop(self):
+        sim = Simulator()
+        link = PCIeLink(sim, PCIE_2)
+        done = []
+
+        def mover(tag):
+            yield link.to_gpu(250 * MB, pinned=True)
+            done.append((tag, sim.now))
+
+        sim.process(mover("a"))
+        sim.process(mover("b"))
+        sim.run()
+        # Second transfer's host hop waits for the first's host hop.
+        single_host = 250 * MB / PCIE_2.pinned_bw
+        assert done[1][1] >= done[0][1] + single_host * 0.99
+
+    def test_pageable_occupies_host_hop_longer(self):
+        sim = Simulator()
+        link = PCIeLink(sim, PCIE_2)
+
+        def mover():
+            yield link.to_gpu(50 * MB, pinned=False)
+            return sim.now
+
+        elapsed = sim.run(until=sim.process(mover()))
+        assert elapsed == pytest.approx(link.duration(50 * MB, pinned=False), rel=1e-6)
+
+    def test_to_host_direction_counter(self):
+        sim = Simulator()
+        link = PCIeLink(sim, PCIE_2)
+
+        def mover():
+            yield link.to_host(10 * MB)
+
+        sim.run(until=sim.process(mover()))
+        assert link.bytes_to_host == 10 * MB
+        assert link.bytes_to_gpu == 0.0

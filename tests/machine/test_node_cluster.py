@@ -1,0 +1,205 @@
+"""Unit tests for ComputeElement, Node, Interconnect and Cluster."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cluster import Cluster
+from repro.machine.interconnect import Interconnect
+from repro.machine.node import ComputeElement, Node
+from repro.machine.presets import (
+    QDR_INFINIBAND,
+    tianhe1_cluster,
+    tianhe1_element,
+    tianhe1_node,
+)
+from repro.machine.variability import NO_VARIABILITY, VariabilitySpec
+from repro.sim import Simulator
+from repro.util.units import MB
+
+
+class TestComputeElement:
+    def make(self, variability=NO_VARIABILITY):
+        return ComputeElement(Simulator(), tianhe1_element(), variability=variability)
+
+    def test_core_roles(self):
+        element = self.make()
+        assert len(element.cores) == 4
+        assert len(element.compute_cores) == 3
+        assert element.transfer_core is element.cores[0]
+        assert element.transfer_core not in element.compute_cores
+
+    def test_l2_sibling_flagged(self):
+        element = self.make()
+        # Transfer core 0 pairs with core 1.
+        assert element.cores[1].l2_shares_with_transfer
+        assert not element.cores[2].l2_shares_with_transfer
+
+    def test_peak_and_gsplit(self):
+        element = self.make()
+        assert element.peak_flops == pytest.approx(280.48e9, rel=1e-3)
+        assert element.initial_gsplit == pytest.approx(0.889, abs=0.002)
+
+    def test_cpu_compute_rate_deterministic(self):
+        element = self.make()
+        assert element.cpu_compute_rate() == pytest.approx(3 * 10.12e9 * 0.885)
+
+    def test_l2_penalty_active_during_transfer(self):
+        sim = Simulator()
+        element = ComputeElement(
+            sim, tianhe1_element(), variability=VariabilitySpec(
+                core_jitter_sigma=0.0, gpu_jitter_sigma=0.0, element_spread_sigma=0.0,
+                l2_share_penalty=0.2, thermal_drift_depth=0.0,
+            ),
+        )
+        rates = []
+
+        def transfer():
+            yield element.pcie.to_gpu(100 * MB)
+
+        def probe():
+            yield sim.timeout(0.001)
+            rates.append(element.cpu_compute_rate())
+
+        sim.process(transfer())
+        sim.process(probe())
+        sim.run()
+        quiet = 3 * 10.12e9 * 0.885
+        assert rates[0] == pytest.approx(quiet - 0.2 * 10.12e9 * 0.885)
+
+    def test_gpu_cold_rate_unaffected_by_drift_depth(self):
+        element = ComputeElement(
+            Simulator(), tianhe1_element(), variability=NO_VARIABILITY, drift_depth=0.5
+        )
+        assert element.gpu.kernel_rate(1e12, at_time=0.0) == pytest.approx(
+            240e9 * element.gpu.efficiency(1e12)
+        )
+
+
+class TestNode:
+    def test_two_elements(self):
+        node = Node(Simulator(), tianhe1_node(), variability=NO_VARIABILITY)
+        assert len(node.elements) == 2
+        assert node.peak_flops == pytest.approx(2 * 280.48e9, rel=1e-3)
+
+
+class TestInterconnect:
+    def test_message_time(self):
+        net = Interconnect(Simulator(), QDR_INFINIBAND, n_ranks=4)
+        assert net.message_time(5e9) == pytest.approx(1.0 + 1.2e-6)
+
+    def test_send_delivers(self):
+        sim = Simulator()
+        net = Interconnect(sim, QDR_INFINIBAND, n_ranks=2)
+
+        def sender():
+            yield net.send(0, 1, 5e9)
+            return sim.now
+
+        assert sim.run(until=sim.process(sender())) == pytest.approx(1.0, rel=1e-3)
+
+    def test_self_send_latency_only(self):
+        sim = Simulator()
+        net = Interconnect(sim, QDR_INFINIBAND, n_ranks=2)
+
+        def sender():
+            yield net.send(1, 1, 5e9)
+            return sim.now
+
+        assert sim.run(until=sim.process(sender())) == pytest.approx(1.2e-6)
+
+    def test_port_serialisation(self):
+        sim = Simulator()
+        net = Interconnect(sim, QDR_INFINIBAND, n_ranks=3)
+        done = []
+
+        def sender():
+            a = net.send(0, 1, 5e9)
+            b = net.send(0, 2, 5e9)
+            yield a
+            done.append(sim.now)
+            yield b
+            done.append(sim.now)
+
+        sim.run(until=sim.process(sender()))
+        assert done[0] == pytest.approx(1.0, rel=1e-3)
+        assert done[1] == pytest.approx(2.0, rel=1e-3)
+
+    def test_rank_range_checked(self):
+        net = Interconnect(Simulator(), QDR_INFINIBAND, n_ranks=2)
+        with pytest.raises(ValueError):
+            net.send(0, 5, 10)
+
+    def test_total_bytes(self):
+        sim = Simulator()
+        net = Interconnect(sim, QDR_INFINIBAND, n_ranks=2)
+        net.send(0, 1, 100.0)
+        sim.run()
+        assert net.total_bytes() == 100.0
+
+
+class TestCluster:
+    def test_rate_table_shapes(self):
+        cluster = Cluster(tianhe1_cluster(cabinets=1), seed=1)
+        table = cluster.rate_table()
+        assert table.n_elements == 64
+        assert table.gpu_peak.shape == (64,)
+        assert np.all(table.cpu_hybrid_rate < table.cpu_full_rate)
+
+    def test_rate_table_matches_des_element(self):
+        """The vectorized table and the DES device must agree per element."""
+        cluster = Cluster(tianhe1_cluster(cabinets=1), seed=7)
+        table = cluster.rate_table()
+        sim = Simulator()
+        for idx in (0, 13, 63):
+            element = cluster.build_element(sim, idx)
+            w = 5e11
+            des_rate = element.gpu.kernel_rate(w, at_time=0.0)
+            assert table.gpu_rate(w, t=0.0)[idx] == pytest.approx(des_rate, rel=1e-9)
+            # CPU full rate (all four cores, no penalty).
+            des_cpu = sum(c.base_rate() for c in element.all_cores)
+            assert table.cpu_full_rate[idx] == pytest.approx(des_cpu, rel=1e-9)
+
+    def test_drift_applied_in_table(self):
+        cluster = Cluster(tianhe1_cluster(cabinets=1), seed=7)
+        table = cluster.rate_table()
+        cold = table.gpu_rate(1e12, t=0.0)
+        hot = table.gpu_rate(1e12, t=1e9)
+        assert np.all(hot < cold)
+        assert np.allclose(hot, cold * (1 - table.drift_depth))
+
+    def test_static_factors_reproducible(self):
+        a = Cluster(tianhe1_cluster(cabinets=1), seed=5)
+        b = Cluster(tianhe1_cluster(cabinets=1), seed=5)
+        assert a.static_factor(10) == b.static_factor(10)
+        assert a.drift_depth(10) == b.drift_depth(10)
+
+    def test_different_seeds_differ(self):
+        a = Cluster(tianhe1_cluster(cabinets=1), seed=5)
+        b = Cluster(tianhe1_cluster(cabinets=1), seed=6)
+        assert a.static_factor(10) != b.static_factor(10)
+
+    def test_subset(self):
+        cluster = Cluster(tianhe1_cluster(cabinets=1), seed=1)
+        table = cluster.rate_table()
+        sub = table.subset(np.arange(8))
+        assert sub.n_elements == 8
+        assert np.array_equal(sub.gpu_peak, table.gpu_peak[:8])
+
+    def test_gpu_kernel_time_vectorized(self):
+        cluster = Cluster(tianhe1_cluster(cabinets=1), seed=1)
+        table = cluster.rate_table()
+        times = table.gpu_kernel_time(1e12)
+        assert times.shape == (64,)
+        assert np.all(times > 0)
+
+    def test_build_element_out_of_range(self):
+        cluster = Cluster(tianhe1_cluster(cabinets=1), seed=1)
+        with pytest.raises(ValueError):
+            cluster.build_element(Simulator(), 64)
+
+    def test_mixed_population_rates(self):
+        cluster = Cluster(tianhe1_cluster(cabinets=80, variability=NO_VARIABILITY), seed=1)
+        table = cluster.rate_table()
+        # E5450 elements (tail) have faster CPUs.
+        assert table.cpu_full_rate[-1] > table.cpu_full_rate[0]
+        assert table.cpu_full_rate[-1] == pytest.approx(48e9 * 0.885)

@@ -1,0 +1,43 @@
+"""Unit tests for the power model against the paper's two anchors."""
+
+import pytest
+
+from repro.machine.power import TIANHE1_POWER, PowerModel
+from repro.model import calibration as cal
+from repro.util.units import TFLOPS
+
+
+class TestPowerAnchors:
+    def test_cabinet_draw_matches_paper(self):
+        # Section VI.C: "The power consumption of one cabinet ... about 18.5 kw".
+        assert TIANHE1_POWER.cabinet_kw(clock_mhz=575.0) == pytest.approx(18.5)
+
+    def test_green500_figure(self):
+        # Section III: 379.24 MFLOPS/W on the Linpack run.
+        got = TIANHE1_POWER.mflops_per_watt(cal.LINPACK_FULL_SYSTEM, cabinets=80)
+        assert got == pytest.approx(cal.MFLOPS_PER_WATT, rel=0.01)
+
+    def test_training_energy_reproduction(self):
+        # 2 hours at one cabinet's 18.5 kW = 37 kWh; 80 cabinets = 2960 kWh.
+        one = TIANHE1_POWER.energy_kwh(cabinets=1, seconds=2 * 3600)
+        assert one == pytest.approx(cal.QILIN_TRAINING_KWH_PER_CABINET, rel=1e-3)
+        assert 80 * one == pytest.approx(cal.QILIN_TRAINING_KWH_FULL_SYSTEM, rel=1e-3)
+
+
+class TestPowerModelBehaviour:
+    def test_higher_clock_draws_more(self):
+        assert TIANHE1_POWER.cabinet_kw(750.0) > TIANHE1_POWER.cabinet_kw(575.0)
+
+    def test_idle_floor(self):
+        model = PowerModel()
+        assert model.cabinet_kw(575.0, load=0.0) == pytest.approx(model.idle_kw_per_cabinet)
+
+    def test_system_scales_linearly(self):
+        assert TIANHE1_POWER.system_kw(80) == pytest.approx(80 * 18.5)
+
+    def test_energy(self):
+        assert TIANHE1_POWER.energy_kwh(1, 3600.0) == pytest.approx(18.5)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            TIANHE1_POWER.cabinet_kw(575.0, load=-0.1)

@@ -1,0 +1,74 @@
+"""Calibration checks: presets must reproduce the paper's stated totals."""
+
+import pytest
+
+from repro.machine import presets
+from repro.util.units import TFLOPS
+
+
+class TestPaperDerivedTotals:
+    def test_cpu_aggregate_peak(self):
+        # Section III: "The peak performance contributed by the CPUs is 214.96 TFLOPS"
+        total = 4096 * presets.XEON_E5540.peak_flops + 1024 * presets.XEON_E5450.peak_flops
+        assert total == pytest.approx(214.96 * TFLOPS, rel=1e-3)
+
+    def test_gpu_aggregate_peak_at_575(self):
+        # Section III: "The 5120 RV770 GPU chips contribute 942.08 TFLOPS".
+        total = 5120 * presets.RV770.peak_flops(presets.DOWNCLOCKED_MHZ)
+        assert total == pytest.approx(942.08 * TFLOPS, rel=1e-3)
+
+    def test_gpu_fraction_of_peak(self):
+        # Section III: GPUs occupy 81.42% of the node peak.
+        cpu = 4096 * presets.XEON_E5540.peak_flops + 1024 * presets.XEON_E5450.peak_flops
+        gpu = 5120 * presets.RV770.peak_flops(presets.DOWNCLOCKED_MHZ)
+        assert gpu / (gpu + cpu) == pytest.approx(0.8142, abs=0.001)
+
+    def test_rv770_dp_peak(self):
+        # Section V.A: "peak performance of an AMD RV770 GPU chip capable of 240 GFLOPS".
+        assert presets.RV770.peak_flops() == pytest.approx(240e9)
+
+
+class TestElementPreset:
+    def test_default_element_is_e5540_at_750(self):
+        element = presets.tianhe1_element()
+        assert element.cpu.name == "Xeon E5540"
+        assert element.gpu_clock_mhz == 750.0
+        assert element.peak_flops == pytest.approx(280.48e9, rel=1e-3)
+
+    def test_initial_gsplit(self):
+        assert presets.tianhe1_element().initial_gsplit == pytest.approx(0.889, abs=0.002)
+
+
+class TestClusterPreset:
+    def test_full_system_shape(self):
+        spec = presets.tianhe1_cluster()
+        assert spec.cabinets == 80
+        assert spec.total_nodes == 2560
+        assert spec.total_elements == 5120
+
+    def test_full_system_peak_near_1_206_pflops(self):
+        # Section III: peak performance 1.206 PFLOPS (GPUs counted at 575 MHz).
+        spec = presets.tianhe1_cluster()
+        assert spec.peak_flops == pytest.approx(1157 * TFLOPS, rel=0.01)
+        # The headline 1.206 PFLOPS also counts front-end nodes the paper
+        # excludes from the Linpack run ("A total of 2560 compute nodes were
+        # used"); compute-node peak is 214.96 + 942.08 = 1157 TFLOPS.
+
+    def test_mixed_population(self):
+        spec = presets.tianhe1_cluster()
+        assert spec.node_spec(0).elements[0].cpu.name == "Xeon E5540"
+        assert spec.node_spec(2559).elements[0].cpu.name == "Xeon E5450"
+        # 2048 E5540 nodes = 4096 CPUs; 512 E5450 nodes = 1024 CPUs.
+        assert spec.node_spec(2047).elements[0].cpu.name == "Xeon E5540"
+        assert spec.node_spec(2048).elements[0].cpu.name == "Xeon E5450"
+
+    def test_single_cabinet_is_homogeneous_e5540(self):
+        spec = presets.tianhe1_cluster(cabinets=1)
+        assert spec.total_elements == 64
+        assert all(
+            spec.element_spec(i).cpu.name == "Xeon E5540" for i in range(spec.total_elements)
+        )
+
+    def test_downclock_default_for_full_system(self):
+        spec = presets.tianhe1_cluster()
+        assert spec.element_spec(0).gpu_clock_mhz == presets.DOWNCLOCKED_MHZ

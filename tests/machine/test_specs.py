@@ -1,0 +1,148 @@
+"""Unit tests for repro.machine.specs."""
+
+import pytest
+
+from repro.machine.specs import (
+    CPUSpec,
+    ClusterSpec,
+    ElementSpec,
+    GPUSpec,
+    InterconnectSpec,
+    NodeSpec,
+    PCIeSpec,
+)
+from repro.machine.presets import PCIE_2, QDR_INFINIBAND, RV770, XEON_E5450, XEON_E5540, tianhe1_node
+
+
+class TestCPUSpec:
+    def test_peak_is_cores_times_core_peak(self):
+        assert XEON_E5540.peak_flops == pytest.approx(40.48e9)
+        assert XEON_E5450.peak_flops == pytest.approx(48e9)
+
+    def test_l2_sibling_lookup(self):
+        assert XEON_E5450.l2_sibling(0) == 1
+        assert XEON_E5450.l2_sibling(1) == 0
+        assert XEON_E5450.l2_sibling(3) == 2
+
+    def test_l2_sibling_none_when_unpaired(self):
+        spec = CPUSpec("plain", 4, 10e9, 0.9, l2_pairs=())
+        assert spec.l2_sibling(0) is None
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            CPUSpec("bad", 4, 10e9, 1.5)
+
+    def test_rejects_out_of_range_pair(self):
+        with pytest.raises(ValueError):
+            CPUSpec("bad", 2, 10e9, 0.9, l2_pairs=((0, 5),))
+
+
+class TestGPUSpec:
+    def test_peak_scales_with_clock(self):
+        assert RV770.peak_flops() == pytest.approx(240e9)
+        assert RV770.peak_flops(575.0) == pytest.approx(184e9)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ValueError):
+            RV770.peak_flops(0.0)
+
+    def test_rejects_bad_eff_max(self):
+        with pytest.raises(ValueError):
+            GPUSpec("g", 750, 240e9, 900, 1e9, 8192, eff_max=2.0, w_half=1e9, kernel_launch_overhead=0)
+
+
+class TestPCIeSpec:
+    def test_host_bw_selects_path(self):
+        assert PCIE_2.host_bw(pinned=False) == pytest.approx(500e6)
+        assert PCIE_2.host_bw(pinned=True) > PCIE_2.host_bw(pinned=False)
+
+    def test_pinned_slower_than_pageable_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeSpec(pageable_bw=1e9, pinned_bw=5e8, gpu_bw=5e9, latency=0, pinned_chunk_bytes=4e6)
+
+
+class TestElementSpec:
+    def test_paper_element_peak(self):
+        # Section IV.A: "the peak performance of one compute element is 280.5 GFLOPS".
+        element = ElementSpec(XEON_E5540, RV770, PCIE_2, gpu_clock_mhz=750.0)
+        assert element.peak_flops == pytest.approx(280.48e9, rel=1e-3)
+
+    def test_initial_gsplit_matches_paper(self):
+        # Section VI.B / Fig 10: initial value 0.889 from the peak ratio.
+        element = ElementSpec(XEON_E5540, RV770, PCIE_2, gpu_clock_mhz=750.0)
+        assert element.initial_gsplit == pytest.approx(0.889, abs=0.002)
+
+    def test_compute_cores_excludes_transfer_core(self):
+        element = ElementSpec(XEON_E5540, RV770, PCIE_2, gpu_clock_mhz=750.0, transfer_core=2)
+        assert element.compute_core_indices == (0, 1, 3)
+
+    def test_cpu_compute_peak_three_cores(self):
+        element = ElementSpec(XEON_E5540, RV770, PCIE_2, gpu_clock_mhz=750.0)
+        assert element.cpu_compute_peak == pytest.approx(3 * 10.12e9)
+
+    def test_transfer_core_out_of_range(self):
+        with pytest.raises(ValueError):
+            ElementSpec(XEON_E5540, RV770, PCIE_2, gpu_clock_mhz=750.0, transfer_core=4)
+
+
+class TestNodeAndClusterSpec:
+    def test_node_peak(self):
+        node = tianhe1_node()
+        assert node.peak_flops == pytest.approx(2 * 280.48e9, rel=1e-3)
+
+    def test_node_requires_elements(self):
+        with pytest.raises(ValueError):
+            NodeSpec(elements=(), shared_memory_bytes=1e9)
+
+    def test_cluster_indexing(self):
+        node_a = tianhe1_node(XEON_E5540)
+        node_b = tianhe1_node(XEON_E5450)
+        spec = ClusterSpec(
+            name="mini",
+            cabinets=2,
+            nodes_per_cabinet=2,
+            node_specs=((0, node_a), (3, node_b)),
+            interconnect=InterconnectSpec(5e9, 1.2e-6),
+        )
+        assert spec.total_nodes == 4
+        assert spec.total_elements == 8
+        assert spec.node_spec(0) is node_a
+        assert spec.node_spec(2) is node_a
+        assert spec.node_spec(3) is node_b
+        # element 6 and 7 live on node 3
+        assert spec.element_spec(6).cpu.name == "Xeon E5450"
+        assert spec.element_spec(5).cpu.name == "Xeon E5540"
+
+    def test_cluster_peak_sums_ranges(self):
+        node_a = tianhe1_node(XEON_E5540)
+        spec = ClusterSpec(
+            name="tiny",
+            cabinets=1,
+            nodes_per_cabinet=2,
+            node_specs=((0, node_a),),
+            interconnect=InterconnectSpec(5e9, 1.2e-6),
+        )
+        assert spec.peak_flops == pytest.approx(2 * node_a.peak_flops)
+
+    def test_cluster_rejects_unsorted_ranges(self):
+        node = tianhe1_node()
+        with pytest.raises(ValueError):
+            ClusterSpec(
+                name="bad",
+                cabinets=1,
+                nodes_per_cabinet=4,
+                node_specs=((2, node), (0, node)),
+                interconnect=InterconnectSpec(5e9, 1.2e-6),
+            )
+
+    def test_node_index_out_of_range(self):
+        node = tianhe1_node()
+        spec = ClusterSpec(
+            name="t",
+            cabinets=1,
+            nodes_per_cabinet=1,
+            node_specs=((0, node),),
+            interconnect=InterconnectSpec(5e9, 1.2e-6),
+        )
+        with pytest.raises(ValueError):
+            spec.node_spec(1)

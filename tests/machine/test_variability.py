@@ -1,0 +1,106 @@
+"""Unit tests for repro.machine.variability."""
+
+import numpy as np
+import pytest
+
+from repro.machine.variability import (
+    NO_VARIABILITY,
+    ThermalModel,
+    VariabilitySpec,
+    draw_static_factors,
+    jitter_factor,
+    thermal_drift,
+)
+
+
+class TestVariabilitySpec:
+    def test_defaults_valid(self):
+        spec = VariabilitySpec()
+        assert not spec.deterministic
+
+    def test_no_variability_is_deterministic(self):
+        assert NO_VARIABILITY.deterministic
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            VariabilitySpec(core_jitter_sigma=-0.1)
+
+    def test_rejects_penalty_above_one(self):
+        with pytest.raises(ValueError):
+            VariabilitySpec(l2_share_penalty=1.5)
+
+
+class TestStaticFactors:
+    def test_zero_sigma_gives_ones(self):
+        factors = draw_static_factors(10, 0.0, np.random.default_rng(0))
+        assert np.all(factors == 1.0)
+
+    def test_positive_and_spread(self):
+        factors = draw_static_factors(5000, 0.05, np.random.default_rng(0))
+        assert np.all(factors > 0)
+        assert 0.04 < np.std(np.log(factors)) < 0.06
+
+    def test_reproducible(self):
+        a = draw_static_factors(10, 0.1, np.random.default_rng(3))
+        b = draw_static_factors(10, 0.1, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_empty(self):
+        assert len(draw_static_factors(0, 0.1, np.random.default_rng(0))) == 0
+
+
+class TestJitter:
+    def test_zero_sigma_is_one(self):
+        assert jitter_factor(0.0, np.random.default_rng(0)) == 1.0
+
+    def test_mean_approximately_one(self):
+        rng = np.random.default_rng(7)
+        draws = [jitter_factor(0.05, rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(1.0, abs=0.01)
+
+
+class TestThermalDrift:
+    def test_cold_start_is_one(self):
+        assert thermal_drift(0.06, 600.0)(0.0) == 1.0
+
+    def test_settles_at_depth(self):
+        factor = thermal_drift(0.06, 600.0)
+        assert factor(1e9) == pytest.approx(0.94)
+
+    def test_monotone_decreasing(self):
+        factor = thermal_drift(0.1, 100.0)
+        times = [0, 10, 100, 1000, 10000]
+        values = [factor(t) for t in times]
+        assert values == sorted(values, reverse=True)
+
+    def test_zero_depth_constant(self):
+        factor = thermal_drift(0.0, 100.0)
+        assert factor(1e6) == 1.0
+
+    def test_zero_tau_is_step(self):
+        factor = thermal_drift(0.05, 0.0)
+        assert factor(1e-9) == pytest.approx(0.95)
+
+
+class TestThermalModel:
+    def test_paper_anchor_points(self):
+        # Section VI.A: 750 MHz -> 110 C; 575 MHz -> 92 C.
+        model = ThermalModel()
+        assert model.temperature(750.0) == pytest.approx(110.0)
+        assert model.temperature(575.0) == pytest.approx(92.0)
+
+    def test_standard_clock_unstable_downclock_stable(self):
+        # The paper downclocked precisely because 750 MHz was "unstable".
+        model = ThermalModel()
+        assert not model.is_stable(750.0)
+        assert model.is_stable(575.0)
+
+    def test_max_stable_clock_between_anchors(self):
+        model = ThermalModel()
+        clock = model.max_stable_clock()
+        assert 575.0 < clock < 750.0
+        assert model.temperature(clock) == pytest.approx(ThermalModel.STABILITY_LIMIT_C)
+
+    def test_rejects_wrong_anchor_count(self):
+        with pytest.raises(ValueError):
+            ThermalModel(anchors=((1.0, 2.0),))

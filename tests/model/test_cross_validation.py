@@ -1,0 +1,74 @@
+"""Cross-validation: closed-form model vs exact DES execution.
+
+The analytic HPL stepper trusts the closed-form hybrid-DGEMM makespans; these
+tests pin them against the event-driven executor on a deterministic element.
+Tolerances are loose where the closed form deliberately simplifies (task
+residency, chunked transfer interleaving) and tight where it should be exact
+(kernel-dominated regimes).
+"""
+
+import pytest
+
+from repro.core.hybrid_dgemm import HybridDgemm
+from repro.core.static_map import StaticMapper
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.model.dgemm_model import DgemmShape, ElementRates, hybrid_dgemm_time
+from repro.sim import Simulator
+
+
+def des_time(n, k, gsplit, pipelined, beta_nonzero=True):
+    sim = Simulator()
+    element = ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+    hd = HybridDgemm(element, StaticMapper(gsplit, 3), pipelined=pipelined, jitter=False)
+    result = hd.run_to_completion(n, n, k, beta_nonzero=beta_nonzero)
+    return result.t_total, element
+
+
+def closed_form_time(n, k, gsplit, pipelined, element, beta_nonzero=True):
+    rates = ElementRates.from_element(element)
+    shape = DgemmShape(n, n, k, beta_nonzero=beta_nonzero)
+    return hybrid_dgemm_time(shape, gsplit, rates, pipelined=pipelined, reuse=True).makespan
+
+
+CASES = [
+    # (n, k, gsplit, pipelined, rel_tol)
+    (4096, 4096, 0.889, False, 0.08),
+    (4096, 4096, 0.889, True, 0.08),
+    (8192, 1216, 0.889, False, 0.08),
+    (10240, 1216, 1.0, False, 0.10),
+    (10240, 1216, 1.0, True, 0.10),
+    (16384, 1216, 0.9, True, 0.12),
+    (12288, 12288, 0.889, True, 0.15),  # K-split + memory-constrained blocks
+    (2048, 2048, 0.5, False, 0.10),
+]
+
+
+class TestClosedFormMatchesDES:
+    @pytest.mark.parametrize("n,k,gsplit,pipelined,tol", CASES)
+    def test_makespan_within_tolerance(self, n, k, gsplit, pipelined, tol):
+        des, element = des_time(n, k, gsplit, pipelined)
+        cf = closed_form_time(n, k, gsplit, pipelined, element)
+        assert cf == pytest.approx(des, rel=tol)
+
+    def test_cpu_only_near_exact(self):
+        """CPU-only differs only by integer row rounding across 3 cores."""
+        des, element = des_time(4096, 4096, 0.0, False)
+        cf = closed_form_time(4096, 4096, 0.0, False, element)
+        assert cf == pytest.approx(des, rel=1e-3)
+
+    def test_relative_orderings_agree(self):
+        """Whatever the absolute error, sync vs pipe ordering must agree."""
+        for n, k in [(10240, 1216), (16384, 1216)]:
+            des_sync, el = des_time(n, k, 1.0, False, beta_nonzero=False)
+            des_pipe, _ = des_time(n, k, 1.0, True, beta_nonzero=False)
+            cf_sync = closed_form_time(n, k, 1.0, False, el, beta_nonzero=False)
+            cf_pipe = closed_form_time(n, k, 1.0, True, el, beta_nonzero=False)
+            assert (des_pipe < des_sync) == (cf_pipe < cf_sync)
+
+    def test_kernel_dominated_regime_tight(self):
+        """With huge K the kernel dwarfs transfers; both must agree closely."""
+        des, element = des_time(8192, 8192, 1.0, True, beta_nonzero=False)
+        cf = closed_form_time(8192, 8192, 1.0, True, element, beta_nonzero=False)
+        assert cf == pytest.approx(des, rel=0.03)

@@ -1,0 +1,174 @@
+"""Unit tests for the closed-form hybrid DGEMM model."""
+
+import numpy as np
+import pytest
+
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.model.dgemm_model import (
+    DgemmShape,
+    ElementRates,
+    balanced_gsplit,
+    hybrid_dgemm_time,
+    transfer_bytes,
+)
+from repro.sim import Simulator
+
+
+def nominal_rates(**kw):
+    defaults = dict(
+        gpu_peak=240e9,
+        eff_max=0.84,
+        w_half=80e9,
+        kernel_overhead=1e-3,
+        cpu_rate=3 * 10.12e9 * 0.885,
+        host_bw=4e9,
+        gpu_bw=5e9,
+        pcie_latency=20e-6,
+    )
+    defaults.update(kw)
+    return ElementRates(**defaults)
+
+
+class TestDgemmShape:
+    def test_flops(self):
+        assert DgemmShape(100, 200, 50).flops == 2e6
+
+    def test_task_grid(self):
+        shape = DgemmShape(16384, 16384, 1216)
+        assert shape.task_grid(1.0, 8192) == (2, 2)
+        assert shape.task_grid(0.5, 8192) == (1, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DgemmShape(-1, 2, 3)
+
+
+class TestTransferBytes:
+    def test_reuse_counts_each_operand_once(self):
+        shape = DgemmShape(10000, 10000, 1216, beta_nonzero=False)
+        in_bytes, out_bytes, n_tasks = transfer_bytes(shape, 1.0, reuse=True)
+        assert in_bytes == (10000 * 1216 + 1216 * 10000) * 8
+        assert out_bytes == 10000 * 10000 * 8
+        assert n_tasks == 4
+
+    def test_no_reuse_multiplies_by_grid(self):
+        shape = DgemmShape(10000, 10000, 1216, beta_nonzero=False)
+        smart, _, _ = transfer_bytes(shape, 1.0, reuse=True)
+        naive, _, _ = transfer_bytes(shape, 1.0, reuse=False)
+        assert naive == 2 * smart  # 2x2 grid: A sent twice, B sent twice
+
+    def test_beta_adds_c_input(self):
+        shape = DgemmShape(8000, 8000, 1216, beta_nonzero=True)
+        with_c, _, _ = transfer_bytes(shape, 1.0, reuse=True)
+        without_c, _, _ = transfer_bytes(
+            DgemmShape(8000, 8000, 1216, beta_nonzero=False), 1.0, reuse=True
+        )
+        assert with_c - without_c == 8000 * 8000 * 8
+
+    def test_zero_gpu_share(self):
+        shape = DgemmShape(1000, 1000, 1000)
+        assert transfer_bytes(shape, 0.0, reuse=True) == (0.0, 0.0, 0)
+
+
+class TestHybridDgemmTime:
+    def test_makespan_is_max_of_paths(self):
+        shape = DgemmShape(10000, 10000, 10000)
+        t = hybrid_dgemm_time(shape, 0.889, nominal_rates(), pipelined=False)
+        assert t.makespan == max(t.gpu.t_total, t.t_cpu)
+
+    def test_gpu_only(self):
+        shape = DgemmShape(10000, 10000, 10000)
+        t = hybrid_dgemm_time(shape, 1.0, nominal_rates(), pipelined=False)
+        assert t.t_cpu == 0.0
+        assert t.makespan == t.gpu.t_total
+
+    def test_cpu_only(self):
+        shape = DgemmShape(4000, 4000, 4000)
+        t = hybrid_dgemm_time(shape, 0.0, nominal_rates(), pipelined=False)
+        assert t.gpu.t_total == 0.0
+        assert t.makespan == pytest.approx(shape.flops / nominal_rates().cpu_rate)
+
+    def test_pipeline_never_slower(self):
+        for n in (4096, 10240, 16384):
+            shape = DgemmShape(n, n, n, beta_nonzero=False)
+            sync = hybrid_dgemm_time(shape, 0.9, nominal_rates(), pipelined=False, reuse=True)
+            pipe = hybrid_dgemm_time(shape, 0.9, nominal_rates(), pipelined=True)
+            assert pipe.makespan <= sync.makespan * (1 + 1e-9)
+
+    def test_single_task_pipeline_degenerates(self):
+        shape = DgemmShape(8192, 8192, 1216, beta_nonzero=False)
+        sync = hybrid_dgemm_time(shape, 1.0, nominal_rates(), pipelined=False, reuse=True)
+        pipe = hybrid_dgemm_time(shape, 1.0, nominal_rates(), pipelined=True)
+        assert pipe.makespan == pytest.approx(sync.makespan)
+
+    def test_cpu_imbalance_extends_cpu_path(self):
+        shape = DgemmShape(8000, 8000, 8000)
+        balanced = hybrid_dgemm_time(shape, 0.5, nominal_rates(), pipelined=False)
+        skewed = hybrid_dgemm_time(
+            shape, 0.5, nominal_rates(cpu_imbalance=1.2), pipelined=False
+        )
+        assert skewed.t_cpu == pytest.approx(balanced.t_cpu * 1.2)
+
+    def test_effective_rate(self):
+        shape = DgemmShape(10000, 10000, 10000)
+        t = hybrid_dgemm_time(shape, 0.889, nominal_rates(), pipelined=True)
+        assert t.effective_rate(shape.flops) == pytest.approx(shape.flops / t.makespan)
+
+    def test_vectorized_over_elements(self):
+        shape = DgemmShape(12288, 12288, 1216)
+        rates = nominal_rates(
+            gpu_peak=np.array([240e9, 200e9]),
+            eff_max=np.array([0.84, 0.84]),
+            w_half=np.array([80e9, 80e9]),
+            kernel_overhead=np.array([1e-3, 1e-3]),
+            cpu_rate=np.array([26.9e9, 26.9e9]),
+        )
+        t = hybrid_dgemm_time(shape, 0.889, rates, pipelined=True)
+        assert np.shape(t.makespan) == (2,)
+        assert t.makespan[1] > t.makespan[0]  # slower GPU, slower element
+
+
+class TestBalancedGsplit:
+    def test_fixed_point_equalises_paths(self):
+        shape = DgemmShape(12288, 12288, 1216)
+        rates = nominal_rates()
+        gs = balanced_gsplit(shape, rates, pipelined=True)
+        t = hybrid_dgemm_time(shape, float(gs), rates, pipelined=True)
+        assert t.gpu.t_total == pytest.approx(t.t_cpu, rel=0.05)
+
+    def test_faster_gpu_gets_more(self):
+        shape = DgemmShape(12288, 12288, 1216)
+        slow = balanced_gsplit(shape, nominal_rates(gpu_peak=120e9), pipelined=True)
+        fast = balanced_gsplit(shape, nominal_rates(gpu_peak=240e9), pipelined=True)
+        assert fast > slow
+
+    def test_small_workload_shifts_to_cpu(self):
+        rates = nominal_rates()
+        tiny = balanced_gsplit(DgemmShape(1024, 1024, 1024), rates, pipelined=False)
+        huge = balanced_gsplit(DgemmShape(16384, 16384, 1216), rates, pipelined=False)
+        assert tiny < huge
+
+    def test_vectorized(self):
+        shape = DgemmShape(10240, 10240, 1216)
+        rates = nominal_rates(
+            gpu_peak=np.array([240e9, 120e9]),
+            eff_max=np.array([0.84, 0.84]),
+            w_half=np.array([80e9, 80e9]),
+            kernel_overhead=np.array([1e-3, 1e-3]),
+            cpu_rate=np.array([26.9e9, 26.9e9]),
+        )
+        gs = balanced_gsplit(shape, rates, pipelined=True)
+        assert gs.shape == (2,)
+        assert gs[0] > gs[1]
+
+
+class TestFromElement:
+    def test_rates_match_device_models(self):
+        sim = Simulator()
+        element = ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+        rates = ElementRates.from_element(element)
+        w = 5e11
+        assert rates.gpu_rate(w) == pytest.approx(element.gpu.kernel_rate(w))
+        assert rates.cpu_rate == pytest.approx(element.cpu_compute_rate())

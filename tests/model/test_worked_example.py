@@ -1,0 +1,82 @@
+"""Reproduce the paper's Section V.A worked example, number for number.
+
+"Take the double-precision matrix-matrix multiplication with size N = 10000
+as an example, the size of each matrix is 800 MB. ... the time required for
+data transfer is 800*3/500 + 800*3/5000 = 5.28 s without any optimization.
+The double-precision floating-point operation count is about 2*N^3 = 2000 G.
+With the peak performance of an AMD RV770 GPU chip capable of 240 GFLOPS,
+the computing time is 2000/240 = 8.33 s."
+"""
+
+import pytest
+
+from repro.machine.pcie import PCIeLink
+from repro.machine.presets import PCIE_2, RV770
+from repro.model import calibration as cal
+from repro.sim import Simulator
+from repro.util.units import MB, dgemm_flops, matrix_bytes
+
+
+class TestWorkedExample:
+    def test_matrix_is_800_mb(self):
+        assert matrix_bytes(cal.WORKED_EXAMPLE_N, cal.WORKED_EXAMPLE_N) == pytest.approx(
+            cal.WORKED_EXAMPLE_MATRIX_MB * MB
+        )
+
+    def test_transfer_time_5_28s(self):
+        link = PCIeLink(Simulator(), PCIE_2)
+        three_matrices = 3 * cal.WORKED_EXAMPLE_MATRIX_MB * MB
+        assert link.duration(three_matrices, pinned=False) == pytest.approx(
+            cal.WORKED_EXAMPLE_TRANSFER_S, rel=1e-3
+        )
+
+    def test_flop_count_2000_gflop(self):
+        n = cal.WORKED_EXAMPLE_N
+        assert dgemm_flops(n, n, n) == pytest.approx(2000e9)
+
+    def test_compute_time_8_33s_at_peak(self):
+        n = cal.WORKED_EXAMPLE_N
+        t = dgemm_flops(n, n, n) / RV770.peak_flops()
+        assert t == pytest.approx(cal.WORKED_EXAMPLE_COMPUTE_S, rel=1e-3)
+
+    def test_communication_is_significant(self):
+        """The example's point: transfers are ~63% of compute time."""
+        ratio = cal.WORKED_EXAMPLE_TRANSFER_S / cal.WORKED_EXAMPLE_COMPUTE_S
+        assert ratio > 0.5
+
+
+class TestCalibrationConsistency:
+    def test_pinned_limit_matches_spec(self):
+        assert PCIE_2.pinned_chunk_bytes == pytest.approx(cal.PINNED_LIMIT_MB * 1e6)
+
+    def test_texture_limit(self):
+        assert RV770.max_texture_dim == cal.TEXTURE_LIMIT
+
+    def test_rv770_peak(self):
+        assert RV770.peak_flops() == pytest.approx(cal.RV770_DP_PEAK)
+
+    def test_derived_cpu_only_linpack(self):
+        assert cal.derived_cpu_only_linpack() == pytest.approx(35.8e9, rel=1e-2)
+
+    def test_speedup_identities(self):
+        assert cal.SINGLE_ELEMENT_LINPACK / cal.ACMLG_LINPACK == pytest.approx(3.32, abs=0.02)
+        assert cal.SINGLE_ELEMENT_LINPACK / cal.ELEMENT_PEAK == pytest.approx(
+            cal.SINGLE_ELEMENT_PEAK_FRACTION, abs=0.002
+        )
+
+    def test_full_system_grid_size(self):
+        p, q = cal.FULL_SYSTEM_GRID
+        assert p * q == cal.TOTAL_ELEMENTS
+
+    def test_training_energy_identities(self):
+        assert cal.QILIN_TRAINING_HOURS_PER_CABINET * cal.CABINET_POWER_KW == pytest.approx(
+            cal.QILIN_TRAINING_KWH_PER_CABINET
+        )
+        assert cal.QILIN_TRAINING_KWH_PER_CABINET * cal.CABINETS == pytest.approx(
+            cal.QILIN_TRAINING_KWH_FULL_SYSTEM
+        )
+
+    def test_endgame_drop_identity(self):
+        assert cal.PERF_BEFORE_DROP - cal.ENDGAME_DROP == pytest.approx(
+            cal.LINPACK_FULL_SYSTEM, rel=5e-3
+        )

@@ -1,0 +1,241 @@
+"""Unit tests for the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.machine.interconnect import Interconnect
+from repro.machine.presets import QDR_INFINIBAND
+from repro.mpi.comm import SimMPI, payload_nbytes
+from repro.sim import Simulator
+
+
+def make_world(n, with_network=True):
+    sim = Simulator()
+    network = Interconnect(sim, QDR_INFINIBAND, n) if with_network else None
+    return sim, SimMPI(sim, n, network)
+
+
+def run_ranks(sim, world, rank_fn):
+    """Spawn one process per rank running rank_fn(comm) and return results."""
+    procs = [sim.process(rank_fn(comm), name=f"rank{comm.rank}") for comm in world.comms()]
+    return sim.run(until=sim.all_of(procs))
+
+
+class TestPayloadNbytes:
+    def test_ndarray_real_size(self):
+        assert payload_nbytes(np.zeros((10, 10))) == 800.0
+
+    def test_scalars(self):
+        assert payload_nbytes(3) == 8.0
+        assert payload_nbytes(3.14) == 8.0
+        assert payload_nbytes(None) == 8.0
+
+    def test_containers(self):
+        assert payload_nbytes((np.zeros(4), np.zeros(6))) == 32 + 48 + 16
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abcd") == 4.0
+
+    def test_fallback(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 64.0
+
+
+class TestPointToPoint:
+    def test_send_recv_payload(self):
+        sim, world = make_world(2)
+
+        def rank(comm):
+            if comm.rank == 0:
+                yield from comm.send({"x": 1}, dest=1, tag=7)
+                return None
+            return (yield from comm.recv(source=0, tag=7))
+
+        results = run_ranks(sim, world, rank)
+        assert results[1] == {"x": 1}
+
+    def test_message_timing_includes_bandwidth(self):
+        sim, world = make_world(2)
+        data = np.zeros(625_000_000 // 8)  # 0.625 GB over 5 GB/s = 0.125 s
+
+        def rank(comm):
+            if comm.rank == 0:
+                yield from comm.send(data, dest=1)
+            else:
+                yield from comm.recv(source=0)
+                return sim.now
+
+        results = run_ranks(sim, world, rank)
+        assert results[1] == pytest.approx(0.125, rel=1e-2)
+
+    def test_tag_matching_out_of_order(self):
+        sim, world = make_world(2)
+
+        def rank(comm):
+            if comm.rank == 0:
+                yield from comm.send("first", dest=1, tag="a")
+                yield from comm.send("second", dest=1, tag="b")
+            else:
+                b = yield from comm.recv(source=0, tag="b")
+                a = yield from comm.recv(source=0, tag="a")
+                return (a, b)
+
+        results = run_ranks(sim, world, rank)
+        assert results[1] == ("first", "second")
+
+    def test_same_tag_fifo_order(self):
+        sim, world = make_world(2)
+
+        def rank(comm):
+            if comm.rank == 0:
+                for i in range(3):
+                    yield from comm.send(i, dest=1, tag=0)
+            else:
+                got = []
+                for _ in range(3):
+                    got.append((yield from comm.recv(source=0, tag=0)))
+                return got
+
+        assert run_ranks(sim, world, rank)[1] == [0, 1, 2]
+
+    def test_recv_blocks_until_send(self):
+        sim, world = make_world(2)
+
+        def rank(comm):
+            if comm.rank == 0:
+                yield sim.timeout(5.0)
+                yield from comm.send("late", dest=1)
+            else:
+                payload = yield from comm.recv(source=0)
+                return (payload, sim.now)
+
+        payload, when = run_ranks(sim, world, rank)[1]
+        assert payload == "late"
+        assert when >= 5.0
+
+    def test_sendrecv_exchange(self):
+        sim, world = make_world(2)
+
+        def rank(comm):
+            peer = 1 - comm.rank
+            other = yield from comm.sendrecv(comm.rank * 10, peer)
+            return other
+
+        results = run_ranks(sim, world, rank)
+        assert results == [10, 0]
+
+    def test_counters(self):
+        sim, world = make_world(2)
+
+        def rank(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(100), dest=1)
+            else:
+                yield from comm.recv()
+
+        run_ranks(sim, world, rank)
+        assert world.messages_sent == 1
+        assert world.bytes_sent == 800.0
+
+
+@pytest.mark.parametrize("algorithm", ["binomial", "ring"])
+class TestBcast:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_all_ranks_receive(self, algorithm, size, root):
+        if root >= size:
+            pytest.skip("root out of range")
+        sim, world = make_world(size)
+
+        def rank(comm):
+            payload = "data" if comm.rank == root else None
+            result = yield from comm.bcast(payload, root=root, algorithm=algorithm)
+            return result
+
+        results = run_ranks(sim, world, rank)
+        assert results == ["data"] * size
+
+    def test_array_broadcast(self, algorithm):
+        sim, world = make_world(4)
+        data = np.arange(100.0)
+
+        def rank(comm):
+            payload = data if comm.rank == 0 else None
+            out = yield from comm.bcast(payload, root=0, algorithm=algorithm)
+            return float(out.sum())
+
+        assert run_ranks(sim, world, rank) == [data.sum()] * 4
+
+
+class TestBcastTiming:
+    def test_binomial_scales_logarithmically(self):
+        """log2(P) rounds: 8 ranks ~ 3 serial message times for big payloads."""
+        data = np.zeros(5_000_000 // 8)  # 1 ms per hop at 5 GB/s
+
+        def time_bcast(size, algorithm):
+            sim, world = make_world(size)
+
+            def rank(comm):
+                payload = data if comm.rank == 0 else None
+                yield from comm.bcast(payload, root=0, algorithm=algorithm)
+                return sim.now
+
+            return max(run_ranks(sim, world, rank))
+
+        t_binomial = time_bcast(8, "binomial")
+        t_ring = time_bcast(8, "ring")
+        hop = 1e-3
+        assert t_binomial == pytest.approx(3 * hop, rel=0.1)
+        assert t_ring == pytest.approx(7 * hop, rel=0.1)
+
+
+class TestCollectives:
+    def test_gather(self):
+        sim, world = make_world(4)
+
+        def rank(comm):
+            return (yield from comm.gather(comm.rank**2, root=0))
+
+        results = run_ranks(sim, world, rank)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1:] == [None, None, None]
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8, 3, 6])
+    def test_allreduce_sum(self, size):
+        sim, world = make_world(size)
+
+        def rank(comm):
+            return (yield from comm.allreduce(comm.rank + 1))
+
+        expected = size * (size + 1) // 2
+        assert run_ranks(sim, world, rank) == [expected] * size
+
+    def test_allreduce_max(self):
+        sim, world = make_world(4)
+
+        def rank(comm):
+            return (yield from comm.allreduce(comm.rank * 2, op=max))
+
+        assert run_ranks(sim, world, rank) == [6, 6, 6, 6]
+
+    def test_barrier_synchronises(self):
+        sim, world = make_world(3)
+
+        def rank(comm):
+            yield sim.timeout(float(comm.rank))  # stagger arrivals
+            yield from comm.barrier()
+            return sim.now
+
+        results = run_ranks(sim, world, rank)
+        assert min(results) >= 2.0  # nobody leaves before the last arrival
+
+    def test_no_network_world_is_instant(self):
+        sim, world = make_world(4, with_network=False)
+
+        def rank(comm):
+            yield from comm.barrier()
+            return sim.now
+
+        assert max(run_ranks(sim, world, rank)) == 0.0

@@ -1,0 +1,105 @@
+"""Unit tests for rank subgroups (row/column collectives)."""
+
+import pytest
+
+from repro.machine.interconnect import Interconnect
+from repro.machine.presets import QDR_INFINIBAND
+from repro.mpi.comm import SimMPI
+from repro.mpi.group import Group
+from repro.sim import Simulator
+
+
+def make_world(n):
+    sim = Simulator()
+    return sim, SimMPI(sim, n, Interconnect(sim, QDR_INFINIBAND, n))
+
+
+def run_ranks(sim, world, members, rank_fn):
+    procs = []
+    for rank in members:
+        comm = world.comm(rank)
+        procs.append(sim.process(rank_fn(Group(comm, members)), name=f"g{rank}"))
+    return sim.run(until=sim.all_of(procs))
+
+
+class TestGroupBasics:
+    def test_local_rank_mapping(self):
+        sim, world = make_world(6)
+        group = Group(world.comm(4), [2, 4, 5])
+        assert group.size == 3
+        assert group.local_rank == 1
+
+    def test_rejects_nonmember(self):
+        _, world = make_world(4)
+        with pytest.raises(ValueError):
+            Group(world.comm(0), [1, 2])
+
+    def test_rejects_duplicates(self):
+        _, world = make_world(4)
+        with pytest.raises(ValueError):
+            Group(world.comm(1), [1, 1, 2])
+
+
+class TestGroupCollectives:
+    @pytest.mark.parametrize("members", [[0], [1, 3], [0, 2, 4], [1, 2, 3, 5]])
+    @pytest.mark.parametrize("algorithm", ["binomial", "ring"])
+    def test_bcast_within_subset(self, members, algorithm):
+        sim, world = make_world(6)
+
+        def body(group):
+            payload = "x" if group.local_rank == 0 else None
+            out = yield from group.bcast(payload, root_local=0, algorithm=algorithm)
+            return out
+
+        results = run_ranks(sim, world, members, body)
+        assert results == ["x"] * len(members)
+
+    def test_bcast_nonzero_root(self):
+        sim, world = make_world(4)
+
+        def body(group):
+            payload = 42 if group.local_rank == 1 else None
+            return (yield from group.bcast(payload, root_local=1))
+
+        assert run_ranks(sim, world, [0, 1, 2, 3], body) == [42] * 4
+
+    def test_gather(self):
+        sim, world = make_world(5)
+        members = [1, 2, 4]
+
+        def body(group):
+            return (yield from group.gather(group.local_rank * 10, root_local=0))
+
+        results = run_ranks(sim, world, members, body)
+        assert results[0] == [0, 10, 20]
+        assert results[1] is None and results[2] is None
+
+    def test_point_to_point(self):
+        sim, world = make_world(4)
+        members = [0, 3]
+
+        def body(group):
+            if group.local_rank == 0:
+                yield from group.send("hello", dest_local=1)
+                return None
+            return (yield from group.recv(source_local=0))
+
+        assert run_ranks(sim, world, members, body)[1] == "hello"
+
+    def test_two_groups_do_not_interfere(self):
+        """Column groups in a grid run the same collective concurrently."""
+        sim, world = make_world(4)
+        results = {}
+
+        def body(group, key):
+            payload = key if group.local_rank == 0 else None
+            out = yield from group.bcast(payload, root_local=0)
+            results.setdefault(key, []).append(out)
+
+        procs = []
+        for members, key in [([0, 1], "left"), ([2, 3], "right")]:
+            for rank in members:
+                group = Group(world.comm(rank), members, tag_space=("col", key))
+                procs.append(sim.process(body(group, key)))
+        sim.run(until=sim.all_of(procs))
+        assert results == {"left": ["left", "left"], "right": ["right", "right"]}

@@ -1,0 +1,309 @@
+"""Unit tests for the DES kernel (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, SimulationError, Simulator
+
+
+class TestClockAndTimeouts:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(2.5)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_run_until_time(self):
+        sim = Simulator()
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_run_until_time_processes_due_events(self):
+        sim = Simulator()
+        fired = []
+        t = sim.timeout(3.0)
+        t.add_callback(lambda e: fired.append(sim.now))
+        sim.run(until=3.0)
+        assert fired == [3.0]
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().timeout(-1.0)
+
+    def test_same_time_fifo_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            t = sim.timeout(1.0)
+            t.add_callback(lambda e, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_step_on_empty_calendar_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+    def test_peek(self):
+        sim = Simulator()
+        assert sim.peek() == float("inf")
+        sim.timeout(7.0)
+        assert sim.peek() == 7.0
+
+
+class TestEvents:
+    def test_succeed_carries_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("payload")
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == ["payload"]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_unhandled_failure_raises_at_processing(self):
+        sim = Simulator()
+        sim.event().fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_defused_failure_is_silent(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(RuntimeError("boom"))
+        ev.defuse()
+        sim.run()  # no raise
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_callback_after_processing_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        sim.run()
+        with pytest.raises(SimulationError):
+            ev.add_callback(lambda e: None)
+
+
+class TestProcesses:
+    def test_sequential_timeouts(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+            yield sim.timeout(2.0)
+            log.append(sim.now)
+            return "done"
+
+        p = sim.process(proc())
+        result = sim.run(until=p)
+        assert log == [1.0, 3.0]
+        assert result == "done"
+
+    def test_timeout_value_passed_back(self):
+        sim = Simulator()
+
+        def proc():
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        assert sim.run(until=sim.process(proc())) == "hello"
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(5.0)
+            return 42
+
+        def outer():
+            value = yield sim.process(inner())
+            return value * 2
+
+        assert sim.run(until=sim.process(outer())) == 84
+        assert sim.now == 5.0
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            log.append((name, sim.now))
+
+        sim.process(worker("fast", 1.0))
+        sim.process(worker("slow", 3.0))
+        sim.run()
+        assert log == [("fast", 1.0), ("slow", 3.0)]
+
+    def test_exception_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def failing():
+            yield sim.timeout(1.0)
+            raise ValueError("inner fault")
+
+        def waiter():
+            try:
+                yield sim.process(failing())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        assert sim.run(until=sim.process(waiter())) == "caught inner fault"
+
+    def test_unhandled_process_exception_surfaces(self):
+        sim = Simulator()
+
+        def failing():
+            yield sim.timeout(1.0)
+            raise ValueError("unhandled")
+
+        sim.process(failing())
+        with pytest.raises(ValueError, match="unhandled"):
+            sim.run()
+
+    def test_yield_non_event_fails_process(self):
+        sim = Simulator()
+
+        def bad():
+            yield 123
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="must yield Event"):
+            sim.run()
+
+    def test_yield_already_processed_event(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("old")
+
+        def late():
+            yield sim.timeout(2.0)
+            got = yield ev  # processed long ago
+            return got
+
+        assert sim.run(until=sim.process(late())) == "old"
+        assert sim.now == 2.0
+
+    def test_cross_simulator_yield_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+
+        def confused():
+            yield sim2.timeout(1.0)
+
+        sim1.process(confused())
+        with pytest.raises(SimulationError, match="different Simulator"):
+            sim1.run()
+
+    def test_process_requires_generator(self):
+        with pytest.raises(TypeError):
+            Simulator().process(lambda: None)  # type: ignore[arg-type]
+
+    def test_run_until_deadlocked_event_raises(self):
+        sim = Simulator()
+        never = sim.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=never)
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            yield sim.timeout(1.0)
+            sim.run()
+
+        sim.process(nested())
+        with pytest.raises(SimulationError, match="not reentrant"):
+            sim.run()
+
+
+class TestConditions:
+    def test_all_of_waits_for_slowest(self):
+        sim = Simulator()
+        cond = AllOf(sim, [sim.timeout(1.0, value="a"), sim.timeout(4.0, value="b")])
+
+        def waiter():
+            values = yield cond
+            return values
+
+        assert sim.run(until=sim.process(waiter())) == ["a", "b"]
+        assert sim.now == 4.0
+
+    def test_any_of_takes_fastest(self):
+        sim = Simulator()
+        cond = AnyOf(sim, [sim.timeout(1.0, value="fast"), sim.timeout(4.0, value="slow")])
+
+        def waiter():
+            value = yield cond
+            return value
+
+        assert sim.run(until=sim.process(waiter())) == "fast"
+        assert sim.now == 1.0
+
+    def test_all_of_empty_succeeds_immediately(self):
+        sim = Simulator()
+        cond = sim.all_of([])
+
+        def waiter():
+            return (yield cond)
+
+        assert sim.run(until=sim.process(waiter())) == []
+
+    def test_all_of_fails_fast(self):
+        sim = Simulator()
+        bad = sim.event()
+
+        def failer():
+            yield sim.timeout(1.0)
+            bad.fail(RuntimeError("first failure"))
+
+        def waiter():
+            try:
+                yield sim.all_of([bad, sim.timeout(10.0)])
+            except RuntimeError as exc:
+                return (str(exc), sim.now)
+
+        sim.process(failer())
+        assert sim.run(until=sim.process(waiter())) == ("first failure", 1.0)
+
+    def test_all_of_with_pretriggered_events(self):
+        sim = Simulator()
+        done = sim.event()
+        done.succeed("x")
+        sim.run()  # process it
+
+        def waiter():
+            return (yield sim.all_of([done, sim.timeout(1.0, value="y")]))
+
+        assert sim.run(until=sim.process(waiter())) == ["x", "y"]
+
+    def test_cross_simulator_condition_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+        with pytest.raises(SimulationError):
+            AllOf(sim1, [sim2.timeout(1.0)])

@@ -1,0 +1,84 @@
+"""Edge-case coverage for the DES kernel."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator, Timeout
+
+
+class TestRunUntilEvent:
+    def test_triggered_but_unprocessed_event(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("x")
+        assert sim.run(until=ev) == "x"
+
+    def test_failed_awaited_event_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def failer():
+            yield sim.timeout(1.0)
+            ev.fail(RuntimeError("boom"))
+
+        sim.process(failer())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run(until=ev)
+
+    def test_run_until_process_returning_none(self):
+        sim = Simulator()
+
+        def quiet():
+            yield sim.timeout(1.0)
+
+        assert sim.run(until=sim.process(quiet())) is None
+
+
+class TestTimeoutValues:
+    def test_timeout_carries_value(self):
+        sim = Simulator()
+
+        def proc():
+            return (yield sim.timeout(0.5, value={"k": 1}))
+
+        assert sim.run(until=sim.process(proc())) == {"k": 1}
+
+    def test_zero_delay_fires_now(self):
+        sim = Simulator()
+        fired = []
+        sim.timeout(0.0).add_callback(lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.0]
+
+
+class TestEventStates:
+    def test_ok_before_trigger_raises(self):
+        with pytest.raises(SimulationError):
+            _ = Simulator().event().ok
+
+    def test_processed_transitions(self):
+        sim = Simulator()
+        ev = sim.event()
+        assert not ev.triggered and not ev.processed
+        ev.succeed(1)
+        assert ev.triggered and not ev.processed
+        sim.run()
+        assert ev.processed and ev.ok
+
+    def test_timeout_is_pretriggered(self):
+        sim = Simulator()
+        t = Timeout(sim, 5.0)
+        assert t.triggered  # scheduled and value-bearing at creation
+        assert not t.processed
+
+    def test_generator_chain_return_values(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(1.0)
+            return 21
+
+        def outer():
+            value = yield from inner()
+            return value * 2
+
+        assert sim.run(until=sim.process(outer())) == 42

@@ -1,0 +1,143 @@
+"""Property-based tests for the DES kernel (hypothesis)."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import BandwidthChannel, Resource, Simulator
+
+delays = st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20)
+
+
+class TestClockProperties:
+    @given(delays)
+    def test_clock_monotone_nondecreasing(self, ds):
+        sim = Simulator()
+        seen = []
+        for d in ds:
+            sim.timeout(d).add_callback(lambda e: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(ds)
+
+    @given(delays)
+    def test_final_time_is_max_delay(self, ds):
+        sim = Simulator()
+        for d in ds:
+            sim.timeout(d)
+        sim.run()
+        assert sim.now == max(ds)
+
+    @given(delays)
+    def test_events_fire_at_their_delay(self, ds):
+        sim = Simulator()
+        fired = {}
+        for i, d in enumerate(ds):
+            sim.timeout(d).add_callback(lambda e, i=i, d=d: fired.setdefault(i, sim.now))
+        sim.run()
+        for i, d in enumerate(ds):
+            assert fired[i] == d
+
+
+class TestProcessChainProperties:
+    @given(delays)
+    def test_sequential_process_time_is_sum(self, ds):
+        sim = Simulator()
+
+        def chain():
+            for d in ds:
+                yield sim.timeout(d)
+            return sim.now
+
+        total = sim.run(until=sim.process(chain()))
+        # Floating-point summation in the calendar accumulates the same way.
+        expected = 0.0
+        for d in ds:
+            expected += d
+        assert total == expected
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=10))
+    def test_parallel_processes_time_is_max(self, ds):
+        sim = Simulator()
+        procs = []
+
+        def worker(d):
+            yield sim.timeout(d)
+
+        for d in ds:
+            procs.append(sim.process(worker(d)))
+        sim.run(until=sim.all_of(procs))
+        assert sim.now == max(ds)
+
+
+class TestResourceProperties:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=12),
+    )
+    @settings(max_examples=40)
+    def test_never_exceeds_capacity_and_work_conserving(self, capacity, holds):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        active = [0]
+        max_active = [0]
+
+        def worker(hold):
+            req = res.request()
+            yield req
+            active[0] += 1
+            max_active[0] = max(max_active[0], active[0])
+            yield sim.timeout(hold)
+            active[0] -= 1
+            res.release(req)
+
+        for h in holds:
+            sim.process(worker(h))
+        sim.run()
+        assert max_active[0] <= capacity
+        # Work conservation: if there were >= capacity jobs, the cap was hit.
+        assert max_active[0] == min(capacity, len(holds))
+        # Makespan is at least the bound given by perfect packing.
+        assert sim.now >= max(holds) - 1e-9
+        assert sim.now >= sum(holds) / capacity - 1e-9
+
+
+class TestChannelProperties:
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=15))
+    def test_fifo_completion_equals_prefix_sums(self, sizes):
+        sim = Simulator()
+        link = BandwidthChannel(sim, bandwidth=1e3)
+        completions = []
+
+        def mover(n):
+            yield link.transfer(n)
+            completions.append(sim.now)
+
+        for n in sizes:
+            sim.process(mover(n))
+        sim.run()
+        # All submitted at t=0 in order; completion k = prefix-sum of durations.
+        expected = list(heapq.nsmallest(len(sizes), _prefix_sums(sizes, 1e3)))
+        assert completions == sorted(completions)
+        for got, want in zip(completions, expected):
+            assert abs(got - want) <= 1e-6 * max(1.0, want)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=10))
+    def test_bytes_accounted_exactly(self, sizes):
+        sim = Simulator()
+        link = BandwidthChannel(sim, bandwidth=123.0)
+        for n in sizes:
+            link.transfer(n)
+        sim.run()
+        assert link.bytes_transferred == sum(sizes)
+        assert link.transfer_count == len(sizes)
+
+
+def _prefix_sums(sizes, bandwidth):
+    total = 0.0
+    out = []
+    for n in sizes:
+        total += n / bandwidth
+        out.append(total)
+    return out

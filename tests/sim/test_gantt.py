@@ -1,0 +1,63 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.sim import Simulator, Tracer
+from repro.sim.gantt import render_gantt, render_tracer
+from repro.sim.trace import Interval
+
+
+def make_intervals():
+    return [
+        Interval("T0", "input", 0.0, 1.0),
+        Interval("T0", "eo", 1.0, 3.0),
+        Interval("T1", "input", 1.0, 2.0),
+    ]
+
+
+class TestRenderGantt:
+    def test_has_one_lane_per_actor_phase(self):
+        out = render_gantt(make_intervals())
+        lines = out.splitlines()
+        assert any(line.startswith("T0.input") for line in lines)
+        assert any(line.startswith("T0.eo") for line in lines)
+        assert any(line.startswith("T1.input") for line in lines)
+
+    def test_legend_lists_phases(self):
+        out = render_gantt(make_intervals())
+        assert "legend:" in out
+        assert "input" in out and "eo" in out
+
+    def test_overlap_visible(self):
+        """T1.input must paint cells in the same columns as T0.eo."""
+        out = render_gantt(make_intervals(), width=30)
+        lines = {line.split("|")[0].strip(): line.split("|")[1] for line in out.splitlines() if "|" in line and "." in line.split("|")[0]}
+        eo = lines["T0.eo"]
+        t1 = lines["T1.input"]
+        both = [i for i, (a, b) in enumerate(zip(eo, t1)) if a != " " and b != " "]
+        assert both, "expected visible overlap between T0.eo and T1.input"
+
+    def test_empty(self):
+        assert render_gantt([]) == "(no intervals)"
+
+    def test_axis_shows_bounds(self):
+        out = render_gantt(make_intervals(), width=40)
+        assert "0" in out.splitlines()[-2]
+        assert "3" in out.splitlines()[-2]
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            render_gantt([Interval("a", "x", 1.0, 1.0)])
+
+    def test_render_tracer_roundtrip(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+
+        def proc():
+            tracer.begin("gpu", "kernel")
+            yield sim.timeout(2.0)
+            tracer.end("gpu", "kernel")
+
+        sim.run(until=sim.process(proc()))
+        out = render_tracer(tracer)
+        assert "gpu.kernel" in out

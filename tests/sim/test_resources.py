@@ -1,0 +1,263 @@
+"""Unit tests for repro.sim.resources."""
+
+import pytest
+
+from repro.sim import BandwidthChannel, Resource, Simulator, Store
+from repro.sim.engine import SimulationError
+
+
+class TestResource:
+    def test_mutex_serialises(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            req = res.request()
+            yield req
+            log.append((name, "in", sim.now))
+            yield sim.timeout(hold)
+            res.release(req)
+            log.append((name, "out", sim.now))
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 3.0))
+        sim.run()
+        assert log == [("a", "in", 0.0), ("a", "out", 2.0), ("b", "in", 2.0), ("b", "out", 5.0)]
+
+    def test_capacity_two_admits_two(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        entered = []
+
+        def worker(name):
+            req = res.request()
+            yield req
+            entered.append((name, sim.now))
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        for name in "abc":
+            sim.process(worker(name))
+        sim.run()
+        assert entered == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, arrive):
+            yield sim.timeout(arrive)
+            req = res.request()
+            yield req
+            order.append(name)
+            yield sim.timeout(10.0)
+            res.release(req)
+
+        sim.process(worker("first", 0.0))
+        sim.process(worker("second", 1.0))
+        sim.process(worker("third", 2.0))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_context_manager_releases(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            with res.request() as req:
+                yield req
+                yield sim.timeout(1.0)
+            return res.in_use
+
+        assert sim.run(until=sim.process(worker())) == 0
+
+    def test_release_waiting_request_cancels(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        held = res.request()  # granted immediately
+        waiting = res.request()
+        assert res.queue_length == 1
+        res.release(waiting)  # cancel, not an error
+        assert res.queue_length == 0
+        res.release(held)
+
+    def test_release_unknown_raises(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        foreign = Resource(sim, capacity=1).request()
+        with pytest.raises(SimulationError):
+            res.release(foreign)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+    def test_counters(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        r1 = res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queue_length == 1
+        res.release(r1)
+        assert res.in_use == 1  # the waiter got promoted
+        assert res.queue_length == 0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("item")
+
+        def getter():
+            return (yield store.get())
+
+        assert sim.run(until=sim.process(getter())) == "item"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def producer():
+            yield sim.timeout(3.0)
+            store.put("late")
+
+        def consumer():
+            item = yield store.get()
+            return (item, sim.now)
+
+        sim.process(producer())
+        assert sim.run(until=sim.process(consumer())) == ("late", 3.0)
+
+    def test_fifo_item_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        sim.run(until=sim.process(consumer()))
+        assert got == [0, 1, 2]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        events = []
+
+        def producer():
+            yield store.put("a")
+            events.append(("a stored", sim.now))
+            yield store.put("b")
+            events.append(("b stored", sim.now))
+
+        def consumer():
+            yield sim.timeout(5.0)
+            item = yield store.get()
+            return item
+
+        sim.process(producer())
+        assert sim.run(until=sim.process(consumer())) == "a"
+        sim.run()
+        assert events == [("a stored", 0.0), ("b stored", 5.0)]
+
+    def test_len_and_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        store.put("y")
+        assert len(store) == 2
+        assert store.items == ("x", "y")
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Simulator(), capacity=0)
+
+    def test_waiting_getter_gets_direct_handoff(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def consumer():
+            return (yield store.get())
+
+        p = sim.process(consumer())
+        sim.run(until=1.0)
+        store.put("direct")
+        assert sim.run(until=p) == "direct"
+        assert len(store) == 0
+
+
+class TestBandwidthChannel:
+    def test_duration_formula(self):
+        sim = Simulator()
+        link = BandwidthChannel(sim, bandwidth=500e6, latency=0.0)
+        # Section V.A: 800 MB over 500 MB/s = 1.6 s.
+        assert link.transfer_duration(800e6) == pytest.approx(1.6)
+
+    def test_latency_added(self):
+        sim = Simulator()
+        link = BandwidthChannel(sim, bandwidth=1e9, latency=1.2e-6)
+        assert link.transfer_duration(0) == pytest.approx(1.2e-6)
+
+    def test_transfer_completes_at_right_time(self):
+        sim = Simulator()
+        link = BandwidthChannel(sim, bandwidth=100.0)
+
+        def mover():
+            yield link.transfer(250.0)
+            return sim.now
+
+        assert sim.run(until=sim.process(mover())) == pytest.approx(2.5)
+
+    def test_fifo_serialisation(self):
+        sim = Simulator()
+        link = BandwidthChannel(sim, bandwidth=100.0)
+        ends = []
+
+        def mover(n):
+            yield link.transfer(n)
+            ends.append(sim.now)
+
+        sim.process(mover(100.0))  # 1 s
+        sim.process(mover(100.0))  # queued: finishes at 2 s
+        sim.run()
+        assert ends == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_backlog(self):
+        sim = Simulator()
+        link = BandwidthChannel(sim, bandwidth=100.0)
+        link.transfer(300.0)
+        assert link.backlog == pytest.approx(3.0)
+
+    def test_counters_and_utilization(self):
+        sim = Simulator()
+        link = BandwidthChannel(sim, bandwidth=100.0)
+
+        def mover():
+            yield link.transfer(100.0)
+            yield sim.timeout(1.0)  # idle second
+
+        sim.run(until=sim.process(mover()))
+        assert link.bytes_transferred == 100.0
+        assert link.transfer_count == 1
+        assert link.utilization() == pytest.approx(0.5)
+
+    def test_zero_elapsed_utilization(self):
+        sim = Simulator()
+        link = BandwidthChannel(sim, bandwidth=10.0)
+        assert link.utilization() == 0.0
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            BandwidthChannel(Simulator(), bandwidth=0.0)
+
+    def test_negative_bytes_rejected(self):
+        link = BandwidthChannel(Simulator(), bandwidth=10.0)
+        with pytest.raises(ValueError):
+            link.transfer(-1.0)

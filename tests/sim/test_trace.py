@@ -1,0 +1,95 @@
+"""Unit tests for repro.sim.trace."""
+
+import pytest
+
+from repro.sim import Simulator, Tracer
+
+
+def make_pipeline_trace():
+    """Two actors: T0 does input then EO; T1's input overlaps T0's EO."""
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def t0():
+        tracer.begin("T0", "input")
+        yield sim.timeout(1.0)
+        tracer.end("T0", "input")
+        tracer.begin("T0", "eo")
+        yield sim.timeout(2.0)
+        tracer.end("T0", "eo")
+
+    def t1():
+        yield sim.timeout(1.0)
+        tracer.begin("T1", "input")
+        yield sim.timeout(1.0)
+        tracer.end("T1", "input")
+
+    sim.process(t0())
+    sim.process(t1())
+    sim.run()
+    return sim, tracer
+
+
+class TestTracer:
+    def test_intervals_paired(self):
+        _, tracer = make_pipeline_trace()
+        spans = tracer.intervals()
+        assert len(spans) == 3
+        t0_input = tracer.intervals(actor="T0", phase="input")[0]
+        assert (t0_input.start, t0_input.end) == (0.0, 1.0)
+        assert t0_input.duration == 1.0
+
+    def test_overlap_detection(self):
+        _, tracer = make_pipeline_trace()
+        t0_eo = tracer.intervals(actor="T0", phase="eo")[0]
+        t1_input = tracer.intervals(actor="T1", phase="input")[0]
+        assert t0_eo.overlaps(t1_input)
+
+    def test_no_overlap_for_adjacent(self):
+        _, tracer = make_pipeline_trace()
+        t0_input = tracer.intervals(actor="T0", phase="input")[0]
+        t0_eo = tracer.intervals(actor="T0", phase="eo")[0]
+        assert not t0_input.overlaps(t0_eo)
+
+    def test_actors_in_first_appearance_order(self):
+        _, tracer = make_pipeline_trace()
+        assert tracer.actors() == ["T0", "T1"]
+
+    def test_double_begin_rejected(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.begin("A", "x")
+        with pytest.raises(ValueError):
+            tracer.begin("A", "x")
+
+    def test_end_without_begin_rejected(self):
+        tracer = Tracer(Simulator())
+        with pytest.raises(ValueError):
+            tracer.end("A", "x")
+
+    def test_marks_filterable(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.mark("A", "tick", step=1)
+        tracer.mark("B", "tick", step=2)
+        got = list(tracer.marks(actor="B"))
+        assert len(got) == 1 and got[0].data["step"] == 2
+
+    def test_interval_data_merged(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.begin("A", "x", task="T0")
+        tracer.end("A", "x", bytes=100)
+        span = tracer.intervals()[0]
+        assert span.data == {"task": "T0", "bytes": 100}
+
+    def test_schedule_table(self):
+        _, tracer = make_pipeline_trace()
+        table = tracer.schedule_table(time_step=1.0, phases=["input", "eo"])
+        assert table[0] == {"input": "T0", "eo": ""}
+        assert table[1] == {"input": "T1", "eo": "T0"}
+        assert table[2] == {"input": "", "eo": "T0"}
+
+    def test_schedule_table_empty(self):
+        tracer = Tracer(Simulator())
+        assert tracer.schedule_table(1.0, ["x"]) == []

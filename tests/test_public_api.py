@@ -1,0 +1,58 @@
+"""The top-level public API: everything advertised must exist and work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ advertises missing {name!r}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.sim",
+            "repro.sim.gantt",
+            "repro.machine",
+            "repro.machine.dual",
+            "repro.blas",
+            "repro.model",
+            "repro.core",
+            "repro.core.multi_device",
+            "repro.core.persistence",
+            "repro.mpi",
+            "repro.hpl",
+            "repro.bench",
+            "repro.bench.cli",
+        ],
+    )
+    def test_submodules_importable(self, module):
+        importlib.import_module(module)
+
+    def test_docstring_quickstart_runs(self):
+        """The usage example in the package docstring must actually work."""
+        from repro import AdaptiveMapper, ComputeElement, HybridDgemm, Simulator, tianhe1_element
+
+        sim = Simulator()
+        element = ComputeElement(sim, tianhe1_element())
+        mapper = AdaptiveMapper(
+            element.initial_gsplit, n_cores=3, max_workload=2.0 * 20000**3
+        )
+        engine = HybridDgemm(element, mapper, pipelined=True)
+        result = engine.run_to_completion(4096, 4096, 4096)
+        assert result.gflops > 0
+        assert 0 <= result.gsplit <= 1
+
+    def test_readme_cluster_example_runs(self):
+        from repro import Cluster, ProcessGrid, run_linpack, tianhe1_cluster
+
+        cluster = Cluster(tianhe1_cluster(cabinets=1))
+        result = run_linpack("acmlg_both", 80_000, cluster, ProcessGrid(2, 2))
+        assert result.tflops > 0.3

@@ -1,0 +1,48 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import TextTable
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(["N", "GFLOPS"], title="demo")
+        t.add_row(1024, 59.2)
+        t.add_row(46000, 196.7)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "GFLOPS" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "196.7" in lines[4]
+
+    def test_float_formatting(self):
+        t = TextTable(["x"])
+        t.add_row(0.123456789)
+        assert "0.1235" in t.render()
+
+    def test_extend(self):
+        t = TextTable(["a", "b"])
+        t.extend([(1, 2), (3, 4)])
+        assert len(t.rows) == 2
+
+    def test_wrong_arity_rejected(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_str_equals_render(self):
+        t = TextTable(["h"])
+        t.add_row("v")
+        assert str(t) == t.render()
+
+    def test_none_and_bool_cells(self):
+        t = TextTable(["a", "b"])
+        t.add_row(None, True)
+        out = t.render()
+        assert "None" in out and "True" in out

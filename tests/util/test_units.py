@@ -1,0 +1,70 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util import units
+
+
+class TestWorkloadFormulas:
+    def test_dgemm_flops_basic(self):
+        assert units.dgemm_flops(10, 20, 30) == 2.0 * 10 * 20 * 30
+
+    def test_dgemm_flops_zero_dimension(self):
+        assert units.dgemm_flops(0, 5, 5) == 0.0
+
+    def test_dgemm_flops_paper_example(self):
+        # Section V.A: N=10000 square DGEMM is "about 2*N^3 = 2000 G" flops.
+        assert units.dgemm_flops(10_000, 10_000, 10_000) == pytest.approx(2000 * units.GFLOP)
+
+    def test_dgemm_flops_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.dgemm_flops(-1, 2, 3)
+
+    def test_lu_flops_leading_term(self):
+        n = 10_000
+        assert units.lu_flops(n) == pytest.approx((2 / 3) * n**3, rel=1e-3)
+
+    def test_lu_flops_small(self):
+        assert units.lu_flops(1) == pytest.approx(2 / 3 + 2)
+
+    def test_lu_flops_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.lu_flops(-5)
+
+    def test_matrix_bytes_double(self):
+        # Section V.A: one 10000x10000 double matrix is 800 MB.
+        assert units.matrix_bytes(10_000, 10_000) == pytest.approx(800 * units.MB)
+
+    def test_matrix_bytes_custom_element(self):
+        assert units.matrix_bytes(4, 4, elem_bytes=4) == 64
+
+    def test_matrix_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.matrix_bytes(-1, 3)
+
+
+class TestFormatting:
+    def test_fmt_bytes_scales(self):
+        assert units.fmt_bytes(800 * units.MB) == "800 MB"
+        assert units.fmt_bytes(1.5 * units.GB) == "1.5 GB"
+        assert units.fmt_bytes(12) == "12 B"
+
+    def test_fmt_rate_gflops(self):
+        assert units.fmt_rate(196.7 * units.GFLOPS) == "196.7 GFLOPS"
+
+    def test_fmt_rate_tflops(self):
+        assert units.fmt_rate(563.1 * units.TFLOPS) == "563.1 TFLOPS"
+
+    def test_fmt_flops(self):
+        assert units.fmt_flops(2000 * units.GFLOP) == "2 Tflop"
+
+    def test_fmt_time_ranges(self):
+        assert units.fmt_time(5e-10).endswith("ns")
+        assert units.fmt_time(5e-6).endswith("us")
+        assert units.fmt_time(5e-3).endswith("ms")
+        assert units.fmt_time(5).endswith("s")
+        assert units.fmt_time(600).endswith("min")
+        assert units.fmt_time(7201).endswith("h")
+
+    def test_fmt_time_negative(self):
+        assert units.fmt_time(-2.0).startswith("-")

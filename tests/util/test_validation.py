@@ -1,0 +1,61 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util import validation as v
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        v.require(True, "never")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken"):
+            v.require(False, "broken")
+
+
+class TestRequirePositive:
+    def test_accepts_and_returns(self):
+        assert v.require_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            v.require_positive(bad, "x")
+
+
+class TestRequireNonnegative:
+    def test_accepts_zero(self):
+        assert v.require_nonnegative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            v.require_nonnegative(-1e-9, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            v.require_nonnegative(float("nan"), "x")
+
+
+class TestRequireFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0, 0.889])
+    def test_accepts(self, ok):
+        assert v.require_fraction(ok, "f") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 5])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            v.require_fraction(bad, "f")
+
+
+class TestRequireInt:
+    def test_accepts_int(self):
+        assert v.require_int(7, "n") == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            v.require_int(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            v.require_int(3.0, "n")
