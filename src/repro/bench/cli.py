@@ -4,11 +4,16 @@ Usage::
 
     python -m repro.bench --list
     python -m repro.bench fig8 [--quick] [--format text|csv|json] [--out FILE]
+    python -m repro.bench fig13 --quick --trace-out trace.json --metrics-out m.json
     python -m repro.bench headline
 
 ``--quick`` shrinks problem sizes so every figure finishes in seconds —
 useful for smoke-testing an installation; full-size runs match
-EXPERIMENTS.md.
+EXPERIMENTS.md.  ``--trace-out`` writes a Chrome trace-event JSON file
+(open in Perfetto or ``chrome://tracing``) of everything the run recorded —
+per-panel HPL spans, pipeline CT/NT states, the figure's own wall-clock
+span; ``--metrics-out`` writes the metrics-registry snapshot.  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import argparse
 import sys
 from typing import Callable, Optional
 
+from repro import obs
 from repro.bench.cabinet import fig11_adaptive_vs_qilin
 from repro.bench.dgemm_sweep import fig8_dgemm_sweep
 from repro.bench.linpack_sweep import fig9_linpack_sweep, fig10_split_ratio
@@ -99,6 +105,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "csv", "json"), default="text", help="output format"
     )
     parser.add_argument("--out", default=None, help="write output to a file instead of stdout")
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE.json",
+        help="write a Chrome trace-event JSON of the run (Perfetto-loadable)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE.json",
+        help="write the telemetry metrics snapshot as JSON",
+    )
     return parser
 
 
@@ -109,14 +127,35 @@ def main(argv: Optional[list[str]] = None) -> int:
         for name in sorted(FIGURES) + sorted(TEXT_ARTIFACTS):
             print(f"  {name}")
         return 0
-    if args.figure in TEXT_ARTIFACTS:
-        if args.format != "text":
-            print(f"{args.figure} only supports --format text", file=sys.stderr)
-            return 2
-        output = TEXT_ARTIFACTS[args.figure](args.quick)
-    else:
-        data = FIGURES[args.figure](args.quick)
-        output = {"text": data.render, "csv": data.to_csv, "json": data.to_json}[args.format]()
+
+    # Telemetry is only constructed when an artifact was requested, so the
+    # plain path stays exactly as before (no ambient sink, no-op guards).
+    telemetry = obs.Telemetry() if (args.trace_out or args.metrics_out) else None
+
+    with obs.use(telemetry):
+        if args.figure in TEXT_ARTIFACTS:
+            if args.format != "text":
+                print(f"{args.figure} only supports --format text", file=sys.stderr)
+                return 2
+            if telemetry is not None:
+                with telemetry.wall_span("bench", args.figure, quick=args.quick):
+                    output = TEXT_ARTIFACTS[args.figure](args.quick)
+            else:
+                output = TEXT_ARTIFACTS[args.figure](args.quick)
+        else:
+            if telemetry is not None:
+                with telemetry.wall_span("bench", args.figure, quick=args.quick):
+                    data = FIGURES[args.figure](args.quick)
+                data.attach_telemetry(telemetry)
+            else:
+                data = FIGURES[args.figure](args.quick)
+            output = {"text": data.render, "csv": data.to_csv, "json": data.to_json}[args.format]()
+
+    if telemetry is not None:
+        if args.trace_out:
+            telemetry.write_chrome_trace(args.trace_out)
+        if args.metrics_out:
+            telemetry.write_metrics(args.metrics_out)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(output + "\n")

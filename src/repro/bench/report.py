@@ -25,6 +25,15 @@ class SeriesData:
     y_label: str
     series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
     summary: dict[str, Any] = field(default_factory=dict)
+    #: Optional telemetry section: scalar metric summaries captured while
+    #: the figure ran (see :meth:`attach_telemetry`).  Rendered after the
+    #: summary and included in the JSON export.
+    telemetry: dict[str, Any] = field(default_factory=dict)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Fold a :class:`repro.obs.Telemetry`'s metrics into this report."""
+        if telemetry is not None:
+            self.telemetry.update(telemetry.metrics.scalar_summary())
 
     def add_point(self, label: str, x: float, y: float) -> None:
         self.series.setdefault(label, []).append((x, y))
@@ -49,6 +58,14 @@ class SeriesData:
                     lines.append(f"{key}: {value:.4g}")
                 else:
                     lines.append(f"{key}: {value}")
+        if self.telemetry:
+            lines.append("")
+            lines.append("telemetry:")
+            for key, value in self.telemetry.items():
+                if isinstance(value, float):
+                    lines.append(f"  {key}: {value:.6g}")
+                else:
+                    lines.append(f"  {key}: {value}")
         return "\n".join(lines)
 
     def to_csv(self) -> str:
@@ -71,6 +88,7 @@ class SeriesData:
                 "y_label": self.y_label,
                 "series": {k: [[x, y] for x, y in v] for k, v in self.series.items()},
                 "summary": self.summary,
+                "telemetry": self.telemetry,
             },
             indent=2,
             default=float,

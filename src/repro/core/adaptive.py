@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.split import CoreSplitDatabase, SplitDatabase
+from repro.obs.telemetry import current as _ambient_telemetry
 from repro.util.validation import require, require_fraction, require_nonnegative
 
 
@@ -98,6 +99,7 @@ class AdaptiveMapper:
         n_bins: int = 64,
         min_gsplit: float = 0.01,
         min_csplit: float = 0.02,
+        telemetry=None,
     ) -> None:
         require_fraction(initial_gsplit, "initial_gsplit")
         require_fraction(min_gsplit, "min_gsplit")
@@ -108,10 +110,32 @@ class AdaptiveMapper:
         self.min_gsplit = min_gsplit
         self.min_csplit = min_csplit
         self.updates = 0
+        #: Optional :class:`repro.obs.Telemetry`; defaults to the ambient
+        #: :func:`repro.obs.current` one (None outside an ``obs.use`` block).
+        #: All hooks are guarded by ``is not None`` and never touch timing or
+        #: RNG state, so splits are bit-identical with telemetry on, off, or
+        #: attached mid-run.
+        self.telemetry = telemetry if telemetry is not None else _ambient_telemetry()
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Start (or stop, with None) publishing metrics for this mapper.
+
+        Metric state is *not* replayed: counters and series describe what was
+        observed while attached.  A restored mapper (see
+        :mod:`repro.core.persistence`) therefore starts its metrics from
+        whatever the supplied registry holds — reset it explicitly via
+        ``telemetry.metrics.reset()`` for a clean slate.
+        """
+        self.telemetry = telemetry
 
     # -- step 1: obtain the mappings -------------------------------------------
     def gsplit(self, workload: float) -> float:
         """Level-1 lookup: the fraction of *workload* to run on the GPU."""
+        if self.telemetry is not None:
+            kind = "hit" if self.database_g.is_written(workload) else "miss"
+            self.telemetry.metrics.counter(
+                "adaptive.bin_lookups", "database_g lookups by bin freshness"
+            ).inc(result=kind, bin=self.database_g.bin_index(workload))
         return self.database_g.lookup(workload)
 
     def csplits(self) -> np.ndarray:
@@ -124,6 +148,23 @@ class AdaptiveMapper:
         self._update_level1(obs)
         self._update_level2(obs)
         self.updates += 1
+        if self.telemetry is not None:
+            self._publish(obs)
+
+    def _publish(self, obs: Observation) -> None:
+        """Record one update's outcome (time series keyed by update index)."""
+        metrics = self.telemetry.metrics
+        metrics.counter("adaptive.updates", "two-level mapping updates").inc()
+        metrics.counter(
+            "adaptive.overhead_seconds", "modeled update overhead (Section IV.C)"
+        ).inc(update_overhead_seconds())
+        metrics.series("adaptive.gsplit", "stored GSplit per update").append(
+            self.updates, self.database_g.lookup(obs.workload)
+        )
+        for i, csplit in enumerate(self.database_c.lookup()):
+            metrics.series("adaptive.csplit", "stored CSplit_i per update").append(
+                self.updates, float(csplit), core=i
+            )
 
     def _update_level1(self, obs: Observation) -> None:
         p_g = obs.gpu_workload / obs.gpu_time if obs.gpu_time > 0 else 0.0

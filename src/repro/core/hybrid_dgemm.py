@@ -81,6 +81,7 @@ class HybridDgemm:
         record_states: bool = False,
         jitter: bool = True,
         enforce_gpu_memory: bool = True,
+        telemetry=None,
     ) -> None:
         self.element = element
         self.sim = element.sim
@@ -98,7 +99,10 @@ class HybridDgemm:
             input_chunk_bytes=input_chunk_bytes,
             record_states=record_states,
             jitter=jitter,
+            telemetry=telemetry,
         )
+        #: Shared with the executor (which defaults it from the element).
+        self.telemetry = self.executor.telemetry
 
     # -- DES process --------------------------------------------------------------
     def run(
@@ -150,6 +154,7 @@ class HybridDgemm:
                 element.spec.gpu.local_memory_bytes if self.enforce_gpu_memory else None
             ),
             eo_block_rows=self.executor.eo_block_rows,
+            telemetry=self.telemetry,
         )
         w_gpu = dgemm_flops(m1, n, k)
         rate = element.gpu.kernel_rate(w_gpu) if w_gpu > 0 else None

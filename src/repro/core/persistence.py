@@ -11,6 +11,8 @@ which is exactly how the paper's Fig. 8 "second run" numbers arise.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -44,8 +46,17 @@ def mapper_state(mapper: AdaptiveMapper) -> dict:
     }
 
 
-def restore_mapper(state: dict) -> AdaptiveMapper:
-    """Rebuild an :class:`AdaptiveMapper` from :func:`mapper_state` output."""
+def restore_mapper(state: dict, telemetry=None) -> AdaptiveMapper:
+    """Rebuild an :class:`AdaptiveMapper` from :func:`mapper_state` output.
+
+    Telemetry is deliberately *not* part of the persisted state: metrics
+    describe a live process, not the learned databases.  Pass *telemetry* to
+    start instrumenting the restored mapper; its counters/series begin at
+    whatever the supplied registry already holds (reset it explicitly with
+    ``telemetry.metrics.reset()`` for a clean slate) while ``updates`` —
+    part of the learned state — is restored from the file.  No silent
+    half-state either way.
+    """
     require(state.get("version") == FORMAT_VERSION,
             f"unsupported mapper state version {state.get('version')!r}")
     g = state["database_g"]
@@ -57,6 +68,7 @@ def restore_mapper(state: dict) -> AdaptiveMapper:
         n_bins=g["n_bins"],
         min_gsplit=state["min_gsplit"],
         min_csplit=state["min_csplit"],
+        telemetry=telemetry,
     )
     mapper.database_g._values = np.asarray(g["values"], dtype=float)
     mapper.database_g._written = np.asarray(g["written"], dtype=bool)
@@ -68,12 +80,34 @@ def restore_mapper(state: dict) -> AdaptiveMapper:
 
 
 def save_mapper(mapper: AdaptiveMapper, path: Union[str, Path]) -> Path:
-    """Write the mapper's databases to *path* as JSON."""
+    """Write the mapper's databases to *path* as JSON, atomically.
+
+    The payload goes to a temporary file in the same directory and is then
+    ``os.replace``-d over *path*, so a crash mid-write leaves either the old
+    file or the new one — never a truncated database.  The learned
+    ``database_g``/``database_c`` state is exactly what the paper's "second
+    run" numbers depend on; corrupting it would silently cost the warm start.
+    """
     path = Path(path)
-    path.write_text(json.dumps(mapper_state(mapper), indent=2))
+    payload = json.dumps(mapper_state(mapper), indent=2)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent if str(path.parent) else ".",
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 
-def load_mapper(path: Union[str, Path]) -> AdaptiveMapper:
+def load_mapper(path: Union[str, Path], telemetry=None) -> AdaptiveMapper:
     """Read databases previously written by :func:`save_mapper`."""
-    return restore_mapper(json.loads(Path(path).read_text()))
+    return restore_mapper(json.loads(Path(path).read_text()), telemetry=telemetry)

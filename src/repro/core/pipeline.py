@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.taskqueue import GpuTask, TaskQueue
 from repro.machine.node import ComputeElement
+from repro.obs.telemetry import current as _ambient_telemetry
 from repro.sim import Event
 from repro.util.validation import require, require_positive
 
@@ -74,6 +75,33 @@ class PipelineResult:
     n_tasks: int
     state_log: list[StateRecord] = field(default_factory=list)
 
+    def stage_occupancy(self) -> dict[str, float]:
+        """Fraction of the execution each CT/NT state occupied.
+
+        Computed from ``state_log`` (so it needs ``record_states=True`` or an
+        attached telemetry): per controller, each state runs from its record
+        until the controller's next record; the last state of each controller
+        runs to the log horizon.  This is Table I's column-occupancy view —
+        e.g. a well-overlapped queue shows Input occupying only the prologue.
+        """
+        if not self.state_log:
+            return {}
+        horizon = max(rec.time for rec in self.state_log)
+        start = min(rec.time for rec in self.state_log)
+        span = horizon - start
+        if span <= 0:
+            return {}
+        per_ctrl: dict[str, list[StateRecord]] = {}
+        for rec in self.state_log:
+            per_ctrl.setdefault(rec.controller, []).append(rec)
+        totals: dict[str, float] = {}
+        for recs in per_ctrl.values():
+            for cur, nxt in zip(recs, recs[1:]):
+                totals[cur.state] = totals.get(cur.state, 0.0) + (nxt.time - cur.time)
+            last = recs[-1]
+            totals[last.state] = totals.get(last.state, 0.0) + (horizon - last.time)
+        return {state: total / span for state, total in totals.items()}
+
     def schedule_rows(self) -> list[dict[str, str]]:
         """Table-I-shaped rows: one per state change, T<i> in the state column."""
         rows = []
@@ -99,6 +127,7 @@ class _ExecutorBase:
         record_states: bool = False,
         jitter: bool = True,
         tracer=None,
+        telemetry=None,
     ) -> None:
         require_positive(eo_block_rows, "eo_block_rows")
         require_positive(input_chunk_bytes, "input_chunk_bytes")
@@ -112,19 +141,75 @@ class _ExecutorBase:
         #: Optional :class:`repro.sim.Tracer`; when set, each task's input
         #: and EO stages are recorded as intervals (renderable as a Gantt).
         self.tracer = tracer if tracer is not None else element.tracer
+        #: Optional :class:`repro.obs.Telemetry`; when set, CT/NT states and
+        #: per-task stages are emitted as spans (one Chrome-trace thread per
+        #: controller/task under the element's process) and execution
+        #: counters/occupancy land in the metrics registry.  Defaults to the
+        #: element's telemetry, then the ambient :func:`repro.obs.current`.
+        if telemetry is None:
+            telemetry = getattr(element, "telemetry", None)
+        if telemetry is None:
+            telemetry = _ambient_telemetry()
+        self.telemetry = telemetry
         #: The GPU this executor launches kernels on.  Defaults to the
         #: element's (only) chip; a dual-GPU driver binds one executor per
         #: chip while both share the element's PCIe link.
         self.gpu = element.gpu
         self._log: list[StateRecord] = []
+        self._span_open: dict[str, tuple[str, Optional[int], float]] = {}
 
     def _trace(self, method: str, task: GpuTask, phase: str) -> None:
         if self.tracer is not None:
             getattr(self.tracer, method)(f"T{task.index}", phase)
+        if self.telemetry is not None:
+            sink = self.telemetry.sink
+            fn = sink.begin if method == "begin" else sink.end
+            fn(f"{self.element.name}/T{task.index}", phase, self.sim.now)
 
     def _record(self, controller: str, state: str, task: Optional[int]) -> None:
-        if self.record_states:
+        telemetry = self.telemetry
+        if self.record_states or telemetry is not None:
             self._log.append(StateRecord(self.sim.now, controller, state, task))
+        if telemetry is not None:
+            now = self.sim.now
+            prev = self._span_open.get(controller)
+            if prev is not None:
+                pstate, ptask, pstart = prev
+                if now > pstart:
+                    telemetry.sink.complete(
+                        f"{self.element.name}/{controller}", pstate, pstart, now, task=ptask
+                    )
+            self._span_open[controller] = (state, task, now)
+            telemetry.metrics.counter(
+                "pipeline.transitions", "CT/NT controller state changes"
+            ).inc(controller=controller, state=state)
+
+    def _finish(self, result: "PipelineResult") -> None:
+        """Close open controller spans and publish execution metrics."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        now = self.sim.now
+        for controller, (state, task, start) in self._span_open.items():
+            if now > start:
+                telemetry.sink.complete(
+                    f"{self.element.name}/{controller}", state, start, now, task=task
+                )
+        self._span_open.clear()
+        counter = telemetry.metrics.counter
+        counter("pipeline.executions", "task-queue executions").inc(executor=self.name)
+        counter("pipeline.tasks_executed", "GPU tasks run").inc(result.n_tasks)
+        counter("pipeline.kernel_seconds", "virtual seconds in kernels").inc(
+            result.kernel_time
+        )
+        counter("pipeline.busy_seconds", "virtual seconds start-to-drain").inc(
+            result.duration
+        )
+        occupancy = telemetry.metrics.series(
+            "pipeline.stage_occupancy", "fraction of an execution per CT/NT state"
+        )
+        for state, fraction in result.stage_occupancy().items():
+            occupancy.append(now, fraction, stage=state, executor=self.name)
 
     def _transfer_in(self, nbytes: float) -> Generator[Event, Any, None]:
         """Stage *nbytes* host -> GPU in chunks (so outputs can interleave)."""
@@ -196,6 +281,7 @@ class SoftwarePipeline(_ExecutorBase):
                 input_chunk_bytes=self.input_chunk_bytes,
                 record_states=self.record_states,
                 jitter=self.jitter,
+                telemetry=self.telemetry,
             )
             result = yield from sync.execute(queue, rate, numeric)
             return result
@@ -206,6 +292,7 @@ class SoftwarePipeline(_ExecutorBase):
         prefetched: dict[int, Event] = {}
         tasks = queue.tasks
         self._log = []
+        self._span_open = {}
         self._record("NT", N_IDLE, 1 if len(tasks) > 1 else None)
 
         for idx, task in enumerate(tasks):
@@ -234,7 +321,7 @@ class SoftwarePipeline(_ExecutorBase):
         if pending_outputs:
             yield sim.all_of(pending_outputs)
         self._record("CT", IDLE, None)
-        return PipelineResult(
+        result = PipelineResult(
             duration=sim.now - start,
             kernel_time=kernel_time,
             input_bytes=queue.input_bytes,
@@ -242,6 +329,8 @@ class SoftwarePipeline(_ExecutorBase):
             n_tasks=len(tasks),
             state_log=list(self._log),
         )
+        self._finish(result)
+        return result
 
     def _eo_stage(
         self,
@@ -297,6 +386,7 @@ class SyncExecutor(_ExecutorBase):
         start = sim.now
         kernel_time = 0.0
         self._log = []
+        self._span_open = {}
         for task in queue.tasks:
             self._record("CT", INPUT, task.index)
             yield from self._input_task(task)
@@ -309,7 +399,7 @@ class SyncExecutor(_ExecutorBase):
                 yield self.element.pcie.to_host(task.output_bytes, pinned=self.pinned)
             self._trace("end", task, "eo")
         self._record("CT", IDLE, None)
-        return PipelineResult(
+        result = PipelineResult(
             duration=sim.now - start,
             kernel_time=kernel_time,
             input_bytes=queue.input_bytes,
@@ -317,3 +407,5 @@ class SyncExecutor(_ExecutorBase):
             n_tasks=len(queue.tasks),
             state_log=list(self._log),
         )
+        self._finish(result)
+        return result

@@ -65,6 +65,10 @@ class SplitDatabase:
         """The GSplit to use for a DGEMM of *workload* flops."""
         return float(self._values[self.bin_index(workload)])
 
+    def is_written(self, workload: float) -> bool:
+        """True if the bin covering *workload* has been updated since init."""
+        return bool(self._written[self.bin_index(workload)])
+
     def store(self, workload: float, value: float) -> None:
         """Write the newly computed mapping back (step 2 of Section IV.B)."""
         require_fraction(value, "GSplit")

@@ -120,6 +120,9 @@ class TaskQueue:
     output_bytes: int = 0
     naive_input_bytes: int = 0
     resends: int = 0
+    #: Operand touches satisfied by a block already resident on the GPU —
+    #: the wins the bounce-corner-turn ordering exists to create.
+    reuse_hits: int = 0
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -179,12 +182,15 @@ def build_task_queue(
     beta_nonzero: bool = True,
     gpu_memory_bytes: Optional[float] = None,
     eo_block_rows: int = 512,
+    telemetry=None,
 ) -> TaskQueue:
     """Split the GPU portion ``C1[m1,n] (+)= A1[m1,k] @ B[k,n]`` into tasks.
 
     ``reuse=False`` models a vendor library that re-stages every operand per
     task; ``reuse=True`` applies bounce-corner-turn ordering with an LRU
-    residency plan over ``gpu_memory_bytes`` (default: unlimited).
+    residency plan over ``gpu_memory_bytes`` (default: unlimited).  An
+    optional :class:`repro.obs.Telemetry` receives queue-construction
+    counters (tasks, reuse hits, resends, staged vs naive bytes).
     """
     require(m1 >= 0 and n >= 0 and k >= 0, "dimensions must be >= 0")
     row_limit, col_limit, k_limit = effective_block_limits(
@@ -205,12 +211,14 @@ def build_task_queue(
     tasks: list[GpuTask] = []
     resident: dict[tuple, int] = {}  # block key -> bytes, insertion-ordered (LRU)
     resends = 0
+    reuse_hits = 0
 
     def touch(key: tuple, nbytes: int, pinned_keys: set) -> bool:
         """Ensure *key* is resident; returns True if it had to be sent."""
-        nonlocal resends
+        nonlocal resends, reuse_hits
         if key in resident:
             resident[key] = resident.pop(key)  # refresh LRU position
+            reuse_hits += 1
             return False
         if gpu_memory_bytes is not None:
             budget = gpu_memory_bytes
@@ -278,10 +286,19 @@ def build_task_queue(
         input_bytes=sum(t.input_bytes for t in tasks),
         output_bytes=sum(t.output_bytes for t in tasks),
         resends=resends,
+        reuse_hits=reuse_hits,
     )
     # Naive traffic: every operand staged for every task it participates in.
     naive = sum(t.a_bytes + t.b_bytes for t in tasks)
     if beta_nonzero:
         naive += sum(t.c_bytes for t in tasks if t.is_first_k)
     queue.naive_input_bytes = naive
+    if telemetry is not None:
+        counter = telemetry.metrics.counter
+        counter("taskqueue.queues", "task queues built").inc()
+        counter("taskqueue.tasks", "GPU tasks created").inc(len(tasks))
+        counter("taskqueue.reuse_hits", "operand touches served from residency").inc(reuse_hits)
+        counter("taskqueue.resends", "operands evicted and re-staged").inc(resends)
+        counter("taskqueue.input_bytes", "bytes staged host->GPU").inc(queue.input_bytes)
+        counter("taskqueue.naive_input_bytes", "bytes a no-reuse library would stage").inc(naive)
     return queue

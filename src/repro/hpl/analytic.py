@@ -235,6 +235,38 @@ class AnalyticHpl:
         t_cpu = np.where(w_cpu > 0, w_cpu / np.maximum(cpu_rate, 1e-9), 0.0)
         return t_gpu, t_cpu, np.maximum(t_gpu, t_cpu)
 
+    def _publish_step(self, telemetry, trace: StepTrace, step_start: float) -> None:
+        """One panel's spans (virtual timeline) and progress series."""
+        sink = telemetry.sink
+        # Phase spans laid out on the step's slice of the virtual timeline.
+        # Under look-ahead the panel overlaps the update, so both start at
+        # the step start; communication closes the step.
+        sink.complete(
+            "hpl/update", "update", step_start, step_start + trace.update_time,
+            step=trace.step,
+        )
+        sink.complete(
+            "hpl/panel", "panel+dtrsm", step_start, step_start + trace.panel_time,
+            step=trace.step,
+        )
+        sink.complete(
+            "hpl/comm", "comm",
+            step_start + trace.step_time - trace.comm_time,
+            step_start + trace.step_time,
+            step=trace.step,
+        )
+        metrics = telemetry.metrics
+        metrics.counter("hpl.panels", "panel steps completed").inc()
+        metrics.series("hpl.cum_gflops", "running GFLOPS vs virtual time").append(
+            trace.cum_time, trace.cum_gflops
+        )
+        metrics.series("hpl.mean_gsplit", "grid-mean GSplit per panel").append(
+            trace.step, trace.mean_gsplit
+        )
+        metrics.series("hpl.step_seconds", "per-panel step time").append(
+            trace.step, trace.step_time
+        )
+
     def _balanced_split(
         self, m: np.ndarray, n: np.ndarray, k: int, gpu_rate_of, cpu_rate: np.ndarray
     ) -> np.ndarray:
@@ -252,8 +284,24 @@ class AnalyticHpl:
         return gsplit
 
     # -- the run -----------------------------------------------------------------------
-    def run(self, n: int, collect_steps: bool = True) -> AnalyticResult:
-        """Run one Linpack of order *n*; returns timing (no numerics)."""
+    def run(
+        self,
+        n: int,
+        collect_steps: bool = True,
+        progress=None,
+        telemetry=None,
+    ) -> AnalyticResult:
+        """Run one Linpack of order *n*; returns timing (no numerics).
+
+        *progress*, if given, is called with each panel's :class:`StepTrace`
+        as the factorization advances — the hook live dashboards and the
+        Fig. 13 progress bench use.  *telemetry*
+        (:class:`repro.obs.Telemetry`) additionally records one span per
+        panel on the virtual timeline (tracks ``hpl/update`` / ``hpl/panel``
+        / ``hpl/comm``) plus running-GFLOPS and mean-GSplit series.  Both
+        hooks only read values the run already computes, so enabling them
+        cannot change the result.
+        """
         require_positive(n, "n")
         cfg = self.config
         grid, table, var = self.grid, self.table, self.var
@@ -409,31 +457,41 @@ class AnalyticHpl:
             else:
                 step_time = t_panel + t_dtrsm + t_comm + t_update
 
+            step_start = elapsed
             elapsed += step_time
             step_flops = (2.0 / 3.0) * ((n - j) ** 3 - (n - j - jbw) ** 3)
             cum_flops += step_flops
-            if collect_steps:
-                steps.append(
-                    StepTrace(
-                        step=jb,
-                        j=j,
-                        trailing=n - j - jbw,
-                        step_time=step_time,
-                        update_time=t_update,
-                        panel_time=t_panel + t_dtrsm,
-                        comm_time=t_comm,
-                        flops=step_flops,
-                        cum_time=elapsed,
-                        cum_flops=cum_flops,
-                        mean_gsplit=float(np.mean(gsplit)),
-                    )
+            if collect_steps or progress is not None or telemetry is not None:
+                trace = StepTrace(
+                    step=jb,
+                    j=j,
+                    trailing=n - j - jbw,
+                    step_time=step_time,
+                    update_time=t_update,
+                    panel_time=t_panel + t_dtrsm,
+                    comm_time=t_comm,
+                    flops=step_flops,
+                    cum_time=elapsed,
+                    cum_flops=cum_flops,
+                    mean_gsplit=float(np.mean(gsplit)),
                 )
+                if collect_steps:
+                    steps.append(trace)
+                if progress is not None:
+                    progress(trace)
+                if telemetry is not None:
+                    self._publish_step(telemetry, trace, step_start)
 
         # Back-substitution: 2 N^2 flops spread over the grid, CPU-bound.
         solve_rate = float(np.mean(cpu_full if cfg.mapping == "cpu_only" else cpu_hybrid))
         elapsed += 2.0 * n * n / (grid.size * solve_rate) + self._alpha_beta(
             n * DOUBLE_BYTES, 2 * (P + Q)
         )
-        return AnalyticResult(
+        result = AnalyticResult(
             n=n, grid=(P, Q), config=cfg, elapsed=elapsed, flops=total_flops, steps=steps
         )
+        if telemetry is not None:
+            # Final figures match AnalyticResult exactly (backsolve included).
+            telemetry.metrics.gauge("hpl.elapsed_seconds", "virtual run time").set(elapsed)
+            telemetry.metrics.gauge("hpl.gflops", "HPL figure of merit").set(result.gflops)
+        return result

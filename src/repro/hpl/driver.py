@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro import obs
 from repro.hpl.analytic import AnalyticConfig, AnalyticHpl, AnalyticResult
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
@@ -124,10 +125,26 @@ def run_linpack(
     seed: int = 7,
     collect_steps: bool = False,
     overrides: Optional[dict] = None,
+    progress=None,
+    telemetry=None,
 ) -> LinpackResult:
-    """Run one analytic Linpack on *grid* over *cluster*'s elements."""
+    """Run one analytic Linpack on *grid* over *cluster*'s elements.
+
+    *progress* is called with each panel's
+    :class:`~repro.hpl.analytic.StepTrace`.  *telemetry* records per-panel
+    spans and running-GFLOPS series; when None, the ambient
+    :func:`repro.obs.current` telemetry (installed by e.g. ``python -m
+    repro.bench ... --trace-out``) is used, so benchmark figures emit
+    traces without any per-figure wiring.  Neither hook affects results.
+    """
+    if telemetry is None:
+        telemetry = obs.current()
     stepper = _analytic_for(configuration, cluster, grid, seed, overrides)
-    result = stepper.run(n, collect_steps=collect_steps)
+    result = stepper.run(n, collect_steps=collect_steps, progress=progress, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.metrics.series(
+            "hpl.final_gflops", "final GFLOPS per completed run"
+        ).append(n, result.gflops, configuration=configuration)
     return LinpackResult(
         configuration=configuration,
         n=n,
@@ -164,6 +181,8 @@ def run_linpack_element(
     seed: int = 7,
     collect_steps: bool = False,
     overrides: Optional[dict] = None,
+    progress=None,
+    telemetry=None,
 ) -> LinpackResult:
     """Single compute element Linpack (the Section VI.B setting)."""
     cluster = single_element_cluster(gpu_clock_mhz, variability)
@@ -175,4 +194,6 @@ def run_linpack_element(
         seed=seed,
         collect_steps=collect_steps,
         overrides=overrides,
+        progress=progress,
+        telemetry=telemetry,
     )

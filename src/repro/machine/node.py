@@ -41,11 +41,15 @@ class ComputeElement:
         drift_depth: Optional[float] = None,
         name: str = "element",
         tracer: Optional[Tracer] = None,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.spec = spec
         self.name = name
         self.tracer = tracer
+        #: Optional :class:`repro.obs.Telemetry`; executors bound to this
+        #: element default to it the same way they default to ``tracer``.
+        self.telemetry = telemetry
         var = variability if variability is not None else VariabilitySpec()
         self.variability = var
         stream = rng if rng is not None else RngStream(0).child(name)

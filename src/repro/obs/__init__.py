@@ -1,0 +1,65 @@
+"""Unified telemetry: metrics registry, span tracing, Chrome-trace export.
+
+The observability layer the ROADMAP's "fast as the hardware allows" goal
+rests on — you cannot optimize hot paths you cannot see.  Three pieces:
+
+* :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Series` / :class:`Histogram` behind a :class:`MetricsRegistry`
+  with labeled series, snapshot/reset and JSON/CSV/table rendering.
+* :mod:`repro.obs.telemetry` — span/event sinks (:class:`RecordingSink`,
+  no-op :class:`NullSink`), the combined :class:`Telemetry` handle, and the
+  ambient :func:`current` / :func:`use` context that lets deep layers find
+  the active telemetry without threading it through every constructor.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and a plain-text flamegraph-style summary.
+
+Instrumented layers: :class:`repro.sim.engine.Simulator` (event counts,
+queue depth, sim-vs-wall time), :class:`repro.core.adaptive.AdaptiveMapper`
+(GSplit/CSplit series, bin hits/misses, update overhead),
+:mod:`repro.core.pipeline` / :mod:`repro.core.taskqueue` (stage occupancy,
+CT/NT transitions, bounce-corner reuse), and :mod:`repro.hpl`
+(per-panel spans, running GFLOPS, progress callbacks).  Every hook is a
+no-op when telemetry is disabled.  See ``docs/observability.md``.
+"""
+
+from repro.obs.export import chrome_trace_events, flame_summary, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    Series,
+)
+from repro.obs.telemetry import (
+    NULL_SINK,
+    InstantRecord,
+    NullSink,
+    RecordingSink,
+    SpanRecord,
+    Telemetry,
+    TelemetrySink,
+    current,
+    use,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "Series",
+    "InstantRecord",
+    "SpanRecord",
+    "TelemetrySink",
+    "NullSink",
+    "NULL_SINK",
+    "RecordingSink",
+    "Telemetry",
+    "current",
+    "use",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "flame_summary",
+]

@@ -1,0 +1,148 @@
+"""Exporters: Chrome trace-event JSON and a plain-text flamegraph summary.
+
+The Chrome trace-event format (the JSON-array flavour) is what
+``chrome://tracing`` and Perfetto load directly: a list of event dicts with
+``ph`` phase codes — ``"X"`` complete spans, ``"i"`` instants, ``"M"``
+metadata.  Track names ``"group/lane"`` become one ``pid`` per group and one
+``tid`` per lane, with ``process_name``/``thread_name`` metadata so the
+viewer shows real names — one process per compute element, one thread per
+controller or task, the shape of the paper's Table I and Fig. 7.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence, Union
+
+from repro.obs.telemetry import InstantRecord, SpanRecord
+from repro.util.tables import TextTable
+
+#: Trace-event timestamps are microseconds; ours are seconds.
+_US = 1e6
+
+
+def _track_ids(tracks: Iterable[str]) -> dict[str, tuple[int, int, str, str]]:
+    """Assign (pid, tid) per track from the ``group/lane`` convention."""
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    out: dict[str, tuple[int, int, str, str]] = {}
+    for track in tracks:
+        if track in out:
+            continue
+        group, sep, lane = track.partition("/")
+        if not sep:
+            group, lane = track, "main"
+        pid = pids.setdefault(group, len(pids) + 1)
+        tid = tids.setdefault((group, lane), sum(1 for g, _ in tids if g == group) + 1)
+        out[track] = (pid, tid, group, lane)
+    return out
+
+
+def chrome_trace_events(
+    spans: Sequence[SpanRecord], instants: Sequence[InstantRecord] = ()
+) -> list[dict[str, Any]]:
+    """Render spans/instants as a Chrome trace-event list (``ph: X/i/M``)."""
+    ids = _track_ids([s.track for s in spans] + [i.track for i in instants])
+    events: list[dict[str, Any]] = []
+    named_threads: set[tuple[int, int]] = set()
+    named_processes: set[int] = set()
+    for track, (pid, tid, group, lane) in ids.items():
+        if pid not in named_processes:
+            named_processes.add(pid)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": group},
+                }
+            )
+        if (pid, tid) not in named_threads:
+            named_threads.add((pid, tid))
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+    for span in spans:
+        pid, tid, _, _ = ids[span.track]
+        events.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": span.duration * _US,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(span.args),
+            }
+        )
+    for inst in instants:
+        pid, tid, _, _ = ids[inst.track]
+        events.append(
+            {
+                "name": inst.name,
+                "cat": "instant",
+                "ph": "i",
+                "s": "t",
+                "ts": inst.ts * _US,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(inst.args),
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    spans: Sequence[SpanRecord],
+    instants: Sequence[InstantRecord] = (),
+) -> Path:
+    """Write the trace-event JSON array to *path*."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace_events(spans, instants), indent=1, default=str) + "\n")
+    return path
+
+
+def flame_summary(spans: Sequence[SpanRecord], bar_width: int = 30) -> str:
+    """Aggregate span time by (track, name) into a flamegraph-style table.
+
+    One row per distinct (track, name), sorted by total time descending,
+    with an inline bar scaled to the busiest row — the quick "where did the
+    time go" view for terminals without a trace viewer.
+    """
+    totals: dict[tuple[str, str], list[float]] = {}
+    for span in spans:
+        entry = totals.setdefault((span.track, span.name), [0.0, 0.0])
+        entry[0] += span.duration
+        entry[1] += 1
+    if not totals:
+        return "no spans recorded"
+    horizon = max(max(s.end for s in spans) - min(s.start for s in spans), 1e-12)
+    busiest = max(entry[0] for entry in totals.values())
+    table = TextTable(
+        ["track", "span", "count", "total_s", "mean_s", "busy%", ""],
+        title="span time by track (flamegraph summary)",
+    )
+    for (track, name), (total, count) in sorted(
+        totals.items(), key=lambda item: -item[1][0]
+    ):
+        bar = "#" * max(1, int(round(bar_width * total / busiest)))
+        table.add_row(
+            track,
+            name,
+            int(count),
+            f"{total:.6g}",
+            f"{total / count:.6g}",
+            f"{100.0 * total / horizon:.1f}",
+            bar,
+        )
+    return table.render()

@@ -1,0 +1,290 @@
+"""Labeled metrics: counters, gauges, time series, histograms.
+
+The paper argues from *measured* run-time behaviour — per-DGEMM rates
+``P_G``/``P_C`` driving GSplit (Section IV), stage occupancy in the software
+pipeline (Table I), panel-by-panel Linpack progress (Fig. 13).  This module
+gives every layer one place to put those numbers: a :class:`MetricsRegistry`
+of named metrics, each holding one value (or series) per label combination.
+
+Design constraints, in order:
+
+* **Cheap.**  A metric update is a dict lookup and a float add; the
+  instrumented hot paths (one update per DGEMM, per pipeline state change,
+  per Linpack panel) follow the paper's own ~1 microsecond overhead
+  discipline for the adaptive update itself.
+* **Deterministic.**  Metrics never read clocks or RNGs; recording them can
+  never perturb a simulation.  Time-series x values are supplied by the
+  caller (virtual time, update index, panel number).
+* **Renderable.**  ``snapshot()`` is plain JSON; ``table()`` renders through
+  :class:`repro.util.tables.TextTable` like every other report in the repo.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.util.tables import TextTable
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base: a named family of labeled series."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._data: dict[LabelKey, Any] = {}
+
+    def labels(self) -> list[dict[str, str]]:
+        """All label combinations seen so far, in first-appearance order."""
+        return [dict(key) for key in self._data]
+
+    def clear(self) -> None:
+        """Drop all recorded data (the registration itself survives)."""
+        self._data.clear()
+
+    # -- rendering hooks (overridden per kind) --------------------------------
+    def _series_snapshot(self, value: Any) -> Any:
+        return value
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dict: kind, help and one entry per label combination."""
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "series": [
+                {"labels": dict(key), "value": self._series_snapshot(value)}
+                for key, value in self._data.items()
+            ],
+        }
+
+
+class Counter(Metric):
+    """A monotonically increasing sum (events, bytes, seconds)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        key = _label_key(labels)
+        self._data[key] = self._data.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return float(self._data.get(_label_key(labels), 0.0))
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return float(sum(self._data.values()))
+
+
+class Gauge(Metric):
+    """A point-in-time value that can move both ways (queue depth, GSplit)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._data[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._data[key] = self._data.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> Optional[float]:
+        got = self._data.get(_label_key(labels))
+        return None if got is None else float(got)
+
+
+class Series(Metric):
+    """An append-only ``(x, y)`` time series (GSplit per update, GFLOPS per panel)."""
+
+    kind = "series"
+
+    def append(self, x: float, y: float, **labels: Any) -> None:
+        self._data.setdefault(_label_key(labels), []).append((float(x), float(y)))
+
+    def points(self, **labels: Any) -> list[tuple[float, float]]:
+        return list(self._data.get(_label_key(labels), []))
+
+    def last(self, **labels: Any) -> Optional[tuple[float, float]]:
+        pts = self._data.get(_label_key(labels))
+        return pts[-1] if pts else None
+
+    def _series_snapshot(self, value: list[tuple[float, float]]) -> list[list[float]]:
+        return [[x, y] for x, y in value]
+
+
+#: Default histogram bucket upper bounds — decade-ish spacing that covers
+#: microsecond pipeline stages up to hour-long Linpack runs.
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1e3, 1e4)
+
+
+class Histogram(Metric):
+    """Counts of observations in fixed buckets, plus count/sum/min/max."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        state = self._data.get(key)
+        if state is None:
+            state = {
+                "count": 0,
+                "sum": 0.0,
+                "min": float("inf"),
+                "max": float("-inf"),
+                "bucket_counts": [0] * (len(self.buckets) + 1),
+            }
+            self._data[key] = state
+        state["count"] += 1
+        state["sum"] += value
+        state["min"] = min(state["min"], value)
+        state["max"] = max(state["max"], value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                state["bucket_counts"][i] += 1
+                return
+        state["bucket_counts"][-1] += 1  # overflow bucket
+
+    def count(self, **labels: Any) -> int:
+        state = self._data.get(_label_key(labels))
+        return 0 if state is None else int(state["count"])
+
+    def mean(self, **labels: Any) -> float:
+        state = self._data.get(_label_key(labels))
+        if state is None or state["count"] == 0:
+            return 0.0
+        return state["sum"] / state["count"]
+
+    def _series_snapshot(self, value: dict[str, Any]) -> dict[str, Any]:
+        out = dict(value)
+        out["buckets"] = list(self.buckets)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics; the unit of snapshot/reset.
+
+    Registering the same name twice returns the same object (and rejects a
+    kind mismatch), so instrumented layers can grab their metrics wherever
+    they run without threading objects through every constructor.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs: Any) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {existing.kind}, requested {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def series(self, name: str, help: str = "") -> Series:
+        return self._get_or_create(Series, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Explicitly drop all recorded data, keeping registrations.
+
+        This is the *only* way metric state disappears — persistence
+        deliberately never serialises metrics, so a restored component either
+        starts from a registry reset here or accumulates on top of live data,
+        never from silent half-state.
+        """
+        for metric in self._metrics.values():
+            metric.clear()
+
+    # -- rendering -------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as one JSON-ready dict, keyed by metric name."""
+        return {name: metric.snapshot() for name, metric in sorted(self._metrics.items())}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, default=float)
+
+    def to_csv(self) -> str:
+        """Flat CSV: one row per (metric, labels) with a scalar summary."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["metric", "kind", "labels", "value"])
+        for name, metric in sorted(self._metrics.items()):
+            for entry in metric.snapshot()["series"]:
+                labels = ";".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+                writer.writerow([name, metric.kind, labels, _scalar(metric, entry["value"])])
+        return buffer.getvalue()
+
+    def table(self) -> TextTable:
+        """Aligned text table of every labeled series — the report section."""
+        table = TextTable(["metric", "kind", "labels", "value"], title="telemetry metrics")
+        for name, metric in sorted(self._metrics.items()):
+            for entry in metric.snapshot()["series"]:
+                labels = ";".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+                table.add_row(name, metric.kind, labels, _scalar(metric, entry["value"]))
+        return table
+
+    def render(self) -> str:
+        return self.table().render()
+
+    def scalar_summary(self) -> dict[str, Any]:
+        """Compact ``{name[{labels}]: scalar}`` view for report summaries."""
+        out: dict[str, Any] = {}
+        for name, metric in sorted(self._metrics.items()):
+            for entry in metric.snapshot()["series"]:
+                labels = ";".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+                key = f"{name}{{{labels}}}" if labels else name
+                out[key] = _scalar(metric, entry["value"])
+        return out
+
+
+def _scalar(metric: Metric, value: Any) -> Any:
+    """One representative number for a series entry (for tables/CSV)."""
+    if metric.kind == "series":
+        return value[-1][1] if value else ""
+    if metric.kind == "histogram":
+        count = value.get("count", 0)
+        return f"n={count} mean={value['sum'] / count:.4g}" if count else "n=0"
+    return value

@@ -1,0 +1,232 @@
+"""Span/event telemetry: sinks, the combined :class:`Telemetry` handle,
+and the ambient-telemetry context.
+
+A *span* is a named interval on a *track*.  Track names use the
+``"group/lane"`` convention — ``"element0/CT"``, ``"hpl/step"`` — which the
+Chrome-trace exporter maps to one ``pid`` per group and one ``tid`` per lane,
+so a pipeline trace opens in Perfetto with one process per compute element
+and one thread per controller/task, exactly the shape of the paper's Table I.
+
+Zero-cost discipline: every instrumented call site is guarded by a plain
+``is not None`` / ``enabled`` check, and :class:`NullSink` methods are
+no-ops, so a run with telemetry disabled executes the identical arithmetic
+(and consumes the identical RNG stream) as an uninstrumented build.
+Timestamps are *supplied by the caller* — virtual time inside simulations,
+wall time only in the bench harness — so recording never reads a clock on a
+simulated path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed interval on a track."""
+
+    track: str
+    name: str
+    start: float
+    end: float
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """One point event on a track."""
+
+    track: str
+    name: str
+    ts: float
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+class TelemetrySink:
+    """Receiver interface for spans and instants.
+
+    The base class *is* the null sink: every method is a no-op and
+    ``enabled`` is False, so hot paths can keep a sink reference
+    unconditionally and only pay an attribute check.
+    """
+
+    enabled = False
+
+    def begin(self, track: str, name: str, ts: float, **args: Any) -> None:
+        """Open a span on *track* at *ts*."""
+
+    def end(self, track: str, name: str, ts: float, **args: Any) -> None:
+        """Close the innermost open span named *name* on *track*."""
+
+    def complete(self, track: str, name: str, start: float, end: float, **args: Any) -> None:
+        """Record an already-closed span in one call."""
+
+    def instant(self, track: str, name: str, ts: float, **args: Any) -> None:
+        """Record a point event."""
+
+
+class NullSink(TelemetrySink):
+    """Explicit no-op sink (identical to the base, named for readability)."""
+
+
+#: Shared no-op sink for defaulting.
+NULL_SINK = NullSink()
+
+
+class RecordingSink(TelemetrySink):
+    """Collects spans and instants in memory for export after the run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []
+        self.instants: list[InstantRecord] = []
+        self._open: dict[tuple[str, str], list[tuple[float, dict[str, Any]]]] = {}
+
+    def begin(self, track: str, name: str, ts: float, **args: Any) -> None:
+        self._open.setdefault((track, name), []).append((ts, dict(args)))
+
+    def end(self, track: str, name: str, ts: float, **args: Any) -> None:
+        stack = self._open.get((track, name))
+        if not stack:
+            raise ValueError(f"no open span {name!r} on track {track!r}")
+        start, start_args = stack.pop()
+        start_args.update(args)
+        self.spans.append(SpanRecord(track, name, start, ts, start_args))
+
+    def complete(self, track: str, name: str, start: float, end: float, **args: Any) -> None:
+        self.spans.append(SpanRecord(track, name, start, end, dict(args)))
+
+    def instant(self, track: str, name: str, ts: float, **args: Any) -> None:
+        self.instants.append(InstantRecord(track, name, ts, dict(args)))
+
+    def open_spans(self) -> list[tuple[str, str]]:
+        """(track, name) of spans begun but not yet ended — a leak check."""
+        return [key for key, stack in self._open.items() if stack]
+
+    def tracks(self) -> list[str]:
+        """All track names seen, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.track, None)
+        for inst in self.instants:
+            seen.setdefault(inst.track, None)
+        return list(seen)
+
+
+class Telemetry:
+    """One handle bundling a span sink and a metrics registry.
+
+    This is what instrumented layers accept (``telemetry=None`` everywhere),
+    what the bench CLI constructs for ``--trace-out``/``--metrics-out``, and
+    what :func:`use` installs as the ambient default.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[TelemetrySink] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else RecordingSink()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink.enabled
+
+    # -- wall-clock spans (bench harness only; never on simulated paths) ------
+    @contextmanager
+    def wall_span(self, track: str, name: str, **args: Any) -> Iterator[None]:
+        """Record a span timed with ``time.perf_counter``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.sink.complete(track, name, start, time.perf_counter(), **args)
+
+    # -- simulator bookkeeping -------------------------------------------------
+    def record_simulator(self, sim, prefix: str = "sim") -> None:
+        """Publish a :class:`repro.sim.engine.Simulator`'s stats as gauges."""
+        stats = sim.stats()
+        gauge = self.metrics.gauge
+        gauge(f"{prefix}.now", "virtual clock at capture (s)").set(stats.now)
+        gauge(f"{prefix}.events_processed", "events processed").set(stats.events_processed)
+        gauge(f"{prefix}.events_scheduled", "events scheduled").set(stats.events_scheduled)
+        gauge(f"{prefix}.queue_depth", "calendar depth at capture").set(stats.queue_depth)
+        gauge(f"{prefix}.max_queue_depth", "peak calendar depth").set(stats.max_queue_depth)
+        gauge(f"{prefix}.wall_seconds", "wall time spent in run()").set(stats.wall_seconds)
+        gauge(f"{prefix}.sim_per_wall", "virtual seconds per wall second").set(
+            stats.sim_per_wall
+        )
+
+    # -- export ---------------------------------------------------------------
+    def chrome_trace(self) -> list[dict[str, Any]]:
+        """The recorded spans/instants as Chrome trace-event dicts."""
+        from repro.obs.export import chrome_trace_events
+
+        if not isinstance(self.sink, RecordingSink):
+            return []
+        return chrome_trace_events(self.sink.spans, self.sink.instants)
+
+    def write_chrome_trace(self, path: Union[str, Path]) -> Path:
+        """Write the Chrome trace-event JSON array (Perfetto-loadable)."""
+        path = Path(path)
+        path.write_text(json.dumps(self.chrome_trace(), indent=1, default=str) + "\n")
+        return path
+
+    def write_metrics(self, path: Union[str, Path]) -> Path:
+        """Write the metrics snapshot as JSON."""
+        path = Path(path)
+        path.write_text(self.metrics.to_json() + "\n")
+        return path
+
+    def flame_summary(self) -> str:
+        """Plain-text flamegraph-style summary of the recorded spans."""
+        from repro.obs.export import flame_summary
+
+        if not isinstance(self.sink, RecordingSink):
+            return ""
+        return flame_summary(self.sink.spans)
+
+
+# -- ambient telemetry --------------------------------------------------------
+#
+# Layers that sit too deep to thread a handle through every constructor
+# (the bench figures build simulators and mappers many frames down) consult
+# ``current()`` when their explicit ``telemetry`` argument is None.  The
+# default is None — not a null object — so the `is not None` guard keeps the
+# disabled path free of any call.
+
+_STACK: list[Telemetry] = []
+
+
+def current() -> Optional[Telemetry]:
+    """The innermost active telemetry, or None when disabled."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def use(telemetry: Optional[Telemetry]) -> Iterator[Optional[Telemetry]]:
+    """Install *telemetry* as the ambient default for the duration.
+
+    ``use(None)`` is a no-op context, so call sites can wrap unconditionally.
+    """
+    if telemetry is None:
+        yield None
+        return
+    _STACK.append(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _STACK.pop()

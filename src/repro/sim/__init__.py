@@ -27,6 +27,7 @@ from repro.sim.engine import (
     AnyOf,
     Event,
     Process,
+    SimStats,
     SimulationError,
     Simulator,
     Timeout,
@@ -40,6 +41,7 @@ __all__ = [
     "Event",
     "Process",
     "SimulationError",
+    "SimStats",
     "Simulator",
     "Timeout",
     "Resource",

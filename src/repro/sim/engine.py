@@ -10,11 +10,30 @@ every simulation fully deterministic.
 from __future__ import annotations
 
 import heapq
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the DES kernel (not for modeled failures)."""
+
+
+@dataclass(frozen=True)
+class SimStats:
+    """Kernel bookkeeping at one instant (see :meth:`Simulator.stats`)."""
+
+    now: float
+    events_scheduled: int
+    events_processed: int
+    queue_depth: int
+    max_queue_depth: int
+    wall_seconds: float
+
+    @property
+    def sim_per_wall(self) -> float:
+        """Virtual seconds simulated per wall-clock second inside run()."""
+        return self.now / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
 
 class Event:
@@ -269,6 +288,11 @@ class Simulator:
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._running = False
+        # Always-on integer bookkeeping (a few adds per event — cheap, and
+        # deterministic since nothing here feeds back into the model).
+        self.events_processed = 0
+        self.max_queue_depth = 0
+        self._wall_seconds = 0.0
 
     @property
     def now(self) -> float:
@@ -300,6 +324,8 @@ class Simulator:
     def _enqueue(self, event: Event, delay: float) -> None:
         heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
         self._sequence += 1
+        if len(self._queue) > self.max_queue_depth:
+            self.max_queue_depth = len(self._queue)
 
     def step(self) -> None:
         """Process exactly one event from the calendar."""
@@ -309,6 +335,7 @@ class Simulator:
         if when < self._now:  # pragma: no cover - internal invariant
             raise SimulationError("event calendar went backwards in time")
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
@@ -322,6 +349,22 @@ class Simulator:
         """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def stats(self) -> SimStats:
+        """Kernel counters: event totals, queue depths, sim-vs-wall time.
+
+        ``events_scheduled`` is the lifetime enqueue count (``_sequence``);
+        ``wall_seconds`` accumulates real time spent inside :meth:`run`, so
+        ``stats().sim_per_wall`` is the simulator's speed ratio.
+        """
+        return SimStats(
+            now=self._now,
+            events_scheduled=self._sequence,
+            events_processed=self.events_processed,
+            queue_depth=len(self._queue),
+            max_queue_depth=self.max_queue_depth,
+            wall_seconds=self._wall_seconds,
+        )
+
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.
 
@@ -333,6 +376,7 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        wall_start = time.perf_counter()
         try:
             if until is None:
                 while self._queue:
@@ -359,3 +403,4 @@ class Simulator:
             return None
         finally:
             self._running = False
+            self._wall_seconds += time.perf_counter() - wall_start

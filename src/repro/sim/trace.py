@@ -9,6 +9,7 @@ EO stage").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
@@ -46,12 +47,29 @@ class Interval:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` streams and pairs them into intervals."""
+    """Collects :class:`TraceRecord` streams and pairs them into intervals.
 
-    def __init__(self, sim: Simulator) -> None:
+    When a :class:`repro.obs.TelemetrySink` is attached (``sink=`` or
+    :meth:`attach_sink`), every record is mirrored into it as a span/instant
+    on track ``"<group>/<actor>"``, so existing Tracer call sites feed the
+    unified telemetry layer (and its Chrome-trace export) unchanged.
+    """
+
+    def __init__(self, sim: Simulator, sink=None, group: str = "sim") -> None:
         self.sim = sim
         self.records: list[TraceRecord] = []
         self._open: dict[tuple[str, str], TraceRecord] = {}
+        self.sink = sink
+        self.group = group
+
+    def attach_sink(self, sink, group: Optional[str] = None) -> None:
+        """Mirror subsequent records into *sink* (replays nothing)."""
+        self.sink = sink
+        if group is not None:
+            self.group = group
+
+    def _track(self, actor: str) -> str:
+        return f"{self.group}/{actor}"
 
     def begin(self, actor: str, phase: str, **data: Any) -> None:
         """Mark that *actor* entered *phase* now."""
@@ -61,6 +79,8 @@ class Tracer:
         record = TraceRecord(self.sim.now, actor, phase, "begin", dict(data))
         self._open[key] = record
         self.records.append(record)
+        if self.sink is not None:
+            self.sink.begin(self._track(actor), phase, record.time, **data)
 
     def end(self, actor: str, phase: str, **data: Any) -> None:
         """Mark that *actor* left *phase* now."""
@@ -69,10 +89,14 @@ class Tracer:
             raise ValueError(f"{actor!r} is not in phase {phase!r}")
         del self._open[key]
         self.records.append(TraceRecord(self.sim.now, actor, phase, "end", dict(data)))
+        if self.sink is not None:
+            self.sink.end(self._track(actor), phase, self.sim.now, **data)
 
     def mark(self, actor: str, phase: str, **data: Any) -> None:
         """Record an instantaneous marker."""
         self.records.append(TraceRecord(self.sim.now, actor, phase, "mark", dict(data)))
+        if self.sink is not None:
+            self.sink.instant(self._track(actor), phase, self.sim.now, **data)
 
     def intervals(
         self, actor: Optional[str] = None, phase: Optional[str] = None
@@ -126,7 +150,11 @@ class Tracer:
         if not spans:
             return []
         horizon = max(s.end for s in spans)
-        steps = int(round(horizon / time_step))
+        # Ceiling, not round: a trailing partial step still occupies a row
+        # (horizon 1.05 s at 0.5 s steps is 3 rows, not 2).  The epsilon
+        # keeps an exact multiple (e.g. 2.0/0.5) from gaining a phantom row
+        # to float noise.
+        steps = int(math.ceil(horizon / time_step - 1e-9))
         table: list[dict[str, str]] = []
         for i in range(steps):
             lo, hi = i * time_step, (i + 1) * time_step
@@ -138,3 +166,23 @@ class Tracer:
                     )
             table.append(row)
         return table
+
+    def chrome_trace(self) -> list[dict[str, Any]]:
+        """This tracer's intervals/marks as Chrome trace-event dicts.
+
+        Convenience for inspecting a single traced simulation without wiring
+        a full :class:`repro.obs.Telemetry`; one ``pid`` for the tracer's
+        group, one ``tid`` per actor.
+        """
+        from repro.obs.export import chrome_trace_events
+        from repro.obs.telemetry import InstantRecord, SpanRecord
+
+        spans = [
+            SpanRecord(self._track(s.actor), s.phase, s.start, s.end, dict(s.data))
+            for s in self.intervals()
+        ]
+        instants = [
+            InstantRecord(self._track(r.actor), r.phase, r.time, dict(r.data))
+            for r in self.marks()
+        ]
+        return chrome_trace_events(spans, instants)

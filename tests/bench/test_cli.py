@@ -67,3 +67,37 @@ class TestCli:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
+
+
+class TestTelemetryFlags:
+    def test_trace_out_is_valid_chrome_trace(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        args = ["fig10", "--quick", "--trace-out", str(trace), "--out", str(tmp_path / "o.txt")]
+        assert main(args) == 0
+        events = json.loads(trace.read_text())
+        assert isinstance(events, list) and events
+        phases = {e["ph"] for e in events}
+        assert phases <= {"M", "X", "i"}
+        assert any(e["ph"] == "X" for e in events)
+        # pid/tid metadata present so Perfetto shows real track names.
+        assert any(e["ph"] == "M" and e["name"] == "process_name" for e in events)
+        for event in events:
+            assert "pid" in event and "tid" in event
+
+    def test_metrics_out_and_report_section(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main(["fig10", "--quick", "--metrics-out", str(metrics)]) == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["adaptive.updates"]["kind"] == "counter"
+        assert "pipeline.stage_occupancy" in doc
+        assert "telemetry:" in capsys.readouterr().out
+
+    def test_json_format_carries_telemetry(self, tmp_path, capsys):
+        args = ["fig10", "--quick", "--format", "json", "--metrics-out", str(tmp_path / "m.json")]
+        assert main(args) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert any(key.startswith("adaptive.updates") for key in doc["telemetry"])
+
+    def test_without_flags_no_telemetry_section(self, capsys):
+        assert main(["fig10", "--quick"]) == 0
+        assert "telemetry:" not in capsys.readouterr().out

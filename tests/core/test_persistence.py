@@ -1,7 +1,12 @@
 """Tests for mapping-database persistence across runs."""
 
+import json
+import os
+
 import numpy as np
 import pytest
+
+from repro import obs
 
 from repro.core.adaptive import AdaptiveMapper
 from repro.core.hybrid_dgemm import HybridDgemm
@@ -52,6 +57,101 @@ class TestRoundTrip:
         state["version"] = 99
         with pytest.raises(ValueError):
             restore_mapper(state)
+
+
+class TestAtomicSave:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_mapper(trained_mapper(), tmp_path / "db.json")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["db.json"]
+
+    def test_overwrite_is_complete(self, tmp_path):
+        path = tmp_path / "db.json"
+        save_mapper(trained_mapper(), path)
+        mapper = trained_mapper()
+        from tests.core.test_mappers import make_obs
+
+        mapper.observe(make_obs(5e11, 0.889, 170e9, [9e9, 10e9, 11e9]))
+        save_mapper(mapper, path)
+        assert json.loads(path.read_text())["updates"] == 3
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["db.json"]
+
+    def test_failed_write_keeps_old_file_and_leaves_no_temp(self, tmp_path, monkeypatch):
+        path = tmp_path / "db.json"
+        save_mapper(trained_mapper(), path)
+        before = path.read_text()
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            save_mapper(trained_mapper(), path)
+        assert path.read_text() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["db.json"]
+
+    def test_relative_path_in_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        save_mapper(trained_mapper(), "db.json")
+        assert (tmp_path / "db.json").exists()
+
+
+class TestTelemetryAcrossPersistence:
+    """Metric state is never persisted: it survives in the live registry or
+    is reset explicitly — no silent half-state (see restore_mapper)."""
+
+    def observe_once(self, mapper, workload=2e11):
+        from tests.core.test_mappers import make_obs
+
+        mapper.observe(make_obs(workload, 0.889, 150e9, [9e9, 10e9, 11e9]))
+
+    def test_restore_with_fresh_registry_starts_from_zero(self, tmp_path):
+        telemetry = obs.Telemetry()
+        mapper = AdaptiveMapper(0.889, 3, max_workload=1e12, telemetry=telemetry)
+        self.observe_once(mapper)
+        path = save_mapper(mapper, tmp_path / "db.json")
+
+        fresh = obs.Telemetry()
+        clone = load_mapper(path, telemetry=fresh)
+        assert clone.updates == 1  # learned state restored from the file...
+        assert fresh.metrics.counter("adaptive.updates").value() == 0.0  # ...metrics not
+
+        self.observe_once(clone)
+        assert clone.updates == 2
+        assert fresh.metrics.counter("adaptive.updates").value() == 1.0
+        assert fresh.metrics.series("adaptive.gsplit").points()[0][0] == 2.0
+
+    def test_restore_onto_live_registry_keeps_accumulating(self, tmp_path):
+        telemetry = obs.Telemetry()
+        mapper = AdaptiveMapper(0.889, 3, max_workload=1e12, telemetry=telemetry)
+        self.observe_once(mapper)
+        path = save_mapper(mapper, tmp_path / "db.json")
+
+        clone = load_mapper(path, telemetry=telemetry)
+        self.observe_once(clone)
+        assert telemetry.metrics.counter("adaptive.updates").value() == 2.0
+
+    def test_explicit_reset_gives_clean_slate(self, tmp_path):
+        telemetry = obs.Telemetry()
+        mapper = AdaptiveMapper(0.889, 3, max_workload=1e12, telemetry=telemetry)
+        self.observe_once(mapper)
+        path = save_mapper(mapper, tmp_path / "db.json")
+
+        telemetry.metrics.reset()
+        clone = load_mapper(path, telemetry=telemetry)
+        assert telemetry.metrics.counter("adaptive.updates").value() == 0.0
+        self.observe_once(clone)
+        assert telemetry.metrics.counter("adaptive.updates").value() == 1.0
+
+    def test_roundtrip_learned_state_unaffected_by_telemetry(self, tmp_path):
+        telemetry = obs.Telemetry()
+        traced = AdaptiveMapper(0.889, 3, max_workload=1e12, telemetry=telemetry)
+        plain = AdaptiveMapper(0.889, 3, max_workload=1e12)
+        self.observe_once(traced)
+        self.observe_once(plain)
+        t_clone = load_mapper(save_mapper(traced, tmp_path / "t.json"))
+        p_clone = load_mapper(save_mapper(plain, tmp_path / "p.json"))
+        assert np.array_equal(t_clone.database_g.values(), p_clone.database_g.values())
+        assert np.allclose(t_clone.csplits(), p_clone.csplits())
 
 
 class TestSecondProcessProtocol:

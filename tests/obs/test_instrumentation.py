@@ -1,0 +1,165 @@
+"""Integration tests: the instrumented adaptive/pipeline/sim/HPL layers.
+
+Includes the acceptance-criterion check that telemetry is invisible to the
+physics: GSplit trajectories and Linpack results are bit-identical with
+telemetry enabled, disabled, or ambient.
+"""
+
+import numpy as np
+
+from repro import obs
+from repro.core.adaptive import AdaptiveMapper, update_overhead_seconds
+from repro.core.hybrid_dgemm import HybridDgemm
+from repro.hpl.driver import run_linpack_element
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.sim import Simulator
+from repro.util.units import dgemm_flops
+
+
+def make_engine(n, pipelined=False, telemetry=None):
+    element = ComputeElement(
+        Simulator(), tianhe1_element(), variability=NO_VARIABILITY, telemetry=telemetry
+    )
+    mapper = AdaptiveMapper(
+        element.initial_gsplit,
+        3,
+        max_workload=dgemm_flops(2 * n, 2 * n, 2 * n),
+        telemetry=telemetry,
+    )
+    return HybridDgemm(element, mapper, pipelined=pipelined, jitter=False)
+
+
+class TestSimulatorStats:
+    def test_counts_and_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        stats = sim.stats()
+        assert stats.now == 2.0
+        assert stats.events_processed >= 2
+        assert stats.events_scheduled >= stats.events_processed
+        assert stats.max_queue_depth >= 1
+        assert stats.wall_seconds >= 0.0
+
+
+class TestAdaptiveInstrumentation:
+    def test_lookup_hit_miss_and_update_series(self):
+        telemetry = obs.Telemetry()
+        engine = make_engine(4096, telemetry=telemetry)
+        mapper = engine.mapper
+
+        mapper.gsplit(dgemm_flops(4096, 4096, 4096))  # nothing written yet
+        assert telemetry.metrics.counter("adaptive.bin_lookups").value(
+            result="miss", bin=mapper.database_g.bin_index(dgemm_flops(4096, 4096, 4096))
+        ) == 1.0
+
+        for _ in range(3):
+            engine.run_to_completion(4096, 4096, 4096)
+
+        metrics = telemetry.metrics
+        assert metrics.counter("adaptive.updates").value() == 3.0
+        assert metrics.counter("adaptive.overhead_seconds").value() == (
+            3 * update_overhead_seconds()
+        )
+        gsplits = metrics.series("adaptive.gsplit").points()
+        assert [x for x, _ in gsplits] == [1.0, 2.0, 3.0]
+        assert all(0.0 < y <= 1.0 for _, y in gsplits)
+        # Lookups after the first update hit the written bin.
+        assert metrics.counter("adaptive.bin_lookups").value(
+            result="hit", bin=mapper.database_g.bin_index(dgemm_flops(4096, 4096, 4096))
+        ) >= 2.0
+        # Level 2: one csplit series point per core per update.
+        for core in range(3):
+            assert len(metrics.series("adaptive.csplit").points(core=core)) == 3
+
+
+class TestPipelineInstrumentation:
+    def test_spans_transitions_and_occupancy(self):
+        telemetry = obs.Telemetry()
+        engine = make_engine(10240, pipelined=True, telemetry=telemetry)
+        engine.run_to_completion(10240, 10240, 10240)
+
+        tracks = telemetry.sink.tracks()
+        assert any(track.endswith("/CT") for track in tracks)
+        assert any(track.endswith("/NT") for track in tracks)
+        assert telemetry.sink.open_spans() == []  # everything closed at finish
+
+        metrics = telemetry.metrics
+        tasks = metrics.counter("pipeline.tasks_executed").total()
+        assert tasks >= 4  # N=10240 exceeds the 8192 texture limit -> real queue
+        assert metrics.counter("pipeline.transitions").value(
+            controller="CT", state="EO"
+        ) >= tasks
+        occupancy = metrics.series("pipeline.stage_occupancy")
+        eo = occupancy.last(executor="pipelined", stage="EO")
+        assert eo is not None and 0.0 < eo[1] <= 1.0
+
+    def test_taskqueue_reuse_counters(self):
+        telemetry = obs.Telemetry()
+        engine = make_engine(10240, pipelined=True, telemetry=telemetry)
+        engine.run_to_completion(10240, 10240, 10240)
+        metrics = telemetry.metrics
+        assert metrics.counter("taskqueue.queues").value() == 1.0
+        assert metrics.counter("taskqueue.tasks").value() == metrics.counter(
+            "pipeline.tasks_executed"
+        ).total()
+        # Bounce-corner-turn reuse: consecutive tasks share operands.
+        assert metrics.counter("taskqueue.reuse_hits").value() > 0
+        assert metrics.counter("taskqueue.input_bytes").value() < metrics.counter(
+            "taskqueue.naive_input_bytes"
+        ).value()
+
+
+class TestHplInstrumentation:
+    def test_progress_callback_and_panel_metrics(self):
+        telemetry = obs.Telemetry()
+        steps = []
+        result = run_linpack_element(
+            "acmlg_both", 11500, progress=steps.append, telemetry=telemetry
+        )
+        assert steps, "progress callback never fired"
+        metrics = telemetry.metrics
+        assert metrics.counter("hpl.panels").value() == len(steps)
+        assert metrics.gauge("hpl.gflops").value() == result.gflops
+        cum = metrics.series("hpl.cum_gflops").points()
+        assert len(cum) == len(steps)
+        final = metrics.series("hpl.final_gflops").last(configuration="acmlg_both")
+        assert final == (11500.0, result.gflops)
+        # Per-panel spans land on the hpl/* tracks.
+        tracks = set(telemetry.sink.tracks())
+        assert {"hpl/panel", "hpl/update", "hpl/comm"} <= tracks
+
+
+class TestBitIdentical:
+    """Acceptance criterion: telemetry must not perturb simulated results."""
+
+    def run_trajectory(self, telemetry):
+        engine = make_engine(4096, telemetry=telemetry)
+        gflops = [engine.run_to_completion(4096, 4096, 4096).gflops for _ in range(5)]
+        return gflops, engine.mapper.database_g.values().copy()
+
+    def test_gsplit_trajectory_identical_with_and_without_telemetry(self):
+        base_gflops, base_db = self.run_trajectory(None)
+        inst_gflops, inst_db = self.run_trajectory(obs.Telemetry())
+        assert inst_gflops == base_gflops
+        assert np.array_equal(inst_db, base_db)
+
+    def test_ambient_telemetry_is_also_invisible(self):
+        base_gflops, base_db = self.run_trajectory(None)
+        with obs.use(obs.Telemetry()):
+            amb_gflops, amb_db = self.run_trajectory(None)
+        assert amb_gflops == base_gflops
+        assert np.array_equal(amb_db, base_db)
+
+    def test_linpack_result_identical(self):
+        plain = run_linpack_element("acmlg_both", 11500)
+        traced = run_linpack_element("acmlg_both", 11500, telemetry=obs.Telemetry())
+        assert traced.gflops == plain.gflops
+        assert traced.elapsed == plain.elapsed

@@ -1,0 +1,139 @@
+"""Unit tests for repro.obs.metrics."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("events")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_are_independent(self):
+        c = Counter("lookups")
+        c.inc(result="hit")
+        c.inc(result="hit")
+        c.inc(result="miss")
+        assert c.value(result="hit") == 2.0
+        assert c.value(result="miss") == 1.0
+        assert c.total() == 3.0
+
+    def test_label_order_is_canonical(self):
+        c = Counter("x")
+        c.inc(a=1, b=2)
+        assert c.value(b=2, a=1) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1.0)
+
+    def test_unseen_labels_read_zero(self):
+        assert Counter("x").value(result="hit") == 0.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(5.0)
+        g.add(-2.0)
+        assert g.value() == 3.0
+
+    def test_unset_is_none(self):
+        assert Gauge("depth").value() is None
+
+
+class TestSeries:
+    def test_append_points_last(self):
+        s = Series("gsplit")
+        s.append(1, 0.889)
+        s.append(2, 0.7)
+        assert s.points() == [(1.0, 0.889), (2.0, 0.7)]
+        assert s.last() == (2.0, 0.7)
+
+    def test_labeled_series(self):
+        s = Series("csplit")
+        s.append(1, 0.3, core=0)
+        s.append(1, 0.7, core=1)
+        assert s.points(core=0) == [(1.0, 0.3)]
+        assert s.last() is None  # the unlabeled series is empty
+
+
+class TestHistogram:
+    def test_count_mean_bounds(self):
+        h = Histogram("t", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.mean() == pytest.approx(22.5 / 3)
+        state = h.snapshot()["series"][0]["value"]
+        assert state["bucket_counts"] == [1, 1, 1]  # <=1, <=10, overflow
+        assert state["min"] == 0.5 and state["max"] == 20.0
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_is_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help text").inc(result="hit")
+        reg.series("s").append(1, 2.0)
+        doc = json.loads(reg.to_json())
+        assert doc["c"]["kind"] == "counter"
+        assert doc["c"]["series"][0] == {"labels": {"result": "hit"}, "value": 1.0}
+        assert doc["s"]["series"][0]["value"] == [[1.0, 2.0]]
+
+    def test_reset_clears_data_keeps_registrations(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        counter.inc(5)
+        reg.reset()
+        assert reg.counter("c") is counter  # registration survives
+        assert counter.value() == 0.0
+
+    def test_csv_has_one_row_per_labeled_series(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(result="hit")
+        reg.counter("c").inc(result="miss")
+        lines = reg.to_csv().strip().splitlines()
+        assert lines[0] == "metric,kind,labels,value"
+        assert len(lines) == 3
+
+    def test_scalar_summary_keys(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(result="hit")
+        reg.gauge("g").set(2.0)
+        reg.series("s").append(1, 9.0)
+        summary = reg.scalar_summary()
+        assert summary["c{result=hit}"] == 1.0
+        assert summary["g"] == 2.0
+        assert summary["s"] == 9.0  # last y value
+
+    def test_render_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("alpha").inc()
+        reg.gauge("beta").set(1.0)
+        text = reg.render()
+        assert "alpha" in text and "beta" in text

@@ -1,0 +1,177 @@
+"""Unit tests for repro.obs.telemetry and the Chrome-trace/flame exporters."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import chrome_trace_events, flame_summary
+from repro.obs.telemetry import (
+    NULL_SINK,
+    InstantRecord,
+    RecordingSink,
+    SpanRecord,
+    Telemetry,
+)
+from repro.sim import Simulator
+
+
+class TestSinks:
+    def test_null_sink_is_disabled_noop(self):
+        NULL_SINK.begin("a", "x", 0.0)
+        NULL_SINK.end("a", "x", 1.0)
+        NULL_SINK.complete("a", "x", 0.0, 1.0)
+        NULL_SINK.instant("a", "x", 0.5)
+        assert NULL_SINK.enabled is False
+
+    def test_recording_begin_end_pairs(self):
+        sink = RecordingSink()
+        sink.begin("e0/CT", "Input", 0.0, task=0)
+        sink.end("e0/CT", "Input", 1.5, bytes=64)
+        (span,) = sink.spans
+        assert (span.track, span.name, span.start, span.end) == ("e0/CT", "Input", 0.0, 1.5)
+        assert span.args == {"task": 0, "bytes": 64}
+        assert span.duration == 1.5
+
+    def test_nested_same_name_spans_are_a_stack(self):
+        sink = RecordingSink()
+        sink.begin("t", "outer", 0.0)
+        sink.begin("t", "outer", 1.0)
+        sink.end("t", "outer", 2.0)
+        sink.end("t", "outer", 3.0)
+        assert [(s.start, s.end) for s in sink.spans] == [(1.0, 2.0), (0.0, 3.0)]
+
+    def test_unmatched_end_raises(self):
+        with pytest.raises(ValueError):
+            RecordingSink().end("t", "x", 1.0)
+
+    def test_open_spans_reports_leaks(self):
+        sink = RecordingSink()
+        sink.begin("t", "x", 0.0)
+        assert sink.open_spans() == [("t", "x")]
+
+    def test_tracks_first_appearance_order(self):
+        sink = RecordingSink()
+        sink.complete("b", "x", 0.0, 1.0)
+        sink.instant("a", "m", 0.5)
+        sink.complete("b", "y", 1.0, 2.0)
+        assert sink.tracks() == ["b", "a"]
+
+
+class TestTelemetryHandle:
+    def test_defaults(self):
+        t = Telemetry()
+        assert isinstance(t.sink, RecordingSink)
+        assert t.enabled is True
+
+    def test_wall_span_records_positive_duration(self):
+        t = Telemetry()
+        with t.wall_span("bench", "fig", quick=True):
+            pass
+        (span,) = t.sink.spans
+        assert span.name == "fig" and span.duration >= 0.0
+        assert span.args == {"quick": True}
+
+    def test_record_simulator_publishes_gauges(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+
+        sim.process(proc())
+        sim.run()
+        t = Telemetry()
+        t.record_simulator(sim)
+        assert t.metrics.gauge("sim.now").value() == 3.0
+        assert t.metrics.gauge("sim.events_processed").value() >= 2
+
+
+class TestAmbientContext:
+    def test_default_is_none(self):
+        assert obs.current() is None
+
+    def test_use_installs_and_restores(self):
+        t = Telemetry()
+        with obs.use(t) as got:
+            assert got is t
+            assert obs.current() is t
+            inner = Telemetry()
+            with obs.use(inner):
+                assert obs.current() is inner
+            assert obs.current() is t
+        assert obs.current() is None
+
+    def test_use_none_is_noop(self):
+        with obs.use(None) as got:
+            assert got is None
+            assert obs.current() is None
+
+
+class TestChromeExport:
+    def make_events(self):
+        spans = [
+            SpanRecord("e0/CT", "Input", 0.0, 1.0, {"task": 0}),
+            SpanRecord("e0/NT", "N-Input", 0.5, 1.5),
+            SpanRecord("bench", "fig10", 0.0, 2.0),
+        ]
+        instants = [InstantRecord("e0/CT", "tick", 0.25, {"step": 1})]
+        return chrome_trace_events(spans, instants)
+
+    def test_json_roundtrip_and_phases(self):
+        events = json.loads(json.dumps(self.make_events()))
+        assert isinstance(events, list) and events
+        assert {e["ph"] for e in events} <= {"M", "X", "i"}
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_group_lane_maps_to_pid_tid(self):
+        events = self.make_events()
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        # Same group -> same pid, different lane -> different tid.
+        assert spans["Input"]["pid"] == spans["N-Input"]["pid"]
+        assert spans["Input"]["tid"] != spans["N-Input"]["tid"]
+        # Different group -> different pid; bare track gets lane "main".
+        assert spans["fig10"]["pid"] != spans["Input"]["pid"]
+
+    def test_metadata_names_processes_and_threads(self):
+        events = self.make_events()
+        meta = [e for e in events if e["ph"] == "M"]
+        process_names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        thread_names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert process_names == {"e0", "bench"}
+        assert {"CT", "NT", "main"} <= thread_names
+
+    def test_timestamps_are_microseconds(self):
+        events = self.make_events()
+        span = next(e for e in events if e["ph"] == "X" and e["name"] == "Input")
+        assert span["ts"] == 0.0 and span["dur"] == pytest.approx(1e6)
+        inst = next(e for e in events if e["ph"] == "i")
+        assert inst["ts"] == pytest.approx(0.25e6) and inst["s"] == "t"
+
+    def test_write_chrome_trace_file_parses(self, tmp_path):
+        t = Telemetry()
+        t.sink.complete("a/b", "x", 0.0, 1.0)
+        path = t.write_chrome_trace(tmp_path / "trace.json")
+        events = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in events)
+
+
+class TestFlameSummary:
+    def test_aggregates_by_track_and_name(self):
+        spans = [
+            SpanRecord("e0/CT", "EO", 0.0, 3.0),
+            SpanRecord("e0/CT", "EO", 3.0, 6.0),
+            SpanRecord("e0/CT", "Input", 0.0, 1.0),
+        ]
+        text = flame_summary(spans)
+        lines = text.splitlines()
+        eo_line = next(line for line in lines if "EO" in line)
+        assert "2" in eo_line  # count
+        assert "#" in text  # bars present
+        # Busiest row first.
+        assert lines.index(eo_line) < lines.index(
+            next(line for line in lines if "Input" in line)
+        )
+
+    def test_empty(self):
+        assert flame_summary([]) == "no spans recorded"

@@ -93,3 +93,82 @@ class TestTracer:
     def test_schedule_table_empty(self):
         tracer = Tracer(Simulator())
         assert tracer.schedule_table(1.0, ["x"]) == []
+
+    def test_schedule_table_trailing_partial_step_gets_a_row(self):
+        """Regression: the horizon must be quantised with a ceiling.
+
+        A span ending at 1.05 s with 0.5 s steps spills into a third row;
+        int(round(...)) used to truncate it to 2 and drop the tail.
+        """
+        sim = Simulator()
+        tracer = Tracer(sim)
+
+        def proc():
+            tracer.begin("T0", "eo")
+            yield sim.timeout(1.05)
+            tracer.end("T0", "eo")
+
+        sim.process(proc())
+        sim.run()
+        table = tracer.schedule_table(time_step=0.5, phases=["eo"])
+        assert len(table) == 3
+        assert table[2] == {"eo": "T0"}
+
+    def test_schedule_table_exact_multiple_has_no_phantom_row(self):
+        _, tracer = make_pipeline_trace()  # horizon 3.0
+        assert len(tracer.schedule_table(time_step=0.5, phases=["eo"])) == 6
+
+
+class TestSinkBridge:
+    """Tracer records mirror into an attached repro.obs sink."""
+
+    def make_sink(self):
+        from repro.obs import RecordingSink
+
+        return RecordingSink()
+
+    def test_begin_end_mirror_as_spans(self):
+        sink = self.make_sink()
+        sim = Simulator()
+        tracer = Tracer(sim, sink=sink, group="e0")
+
+        def proc():
+            tracer.begin("CT", "input", task=0)
+            yield sim.timeout(1.0)
+            tracer.end("CT", "input")
+
+        sim.process(proc())
+        sim.run()
+        (span,) = sink.spans
+        assert (span.track, span.name, span.start, span.end) == ("e0/CT", "input", 0.0, 1.0)
+        assert span.args == {"task": 0}
+
+    def test_marks_mirror_as_instants(self):
+        sink = self.make_sink()
+        tracer = Tracer(Simulator(), sink=sink)
+        tracer.mark("A", "tick", step=3)
+        (inst,) = sink.instants
+        assert (inst.track, inst.name, inst.ts) == ("sim/A", "tick", 0.0)
+        assert inst.args == {"step": 3}
+
+    def test_attach_sink_does_not_replay(self):
+        sim, tracer = make_pipeline_trace()
+        sink = self.make_sink()
+        tracer.attach_sink(sink, group="late")
+        assert sink.spans == []
+        tracer.mark("A", "after")
+        assert sink.instants[0].track == "late/A"
+
+    def test_chrome_trace_export(self):
+        import json
+
+        _, tracer = make_pipeline_trace()
+        tracer.mark("T0", "done")
+        events = json.loads(json.dumps(tracer.chrome_trace()))
+        phases = {e["ph"] for e in events}
+        assert phases <= {"M", "X", "i"} and "X" in phases and "i" in phases
+        x_events = [e for e in events if e["ph"] == "X"]
+        assert len(x_events) == 3  # the three paired intervals
+        # One pid (group "sim"), one tid per actor.
+        assert len({e["pid"] for e in x_events}) == 1
+        assert len({e["tid"] for e in x_events}) == 2
