@@ -11,7 +11,7 @@ Run:  python examples/hpl_dat_driver.py [path/to/HPL.dat]
 
 import sys
 
-from repro import Cluster, run_linpack, tianhe1_cluster
+from repro import Cluster, Scenario, Session, tianhe1_cluster
 from repro.hpl.hpl_dat import TIANHE1_HPL_DAT, parse_hpl_dat
 from repro.util.tables import TextTable
 from repro.util.units import fmt_time
@@ -36,9 +36,12 @@ def main(path: str | None = None) -> None:
         if cabinets > 80:
             raise SystemExit(f"grid {grid.nprow}x{grid.npcol} exceeds TianHe-1")
         cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=2009)
-        result = run_linpack(
-            "acmlg_both", n, cluster, grid, overrides={"nb": nb}
-        )
+        result = Session(
+            Scenario(
+                configuration="acmlg_both", n=n, cluster=cluster, grid=grid,
+                overrides={"nb": nb},
+            )
+        ).run()
         table.add_row(
             n, nb, grid.nprow, grid.npcol, fmt_time(result.elapsed), result.gflops
         )

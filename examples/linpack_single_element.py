@@ -11,7 +11,7 @@ Run:  python examples/linpack_single_element.py [N]
 
 import sys
 
-from repro import CONFIGURATIONS, run_linpack_element
+from repro import CONFIGURATIONS, Scenario, Session
 from repro.hpl.driver import CONFIG_LABELS
 from repro.model import calibration as cal
 from repro.util.tables import TextTable
@@ -25,7 +25,7 @@ def main(n_max: int = 46000) -> None:
     for n in sizes:
         row = [n]
         for config in CONFIGURATIONS:
-            gflops = run_linpack_element(config, n).gflops
+            gflops = Session(Scenario(configuration=config, n=n)).run().gflops
             results[config][n] = gflops
             row.append(f"{gflops:.1f}")
         table.add_row(*row)

@@ -21,18 +21,23 @@ every substrate they ran on, as a calibrated simulation:
   paper states (:mod:`repro.model.calibration`).
 * :mod:`repro.bench` — generators for each of the paper's tables/figures.
 
-Quick start::
+Quick start — describe a Linpack run as a :class:`~repro.session.Scenario`
+and execute it::
 
-    from repro import Simulator, ComputeElement, tianhe1_element
-    from repro import AdaptiveMapper, HybridDgemm
+    from repro import Scenario, Session
 
-    sim = Simulator()
-    element = ComputeElement(sim, tianhe1_element())
-    mapper = AdaptiveMapper(element.initial_gsplit, n_cores=3,
-                            max_workload=2.0 * 20000**3)
-    engine = HybridDgemm(element, mapper, pipelined=True)
-    result = engine.run_to_completion(10240, 10240, 10240)
-    print(f"{result.gflops:.1f} GFLOPS at GSplit={result.gsplit:.3f}")
+    result = Session(Scenario(configuration="acmlg_both", n=40000)).run()
+    print(f"{result.gflops:.1f} GFLOPS")
+
+and the same run under an injected mid-run GPU thermal throttle::
+
+    from repro import FaultSpec, GpuThrottle
+
+    faulted = Scenario(configuration="acmlg_both", n=40000,
+                       faults=FaultSpec(throttles=(GpuThrottle(at=20.0,
+                                        recovery_s=10.0),)))
+    result = Session(faulted).run()
+    print(result.degraded.describe())
 """
 
 from repro.core.adaptive import AdaptiveMapper, Observation
@@ -41,9 +46,21 @@ from repro.core.pipeline import SoftwarePipeline, SyncExecutor
 from repro.core.qilin import QilinMapper
 from repro.core.static_map import StaticMapper
 from repro.core.taskqueue import build_task_queue
+from repro.faults import (
+    NO_FAULTS,
+    DegradedMode,
+    FaultInjector,
+    FaultSpec,
+    GpuDropout,
+    GpuThrottle,
+    PcieFaultSpec,
+    PcieTransferError,
+    Straggler,
+)
 from repro.hpl.analytic import AnalyticConfig, AnalyticHpl
 from repro.hpl.driver import (
     CONFIGURATIONS,
+    Configuration,
     LinpackResult,
     run_linpack,
     run_linpack_element,
@@ -62,6 +79,7 @@ from repro.machine.presets import (
 )
 from repro.machine.variability import NO_VARIABILITY, VariabilitySpec
 from repro.mpi.comm import SimComm, SimMPI
+from repro.session import Scenario, Session
 from repro.sim import Simulator
 
 __version__ = "1.0.0"
@@ -80,10 +98,22 @@ __all__ = [
     "AnalyticConfig",
     "AnalyticHpl",
     "CONFIGURATIONS",
+    "Configuration",
     "LinpackResult",
+    "Scenario",
+    "Session",
     "run_linpack",
     "run_linpack_element",
     "single_element_cluster",
+    "FaultSpec",
+    "FaultInjector",
+    "GpuThrottle",
+    "GpuDropout",
+    "Straggler",
+    "PcieFaultSpec",
+    "PcieTransferError",
+    "DegradedMode",
+    "NO_FAULTS",
     "BlockCyclic",
     "ProcessGrid",
     "Cluster",

@@ -12,12 +12,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.bench.report import SeriesData
-from repro.hpl.driver import run_linpack
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
 from repro.machine.power import TIANHE1_POWER
 from repro.machine.presets import STANDARD_CLOCK_MHZ, tianhe1_cluster
 from repro.model import calibration as cal
+from repro.session import Scenario, run
 from repro.util.validation import require
 
 DEFAULT_PROCS = (1, 2, 4, 8, 16, 32, 64)
@@ -58,8 +58,8 @@ def fig11_adaptive_vs_qilin(
         n = problem_size_for(procs, per_element_n)
         ours, qilin = [], []
         for seed in seeds:
-            ours.append(run_linpack("acmlg_both", n, cluster, grid, seed=seed).gflops)
-            qilin.append(run_linpack("qilin", n, cluster, grid, seed=seed).gflops)
+            ours.append(run(Scenario(configuration="acmlg_both", n=n, cluster=cluster, grid=grid, seed=seed)).gflops)
+            qilin.append(run(Scenario(configuration="qilin", n=n, cluster=cluster, grid=grid, seed=seed)).gflops)
         ours_mean, qilin_mean = float(np.mean(ours)), float(np.mean(qilin))
         data.add_point("ours (adaptive)", procs, ours_mean)
         data.add_point("Qilin (trained)", procs, qilin_mean)

@@ -25,11 +25,13 @@ from typing import Callable, Optional
 from repro import obs
 from repro.bench.cabinet import fig11_adaptive_vs_qilin
 from repro.bench.dgemm_sweep import fig8_dgemm_sweep
+from repro.bench.faults_bench import faults_study
 from repro.bench.linpack_sweep import fig9_linpack_sweep, fig10_split_ratio
 from repro.bench.pipeline_trace import table1_trace, worked_example
 from repro.bench.report import SeriesData
 from repro.bench.scaling import fig12_cabinet_scaling, fig13_progress
 from repro.bench.whatif import clock_sweep, endgame_fallback_study
+from repro.hpl.driver import Configuration
 
 
 def _fig8(quick: bool) -> SeriesData:
@@ -37,8 +39,10 @@ def _fig8(quick: bool) -> SeriesData:
     return fig8_dgemm_sweep(sizes=sizes)
 
 
-def _fig9(quick: bool) -> SeriesData:
+def _fig9(quick: bool, configurations=None) -> SeriesData:
     sizes = (11500, 23000) if quick else (5750, 11500, 23000, 34500, 46000)
+    if configurations is not None:
+        return fig9_linpack_sweep(sizes=sizes, configs=configurations)
     return fig9_linpack_sweep(sizes=sizes)
 
 
@@ -70,6 +74,10 @@ def _endgame(quick: bool) -> SeriesData:
     return endgame_fallback_study(n=120_000 if quick else 280_000)
 
 
+def _faults(quick: bool) -> SeriesData:
+    return faults_study(n=30_000 if quick else 60_000)
+
+
 FIGURES: dict[str, Callable[[bool], SeriesData]] = {
     "fig8": _fig8,
     "fig9": _fig9,
@@ -79,6 +87,7 @@ FIGURES: dict[str, Callable[[bool], SeriesData]] = {
     "fig13": _fig13,
     "clock-sweep": _clock_sweep,
     "endgame-fallback": _endgame,
+    "faults": _faults,
 }
 
 #: Artifacts that render straight to text (no series structure).
@@ -117,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE.json",
         help="write the telemetry metrics snapshot as JSON",
     )
+    parser.add_argument(
+        "--configurations",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="restrict fig9 to these configurations "
+        f"(valid: {', '.join(member.value for member in Configuration)})",
+    )
     return parser
 
 
@@ -127,6 +143,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         for name in sorted(FIGURES) + sorted(TEXT_ARTIFACTS):
             print(f"  {name}")
         return 0
+
+    configurations = None
+    if args.configurations is not None:
+        if args.figure != "fig9":
+            print("--configurations only applies to fig9", file=sys.stderr)
+            return 2
+        try:
+            configurations = tuple(
+                Configuration.parse(name.strip())
+                for name in args.configurations.split(",")
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
 
     # Telemetry is only constructed when an artifact was requested, so the
     # plain path stays exactly as before (no ambient sink, no-op guards).
@@ -143,12 +173,17 @@ def main(argv: Optional[list[str]] = None) -> int:
             else:
                 output = TEXT_ARTIFACTS[args.figure](args.quick)
         else:
+            figure = FIGURES[args.figure]
+            if configurations is not None:
+                figure_fn = lambda quick: _fig9(quick, configurations)
+            else:
+                figure_fn = figure
             if telemetry is not None:
                 with telemetry.wall_span("bench", args.figure, quick=args.quick):
-                    data = FIGURES[args.figure](args.quick)
+                    data = figure_fn(args.quick)
                 data.attach_telemetry(telemetry)
             else:
-                data = FIGURES[args.figure](args.quick)
+                data = figure_fn(args.quick)
             output = {"text": data.render, "csv": data.to_csv, "json": data.to_json}[args.format]()
 
     if telemetry is not None:

@@ -1,0 +1,170 @@
+"""``repro.bench faults`` — adaptive vs static under injected hard faults.
+
+The experiment the paper's Section IV argument implies but never shows: a
+GPU thermal emergency downclocks the card mid-run (750 -> 575 MHz scaled to
+``clock_factor``).  The adaptive configuration rebalances, sheds enough GPU
+load for the card to cool, and gets its clock back; the static peak-trained
+split keeps feeding the hot GPU and rides the throttle to the finish line.
+The figure plots each configuration's per-step rate as a fraction of its own
+fault-free run (same seed, so the noise realisation cancels exactly and any
+deviation from 1.0 is the fault).
+
+Two side studies ride along: a permanent GPU dropout (the adaptive run must
+continue at the ``cpu`` configuration's rates — the ``cpu_only_dgemm``
+fallback), and a DES-level PCIe retry storm through the software pipeline
+(populating the ``faults.pcie_retries`` counter the report's telemetry
+section shows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.bench.report import SeriesData
+from repro.core.pipeline import SoftwarePipeline
+from repro.core.taskqueue import build_task_queue
+from repro.faults import (
+    FaultInjector,
+    FaultSpec,
+    GpuDropout,
+    GpuThrottle,
+    PcieFaultSpec,
+)
+from repro.hpl.driver import Configuration
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.session import Scenario, run
+from repro.sim import Simulator
+
+#: Throttle depth of the injected thermal emergency (deeper than the paper's
+#: 575/750 so the static configuration's loss is unmistakable in a table).
+THROTTLE_CLOCK_FACTOR = 0.55
+#: GSplit at or below this counts as shed load (cooling) for the hot GPU.
+SHED_THRESHOLD = 0.86
+#: Fraction of the clean run time at which the throttle fires / must be shed.
+THROTTLE_AT_FRACTION = 0.35
+RECOVERY_FRACTION = 0.18
+
+
+def _step_rates(result) -> np.ndarray:
+    return np.array([s.flops / s.step_time for s in result.analytic.steps])
+
+
+def _tail_ratio(faulted, clean, tail_fraction: float = 0.2) -> float:
+    """Mean faulted/clean per-step rate over the last *tail_fraction* steps."""
+    ratios = _step_rates(faulted) / _step_rates(clean)
+    tail = max(1, int(len(ratios) * tail_fraction))
+    return float(np.mean(ratios[-tail:]))
+
+
+def _pcie_retry_storm(seed: int, telemetry) -> int:
+    """One pipelined task queue under a PCIe fault window; returns retries."""
+    sim = Simulator()
+    element = ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+    injector = FaultInjector(
+        FaultSpec(pcie=PcieFaultSpec(fail_probability=0.12, max_retries=10)),
+        n_elements=1,
+        seed=seed,
+        telemetry=telemetry,
+    )
+    pipe = SoftwarePipeline(element, jitter=False, fault_injector=injector)
+    queue = build_task_queue(16384, 16384, 1216, beta_nonzero=False, gpu_memory_bytes=1e9)
+    result = sim.run(until=sim.process(pipe.execute(queue, 300e9)))
+    return result.retries
+
+
+def faults_study(n: int = 60000, seed: int = 11) -> SeriesData:
+    """The adaptive-vs-static degradation figure plus fault-model summaries."""
+    telemetry = obs.current()
+    own_telemetry = telemetry is None
+    if own_telemetry:
+        telemetry = obs.Telemetry()
+
+    data = SeriesData(
+        title="Faults — per-step rate under a mid-run GPU thermal throttle "
+        f"(fraction of each configuration's fault-free run, N={n})",
+        x_label="panel step",
+        y_label="rate / fault-free rate",
+    )
+
+    with obs.use(telemetry):
+        recoveries: dict[Configuration, float] = {}
+        for config in (Configuration.ACMLG_BOTH, Configuration.STATIC_PEAK):
+            clean = run(
+                Scenario(configuration=config, n=n, seed=seed, collect_steps=True)
+            )
+            throttle = GpuThrottle(
+                at=THROTTLE_AT_FRACTION * clean.elapsed,
+                clock_factor=THROTTLE_CLOCK_FACTOR,
+                shed_threshold=SHED_THRESHOLD,
+                recovery_s=RECOVERY_FRACTION * clean.elapsed,
+            )
+            faulted = run(
+                Scenario(
+                    configuration=config,
+                    n=n,
+                    seed=seed,
+                    collect_steps=True,
+                    faults=FaultSpec(throttles=(throttle,)),
+                )
+            )
+            ratios = _step_rates(faulted) / _step_rates(clean)
+            for step, ratio in enumerate(ratios):
+                data.add_point(config.label, step, float(ratio))
+            recovery = _tail_ratio(faulted, clean)
+            recoveries[config] = recovery
+            data.summary[
+                f"{config.label}: post-fault rate vs fault-free (last 20% of steps)"
+            ] = recovery
+            data.summary[f"{config.label}: faulted GFLOPS (clean {clean.gflops:.1f})"] = (
+                faulted.gflops
+            )
+            events = ", ".join(
+                f"{e.kind}@{e.time:.1f}s" for e in faulted.degraded.events
+            )
+            data.summary[f"{config.label}: fault events"] = events
+
+        data.summary["adaptive recovered >= 90% of pre-throttle rate"] = bool(
+            recoveries[Configuration.ACMLG_BOTH] >= 0.90
+        )
+        data.summary["static recovered >= 90% of pre-throttle rate"] = bool(
+            recoveries[Configuration.STATIC_PEAK] >= 0.90
+        )
+
+        # -- permanent dropout: adaptive must land on the cpu configuration's
+        # rates (the cpu_only_dgemm fallback), not the crippled failsafe.
+        dropped = run(
+            Scenario(
+                configuration=Configuration.ACMLG_BOTH,
+                n=n // 2,
+                seed=seed,
+                variability=NO_VARIABILITY,
+                collect_steps=True,
+                faults=FaultSpec(dropouts=(GpuDropout(at=0.0),)),
+            )
+        )
+        cpu_only = run(
+            Scenario(
+                configuration=Configuration.ACMLG_BOTH,
+                n=n // 2,
+                seed=seed,
+                variability=NO_VARIABILITY,
+                collect_steps=True,
+                overrides={"mapping": "cpu_only"},
+            )
+        )
+        update_gap = max(
+            abs(a.update_time - b.update_time)
+            for a, b in zip(dropped.analytic.steps, cpu_only.analytic.steps)
+        )
+        data.summary["dropout: max per-step update gap vs cpu_only (s)"] = update_gap
+
+        # -- DES path: PCIe fault window, bounded retry+backoff.
+        retries = _pcie_retry_storm(seed, telemetry)
+        data.summary["pcie retry storm: transfers retried (DES pipeline)"] = retries
+
+    if own_telemetry:
+        data.attach_telemetry(telemetry)
+    return data

@@ -16,11 +16,12 @@ from typing import Sequence
 from repro.bench.report import SeriesData
 from repro.core.adaptive import AdaptiveMapper
 from repro.core.hybrid_dgemm import HybridDgemm
-from repro.hpl.driver import CONFIG_LABELS, CONFIGURATIONS, run_linpack_element
+from repro.hpl.driver import CONFIGURATIONS, Configuration
 from repro.machine.node import ComputeElement
 from repro.machine.presets import NB_GPU, tianhe1_element
 from repro.machine.variability import VariabilitySpec
 from repro.model import calibration as cal
+from repro.session import Scenario, run
 from repro.sim import Simulator
 from repro.util.rng import RngStream
 from repro.util.units import GFLOP, dgemm_flops
@@ -40,12 +41,17 @@ def fig9_linpack_sweep(
         x_label="N",
         y_label="GFLOPS",
     )
+    configs = tuple(Configuration.parse(c) for c in configs)
     values: dict[str, dict[int, float]] = {c: {} for c in configs}
     for n in sizes:
         for config in configs:
-            result = run_linpack_element(config, n, variability=variability, seed=seed)
+            result = run(
+                Scenario(
+                    configuration=config, n=n, variability=variability, seed=seed
+                )
+            )
             values[config][n] = result.gflops
-            data.add_point(CONFIG_LABELS[config], n, result.gflops)
+            data.add_point(config.label, n, result.gflops)
     top = max(sizes)
     if "acmlg_both" in configs:
         best = values["acmlg_both"][top]

@@ -12,11 +12,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.bench.report import SeriesData
-from repro.hpl.driver import run_linpack
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
 from repro.machine.presets import tianhe1_cluster
 from repro.model import calibration as cal
+from repro.session import Scenario, run
 
 DEFAULT_CABINETS = (1, 2, 4, 8, 16, 32, 64, 80)
 
@@ -59,7 +59,7 @@ def fig12_cabinet_scaling(
         cluster = Cluster(tianhe1_cluster(cabinets=cabs), seed=cluster_seed)
         grid = ProcessGrid(*GRIDS[cabs])
         n = problem_size_for_cabinets(cabs)
-        result = run_linpack("acmlg_both", n, cluster, grid, seed=seed)
+        result = run(Scenario(configuration="acmlg_both", n=n, cluster=cluster, grid=grid, seed=seed))
         results[cabs] = result.tflops
         data.add_point("Linpack (ours)", cabs, result.tflops)
     lo, hi = min(cabinets), max(cabinets)
@@ -87,7 +87,12 @@ def fig13_progress(
     n = n if n is not None else (cal.FULL_SYSTEM_N if cabinets == 80 else problem_size_for_cabinets(cabinets))
     cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=cluster_seed)
     grid = ProcessGrid(*GRIDS[cabinets])
-    result = run_linpack("acmlg_both", n, cluster, grid, seed=seed, collect_steps=True)
+    result = run(
+        Scenario(
+            configuration="acmlg_both", n=n, cluster=cluster, grid=grid,
+            seed=seed, collect_steps=True,
+        )
+    )
     curve = result.analytic.progress_curve()
     data = SeriesData(
         title="Fig 13 — Linpack performance vs progress (full configuration)",

@@ -12,12 +12,12 @@ from typing import Sequence
 
 from repro.bench.report import SeriesData
 from repro.bench.scaling import GRIDS
-from repro.hpl.driver import run_linpack
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
 from repro.machine.power import TIANHE1_POWER
 from repro.machine.presets import DOWNCLOCKED_MHZ, tianhe1_cluster
 from repro.model import calibration as cal
+from repro.session import Scenario, run
 
 
 def strong_scaling(
@@ -34,7 +34,7 @@ def strong_scaling(
     base = None
     for cabs in cabinets:
         cluster = Cluster(tianhe1_cluster(cabinets=cabs), seed=2009)
-        result = run_linpack("acmlg_both", n, cluster, ProcessGrid(*GRIDS[cabs]), seed=seed)
+        result = run(Scenario(configuration="acmlg_both", n=n, cluster=cluster, grid=ProcessGrid(*GRIDS[cabs]), seed=seed))
         if base is None:
             base = (cabs, result.tflops)
         data.add_point("TFLOPS", cabs, result.tflops)
@@ -51,7 +51,7 @@ def strong_scaling(
 def run_energy_ledger(seed: int = 7) -> SeriesData:
     """Energy of the full-system Linpack run vs the Qilin training bill."""
     cluster = Cluster(tianhe1_cluster(cabinets=80), seed=2009)
-    result = run_linpack("acmlg_both", cal.FULL_SYSTEM_N, cluster, ProcessGrid(64, 80), seed=seed)
+    result = run(Scenario(configuration="acmlg_both", n=cal.FULL_SYSTEM_N, cluster=cluster, grid=ProcessGrid(64, 80), seed=seed))
     run_kwh = TIANHE1_POWER.energy_kwh(80, result.elapsed, clock_mhz=DOWNCLOCKED_MHZ)
     training_kwh = cal.QILIN_TRAINING_KWH_FULL_SYSTEM
     data = SeriesData(

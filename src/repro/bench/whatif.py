@@ -13,12 +13,12 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.bench.report import SeriesData
-from repro.hpl.driver import run_linpack
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
 from repro.machine.power import TIANHE1_POWER
 from repro.machine.presets import tianhe1_cluster
 from repro.machine.variability import ThermalModel
+from repro.session import Scenario, run
 
 
 def clock_sweep(
@@ -37,7 +37,7 @@ def clock_sweep(
     best_stable = None
     for clock in clocks_mhz:
         cluster = Cluster(tianhe1_cluster(cabinets=cabinets, gpu_clock_mhz=clock), seed=2009)
-        result = run_linpack("acmlg_both", n, cluster, ProcessGrid(8, 8), seed=seed)
+        result = run(Scenario(configuration="acmlg_both", n=n, cluster=cluster, grid=ProcessGrid(8, 8), seed=seed))
         kw = TIANHE1_POWER.system_kw(cabinets, clock_mhz=clock)
         green = TIANHE1_POWER.mflops_per_watt(result.gflops * 1e9, cabinets, clock_mhz=clock)
         data.add_point("TFLOPS", clock, result.tflops)
@@ -62,10 +62,18 @@ def endgame_fallback_study(
     """The paper's future-work optimization, quantified."""
     cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=2009)
     grid = ProcessGrid(8, 8)
-    base = run_linpack("acmlg_both", n, cluster, grid, seed=seed, collect_steps=True)
-    opt = run_linpack(
-        "acmlg_both", n, cluster, grid, seed=seed, collect_steps=True,
-        overrides={"endgame_cpu_fallback": True},
+    base = run(
+        Scenario(
+            configuration="acmlg_both", n=n, cluster=cluster, grid=grid,
+            seed=seed, collect_steps=True,
+        )
+    )
+    opt = run(
+        Scenario(
+            configuration="acmlg_both", n=n, cluster=cluster, grid=grid,
+            seed=seed, collect_steps=True,
+            overrides={"endgame_cpu_fallback": True},
+        )
     )
     data = SeriesData(
         title="What-if: endgame CPU fallback (Section VI.C's 'potential optimization')",

@@ -110,6 +110,7 @@ class AdaptiveMapper:
         self.min_gsplit = min_gsplit
         self.min_csplit = min_csplit
         self.updates = 0
+        self.gpu_lost = False
         #: Optional :class:`repro.obs.Telemetry`; defaults to the ambient
         #: :func:`repro.obs.current` one (None outside an ``obs.use`` block).
         #: All hooks are guarded by ``is not None`` and never touch timing or
@@ -128,9 +129,30 @@ class AdaptiveMapper:
         """
         self.telemetry = telemetry
 
+    # -- graceful degradation -----------------------------------------------------
+    def notify_gpu_lost(self) -> None:
+        """The GPU died: clamp GSplit to 0 until (if ever) it comes back.
+
+        The split databases are left untouched — on
+        :meth:`notify_gpu_restored` the mapper resumes from its learned
+        state and re-converges from there, exactly as the paper's framework
+        would after a driver restart.
+        """
+        self.gpu_lost = True
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "adaptive.gpu_loss_events", "GPU losses the mapper reacted to"
+            ).inc()
+
+    def notify_gpu_restored(self) -> None:
+        """The GPU is back: resume the learned split databases."""
+        self.gpu_lost = False
+
     # -- step 1: obtain the mappings -------------------------------------------
     def gsplit(self, workload: float) -> float:
         """Level-1 lookup: the fraction of *workload* to run on the GPU."""
+        if self.gpu_lost:
+            return 0.0
         if self.telemetry is not None:
             kind = "hit" if self.database_g.is_written(workload) else "miss"
             self.telemetry.metrics.counter(
@@ -145,7 +167,10 @@ class AdaptiveMapper:
     # -- step 2: measure and write back --------------------------------------------
     def observe(self, obs: Observation) -> None:
         """Fold a completed execution's measurements into both databases."""
-        self._update_level1(obs)
+        if not self.gpu_lost:
+            # A dead GPU measures P_G = 0; folding that in would overwrite
+            # the learned splits the mapper resumes from on restoration.
+            self._update_level1(obs)
         self._update_level2(obs)
         self.updates += 1
         if self.telemetry is not None:

@@ -28,6 +28,8 @@ from typing import Any, Generator, Optional
 import numpy as np
 
 from repro.core.taskqueue import GpuTask, TaskQueue
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import DegradedMode, PcieTransferError
 from repro.machine.node import ComputeElement
 from repro.obs.telemetry import current as _ambient_telemetry
 from repro.sim import Event
@@ -74,6 +76,10 @@ class PipelineResult:
     output_bytes: float
     n_tasks: int
     state_log: list[StateRecord] = field(default_factory=list)
+    #: PCIe transfers retried under an injected fault (0 on clean runs).
+    retries: int = 0
+    #: Fault summary for this execution; ``None`` means no fault was seen.
+    degraded: Optional[DegradedMode] = None
 
     def stage_occupancy(self) -> dict[str, float]:
         """Fraction of the execution each CT/NT state occupied.
@@ -128,6 +134,7 @@ class _ExecutorBase:
         jitter: bool = True,
         tracer=None,
         telemetry=None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         require_positive(eo_block_rows, "eo_block_rows")
         require_positive(input_chunk_bytes, "input_chunk_bytes")
@@ -138,6 +145,11 @@ class _ExecutorBase:
         self.input_chunk_bytes = input_chunk_bytes
         self.record_states = record_states
         self.jitter = jitter
+        #: Optional :class:`repro.faults.FaultInjector`; when its spec has a
+        #: PCIe fault window, every transfer runs through the bounded
+        #: retry+backoff policy of :meth:`_pcie_transfer`.
+        self.faults = fault_injector
+        self._retries = 0
         #: Optional :class:`repro.sim.Tracer`; when set, each task's input
         #: and EO stages are recorded as intervals (renderable as a Gantt).
         self.tracer = tracer if tracer is not None else element.tracer
@@ -211,12 +223,44 @@ class _ExecutorBase:
         for state, fraction in result.stage_occupancy().items():
             occupancy.append(now, fraction, stage=state, executor=self.name)
 
+    def _pcie_transfer(self, submit) -> Generator[Event, Any, None]:
+        """Run one PCIe transfer (re-submitted by *submit*) under faults.
+
+        Without an active PCIe fault window this is a plain wait on the
+        transfer event.  Under one, each completed transfer draws from the
+        injector's seeded stream; a failed draw is retried after an
+        exponentially-growing backoff up to the spec's ``max_retries``, then
+        :class:`PcieTransferError` is raised out of the executing process.
+        """
+        injector = self.faults
+        if injector is None or injector.pcie is None:
+            yield submit()
+            return
+        pcie = injector.pcie
+        attempt = 0
+        while True:
+            yield submit()
+            if not injector.pcie_transfer_fails(self.sim.now):
+                return
+            if attempt >= pcie.max_retries:
+                injector.record_pcie_exhausted(self.sim.now)
+                raise PcieTransferError(
+                    f"PCIe transfer on {self.element.name} still failing "
+                    f"after {pcie.max_retries} retries"
+                )
+            injector.record_pcie_retry(self.sim.now)
+            self._retries += 1
+            yield self.sim.timeout(pcie.backoff_s * pcie.backoff_multiplier**attempt)
+            attempt += 1
+
     def _transfer_in(self, nbytes: float) -> Generator[Event, Any, None]:
         """Stage *nbytes* host -> GPU in chunks (so outputs can interleave)."""
         remaining = float(nbytes)
         while remaining > 0:
             chunk = min(remaining, self.input_chunk_bytes)
-            yield self.element.pcie.to_gpu(chunk, pinned=self.pinned)
+            yield from self._pcie_transfer(
+                lambda chunk=chunk: self.element.pcie.to_gpu(chunk, pinned=self.pinned)
+            )
             remaining -= chunk
 
     def _input_task(self, task: GpuTask) -> Generator[Event, Any, None]:
@@ -282,6 +326,7 @@ class SoftwarePipeline(_ExecutorBase):
                 record_states=self.record_states,
                 jitter=self.jitter,
                 telemetry=self.telemetry,
+                fault_injector=self.faults,
             )
             result = yield from sync.execute(queue, rate, numeric)
             return result
@@ -293,6 +338,7 @@ class SoftwarePipeline(_ExecutorBase):
         tasks = queue.tasks
         self._log = []
         self._span_open = {}
+        self._retries = 0
         self._record("NT", N_IDLE, 1 if len(tasks) > 1 else None)
 
         for idx, task in enumerate(tasks):
@@ -328,6 +374,8 @@ class SoftwarePipeline(_ExecutorBase):
             output_bytes=queue.output_bytes,
             n_tasks=len(tasks),
             state_log=list(self._log),
+            retries=self._retries,
+            degraded=self.faults.degraded_mode() if self.faults else None,
         )
         self._finish(result)
         return result
@@ -356,9 +404,22 @@ class SoftwarePipeline(_ExecutorBase):
                 yield gate
             yield from self._kernel_block(task, rows, offset, rate, numeric)
             if task.is_last_k:
-                out = self.element.pcie.to_host(
-                    rows * task.n * 8.0, pinned=self.pinned
-                )
+                nbytes = rows * task.n * 8.0
+                if self.faults is not None and self.faults.pcie is not None:
+                    # The retry loop must not stall the next kernel block, so
+                    # it runs as its own process — a process is an Event, so
+                    # the CB0/CB1 gates and the epilogue drain work unchanged
+                    # (and a retry-exhausted failure propagates when waited).
+                    out = self.sim.process(
+                        self._pcie_transfer(
+                            lambda nbytes=nbytes: self.element.pcie.to_host(
+                                nbytes, pinned=self.pinned
+                            )
+                        ),
+                        name=f"ct.output.T{task.index}",
+                    )
+                else:
+                    out = self.element.pcie.to_host(nbytes, pinned=self.pinned)
                 buffer_free[i % 2] = out
                 pending_outputs.append(out)
             offset += rows
@@ -387,6 +448,7 @@ class SyncExecutor(_ExecutorBase):
         kernel_time = 0.0
         self._log = []
         self._span_open = {}
+        self._retries = 0
         for task in queue.tasks:
             self._record("CT", INPUT, task.index)
             yield from self._input_task(task)
@@ -396,7 +458,11 @@ class SyncExecutor(_ExecutorBase):
             yield from self._kernel_block(task, task.m, 0, rate, numeric)
             kernel_time += sim.now - before
             if task.output_bytes > 0:
-                yield self.element.pcie.to_host(task.output_bytes, pinned=self.pinned)
+                yield from self._pcie_transfer(
+                    lambda: self.element.pcie.to_host(
+                        task.output_bytes, pinned=self.pinned
+                    )
+                )
             self._trace("end", task, "eo")
         self._record("CT", IDLE, None)
         result = PipelineResult(
@@ -406,6 +472,8 @@ class SyncExecutor(_ExecutorBase):
             output_bytes=queue.output_bytes,
             n_tasks=len(queue.tasks),
             state_log=list(self._log),
+            retries=self._retries,
+            degraded=self.faults.degraded_mode() if self.faults else None,
         )
         self._finish(result)
         return result

@@ -1,0 +1,50 @@
+"""Fault injection and graceful degradation.
+
+A seedable, virtual-time fault subsystem: declare *what* breaks in a frozen
+:class:`FaultSpec` (GPU thermal throttles and dropouts, per-element
+stragglers, probabilistic PCIe transfer failures), hand it to a run via
+``Scenario(faults=...)`` (see :mod:`repro.session`), and the
+:class:`FaultInjector` replays the schedule deterministically against the
+virtual clock.  Recovery semantics live with the consumers:
+
+* the analytic HPL stepper folds the degraded per-element rates into every
+  per-step max, clamps an adaptive mapping's GSplit to 0 on GPU loss (the
+  ``cpu_only_dgemm`` fallback), and lets load-shedding cool a throttled GPU
+  back to full clock — while static/Qilin mappings, which cannot react,
+  ride the fault all the way down;
+* the DES pipeline executors retry failed PCIe transfers with bounded
+  exponential backoff and raise :class:`PcieTransferError` when the budget
+  is exhausted.
+
+Runs that met any fault carry a :class:`DegradedMode` marker and publish
+``faults.*`` counters plus ``faults``-track instants through
+:mod:`repro.obs`.  See ``docs/faults.md``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import (
+    NO_FAULTS,
+    PAPER_THROTTLE_FACTOR,
+    DegradedMode,
+    FaultEvent,
+    FaultSpec,
+    GpuDropout,
+    GpuThrottle,
+    PcieFaultSpec,
+    PcieTransferError,
+    Straggler,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "FaultEvent",
+    "GpuThrottle",
+    "GpuDropout",
+    "Straggler",
+    "PcieFaultSpec",
+    "PcieTransferError",
+    "DegradedMode",
+    "NO_FAULTS",
+    "PAPER_THROTTLE_FACTOR",
+]

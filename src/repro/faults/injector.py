@@ -1,0 +1,233 @@
+"""The seedable virtual-time fault state machine.
+
+One :class:`FaultInjector` is built per run from a frozen
+:class:`~repro.faults.spec.FaultSpec`.  The consuming engine drives it with
+three calls per step (or per transfer on the DES path):
+
+* :meth:`advance` — move the schedule to virtual time ``t``: fire throttles
+  and dropouts whose ``at`` has passed, open/close straggler windows.
+* :meth:`gpu_factor` / :meth:`gpu_alive` / :meth:`cpu_factor` — the current
+  per-element degradation state as numpy arrays, ready to multiply into the
+  vectorized rate models of :mod:`repro.hpl.analytic`.
+* :meth:`note_load` — report the GSplit each element actually applied this
+  step.  This is the graceful-degradation feedback path: a throttled GPU
+  whose load stays shed accumulates cooling credit and eventually recovers
+  its clock, while one that keeps being fed never does.
+
+PCIe faults use the injector's own seeded stream
+(:meth:`pcie_transfer_fails`), so a run with the same spec and seed draws
+the identical failure sequence — fault schedules are exactly reproducible.
+
+Everything the injector observes is published to telemetry (counters on
+``faults.*``, instants on the ``faults`` track of the Chrome trace) and to
+the :class:`~repro.faults.spec.DegradedMode` summary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.spec import (
+    DegradedMode,
+    FaultEvent,
+    FaultSpec,
+    GpuThrottle,
+    PcieFaultSpec,
+)
+from repro.obs.telemetry import current as _ambient_telemetry
+from repro.util.rng import RngStream
+from repro.util.validation import require
+
+
+class _ThrottleState:
+    """Runtime state of one GpuThrottle event."""
+
+    def __init__(self, spec: GpuThrottle, n_elements: int) -> None:
+        self.spec = spec
+        self.fired = False
+        self.recovered = False
+        # Accumulated shed-load (cooling) seconds per affected element.
+        self.shed_s = np.zeros(n_elements)
+
+    def elements(self, n: int) -> np.ndarray:
+        """Boolean mask of the elements this throttle touches."""
+        mask = np.zeros(n, dtype=bool)
+        if self.spec.element is None:
+            mask[:] = True
+        else:
+            mask[self.spec.element] = True
+        return mask
+
+    @property
+    def active(self) -> bool:
+        return self.fired and not self.recovered
+
+
+class FaultInjector:
+    """Seedable runtime fault state for one run over ``n_elements``."""
+
+    def __init__(
+        self,
+        spec: Optional[FaultSpec],
+        n_elements: int,
+        seed: int = 0,
+        telemetry=None,
+    ) -> None:
+        require(n_elements >= 1, "n_elements must be >= 1")
+        self.spec = spec if spec is not None else FaultSpec()
+        require(
+            self.spec.max_element() < n_elements,
+            f"fault spec names element {self.spec.max_element()}, "
+            f"but the run has only {n_elements} elements",
+        )
+        self.n_elements = n_elements
+        self._rng = RngStream(seed).child("faults").generator()
+        self.telemetry = telemetry if telemetry is not None else _ambient_telemetry()
+        self._now = 0.0
+        self._last_note_t: Optional[float] = None
+
+        self._throttles = [_ThrottleState(t, n_elements) for t in self.spec.throttles]
+        self._dropped = np.zeros(n_elements, dtype=bool)
+        self._dropout_fired = [False] * len(self.spec.dropouts)
+        self._failsafe = np.ones(n_elements)
+        self._straggler_on = [False] * len(self.spec.stragglers)
+        self.degraded = DegradedMode()
+
+    # -- schedule ----------------------------------------------------------------
+    def advance(self, t: float) -> None:
+        """Fire every scheduled transition with a trigger time <= *t*."""
+        self._now = t
+        for state in self._throttles:
+            if not state.fired and t >= state.spec.at:
+                state.fired = True
+                self.degraded.gpu_throttled = True
+                self._emit("gpu_throttle", state.spec.element, state.spec.clock_factor, t)
+        for i, drop in enumerate(self.spec.dropouts):
+            if not self._dropout_fired[i] and t >= drop.at:
+                self._dropout_fired[i] = True
+                self._dropped[drop.element] = True
+                self._failsafe[drop.element] = min(
+                    self._failsafe[drop.element], drop.failsafe_factor
+                )
+                self.degraded.gpu_lost = True
+                self._emit("gpu_dropout", drop.element, drop.failsafe_factor, t)
+        for i, strag in enumerate(self.spec.stragglers):
+            was_on = self._straggler_on[i]
+            now_on = t >= strag.at and (strag.until is None or t < strag.until)
+            if now_on and not was_on:
+                self._straggler_on[i] = True
+                self.degraded.straggling = True
+                self._emit("straggler_on", strag.element, strag.factor, t)
+            elif was_on and not now_on:
+                self._straggler_on[i] = False
+                self._emit("straggler_off", strag.element, 1.0, t)
+
+    def note_load(self, gsplit: np.ndarray, t: float) -> None:
+        """Feed back the GSplit each element applied at virtual time *t*.
+
+        Cooling credit accrues (non-consecutively — thermal mass integrates)
+        for every active recoverable throttle on elements whose applied
+        split is at or below the shed threshold; once ``recovery_s`` seconds
+        accumulate, the clock is restored.
+        """
+        gsplit = np.asarray(gsplit, dtype=float).ravel()
+        require(len(gsplit) == self.n_elements, "note_load shape mismatch")
+        dt = 0.0 if self._last_note_t is None else max(0.0, t - self._last_note_t)
+        self._last_note_t = t
+        if dt <= 0.0:
+            return
+        for state in self._throttles:
+            if not state.active or state.spec.recovery_s is None:
+                continue
+            mask = state.elements(self.n_elements)
+            shed = mask & (gsplit <= state.spec.shed_threshold)
+            state.shed_s[shed] += dt
+            # The throttle recovers once *every* affected element has cooled
+            # (a cluster-wide thermal event lifts only when the room does).
+            if np.all(state.shed_s[mask] >= state.spec.recovery_s):
+                state.recovered = True
+                self._emit("gpu_clock_restored", state.spec.element, 1.0, t)
+
+    # -- current state -----------------------------------------------------------
+    def gpu_factor(self) -> np.ndarray:
+        """Per-element GPU rate multiplier (throttle x straggler x failsafe)."""
+        factor = np.ones(self.n_elements)
+        for state in self._throttles:
+            if state.active:
+                mask = state.elements(self.n_elements)
+                factor[mask] *= state.spec.clock_factor
+        for i, strag in enumerate(self.spec.stragglers):
+            if self._straggler_on[i] and strag.side in ("gpu", "both"):
+                factor[strag.element] *= strag.factor
+        # Dead GPUs run at the crippled failsafe rate for any mapping that
+        # keeps offloading to them; adaptive mappings consult gpu_alive()
+        # instead and never assign them work.
+        factor[self._dropped] *= self._failsafe[self._dropped]
+        return factor
+
+    def gpu_alive(self) -> np.ndarray:
+        """Per-element liveness mask (False once a dropout fired)."""
+        return ~self._dropped
+
+    def cpu_factor(self) -> np.ndarray:
+        """Per-element CPU rate multiplier (stragglers only)."""
+        factor = np.ones(self.n_elements)
+        for i, strag in enumerate(self.spec.stragglers):
+            if self._straggler_on[i] and strag.side in ("cpu", "both"):
+                factor[strag.element] *= strag.factor
+        return factor
+
+    def transfer_inflation(self, t: float) -> float:
+        """Expected PCIe slowdown at *t* for the closed-form analytic path."""
+        pcie = self.spec.pcie
+        if pcie is None or not pcie.active(t):
+            return 1.0
+        self.degraded.pcie_degraded = True
+        return pcie.expected_inflation()
+
+    # -- DES-path PCIe faults ------------------------------------------------------
+    @property
+    def pcie(self) -> Optional[PcieFaultSpec]:
+        return self.spec.pcie
+
+    def pcie_transfer_fails(self, t: float) -> bool:
+        """Seeded draw: does the transfer completing at *t* fail?"""
+        pcie = self.spec.pcie
+        if pcie is None or not pcie.active(t) or pcie.fail_probability <= 0.0:
+            return False
+        return bool(self._rng.random() < pcie.fail_probability)
+
+    def record_pcie_retry(self, t: float) -> None:
+        """Count one retried transfer (called by the executors)."""
+        self.degraded.pcie_degraded = True
+        self.degraded.pcie_retries += 1
+        self._emit("pcie_retry", None, 1.0, t)
+
+    def record_pcie_exhausted(self, t: float) -> None:
+        """Count one transfer that ran out of retries (about to raise)."""
+        self._emit("pcie_exhausted", None, 0.0, t)
+
+    # -- reporting -----------------------------------------------------------------
+    @property
+    def events(self) -> list[FaultEvent]:
+        return self.degraded.events
+
+    def degraded_mode(self) -> Optional[DegradedMode]:
+        """The DegradedMode marker, or None if nothing ever degraded."""
+        return self.degraded if self.degraded else None
+
+    def _emit(self, kind: str, element: Optional[int], factor: float, t: float) -> None:
+        self.degraded.events.append(FaultEvent(time=t, kind=kind, element=element, factor=factor))
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.metrics.counter(
+                "faults.events", "fault-injection events by kind"
+            ).inc(kind=kind)
+            if kind == "pcie_retry":
+                telemetry.metrics.counter(
+                    "faults.pcie_retries", "PCIe transfers retried after a fault"
+                ).inc()
+            where = "all" if element is None else element
+            telemetry.sink.instant("faults", kind, t, element=where, factor=factor)

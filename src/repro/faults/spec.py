@@ -1,0 +1,229 @@
+"""Declarative fault model: what goes wrong, when, and how hard.
+
+The repro's variability layer (:mod:`repro.machine.variability`) covers
+*benign* drift — jitter, manufacturing spread, slow thermal creep.  This
+module adds the hard events a petascale run actually meets (Sections IV and
+VI.A of the paper, and the degraded-hardware experiments HeSP-style
+simulators run to validate scheduling policies):
+
+* :class:`GpuThrottle` — a thermal emergency downclocks the GPU mid-run
+  (the paper's 750 -> 575 MHz story).  Throttling is *load-dependent*: a
+  GPU whose mapping keeps feeding it a full workload share stays hot and
+  stays throttled, while one whose load is shed below ``shed_threshold``
+  (an adaptive mapper rebalancing away from the slow device) cools and
+  recovers its clock after ``recovery_s`` of accumulated shed time.  This
+  is what makes the adaptive-vs-static gap measurable: only a mapping that
+  reacts can ever un-throttle.
+* :class:`GpuDropout` — a GPU fails permanently (driver wedge, ECC storm,
+  dead board).  An adaptive mapping clamps GSplit to 0 and continues on
+  the CPU path (:func:`repro.core.hybrid_dgemm.cpu_only_dgemm` semantics);
+  a mapping that cannot react keeps offloading into a device that now runs
+  at ``failsafe_factor`` of its rate.
+* :class:`Straggler` — one element's CPU and/or GPU slows by ``factor``
+  over a window (sick DIMM, noisy neighbour, failing fan).
+* :class:`PcieFaultSpec` — individual PCIe transfers fail with a given
+  probability; the pipeline executors retry with bounded exponential
+  backoff and raise :class:`PcieTransferError` on exhaustion.
+
+All times are **virtual seconds** on the simulation clock.  A
+:class:`FaultSpec` is pure data — frozen, hashable, seed-free; the runtime
+state machine lives in :class:`repro.faults.injector.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.util.validation import (
+    require,
+    require_fraction,
+    require_nonnegative,
+    require_positive,
+)
+
+#: The paper's thermal operating points: 750 MHz (110 C, unstable for long
+#: runs) down to 575 MHz (92 C).  Default throttle depth = 575/750.
+PAPER_THROTTLE_FACTOR = 575.0 / 750.0
+
+
+class PcieTransferError(RuntimeError):
+    """A PCIe transfer kept failing after the bounded retry budget."""
+
+
+@dataclass(frozen=True)
+class GpuThrottle:
+    """A load-dependent thermal downclock of one (or every) GPU.
+
+    Fires at virtual time ``at``; the affected GPUs run at ``clock_factor``
+    of their configured clock.  If ``recovery_s`` is set, a throttled GPU
+    whose applied GSplit stays at or below ``shed_threshold`` accumulates
+    cooling credit; once ``recovery_s`` seconds of shed load add up, the
+    clock is restored.  ``recovery_s=None`` makes the throttle permanent
+    regardless of load (the paper's full-system run simply stayed at 575).
+    """
+
+    at: float
+    clock_factor: float = PAPER_THROTTLE_FACTOR
+    element: Optional[int] = None  # None = every element
+    shed_threshold: float = 0.86
+    recovery_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.at, "at")
+        require(0.0 < self.clock_factor < 1.0, "clock_factor must be in (0, 1)")
+        require_fraction(self.shed_threshold, "shed_threshold")
+        if self.recovery_s is not None:
+            require_positive(self.recovery_s, "recovery_s")
+
+
+@dataclass(frozen=True)
+class GpuDropout:
+    """A permanent GPU failure on one element at virtual time ``at``.
+
+    ``failsafe_factor`` is the crippled rate (bus timeouts, software
+    fallback) seen by a mapping that keeps offloading to the dead device;
+    an adaptive mapping instead clamps GSplit to 0 and reclaims the
+    transfer core (the ``cpu_only_dgemm`` fallback).
+    """
+
+    at: float
+    element: int = 0
+    failsafe_factor: float = 0.02
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.at, "at")
+        require(self.element >= 0, "element must be >= 0")
+        require(0.0 < self.failsafe_factor < 1.0, "failsafe_factor must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One element slowed to ``factor`` of its rate over ``[at, until)``."""
+
+    at: float
+    element: int = 0
+    factor: float = 0.5
+    until: Optional[float] = None  # None = persistent
+    side: str = "cpu"  # "cpu" | "gpu" | "both"
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.at, "at")
+        require(self.element >= 0, "element must be >= 0")
+        require(0.0 < self.factor <= 1.0, "factor must be in (0, 1]")
+        require(self.side in ("cpu", "gpu", "both"), f"unknown straggler side {self.side!r}")
+        if self.until is not None:
+            require(self.until > self.at, "until must be > at")
+
+
+@dataclass(frozen=True)
+class PcieFaultSpec:
+    """Per-transfer PCIe failure model with a bounded retry policy.
+
+    Each individual transfer fails independently with
+    ``fail_probability`` while the window ``[at, until)`` is active.  The
+    executor retries a failed transfer after ``backoff_s`` (doubled — or
+    ``backoff_multiplier``-ed — per attempt) up to ``max_retries`` times,
+    then raises :class:`PcieTransferError`.  On the closed-form analytic
+    path the same model appears as its expectation: transfer terms are
+    inflated by ``1 / (1 - p)`` while the window is active.
+    """
+
+    fail_probability: float = 0.1
+    at: float = 0.0
+    until: Optional[float] = None
+    max_retries: int = 3
+    backoff_s: float = 1e-3
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        require(0.0 <= self.fail_probability < 1.0, "fail_probability must be in [0, 1)")
+        require_nonnegative(self.at, "at")
+        require(self.max_retries >= 0, "max_retries must be >= 0")
+        require_nonnegative(self.backoff_s, "backoff_s")
+        require(self.backoff_multiplier >= 1.0, "backoff_multiplier must be >= 1")
+        if self.until is not None:
+            require(self.until > self.at, "until must be > at")
+
+    def active(self, t: float) -> bool:
+        """Whether the fault window covers virtual time *t*."""
+        return t >= self.at and (self.until is None or t < self.until)
+
+    def expected_inflation(self) -> float:
+        """Expected transfer-time multiplier: mean attempts = 1/(1-p)."""
+        return 1.0 / (1.0 - self.fail_probability)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The complete fault schedule of one run (pure data, seed-free)."""
+
+    throttles: tuple[GpuThrottle, ...] = ()
+    dropouts: tuple[GpuDropout, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    pcie: Optional[PcieFaultSpec] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.throttles or self.dropouts or self.stragglers or self.pcie)
+
+    def max_element(self) -> int:
+        """Highest element index any event names (-1 when none do)."""
+        indices = [t.element for t in self.throttles if t.element is not None]
+        indices += [d.element for d in self.dropouts]
+        indices += [s.element for s in self.stragglers]
+        return max(indices, default=-1)
+
+
+#: The empty schedule (also what ``faults=None`` means everywhere).
+NO_FAULTS = FaultSpec()
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One thing that happened at run time (the injector's audit log)."""
+
+    time: float
+    kind: str  # gpu_throttle | gpu_clock_restored | gpu_dropout | straggler_on
+    #           | straggler_off | pcie_retry | pcie_exhausted
+    element: Optional[int] = None
+    factor: float = 1.0
+
+
+@dataclass
+class DegradedMode:
+    """Marker summarising every degradation a run went through.
+
+    Attached to :class:`repro.hpl.analytic.AnalyticResult` (and surfaced on
+    :class:`repro.hpl.driver.LinpackResult`) and to
+    :class:`repro.core.pipeline.PipelineResult`; ``None`` on those objects
+    means the run saw no fault at all.
+    """
+
+    gpu_throttled: bool = False
+    gpu_lost: bool = False
+    straggling: bool = False
+    pcie_degraded: bool = False
+    pcie_retries: int = 0
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return (
+            self.gpu_throttled
+            or self.gpu_lost
+            or self.straggling
+            or self.pcie_degraded
+            or self.pcie_retries > 0
+        )
+
+    def describe(self) -> str:
+        """One-line human summary (for reports and exceptions)."""
+        parts = []
+        if self.gpu_throttled:
+            parts.append("gpu-throttled")
+        if self.gpu_lost:
+            parts.append("gpu-lost")
+        if self.straggling:
+            parts.append("straggler")
+        if self.pcie_degraded or self.pcie_retries:
+            parts.append(f"pcie-retries={self.pcie_retries}")
+        return "degraded[" + ",".join(parts) + "]" if parts else "healthy"

@@ -16,10 +16,12 @@ from repro.hpl.grid import BlockCyclic, ProcessGrid
 from repro.hpl.solve import hpl_residual_ok
 from repro.hpl.driver import (
     CONFIGURATIONS,
+    Configuration,
     HplConfig,
     LinpackResult,
     run_linpack,
     run_linpack_element,
+    validate_overrides,
 )
 from repro.hpl.analytic import AnalyticConfig, AnalyticHpl, StepTrace
 from repro.hpl.dist import DistributedLU, ElementEngine, InstantEngine
@@ -35,6 +37,8 @@ __all__ = [
     "run_linpack",
     "run_linpack_element",
     "CONFIGURATIONS",
+    "Configuration",
+    "validate_overrides",
     "AnalyticConfig",
     "AnalyticHpl",
     "StepTrace",

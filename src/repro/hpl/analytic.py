@@ -39,6 +39,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import DegradedMode, FaultSpec
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import ElementRateTable
 from repro.machine.specs import InterconnectSpec
@@ -118,6 +120,8 @@ class AnalyticResult:
     elapsed: float
     flops: float
     steps: list[StepTrace] = field(default_factory=list)
+    #: Fault/degradation summary; None when the run saw no fault at all.
+    degraded: Optional[DegradedMode] = None
 
     @property
     def gflops(self) -> float:
@@ -165,6 +169,7 @@ class AnalyticHpl:
         interconnect: Optional[InterconnectSpec],
         variability: Optional[VariabilitySpec] = None,
         config: AnalyticConfig = AnalyticConfig(),
+        faults: Optional[FaultSpec] = None,
     ) -> None:
         require(
             table.n_elements >= grid.size,
@@ -175,6 +180,7 @@ class AnalyticHpl:
         self.net = interconnect
         self.var = variability if variability is not None else VariabilitySpec()
         self.config = config
+        self.faults = faults if faults else None
         self._rng = RngStream(config.seed).child("analytic").generator()
         self._kernel_overhead2d = np.asarray(self.table.kernel_overhead)[
             : grid.size
@@ -198,8 +204,13 @@ class AnalyticHpl:
         gsplit: np.ndarray,
         gpu_rate_of,  # callable w_gpu -> rate array
         cpu_rate: np.ndarray,
+        xfer_factor: float = 1.0,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(t_gpu, t_cpu, makespan) for C[m,n] += A[m,k] B[k,n] per rank."""
+        """(t_gpu, t_cpu, makespan) for C[m,n] += A[m,k] B[k,n] per rank.
+
+        ``xfer_factor`` >= 1 inflates every PCIe transfer term — the
+        expected cost of retried transfers under an active PCIe fault.
+        """
         cfg = self.config
         m1 = np.rint(m * gsplit)
         w = 2.0 * m * n * k
@@ -216,10 +227,12 @@ class AnalyticHpl:
             host_bw = cfg.host_bw_override
         else:
             host_bw = self.table.pinned_bw if cfg.pinned else self.table.pageable_bw
-        per_byte_serial = 1.0 / host_bw + 1.0 / self.table.gpu_bw
+        if xfer_factor != 1.0:
+            host_bw = host_bw / xfer_factor
+        per_byte_serial = 1.0 / host_bw + xfer_factor / self.table.gpu_bw
         in_bytes = (m1 * k + k * n + m1 * n) * DOUBLE_BYTES  # A1, B, C-in (beta=1)
         out_bytes = m1 * n * DOUBLE_BYTES
-        lat = self.table.pcie_latency
+        lat = self.table.pcie_latency * xfer_factor
         t_in = 3 * n_tasks * lat + in_bytes * per_byte_serial
         t_out = n_tasks * lat + out_bytes * per_byte_serial
         if cfg.pipelined:
@@ -268,12 +281,20 @@ class AnalyticHpl:
         )
 
     def _balanced_split(
-        self, m: np.ndarray, n: np.ndarray, k: int, gpu_rate_of, cpu_rate: np.ndarray
+        self,
+        m: np.ndarray,
+        n: np.ndarray,
+        k: int,
+        gpu_rate_of,
+        cpu_rate: np.ndarray,
+        xfer_factor: float = 1.0,
     ) -> np.ndarray:
         """The level-1 fixed point GSplit <- P_G/(P_G+P_C), vectorized."""
         gsplit = np.full(m.shape, 0.7)
         for _ in range(self.config.split_iterations):
-            t_gpu, t_cpu, _ = self._update_times(m, n, k, gsplit, gpu_rate_of, cpu_rate)
+            t_gpu, t_cpu, _ = self._update_times(
+                m, n, k, gsplit, gpu_rate_of, cpu_rate, xfer_factor
+            )
             w = 2.0 * m * n * k
             w_gpu = w * gsplit
             p_g = np.where(t_gpu > 0, w_gpu / np.maximum(t_gpu, 1e-12), 0.0)
@@ -358,6 +379,16 @@ class AnalyticHpl:
             def frozen_split_of(m: np.ndarray, nn: np.ndarray, k: int) -> np.ndarray:
                 return self._balanced_split(m, nn, k, train_rate_of, train_cpu)
 
+        # Fault injection: one fresh injector per run replays the schedule
+        # against this run's virtual clock (deterministic for a fixed spec
+        # and seed).  None when no faults are configured — the hot loop then
+        # carries no extra work at all.
+        injector = (
+            FaultInjector(self.faults, grid.size, seed=cfg.seed, telemetry=telemetry)
+            if self.faults
+            else None
+        )
+
         elapsed = 0.0
         cum_flops = 0.0
         steps: list[StepTrace] = []
@@ -371,7 +402,17 @@ class AnalyticHpl:
             gpu_slow = self._grid_array(gpu_noise.factors())
             cpu_slow = self._grid_array(cpu_noise.factors())
             drift = 1.0 - drift_depth * (1.0 - math.exp(-elapsed / table.drift_tau)) if table.drift_tau > 0 else 1.0 - drift_depth
-            peak_now = gpu_base * drift * gpu_slow
+            if injector is not None:
+                injector.advance(elapsed)
+                fault_gpu = self._grid_array(injector.gpu_factor())
+                fault_cpu = self._grid_array(injector.cpu_factor())
+                gpu_ok = self._grid_array(injector.gpu_alive()).astype(bool)
+                xfer_factor = injector.transfer_inflation(elapsed)
+            else:
+                fault_gpu = fault_cpu = 1.0
+                gpu_ok = None
+                xfer_factor = 1.0
+            peak_now = gpu_base * drift * gpu_slow * fault_gpu
             rate_of = gpu_rate_factory(peak_now)
 
             m_after = _first_local_at_or_after(j + jbw, nb, P)
@@ -403,18 +444,37 @@ class AnalyticHpl:
                 else:
                     mfac = np.ones((2, P, Q))
                 measured_rate_of = gpu_rate_factory(peak_now * mfac[0])
-                gsplit = self._balanced_split(m2, n2, jbw, measured_rate_of, cpu_rate * mfac[1])
+                gsplit = self._balanced_split(
+                    m2, n2, jbw, measured_rate_of, cpu_rate * mfac[1], xfer_factor
+                )
+
+            # -- graceful degradation -------------------------------------------------
+            # Stragglers hit every mapping (the hardware is simply slower);
+            # GPU *loss* is where reaction matters: the adaptive mapping
+            # clamps GSplit to 0 on dead elements and reclaims the transfer
+            # core (the cpu_only_dgemm fallback, so the element runs at the
+            # cpu_only configuration's rate), while static/Qilin/gpu_only
+            # keep offloading into the failsafe-rate device.  The injector
+            # is then told what split each element actually applied — the
+            # feedback that lets a load-shedding mapping cool a throttled
+            # GPU back to full clock.
+            if injector is not None:
+                cpu_rate = cpu_rate * fault_cpu
+                if cfg.mapping == "adaptive" and not gpu_ok.all():
+                    gsplit = np.where(gpu_ok, gsplit, 0.0)
+                    cpu_rate = np.where(gpu_ok, cpu_rate, cpu_full * cpu_slow * fault_cpu)
+                injector.note_load(np.broadcast_to(gsplit, (P, Q)).ravel(), elapsed)
 
             # -- the trailing update (slowest rank gates the step) ------------------
             t_gpu_u, t_cpu_u, makespan = self._update_times(
-                m2, n2, jbw, gsplit, rate_of, cpu_rate
+                m2, n2, jbw, gsplit, rate_of, cpu_rate, xfer_factor
             )
             if cfg.endgame_cpu_fallback and cfg.mapping not in ("cpu_only",):
                 # Future-work optimization: reclaim the transfer core and run
                 # small updates on all four cores when that is faster.
                 w_step = 2.0 * m2 * n2 * jbw
                 t_cpu_full = np.where(
-                    w_step > 0, w_step / np.maximum(cpu_full * cpu_slow, 1e-9), 0.0
+                    w_step > 0, w_step / np.maximum(cpu_full * cpu_slow * fault_cpu, 1e-9), 0.0
                 )
                 makespan = np.minimum(makespan, t_cpu_full)
             t_update = float(makespan.max()) if makespan.size else 0.0
@@ -488,7 +548,13 @@ class AnalyticHpl:
             n * DOUBLE_BYTES, 2 * (P + Q)
         )
         result = AnalyticResult(
-            n=n, grid=(P, Q), config=cfg, elapsed=elapsed, flops=total_flops, steps=steps
+            n=n,
+            grid=(P, Q),
+            config=cfg,
+            elapsed=elapsed,
+            flops=total_flops,
+            steps=steps,
+            degraded=injector.degraded_mode() if injector is not None else None,
         )
         if telemetry is not None:
             # Final figures match AnalyticResult exactly (backsolve included).

@@ -17,10 +17,13 @@ The same configurations scale to multi-element grids for Section VI.C.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass, fields, replace
+from enum import Enum
 from typing import Optional
 
 from repro import obs
+from repro.faults.spec import DegradedMode, FaultSpec
 from repro.hpl.analytic import AnalyticConfig, AnalyticHpl, AnalyticResult
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
@@ -31,7 +34,6 @@ from repro.machine.presets import (
     tianhe1_cluster,
 )
 from repro.machine.variability import VariabilitySpec
-from repro.util.validation import require
 
 #: The five configurations of Fig. 8 / Fig. 9, by paper label.
 CONFIGURATIONS: dict[str, AnalyticConfig] = {
@@ -53,7 +55,7 @@ CONFIGURATIONS: dict[str, AnalyticConfig] = {
     "acmlg_both": AnalyticConfig(nb=NB_GPU, mapping="adaptive", pipelined=True, pinned=True),
 }
 
-#: Paper-facing display names.
+#: Paper-facing display names (legacy string view; prefer ``Configuration.label``).
 CONFIG_LABELS = {
     "cpu": "CPU",
     "acmlg": "ACMLG",
@@ -61,7 +63,89 @@ CONFIG_LABELS = {
     "acmlg_pipe": "ACMLG+pipe",
     "acmlg_both": "ACMLG+both",
     "qilin": "Qilin",
+    "static_peak": "Static",
 }
+
+
+class Configuration(str, Enum):
+    """The benchmark configurations, as a closed, parse-time-validated set.
+
+    Members are ``str`` subclasses comparing equal to their key, so code that
+    matched on ``"acmlg_both"`` keeps working; new code should pass the enum
+    (or call :meth:`parse` on user input, which raises a :class:`ValueError`
+    naming the valid keys instead of failing deep inside the driver).
+
+    Beyond the paper's five builds this adds the two comparison mappings the
+    adaptive argument is measured against: ``QILIN`` (train-once, frozen
+    splits) and ``STATIC_PEAK`` (the full framework but with GSplit pinned to
+    the peak-trained value — the configuration that cannot react to faults).
+    """
+
+    CPU = "cpu"
+    ACMLG = "acmlg"
+    ACMLG_ADAPTIVE = "acmlg_adaptive"
+    ACMLG_PIPE = "acmlg_pipe"
+    ACMLG_BOTH = "acmlg_both"
+    QILIN = "qilin"
+    STATIC_PEAK = "static_peak"
+
+    # Full string interchangeability: members format, compare AND hash as
+    # their key, so dicts keyed by one are reachable by the other.
+    __str__ = str.__str__
+    __hash__ = str.__hash__
+
+    @property
+    def label(self) -> str:
+        """The paper-facing display name (``ACMLG+both``, ``Qilin``, ...)."""
+        return CONFIG_LABELS[self.value]
+
+    @property
+    def analytic(self) -> AnalyticConfig:
+        """The :class:`AnalyticConfig` this configuration runs (seed unset)."""
+        return _ANALYTIC[self]
+
+    @classmethod
+    def parse(cls, value: "str | Configuration") -> "Configuration":
+        """Validate *value* into a member; clear error on unknown keys."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            valid = ", ".join(member.value for member in cls)
+            raise ValueError(
+                f"unknown configuration {value!r}; valid configurations: {valid}"
+            ) from None
+
+
+_ANALYTIC: dict[Configuration, AnalyticConfig] = {
+    Configuration.CPU: CONFIGURATIONS["cpu"],
+    Configuration.ACMLG: CONFIGURATIONS["acmlg"],
+    Configuration.ACMLG_ADAPTIVE: CONFIGURATIONS["acmlg_adaptive"],
+    Configuration.ACMLG_PIPE: CONFIGURATIONS["acmlg_pipe"],
+    Configuration.ACMLG_BOTH: CONFIGURATIONS["acmlg_both"],
+    Configuration.QILIN: replace(CONFIGURATIONS["acmlg_both"], mapping="qilin"),
+    Configuration.STATIC_PEAK: replace(CONFIGURATIONS["acmlg_both"], mapping="static"),
+}
+
+
+def validate_overrides(overrides: Optional[dict]) -> dict:
+    """Check *overrides* keys against :class:`AnalyticConfig`'s fields.
+
+    Returns a plain dict safe to splat into ``dataclasses.replace``; a typo'd
+    key raises a :class:`ValueError` listing the valid field names instead of
+    the opaque ``TypeError`` ``replace`` would produce.
+    """
+    if not overrides:
+        return {}
+    valid = {f.name for f in fields(AnalyticConfig)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise ValueError(
+            f"unknown AnalyticConfig override(s): {', '.join(unknown)}; "
+            f"valid fields: {', '.join(sorted(valid))}"
+        )
+    return dict(overrides)
 
 
 @dataclass(frozen=True)
@@ -92,28 +176,70 @@ class LinpackResult:
     def tflops(self) -> float:
         return self.gflops / 1e3
 
+    @property
+    def degraded(self) -> Optional[DegradedMode]:
+        """Fault summary of the run; ``None`` when nothing ever degraded."""
+        return self.analytic.degraded
+
 
 def _analytic_for(
-    configuration: str,
+    configuration: "str | Configuration",
     cluster: Cluster,
     grid: ProcessGrid,
     seed: int,
     overrides: Optional[dict] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> AnalyticHpl:
-    require(configuration in CONFIGURATIONS or configuration == "qilin",
-            f"unknown configuration {configuration!r}")
-    if configuration == "qilin":
-        config = replace(CONFIGURATIONS["acmlg_both"], mapping="qilin", seed=seed)
-    else:
-        config = replace(CONFIGURATIONS[configuration], seed=seed)
+    config = replace(Configuration.parse(configuration).analytic, seed=seed)
     if overrides:
-        config = replace(config, **overrides)
+        config = replace(config, **validate_overrides(overrides))
     return AnalyticHpl(
         cluster.rate_table(),
         grid,
         cluster.spec.interconnect,
         variability=cluster.spec.variability,
         config=config,
+        faults=faults,
+    )
+
+
+def _run_linpack(
+    configuration: "str | Configuration",
+    n: int,
+    cluster: Cluster,
+    grid: ProcessGrid,
+    seed: int = 7,
+    collect_steps: bool = False,
+    overrides: Optional[dict] = None,
+    progress=None,
+    telemetry=None,
+    faults: Optional[FaultSpec] = None,
+) -> LinpackResult:
+    """The driver's run implementation (see :class:`repro.session.Session`).
+
+    *progress* is called with each panel's
+    :class:`~repro.hpl.analytic.StepTrace`.  *telemetry* records per-panel
+    spans and running-GFLOPS series; when None, the ambient
+    :func:`repro.obs.current` telemetry (installed by e.g. ``python -m
+    repro.bench ... --trace-out``) is used, so benchmark figures emit
+    traces without any per-figure wiring.  Neither hook affects results.
+    """
+    configuration = Configuration.parse(configuration)
+    if telemetry is None:
+        telemetry = obs.current()
+    stepper = _analytic_for(configuration, cluster, grid, seed, overrides, faults)
+    result = stepper.run(n, collect_steps=collect_steps, progress=progress, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.metrics.series(
+            "hpl.final_gflops", "final GFLOPS per completed run"
+        ).append(n, result.gflops, configuration=configuration.value)
+    return LinpackResult(
+        configuration=configuration.value,
+        n=n,
+        grid=(grid.nprow, grid.npcol),
+        gflops=result.gflops,
+        elapsed=result.elapsed,
+        analytic=result,
     )
 
 
@@ -128,30 +254,24 @@ def run_linpack(
     progress=None,
     telemetry=None,
 ) -> LinpackResult:
-    """Run one analytic Linpack on *grid* over *cluster*'s elements.
-
-    *progress* is called with each panel's
-    :class:`~repro.hpl.analytic.StepTrace`.  *telemetry* records per-panel
-    spans and running-GFLOPS series; when None, the ambient
-    :func:`repro.obs.current` telemetry (installed by e.g. ``python -m
-    repro.bench ... --trace-out``) is used, so benchmark figures emit
-    traces without any per-figure wiring.  Neither hook affects results.
-    """
-    if telemetry is None:
-        telemetry = obs.current()
-    stepper = _analytic_for(configuration, cluster, grid, seed, overrides)
-    result = stepper.run(n, collect_steps=collect_steps, progress=progress, telemetry=telemetry)
-    if telemetry is not None:
-        telemetry.metrics.series(
-            "hpl.final_gflops", "final GFLOPS per completed run"
-        ).append(n, result.gflops, configuration=configuration)
-    return LinpackResult(
-        configuration=configuration,
-        n=n,
-        grid=(grid.nprow, grid.npcol),
-        gflops=result.gflops,
-        elapsed=result.elapsed,
-        analytic=result,
+    """Deprecated: build a :class:`repro.session.Scenario` and call
+    :meth:`repro.session.Session.run` instead.  Results are identical."""
+    warnings.warn(
+        "run_linpack() is deprecated; build a repro.session.Scenario and "
+        "call Session.run() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_linpack(
+        configuration,
+        n,
+        cluster,
+        grid,
+        seed=seed,
+        collect_steps=collect_steps,
+        overrides=overrides,
+        progress=progress,
+        telemetry=telemetry,
     )
 
 
@@ -184,9 +304,17 @@ def run_linpack_element(
     progress=None,
     telemetry=None,
 ) -> LinpackResult:
-    """Single compute element Linpack (the Section VI.B setting)."""
+    """Deprecated: build a :class:`repro.session.Scenario` (default grid is
+    already the single-element Section VI.B setting) and call
+    :meth:`repro.session.Session.run` instead.  Results are identical."""
+    warnings.warn(
+        "run_linpack_element() is deprecated; build a repro.session.Scenario "
+        "and call Session.run() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     cluster = single_element_cluster(gpu_clock_mhz, variability)
-    return run_linpack(
+    return _run_linpack(
         configuration,
         n,
         cluster,

@@ -1,0 +1,125 @@
+"""The front door: describe a run as data, then execute it.
+
+A :class:`Scenario` is a frozen, keyword-only description of one Linpack
+experiment — which :class:`~repro.hpl.driver.Configuration` to build, the
+problem order, the machine it runs over, the variability and fault schedule
+it meets, and the seeds that make all of it reproducible.  A
+:class:`Session` executes a scenario::
+
+    from repro.session import Scenario, Session
+
+    result = Session(Scenario(configuration="acmlg_both", n=40000)).run()
+    print(result.gflops, result.degraded)
+
+Every knob is validated at construction time (unknown configurations and
+typo'd ``overrides`` keys raise immediately, with the valid names in the
+message), so a scenario that constructs is a scenario that runs.  The old
+free functions ``run_linpack`` / ``run_linpack_element`` survive as
+deprecated shims delegating to the same implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.faults.spec import FaultSpec
+from repro.hpl.driver import (
+    Configuration,
+    LinpackResult,
+    _run_linpack,
+    single_element_cluster,
+    validate_overrides,
+)
+from repro.hpl.grid import ProcessGrid
+from repro.machine.cluster import Cluster
+from repro.machine.presets import STANDARD_CLOCK_MHZ
+from repro.machine.variability import VariabilitySpec
+from repro.util.validation import require, require_positive
+
+__all__ = ["Scenario", "Session", "run"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class Scenario:
+    """One Linpack experiment, fully described and validated up front.
+
+    With no ``cluster``, the run uses the single-element Section VI.B
+    testbed (built from ``gpu_clock_mhz`` / ``variability`` /
+    ``cluster_seed``).  Passing an explicit ``cluster`` means the machine is
+    already fully specified — combining it with ``gpu_clock_mhz`` or
+    ``variability`` is rejected rather than silently ignored.
+    """
+
+    configuration: "str | Configuration"
+    n: int
+    cluster: Optional[Cluster] = None
+    grid: "ProcessGrid | tuple[int, int]" = (1, 1)
+    gpu_clock_mhz: float = STANDARD_CLOCK_MHZ
+    variability: Optional[VariabilitySpec] = None
+    seed: int = 7
+    cluster_seed: int = 2009
+    faults: Optional[FaultSpec] = None
+    overrides: Optional[Mapping] = None
+    collect_steps: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive(self.n, "n")
+        object.__setattr__(
+            self, "configuration", Configuration.parse(self.configuration)
+        )
+        validate_overrides(dict(self.overrides) if self.overrides else None)
+        if not isinstance(self.grid, ProcessGrid):
+            nprow, npcol = self.grid
+            object.__setattr__(self, "grid", ProcessGrid(nprow, npcol))
+        if self.cluster is not None:
+            require(
+                self.variability is None
+                and self.gpu_clock_mhz == STANDARD_CLOCK_MHZ,
+                "an explicit cluster already fixes the machine; do not also "
+                "pass gpu_clock_mhz or variability",
+            )
+
+    def build_cluster(self) -> Cluster:
+        """The cluster this scenario runs over (building the default lazily)."""
+        if self.cluster is not None:
+            return self.cluster
+        return single_element_cluster(
+            self.gpu_clock_mhz, self.variability, seed=self.cluster_seed
+        )
+
+
+class Session:
+    """Executes a :class:`Scenario`; reusable, stateless between runs."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+
+    def run(self, progress=None, telemetry=None) -> LinpackResult:
+        """Run the scenario once and return its :class:`LinpackResult`.
+
+        *progress* is called with each panel's
+        :class:`~repro.hpl.analytic.StepTrace`; *telemetry* (a
+        :class:`repro.obs.Telemetry`, defaulting to the ambient one)
+        receives per-panel spans, GFLOPS series and — under an active
+        :class:`~repro.faults.FaultSpec` — the ``faults.*`` counters and
+        fault-track instants.  Neither hook affects results.
+        """
+        s = self.scenario
+        return _run_linpack(
+            s.configuration,
+            s.n,
+            s.build_cluster(),
+            s.grid,
+            seed=s.seed,
+            collect_steps=s.collect_steps,
+            overrides=dict(s.overrides) if s.overrides else None,
+            progress=progress,
+            telemetry=telemetry,
+            faults=s.faults,
+        )
+
+
+def run(scenario: Scenario, progress=None, telemetry=None) -> LinpackResult:
+    """Convenience one-shot: ``Session(scenario).run(...)``."""
+    return Session(scenario).run(progress=progress, telemetry=telemetry)

@@ -1,0 +1,129 @@
+"""Fault injection through the analytic Linpack stepper (Session API)."""
+
+import pytest
+
+from repro.faults import FaultSpec, GpuDropout, GpuThrottle, PcieFaultSpec
+from repro.hpl.driver import Configuration
+from repro.machine.variability import NO_VARIABILITY
+from repro.session import Scenario, Session, run
+
+N = 12000
+SEED = 11
+
+
+def scenario(configuration=Configuration.ACMLG_BOTH, **kw):
+    kw.setdefault("n", N)
+    kw.setdefault("seed", SEED)
+    return Scenario(configuration=configuration, **kw)
+
+
+class TestDeterminism:
+    def test_same_spec_and_seed_is_bit_identical(self):
+        faults = FaultSpec(
+            throttles=(GpuThrottle(at=10.0, clock_factor=0.6),),
+            pcie=PcieFaultSpec(fail_probability=0.2, at=5.0),
+        )
+        a = run(scenario(faults=faults, collect_steps=True))
+        b = run(scenario(faults=faults, collect_steps=True))
+        assert a.gflops == b.gflops
+        assert a.elapsed == b.elapsed
+        assert [s.step_time for s in a.analytic.steps] == [
+            s.step_time for s in b.analytic.steps
+        ]
+
+    def test_clean_run_is_unaffected_by_empty_spec(self):
+        clean = run(scenario())
+        empty = run(scenario(faults=FaultSpec()))
+        assert empty.gflops == clean.gflops
+        assert empty.degraded is None
+
+
+class TestThrottle:
+    def test_throttle_slows_the_run_and_marks_it_degraded(self):
+        clean = run(scenario(configuration=Configuration.STATIC_PEAK))
+        faulted = run(
+            scenario(
+                configuration=Configuration.STATIC_PEAK,
+                faults=FaultSpec(throttles=(GpuThrottle(at=0.0, clock_factor=0.55),)),
+            )
+        )
+        assert faulted.elapsed > clean.elapsed
+        assert faulted.degraded.gpu_throttled
+        assert [e.kind for e in faulted.degraded.events] == ["gpu_throttle"]
+
+    def test_only_adaptive_recovers_the_clock(self):
+        """Adaptive sheds load below the threshold and un-throttles; the
+        static peak-trained split keeps feeding the hot GPU and never does."""
+
+        def kinds(configuration):
+            clean = run(scenario(configuration=configuration))
+            throttle = GpuThrottle(
+                at=0.3 * clean.elapsed,
+                clock_factor=0.55,
+                shed_threshold=0.86,
+                recovery_s=0.15 * clean.elapsed,
+            )
+            faulted = run(
+                scenario(configuration=configuration, faults=FaultSpec(throttles=(throttle,)))
+            )
+            return [e.kind for e in faulted.degraded.events]
+
+        assert "gpu_clock_restored" in kinds(Configuration.ACMLG_BOTH)
+        assert "gpu_clock_restored" not in kinds(Configuration.STATIC_PEAK)
+
+
+class TestDropout:
+    def test_adaptive_falls_back_to_cpu_only_rates(self):
+        """After a GPU loss the adaptive mapping must match the cpu_only
+        mapping's per-step update times exactly (the cpu_only_dgemm path)."""
+        dropped = run(
+            scenario(
+                variability=NO_VARIABILITY,
+                collect_steps=True,
+                faults=FaultSpec(dropouts=(GpuDropout(at=0.0),)),
+            )
+        )
+        cpu_only = run(
+            scenario(
+                variability=NO_VARIABILITY,
+                collect_steps=True,
+                overrides={"mapping": "cpu_only"},
+            )
+        )
+        for a, b in zip(dropped.analytic.steps, cpu_only.analytic.steps):
+            assert a.update_time == pytest.approx(b.update_time, rel=1e-12)
+        assert dropped.degraded.gpu_lost
+
+    def test_non_adaptive_rides_the_failsafe_rate(self):
+        """A mapping that cannot react keeps offloading into the dead device
+        and lands far below the adaptive fallback."""
+        faults = FaultSpec(dropouts=(GpuDropout(at=0.0),))
+        adaptive = run(scenario(variability=NO_VARIABILITY, faults=faults))
+        static = run(
+            scenario(
+                configuration=Configuration.STATIC_PEAK,
+                variability=NO_VARIABILITY,
+                faults=faults,
+            )
+        )
+        assert static.gflops < 0.5 * adaptive.gflops
+
+
+class TestPcieInflation:
+    def test_transfer_inflation_slows_the_analytic_run(self):
+        clean = run(scenario(configuration=Configuration.ACMLG_PIPE))
+        faulted = run(
+            scenario(
+                configuration=Configuration.ACMLG_PIPE,
+                faults=FaultSpec(pcie=PcieFaultSpec(fail_probability=0.5)),
+            )
+        )
+        assert faulted.elapsed > clean.elapsed
+        assert faulted.degraded.pcie_degraded
+
+    def test_window_outside_the_run_changes_nothing(self):
+        clean = run(scenario())
+        faulted = run(
+            scenario(faults=FaultSpec(pcie=PcieFaultSpec(fail_probability=0.5, at=1e9)))
+        )
+        assert faulted.gflops == clean.gflops

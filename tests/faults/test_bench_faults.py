@@ -1,0 +1,24 @@
+"""Smoke test for the ``repro.bench faults`` scenario at a tiny size."""
+
+from repro.bench.faults_bench import faults_study
+
+
+def test_faults_study_smoke():
+    data = faults_study(n=9000, seed=11)
+    assert data.series["ACMLG+both"]
+    assert data.series["Static"]
+    summary = data.summary
+    assert isinstance(
+        summary["adaptive recovered >= 90% of pre-throttle rate"], bool
+    )
+    assert isinstance(
+        summary["static recovered >= 90% of pre-throttle rate"], bool
+    )
+    assert summary["dropout: max per-step update gap vs cpu_only (s)"] == 0.0
+    assert summary["pcie retry storm: transfers retried (DES pipeline)"] >= 0
+    assert "ACMLG+both: fault events" in summary
+    # The study owns its telemetry when none is ambient, so the rendered
+    # report carries the fault counters.
+    text = data.render()
+    assert "faults.events" in text
+    assert "faults.pcie_retries" in text

@@ -1,0 +1,198 @@
+"""Unit tests for the fault spec validation and the injector state machine."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    NO_FAULTS,
+    FaultInjector,
+    FaultSpec,
+    GpuDropout,
+    GpuThrottle,
+    PcieFaultSpec,
+    Straggler,
+)
+
+
+class TestSpecValidation:
+    def test_throttle_rejects_bad_clock_factor(self):
+        with pytest.raises(ValueError):
+            GpuThrottle(at=1.0, clock_factor=0.0)
+        with pytest.raises(ValueError):
+            GpuThrottle(at=1.0, clock_factor=1.0)
+
+    def test_throttle_rejects_negative_at_and_zero_recovery(self):
+        with pytest.raises(ValueError):
+            GpuThrottle(at=-1.0)
+        with pytest.raises(ValueError):
+            GpuThrottle(at=0.0, recovery_s=0.0)
+
+    def test_straggler_rejects_inverted_window_and_unknown_side(self):
+        with pytest.raises(ValueError):
+            Straggler(at=5.0, until=5.0)
+        with pytest.raises(ValueError):
+            Straggler(at=0.0, side="dimm")
+
+    def test_pcie_rejects_certain_failure(self):
+        with pytest.raises(ValueError):
+            PcieFaultSpec(fail_probability=1.0)
+
+    def test_pcie_window_and_inflation(self):
+        pcie = PcieFaultSpec(fail_probability=0.5, at=2.0, until=4.0)
+        assert not pcie.active(1.9)
+        assert pcie.active(2.0)
+        assert pcie.active(3.999)
+        assert not pcie.active(4.0)
+        assert pcie.expected_inflation() == pytest.approx(2.0)
+
+    def test_spec_truthiness_and_max_element(self):
+        assert not NO_FAULTS
+        assert not FaultSpec()
+        assert FaultSpec(pcie=PcieFaultSpec())
+        spec = FaultSpec(
+            throttles=(GpuThrottle(at=0.0),),  # element=None does not count
+            dropouts=(GpuDropout(at=0.0, element=3),),
+            stragglers=(Straggler(at=0.0, element=1),),
+        )
+        assert spec
+        assert spec.max_element() == 3
+        assert NO_FAULTS.max_element() == -1
+
+
+class TestInjectorSchedule:
+    def test_rejects_spec_naming_missing_element(self):
+        spec = FaultSpec(dropouts=(GpuDropout(at=0.0, element=4),))
+        with pytest.raises(ValueError, match="element 4"):
+            FaultInjector(spec, n_elements=2)
+
+    def test_throttle_fires_at_trigger_time(self):
+        injector = FaultInjector(
+            FaultSpec(throttles=(GpuThrottle(at=10.0, clock_factor=0.5),)),
+            n_elements=2,
+        )
+        injector.advance(9.9)
+        assert np.allclose(injector.gpu_factor(), 1.0)
+        injector.advance(10.0)
+        assert np.allclose(injector.gpu_factor(), 0.5)
+        assert [e.kind for e in injector.events] == ["gpu_throttle"]
+
+    def test_dropout_kills_one_element(self):
+        injector = FaultInjector(
+            FaultSpec(dropouts=(GpuDropout(at=5.0, element=1, failsafe_factor=0.02),)),
+            n_elements=3,
+        )
+        injector.advance(6.0)
+        assert list(injector.gpu_alive()) == [True, False, True]
+        assert injector.gpu_factor()[1] == pytest.approx(0.02)
+        assert injector.gpu_factor()[0] == 1.0
+        assert injector.degraded_mode().gpu_lost
+
+    def test_straggler_window_opens_and_closes(self):
+        injector = FaultInjector(
+            FaultSpec(stragglers=(Straggler(at=2.0, until=8.0, element=0, factor=0.5, side="both"),)),
+            n_elements=1,
+        )
+        injector.advance(1.0)
+        assert injector.cpu_factor()[0] == 1.0
+        injector.advance(3.0)
+        assert injector.cpu_factor()[0] == pytest.approx(0.5)
+        assert injector.gpu_factor()[0] == pytest.approx(0.5)
+        injector.advance(8.0)
+        assert injector.cpu_factor()[0] == 1.0
+        assert [e.kind for e in injector.events] == ["straggler_on", "straggler_off"]
+
+    def test_cpu_side_straggler_leaves_gpu_alone(self):
+        injector = FaultInjector(
+            FaultSpec(stragglers=(Straggler(at=0.0, element=0, factor=0.25, side="cpu"),)),
+            n_elements=1,
+        )
+        injector.advance(1.0)
+        assert injector.cpu_factor()[0] == pytest.approx(0.25)
+        assert injector.gpu_factor()[0] == 1.0
+
+
+class TestThrottleRecovery:
+    def spec(self, recovery_s=4.0):
+        return FaultSpec(
+            throttles=(
+                GpuThrottle(at=0.0, clock_factor=0.5, shed_threshold=0.8, recovery_s=recovery_s),
+            )
+        )
+
+    def test_shed_load_recovers_the_clock(self):
+        injector = FaultInjector(self.spec(), n_elements=1)
+        injector.advance(0.0)
+        t = 0.0
+        while injector.gpu_factor()[0] < 1.0 and t < 20.0:
+            t += 1.0
+            injector.advance(t)
+            injector.note_load(np.array([0.5]), t)  # below shed_threshold
+        assert injector.gpu_factor()[0] == 1.0
+        assert "gpu_clock_restored" in [e.kind for e in injector.events]
+
+    def test_full_load_never_recovers(self):
+        injector = FaultInjector(self.spec(), n_elements=1)
+        injector.advance(0.0)
+        for t in range(1, 30):
+            injector.advance(float(t))
+            injector.note_load(np.array([0.889]), float(t))  # above shed_threshold
+        assert injector.gpu_factor()[0] == pytest.approx(0.5)
+
+    def test_cooling_credit_accumulates_non_consecutively(self):
+        injector = FaultInjector(self.spec(recovery_s=3.0), n_elements=1)
+        injector.advance(0.0)
+        loads = [0.5, 0.9, 0.5, 0.9, 0.5, 0.5]  # 4 shed seconds, split up
+        for t, load in enumerate(loads, start=1):
+            injector.advance(float(t))
+            injector.note_load(np.array([load]), float(t))
+        assert injector.gpu_factor()[0] == 1.0
+
+    def test_permanent_throttle_ignores_load(self):
+        injector = FaultInjector(
+            FaultSpec(throttles=(GpuThrottle(at=0.0, clock_factor=0.5),)), n_elements=1
+        )
+        injector.advance(0.0)
+        for t in range(1, 10):
+            injector.advance(float(t))
+            injector.note_load(np.array([0.0]), float(t))
+        assert injector.gpu_factor()[0] == pytest.approx(0.5)
+
+
+class TestPcieDraws:
+    def test_same_seed_same_failure_sequence(self):
+        spec = FaultSpec(pcie=PcieFaultSpec(fail_probability=0.3))
+        draws = []
+        for _ in range(2):
+            injector = FaultInjector(spec, n_elements=1, seed=42)
+            draws.append([injector.pcie_transfer_fails(float(t)) for t in range(200)])
+        assert draws[0] == draws[1]
+        assert any(draws[0])
+        assert not all(draws[0])
+
+    def test_no_pcie_spec_never_fails(self):
+        injector = FaultInjector(NO_FAULTS, n_elements=1, seed=1)
+        assert not any(injector.pcie_transfer_fails(float(t)) for t in range(100))
+
+    def test_window_gates_failures(self):
+        spec = FaultSpec(pcie=PcieFaultSpec(fail_probability=0.9, at=10.0, until=20.0))
+        injector = FaultInjector(spec, n_elements=1, seed=0)
+        assert not injector.pcie_transfer_fails(5.0)
+        assert not injector.pcie_transfer_fails(25.0)
+
+
+class TestDegradedMode:
+    def test_clean_injector_reports_none(self):
+        injector = FaultInjector(NO_FAULTS, n_elements=2)
+        injector.advance(100.0)
+        assert injector.degraded_mode() is None
+
+    def test_describe_lists_what_happened(self):
+        injector = FaultInjector(
+            FaultSpec(dropouts=(GpuDropout(at=0.0),)), n_elements=1
+        )
+        injector.advance(1.0)
+        injector.record_pcie_retry(2.0)
+        mode = injector.degraded_mode()
+        assert mode
+        assert "gpu-lost" in mode.describe()
+        assert "pcie-retries=1" in mode.describe()

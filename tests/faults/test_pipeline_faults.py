@@ -1,0 +1,79 @@
+"""PCIe fault retry/backoff behaviour of the DES pipeline executors."""
+
+import pytest
+
+from repro.core.pipeline import SoftwarePipeline, SyncExecutor
+from repro.core.taskqueue import build_task_queue
+from repro.faults import FaultInjector, FaultSpec, PcieFaultSpec, PcieTransferError
+from repro.machine.node import ComputeElement
+from repro.machine.presets import tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.sim import Simulator
+
+RATE = 150e9
+
+
+def make_element():
+    sim = Simulator()
+    return ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+
+
+def run_with_faults(executor_cls, pcie=None, seed=3, n=16384):
+    element = make_element()
+    injector = None
+    if pcie is not None:
+        injector = FaultInjector(
+            FaultSpec(pcie=pcie), n_elements=1, seed=seed, telemetry=None
+        )
+    executor = executor_cls(element, jitter=False, fault_injector=injector)
+    queue = build_task_queue(n, n, 1216, beta_nonzero=False, gpu_memory_bytes=1e9)
+    sim = element.sim
+    return sim.run(until=sim.process(executor.execute(queue, RATE)))
+
+
+@pytest.mark.parametrize("executor_cls", [SoftwarePipeline, SyncExecutor])
+class TestRetries:
+    def test_clean_run_has_no_fault_state(self, executor_cls):
+        result = run_with_faults(executor_cls)
+        assert result.retries == 0
+        assert result.degraded is None
+
+    def test_faulty_window_produces_retries(self, executor_cls):
+        result = run_with_faults(
+            executor_cls, PcieFaultSpec(fail_probability=0.2, max_retries=20)
+        )
+        assert result.retries > 0
+        assert result.degraded.pcie_retries == result.retries
+        clean = run_with_faults(executor_cls)
+        assert result.duration > clean.duration
+
+    def test_retry_sequence_is_seed_deterministic(self, executor_cls):
+        pcie = PcieFaultSpec(fail_probability=0.25, max_retries=20)
+        a = run_with_faults(executor_cls, pcie, seed=9)
+        b = run_with_faults(executor_cls, pcie, seed=9)
+        assert a.retries == b.retries
+        assert a.duration == b.duration
+
+    def test_exhausted_retries_raise(self, executor_cls):
+        with pytest.raises(PcieTransferError, match="after 2 retries"):
+            run_with_faults(
+                executor_cls,
+                PcieFaultSpec(fail_probability=0.999, max_retries=2),
+                seed=1,
+            )
+
+
+def test_backoff_delays_accumulate():
+    """Each retry waits backoff_s * multiplier**attempt on the virtual clock."""
+    slow = run_with_faults(
+        SyncExecutor,
+        PcieFaultSpec(fail_probability=0.2, max_retries=20, backoff_s=0.05),
+        seed=5,
+    )
+    fast = run_with_faults(
+        SyncExecutor,
+        PcieFaultSpec(fail_probability=0.2, max_retries=20, backoff_s=1e-6),
+        seed=5,
+    )
+    assert slow.retries == fast.retries  # same seeded failure draw sequence
+    assert slow.duration > fast.duration

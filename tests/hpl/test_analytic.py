@@ -9,12 +9,8 @@ from repro.hpl.analytic import (
     _first_local_at_or_after,
     _local_count,
 )
-from repro.hpl.driver import (
-    CONFIGURATIONS,
-    run_linpack,
-    run_linpack_element,
-    single_element_cluster,
-)
+from repro.hpl.driver import CONFIGURATIONS, single_element_cluster
+from repro.session import Scenario, run as run_scenario
 from repro.hpl.grid import BlockCyclic, ProcessGrid
 from repro.machine.cluster import Cluster
 from repro.machine.presets import tianhe1_cluster
@@ -37,7 +33,11 @@ class TestVectorizedBlockCyclicHelpers:
 
 class TestAnalyticBasics:
     def run(self, config_name="acmlg_both", n=10000, **kw):
-        return run_linpack_element(config_name, n, variability=NO_VARIABILITY, **kw)
+        return run_scenario(
+            Scenario(
+                configuration=config_name, n=n, variability=NO_VARIABILITY, **kw
+            )
+        )
 
     def test_gflops_uses_hpl_workload(self):
         r = self.run(n=8000)
@@ -45,7 +45,7 @@ class TestAnalyticBasics:
         assert r.gflops == pytest.approx(lu_flops(8000) / r.elapsed / 1e9)
 
     def test_steps_cover_all_flops(self):
-        r = run_linpack_element("acmlg_both", 10000, variability=NO_VARIABILITY, collect_steps=True)
+        r = self.run(n=10000, collect_steps=True)
         steps = r.analytic.steps
         assert len(steps) == -(-10000 // 1216)
         assert steps[-1].cum_flops == pytest.approx((2 / 3) * 10000**3)
@@ -53,7 +53,7 @@ class TestAnalyticBasics:
         assert times == sorted(times)
 
     def test_progress_curve_monotone_fractions(self):
-        r = run_linpack_element("acmlg_both", 20000, variability=NO_VARIABILITY, collect_steps=True)
+        r = self.run(n=20000, collect_steps=True)
         curve = r.analytic.progress_curve()
         fractions = [f for f, _ in curve]
         assert fractions == sorted(fractions)
@@ -75,8 +75,8 @@ class TestAnalyticBasics:
             AnalyticConfig(mapping="magic")
 
     def test_unknown_configuration_rejected(self):
-        with pytest.raises(ValueError):
-            run_linpack_element("nope", 1000)
+        with pytest.raises(ValueError, match="valid configurations"):
+            Scenario(configuration="nope", n=1000)
 
     def test_grid_larger_than_table_rejected(self):
         cluster = single_element_cluster()
@@ -94,7 +94,9 @@ class TestPaperOrderings:
     @pytest.fixture(scope="class")
     def results(self):
         return {
-            name: run_linpack_element(name, 46000, variability=NO_VARIABILITY).gflops
+            name: run_scenario(
+                Scenario(configuration=name, n=46000, variability=NO_VARIABILITY)
+            ).gflops
             for name in CONFIGURATIONS
         }
 
@@ -128,7 +130,12 @@ class TestMultiElement:
     def test_cabinet_anchor(self):
         """Fig 12: one cabinet ~ 8.02 TFLOPS at the downclocked frequency."""
         cluster = Cluster(tianhe1_cluster(cabinets=1), seed=2009)
-        r = run_linpack("acmlg_both", 280_000, cluster, ProcessGrid(8, 8))
+        r = run_scenario(
+            Scenario(
+                configuration="acmlg_both", n=280_000, cluster=cluster,
+                grid=ProcessGrid(8, 8),
+            )
+        )
         assert r.tflops == pytest.approx(8.02, rel=0.10)
 
     def test_scaling_efficiency_band(self):
@@ -136,13 +143,19 @@ class TestMultiElement:
 
         Efficiency per cabinet must degrade gently (> 80% at 4 cabinets).
         """
-        one = run_linpack(
-            "acmlg_both", 280_000, Cluster(tianhe1_cluster(cabinets=1), seed=2009),
-            ProcessGrid(8, 8),
+        one = run_scenario(
+            Scenario(
+                configuration="acmlg_both", n=280_000,
+                cluster=Cluster(tianhe1_cluster(cabinets=1), seed=2009),
+                grid=ProcessGrid(8, 8),
+            )
         )
-        four = run_linpack(
-            "acmlg_both", 560_000, Cluster(tianhe1_cluster(cabinets=4), seed=2009),
-            ProcessGrid(16, 16),
+        four = run_scenario(
+            Scenario(
+                configuration="acmlg_both", n=560_000,
+                cluster=Cluster(tianhe1_cluster(cabinets=4), seed=2009),
+                grid=ProcessGrid(16, 16),
+            )
         )
         efficiency = four.tflops / (4 * one.tflops)
         assert 0.8 < efficiency <= 1.0
@@ -151,16 +164,29 @@ class TestMultiElement:
         cluster = Cluster(tianhe1_cluster(cabinets=1, gpu_clock_mhz=750.0), seed=2009)
         gaps = []
         for seed in (1, 2, 3):
-            ours = run_linpack("acmlg_both", 150_000, cluster, ProcessGrid(8, 8), seed=seed)
-            qilin = run_linpack("qilin", 150_000, cluster, ProcessGrid(8, 8), seed=seed)
+            ours = run_scenario(
+                Scenario(
+                    configuration="acmlg_both", n=150_000, cluster=cluster,
+                    grid=ProcessGrid(8, 8), seed=seed,
+                )
+            )
+            qilin = run_scenario(
+                Scenario(
+                    configuration="qilin", n=150_000, cluster=cluster,
+                    grid=ProcessGrid(8, 8), seed=seed,
+                )
+            )
             gaps.append(ours.gflops / qilin.gflops - 1)
         assert np.mean(gaps) > 0.03  # paper: +15.56%; we reproduce the direction
 
     def test_endgame_performance_drop(self):
         """Fig 13: the running average drops in the final progress percent."""
         cluster = Cluster(tianhe1_cluster(cabinets=1), seed=2009)
-        r = run_linpack(
-            "acmlg_both", 200_000, cluster, ProcessGrid(8, 8), collect_steps=True
+        r = run_scenario(
+            Scenario(
+                configuration="acmlg_both", n=200_000, cluster=cluster,
+                grid=ProcessGrid(8, 8), collect_steps=True,
+            )
         )
         curve = r.analytic.progress_curve()
         peak = max(g for _, g in curve)
@@ -168,8 +194,11 @@ class TestMultiElement:
         assert final < peak  # the tail drags the average down
 
     def test_mean_gsplit_recorded(self):
-        r = run_linpack_element(
-            "acmlg_both", 20000, variability=NO_VARIABILITY, collect_steps=True
+        r = run_scenario(
+            Scenario(
+                configuration="acmlg_both", n=20000, variability=NO_VARIABILITY,
+                collect_steps=True,
+            )
         )
         splits = [s.mean_gsplit for s in r.analytic.steps]
         assert all(0 <= s <= 1 for s in splits)

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hpl.analytic import AnalyticConfig, AnalyticHpl
-from repro.hpl.driver import run_linpack, run_linpack_element, single_element_cluster
+from repro.session import Scenario, run as run_scenario
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
 from repro.machine.presets import tianhe1_cluster
@@ -14,19 +14,29 @@ from repro.machine.variability import NO_VARIABILITY
 from repro.util.units import lu_flops
 
 
+def run_element(configuration, n, **kw):
+    return run_scenario(Scenario(configuration=configuration, n=n, **kw))
+
+
+def run_grid(configuration, n, cluster, grid, **kw):
+    return run_scenario(
+        Scenario(configuration=configuration, n=n, cluster=cluster, grid=grid, **kw)
+    )
+
+
 class TestSingleElementProperties:
     @given(st.integers(3, 40))
     @settings(max_examples=15, deadline=None)
     def test_never_exceeds_element_peak(self, n_thousands):
         n = n_thousands * 1000
-        result = run_linpack_element("acmlg_both", n, variability=NO_VARIABILITY)
+        result = run_element("acmlg_both", n, variability=NO_VARIABILITY)
         assert result.gflops * 1e9 < 280.5e9
 
     @given(st.integers(3, 40))
     @settings(max_examples=15, deadline=None)
     def test_cpu_only_never_exceeds_socket_peak(self, n_thousands):
         n = n_thousands * 1000
-        result = run_linpack_element("cpu", n, variability=NO_VARIABILITY)
+        result = run_element("cpu", n, variability=NO_VARIABILITY)
         assert result.gflops * 1e9 < 40.48e9
 
     @given(st.integers(5, 30), st.integers(5, 30))
@@ -41,15 +51,15 @@ class TestSingleElementProperties:
         lo, hi = sorted((a * 1000, b * 1000))
         if hi < lo * 1.4:
             return
-        r_lo = run_linpack_element("acmlg_both", lo, variability=NO_VARIABILITY)
-        r_hi = run_linpack_element("acmlg_both", hi, variability=NO_VARIABILITY)
+        r_lo = run_element("acmlg_both", lo, variability=NO_VARIABILITY)
+        r_hi = run_element("acmlg_both", hi, variability=NO_VARIABILITY)
         assert r_hi.gflops >= r_lo.gflops * 0.95
 
     @given(st.integers(200, 2000))
     @settings(max_examples=10, deadline=None)
     def test_time_is_flops_over_rate(self, n_div):
         n = n_div * 10
-        result = run_linpack_element("acmlg_both", n, variability=NO_VARIABILITY)
+        result = run_element("acmlg_both", n, variability=NO_VARIABILITY)
         assert result.gflops == pytest.approx(lu_flops(n) / result.elapsed / 1e9)
 
 
@@ -61,19 +71,19 @@ class TestGridProperties:
     @pytest.mark.parametrize("shape", [(1, 4), (2, 2), (4, 1)])
     def test_grid_aspect_affects_but_not_wildly(self, cluster, shape):
         """Any 4-process grid lands within 25% of the square one."""
-        square = run_linpack("acmlg_both", 60000, cluster, ProcessGrid(2, 2)).gflops
-        other = run_linpack("acmlg_both", 60000, cluster, ProcessGrid(*shape)).gflops
+        square = run_grid("acmlg_both", 60000, cluster, ProcessGrid(2, 2)).gflops
+        other = run_grid("acmlg_both", 60000, cluster, ProcessGrid(*shape)).gflops
         assert other == pytest.approx(square, rel=0.25)
 
     def test_more_processes_more_throughput(self, cluster):
-        one = run_linpack("acmlg_both", 40000, cluster, ProcessGrid(1, 1)).gflops
-        four = run_linpack("acmlg_both", 80000, cluster, ProcessGrid(2, 2)).gflops
-        sixteen = run_linpack("acmlg_both", 160000, cluster, ProcessGrid(4, 4)).gflops
+        one = run_grid("acmlg_both", 40000, cluster, ProcessGrid(1, 1)).gflops
+        four = run_grid("acmlg_both", 80000, cluster, ProcessGrid(2, 2)).gflops
+        sixteen = run_grid("acmlg_both", 160000, cluster, ProcessGrid(4, 4)).gflops
         assert one < four < sixteen
 
     def test_weak_scaling_efficiency_reasonable(self, cluster):
-        one = run_linpack("acmlg_both", 40000, cluster, ProcessGrid(1, 1)).gflops
-        sixteen = run_linpack("acmlg_both", 160000, cluster, ProcessGrid(4, 4)).gflops
+        one = run_grid("acmlg_both", 40000, cluster, ProcessGrid(1, 1)).gflops
+        sixteen = run_grid("acmlg_both", 160000, cluster, ProcessGrid(4, 4)).gflops
         assert sixteen / (16 * one) > 0.55
 
 
@@ -85,7 +95,7 @@ class TestMappingOrderInvariance:
     def test_ordering(self, n_thousands):
         n = n_thousands * 1000
         values = {
-            name: run_linpack_element(name, n, variability=NO_VARIABILITY).gflops
+            name: run_element(name, n, variability=NO_VARIABILITY).gflops
             for name in ("cpu", "acmlg", "acmlg_both")
         }
         assert values["acmlg_both"] > values["acmlg"] > values["cpu"]
@@ -96,8 +106,8 @@ class TestEndgameFallbackProperty:
     @settings(max_examples=8, deadline=None)
     def test_fallback_never_hurts(self, n_thousands):
         n = n_thousands * 1000
-        base = run_linpack_element("acmlg_both", n, variability=NO_VARIABILITY)
-        opt = run_linpack_element(
+        base = run_element("acmlg_both", n, variability=NO_VARIABILITY)
+        opt = run_element(
             "acmlg_both", n, variability=NO_VARIABILITY,
             overrides={"endgame_cpu_fallback": True},
         )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.adaptive import AdaptiveMapper
 from repro.core.static_map import StaticMapper
-from repro.hpl.driver import run_linpack_element
+from repro.session import Scenario, run as run_scenario
 from repro.hpl.element_linpack import ElementLinpack
 from repro.machine.node import ComputeElement
 from repro.machine.presets import tianhe1_element
@@ -82,7 +82,9 @@ class TestCrossValidation:
         runner = make_runner(n_for_bins=n)
         runner.run_to_completion(n)  # warm databases (second-run protocol)
         des = runner.run_to_completion(n).gflops
-        analytic = run_linpack_element("acmlg_both", n, variability=NO_VARIABILITY).gflops
+        analytic = run_scenario(
+            Scenario(configuration="acmlg_both", n=n, variability=NO_VARIABILITY)
+        ).gflops
         # The analytic stepper assumes converged splits and folds DTRSM into
         # the update's effective rate, so it sits above the exact DES run;
         # the gap closes with N (0.70 at 12k, 0.90 at 46k).

@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.adaptive import AdaptiveMapper
 from repro.core.hybrid_dgemm import HybridDgemm, cpu_only_dgemm
-from repro.hpl.driver import run_linpack
+from repro.session import Scenario, run as run_scenario
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
 from repro.machine.node import ComputeElement
@@ -88,5 +88,10 @@ class TestMixedClusterLinpack:
         """A grid spanning both populations runs and is internally consistent."""
         spec = tianhe1_cluster(cabinets=80, variability=NO_VARIABILITY)
         cluster = Cluster(spec, seed=2009)
-        result = run_linpack("acmlg_both", 400_000, cluster, ProcessGrid(16, 32))
+        result = run_scenario(
+            Scenario(
+                configuration="acmlg_both", n=400_000, cluster=cluster,
+                grid=ProcessGrid(16, 32),
+            )
+        )
         assert result.tflops > 50

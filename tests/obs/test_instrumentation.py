@@ -10,7 +10,7 @@ import numpy as np
 from repro import obs
 from repro.core.adaptive import AdaptiveMapper, update_overhead_seconds
 from repro.core.hybrid_dgemm import HybridDgemm
-from repro.hpl.driver import run_linpack_element
+from repro.session import Scenario, run as run_scenario
 from repro.machine.node import ComputeElement
 from repro.machine.presets import tianhe1_element
 from repro.machine.variability import NO_VARIABILITY
@@ -121,8 +121,10 @@ class TestHplInstrumentation:
     def test_progress_callback_and_panel_metrics(self):
         telemetry = obs.Telemetry()
         steps = []
-        result = run_linpack_element(
-            "acmlg_both", 11500, progress=steps.append, telemetry=telemetry
+        result = run_scenario(
+            Scenario(configuration="acmlg_both", n=11500),
+            progress=steps.append,
+            telemetry=telemetry,
         )
         assert steps, "progress callback never fired"
         metrics = telemetry.metrics
@@ -159,7 +161,8 @@ class TestBitIdentical:
         assert np.array_equal(amb_db, base_db)
 
     def test_linpack_result_identical(self):
-        plain = run_linpack_element("acmlg_both", 11500)
-        traced = run_linpack_element("acmlg_both", 11500, telemetry=obs.Telemetry())
+        scenario = Scenario(configuration="acmlg_both", n=11500)
+        plain = run_scenario(scenario)
+        traced = run_scenario(scenario, telemetry=obs.Telemetry())
         assert traced.gflops == plain.gflops
         assert traced.elapsed == plain.elapsed

@@ -51,8 +51,13 @@ class TestPublicApi:
         assert 0 <= result.gsplit <= 1
 
     def test_readme_cluster_example_runs(self):
-        from repro import Cluster, ProcessGrid, run_linpack, tianhe1_cluster
+        from repro import Cluster, ProcessGrid, Scenario, Session, tianhe1_cluster
 
         cluster = Cluster(tianhe1_cluster(cabinets=1))
-        result = run_linpack("acmlg_both", 80_000, cluster, ProcessGrid(2, 2))
+        result = Session(
+            Scenario(
+                configuration="acmlg_both", n=80_000, cluster=cluster,
+                grid=ProcessGrid(2, 2),
+            )
+        ).run()
         assert result.tflops > 0.3

@@ -1,0 +1,127 @@
+"""The Scenario/Session front door: validation, normalization, shim parity."""
+
+import pytest
+
+from repro.hpl.driver import (
+    Configuration,
+    run_linpack,
+    run_linpack_element,
+    single_element_cluster,
+    validate_overrides,
+)
+from repro.hpl.grid import ProcessGrid
+from repro.machine.variability import VariabilitySpec
+from repro.session import Scenario, Session, run
+
+N = 8000
+
+
+class TestConfigurationEnum:
+    def test_parse_accepts_strings_and_members(self):
+        assert Configuration.parse("acmlg_both") is Configuration.ACMLG_BOTH
+        assert Configuration.parse(Configuration.QILIN) is Configuration.QILIN
+
+    def test_parse_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="valid configurations"):
+            Configuration.parse("acmlg_boht")
+
+    def test_members_are_string_interchangeable(self):
+        member = Configuration.ACMLG_BOTH
+        assert member == "acmlg_both"
+        assert str(member) == "acmlg_both"
+        # Hashing matches equality in both directions, so dicts keyed either
+        # way stay reachable.
+        assert {member: 1}["acmlg_both"] == 1
+        assert {"acmlg_both": 2}[member] == 2
+
+    def test_labels_match_the_paper(self):
+        assert Configuration.ACMLG_BOTH.label == "ACMLG+both"
+        assert Configuration.STATIC_PEAK.label == "Static"
+        assert Configuration.QILIN.label == "Qilin"
+
+    def test_every_member_has_an_analytic_config(self):
+        for member in Configuration:
+            assert member.analytic.nb > 0
+
+
+class TestScenarioValidation:
+    def test_unknown_configuration_raises_at_construction(self):
+        with pytest.raises(ValueError, match="valid configurations"):
+            Scenario(configuration="nope", n=N)
+
+    def test_unknown_override_key_raises_at_construction(self):
+        with pytest.raises(ValueError, match="valid fields"):
+            Scenario(configuration="cpu", n=N, overrides={"mappingg": "cpu_only"})
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(configuration="cpu", n=0)
+
+    def test_cluster_conflicts_with_machine_knobs(self):
+        cluster = single_element_cluster()
+        with pytest.raises(ValueError, match="explicit cluster"):
+            Scenario(
+                configuration="cpu", n=N, cluster=cluster, variability=VariabilitySpec()
+            )
+        with pytest.raises(ValueError, match="explicit cluster"):
+            Scenario(configuration="cpu", n=N, cluster=cluster, gpu_clock_mhz=575.0)
+
+    def test_grid_tuple_is_normalized(self):
+        scenario = Scenario(configuration="cpu", n=N, grid=(2, 3))
+        assert isinstance(scenario.grid, ProcessGrid)
+        assert (scenario.grid.nprow, scenario.grid.npcol) == (2, 3)
+
+    def test_configuration_is_normalized_to_the_enum(self):
+        scenario = Scenario(configuration="acmlg_both", n=N)
+        assert scenario.configuration is Configuration.ACMLG_BOTH
+
+    def test_validate_overrides_lists_valid_fields(self):
+        with pytest.raises(ValueError, match="nb"):
+            validate_overrides({"block_size": 1216})
+        assert validate_overrides(None) == {}
+        assert validate_overrides({"nb": 196}) == {"nb": 196}
+
+
+class TestSessionRuns:
+    def test_run_returns_a_result(self):
+        result = Session(Scenario(configuration="cpu", n=N)).run()
+        assert result.gflops > 0
+        assert result.configuration == "cpu"
+        assert result.degraded is None
+
+    def test_module_level_run_matches_session(self):
+        scenario = Scenario(configuration="acmlg_both", n=N)
+        assert run(scenario).gflops == Session(scenario).run().gflops
+
+    def test_static_peak_configuration_runs(self):
+        result = run(Scenario(configuration=Configuration.STATIC_PEAK, n=N))
+        assert result.gflops > 0
+
+    def test_explicit_cluster_and_grid(self):
+        from repro.machine.cluster import Cluster
+        from repro.machine.presets import tianhe1_cluster
+
+        cluster = Cluster(tianhe1_cluster(cabinets=1), seed=2009)
+        result = run(
+            Scenario(configuration="acmlg_both", n=2 * N, cluster=cluster, grid=(2, 2))
+        )
+        assert result.grid == (2, 2)
+        assert result.gflops > 0
+
+
+class TestDeprecatedShims:
+    def test_run_linpack_element_warns_and_matches_session(self):
+        with pytest.warns(DeprecationWarning, match="run_linpack_element"):
+            old = run_linpack_element("acmlg_both", N, seed=7)
+        new = Session(Scenario(configuration="acmlg_both", n=N, seed=7)).run()
+        assert old.gflops == new.gflops
+        assert old.elapsed == new.elapsed
+
+    def test_run_linpack_warns_and_matches_session(self):
+        cluster = single_element_cluster()
+        with pytest.warns(DeprecationWarning, match="run_linpack"):
+            old = run_linpack("cpu", N, cluster, ProcessGrid(1, 1), seed=7)
+        new = run(
+            Scenario(configuration="cpu", n=N, cluster=cluster, seed=7)
+        )
+        assert old.gflops == new.gflops
