@@ -18,6 +18,8 @@ section shows).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro import obs
@@ -59,6 +61,72 @@ def _tail_ratio(faulted, clean, tail_fraction: float = 0.2) -> float:
     return float(np.mean(ratios[-tail:]))
 
 
+@dataclass(frozen=True)
+class ThrottleRecovery:
+    """One configuration's mid-run-throttle experiment, summarised.
+
+    ``recovery`` is the mean faulted/clean per-step rate over the run's tail
+    — 1.0 means the configuration fully regained its pre-throttle rate (the
+    GPU cooled and was restored), deep below 1.0 means it rode the throttle
+    to the finish line.
+    """
+
+    configuration: Configuration
+    n: int
+    seed: int
+    clean: object
+    faulted: object
+    recovery: float
+    step_ratios: tuple[float, ...]
+
+    @property
+    def recovered(self) -> bool:
+        """Did the run regain >= 90% of its fault-free rate after the fault?"""
+        return self.recovery >= 0.90
+
+
+def throttle_recovery(
+    configuration: Configuration,
+    n: int = 60000,
+    seed: int = 11,
+    clock_factor: float = THROTTLE_CLOCK_FACTOR,
+    tail_fraction: float = 0.2,
+) -> ThrottleRecovery:
+    """Run the mid-run thermal-throttle experiment for one configuration.
+
+    Clean and faulted runs share the seed, so the noise realisation cancels
+    exactly in the per-step ratios and any deviation from 1.0 is the fault.
+    The throttle fires at 35% of the clean run and needs the load shed below
+    :data:`SHED_THRESHOLD` for ``RECOVERY_FRACTION`` of the run to lift.
+    """
+    clean = run(Scenario(configuration=configuration, n=n, seed=seed, collect_steps=True))
+    throttle = GpuThrottle(
+        at=THROTTLE_AT_FRACTION * clean.elapsed,
+        clock_factor=clock_factor,
+        shed_threshold=SHED_THRESHOLD,
+        recovery_s=RECOVERY_FRACTION * clean.elapsed,
+    )
+    faulted = run(
+        Scenario(
+            configuration=configuration,
+            n=n,
+            seed=seed,
+            collect_steps=True,
+            faults=FaultSpec(throttles=(throttle,)),
+        )
+    )
+    ratios = _step_rates(faulted) / _step_rates(clean)
+    return ThrottleRecovery(
+        configuration=configuration,
+        n=n,
+        seed=seed,
+        clean=clean,
+        faulted=faulted,
+        recovery=_tail_ratio(faulted, clean, tail_fraction),
+        step_ratios=tuple(float(r) for r in ratios),
+    )
+
+
 def _pcie_retry_storm(seed: int, telemetry) -> int:
     """One pipelined task queue under a PCIe fault window; returns retries."""
     sim = Simulator()
@@ -90,47 +158,28 @@ def faults_study(n: int = 60000, seed: int = 11) -> SeriesData:
     )
 
     with obs.use(telemetry):
-        recoveries: dict[Configuration, float] = {}
+        results: dict[Configuration, ThrottleRecovery] = {}
         for config in (Configuration.ACMLG_BOTH, Configuration.STATIC_PEAK):
-            clean = run(
-                Scenario(configuration=config, n=n, seed=seed, collect_steps=True)
-            )
-            throttle = GpuThrottle(
-                at=THROTTLE_AT_FRACTION * clean.elapsed,
-                clock_factor=THROTTLE_CLOCK_FACTOR,
-                shed_threshold=SHED_THRESHOLD,
-                recovery_s=RECOVERY_FRACTION * clean.elapsed,
-            )
-            faulted = run(
-                Scenario(
-                    configuration=config,
-                    n=n,
-                    seed=seed,
-                    collect_steps=True,
-                    faults=FaultSpec(throttles=(throttle,)),
-                )
-            )
-            ratios = _step_rates(faulted) / _step_rates(clean)
-            for step, ratio in enumerate(ratios):
-                data.add_point(config.label, step, float(ratio))
-            recovery = _tail_ratio(faulted, clean)
-            recoveries[config] = recovery
+            study = throttle_recovery(config, n=n, seed=seed)
+            results[config] = study
+            for step, ratio in enumerate(study.step_ratios):
+                data.add_point(config.label, step, ratio)
             data.summary[
                 f"{config.label}: post-fault rate vs fault-free (last 20% of steps)"
-            ] = recovery
-            data.summary[f"{config.label}: faulted GFLOPS (clean {clean.gflops:.1f})"] = (
-                faulted.gflops
-            )
+            ] = study.recovery
+            data.summary[
+                f"{config.label}: faulted GFLOPS (clean {study.clean.gflops:.1f})"
+            ] = study.faulted.gflops
             events = ", ".join(
-                f"{e.kind}@{e.time:.1f}s" for e in faulted.degraded.events
+                f"{e.kind}@{e.time:.1f}s" for e in study.faulted.degraded.events
             )
             data.summary[f"{config.label}: fault events"] = events
 
-        data.summary["adaptive recovered >= 90% of pre-throttle rate"] = bool(
-            recoveries[Configuration.ACMLG_BOTH] >= 0.90
+        data.summary["adaptive recovered >= 90% of pre-throttle rate"] = (
+            results[Configuration.ACMLG_BOTH].recovered
         )
-        data.summary["static recovered >= 90% of pre-throttle rate"] = bool(
-            recoveries[Configuration.STATIC_PEAK] >= 0.90
+        data.summary["static recovered >= 90% of pre-throttle rate"] = (
+            results[Configuration.STATIC_PEAK].recovered
         )
 
         # -- permanent dropout: adaptive must land on the cpu configuration's

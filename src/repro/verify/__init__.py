@@ -1,0 +1,57 @@
+"""Differential verification: cross-validation, invariants, golden traces.
+
+Three layers keep the model honest:
+
+- :mod:`repro.verify.differential` runs the same seeded scenario through
+  the analytic stepper and its exact-DES twin and asserts agreement within
+  declared tolerance bands.
+- :mod:`repro.verify.invariants` is a catalogue of reusable checkers
+  (flop conservation, split bounds and convergence, pipeline-state
+  legality, fault-event consistency, monotone virtual clock) that can wrap
+  any run via telemetry hooks (:func:`~repro.verify.invariants.watch`).
+- :mod:`repro.verify.golden` records canonical seeded runs into
+  ``tests/golden/`` and gates CI on tolerance-based comparison
+  (``python -m repro.verify {record,check,diff}``).
+
+Failures everywhere are structured :class:`Divergence` records naming the
+trace, step, metric, both values and the declared tolerance.
+"""
+
+from repro.verify.differential import (
+    MATRIX,
+    DifferentialCase,
+    DifferentialOutcome,
+    DifferentialTolerances,
+    run_case,
+    run_matrix,
+)
+from repro.verify.divergence import Divergence, DivergenceReport, VerificationError
+from repro.verify.golden import check, diff_rows, record
+from repro.verify.invariants import RunWatcher, check_run, watch
+from repro.verify.scenarios import CATALOGUE, GoldenScenario, get, names
+from repro.verify.tolerance import EXACT, Band, Tolerance
+
+__all__ = [
+    "Band",
+    "CATALOGUE",
+    "Divergence",
+    "DivergenceReport",
+    "DifferentialCase",
+    "DifferentialOutcome",
+    "DifferentialTolerances",
+    "EXACT",
+    "GoldenScenario",
+    "MATRIX",
+    "RunWatcher",
+    "Tolerance",
+    "VerificationError",
+    "check",
+    "check_run",
+    "diff_rows",
+    "get",
+    "names",
+    "record",
+    "run_case",
+    "run_matrix",
+    "watch",
+]

@@ -1,0 +1,146 @@
+"""``python -m repro.verify`` — the golden-trace and cross-validation CLI.
+
+Subcommands::
+
+    list      show the canonical scenario catalogue (and trace status)
+    record    run the canonical scenarios and (re)write tests/golden/*.json
+    check     re-run and compare against the stored traces; exit 1 on drift
+    diff      recorded-vs-fresh aggregate table (no gating)
+    crossval  run the analytic-vs-DES differential matrix; exit 1 on drift
+
+``check`` and ``crossval`` accept ``--report-out`` to write the structured
+divergence report as JSON — CI uploads that file as an artifact when the
+gate fails, so the drift is reviewable without re-running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.verify import differential, golden
+from repro.verify import scenarios as scenario_catalogue
+from repro.verify.divergence import DivergenceReport
+
+
+def _add_common(parser: argparse.ArgumentParser, *, report: bool = False) -> None:
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="restrict to this scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--golden-dir",
+        type=Path,
+        default=golden.DEFAULT_GOLDEN_DIR,
+        help=f"golden trace directory (default: {golden.DEFAULT_GOLDEN_DIR})",
+    )
+    if report:
+        parser.add_argument(
+            "--report-out",
+            type=Path,
+            default=None,
+            metavar="PATH",
+            help="also write the divergence report as JSON to PATH",
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="golden-trace regression gating and analytic-vs-DES cross-validation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="show the canonical scenario catalogue")
+    _add_common(p)
+
+    p = sub.add_parser("record", help="run the scenarios and (re)write golden traces")
+    _add_common(p)
+
+    p = sub.add_parser("check", help="compare fresh runs against the stored traces")
+    _add_common(p, report=True)
+
+    p = sub.add_parser("diff", help="recorded-vs-fresh aggregate table")
+    _add_common(p)
+
+    p = sub.add_parser("crossval", help="run the analytic-vs-DES differential matrix")
+    p.add_argument(
+        "--report-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the divergence report as JSON to PATH",
+    )
+    return parser
+
+
+def _finish(report: DivergenceReport, report_out: Optional[Path]) -> int:
+    print(report.render())
+    if report_out is not None:
+        path = report.write_json(report_out)
+        print(f"report written to {path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    names = args.only or scenario_catalogue.names()
+    for name in names:
+        entry = scenario_catalogue.get(name)
+        path = golden.trace_path(name, args.golden_dir)
+        status = "recorded" if path.exists() else "NOT RECORDED"
+        print(f"{name:24s} [{status:12s}] {entry.description}")
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    written = golden.record(args.only, golden_dir=args.golden_dir)
+    for path in written:
+        print(f"recorded {path}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    return _finish(golden.check(args.only, golden_dir=args.golden_dir), args.report_out)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    rows = golden.diff_rows(args.only, golden_dir=args.golden_dir)
+    header = f"{'trace':24s} {'rec GFLOPS':>12s} {'fresh GFLOPS':>12s} {'rec elapsed':>12s} {'fresh elapsed':>14s}"
+    print(header)
+    for row in rows:
+        rec_g = "-" if row["recorded_gflops"] is None else f"{row['recorded_gflops']:.3f}"
+        rec_e = "-" if row["recorded_elapsed"] is None else f"{row['recorded_elapsed']:.4f}"
+        line = (
+            f"{row['name']:24s} {rec_g:>12s} {row['fresh_gflops']:>12.3f} "
+            f"{rec_e:>12s} {row['fresh_elapsed']:>14.4f}"
+        )
+        if row["degraded"]:
+            line += f"  ({row['degraded']})"
+        print(line)
+    return 0
+
+
+def _cmd_crossval(args: argparse.Namespace) -> int:
+    return _finish(differential.run_matrix(), args.report_out)
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "record": _cmd_record,
+    "check": _cmd_check,
+    "diff": _cmd_diff,
+    "crossval": _cmd_crossval,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,251 @@
+"""Differential checking: the analytic stepper vs its exact-DES twin.
+
+The repo implements the paper's model twice: the closed-form vectorized
+stepper (:mod:`repro.hpl.analytic`) that makes petascale configurations
+computable, and the event-driven single-element Linpack
+(:mod:`repro.hpl.element_linpack`) that executes every trailing update
+through the real task-queue/pipeline/mapper machinery.  HeSP-style
+simulation practice keeps such twins honest by continuous cross-validation:
+this module runs the *same seeded scenario* through both and asserts that
+per-step times, the final elapsed, and the mapper-database (GSplit)
+trajectories agree within **declared** tolerances.
+
+The tolerances are bands, not equalities, and they are part of the contract:
+the closed form assumes converged splits, folds DTRSM into the update's
+effective rate and hides the pipeline prologue, so the DES run must land
+*above* it by a bounded, slowly-shrinking factor (0.70 at N=12k, 0.90 at
+N=46k in GFLOPS terms).  A refactor that silently moves either twin outside
+its band produces a structured :class:`Divergence` naming the case, step
+and metric.
+
+Fault cases cross-validate the *fault model* itself: the analytic path
+applies a GPU throttle as a rate multiplier via the
+:class:`~repro.faults.injector.FaultInjector`, while the DES twin runs on an
+element physically built at the downclocked frequency — two independent
+implementations of the same degradation that must tell the same story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.adaptive import AdaptiveMapper
+from repro.faults.spec import FaultSpec, GpuThrottle
+from repro.hpl.analytic import StepTrace
+from repro.hpl.driver import Configuration
+from repro.hpl.element_linpack import ElementLinpack, ElementStep
+from repro.machine.cluster import Cluster
+from repro.machine.node import ComputeElement
+from repro.machine.presets import (
+    DOWNCLOCKED_MHZ,
+    QDR_INFINIBAND,
+    STANDARD_CLOCK_MHZ,
+    XEON_E5450,
+    XEON_E5540,
+    tianhe1_node,
+)
+from repro.machine.specs import ClusterSpec, CPUSpec
+from repro.machine.variability import NO_VARIABILITY
+from repro.session import Scenario, Session
+from repro.sim import Simulator
+from repro.util.units import dgemm_flops
+from repro.verify.divergence import Divergence, DivergenceReport
+from repro.verify.invariants import check_run
+from repro.verify.scenarios import GOLDEN_SEED
+from repro.verify.tolerance import Band, Tolerance
+
+
+@dataclass(frozen=True)
+class DifferentialTolerances:
+    """The declared analytic-vs-DES agreement contract for one case.
+
+    ``elapsed_band`` and ``step_band`` bound the DES/analytic ratio (the DES
+    run carries real prologues and unconverged early splits, so it sits
+    above 1.0); ``gsplit_tol`` bounds the absolute gap between the DES
+    mapper's stored split and the analytic grid-mean split per step.
+    ``skip_head`` steps are excluded from the per-step checks (cold
+    databases), and the final step is always excluded (no trailing update
+    on the DES side once the last panel is prefetched).
+    """
+
+    elapsed_band: Band = Band(1.0, 1.7)
+    step_band: Band = Band(0.85, 2.2)
+    gsplit_tol: Tolerance = field(default_factory=lambda: Tolerance(abs=0.15))
+    skip_head: int = 1
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One cell of the scenario matrix: a machine preset x a fault mode."""
+
+    name: str
+    cpu: CPUSpec = XEON_E5540
+    gpu_clock_mhz: float = STANDARD_CLOCK_MHZ
+    #: 1.0 = clean; < 1.0 injects a from-start GPU throttle at this depth.
+    throttle_factor: float = 1.0
+    n: int = 12000
+    seed: int = GOLDEN_SEED
+    tolerances: DifferentialTolerances = DifferentialTolerances()
+
+    @property
+    def faulted(self) -> bool:
+        return self.throttle_factor < 1.0
+
+
+#: Throttled runs hit the split-collapse knee, where the DES database lags
+#: the analytic mean by one panel measurement — the declared gap is wider.
+THROTTLED_TOLERANCES = DifferentialTolerances(gsplit_tol=Tolerance(abs=0.25))
+
+#: The seeded scenario matrix: three machine presets x fault/no-fault.
+MATRIX: tuple[DifferentialCase, ...] = tuple(
+    DifferentialCase(
+        name=f"{preset}/{'throttled' if factor < 1.0 else 'clean'}",
+        cpu=cpu,
+        gpu_clock_mhz=clock,
+        throttle_factor=factor,
+        tolerances=(
+            THROTTLED_TOLERANCES if factor < 1.0 else DifferentialTolerances()
+        ),
+    )
+    for preset, cpu, clock in (
+        ("e5540", XEON_E5540, STANDARD_CLOCK_MHZ),
+        ("e5450", XEON_E5450, STANDARD_CLOCK_MHZ),
+        ("e5540_downclocked", XEON_E5540, DOWNCLOCKED_MHZ),
+    )
+    for factor in (1.0, 0.75)
+)
+
+
+def _single_element_cluster(case: DifferentialCase) -> Cluster:
+    """A deterministic one-element-population cluster matching the preset."""
+    spec = ClusterSpec(
+        name=f"differential[{case.cpu.name}@{case.gpu_clock_mhz:g}MHz]",
+        cabinets=1,
+        nodes_per_cabinet=1,
+        node_specs=((0, tianhe1_node(case.cpu, case.gpu_clock_mhz)),),
+        interconnect=QDR_INFINIBAND,
+        variability=NO_VARIABILITY,
+    )
+    return Cluster(spec, seed=GOLDEN_SEED)
+
+
+def analytic_run(case: DifferentialCase):
+    """The closed-form side: Session over the case's preset (+ throttle)."""
+    faults = None
+    if case.faulted:
+        faults = FaultSpec(
+            throttles=(GpuThrottle(at=0.0, clock_factor=case.throttle_factor),)
+        )
+    scenario = Scenario(
+        configuration=Configuration.ACMLG_BOTH,
+        n=case.n,
+        cluster=_single_element_cluster(case),
+        seed=case.seed,
+        collect_steps=True,
+        faults=faults,
+    )
+    return Session(scenario).run()
+
+
+def des_run(case: DifferentialCase, nb: int = 1216):
+    """The exact-DES side, on an element physically built at the faulted clock.
+
+    Follows the paper's second-run protocol (one warming pass, then the
+    measured pass) so the mapper databases are converged, matching the
+    analytic stepper's fresh-measurement assumption.
+    """
+    sim = Simulator()
+    spec_clock = case.gpu_clock_mhz * case.throttle_factor
+    element = ComputeElement(
+        sim,
+        tianhe1_node(case.cpu, spec_clock).elements[0],
+        variability=NO_VARIABILITY,
+    )
+    mapper = AdaptiveMapper(
+        element.initial_gsplit,
+        len(element.compute_cores),
+        max_workload=dgemm_flops(case.n, case.n, nb) * 1.05,
+    )
+    runner = ElementLinpack(element, mapper, nb=nb, jitter=False)
+    runner.run_to_completion(case.n)  # warm the databases
+    return runner.run_to_completion(case.n, collect_steps=True), mapper
+
+
+@dataclass
+class DifferentialOutcome:
+    """Both runs plus the structured comparison for one matrix cell."""
+
+    case: DifferentialCase
+    analytic: object
+    des: object
+    report: DivergenceReport
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+def _compare(case: DifferentialCase, analytic, des, mapper) -> DivergenceReport:
+    tol = case.tolerances
+    name = case.name
+    report = DivergenceReport(checked=[name])
+
+    if not tol.elapsed_band.ok(analytic.elapsed, des.elapsed):
+        report.add(Divergence(
+            trace=name, metric="elapsed", expected=analytic.elapsed,
+            actual=des.elapsed, tolerance=tol.elapsed_band.describe(),
+            detail="DES final elapsed outside the declared band of the analytic run",
+        ))
+
+    a_steps: list[StepTrace] = analytic.analytic.steps
+    d_steps: list[ElementStep] = des.steps
+    if len(a_steps) != len(d_steps):
+        report.add(Divergence(
+            trace=name, metric="n_steps", expected=float(len(a_steps)),
+            actual=float(len(d_steps)), tolerance="exact",
+            detail="both twins factor the same panel count",
+        ))
+        return report
+
+    # Final step excluded: the DES twin's last panel is prefetched by
+    # look-ahead and has no trailing update, so its step collapses to ~0.
+    for i in range(tol.skip_head, len(a_steps) - 1):
+        a, d = a_steps[i], d_steps[i]
+        if not tol.step_band.ok(a.step_time, d.step_time):
+            report.add(Divergence(
+                trace=name, metric="step_time", expected=a.step_time,
+                actual=d.step_time, tolerance=tol.step_band.describe(), step=i,
+                detail="per-step time outside the declared band",
+            ))
+        if not tol.gsplit_tol.ok(a.mean_gsplit, d.gsplit):
+            report.add(Divergence(
+                trace=name, metric="gsplit", expected=a.mean_gsplit,
+                actual=d.gsplit, tolerance=tol.gsplit_tol.describe(), step=i,
+                detail="mapper-database trajectory diverged from the analytic split",
+            ))
+
+    # Both twins must be internally consistent too.
+    report.extend(check_run(analytic, trace=f"{name}/analytic").divergences)
+    from repro.verify.invariants import check_mapper_databases
+
+    report.extend(check_mapper_databases(mapper, trace=f"{name}/mapper"))
+    return report
+
+
+def run_case(case: DifferentialCase) -> DifferentialOutcome:
+    """Run one matrix cell through both twins and compare."""
+    analytic = analytic_run(case)
+    des, mapper = des_run(case)
+    return DifferentialOutcome(
+        case=case, analytic=analytic, des=des,
+        report=_compare(case, analytic, des, mapper),
+    )
+
+
+def run_matrix(cases: Optional[tuple[DifferentialCase, ...]] = None) -> DivergenceReport:
+    """The whole scenario matrix; one aggregated report."""
+    report = DivergenceReport()
+    for case in cases if cases is not None else MATRIX:
+        report.extend(run_case(case).report)
+    return report

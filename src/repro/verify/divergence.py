@@ -1,0 +1,121 @@
+"""Structured divergence reporting.
+
+Every checker in :mod:`repro.verify` — differential, invariant, golden —
+reports failures as :class:`Divergence` records collected into a
+:class:`DivergenceReport`, so a CI failure names the trace, the step, the
+metric, both values and the declared tolerance instead of burying a bare
+``assert`` deep in a comparison loop.  The report renders as a readable
+table and serialises to JSON (the artifact CI uploads on failure).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One metric, in one trace, outside its declared tolerance."""
+
+    trace: str  # which run/trace diverged ("fig8_acmlg_both", "e5450/clean", ...)
+    metric: str  # which quantity ("gflops", "step_time", "gsplit", ...)
+    expected: Optional[float]
+    actual: Optional[float]
+    tolerance: str  # the declared tolerance, as text ("tol(rel=1e-06)", ...)
+    step: Optional[int] = None  # panel step, when the metric is per-step
+    detail: str = ""  # free-form context ("invariant: flop conservation", ...)
+
+    def describe(self) -> str:
+        where = f"{self.trace}" + (f" step {self.step}" if self.step is not None else "")
+        exp = "None" if self.expected is None else f"{self.expected:.10g}"
+        act = "None" if self.actual is None else f"{self.actual:.10g}"
+        line = f"{where}: {self.metric} expected {exp}, got {act} ({self.tolerance})"
+        if self.detail:
+            line += f" — {self.detail}"
+        return line
+
+
+@dataclass
+class DivergenceReport:
+    """Every divergence one verification pass found (empty means pass)."""
+
+    divergences: list[Divergence] = field(default_factory=list)
+    #: Trace names that were checked (including the ones that passed).
+    checked: list[str] = field(default_factory=list)
+
+    def add(self, divergence: Divergence) -> None:
+        self.divergences.append(divergence)
+
+    def extend(self, divergences: "list[Divergence] | DivergenceReport") -> None:
+        if isinstance(divergences, DivergenceReport):
+            self.divergences.extend(divergences.divergences)
+            self.checked.extend(divergences.checked)
+        else:
+            self.divergences.extend(divergences)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __len__(self) -> int:
+        return len(self.divergences)
+
+    def traces(self) -> list[str]:
+        """Trace names with at least one divergence, in first-hit order."""
+        seen: dict[str, None] = {}
+        for d in self.divergences:
+            seen.setdefault(d.trace, None)
+        return list(seen)
+
+    def render(self) -> str:
+        """Human-readable summary — what a failing CI log shows."""
+        lines = [
+            f"verification: {len(self.checked)} trace(s) checked, "
+            f"{len(self.divergences)} divergence(s)"
+        ]
+        for d in self.divergences:
+            lines.append("  DIVERGED " + d.describe())
+        if self.ok and self.checked:
+            lines.append("  all traces within declared tolerances")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked": list(self.checked),
+            "divergences": [
+                {
+                    "trace": d.trace,
+                    "metric": d.metric,
+                    "step": d.step,
+                    "expected": d.expected,
+                    "actual": d.actual,
+                    "tolerance": d.tolerance,
+                    "detail": d.detail,
+                }
+                for d in self.divergences
+            ],
+        }
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def raise_if_diverged(self) -> None:
+        if not self.ok:
+            raise VerificationError(self)
+
+
+class VerificationError(AssertionError):
+    """A verification pass found divergences; carries the full report."""
+
+    def __init__(self, report: DivergenceReport) -> None:
+        super().__init__(report.render())
+        self.report = report

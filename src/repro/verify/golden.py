@@ -1,0 +1,219 @@
+"""The golden-trace store: recorded canonical runs gating CI on drift.
+
+``record`` runs every canonical scenario (:mod:`repro.verify.scenarios`)
+and writes one JSON trace per scenario into ``tests/golden/``; ``check``
+re-runs them and compares aggregates, the per-step trajectory, and the
+fault summary against the recorded values within each scenario's declared
+tolerances — then pushes the fresh result through the invariant catalogue.
+Any divergence is a structured :class:`~repro.verify.divergence.Divergence`
+naming the trace, step and metric, so perf-model drift is an explicit,
+reviewed event (re-record + commit) instead of a silent shift.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.session import Session
+from repro.verify import scenarios as scenario_catalogue
+from repro.verify.divergence import Divergence, DivergenceReport
+from repro.verify.invariants import check_run
+from repro.verify.scenarios import GoldenScenario
+from repro.verify.tolerance import Tolerance
+
+FORMAT_VERSION = 1
+#: Default on-disk home of the golden traces, relative to the repo root.
+DEFAULT_GOLDEN_DIR = Path("tests/golden")
+
+#: Per-step fields compared between recorded and fresh runs.
+STEP_FIELDS = ("step_time", "update_time", "panel_time", "comm_time", "mean_gsplit")
+
+
+def _run(entry: GoldenScenario):
+    scenario = entry.scenario()
+    return scenario, Session(scenario).run()
+
+
+def _trace_payload(entry: GoldenScenario) -> dict:
+    scenario, result = _run(entry)
+    degraded = result.degraded
+    return {
+        "version": FORMAT_VERSION,
+        "name": entry.name,
+        "description": entry.description,
+        "scenario": {
+            "configuration": str(scenario.configuration),
+            "n": scenario.n,
+            "grid": list(result.grid),
+            "seed": scenario.seed,
+            "faults": bool(scenario.faults),
+        },
+        "tolerances": {
+            "aggregate": asdict(entry.aggregate_tol),
+            "step": asdict(entry.step_tol),
+        },
+        "recorded": {
+            "gflops": result.gflops,
+            "elapsed": result.elapsed,
+            "degraded": degraded.describe() if degraded is not None else None,
+            "fault_events": (
+                [e.kind for e in degraded.events] if degraded is not None else []
+            ),
+            "steps": [
+                {field: getattr(step, field) for field in STEP_FIELDS}
+                for step in result.analytic.steps
+            ],
+        },
+    }
+
+
+def trace_path(name: str, golden_dir: Path) -> Path:
+    return Path(golden_dir) / f"{name}.json"
+
+
+def _resolve(names: Optional[Sequence[str]]) -> list[GoldenScenario]:
+    if not names:
+        return [scenario_catalogue.get(n) for n in scenario_catalogue.names()]
+    return [scenario_catalogue.get(n) for n in names]
+
+
+def record(
+    names: Optional[Sequence[str]] = None,
+    golden_dir: Path = DEFAULT_GOLDEN_DIR,
+) -> list[Path]:
+    """Run the canonical scenarios and (re)write their golden traces."""
+    golden_dir = Path(golden_dir)
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for entry in _resolve(names):
+        payload = _trace_payload(entry)
+        path = trace_path(entry.name, golden_dir)
+        path.write_text(json.dumps(payload, indent=1) + "\n")
+        written.append(path)
+    return written
+
+
+def _compare_trace(entry: GoldenScenario, recorded: dict) -> list[Divergence]:
+    """Fresh run vs one recorded payload, within the *declared* tolerances.
+
+    Tolerances come from the code's catalogue entry, not the JSON file —
+    a hand-edited file cannot quietly loosen its own gate.  (The recorded
+    copy is informational, for reviewers reading a diff.)
+    """
+    name = entry.name
+    out: list[Divergence] = []
+    _, result = _run(entry)
+    agg_tol, step_tol = entry.aggregate_tol, entry.step_tol
+    rec = recorded["recorded"]
+
+    for metric, actual in (("gflops", result.gflops), ("elapsed", result.elapsed)):
+        expected = rec[metric]
+        if not agg_tol.ok(expected, actual):
+            out.append(Divergence(
+                trace=name, metric=metric, expected=expected, actual=actual,
+                tolerance=agg_tol.describe(),
+                detail="golden aggregate drifted — re-record if intended",
+            ))
+
+    degraded = result.degraded
+    actual_degraded = degraded.describe() if degraded is not None else None
+    if actual_degraded != rec["degraded"]:
+        out.append(Divergence(
+            trace=name, metric="degraded", expected=None, actual=None,
+            tolerance="exact",
+            detail=f"fault summary changed: recorded {rec['degraded']!r}, "
+                   f"got {actual_degraded!r}",
+        ))
+    actual_events = [e.kind for e in degraded.events] if degraded is not None else []
+    if actual_events != rec.get("fault_events", []):
+        out.append(Divergence(
+            trace=name, metric="fault_events", expected=None, actual=None,
+            tolerance="exact",
+            detail=f"fault event sequence changed: recorded "
+                   f"{rec.get('fault_events')}, got {actual_events}",
+        ))
+
+    steps = result.analytic.steps
+    if len(steps) != len(rec["steps"]):
+        out.append(Divergence(
+            trace=name, metric="n_steps", expected=float(len(rec["steps"])),
+            actual=float(len(steps)), tolerance="exact",
+            detail="panel count changed",
+        ))
+    else:
+        for i, (step, rec_step) in enumerate(zip(steps, rec["steps"])):
+            for field in STEP_FIELDS:
+                expected = rec_step[field]
+                actual = getattr(step, field)
+                if not step_tol.ok(expected, actual):
+                    out.append(Divergence(
+                        trace=name, metric=field, expected=expected, actual=actual,
+                        tolerance=step_tol.describe(), step=i,
+                        detail="golden per-step trajectory drifted",
+                    ))
+
+    # The fresh result must also satisfy the invariant catalogue — golden
+    # agreement is necessary, internal consistency is too.
+    out.extend(check_run(result, trace=name).divergences)
+    return out
+
+
+def check(
+    names: Optional[Sequence[str]] = None,
+    golden_dir: Path = DEFAULT_GOLDEN_DIR,
+) -> DivergenceReport:
+    """Re-run the canonical scenarios and compare against the stored traces."""
+    golden_dir = Path(golden_dir)
+    report = DivergenceReport()
+    for entry in _resolve(names):
+        report.checked.append(entry.name)
+        path = trace_path(entry.name, golden_dir)
+        if not path.exists():
+            report.add(Divergence(
+                trace=entry.name, metric="trace_file", expected=None, actual=None,
+                tolerance="file exists",
+                detail=f"no golden trace at {path}; run `python -m repro.verify "
+                       f"record --only {entry.name}` and commit it",
+            ))
+            continue
+        recorded = json.loads(path.read_text())
+        if recorded.get("version") != FORMAT_VERSION:
+            report.add(Divergence(
+                trace=entry.name, metric="version",
+                expected=float(FORMAT_VERSION),
+                actual=float(recorded.get("version") or 0), tolerance="exact",
+                detail="golden trace format version mismatch; re-record",
+            ))
+            continue
+        report.extend(_compare_trace(entry, recorded))
+    return report
+
+
+def diff_rows(
+    names: Optional[Sequence[str]] = None,
+    golden_dir: Path = DEFAULT_GOLDEN_DIR,
+) -> list[dict]:
+    """Recorded-vs-fresh aggregate comparison rows (the ``diff`` CLI view)."""
+    golden_dir = Path(golden_dir)
+    rows = []
+    for entry in _resolve(names):
+        path = trace_path(entry.name, golden_dir)
+        recorded = json.loads(path.read_text()) if path.exists() else None
+        _, result = _run(entry)
+        rows.append({
+            "name": entry.name,
+            "recorded_gflops": recorded["recorded"]["gflops"] if recorded else None,
+            "fresh_gflops": result.gflops,
+            "recorded_elapsed": recorded["recorded"]["elapsed"] if recorded else None,
+            "fresh_elapsed": result.elapsed,
+            "degraded": result.degraded.describe() if result.degraded else None,
+        })
+    return rows
+
+
+def declared_tolerance(entry: GoldenScenario) -> tuple[Tolerance, Tolerance]:
+    """(aggregate, step) tolerances the check pass will apply to *entry*."""
+    return entry.aggregate_tol, entry.step_tol

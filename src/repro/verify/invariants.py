@@ -1,0 +1,376 @@
+"""The invariant catalogue: properties every run must satisfy.
+
+Each checker inspects one layer's output and returns a list of
+:class:`~repro.verify.divergence.Divergence` records (empty = invariant
+holds), so the same functions serve the property-based suites, the golden
+``check`` pass, and ad-hoc debugging.  The catalogue (see
+``docs/testing.md``):
+
+* **flop conservation** — per-step flops follow the LU schedule exactly and
+  sum to ``2/3 N^3``; GSplit partitions work without loss
+  (:func:`split_conservation`).
+* **split bounds** — GSplit in ``[0, 1]`` everywhere (per-step grid means,
+  stored database bins) and CSplit a valid partition of unity.
+* **monotone virtual clock** — step times positive, cumulative time equal
+  to the prefix sums, elapsed >= the sum of steps.
+* **pipeline legality** — CT/NT controller transitions restricted to the
+  Table I state machine (``Idle -> Input -> EO``, ``N-Idle -> N-Input``)
+  with a non-decreasing clock.
+* **fault/degraded-mode consistency** — the :class:`DegradedMode` flags
+  match its event log, and events are time-ordered.
+* **adaptive convergence** — under stationary rates the stored GSplit
+  converges to ``P_G / (P_G + P_C)`` (:func:`stationary_gsplit`,
+  :func:`check_convergence`).
+
+:func:`watch` wraps any run via the telemetry hooks: it installs a
+recording telemetry, and on exit checks the published spans and series
+against the catalogue without touching the run's results.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveMapper, converged_gsplit
+from repro.core.pipeline import EO, IDLE, INPUT, N_IDLE, N_INPUT, StateRecord
+from repro.faults.spec import DegradedMode
+from repro.obs.telemetry import RecordingSink, Telemetry
+from repro.util.units import lu_flops
+from repro.verify.divergence import Divergence, DivergenceReport
+from repro.verify.tolerance import Tolerance
+
+#: Numerical slack for conservation laws (pure arithmetic identities).
+CONSERVATION = Tolerance(rel=1e-9, abs=1e-6)
+#: Fractions live in [0, 1] up to float noise.
+FRACTION = Tolerance(abs=1e-12)
+
+#: Legal controller transitions (Section V.C / Table I).  CT may skip INPUT
+#: when NT prefetched the task; NT re-enters N-Input per prefetched task.
+LEGAL_TRANSITIONS = {
+    "CT": {
+        IDLE: (INPUT, EO, IDLE),
+        INPUT: (EO,),
+        EO: (IDLE,),
+    },
+    "NT": {
+        N_IDLE: (N_INPUT,),
+        N_INPUT: (N_INPUT, N_IDLE),
+    },
+}
+
+
+def _bad(trace, metric, expected, actual, tol, step=None, detail="") -> Divergence:
+    return Divergence(
+        trace=trace,
+        metric=metric,
+        expected=expected,
+        actual=actual,
+        tolerance=tol,
+        step=step,
+        detail=detail,
+    )
+
+
+# -- flop conservation ---------------------------------------------------------
+
+
+def check_flop_conservation(result, trace: str = "run") -> list[Divergence]:
+    """LU flop accounting on an Analytic/LinpackResult with collected steps.
+
+    The trailing-update schedule must conserve work exactly: each step's
+    flops equal ``2/3 ((N-j)^3 - (N-j-jbw)^3)``, the cumulative column is
+    the prefix sum, and the total is ``lu_flops(N)`` (factorization plus
+    the ``2 N^2`` backsolve).
+    """
+    analytic = getattr(result, "analytic", result)
+    steps = analytic.steps
+    out: list[Divergence] = []
+    n = analytic.n
+    if not steps:
+        return [_bad(trace, "steps", None, 0, "collect_steps=True required",
+                     detail="invariant: flop conservation needs collected steps")]
+    cum = 0.0
+    for s in steps:
+        expected = (2.0 / 3.0) * ((n - s.j) ** 3 - float(s.trailing) ** 3)
+        if not CONSERVATION.ok(expected, s.flops):
+            out.append(_bad(trace, "step_flops", expected, s.flops,
+                            CONSERVATION.describe(), step=s.step,
+                            detail="invariant: flop conservation"))
+        cum += s.flops
+        if not CONSERVATION.ok(cum, s.cum_flops):
+            out.append(_bad(trace, "cum_flops", cum, s.cum_flops,
+                            CONSERVATION.describe(), step=s.step,
+                            detail="invariant: cumulative flops are the prefix sum"))
+    total = lu_flops(n)
+    if not CONSERVATION.ok(total - 2.0 * n * n, cum):
+        out.append(_bad(trace, "total_flops", total - 2.0 * n * n, cum,
+                        CONSERVATION.describe(),
+                        detail="invariant: steps sum to 2/3 N^3"))
+    if not CONSERVATION.ok(total, analytic.flops):
+        out.append(_bad(trace, "flops", total, analytic.flops,
+                        CONSERVATION.describe(),
+                        detail="invariant: reported flops are the HPL count"))
+    return out
+
+
+def split_conservation(m: int, row_splits: Sequence[int], trace: str = "split") -> list[Divergence]:
+    """A row partition (GPU share + per-core shares) must cover m exactly."""
+    total = int(sum(row_splits))
+    if total != m or any(r < 0 for r in row_splits):
+        return [_bad(trace, "rows", float(m), float(total), "exact",
+                     detail=f"invariant: row partition {list(row_splits)} must cover m")]
+    return []
+
+
+# -- split bounds --------------------------------------------------------------
+
+
+def check_gsplit_bounds(result, trace: str = "run") -> list[Divergence]:
+    """Every per-step grid-mean GSplit lies in [0, 1]."""
+    analytic = getattr(result, "analytic", result)
+    out: list[Divergence] = []
+    for s in analytic.steps:
+        g = s.mean_gsplit if hasattr(s, "mean_gsplit") else s.gsplit
+        if not (-FRACTION.abs <= g <= 1.0 + FRACTION.abs):
+            out.append(_bad(trace, "gsplit", None, g, "in [0, 1]", step=s.step if hasattr(s, "step") else None,
+                            detail="invariant: GSplit bounds"))
+    return out
+
+
+def check_mapper_databases(mapper: AdaptiveMapper, trace: str = "mapper") -> list[Divergence]:
+    """Stored GSplit bins in [0, 1]; CSplit a partition of unity >= floor."""
+    out: list[Divergence] = []
+    values = mapper.database_g.values()
+    for idx, value in enumerate(values):
+        if not (0.0 <= value <= 1.0):
+            out.append(_bad(trace, "database_g", None, float(value), "in [0, 1]",
+                            step=idx, detail="invariant: stored GSplit bounds"))
+    csplits = mapper.database_c.lookup()
+    if not Tolerance(abs=1e-6).ok(1.0, float(csplits.sum())):
+        out.append(_bad(trace, "database_c_sum", 1.0, float(csplits.sum()),
+                        "tol(abs=1e-06)", detail="invariant: CSplit partition of unity"))
+    if np.any(csplits < -1e-12):
+        out.append(_bad(trace, "database_c_min", 0.0, float(csplits.min()),
+                        ">= 0", detail="invariant: CSplit nonnegative"))
+    return out
+
+
+# -- monotone virtual clock ----------------------------------------------------
+
+
+def check_monotone_clock(result, trace: str = "run") -> list[Divergence]:
+    """Step times positive; cumulative time the prefix sum; elapsed covers it."""
+    analytic = getattr(result, "analytic", result)
+    out: list[Divergence] = []
+    cum = 0.0
+    last = 0.0
+    for s in analytic.steps:
+        if s.step_time < 0:
+            out.append(_bad(trace, "step_time", None, s.step_time, ">= 0",
+                            step=s.step, detail="invariant: monotone virtual clock"))
+        cum += s.step_time
+        if hasattr(s, "cum_time"):
+            if not CONSERVATION.ok(cum, s.cum_time):
+                out.append(_bad(trace, "cum_time", cum, s.cum_time,
+                                CONSERVATION.describe(), step=s.step,
+                                detail="invariant: cumulative time is the prefix sum"))
+            if s.cum_time < last:
+                out.append(_bad(trace, "cum_time_monotone", last, s.cum_time,
+                                "non-decreasing", step=s.step,
+                                detail="invariant: monotone virtual clock"))
+            last = s.cum_time
+    if analytic.steps and analytic.elapsed + 1e-9 < cum:
+        out.append(_bad(trace, "elapsed", cum, analytic.elapsed,
+                        ">= sum of steps", detail="invariant: elapsed covers every step"))
+    return out
+
+
+# -- pipeline state-machine legality -------------------------------------------
+
+
+def check_pipeline_legality(state_log: Sequence[StateRecord], trace: str = "pipeline") -> list[Divergence]:
+    """The CT/NT log must follow Table I's state machine on a monotone clock."""
+    out: list[Divergence] = []
+    last_state: dict[str, str] = {}
+    last_time = None
+    for i, rec in enumerate(state_log):
+        if rec.controller not in LEGAL_TRANSITIONS:
+            out.append(_bad(trace, "controller", None, None, "CT|NT", step=i,
+                            detail=f"invariant: unknown controller {rec.controller!r}"))
+            continue
+        legal = LEGAL_TRANSITIONS[rec.controller]
+        if rec.state not in legal:
+            out.append(_bad(trace, "state", None, None, "Table I states", step=i,
+                            detail=f"invariant: unknown {rec.controller} state {rec.state!r}"))
+            continue
+        if last_time is not None and rec.time < last_time - 1e-12:
+            out.append(_bad(trace, "state_time", last_time, rec.time,
+                            "non-decreasing", step=i,
+                            detail="invariant: monotone controller clock"))
+        last_time = rec.time if last_time is None else max(last_time, rec.time)
+        prev = last_state.get(rec.controller)
+        if prev is not None and rec.state not in legal[prev]:
+            out.append(_bad(trace, "transition", None, None, "Table I transitions",
+                            step=i,
+                            detail=f"invariant: illegal {rec.controller} transition "
+                                   f"{prev} -> {rec.state}"))
+        last_state[rec.controller] = rec.state
+    return out
+
+
+# -- fault / degraded-mode consistency -----------------------------------------
+
+
+def check_fault_consistency(degraded: Optional[DegradedMode], trace: str = "run") -> list[Divergence]:
+    """DegradedMode flags must match its own event log (and vice versa)."""
+    if degraded is None:
+        return []
+    out: list[Divergence] = []
+    kinds = [e.kind for e in degraded.events]
+    flag_to_kinds = {
+        "gpu_throttled": {"gpu_throttle"},
+        "gpu_lost": {"gpu_dropout"},
+        "straggling": {"straggler_on"},
+    }
+    for flag, expected_kinds in flag_to_kinds.items():
+        has_flag = getattr(degraded, flag)
+        has_event = any(k in expected_kinds for k in kinds)
+        if has_flag != has_event:
+            out.append(_bad(trace, flag, float(has_event), float(has_flag),
+                            "flag == event presence",
+                            detail="invariant: fault flags match the event log"))
+    n_retries = kinds.count("pcie_retry")
+    if degraded.pcie_retries != n_retries:
+        out.append(_bad(trace, "pcie_retries", float(n_retries),
+                        float(degraded.pcie_retries), "exact",
+                        detail="invariant: retry counter matches retry events"))
+    times = [e.time for e in degraded.events]
+    if times != sorted(times):
+        out.append(_bad(trace, "event_order", None, None, "non-decreasing",
+                        detail="invariant: fault events are time-ordered"))
+    if not degraded and degraded.events:
+        out.append(_bad(trace, "degraded_bool", 1.0, 0.0, "truthy when events exist",
+                        detail="invariant: a run with events is degraded"))
+    return out
+
+
+# -- adaptive convergence ------------------------------------------------------
+
+
+def stationary_gsplit(p_g: float, p_c: float) -> float:
+    """The fixed point of the paper's update rule under stationary rates."""
+    if p_g + p_c <= 0:
+        return 0.0
+    return p_g / (p_g + p_c)
+
+
+def check_convergence(
+    history: Sequence[float],
+    p_g: float,
+    p_c: float,
+    tol: Tolerance = Tolerance(abs=0.02),
+    trace: str = "mapper",
+) -> list[Divergence]:
+    """Stored splits must settle on ``P_G / (P_G + P_C)`` for stationary rates."""
+    expected = stationary_gsplit(p_g, p_c)
+    actual = converged_gsplit(history)
+    if not tol.ok(expected, actual):
+        return [_bad(trace, "converged_gsplit", expected, actual, tol.describe(),
+                     detail="invariant: convergence to the rate ratio")]
+    return []
+
+
+# -- run-level aggregate -------------------------------------------------------
+
+
+def check_run(result, trace: str = "run") -> DivergenceReport:
+    """Every result-level invariant on one Analytic/LinpackResult."""
+    report = DivergenceReport(checked=[trace])
+    report.extend(check_flop_conservation(result, trace))
+    report.extend(check_gsplit_bounds(result, trace))
+    report.extend(check_monotone_clock(result, trace))
+    analytic = getattr(result, "analytic", result)
+    report.extend(check_fault_consistency(analytic.degraded, trace))
+    return report
+
+
+# -- telemetry-hook wrapper ----------------------------------------------------
+
+
+class RunWatcher:
+    """Invariant checking attached to a run through the telemetry hooks.
+
+    Pass :attr:`telemetry` to any instrumented layer (``Session.run``,
+    ``HybridDgemm``, the executors); after the run, :meth:`verify` replays
+    the published spans and series through the catalogue.  The hooks only
+    *read* what the run publishes, so watching cannot change results.
+    """
+
+    def __init__(self, trace: str = "run") -> None:
+        self.trace = trace
+        self.telemetry = Telemetry(sink=RecordingSink())
+        self.report = DivergenceReport(checked=[trace])
+
+    def verify(self) -> DivergenceReport:
+        trace = self.trace
+        sink = self.telemetry.sink
+        report = self.report
+        for track, name in sink.open_spans():
+            report.add(_bad(trace, "open_span", None, None, "all spans closed",
+                            detail=f"invariant: span {name!r} on {track!r} never ended"))
+        last_end: dict[str, float] = {}
+        for span in sink.spans:
+            if span.end < span.start:
+                report.add(_bad(trace, "span_duration", span.start, span.end,
+                                "end >= start",
+                                detail=f"invariant: span {span.name!r} on {span.track!r}"))
+            if span.start < 0:
+                report.add(_bad(trace, "span_start", 0.0, span.start, ">= 0",
+                                detail=f"invariant: span {span.name!r} on {span.track!r}"))
+            last_end[span.track] = max(last_end.get(span.track, 0.0), span.end)
+        metrics = self.telemetry.metrics
+        for series_name in ("hpl.mean_gsplit", "adaptive.gsplit"):
+            metric = metrics.get(series_name)
+            if metric is None:
+                continue
+            for labels in metric.labels():
+                for step, value in metric.points(**labels):
+                    if not (-1e-12 <= value <= 1.0 + 1e-12):
+                        report.add(_bad(trace, series_name, None, value, "in [0, 1]",
+                                        step=int(step),
+                                        detail="invariant: published GSplit bounds"))
+        step_seconds = metrics.get("hpl.step_seconds")
+        if step_seconds is not None:
+            for labels in step_seconds.labels():
+                for step, value in step_seconds.points(**labels):
+                    if value < 0:
+                        report.add(_bad(trace, "hpl.step_seconds", None, value, ">= 0",
+                                        step=int(step),
+                                        detail="invariant: monotone virtual clock"))
+        cum = metrics.get("hpl.cum_gflops")
+        if cum is not None:
+            for labels in cum.labels():
+                xs = [x for x, _ in cum.points(**labels)]
+                if xs != sorted(xs):
+                    report.add(_bad(trace, "hpl.cum_gflops", None, None,
+                                    "x non-decreasing",
+                                    detail="invariant: series on a monotone clock"))
+        return report
+
+
+@contextmanager
+def watch(trace: str = "run", strict: bool = True) -> Iterator[RunWatcher]:
+    """Watch one run via telemetry; verify the invariant catalogue on exit.
+
+    With ``strict`` (the default) a violation raises
+    :class:`~repro.verify.divergence.VerificationError` when the block
+    exits; otherwise inspect ``watcher.report`` yourself.
+    """
+    watcher = RunWatcher(trace)
+    yield watcher
+    watcher.verify()
+    if strict:
+        watcher.report.raise_if_diverged()

@@ -1,0 +1,209 @@
+"""The canonical seeded scenario matrix the golden-trace store records.
+
+Golden traces are rebuilt from *names*, not from serialized machine objects:
+each entry here owns a builder returning a fully-seeded
+:class:`~repro.session.Scenario`, so ``record`` and ``check`` are guaranteed
+to run the identical experiment, and a JSON file can never smuggle in a
+stale machine description.  The set covers the paper's figure configurations
+(Fig. 8/9 single-element builds, the Fig. 13 progress run), a heterogeneous
+E5540/E5450 population, and one scenario per fault class — small problem
+orders keep a full ``check`` pass under a few seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.faults.spec import FaultSpec, GpuDropout, GpuThrottle, PcieFaultSpec, Straggler
+from repro.hpl.driver import Configuration
+from repro.machine.cluster import Cluster
+from repro.machine.presets import (
+    DEFAULT_VARIABILITY,
+    QDR_INFINIBAND,
+    STANDARD_CLOCK_MHZ,
+    XEON_E5450,
+    XEON_E5540,
+    tianhe1_node,
+)
+from repro.machine.specs import ClusterSpec, CPUSpec
+from repro.session import Scenario
+from repro.verify.tolerance import EXACT, Tolerance
+
+#: Seed shared by every canonical scenario (pinned; changing it is a
+#: deliberate re-record event).
+GOLDEN_SEED = 11
+#: Cluster construction seed (element static spread realisation).
+GOLDEN_CLUSTER_SEED = 2009
+
+
+def small_cluster(
+    cpus: "tuple[CPUSpec, ...]" = (XEON_E5540,),
+    gpu_clock_mhz: float = STANDARD_CLOCK_MHZ,
+    seed: int = GOLDEN_CLUSTER_SEED,
+) -> Cluster:
+    """A one-cabinet cluster with one node per CPU spec (2 elements each).
+
+    The workhorse for mixed-population golden traces: ``(E5540, E5450)``
+    yields four elements — two of each population — exactly the Section III
+    mix at test scale.
+    """
+    spec = ClusterSpec(
+        name="golden[" + ",".join(c.name for c in cpus) + "]",
+        cabinets=1,
+        nodes_per_cabinet=len(cpus),
+        node_specs=tuple(
+            (i, tianhe1_node(cpu, gpu_clock_mhz)) for i, cpu in enumerate(cpus)
+        ),
+        interconnect=QDR_INFINIBAND,
+        variability=DEFAULT_VARIABILITY,
+    )
+    return Cluster(spec, seed=seed)
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One named, seeded experiment plus its declared comparison tolerances."""
+
+    name: str
+    description: str
+    build: Callable[[], Scenario] = field(repr=False)
+    #: Aggregate tolerances (gflops, elapsed).  Deterministic seeded reruns
+    #: reproduce almost exactly; see :data:`repro.verify.tolerance.EXACT`.
+    aggregate_tol: Tolerance = EXACT
+    #: Per-step tolerances (step_time, update/panel/comm, mean_gsplit).
+    step_tol: Tolerance = EXACT
+
+    def scenario(self) -> Scenario:
+        scenario = self.build()
+        if not scenario.collect_steps:
+            scenario = replace(scenario, collect_steps=True)
+        return scenario
+
+
+def _single(configuration: Configuration, n: int, **kw) -> Callable[[], Scenario]:
+    def build() -> Scenario:
+        return Scenario(
+            configuration=configuration,
+            n=n,
+            seed=GOLDEN_SEED,
+            cluster_seed=GOLDEN_CLUSTER_SEED,
+            collect_steps=True,
+            **kw,
+        )
+
+    return build
+
+
+def _hetero(n: int, faults: Optional[FaultSpec] = None) -> Callable[[], Scenario]:
+    def build() -> Scenario:
+        return Scenario(
+            configuration=Configuration.ACMLG_BOTH,
+            n=n,
+            grid=(2, 2),
+            cluster=small_cluster((XEON_E5540, XEON_E5450)),
+            seed=GOLDEN_SEED,
+            collect_steps=True,
+            faults=faults,
+        )
+
+    return build
+
+
+#: Mid-run recoverable thermal throttle (the ``repro.bench faults`` shape,
+#: pinned to absolute virtual times so the trace is self-contained).
+THROTTLE_FAULTS = FaultSpec(
+    throttles=(
+        GpuThrottle(at=3.0, clock_factor=0.55, shed_threshold=0.86, recovery_s=1.5),
+    )
+)
+DROPOUT_FAULTS = FaultSpec(dropouts=(GpuDropout(at=2.0),))
+PCIE_FAULTS = FaultSpec(pcie=PcieFaultSpec(fail_probability=0.3, at=1.0, until=6.0))
+STRAGGLER_FAULTS = FaultSpec(stragglers=(Straggler(at=1.0, element=1, factor=0.5, side="both"),))
+
+
+def _catalogue() -> list[GoldenScenario]:
+    entries: list[GoldenScenario] = []
+    # Fig. 8/9: the five single-element builds plus the two comparison
+    # mappings, at a size that exercises several panel steps per run.
+    for config in Configuration:
+        entries.append(
+            GoldenScenario(
+                name=f"fig8_{config.value}",
+                description=f"single element, {config.label} build, N=9000",
+                build=_single(config, 9000),
+            )
+        )
+    entries.append(
+        GoldenScenario(
+            name="fig13_progress",
+            description="single element, full framework, N=18000 (progress curve)",
+            build=_single(Configuration.ACMLG_BOTH, 18000),
+        )
+    )
+    entries.append(
+        GoldenScenario(
+            name="hetero_2x2",
+            description="mixed E5540/E5450 population on a 2x2 grid, N=14000",
+            build=_hetero(14000),
+        )
+    )
+    entries.append(
+        GoldenScenario(
+            name="fault_throttle",
+            description="recoverable mid-run GPU thermal throttle (adaptive sheds and recovers)",
+            build=_single(
+                Configuration.ACMLG_BOTH, 12000, faults=THROTTLE_FAULTS
+            ),
+        )
+    )
+    entries.append(
+        GoldenScenario(
+            name="fault_throttle_static",
+            description="the same throttle against the static peak-trained split",
+            build=_single(
+                Configuration.STATIC_PEAK, 12000, faults=THROTTLE_FAULTS
+            ),
+        )
+    )
+    entries.append(
+        GoldenScenario(
+            name="fault_dropout",
+            description="permanent GPU dropout; adaptive falls back to the CPU path",
+            build=_single(
+                Configuration.ACMLG_BOTH, 9000, faults=DROPOUT_FAULTS
+            ),
+        )
+    )
+    entries.append(
+        GoldenScenario(
+            name="fault_pcie",
+            description="PCIe fault window; analytic transfer-term inflation",
+            build=_single(Configuration.ACMLG_PIPE, 9000, faults=PCIE_FAULTS),
+        )
+    )
+    entries.append(
+        GoldenScenario(
+            name="fault_straggler_hetero",
+            description="one straggling element inside the mixed population",
+            build=_hetero(14000, faults=STRAGGLER_FAULTS),
+        )
+    )
+    return entries
+
+
+#: Name -> GoldenScenario for the whole canonical matrix.
+CATALOGUE: dict[str, GoldenScenario] = {s.name: s for s in _catalogue()}
+
+
+def get(name: str) -> GoldenScenario:
+    """Look up one canonical scenario; unknown names list the valid ones."""
+    try:
+        return CATALOGUE[name]
+    except KeyError:
+        valid = ", ".join(sorted(CATALOGUE))
+        raise KeyError(f"unknown golden scenario {name!r}; valid: {valid}") from None
+
+
+def names() -> list[str]:
+    return list(CATALOGUE)

@@ -1,0 +1,74 @@
+"""Declared tolerances: every comparison in :mod:`repro.verify` names one.
+
+A :class:`Tolerance` bundles a relative and an absolute bound; a comparison
+passes when **either** bound covers the error (the usual ``isclose``
+semantics), so a tolerance can be tight in relative terms without rejecting
+near-zero values.  A :class:`Band` bounds a *ratio* instead — the right
+shape for analytic-vs-DES comparisons, where the closed form deliberately
+sits on one side of the exact-DES run (it assumes converged splits and
+hides the pipeline prologue) and the declared knowledge is "DES lands
+between 1.0x and 2.0x of the analytic step", not "they agree to 5%".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import require, require_nonnegative
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """``|actual - expected| <= max(rel * |expected|, abs)``."""
+
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.rel, "rel")
+        require_nonnegative(self.abs, "abs")
+
+    def ok(self, expected: float, actual: float) -> bool:
+        if math.isnan(expected) or math.isnan(actual):
+            return False
+        return abs(actual - expected) <= max(self.rel * abs(expected), self.abs)
+
+    def error(self, expected: float, actual: float) -> float:
+        """The violation margin (0 when within tolerance)."""
+        return max(0.0, abs(actual - expected) - max(self.rel * abs(expected), self.abs))
+
+    def describe(self) -> str:
+        parts = []
+        if self.rel:
+            parts.append(f"rel={self.rel:g}")
+        if self.abs:
+            parts.append(f"abs={self.abs:g}")
+        return "tol(" + ", ".join(parts or ["exact"]) + ")"
+
+
+@dataclass(frozen=True)
+class Band:
+    """``low <= actual / expected <= high`` (expected must be nonzero)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        require(self.low <= self.high, "band low must be <= high")
+
+    def ok(self, expected: float, actual: float) -> bool:
+        if expected == 0.0:
+            return actual == 0.0
+        ratio = actual / expected
+        return self.low <= ratio <= self.high
+
+    def describe(self) -> str:
+        return f"ratio in [{self.low:g}, {self.high:g}]"
+
+
+#: Aggregates of a deterministic seeded rerun should reproduce almost
+#: bit-for-bit; the slack absorbs summation-order differences across
+#: numpy/BLAS builds, nothing more.  A perturbed model constant moves
+#: results by orders of magnitude more than this.
+EXACT = Tolerance(rel=1e-6, abs=1e-12)

@@ -44,6 +44,7 @@ class TestStrongScaling:
 
 
 class TestEnergyLedger:
+    @pytest.mark.slow
     def test_consistency(self):
         data = run_energy_ledger()
         assert data.summary["run energy (kWh)"] == pytest.approx(

@@ -1,0 +1,118 @@
+"""Shared fixtures and builders for the whole test suite.
+
+The suites repeat one setup everywhere: a deterministic TianHe-1 compute
+element (``NO_VARIABILITY``, fresh :class:`~repro.sim.Simulator`), an
+:class:`~repro.core.adaptive.AdaptiveMapper` sized for the problem at hand,
+and a small seeded :class:`~repro.session.Scenario`.  The builders here are
+plain functions (importable as ``tests.conftest``) so module-level helpers
+and parametrize tables can use them too; the fixtures below wrap the common
+instantiations.
+"""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveMapper
+from repro.core.static_map import StaticMapper
+from repro.hpl.driver import Configuration
+from repro.hpl.element_linpack import ElementLinpack
+from repro.machine.node import ComputeElement
+from repro.machine.presets import XEON_E5450, tianhe1_element
+from repro.machine.variability import NO_VARIABILITY
+from repro.session import Scenario
+from repro.sim import Simulator
+from repro.util.rng import RngStream
+from repro.util.units import dgemm_flops
+
+#: The seed the canonical small scenarios run under (matches the golden set).
+TEST_SEED = 11
+
+
+def build_element(
+    cpu=None,
+    variability=NO_VARIABILITY,
+    gpu_clock_mhz=None,
+    telemetry=None,
+    rng_seed=None,
+):
+    """A deterministic single compute element on a fresh simulator."""
+    spec_kw = {}
+    if cpu is not None:
+        spec_kw["cpu"] = cpu
+    if gpu_clock_mhz is not None:
+        spec_kw["gpu_clock_mhz"] = gpu_clock_mhz
+    element_kw = {}
+    if telemetry is not None:
+        element_kw["telemetry"] = telemetry
+    if rng_seed is not None:
+        element_kw["rng"] = RngStream(rng_seed).child("el")
+    return ComputeElement(
+        Simulator(), tianhe1_element(**spec_kw), variability=variability, **element_kw
+    )
+
+
+def build_adaptive_mapper(element, n, k=1216, slack=1.05, **kw):
+    """An AdaptiveMapper with workload bins sized for N x N x k DGEMMs."""
+    return AdaptiveMapper(
+        element.initial_gsplit,
+        len(element.compute_cores),
+        max_workload=dgemm_flops(n, n, k) * slack,
+        **kw,
+    )
+
+
+def build_mapper(element, mapper_kind, n, k=1216, **kw):
+    """adaptive | gpu_only | static — the three mappings the suites compare."""
+    if mapper_kind == "adaptive":
+        return build_adaptive_mapper(element, n, k=k, **kw)
+    if mapper_kind == "gpu_only":
+        return StaticMapper(1.0, len(element.compute_cores))
+    return StaticMapper(element.initial_gsplit, len(element.compute_cores))
+
+
+def build_linpack_runner(mapper_kind="adaptive", n_for_bins=23000, cpu=None, **kw):
+    """A deterministic single-element Linpack runner (``jitter=False``)."""
+    element = build_element(cpu=cpu)
+    mapper = build_mapper(element, mapper_kind, n_for_bins)
+    return ElementLinpack(element, mapper, jitter=False, **kw)
+
+
+def small_scenario(configuration=Configuration.ACMLG_BOTH, **kw):
+    """A small seeded Scenario — the suites' canonical N=12000 single element."""
+    kw.setdefault("n", 12000)
+    kw.setdefault("seed", TEST_SEED)
+    return Scenario(configuration=configuration, **kw)
+
+
+@pytest.fixture
+def e5540_element():
+    """The canonical TianHe-1 element (Xeon E5540 + downclocked 4870X2)."""
+    return build_element()
+
+
+@pytest.fixture
+def e5450_element():
+    """The last-512-nodes element (faster-clocked Xeon E5450)."""
+    return build_element(cpu=XEON_E5450)
+
+
+@pytest.fixture
+def scenario_factory():
+    """Factory fixture for small seeded Scenarios."""
+    return small_scenario
+
+
+@pytest.fixture
+def warmed_mapper(e5540_element):
+    """An AdaptiveMapper whose databases saw one full Linpack run."""
+    mapper = build_adaptive_mapper(e5540_element, 12000)
+    runner = ElementLinpack(e5540_element, mapper, jitter=False)
+    runner.run_to_completion(12000)
+    return mapper
+
+
+@pytest.fixture
+def tmp_mapper_db(tmp_path, warmed_mapper):
+    """A warmed mapper database persisted to a temp file; yields the path."""
+    from repro.core.persistence import save_mapper
+
+    return save_mapper(warmed_mapper, tmp_path / "mapper.json")

@@ -1,0 +1,178 @@
+"""Property-based tests for the two-level adaptive mapper.
+
+The paper's update rule (GSplit := P_G / (P_G + P_C), CSplit_i := P_i / P_C)
+must hold its invariants under *any* physically sensible measurement
+sequence — arbitrary fault factors scaling the GPU rate, heterogeneous core
+rates, degenerate splits — not just the trajectories the benchmarks happen
+to produce.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveMapper, floor_normalize
+from repro.core.persistence import (
+    load_mapper,
+    mapper_state,
+    restore_mapper,
+    save_mapper,
+)
+from repro.verify.invariants import check_convergence, check_mapper_databases
+from tests.strategies import (
+    fault_factors,
+    observation_sequences,
+    rate_pairs,
+    workloads,
+)
+
+MAX_WORKLOAD = 1.6e13
+
+
+def make_mapper(**kw) -> AdaptiveMapper:
+    return AdaptiveMapper(0.889, 3, max_workload=MAX_WORKLOAD, **kw)
+
+
+def stationary_observation(mapper: AdaptiveMapper, workload, p_g, p_c):
+    """What the framework would measure at the mapper's current split under
+    stationary device rates (cores all equal)."""
+    from repro.core.adaptive import Observation
+
+    gsplit = mapper.gsplit(workload)
+    gpu_workload = gsplit * workload
+    cpu_workload = workload - gpu_workload
+    csplits = mapper.csplits()
+    core_workloads = tuple(cpu_workload * c for c in csplits)
+    per_core_rate = p_c / len(csplits)
+    return Observation(
+        workload=workload,
+        gpu_workload=gpu_workload,
+        gpu_time=gpu_workload / p_g if p_g > 0 else 0.0,
+        core_workloads=core_workloads,
+        core_times=tuple(w / per_core_rate for w in core_workloads),
+    )
+
+
+class TestGsplitClamping:
+    @given(observation_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_stored_splits_stay_in_bounds_under_arbitrary_faults(self, seq):
+        mapper = make_mapper()
+        for obs in seq:
+            mapper.observe(obs)
+            g = mapper.gsplit(obs.workload)
+            assert 0.0 <= g <= 1.0
+            assert g >= mapper.min_gsplit or g == 0.0
+        assert check_mapper_databases(mapper) == []
+
+    @given(observation_sequences(), workloads)
+    @settings(max_examples=25, deadline=None)
+    def test_every_bin_lookup_in_bounds(self, seq, probe):
+        mapper = make_mapper()
+        for obs in seq:
+            mapper.observe(obs)
+        assert 0.0 <= mapper.gsplit(probe) <= 1.0
+
+    @given(observation_sequences())
+    @settings(max_examples=25, deadline=None)
+    def test_csplits_always_partition_unity(self, seq):
+        mapper = make_mapper()
+        for obs in seq:
+            mapper.observe(obs)
+            csplits = mapper.csplits()
+            assert csplits.sum() == np.float64(1.0) or abs(csplits.sum() - 1.0) < 1e-9
+            assert (csplits >= mapper.min_csplit - 1e-12).all()
+
+    @given(observation_sequences())
+    @settings(max_examples=15, deadline=None)
+    def test_lost_gpu_reads_zero_but_database_survives(self, seq):
+        mapper = make_mapper()
+        for obs in seq:
+            mapper.observe(obs)
+        before = mapper.database_g.lookup(seq[-1].workload)
+        mapper.notify_gpu_lost()
+        assert mapper.gsplit(seq[-1].workload) == 0.0
+        for obs in seq:
+            mapper.observe(obs)  # observations while dead must not poison bins
+        mapper.notify_gpu_restored()
+        assert mapper.database_g.lookup(seq[-1].workload) == before
+
+
+class TestStationaryConvergence:
+    @given(rate_pairs, workloads)
+    @settings(max_examples=30, deadline=None)
+    def test_database_converges_to_rate_ratio(self, pair, workload):
+        p_g, p_c = pair
+        mapper = make_mapper()
+        history = []
+        for _ in range(12):
+            mapper.observe(stationary_observation(mapper, workload, p_g, p_c))
+            history.append(mapper.database_g.lookup(workload))
+        expected = max(mapper.min_gsplit, p_g / (p_g + p_c))
+        assert abs(history[-1] - expected) < 0.02
+        if expected > mapper.min_gsplit:
+            assert check_convergence(history, p_g, p_c) == []
+
+    @given(rate_pairs, workloads)
+    @settings(max_examples=15, deadline=None)
+    def test_convergence_is_monotone_after_first_update(self, pair, workload):
+        """One stationary measurement pins the bin; later ones keep it there."""
+        p_g, p_c = pair
+        mapper = make_mapper()
+        mapper.observe(stationary_observation(mapper, workload, p_g, p_c))
+        first = mapper.database_g.lookup(workload)
+        mapper.observe(stationary_observation(mapper, workload, p_g, p_c))
+        second = mapper.database_g.lookup(workload)
+        assert abs(second - first) <= abs(first - max(mapper.min_gsplit, p_g / (p_g + p_c))) + 1e-9
+
+
+class TestPersistenceRoundTrip:
+    @given(observation_sequences())
+    @settings(max_examples=25, deadline=None)
+    def test_state_round_trip_preserves_all_lookups(self, seq):
+        mapper = make_mapper()
+        for obs in seq:
+            mapper.observe(obs)
+        restored = restore_mapper(mapper_state(mapper))
+        for obs in seq:
+            assert restored.gsplit(obs.workload) == mapper.gsplit(obs.workload)
+        assert (restored.csplits() == mapper.csplits()).all()
+        assert restored.updates == mapper.updates
+
+    @given(observation_sequences(max_length=6))
+    @settings(max_examples=10, deadline=None)
+    def test_file_round_trip(self, tmp_path_factory, seq):
+        mapper = make_mapper()
+        for obs in seq:
+            mapper.observe(obs)
+        path = tmp_path_factory.mktemp("mapper_db") / "mapper.json"
+        save_mapper(mapper, path)
+        loaded = load_mapper(path)
+        for obs in seq:
+            assert loaded.gsplit(obs.workload) == mapper.gsplit(obs.workload)
+
+    def test_warmed_mapper_file_round_trip(self, tmp_mapper_db, warmed_mapper):
+        """The conftest fixtures: a real Linpack-warmed database survives disk."""
+        loaded = load_mapper(tmp_mapper_db)
+        probe = MAX_WORKLOAD / 2
+        assert loaded.gsplit(probe) == warmed_mapper.gsplit(probe)
+        assert (loaded.csplits() == warmed_mapper.csplits()).all()
+
+
+class TestFloorNormalize:
+    @given(
+        st.lists(st.floats(1e-6, 1.0), min_size=2, max_size=8),
+        st.floats(0.0, 0.1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_result_is_a_floored_partition(self, fractions, floor):
+        result = floor_normalize(np.array(fractions), floor)
+        assert abs(result.sum() - 1.0) < 1e-9
+        assert (result >= floor - 1e-12).all()
+
+    @given(st.lists(st.floats(0.01, 1.0), min_size=2, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_floor_is_plain_normalisation(self, fractions):
+        arr = np.array(fractions)
+        result = floor_normalize(arr, 0.0)
+        assert np.allclose(result, arr / arr.sum())

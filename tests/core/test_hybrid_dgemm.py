@@ -3,25 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.core.adaptive import AdaptiveMapper
 from repro.core.hybrid_dgemm import HybridDgemm, cpu_only_dgemm
 from repro.core.static_map import StaticMapper
-from repro.machine.node import ComputeElement
-from repro.machine.presets import tianhe1_element
 from repro.machine.variability import NO_VARIABILITY, VariabilitySpec
-from repro.sim import Simulator
-from repro.util.rng import RngStream
+from tests.conftest import build_adaptive_mapper, build_element
 
 
 def make_element(variability=NO_VARIABILITY, seed=0):
-    sim = Simulator()
-    return ComputeElement(
-        sim, tianhe1_element(), variability=variability, rng=RngStream(seed).child("el")
-    )
+    return build_element(variability=variability, rng_seed=seed)
 
 
 def make_adaptive(element, **kw):
-    return AdaptiveMapper(element.initial_gsplit, 3, max_workload=2.0 * 20000**3, **kw)
+    return build_adaptive_mapper(element, 20000, k=20000, slack=1.0, **kw)
 
 
 class TestNumericCorrectness:

@@ -5,15 +5,7 @@ import pytest
 
 from repro.core.pipeline import EO, IDLE, INPUT, N_INPUT, SoftwarePipeline, SyncExecutor
 from repro.core.taskqueue import build_task_queue
-from repro.machine.node import ComputeElement
-from repro.machine.presets import tianhe1_element
-from repro.machine.variability import NO_VARIABILITY
-from repro.sim import Simulator
-
-
-def make_element():
-    sim = Simulator()
-    return ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+from tests.conftest import build_element as make_element
 
 
 def run_executor(executor, queue, rate):

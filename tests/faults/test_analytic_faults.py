@@ -6,15 +6,10 @@ from repro.faults import FaultSpec, GpuDropout, GpuThrottle, PcieFaultSpec
 from repro.hpl.driver import Configuration
 from repro.machine.variability import NO_VARIABILITY
 from repro.session import Scenario, Session, run
+from tests.conftest import small_scenario as scenario
 
 N = 12000
 SEED = 11
-
-
-def scenario(configuration=Configuration.ACMLG_BOTH, **kw):
-    kw.setdefault("n", N)
-    kw.setdefault("seed", SEED)
-    return Scenario(configuration=configuration, **kw)
 
 
 class TestDeterminism:

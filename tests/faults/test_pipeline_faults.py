@@ -5,17 +5,9 @@ import pytest
 from repro.core.pipeline import SoftwarePipeline, SyncExecutor
 from repro.core.taskqueue import build_task_queue
 from repro.faults import FaultInjector, FaultSpec, PcieFaultSpec, PcieTransferError
-from repro.machine.node import ComputeElement
-from repro.machine.presets import tianhe1_element
-from repro.machine.variability import NO_VARIABILITY
-from repro.sim import Simulator
+from tests.conftest import build_element as make_element
 
 RATE = 150e9
-
-
-def make_element():
-    sim = Simulator()
-    return ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
 
 
 def run_with_faults(executor_cls, pcie=None, seed=3, n=16384):

@@ -2,30 +2,10 @@
 
 import pytest
 
-from repro.core.adaptive import AdaptiveMapper
-from repro.core.static_map import StaticMapper
-from repro.session import Scenario, run as run_scenario
-from repro.hpl.element_linpack import ElementLinpack
-from repro.machine.node import ComputeElement
-from repro.machine.presets import tianhe1_element
 from repro.machine.variability import NO_VARIABILITY
-from repro.sim import Simulator
-from repro.util.units import dgemm_flops, lu_flops
-
-
-def make_runner(mapper_kind="adaptive", n_for_bins=23000, **kw):
-    sim = Simulator()
-    element = ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
-    if mapper_kind == "adaptive":
-        mapper = AdaptiveMapper(
-            element.initial_gsplit, 3,
-            max_workload=dgemm_flops(n_for_bins, n_for_bins, 1216) * 1.05,
-        )
-    elif mapper_kind == "gpu_only":
-        mapper = StaticMapper(1.0, 3)
-    else:
-        mapper = StaticMapper(element.initial_gsplit, 3)
-    return ElementLinpack(element, mapper, jitter=False, **kw)
+from repro.session import Scenario, run as run_scenario
+from repro.util.units import lu_flops
+from tests.conftest import build_linpack_runner as make_runner
 
 
 class TestBasics:

@@ -11,24 +11,19 @@ that it beats the static baseline afterwards.
 import numpy as np
 import pytest
 
-from repro.core.adaptive import AdaptiveMapper
 from repro.core.hybrid_dgemm import HybridDgemm
 from repro.core.static_map import StaticMapper
-from repro.machine.node import ComputeElement
-from repro.machine.presets import DOWNCLOCKED_MHZ, tianhe1_element
+from repro.machine.presets import DOWNCLOCKED_MHZ
 from repro.machine.variability import NO_VARIABILITY, VariabilitySpec, thermal_drift
-from repro.sim import Simulator
-from repro.util.units import dgemm_flops
+from tests.conftest import build_adaptive_mapper, build_element
 
 N = 10240
 
 
 def make_engine(mapper_kind: str, variability=NO_VARIABILITY):
-    element = ComputeElement(Simulator(), tianhe1_element(), variability=variability)
+    element = build_element(variability=variability)
     if mapper_kind == "adaptive":
-        mapper = AdaptiveMapper(
-            element.initial_gsplit, 3, max_workload=dgemm_flops(N, N, N) * 1.05
-        )
+        mapper = build_adaptive_mapper(element, N, k=N)
     else:
         mapper = StaticMapper(element.initial_gsplit, 3)
     return element, mapper, HybridDgemm(element, mapper, pipelined=True, jitter=False)
@@ -100,17 +95,9 @@ class TestThermalDriftTracking:
     """A strongly drifting GPU: adaptive follows, static does not."""
 
     def make_drifting(self, mapper_kind, depth=0.25, tau=30.0):
-        element = ComputeElement(
-            Simulator(), tianhe1_element(), variability=NO_VARIABILITY
-        )
+        element, mapper, engine = make_engine(mapper_kind)
         element.gpu.drift = thermal_drift(depth, tau)
-        if mapper_kind == "adaptive":
-            mapper = AdaptiveMapper(
-                element.initial_gsplit, 3, max_workload=dgemm_flops(N, N, N) * 1.05
-            )
-        else:
-            mapper = StaticMapper(element.initial_gsplit, 3)
-        return element, mapper, HybridDgemm(element, mapper, pipelined=True, jitter=False)
+        return element, mapper, engine
 
     def test_gpu_rate_declines_over_the_run(self):
         element, _, engine = self.make_drifting("adaptive")

@@ -9,7 +9,6 @@ treats the two populations consistently.
 import numpy as np
 import pytest
 
-from repro.core.adaptive import AdaptiveMapper
 from repro.core.hybrid_dgemm import HybridDgemm, cpu_only_dgemm
 from repro.session import Scenario, run as run_scenario
 from repro.hpl.grid import ProcessGrid
@@ -18,13 +17,11 @@ from repro.machine.node import ComputeElement
 from repro.machine.presets import XEON_E5450, tianhe1_cluster, tianhe1_element
 from repro.machine.variability import NO_VARIABILITY
 from repro.sim import Simulator
-from repro.util.units import dgemm_flops
+from tests.conftest import build_adaptive_mapper, build_element
 
 
 def make_e5450_element():
-    return ComputeElement(
-        Simulator(), tianhe1_element(cpu=XEON_E5450), variability=NO_VARIABILITY
-    )
+    return build_element(cpu=XEON_E5450)
 
 
 class TestE5450Element:
@@ -54,12 +51,10 @@ class TestE5450Element:
     def test_hybrid_dgemm_faster_than_e5540(self):
         results = {}
         for name, element in (
-            ("e5540", ComputeElement(Simulator(), tianhe1_element(), variability=NO_VARIABILITY)),
+            ("e5540", build_element()),
             ("e5450", make_e5450_element()),
         ):
-            mapper = AdaptiveMapper(
-                element.initial_gsplit, 3, max_workload=dgemm_flops(24576, 24576, 24576)
-            )
+            mapper = build_adaptive_mapper(element, 24576, k=24576, slack=1.0)
             engine = HybridDgemm(element, mapper, pipelined=True, jitter=False)
             for _ in range(3):
                 results[name] = engine.run_to_completion(12288, 12288, 1216).gflops

@@ -11,16 +11,12 @@ import pytest
 
 from repro.core.hybrid_dgemm import HybridDgemm
 from repro.core.static_map import StaticMapper
-from repro.machine.node import ComputeElement
-from repro.machine.presets import tianhe1_element
-from repro.machine.variability import NO_VARIABILITY
 from repro.model.dgemm_model import DgemmShape, ElementRates, hybrid_dgemm_time
-from repro.sim import Simulator
+from tests.conftest import build_element
 
 
 def des_time(n, k, gsplit, pipelined, beta_nonzero=True):
-    sim = Simulator()
-    element = ComputeElement(sim, tianhe1_element(), variability=NO_VARIABILITY)
+    element = build_element()
     hd = HybridDgemm(element, StaticMapper(gsplit, 3), pipelined=pipelined, jitter=False)
     result = hd.run_to_completion(n, n, k, beta_nonzero=beta_nonzero)
     return result.t_total, element

@@ -8,25 +8,18 @@ telemetry enabled, disabled, or ambient.
 import numpy as np
 
 from repro import obs
-from repro.core.adaptive import AdaptiveMapper, update_overhead_seconds
+from repro.core.adaptive import update_overhead_seconds
 from repro.core.hybrid_dgemm import HybridDgemm
 from repro.session import Scenario, run as run_scenario
-from repro.machine.node import ComputeElement
-from repro.machine.presets import tianhe1_element
-from repro.machine.variability import NO_VARIABILITY
 from repro.sim import Simulator
 from repro.util.units import dgemm_flops
+from tests.conftest import build_adaptive_mapper, build_element
 
 
 def make_engine(n, pipelined=False, telemetry=None):
-    element = ComputeElement(
-        Simulator(), tianhe1_element(), variability=NO_VARIABILITY, telemetry=telemetry
-    )
-    mapper = AdaptiveMapper(
-        element.initial_gsplit,
-        3,
-        max_workload=dgemm_flops(2 * n, 2 * n, 2 * n),
-        telemetry=telemetry,
+    element = build_element(telemetry=telemetry)
+    mapper = build_adaptive_mapper(
+        element, 2 * n, k=2 * n, slack=1.0, telemetry=telemetry
     )
     return HybridDgemm(element, mapper, pipelined=pipelined, jitter=False)
 

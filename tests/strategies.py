@@ -1,0 +1,59 @@
+"""Shared hypothesis strategies for the property-based suites.
+
+Strategies generate *physically sensible* inputs (positive rates, consistent
+workload partitions, fault factors in the modelled range) so properties test
+the model's laws, not garbage-in tolerance.  Import as ``tests.strategies``.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.adaptive import Observation
+
+#: GPU fault factors: 1.0 = healthy, down to a deep 10% throttle.  Zero is
+#: excluded — a dead GPU goes through notify_gpu_lost, not a rate factor.
+fault_factors = st.floats(0.1, 1.0, allow_nan=False, allow_infinity=False)
+
+#: Split fractions over the full closed range.
+gsplits = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+
+#: DGEMM workloads in flops, panel-update sized (nonzero, up to ~2N^3 at 20k).
+workloads = st.floats(1e9, 1.6e13, allow_nan=False, allow_infinity=False)
+
+#: Device rates in flop/s: from a crippled core to a healthy GPU.
+rates = st.floats(1e9, 400e9, allow_nan=False, allow_infinity=False)
+
+#: (P_G, P_C) pairs for stationary-rate convergence runs.
+rate_pairs = st.tuples(rates, rates)
+
+
+@st.composite
+def observations(draw, n_cores: int = 3) -> Observation:
+    """A consistent Observation: a workload split between GPU and cores,
+    every part timed at a finite positive rate (possibly fault-scaled)."""
+    workload = draw(workloads)
+    gsplit = draw(gsplits)
+    gpu_workload = gsplit * workload
+    gpu_rate = draw(rates) * draw(fault_factors)
+    cpu_workload = workload - gpu_workload
+    core_shares = draw(
+        st.lists(st.floats(0.05, 1.0), min_size=n_cores, max_size=n_cores)
+    )
+    total_share = sum(core_shares)
+    core_workloads = tuple(cpu_workload * s / total_share for s in core_shares)
+    core_rates = [draw(rates) for _ in range(n_cores)]
+    return Observation(
+        workload=workload,
+        gpu_workload=gpu_workload,
+        gpu_time=gpu_workload / gpu_rate,
+        core_workloads=core_workloads,
+        core_times=tuple(
+            w / r for w, r in zip(core_workloads, core_rates)
+        ),
+    )
+
+
+@st.composite
+def observation_sequences(draw, n_cores: int = 3, max_length: int = 12):
+    """Short sequences of consistent observations (mapper warm-up runs)."""
+    length = draw(st.integers(1, max_length))
+    return [draw(observations(n_cores=n_cores)) for _ in range(length)]

@@ -1,0 +1,79 @@
+"""The ``python -m repro.verify`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.verify.cli import main
+
+FAST = ["fig8_cpu", "fault_dropout"]
+
+
+def _only(names):
+    args = []
+    for name in names:
+        args += ["--only", name]
+    return args
+
+
+@pytest.fixture(scope="module")
+def recorded_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("cli_golden")
+    assert main(["record", "--golden-dir", str(d)] + _only(FAST)) == 0
+    return d
+
+
+class TestRecordAndList:
+    def test_record_reports_written_paths(self, recorded_dir, capsys):
+        main(["record", "--golden-dir", str(recorded_dir), "--only", "fig8_cpu"])
+        out = capsys.readouterr().out
+        assert "recorded" in out and "fig8_cpu.json" in out
+
+    def test_list_shows_status(self, recorded_dir, capsys):
+        assert main(["list", "--golden-dir", str(recorded_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "fig8_cpu" in out and "[recorded" in out
+        assert "NOT RECORDED" in out  # the ones we didn't record here
+
+    def test_unknown_scenario_errors(self, recorded_dir):
+        with pytest.raises(KeyError, match="valid"):
+            main(["record", "--golden-dir", str(recorded_dir), "--only", "nope"])
+
+
+class TestCheck:
+    def test_passing_check_exits_zero(self, recorded_dir, capsys):
+        code = main(["check", "--golden-dir", str(recorded_dir)] + _only(FAST))
+        assert code == 0
+        assert "0 divergence(s)" in capsys.readouterr().out
+
+    def test_missing_trace_exits_nonzero(self, tmp_path, capsys):
+        code = main(["check", "--golden-dir", str(tmp_path), "--only", "fig8_cpu"])
+        assert code == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_report_out_writes_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = main([
+            "check", "--golden-dir", str(tmp_path), "--only", "fig8_cpu",
+            "--report-out", str(out_path),
+        ])
+        assert code == 1
+        data = json.loads(out_path.read_text())
+        assert data["ok"] is False
+        assert data["divergences"][0]["trace"] == "fig8_cpu"
+
+
+class TestDiff:
+    def test_diff_renders_table(self, recorded_dir, capsys):
+        assert main(["diff", "--golden-dir", str(recorded_dir)] + _only(FAST)) == 0
+        out = capsys.readouterr().out
+        assert "fresh GFLOPS" in out and "fig8_cpu" in out
+
+
+class TestCrossval:
+    def test_crossval_runs_the_matrix(self, tmp_path, capsys):
+        out_path = tmp_path / "crossval.json"
+        code = main(["crossval", "--report-out", str(out_path)])
+        assert code == 0
+        assert "6 trace(s) checked" in capsys.readouterr().out
+        assert json.loads(out_path.read_text())["ok"] is True

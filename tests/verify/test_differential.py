@@ -1,0 +1,62 @@
+"""Analytic-vs-DES differential checking across the preset/fault matrix."""
+
+import pytest
+
+from repro.verify.differential import (
+    MATRIX,
+    DifferentialCase,
+    DifferentialTolerances,
+    run_case,
+    run_matrix,
+)
+from repro.verify.tolerance import Band
+
+
+class TestMatrixShape:
+    def test_three_presets_times_fault_modes(self):
+        assert len(MATRIX) == 6
+        presets = {c.name.split("/")[0] for c in MATRIX}
+        assert len(presets) == 3
+        assert sum(c.faulted for c in MATRIX) == 3
+        assert sum(not c.faulted for c in MATRIX) == 3
+
+    def test_names_are_unique(self):
+        assert len({c.name for c in MATRIX}) == len(MATRIX)
+
+
+@pytest.mark.parametrize("case", MATRIX, ids=lambda c: c.name.replace("/", "-"))
+def test_twins_agree_within_declared_bands(case):
+    outcome = run_case(case)
+    assert outcome.report.ok, "\n" + outcome.report.render()
+    # The DES run must actually sit above the closed form (the band's
+    # lower edge is a real constraint, not slack).
+    assert outcome.des.elapsed >= outcome.analytic.elapsed
+
+
+def test_throttled_twins_tell_the_same_story():
+    """The injector's rate scaling matches physically downclocked hardware:
+    both twins slow down by a comparable factor under the same throttle."""
+    clean = run_case(next(c for c in MATRIX if c.name == "e5540/clean"))
+    hot = run_case(next(c for c in MATRIX if c.name == "e5540/throttled"))
+    analytic_slowdown = hot.analytic.elapsed / clean.analytic.elapsed
+    des_slowdown = hot.des.elapsed / clean.des.elapsed
+    assert analytic_slowdown > 1.05 and des_slowdown > 1.05
+    assert analytic_slowdown == pytest.approx(des_slowdown, rel=0.10)
+
+
+def test_tight_band_produces_named_divergence():
+    case = DifferentialCase(
+        name="probe/tight",
+        tolerances=DifferentialTolerances(elapsed_band=Band(1.0, 1.001)),
+    )
+    outcome = run_case(case)
+    assert not outcome.report.ok
+    div = next(d for d in outcome.report.divergences if d.metric == "elapsed")
+    assert div.trace == "probe/tight"
+    assert "ratio" in div.tolerance
+
+
+def test_run_matrix_aggregates_everything():
+    report = run_matrix()
+    assert report.ok, "\n" + report.render()
+    assert len(report.checked) == len(MATRIX)

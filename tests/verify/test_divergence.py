@@ -1,0 +1,98 @@
+"""Divergence records and reports — the verify layer's failure language."""
+
+import json
+
+import pytest
+
+from repro.verify.divergence import Divergence, DivergenceReport, VerificationError
+
+
+def _div(**kw) -> Divergence:
+    base = dict(
+        trace="fig8_acmlg_both",
+        metric="gflops",
+        expected=77.6,
+        actual=75.1,
+        tolerance="tol(rel=1e-06)",
+    )
+    base.update(kw)
+    return Divergence(**base)
+
+
+class TestDivergence:
+    def test_describe_names_trace_metric_values_and_tolerance(self):
+        line = _div().describe()
+        for needle in ("fig8_acmlg_both", "gflops", "77.6", "75.1", "tol(rel=1e-06)"):
+            assert needle in line
+
+    def test_describe_includes_step_when_per_step(self):
+        assert "step 3" in _div(step=3).describe()
+        assert "step" not in _div().describe()
+
+    def test_describe_appends_detail(self):
+        assert "flop conservation" in _div(detail="invariant: flop conservation").describe()
+
+    def test_none_values_render(self):
+        line = _div(expected=None, actual=None).describe()
+        assert "None" in line
+
+
+class TestDivergenceReport:
+    def test_empty_report_is_ok_and_truthy(self):
+        report = DivergenceReport(checked=["a"])
+        assert report.ok and bool(report) and len(report) == 0
+
+    def test_add_flips_ok(self):
+        report = DivergenceReport()
+        report.add(_div())
+        assert not report.ok and not bool(report) and len(report) == 1
+
+    def test_extend_accepts_lists_and_reports(self):
+        inner = DivergenceReport(checked=["x"])
+        inner.add(_div(trace="x"))
+        outer = DivergenceReport(checked=["y"])
+        outer.extend([_div(trace="y")])
+        outer.extend(inner)
+        assert len(outer) == 2
+        assert outer.checked == ["y", "x"]
+
+    def test_traces_deduplicated_in_first_hit_order(self):
+        report = DivergenceReport()
+        report.extend([_div(trace="b"), _div(trace="a"), _div(trace="b")])
+        assert report.traces() == ["b", "a"]
+
+    def test_render_lists_every_divergence(self):
+        report = DivergenceReport(checked=["a", "b"])
+        report.add(_div(step=2))
+        text = report.render()
+        assert "2 trace(s) checked" in text
+        assert "DIVERGED" in text and "step 2" in text
+
+    def test_render_passing_report_says_so(self):
+        report = DivergenceReport(checked=["a"])
+        assert "within declared tolerances" in report.render()
+
+    def test_json_round_trip(self, tmp_path):
+        report = DivergenceReport(checked=["a"])
+        report.add(_div(step=1, detail="d"))
+        path = report.write_json(tmp_path / "report.json")
+        data = json.loads(path.read_text())
+        assert data["ok"] is False
+        assert data["checked"] == ["a"]
+        assert data["divergences"][0]["metric"] == "gflops"
+        assert data["divergences"][0]["step"] == 1
+
+    def test_raise_if_diverged(self):
+        report = DivergenceReport()
+        report.raise_if_diverged()  # passing report: no raise
+        report.add(_div())
+        with pytest.raises(VerificationError) as exc:
+            report.raise_if_diverged()
+        assert exc.value.report is report
+        assert "gflops" in str(exc.value)
+
+    def test_verification_error_is_an_assertion(self):
+        report = DivergenceReport()
+        report.add(_div())
+        with pytest.raises(AssertionError):
+            report.raise_if_diverged()

@@ -1,0 +1,108 @@
+"""The golden-trace store: record/check round trips and drift detection."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+import repro.hpl.driver as driver
+from repro.hpl.driver import Configuration
+from repro.verify import golden
+from repro.verify.golden import DEFAULT_GOLDEN_DIR, check, diff_rows, record, trace_path
+
+FAST = ["fig8_cpu", "fig8_acmlg_both", "fault_throttle"]
+
+
+@pytest.fixture(scope="module")
+def recorded_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("golden")
+    record(FAST, golden_dir=d)
+    return d
+
+
+class TestRecord:
+    def test_writes_one_file_per_scenario(self, recorded_dir):
+        for name in FAST:
+            assert trace_path(name, recorded_dir).exists()
+
+    def test_payload_shape(self, recorded_dir):
+        data = json.loads(trace_path("fault_throttle", recorded_dir).read_text())
+        assert data["version"] == golden.FORMAT_VERSION
+        assert data["scenario"]["faults"] is True
+        rec = data["recorded"]
+        assert rec["gflops"] > 0 and rec["elapsed"] > 0
+        assert rec["degraded"] is not None
+        assert "gpu_throttle" in rec["fault_events"]
+        assert len(rec["steps"]) > 3
+        assert set(golden.STEP_FIELDS) <= set(rec["steps"][0])
+
+
+class TestCheck:
+    def test_round_trip_passes(self, recorded_dir):
+        report = check(FAST, golden_dir=recorded_dir)
+        assert report.ok
+        assert report.checked == FAST
+
+    def test_missing_trace_names_the_record_command(self, tmp_path):
+        report = check(["fig8_cpu"], golden_dir=tmp_path)
+        assert not report.ok
+        assert "record" in report.divergences[0].detail
+
+    def test_version_mismatch_asks_for_rerecord(self, recorded_dir, tmp_path):
+        src = trace_path("fig8_cpu", recorded_dir).read_text()
+        data = json.loads(src)
+        data["version"] = 999
+        trace_path("fig8_cpu", tmp_path).write_text(json.dumps(data))
+        report = check(["fig8_cpu"], golden_dir=tmp_path)
+        assert any(d.metric == "version" for d in report.divergences)
+
+    def test_hand_edited_aggregate_is_caught(self, recorded_dir, tmp_path):
+        data = json.loads(trace_path("fig8_cpu", recorded_dir).read_text())
+        data["recorded"]["gflops"] *= 1.01
+        trace_path("fig8_cpu", tmp_path).write_text(json.dumps(data))
+        report = check(["fig8_cpu"], golden_dir=tmp_path)
+        assert any(d.metric == "gflops" for d in report.divergences)
+
+    def test_perturbed_model_constant_fails_readably(self, recorded_dir, monkeypatch):
+        """The acceptance probe: nudge panel efficiency by ~2%, expect a
+        divergence naming the trace, the step and the metric."""
+        cfg = driver._ANALYTIC[Configuration.ACMLG_BOTH]
+        monkeypatch.setitem(
+            driver._ANALYTIC,
+            Configuration.ACMLG_BOTH,
+            replace(cfg, panel_efficiency=cfg.panel_efficiency - 0.01),
+        )
+        report = check(["fig8_acmlg_both"], golden_dir=recorded_dir)
+        assert not report.ok
+        per_step = [d for d in report.divergences if d.step is not None]
+        assert per_step, "expected per-step divergences"
+        line = per_step[0].describe()
+        assert "fig8_acmlg_both" in line and "step" in line and per_step[0].metric
+
+    def test_committed_store_covers_whole_catalogue(self):
+        """The repo ships a recorded trace for every canonical scenario."""
+        from repro.verify import scenarios
+
+        for name in scenarios.names():
+            assert trace_path(name, DEFAULT_GOLDEN_DIR).exists(), (
+                f"golden trace for {name} missing from tests/golden/"
+            )
+
+
+class TestDiff:
+    def test_rows_compare_recorded_and_fresh(self, recorded_dir):
+        rows = diff_rows(["fig8_cpu"], golden_dir=recorded_dir)
+        assert rows[0]["recorded_gflops"] == pytest.approx(rows[0]["fresh_gflops"])
+
+    def test_unrecorded_rows_have_none(self, tmp_path):
+        rows = diff_rows(["fig8_cpu"], golden_dir=tmp_path)
+        assert rows[0]["recorded_gflops"] is None
+        assert rows[0]["fresh_gflops"] > 0
+
+
+@pytest.mark.slow
+class TestCommittedStore:
+    def test_full_check_against_committed_traces(self):
+        """CI's main-branch gate: the committed golden store must verify."""
+        report = check(golden_dir=DEFAULT_GOLDEN_DIR)
+        assert report.ok, "\n" + report.render()

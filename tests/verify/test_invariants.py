@@ -1,0 +1,244 @@
+"""The invariant catalogue: each checker accepts clean runs, flags broken ones."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.adaptive import AdaptiveMapper, Observation
+from repro.core.pipeline import EO, IDLE, INPUT, N_IDLE, N_INPUT, StateRecord
+from repro.faults.spec import DegradedMode, FaultEvent
+from repro.hpl.driver import Configuration
+from repro.session import Scenario, Session
+from repro.verify.invariants import (
+    RunWatcher,
+    check_convergence,
+    check_fault_consistency,
+    check_flop_conservation,
+    check_gsplit_bounds,
+    check_mapper_databases,
+    check_monotone_clock,
+    check_pipeline_legality,
+    check_run,
+    split_conservation,
+    stationary_gsplit,
+    watch,
+)
+from repro.verify.divergence import VerificationError
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    scenario = Scenario(
+        configuration=Configuration.ACMLG_BOTH, n=9000, seed=11, collect_steps=True
+    )
+    return Session(scenario).run()
+
+
+class TestFlopConservation:
+    def test_clean_run_conserves(self, clean_result):
+        assert check_flop_conservation(clean_result) == []
+
+    def test_requires_collected_steps(self):
+        result = Session(
+            Scenario(configuration="acmlg_both", n=9000, seed=11)
+        ).run()
+        divs = check_flop_conservation(result)
+        assert divs and "collect" in divs[0].tolerance
+
+    def test_detects_tampered_step_flops(self, clean_result):
+        steps = list(clean_result.analytic.steps)
+        steps[2] = replace(steps[2], flops=steps[2].flops * 1.001)
+        tampered = replace(clean_result.analytic, steps=steps)
+        divs = check_flop_conservation(tampered, trace="t")
+        assert any(d.metric == "step_flops" and d.step == 2 for d in divs)
+
+    def test_split_conservation_accepts_exact_cover(self):
+        assert split_conservation(100, [60, 20, 20]) == []
+
+    def test_split_conservation_rejects_loss_and_negative_rows(self):
+        assert split_conservation(100, [60, 20, 19])
+        assert split_conservation(100, [120, -20])
+
+
+class TestSplitBounds:
+    def test_clean_run_in_bounds(self, clean_result):
+        assert check_gsplit_bounds(clean_result) == []
+
+    def test_detects_out_of_range_split(self, clean_result):
+        steps = list(clean_result.analytic.steps)
+        steps[0] = replace(steps[0], mean_gsplit=1.2)
+        tampered = replace(clean_result.analytic, steps=steps)
+        divs = check_gsplit_bounds(tampered)
+        assert divs and divs[0].metric == "gsplit"
+
+    def test_mapper_databases_valid_after_observations(self):
+        mapper = AdaptiveMapper(0.8, 2, max_workload=1e12)
+        for _ in range(6):
+            mapper.observe(
+                Observation(
+                    workload=1e10,
+                    gpu_workload=8e9,
+                    gpu_time=0.02,
+                    core_workloads=(1e9, 1e9),
+                    core_times=(0.02, 0.02),
+                )
+            )
+        assert check_mapper_databases(mapper) == []
+
+
+class TestMonotoneClock:
+    def test_clean_run_monotone(self, clean_result):
+        assert check_monotone_clock(clean_result) == []
+
+    def test_detects_negative_step_time(self, clean_result):
+        steps = list(clean_result.analytic.steps)
+        steps[1] = replace(steps[1], step_time=-0.5)
+        tampered = replace(clean_result.analytic, steps=steps)
+        divs = check_monotone_clock(tampered)
+        assert any(d.metric == "step_time" and d.step == steps[1].step for d in divs)
+
+
+class TestPipelineLegality:
+    def test_legal_ct_nt_interleaving(self):
+        log = [
+            StateRecord(0.0, "CT", IDLE, 0),
+            StateRecord(0.0, "NT", N_IDLE, 1),
+            StateRecord(0.1, "CT", INPUT, 0),
+            StateRecord(0.2, "NT", N_INPUT, 1),
+            StateRecord(0.3, "CT", EO, 0),
+            StateRecord(0.5, "CT", IDLE, 1),
+            StateRecord(0.6, "CT", EO, 1),  # Idle -> EO legal: NT prefetched
+            StateRecord(0.7, "CT", IDLE, None),
+            StateRecord(0.7, "NT", N_IDLE, None),
+        ]
+        assert check_pipeline_legality(log) == []
+
+    def test_illegal_transition_flagged(self):
+        log = [
+            StateRecord(0.0, "CT", INPUT, 0),
+            StateRecord(0.1, "CT", INPUT, 0),  # Input -> Input is not in Table I
+        ]
+        divs = check_pipeline_legality(log)
+        assert any(d.metric == "transition" for d in divs)
+
+    def test_unknown_controller_and_state_flagged(self):
+        divs = check_pipeline_legality([StateRecord(0.0, "XT", IDLE, 0)])
+        assert any(d.metric == "controller" for d in divs)
+        divs = check_pipeline_legality([StateRecord(0.0, "NT", "Weird", 0)])
+        assert any(d.metric == "state" for d in divs)
+
+    def test_clock_must_not_rewind(self):
+        log = [
+            StateRecord(1.0, "CT", IDLE, 0),
+            StateRecord(0.5, "CT", INPUT, 0),
+        ]
+        divs = check_pipeline_legality(log)
+        assert any(d.metric == "state_time" for d in divs)
+
+
+class TestFaultConsistency:
+    def test_none_is_consistent(self):
+        assert check_fault_consistency(None) == []
+
+    def test_real_faulted_run_is_consistent(self):
+        from repro.faults.spec import FaultSpec, GpuThrottle
+
+        result = Session(
+            Scenario(
+                configuration="acmlg_both",
+                n=9000,
+                seed=11,
+                collect_steps=True,
+                faults=FaultSpec(throttles=(GpuThrottle(at=1.0, clock_factor=0.6),)),
+            )
+        ).run()
+        assert result.degraded is not None
+        assert check_fault_consistency(result.degraded) == []
+
+    def test_flag_without_event_flagged(self):
+        degraded = DegradedMode(gpu_throttled=True, events=[])
+        divs = check_fault_consistency(degraded)
+        assert any(d.metric == "gpu_throttled" for d in divs)
+
+    def test_event_without_flag_flagged(self):
+        degraded = DegradedMode(events=[FaultEvent(1.0, "gpu_dropout")])
+        divs = check_fault_consistency(degraded)
+        assert any(d.metric == "gpu_lost" for d in divs)
+
+    def test_retry_counter_must_match_events(self):
+        degraded = DegradedMode(
+            pcie_degraded=True,
+            pcie_retries=3,
+            events=[FaultEvent(0.5, "pcie_retry")],
+        )
+        divs = check_fault_consistency(degraded)
+        assert any(d.metric == "pcie_retries" for d in divs)
+
+    def test_events_must_be_time_ordered(self):
+        degraded = DegradedMode(
+            straggling=True,
+            events=[FaultEvent(2.0, "straggler_on"), FaultEvent(1.0, "pcie_retry")],
+        )
+        divs = check_fault_consistency(degraded)
+        assert any(d.metric in ("event_order", "pcie_retries") for d in divs)
+        assert any(d.metric == "event_order" for d in divs)
+
+
+class TestConvergence:
+    def test_stationary_gsplit_is_rate_ratio(self):
+        assert stationary_gsplit(400.0, 100.0) == pytest.approx(0.8)
+        assert stationary_gsplit(0.0, 0.0) == 0.0
+
+    def test_converged_history_passes(self):
+        history = [0.5, 0.7, 0.78, 0.80, 0.80, 0.80, 0.80, 0.80]
+        assert check_convergence(history, 400.0, 100.0) == []
+
+    def test_diverged_history_flagged(self):
+        history = [0.5] * 6
+        divs = check_convergence(history, 400.0, 100.0)
+        assert divs and divs[0].metric == "converged_gsplit"
+
+
+class TestCheckRun:
+    def test_clean_run_passes_everything(self, clean_result):
+        report = check_run(clean_result, trace="clean")
+        assert report.ok
+        assert report.checked == ["clean"]
+
+    def test_tampering_names_trace_step_and_metric(self, clean_result):
+        steps = list(clean_result.analytic.steps)
+        steps[3] = replace(steps[3], flops=0.0)
+        tampered = replace(clean_result.analytic, steps=steps)
+        report = check_run(tampered, trace="tampered")
+        assert not report.ok
+        line = report.divergences[0].describe()
+        assert "tampered" in line and "step" in line
+
+
+class TestRunWatcher:
+    def test_watch_accepts_an_instrumented_run(self):
+        with watch("watched") as watcher:
+            Session(
+                Scenario(configuration="acmlg_both", n=9000, seed=11)
+            ).run(telemetry=watcher.telemetry)
+        assert watcher.report.ok
+        # The run actually published something — the watcher saw real data.
+        assert watcher.telemetry.sink.spans or watcher.telemetry.metrics.get(
+            "hpl.step_seconds"
+        )
+
+    def test_watcher_flags_unclosed_span(self):
+        watcher = RunWatcher("spans")
+        watcher.telemetry.sink.begin("element0", "dgemm", 0.0)
+        report = watcher.verify()
+        assert any(d.metric == "open_span" for d in report.divergences)
+
+    def test_strict_watch_raises(self):
+        with pytest.raises(VerificationError):
+            with watch("strict") as watcher:
+                watcher.telemetry.sink.begin("element0", "dgemm", 0.0)
+
+    def test_non_strict_watch_reports_instead(self):
+        with watch("lax", strict=False) as watcher:
+            watcher.telemetry.sink.begin("element0", "dgemm", 0.0)
+        assert not watcher.report.ok

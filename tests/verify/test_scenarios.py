@@ -1,0 +1,56 @@
+"""Canonical scenario catalogue integrity."""
+
+import pytest
+
+from repro.hpl.driver import Configuration
+from repro.verify import scenarios
+from repro.verify.scenarios import CATALOGUE, GOLDEN_SEED, get, names, small_cluster
+
+
+class TestCatalogue:
+    def test_every_configuration_has_a_fig8_entry(self):
+        for config in Configuration:
+            assert f"fig8_{config.value}" in CATALOGUE
+
+    def test_fault_classes_all_covered(self):
+        fault_entries = [n for n in names() if n.startswith("fault_")]
+        assert {"fault_throttle", "fault_dropout", "fault_pcie"} <= set(fault_entries)
+        # ... and every fault entry really carries a fault spec.
+        for name in fault_entries:
+            assert get(name).scenario().faults is not None
+
+    def test_builders_produce_seeded_step_collecting_scenarios(self):
+        for name in names():
+            scenario = get(name).scenario()
+            assert scenario.seed == GOLDEN_SEED, name
+            assert scenario.collect_steps, name
+
+    def test_builders_are_deterministic(self):
+        a, b = get("fig8_acmlg_both").scenario(), get("fig8_acmlg_both").scenario()
+        assert a.n == b.n and a.configuration is b.configuration
+
+    def test_unknown_name_lists_valid_ones(self):
+        with pytest.raises(KeyError, match="fig8_cpu"):
+            get("not_a_scenario")
+
+    def test_names_match_catalogue(self):
+        assert names() == list(CATALOGUE)
+
+
+class TestSmallCluster:
+    def test_one_node_per_cpu_spec(self):
+        cluster = small_cluster()
+        assert cluster.n_elements == 2  # one node = two elements
+
+    def test_mixed_population(self):
+        from repro.machine.presets import XEON_E5450, XEON_E5540
+
+        cluster = small_cluster((XEON_E5540, XEON_E5450))
+        assert cluster.n_elements == 4
+        cpus = {cluster.element_spec(i).cpu.name for i in range(cluster.n_elements)}
+        assert cpus == {XEON_E5540.name, XEON_E5450.name}
+
+    def test_seeded_build_is_reproducible(self):
+        a, b = small_cluster(), small_cluster()
+        ra, rb = a.rate_table(), b.rate_table()
+        assert (ra.gpu_peak == rb.gpu_peak).all()

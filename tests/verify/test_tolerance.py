@@ -1,0 +1,82 @@
+"""Tolerance and Band semantics — the verify layer's comparison primitives."""
+
+import math
+
+import pytest
+
+from repro.verify.tolerance import EXACT, Band, Tolerance
+
+
+class TestTolerance:
+    def test_exact_default_rejects_any_difference(self):
+        assert Tolerance().ok(1.0, 1.0)
+        assert not Tolerance().ok(1.0, 1.0 + 1e-15)
+
+    def test_relative_bound(self):
+        tol = Tolerance(rel=0.01)
+        assert tol.ok(100.0, 100.9)
+        assert not tol.ok(100.0, 101.1)
+
+    def test_absolute_bound_covers_near_zero(self):
+        tol = Tolerance(rel=1e-9, abs=0.5)
+        assert tol.ok(0.0, 0.4)
+        assert not tol.ok(0.0, 0.6)
+
+    def test_either_bound_suffices(self):
+        tol = Tolerance(rel=0.1, abs=1.0)
+        assert tol.ok(100.0, 109.0)  # covered by rel
+        assert tol.ok(0.1, 0.9)  # covered by abs
+        assert not tol.ok(100.0, 112.0)
+
+    def test_symmetric(self):
+        tol = Tolerance(rel=0.05)
+        assert tol.ok(100.0, 95.1) and tol.ok(100.0, 104.9)
+
+    def test_nan_never_passes(self):
+        tol = Tolerance(rel=1.0, abs=1e9)
+        assert not tol.ok(math.nan, 1.0)
+        assert not tol.ok(1.0, math.nan)
+
+    def test_error_margin(self):
+        tol = Tolerance(abs=1.0)
+        assert tol.error(10.0, 10.5) == 0.0
+        assert tol.error(10.0, 12.0) == pytest.approx(1.0)
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Tolerance(rel=-0.1)
+        with pytest.raises(ValueError):
+            Tolerance(abs=-1.0)
+
+    def test_describe_names_the_bounds(self):
+        assert Tolerance(rel=1e-6).describe() == "tol(rel=1e-06)"
+        assert Tolerance(abs=0.15).describe() == "tol(abs=0.15)"
+        assert Tolerance().describe() == "tol(exact)"
+
+    def test_exact_constant_is_tight(self):
+        assert EXACT.ok(77.608, 77.608 * (1 + 1e-7))
+        assert not EXACT.ok(77.608, 77.608 * (1 + 1e-5))
+
+
+class TestBand:
+    def test_ratio_inside_band(self):
+        band = Band(1.0, 1.7)
+        assert band.ok(10.0, 14.0)
+        assert not band.ok(10.0, 18.0)
+        assert not band.ok(10.0, 9.0)
+
+    def test_inclusive_edges(self):
+        band = Band(0.5, 2.0)
+        assert band.ok(10.0, 5.0) and band.ok(10.0, 20.0)
+
+    def test_zero_expected_requires_zero_actual(self):
+        band = Band(0.5, 2.0)
+        assert band.ok(0.0, 0.0)
+        assert not band.ok(0.0, 1e-9)
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ValueError):
+            Band(2.0, 1.0)
+
+    def test_describe(self):
+        assert Band(1.0, 1.7).describe() == "ratio in [1, 1.7]"
