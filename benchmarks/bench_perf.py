@@ -1,0 +1,257 @@
+"""Performance benchmark of the sweep-execution layer — emits BENCH_perf.json.
+
+Measures the three optimizations this layer stacks on the paper's sweeps,
+each against the serial scalar oracle *on the same machine*:
+
+* ``fig9_sweep``   — the Fig. 9 grid, serial scalar vs parallel scalar
+  (must be bit-identical) vs parallel+vectorized batch stepper (must agree
+  to 1e-9 relative).
+* ``crossval``     — the analytic-vs-DES differential matrix, serial vs
+  parallel (reports must be structurally identical).
+* ``cache``        — cold vs warm Fig. 9 through the on-disk result cache
+  (warm must serve >= 90% of lookups from disk).
+* ``des_engine``   — raw kernel throughput on a relay-heavy workload mix
+  (event pooling + O(1) barriers).
+
+Usage::
+
+    python benchmarks/bench_perf.py --quick --check
+    python benchmarks/bench_perf.py --out benchmarks/out/BENCH_perf.json
+
+``--check`` turns the correctness comparisons into hard assertions (the CI
+bench-smoke lane runs it); speedups are reported, never asserted — they
+depend on the core count of the machine running the benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.linpack_sweep import _fig9_values
+from repro.exec import ExecutionPolicy, code_version, use
+from repro.hpl.driver import CONFIGURATIONS, Configuration
+from repro.sim import Simulator
+from repro.sim.resources import Resource, Store
+from repro.util.io import atomic_write_text
+from repro.verify.differential import MATRIX, run_matrix
+
+DEFAULT_OUT = Path(__file__).parent / "out" / "BENCH_perf.json"
+
+QUICK_SIZES = (5750, 11500)
+FULL_SIZES = (5750, 11500, 23000, 34500, 46000)
+SEED = 7
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_fig9(sizes, jobs: int) -> dict:
+    """Serial scalar vs parallel scalar vs parallel+vectorized Fig. 9 grid."""
+    configs = tuple(Configuration.parse(c) for c in CONFIGURATIONS)
+
+    def sweep(policy):
+        with use(policy):
+            return _fig9_values(configs, sizes, None, SEED)
+
+    serial, serial_s = _timed(lambda: sweep(ExecutionPolicy(jobs=1)))
+    parallel, parallel_s = _timed(lambda: sweep(ExecutionPolicy(jobs=jobs)))
+    vector, vector_s = _timed(
+        lambda: sweep(ExecutionPolicy(jobs=jobs, vectorize=True))
+    )
+
+    flat = [(str(c), n) for c in configs for n in sizes]
+    bit_identical = all(serial[c][n] == parallel[c][n] for c, n in flat)
+    max_rel = max(
+        abs(vector[c][n] - serial[c][n]) / abs(serial[c][n]) for c, n in flat
+    )
+    return {
+        "points": len(flat),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "vectorized_seconds": vector_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else None,
+        "vectorized_speedup": serial_s / vector_s if vector_s > 0 else None,
+        "parallel_bit_identical": bit_identical,
+        "vectorized_max_rel_error": max_rel,
+    }
+
+
+def bench_crossval(quick: bool, jobs: int) -> dict:
+    """The differential matrix, serial vs parallel, identical reports."""
+    cases = MATRIX[:2] if quick else MATRIX
+
+    def matrix(policy):
+        with use(policy):
+            return run_matrix(cases)
+
+    serial, serial_s = _timed(lambda: matrix(ExecutionPolicy(jobs=1)))
+    parallel, parallel_s = _timed(lambda: matrix(ExecutionPolicy(jobs=jobs)))
+    return {
+        "cases": len(cases),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else None,
+        "reports_identical": serial.to_dict() == parallel.to_dict(),
+        "serial_ok": serial.ok,
+        "parallel_ok": parallel.ok,
+    }
+
+
+def bench_cache(sizes, jobs: int) -> dict:
+    """Cold vs warm Fig. 9 through a fresh on-disk result cache."""
+    configs = tuple(Configuration.parse(c) for c in CONFIGURATIONS)
+    with tempfile.TemporaryDirectory(prefix="bench-perf-cache-") as tmp:
+        cold_policy = ExecutionPolicy(jobs=jobs, cache=True, cache_dir=Path(tmp))
+        warm_policy = ExecutionPolicy(jobs=jobs, cache=True, cache_dir=Path(tmp))
+
+        def sweep(policy):
+            with use(policy):
+                return _fig9_values(configs, sizes, None, SEED)
+
+        cold, cold_s = _timed(lambda: sweep(cold_policy))
+        warm, warm_s = _timed(lambda: sweep(warm_policy))
+    return {
+        "points": len(configs) * len(sizes),
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "warm_speedup": cold_s / warm_s if warm_s > 0 else None,
+        "warm_hits": warm_policy.stats.cache_hits,
+        "warm_misses": warm_policy.stats.cache_misses,
+        "warm_hit_rate": warm_policy.stats.hit_rate,
+        "values_identical": cold == warm,
+    }
+
+
+def _producer(store, n):
+    for i in range(n):
+        yield store.put(i)
+
+
+def _consumer(store, n, done):
+    for _ in range(n):
+        yield store.get()
+        yield done  # already processed -> exercises the pooled relay path
+
+
+def _worker(sim, res, n):
+    for _ in range(n):
+        req = res.request()
+        yield req
+        yield sim.timeout(0.001)
+        res.release(req)
+
+
+def bench_des(quick: bool) -> dict:
+    """Kernel throughput: producers/consumers through a Store, mutex workers."""
+    n = 5000 if quick else 20000
+    sim = Simulator()
+    done = sim.timeout(0.0)
+    store = Store(sim)
+    res = Resource(sim, capacity=2)
+    for _ in range(4):
+        sim.process(_producer(store, n))
+        sim.process(_consumer(store, n, done))
+        sim.process(_worker(sim, res, n // 4))
+    _, wall = _timed(sim.run)
+    return {
+        "events_processed": sim.events_processed,
+        "wall_seconds": wall,
+        "events_per_second": sim.events_processed / wall if wall > 0 else None,
+    }
+
+
+def run_benchmarks(quick: bool, jobs: int) -> dict:
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    return {
+        "meta": {
+            "quick": quick,
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "code_version": code_version(),
+        },
+        "fig9_sweep": bench_fig9(sizes, jobs),
+        "crossval": bench_crossval(quick, jobs),
+        "cache": bench_cache(sizes, jobs),
+        "des_engine": bench_des(quick),
+    }
+
+
+def check(report: dict) -> list[str]:
+    """The correctness gates (never the speedups) as a list of failures."""
+    failures = []
+    if not report["fig9_sweep"]["parallel_bit_identical"]:
+        failures.append("fig9: parallel results are not bit-identical to serial")
+    if report["fig9_sweep"]["vectorized_max_rel_error"] > 1e-9:
+        failures.append(
+            "fig9: vectorized stepper drifted "
+            f"{report['fig9_sweep']['vectorized_max_rel_error']:.3e} > 1e-9 "
+            "relative from the scalar oracle"
+        )
+    if not report["crossval"]["reports_identical"]:
+        failures.append("crossval: parallel report differs from serial")
+    if report["cache"]["warm_hit_rate"] < 0.9:
+        failures.append(
+            f"cache: warm hit rate {report['cache']['warm_hit_rate']:.0%} < 90%"
+        )
+    if not report["cache"]["values_identical"]:
+        failures.append("cache: warm values differ from cold values")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small grid (CI smoke)")
+    parser.add_argument(
+        "--check", action="store_true", help="assert the correctness gates"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: all cores)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help=f"output path (default {DEFAULT_OUT})"
+    )
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    report = run_benchmarks(args.quick, jobs)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
+
+    f9, cv, ca, de = (
+        report["fig9_sweep"], report["crossval"], report["cache"], report["des_engine"]
+    )
+    print(f"fig9     serial {f9['serial_seconds']:.2f}s  "
+          f"parallel {f9['parallel_seconds']:.2f}s ({f9['parallel_speedup']:.2f}x, "
+          f"bit-identical={f9['parallel_bit_identical']})  "
+          f"vectorized {f9['vectorized_seconds']:.2f}s ({f9['vectorized_speedup']:.2f}x, "
+          f"max rel {f9['vectorized_max_rel_error']:.1e})")
+    print(f"crossval serial {cv['serial_seconds']:.2f}s  "
+          f"parallel {cv['parallel_seconds']:.2f}s ({cv['parallel_speedup']:.2f}x, "
+          f"identical={cv['reports_identical']})")
+    print(f"cache    cold {ca['cold_seconds']:.2f}s  warm {ca['warm_seconds']:.2f}s "
+          f"({ca['warm_speedup']:.1f}x, {ca['warm_hit_rate']:.0%} hit)")
+    print(f"des      {de['events_processed']} events at {de['events_per_second']:,.0f}/s")
+    print(f"report written to {args.out}")
+
+    if args.check:
+        failures = check(report)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

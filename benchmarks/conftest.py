@@ -12,6 +12,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.util.io import atomic_write_text
+
 OUT_DIR = Path(__file__).parent / "out"
 
 
@@ -25,7 +27,7 @@ def report_dir() -> Path:
 def save_report(report_dir):
     def _save(name: str, text: str) -> Path:
         path = report_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        atomic_write_text(path, text + "\n")
         print(f"\n{text}\n[saved to {path}]")
         return path
 

@@ -9,7 +9,10 @@ Usage::
 
 ``--quick`` shrinks problem sizes so every figure finishes in seconds —
 useful for smoke-testing an installation; full-size runs match
-EXPERIMENTS.md.  ``--trace-out`` writes a Chrome trace-event JSON file
+EXPERIMENTS.md.  ``--jobs N`` fans independent scenarios across worker
+processes (default: all cores; results are identical to a serial run) and
+``--no-cache`` disables the on-disk result cache — a one-line ``exec:``
+summary on stderr reports both (see ``docs/performance.md``).  ``--trace-out`` writes a Chrome trace-event JSON file
 (open in Perfetto or ``chrome://tracing``) of everything the run recorded —
 per-panel HPL spans, pipeline CT/NT states, the figure's own wall-clock
 span; ``--metrics-out`` writes the metrics-registry snapshot.  See
@@ -22,6 +25,7 @@ import argparse
 import sys
 from typing import Callable, Optional
 
+from repro import exec as exec_policy
 from repro import obs
 from repro.bench.cabinet import fig11_adaptive_vs_qilin
 from repro.bench.dgemm_sweep import fig8_dgemm_sweep
@@ -32,6 +36,7 @@ from repro.bench.report import SeriesData
 from repro.bench.scaling import fig12_cabinet_scaling, fig13_progress
 from repro.bench.whatif import clock_sweep, endgame_fallback_study
 from repro.hpl.driver import Configuration
+from repro.util.io import atomic_write_text
 
 
 def _fig8(quick: bool) -> SeriesData:
@@ -133,6 +138,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict fig9 to these configurations "
         f"(valid: {', '.join(member.value for member in Configuration)})",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent scenarios (default: all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
     return parser
 
 
@@ -162,7 +179,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     # plain path stays exactly as before (no ambient sink, no-op guards).
     telemetry = obs.Telemetry() if (args.trace_out or args.metrics_out) else None
 
-    with obs.use(telemetry):
+    policy = exec_policy.ExecutionPolicy(
+        jobs=args.jobs, cache=not args.no_cache, vectorize=True
+    )
+
+    with obs.use(telemetry), exec_policy.use(policy):
         if args.figure in TEXT_ARTIFACTS:
             if args.format != "text":
                 print(f"{args.figure} only supports --format text", file=sys.stderr)
@@ -192,10 +213,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.metrics_out:
             telemetry.write_metrics(args.metrics_out)
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(output + "\n")
+        atomic_write_text(args.out, output + "\n")
     else:
         print(output)
+    print(policy.summary_line(), file=sys.stderr)
     return 0
 
 

@@ -17,6 +17,7 @@ from repro.bench.report import SeriesData
 from repro.core.adaptive import AdaptiveMapper
 from repro.core.hybrid_dgemm import HybridDgemm, cpu_only_dgemm
 from repro.core.static_map import StaticMapper
+from repro.exec import evaluate_points
 from repro.hpl.driver import CONFIG_LABELS
 from repro.machine.node import ComputeElement
 from repro.machine.presets import tianhe1_element
@@ -88,9 +89,19 @@ def fig8_dgemm_sweep(
         y_label="GFLOPS",
     )
     values: dict[str, dict[int, float]] = {c: {} for c in configs}
+    flat = evaluate_points(
+        "fig8.dgemm",
+        run_dgemm_config,
+        [
+            dict(config=config, n=n, variability=variability, seed=seed)
+            for n in sizes
+            for config in configs
+        ],
+    )
+    it = iter(flat)
     for n in sizes:
         for config in configs:
-            gflops = run_dgemm_config(config, n, variability=variability, seed=seed)
+            gflops = next(it)
             values[config][n] = gflops
             data.add_point(CONFIG_LABELS[config], n, gflops)
 

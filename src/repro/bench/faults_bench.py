@@ -25,6 +25,7 @@ import numpy as np
 from repro import obs
 from repro.bench.report import SeriesData
 from repro.core.pipeline import SoftwarePipeline
+from repro.exec import run_tasks
 from repro.core.taskqueue import build_task_queue
 from repro.faults import (
     FaultInjector,
@@ -158,9 +159,17 @@ def faults_study(n: int = 60000, seed: int = 11) -> SeriesData:
     )
 
     with obs.use(telemetry):
+        # run_tasks rather than a loop: uncached (results carry full step
+        # traces, not JSON), and serial whenever telemetry is ambient — which
+        # it always is here — but the task accounting still shows up in the
+        # report's exec.* counters.
+        throttle_configs = (Configuration.ACMLG_BOTH, Configuration.STATIC_PEAK)
+        studies = run_tasks(
+            throttle_recovery,
+            [dict(configuration=config, n=n, seed=seed) for config in throttle_configs],
+        )
         results: dict[Configuration, ThrottleRecovery] = {}
-        for config in (Configuration.ACMLG_BOTH, Configuration.STATIC_PEAK):
-            study = throttle_recovery(config, n=n, seed=seed)
+        for config, study in zip(throttle_configs, studies):
             results[config] = study
             for step, ratio in enumerate(study.step_ratios):
                 data.add_point(config.label, step, ratio)

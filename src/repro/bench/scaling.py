@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.bench.report import SeriesData
+from repro.exec import evaluate_points
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
 from repro.machine.presets import tianhe1_cluster
@@ -41,6 +42,18 @@ def problem_size_for_cabinets(cabinets: int) -> int:
     return int(round(280_000 * np.sqrt(cabinets) / 1000.0) * 1000)
 
 
+def _fig12_point(cabinets: int, n: int, seed: int, cluster_seed: int) -> float:
+    """One cabinet count of the weak-scaling curve (the pool/cache worker)."""
+    cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=cluster_seed)
+    result = run(
+        Scenario(
+            configuration="acmlg_both", n=n, cluster=cluster,
+            grid=ProcessGrid(*GRIDS[cabinets]), seed=seed,
+        )
+    )
+    return result.tflops
+
+
 def fig12_cabinet_scaling(
     cabinets: Sequence[int] = DEFAULT_CABINETS,
     seed: int = 7,
@@ -52,16 +65,25 @@ def fig12_cabinet_scaling(
         x_label="cabinets",
         y_label="TFLOPS",
     )
-    results: dict[int, float] = {}
     for cabs in cabinets:
         if cabs not in GRIDS:
             raise ValueError(f"no grid defined for {cabs} cabinets (have {sorted(GRIDS)})")
-        cluster = Cluster(tianhe1_cluster(cabinets=cabs), seed=cluster_seed)
-        grid = ProcessGrid(*GRIDS[cabs])
-        n = problem_size_for_cabinets(cabs)
-        result = run(Scenario(configuration="acmlg_both", n=n, cluster=cluster, grid=grid, seed=seed))
-        results[cabs] = result.tflops
-        data.add_point("Linpack (ours)", cabs, result.tflops)
+    tflops = evaluate_points(
+        "fig12.cabinet",
+        _fig12_point,
+        [
+            dict(
+                cabinets=cabs,
+                n=problem_size_for_cabinets(cabs),
+                seed=seed,
+                cluster_seed=cluster_seed,
+            )
+            for cabs in cabinets
+        ],
+    )
+    results: dict[int, float] = dict(zip(cabinets, tflops))
+    for cabs in cabinets:
+        data.add_point("Linpack (ours)", cabs, results[cabs])
     lo, hi = min(cabinets), max(cabinets)
     data.summary[f"{lo} cabinet(s) (paper 8.02 TFLOPS at 1)"] = results[lo]
     data.summary[f"{hi} cabinets (paper 563.1 TFLOPS at 80)"] = results[hi]

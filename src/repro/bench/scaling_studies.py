@@ -12,12 +12,25 @@ from typing import Sequence
 
 from repro.bench.report import SeriesData
 from repro.bench.scaling import GRIDS
+from repro.exec import evaluate_points
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
 from repro.machine.power import TIANHE1_POWER
 from repro.machine.presets import DOWNCLOCKED_MHZ, tianhe1_cluster
 from repro.model import calibration as cal
 from repro.session import Scenario, run
+
+
+def _strong_scaling_point(cabinets: int, n: int, seed: int) -> float:
+    """One machine size at fixed N (the pool/cache worker)."""
+    cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=2009)
+    result = run(
+        Scenario(
+            configuration="acmlg_both", n=n, cluster=cluster,
+            grid=ProcessGrid(*GRIDS[cabinets]), seed=seed,
+        )
+    )
+    return result.tflops
 
 
 def strong_scaling(
@@ -31,16 +44,19 @@ def strong_scaling(
         x_label="cabinets",
         y_label="TFLOPS",
     )
+    tflops = evaluate_points(
+        "strong_scaling.cabinet",
+        _strong_scaling_point,
+        [dict(cabinets=cabs, n=n, seed=seed) for cabs in cabinets],
+    )
     base = None
-    for cabs in cabinets:
-        cluster = Cluster(tianhe1_cluster(cabinets=cabs), seed=2009)
-        result = run(Scenario(configuration="acmlg_both", n=n, cluster=cluster, grid=ProcessGrid(*GRIDS[cabs]), seed=seed))
+    for cabs, value in zip(cabinets, tflops):
         if base is None:
-            base = (cabs, result.tflops)
-        data.add_point("TFLOPS", cabs, result.tflops)
+            base = (cabs, value)
+        data.add_point("TFLOPS", cabs, value)
         data.add_point(
             "parallel efficiency %", cabs,
-            100.0 * result.tflops / (base[1] * cabs / base[0]),
+            100.0 * value / (base[1] * cabs / base[0]),
         )
     first, last = cabinets[0], cabinets[-1]
     points = dict(data.series["parallel efficiency %"])

@@ -11,14 +11,13 @@ which is exactly how the paper's Fig. 8 "second run" numbers arise.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
 from repro.core.adaptive import AdaptiveMapper
+from repro.util.io import atomic_write_text
 from repro.util.validation import require
 
 FORMAT_VERSION = 1
@@ -82,30 +81,14 @@ def restore_mapper(state: dict, telemetry=None) -> AdaptiveMapper:
 def save_mapper(mapper: AdaptiveMapper, path: Union[str, Path]) -> Path:
     """Write the mapper's databases to *path* as JSON, atomically.
 
-    The payload goes to a temporary file in the same directory and is then
-    ``os.replace``-d over *path*, so a crash mid-write leaves either the old
-    file or the new one — never a truncated database.  The learned
-    ``database_g``/``database_c`` state is exactly what the paper's "second
-    run" numbers depend on; corrupting it would silently cost the warm start.
+    The payload goes through :func:`repro.util.io.atomic_write_text`
+    (same-directory temp + ``os.replace``), so a crash mid-write leaves
+    either the old file or the new one — never a truncated database.  The
+    learned ``database_g``/``database_c`` state is exactly what the paper's
+    "second run" numbers depend on; corrupting it would silently cost the
+    warm start.
     """
-    path = Path(path)
-    payload = json.dumps(mapper_state(mapper), indent=2)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent if str(path.parent) else ".",
-        prefix=f".{path.name}.",
-        suffix=".tmp",
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(payload)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return path
+    return atomic_write_text(path, json.dumps(mapper_state(mapper), indent=2))
 
 
 def load_mapper(path: Union[str, Path], telemetry=None) -> AdaptiveMapper:

@@ -1,0 +1,42 @@
+"""Parallel, cached, deterministic sweep execution.
+
+The layer between "one scenario" (:mod:`repro.session`) and "a figure's
+worth of scenarios" (:mod:`repro.bench`, :mod:`repro.verify`):
+
+* :class:`ExecutionPolicy` + :func:`use`/:func:`current` — the ambient
+  jobs/cache/vectorize configuration (serial and uncached by default; the
+  CLIs install a real policy from ``--jobs``/``--no-cache``).
+* :func:`run_tasks` — ordered, deterministic process-pool fan-out.
+* :func:`evaluate_points` — the cache-aware sweep combinator.
+* :class:`ResultCache` / :func:`scenario_key` / :func:`code_version` — the
+  content-addressed on-disk result store under ``benchmarks/out/cache/``.
+
+See ``docs/performance.md`` for cache-key semantics and the parallel
+determinism guarantees.
+"""
+
+from repro.exec.cache import ResultCache, canonical_json, code_version, scenario_key
+from repro.exec.policy import (
+    DEFAULT_CACHE_DIR,
+    ExecStats,
+    ExecutionPolicy,
+    SERIAL_POLICY,
+    current,
+    use,
+)
+from repro.exec.pool import evaluate_points, run_tasks
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExecStats",
+    "ExecutionPolicy",
+    "SERIAL_POLICY",
+    "ResultCache",
+    "canonical_json",
+    "code_version",
+    "current",
+    "evaluate_points",
+    "run_tasks",
+    "scenario_key",
+    "use",
+]

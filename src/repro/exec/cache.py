@@ -1,0 +1,121 @@
+"""Content-addressed on-disk cache of scenario evaluations.
+
+A sweep point is pure: (code, task name, arguments) fully determine the
+result.  The cache key is therefore a SHA-256 over
+
+* the **code version** — a digest of every ``repro`` source file, so *any*
+  change to the package invalidates every entry (no stale-model hazard, no
+  manual versioning to forget), and
+* the **scenario hash** — the task name plus a canonical-JSON rendering of
+  its arguments.
+
+Entries live under ``benchmarks/out/cache/<k[:2]>/<k>.json`` (two-level
+fan-out keeps directories small), each a self-describing JSON document with
+the task name and arguments alongside the value, so a cache directory is
+inspectable with nothing but ``cat``.  Writes are atomic
+(:func:`repro.util.io.atomic_write_text`); a corrupt or unreadable entry is
+treated as a miss and overwritten, never trusted.
+
+Values must round-trip JSON — sweeps cache the scalar figures they plot
+(GFLOPS per point) or structured dicts (divergence reports), not live
+objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.util.io import atomic_write_text
+
+#: Bumped when the entry layout (not the cached values) changes shape.
+CACHE_FORMAT = 1
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the installed ``repro`` package's source (cached per process).
+
+    Hashes the *contents* of every ``.py`` file under the package root in
+    sorted order, so editing any module — even a comment — retires every
+    cache entry.  Cheap relative to a scenario run and computed once.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace drift)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_jsonable)
+
+
+def _jsonable(value: Any) -> Any:
+    """Fallback encoder: dataclasses, paths, numpy scalars, enums."""
+    import dataclasses
+    import enum
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, Path):
+        return str(value)
+    if hasattr(value, "tolist"):  # numpy array or scalar
+        return value.tolist()
+    if hasattr(value, "item"):  # other zero-dim array-likes
+        return value.item()
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for a cache key")
+
+
+def scenario_key(task: str, args: Any) -> str:
+    """The content address of one evaluation: code version + task + args."""
+    body = canonical_json({"format": CACHE_FORMAT, "code": code_version(),
+                           "task": task, "args": args})
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+class ResultCache:
+    """Get/put of JSON values keyed by :func:`scenario_key` digests."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; unreadable or malformed entries count as misses."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+            return True, entry["value"]
+        except (OSError, ValueError, KeyError):
+            return False, None
+
+    def put(self, key: str, value: Any, task: str = "", args: Any = None) -> Path:
+        """Store *value* (JSON-serialisable) under *key*, atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format": CACHE_FORMAT,
+            "code": code_version(),
+            "task": task,
+            "args": args,
+            "value": value,
+        }
+        return atomic_write_text(path, canonical_json(document) + "\n")
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()

@@ -1,0 +1,121 @@
+"""The deterministic fan-out runner and the cache-aware sweep combinator.
+
+:func:`run_tasks` maps a top-level callable over a list of keyword-argument
+dicts, optionally across a process pool.  Determinism is the contract, not
+an accident:
+
+* **Ordering** — results come back in submission order regardless of which
+  worker finished first, so a sweep's series are identical serial vs
+  parallel.
+* **Seeding** — tasks carry their seeds *in their arguments* (every
+  :class:`~repro.session.Scenario` already does); workers never draw from
+  shared RNG state.  :func:`repro.util.rng.derive_seed` derives stable
+  per-task sub-seeds when a caller needs to split one seed across tasks.
+* **Serial equivalence** — a worker process runs the same function on the
+  same arguments as the serial loop would, so parallel output is
+  bit-identical to serial output (asserted by ``benchmarks/bench_perf.py
+  --check`` and the CI bench-smoke lane).
+
+Two situations force the serial path regardless of the policy: ambient
+telemetry (worker-process spans/metrics cannot be merged back, and dropping
+them silently would make ``--trace-out`` lie) and running *inside* a worker
+(no nested pools).
+
+:func:`evaluate_points` layers the result cache on top: look up every point,
+fan the misses out, store what came back.  Cached values must round-trip
+JSON; see :mod:`repro.exec.cache`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Optional, Sequence
+
+from repro import obs
+from repro.exec.cache import ResultCache, scenario_key
+from repro.exec.policy import ExecutionPolicy, current
+
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    """Pool initializer: workers must never spawn pools of their own."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits the imported package); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_tasks(
+    fn: Callable[..., Any],
+    calls: Sequence[dict],
+    *,
+    policy: Optional[ExecutionPolicy] = None,
+    label: str = "",
+) -> list[Any]:
+    """Evaluate ``fn(**call)`` for every call, in order; maybe in parallel.
+
+    *fn* must be a module-level (picklable) callable and every value in the
+    call dicts must be picklable.  The result list is ordered like *calls*.
+    A failure in any task propagates as the original exception.
+    """
+    policy = policy if policy is not None else current()
+    calls = list(calls)
+    if not calls:
+        return []
+    jobs = min(policy.resolved_jobs, len(calls))
+    telemetry = obs.current()
+    parallel = jobs > 1 and not _IN_WORKER and telemetry is None
+    for _ in calls:
+        policy.stats.count_task(parallel)
+    if not parallel:
+        return [fn(**kwargs) for kwargs in calls]
+    with ProcessPoolExecutor(
+        max_workers=jobs, mp_context=_pool_context(), initializer=_mark_worker
+    ) as executor:
+        futures = [executor.submit(fn, **kwargs) for kwargs in calls]
+        return [future.result() for future in futures]
+
+
+def evaluate_points(
+    task: str,
+    fn: Callable[..., Any],
+    points: Sequence[dict],
+    *,
+    policy: Optional[ExecutionPolicy] = None,
+) -> list[Any]:
+    """Cache-aware sweep: serve hits from disk, fan the misses out, store.
+
+    *task* names the evaluation for the cache key (changing what *fn*
+    computes without renaming it is already covered by the code-version
+    digest).  When the policy's cache is off this degrades to
+    :func:`run_tasks`.  Results are ordered like *points* either way.
+    """
+    policy = policy if policy is not None else current()
+    points = list(points)
+    if not policy.cache:
+        return run_tasks(fn, points, policy=policy, label=task)
+    cache = ResultCache(policy.resolved_cache_dir)
+    results: list[Any] = [None] * len(points)
+    missing: list[tuple[int, str, dict]] = []
+    for i, point in enumerate(points):
+        key = scenario_key(task, point)
+        hit, value = cache.get(key)
+        policy.stats.count_cache(hit)
+        if hit:
+            results[i] = value
+        else:
+            missing.append((i, key, point))
+    if missing:
+        computed = run_tasks(
+            fn, [point for _, _, point in missing], policy=policy, label=task
+        )
+        for (i, key, point), value in zip(missing, computed):
+            results[i] = value
+            cache.put(key, value, task=task, args=point)
+    return results

@@ -45,7 +45,7 @@ class Event:
     exception on failure.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_poolable")
 
     _PENDING = object()
 
@@ -55,6 +55,9 @@ class Event:
         self._value: Any = Event._PENDING
         self._ok: Optional[bool] = None
         self._defused = False
+        # Kernel-internal events (process init/relay) are recycled through the
+        # simulator's pool once processed; user-created events never are.
+        self._poolable = False
 
     # -- state inspection ---------------------------------------------------
     @property
@@ -162,7 +165,7 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         # Kick the process off via an immediately-scheduled init event so that
         # process bodies never run re-entrantly inside the caller.
-        init = Event(sim)
+        init = sim._internal_event()
         init.succeed(None)
         init.add_callback(self._resume)
 
@@ -200,7 +203,7 @@ class Process(Event):
         if target.processed:
             # The event already fired; resume on a fresh immediate event so
             # ordering stays queue-driven.
-            relay = Event(self.sim)
+            relay = self.sim._internal_event()
             if target._ok:
                 relay.succeed(target._value)
             else:
@@ -224,12 +227,13 @@ class _Condition(Event):
         for event in self.events:
             if event.sim is not sim:
                 raise SimulationError("condition mixes events from different simulators")
-        self._pending_count = 0
+        # _check decrements this toward zero (each constituent exactly once),
+        # so AllOf completion is an O(1) counter test, not an O(n) rescan.
+        self._pending_count = len(self.events)
         for event in self.events:
             if event.processed:
                 self._check(event)
             else:
-                self._pending_count += 1
                 event.add_callback(self._check)
         if not self.events and not self.triggered:
             self.succeed(self._collect())
@@ -259,7 +263,7 @@ class AllOf(_Condition):
             self.fail(event._value)
             return
         self._pending_count -= 1
-        if all(e.processed and e._ok for e in self.events):
+        if self._pending_count == 0:
             self.succeed(self._collect())
 
 
@@ -283,6 +287,17 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop and virtual clock."""
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_sequence",
+        "_running",
+        "events_processed",
+        "max_queue_depth",
+        "_wall_seconds",
+        "_event_pool",
+    )
+
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
@@ -293,6 +308,11 @@ class Simulator:
         self.events_processed = 0
         self.max_queue_depth = 0
         self._wall_seconds = 0.0
+        # Recycled kernel-internal events (process init/relay).  Every resume
+        # of an already-fired target otherwise allocates a fresh Event; at
+        # millions of events per run that allocation is the kernel's hottest
+        # line after the heap itself.
+        self._event_pool: list[Event] = []
 
     @property
     def now(self) -> float:
@@ -320,6 +340,20 @@ class Simulator:
         """Race over *events*."""
         return AnyOf(self, events)
 
+    def _internal_event(self) -> Event:
+        """A pooled kernel-internal event (recycled by :meth:`step`)."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._value = Event._PENDING
+            event._ok = None
+            event._defused = False
+            return event
+        event = Event(self)
+        event._poolable = True
+        return event
+
     # -- calendar --------------------------------------------------------------
     def _enqueue(self, event: Event, delay: float) -> None:
         heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
@@ -344,6 +378,11 @@ class Simulator:
         if not event._ok and not event._defused:
             # Nobody handled this failure: surface it, pointing at the model bug.
             raise event._value
+        if event._poolable:
+            # Recycled only *after* the failure check above read _ok, and only
+            # here — internal events have exactly one callback (the process
+            # resume) and no outside references survive processing.
+            self._event_pool.append(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
@@ -378,18 +417,21 @@ class Simulator:
         self._running = True
         wall_start = time.perf_counter()
         try:
+            # Local bindings: these loops are the kernel's hottest lines.
+            queue = self._queue
+            step = self.step
             if until is None:
-                while self._queue:
-                    self.step()
+                while queue:
+                    step()
                 return None
             if isinstance(until, Event):
                 target = until
                 while not target.processed:
-                    if not self._queue:
+                    if not queue:
                         raise SimulationError(
                             "calendar drained before the awaited event triggered (deadlock)"
                         )
-                    self.step()
+                    step()
                 if not target._ok:
                     target.defuse()
                     raise target._value
@@ -397,8 +439,8 @@ class Simulator:
             horizon = float(until)
             if horizon < self._now:
                 raise ValueError(f"cannot run until {horizon} (< now={self._now})")
-            while self._queue and self._queue[0][0] <= horizon:
-                self.step()
+            while queue and queue[0][0] <= horizon:
+                step()
             self._now = max(self._now, horizon)
             return None
         finally:

@@ -1,0 +1,44 @@
+"""Atomic file writes shared across the repo.
+
+Every durable artifact — mapper databases, bench reports, cached scenario
+results, ``BENCH_perf.json`` — goes through :func:`atomic_write_text`: the
+payload lands in a ``mkstemp`` file in the destination directory and is then
+``os.replace``-d over the target, so a crash mid-write leaves either the old
+file or the new one, never a truncated hybrid.  (This is the pattern
+:func:`repro.core.persistence.save_mapper` established; it lives here so the
+bench harness and the result cache reuse it instead of re-growing their own.)
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write *text* to *path* atomically (same-directory temp + ``os.replace``).
+
+    The temporary file inherits the destination directory so the final
+    ``os.replace`` is a same-filesystem rename (the only rename POSIX makes
+    atomic).  On any failure the temp file is removed and the original
+    *path* — if it existed — is untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent if str(path.parent) else ".",
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

@@ -44,3 +44,18 @@ def spawn_rngs(seed: int, names: list[str]) -> dict[str, np.random.Generator]:
     """Materialise one generator per *name*, all derived from *seed*."""
     root = RngStream(seed)
     return {name: root.child(name).generator() for name in names}
+
+
+def derive_seed(seed: int, *path: str) -> int:
+    """A stable integer sub-seed for the stream ``seed/path[0]/path[1]/...``.
+
+    This is :class:`RngStream`'s hashing scheme exposed as a plain integer,
+    for call sites that need to *hand off* a seed (a worker process, a
+    :class:`~repro.session.Scenario`) rather than a generator.  Same seed and
+    path always yield the same value, independent of process or platform.
+    """
+    stream = RngStream(seed, tuple(str(p) for p in path))
+    digest = hashlib.sha256(
+        (str(stream.seed) + "/" + "/".join(stream.path)).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "little")

@@ -11,6 +11,9 @@ Subcommands::
 ``check`` and ``crossval`` accept ``--report-out`` to write the structured
 divergence report as JSON — CI uploads that file as an artifact when the
 gate fails, so the drift is reviewable without re-running anything.
+``crossval`` additionally accepts ``--jobs N`` (fan the independent matrix
+cells across worker processes) and ``--no-cache`` (skip the on-disk result
+cache); a one-line ``exec:`` summary on stderr reports what happened.
 """
 
 from __future__ import annotations
@@ -75,6 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the divergence report as JSON to PATH",
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent matrix cells (default: all cores)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
     return parser
 
 
@@ -125,7 +140,13 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_crossval(args: argparse.Namespace) -> int:
-    return _finish(differential.run_matrix(), args.report_out)
+    from repro import exec as exec_policy
+
+    policy = exec_policy.ExecutionPolicy(jobs=args.jobs, cache=not args.no_cache)
+    with exec_policy.use(policy):
+        status = _finish(differential.run_matrix(), args.report_out)
+    print(policy.summary_line(), file=sys.stderr)
+    return status
 
 
 _COMMANDS = {

@@ -243,9 +243,25 @@ def run_case(case: DifferentialCase) -> DifferentialOutcome:
     )
 
 
+def _case_report(case: DifferentialCase) -> dict:
+    """One cell's report as a dict (the pool/cache worker for the matrix)."""
+    return run_case(case).report.to_dict()
+
+
 def run_matrix(cases: Optional[tuple[DifferentialCase, ...]] = None) -> DivergenceReport:
-    """The whole scenario matrix; one aggregated report."""
+    """The whole scenario matrix; one aggregated report.
+
+    Cells are independent seeded scenarios, so they fan out across the
+    ambient :class:`repro.exec.ExecutionPolicy`'s workers and cache as
+    serialised reports (rebuilt via :meth:`DivergenceReport.from_dict`) —
+    ``python -m repro.verify crossval --jobs N`` is the opt-in.
+    """
+    from repro.exec import evaluate_points
+
+    cases = tuple(cases if cases is not None else MATRIX)
     report = DivergenceReport()
-    for case in cases if cases is not None else MATRIX:
-        report.extend(run_case(case).report)
+    for payload in evaluate_points(
+        "verify.crossval.case", _case_report, [dict(case=case) for case in cases]
+    ):
+        report.extend(DivergenceReport.from_dict(payload))
     return report

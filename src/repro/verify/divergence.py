@@ -103,10 +103,28 @@ class DivergenceReport:
             ],
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DivergenceReport":
+        """Rebuild a report from :meth:`to_dict` output (cache round-trip)."""
+        report = cls(checked=list(payload.get("checked", ())))
+        for d in payload.get("divergences", ()):
+            report.add(
+                Divergence(
+                    trace=d["trace"],
+                    metric=d["metric"],
+                    expected=d["expected"],
+                    actual=d["actual"],
+                    tolerance=d["tolerance"],
+                    step=d.get("step"),
+                    detail=d.get("detail", ""),
+                )
+            )
+        return report
+
     def write_json(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        return path
+        from repro.util.io import atomic_write_text
+
+        return atomic_write_text(path, json.dumps(self.to_dict(), indent=2) + "\n")
 
     def raise_if_diverged(self) -> None:
         if not self.ok:

@@ -1,0 +1,103 @@
+"""Bounce-corner-turn ordering invariants (Section V.C, Fig. 5).
+
+The serpentine order exists so consecutive tasks share an operand block;
+these tests pin that adjacency property over arbitrary grids — including
+degenerate single-row/column grids — plus the reuse accounting it implies
+when the queue is built with residency tracking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.taskqueue import bounce_corner_turn_order, build_task_queue
+
+
+class TestBounceCornerTurnOrder:
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (1, 5), (5, 1), (2, 2), (3, 4), (4, 3), (6, 6)])
+    def test_covers_grid_exactly_once(self, rows, cols):
+        order = bounce_corner_turn_order(rows, cols)
+        assert len(order) == rows * cols
+        assert set(order) == {(i, j) for i in range(rows) for j in range(cols)}
+
+    @pytest.mark.parametrize("rows,cols", [(1, 5), (5, 1), (2, 2), (3, 4), (4, 3), (6, 6)])
+    def test_consecutive_cells_share_row_or_column(self, rows, cols):
+        order = bounce_corner_turn_order(rows, cols)
+        for (i0, j0), (i1, j1) in zip(order, order[1:]):
+            assert i0 == i1 or j0 == j1, (
+                f"steps {(i0, j0)} -> {(i1, j1)} share no operand block"
+            )
+
+    @pytest.mark.parametrize("rows,cols", [(2, 3), (3, 4), (5, 5)])
+    def test_consecutive_cells_are_grid_neighbours(self, rows, cols):
+        order = bounce_corner_turn_order(rows, cols)
+        for (i0, j0), (i1, j1) in zip(order, order[1:]):
+            assert abs(i0 - i1) + abs(j0 - j1) == 1
+
+    def test_paper_2x2_example(self):
+        # T0, T1, T3, T2 in the paper's numbering.
+        assert bounce_corner_turn_order(2, 2) == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_row_direction_alternates(self):
+        order = bounce_corner_turn_order(3, 3)
+        assert order[0:3] == [(0, 0), (0, 1), (0, 2)]
+        assert order[3:6] == [(1, 2), (1, 1), (1, 0)]
+        assert order[6:9] == [(2, 0), (2, 1), (2, 2)]
+
+    def test_corner_turn_repeats_the_shared_column(self):
+        # The row-to-row transition stays in the same column (the "bounce"),
+        # so the B column block is already resident for the next task.
+        order = bounce_corner_turn_order(4, 5)
+        for row in range(3):
+            last_of_row = order[(row + 1) * 5 - 1]
+            first_of_next = order[(row + 1) * 5]
+            assert last_of_row[1] == first_of_next[1]
+
+    def test_empty_dimensions(self):
+        assert bounce_corner_turn_order(0, 4) == []
+        assert bounce_corner_turn_order(4, 0) == []
+
+
+class TestQueueOrderAccounting:
+    def test_task_indices_follow_serpentine(self):
+        queue = build_task_queue(16384, 16384, 4096, texture_limit=8192)
+        assert queue.grid == (2, 2, 1)
+        visits = [(t.row, t.col) for t in queue.tasks]
+        assert visits == bounce_corner_turn_order(2, 2)
+        assert [t.index for t in queue.tasks] == list(range(len(queue.tasks)))
+
+    def test_every_consecutive_pair_reuses_an_operand(self):
+        queue = build_task_queue(24576, 24576, 4096, texture_limit=8192)
+        for prev, cur in zip(queue.tasks, queue.tasks[1:]):
+            assert not (cur.send_a and cur.send_b), (
+                f"task {cur.index} re-stages both operands after task {prev.index}"
+            )
+
+    def test_reuse_beats_row_major(self):
+        serpentine = build_task_queue(24576, 24576, 4096, texture_limit=8192)
+        row_major = build_task_queue(24576, 24576, 4096, texture_limit=8192, reuse=False)
+        assert serpentine.input_bytes < row_major.input_bytes
+        assert serpentine.reuse_hits > 0
+        assert row_major.reuse_hits == 0
+
+    def test_k_split_keeps_kblock_inner_and_ordered(self):
+        queue = build_task_queue(16384, 16384, 16384, texture_limit=8192)
+        rows, cols, kblocks = queue.grid
+        assert kblocks == 2
+        for base in range(0, len(queue.tasks), kblocks):
+            chunk = queue.tasks[base : base + kblocks]
+            assert [t.kblock for t in chunk] == list(range(kblocks))
+            assert len({(t.row, t.col) for t in chunk}) == 1
+            assert chunk[0].is_first_k and chunk[-1].is_last_k
+
+    def test_deterministic_rebuild(self):
+        a = build_task_queue(24576, 16384, 8192, texture_limit=8192)
+        b = build_task_queue(24576, 16384, 8192, texture_limit=8192)
+        assert [(t.row, t.col, t.kblock, t.send_a, t.send_b) for t in a.tasks] == [
+            (t.row, t.col, t.kblock, t.send_a, t.send_b) for t in b.tasks
+        ]
+        assert (a.input_bytes, a.reuse_hits, a.resends) == (
+            b.input_bytes,
+            b.reuse_hits,
+            b.resends,
+        )

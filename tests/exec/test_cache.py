@@ -1,0 +1,115 @@
+"""The content-addressed result cache: keys, round-trips, invalidation."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec import cache as cache_mod
+from repro.exec.cache import ResultCache, canonical_json, code_version, scenario_key
+
+
+class TestScenarioKey:
+    def test_deterministic(self):
+        args = dict(configuration="acmlg_both", n=23000, seed=7)
+        assert scenario_key("fig9.point", args) == scenario_key("fig9.point", dict(args))
+
+    def test_key_order_irrelevant(self):
+        assert scenario_key("t", dict(a=1, b=2)) == scenario_key("t", dict(b=2, a=1))
+
+    def test_task_name_separates_namespaces(self):
+        args = dict(n=1000)
+        assert scenario_key("fig9.point", args) != scenario_key("fig9.batch", args)
+
+    def test_args_change_key(self):
+        assert scenario_key("t", dict(n=1000)) != scenario_key("t", dict(n=1001))
+
+    def test_code_version_invalidates(self, monkeypatch):
+        args = dict(n=1000)
+        before = scenario_key("t", args)
+        monkeypatch.setattr(cache_mod, "_CODE_VERSION", "0" * 16)
+        assert scenario_key("t", args) != before
+
+    def test_code_version_is_cached_and_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_dataclass_and_enum_and_path(self):
+        @dataclasses.dataclass(frozen=True)
+        class Point:
+            x: int
+            y: int
+
+        class Kind(enum.Enum):
+            A = "a"
+
+        rendered = canonical_json({"p": Point(1, 2), "k": Kind.A, "d": Path("x/y")})
+        assert json.loads(rendered) == {"p": {"x": 1, "y": 2}, "k": "a", "d": "x/y"}
+
+    def test_numpy_scalars_and_arrays(self):
+        np = pytest.importorskip("numpy")
+        rendered = canonical_json({"s": np.float64(1.5), "v": np.array([1, 2])})
+        assert json.loads(rendered) == {"s": 1.5, "v": [1, 2]}
+
+    def test_unencodable_raises(self):
+        with pytest.raises(TypeError, match="cannot canonicalise"):
+            canonical_json({"f": lambda: None})
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key("t", dict(n=1))
+        assert cache.get(key) == (False, None)
+        cache.put(key, 123.25, task="t", args=dict(n=1))
+        assert key in cache
+        assert cache.get(key) == (True, 123.25)
+
+    def test_structured_value_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        value = {"divergences": [], "checked": ["e5540/clean"]}
+        key = scenario_key("verify.crossval.case", dict(case="x"))
+        cache.put(key, value)
+        assert cache.get(key) == (True, value)
+
+    def test_two_level_fanout_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key("t", dict(n=2))
+        path = cache.put(key, 1.0)
+        assert path == tmp_path / key[:2] / f"{key}.json"
+
+    def test_entry_is_self_describing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key("fig9.point", dict(n=3))
+        path = cache.put(key, 9.5, task="fig9.point", args=dict(n=3))
+        entry = json.loads(path.read_text())
+        assert entry["task"] == "fig9.point"
+        assert entry["args"] == {"n": 3}
+        assert entry["value"] == 9.5
+        assert entry["code"] == code_version()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key("t", dict(n=4))
+        path = cache.put(key, 1.0)
+        path.write_text("{not json")
+        assert cache.get(key) == (False, None)
+        # ...and can be overwritten cleanly.
+        cache.put(key, 2.0)
+        assert cache.get(key) == (True, 2.0)
+
+    def test_entry_missing_value_field_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key("t", dict(n=5))
+        path = cache.put(key, 1.0)
+        path.write_text('{"format": 1}')
+        assert cache.get(key) == (False, None)

@@ -1,0 +1,97 @@
+"""ExecutionPolicy: ambient stack semantics, stats, telemetry mirroring."""
+
+from __future__ import annotations
+
+import os
+
+from repro import obs
+from repro.exec import DEFAULT_CACHE_DIR, ExecutionPolicy, SERIAL_POLICY, current, use
+
+
+class TestAmbientStack:
+    def test_default_is_serial_uncached(self):
+        policy = current()
+        assert policy is SERIAL_POLICY
+        assert policy.resolved_jobs == 1
+        assert policy.cache is False
+        assert policy.vectorize is False
+
+    def test_use_installs_and_restores(self):
+        inner = ExecutionPolicy(jobs=2)
+        assert current() is SERIAL_POLICY
+        with use(inner) as active:
+            assert active is inner
+            assert current() is inner
+        assert current() is SERIAL_POLICY
+
+    def test_use_nests(self):
+        outer, inner = ExecutionPolicy(jobs=2), ExecutionPolicy(jobs=3)
+        with use(outer):
+            with use(inner):
+                assert current() is inner
+            assert current() is outer
+
+    def test_use_none_is_noop(self):
+        with use(None) as active:
+            assert active is SERIAL_POLICY
+
+    def test_restores_after_exception(self):
+        try:
+            with use(ExecutionPolicy(jobs=2)):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert current() is SERIAL_POLICY
+
+
+class TestResolution:
+    def test_jobs_none_means_all_cores(self):
+        assert ExecutionPolicy(jobs=None).resolved_jobs == (os.cpu_count() or 1)
+
+    def test_jobs_floor_is_one(self):
+        assert ExecutionPolicy(jobs=0).resolved_jobs == 1
+        assert ExecutionPolicy(jobs=-3).resolved_jobs == 1
+
+    def test_default_cache_dir(self):
+        assert ExecutionPolicy().resolved_cache_dir == DEFAULT_CACHE_DIR
+
+    def test_cache_dir_override(self, tmp_path):
+        assert ExecutionPolicy(cache_dir=tmp_path).resolved_cache_dir == tmp_path
+
+
+class TestStats:
+    def test_hit_rate(self):
+        policy = ExecutionPolicy()
+        assert policy.stats.hit_rate == 0.0
+        policy.stats.count_cache(True)
+        policy.stats.count_cache(True)
+        policy.stats.count_cache(False)
+        assert policy.stats.cache_lookups == 3
+        assert abs(policy.stats.hit_rate - 2 / 3) < 1e-12
+
+    def test_summary_line_cache_on(self):
+        policy = ExecutionPolicy(jobs=4, cache=True)
+        policy.stats.count_cache(True)
+        line = policy.summary_line()
+        assert line.startswith("exec: jobs=4 cache=on hits=1 misses=0")
+
+    def test_summary_line_cache_off(self):
+        assert "cache=off" in ExecutionPolicy(jobs=1).summary_line()
+
+    def test_counters_mirrored_to_telemetry(self):
+        telemetry = obs.Telemetry()
+        policy = ExecutionPolicy()
+        with obs.use(telemetry):
+            policy.stats.count_task(parallel=False)
+            policy.stats.count_cache(True)
+            policy.stats.count_cache(False)
+        metrics = telemetry.metrics
+        assert metrics.counter("exec.tasks").value() == 1.0
+        assert metrics.counter("exec.cache.hits").value() == 1.0
+        assert metrics.counter("exec.cache.misses").value() == 1.0
+
+    def test_no_telemetry_no_error(self):
+        policy = ExecutionPolicy()
+        policy.stats.count_task(parallel=True)
+        policy.stats.count_cache(False)
+        assert policy.stats.tasks == 1

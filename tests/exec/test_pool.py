@@ -1,0 +1,116 @@
+"""run_tasks / evaluate_points: ordering, determinism, serial fallbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.exec import ExecutionPolicy, evaluate_points, run_tasks, use
+from repro.exec import pool as pool_mod
+from repro.util.rng import RngStream
+
+
+def square_plus(x: int, offset: int = 0) -> int:
+    return x * x + offset
+
+
+def seeded_draw(seed: int) -> float:
+    """Deterministic per-task value from the task's own seed."""
+    return float(RngStream(seed).child("task").generator().random())
+
+
+def boom(x: int) -> int:
+    raise ValueError(f"boom {x}")
+
+
+class TestRunTasks:
+    def test_empty(self):
+        assert run_tasks(square_plus, []) == []
+
+    def test_serial_order(self):
+        calls = [dict(x=x) for x in range(8)]
+        assert run_tasks(square_plus, calls) == [x * x for x in range(8)]
+
+    def test_parallel_order_matches_serial(self):
+        calls = [dict(x=x, offset=1) for x in range(16)]
+        serial = run_tasks(square_plus, calls, policy=ExecutionPolicy(jobs=1))
+        parallel = run_tasks(square_plus, calls, policy=ExecutionPolicy(jobs=2))
+        assert parallel == serial == [x * x + 1 for x in range(16)]
+
+    def test_parallel_seeded_draws_bit_identical(self):
+        calls = [dict(seed=s) for s in range(12)]
+        serial = run_tasks(seeded_draw, calls, policy=ExecutionPolicy(jobs=1))
+        parallel = run_tasks(seeded_draw, calls, policy=ExecutionPolicy(jobs=2))
+        assert parallel == serial  # float equality on purpose: bit-identity
+
+    def test_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom 0"):
+            run_tasks(boom, [dict(x=0), dict(x=1)], policy=ExecutionPolicy(jobs=1))
+        with pytest.raises(ValueError, match="boom"):
+            run_tasks(boom, [dict(x=0), dict(x=1)], policy=ExecutionPolicy(jobs=2))
+
+    def test_counts_tasks(self):
+        policy = ExecutionPolicy(jobs=1)
+        run_tasks(square_plus, [dict(x=1), dict(x=2)], policy=policy)
+        assert policy.stats.tasks == 2
+        assert policy.stats.parallel_tasks == 0
+
+    def test_parallel_counts_parallel_tasks(self):
+        policy = ExecutionPolicy(jobs=2)
+        run_tasks(square_plus, [dict(x=1), dict(x=2)], policy=policy)
+        assert policy.stats.parallel_tasks == 2
+
+    def test_telemetry_forces_serial(self):
+        policy = ExecutionPolicy(jobs=4)
+        with obs.use(obs.Telemetry()):
+            result = run_tasks(square_plus, [dict(x=x) for x in range(4)], policy=policy)
+        assert result == [0, 1, 4, 9]
+        assert policy.stats.tasks == 4
+        assert policy.stats.parallel_tasks == 0  # spans/metrics cannot merge back
+
+    def test_in_worker_forces_serial(self, monkeypatch):
+        monkeypatch.setattr(pool_mod, "_IN_WORKER", True)
+        policy = ExecutionPolicy(jobs=4)
+        assert run_tasks(square_plus, [dict(x=3)], policy=policy) == [9]
+        assert policy.stats.parallel_tasks == 0
+
+    def test_single_call_stays_serial(self):
+        policy = ExecutionPolicy(jobs=4)
+        run_tasks(square_plus, [dict(x=2)], policy=policy)
+        assert policy.stats.parallel_tasks == 0  # jobs clamped to len(calls)
+
+
+class TestEvaluatePoints:
+    def test_no_cache_degrades_to_run_tasks(self):
+        policy = ExecutionPolicy(jobs=1, cache=False)
+        out = evaluate_points("t", square_plus, [dict(x=2)], policy=policy)
+        assert out == [4]
+        assert policy.stats.cache_lookups == 0
+
+    def test_miss_then_hit(self, tmp_path):
+        points = [dict(x=x) for x in range(5)]
+        cold = ExecutionPolicy(jobs=1, cache=True, cache_dir=tmp_path)
+        first = evaluate_points("t", square_plus, points, policy=cold)
+        assert cold.stats.cache_misses == 5 and cold.stats.cache_hits == 0
+
+        warm = ExecutionPolicy(jobs=1, cache=True, cache_dir=tmp_path)
+        second = evaluate_points("t", square_plus, points, policy=warm)
+        assert second == first == [x * x for x in range(5)]
+        assert warm.stats.cache_hits == 5 and warm.stats.cache_misses == 0
+        assert warm.stats.tasks == 0  # nothing re-ran
+
+    def test_partial_hits_preserve_order(self, tmp_path):
+        policy = ExecutionPolicy(jobs=1, cache=True, cache_dir=tmp_path)
+        evaluate_points("t", square_plus, [dict(x=1), dict(x=3)], policy=policy)
+        out = evaluate_points(
+            "t", square_plus, [dict(x=x) for x in range(5)], policy=policy
+        )
+        assert out == [0, 1, 4, 9, 16]
+
+    def test_ambient_policy_via_use(self, tmp_path):
+        policy = ExecutionPolicy(jobs=1, cache=True, cache_dir=tmp_path)
+        with use(policy):
+            evaluate_points("t", square_plus, [dict(x=7)])
+            evaluate_points("t", square_plus, [dict(x=7)])
+        assert policy.stats.cache_hits == 1
+        assert policy.stats.cache_misses == 1

@@ -1,0 +1,89 @@
+"""The vectorized batch stepper vs the scalar oracle (<= 1e-9 relative)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hpl.batch import batch_linpack, run_batch
+from repro.hpl.driver import CONFIGURATIONS, Configuration, single_element_cluster
+from repro.hpl.grid import ProcessGrid
+from repro.session import Scenario, run
+
+SIZES = (5750, 11500, 23000)
+SEED = 7
+TOL = 1e-9
+
+
+def _scalar_gflops(configuration, n, seed=SEED, grid=(1, 1)):
+    return run(
+        Scenario(configuration=configuration, n=n, seed=seed, grid=grid)
+    ).gflops
+
+
+@pytest.mark.parametrize("configuration", sorted(CONFIGURATIONS))
+def test_batch_matches_scalar_every_configuration(configuration):
+    cluster = single_element_cluster()
+    results = batch_linpack(configuration, SIZES, cluster, ProcessGrid(1, 1), seed=SEED)
+    assert len(results) == len(SIZES)
+    for n, result in zip(SIZES, results):
+        scalar = _scalar_gflops(configuration, n)
+        assert result.gflops == pytest.approx(scalar, rel=TOL)
+        assert result.n == n
+
+
+def test_batch_matches_scalar_on_process_grid():
+    cluster = single_element_cluster()
+    results = batch_linpack(
+        "acmlg_both", SIZES[:2], cluster, ProcessGrid(2, 4), seed=SEED
+    )
+    for n, result in zip(SIZES[:2], results):
+        scalar = _scalar_gflops("acmlg_both", n, grid=(2, 4))
+        assert result.gflops == pytest.approx(scalar, rel=TOL)
+
+
+def test_batch_per_point_nb():
+    from repro.hpl.driver import _analytic_for
+
+    cluster = single_element_cluster()
+    nbs = (768, 1216)
+    ns = (11500, 11500)
+    config = Configuration.ACMLG_BOTH
+    stepper = _analytic_for(config, cluster, ProcessGrid(1, 1), SEED)
+    batch = run_batch(stepper, ns, nbs=nbs)
+    for nb, result in zip(nbs, batch):
+        fresh = _analytic_for(
+            config, cluster, ProcessGrid(1, 1), SEED, overrides={"nb": nb}
+        )
+        scalar = fresh.run(11500)
+        assert result.elapsed == pytest.approx(scalar.elapsed, rel=TOL)
+        assert result.config.nb == nb
+
+
+def test_batch_single_point_degenerate():
+    cluster = single_element_cluster()
+    (result,) = batch_linpack("cpu", (5750,), cluster, ProcessGrid(1, 1), seed=SEED)
+    assert result.gflops == pytest.approx(_scalar_gflops("cpu", 5750), rel=TOL)
+
+
+def test_batch_rejects_faulted_stepper():
+    from repro.faults.spec import FaultSpec, GpuThrottle
+    from repro.hpl.driver import _analytic_for
+
+    cluster = single_element_cluster()
+    faulted = _analytic_for(
+        Configuration.ACMLG_BOTH,
+        cluster,
+        ProcessGrid(1, 1),
+        SEED,
+        faults=FaultSpec(throttles=(GpuThrottle(at=0.0, clock_factor=0.8),)),
+    )
+    with pytest.raises(ValueError, match="fault"):
+        run_batch(faulted, (5750,))
+
+
+def test_batch_seed_sensitivity_tracks_scalar():
+    cluster = single_element_cluster()
+    a = batch_linpack("acmlg_both", (11500,), cluster, ProcessGrid(1, 1), seed=7)
+    b = batch_linpack("acmlg_both", (11500,), cluster, ProcessGrid(1, 1), seed=8)
+    assert a[0].gflops == pytest.approx(_scalar_gflops("acmlg_both", 11500, seed=7), rel=TOL)
+    assert b[0].gflops == pytest.approx(_scalar_gflops("acmlg_both", 11500, seed=8), rel=TOL)

@@ -1,0 +1,93 @@
+"""The kernel's internal event pool: recycling must be invisible."""
+
+from __future__ import annotations
+
+from repro.sim import Simulator
+from repro.sim.engine import AllOf, Event
+
+
+class TestEventPool:
+    def test_internal_events_are_recycled(self):
+        sim = Simulator()
+        first = sim._internal_event()
+        first.succeed("a")
+        sim.run()
+        assert first.processed
+        second = sim._internal_event()
+        assert second is first  # same object, recycled...
+        assert not second.processed  # ...but fully reset
+        assert second.callbacks == []
+        second.succeed("b")
+        sim.run()
+        assert second.value == "b"
+
+    def test_user_events_never_pooled(self):
+        sim = Simulator()
+        user = Event(sim)
+        user.succeed(1)
+        sim.run()
+        assert sim._internal_event() is not user
+
+    def test_relay_heavy_run_is_deterministic(self):
+        def build():
+            sim = Simulator()
+            done = sim.timeout(0.0)
+            log: list[tuple[float, int]] = []
+
+            def proc(i):
+                # Re-yielding an already-processed event exercises the pooled
+                # relay path on every iteration.
+                yield sim.timeout(0.1 * (i + 1))
+                for _ in range(50):
+                    yield done
+                log.append((sim.now, i))
+
+            for i in range(6):
+                sim.process(proc(i))
+            sim.run()
+            return log, sim.events_processed
+
+        assert build() == build()
+
+    def test_failure_still_propagates_through_pooled_relay(self):
+        sim = Simulator()
+        caught: list[Exception] = []
+
+        def proc():
+            bad = Event(sim)
+            bad.fail(RuntimeError("expected"))
+            try:
+                yield bad
+            except RuntimeError as error:
+                caught.append(error)
+
+        sim.process(proc())
+        sim.run()
+        assert len(caught) == 1
+
+
+class TestAllOfCounter:
+    def test_allof_with_preprocessed_events(self):
+        sim = Simulator()
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(2.0, value="b")
+        sim.run()  # both already processed before the barrier exists
+        barrier = AllOf(sim, [a, b])
+        sim.run()
+        assert barrier.processed
+        assert barrier.value == ["a", "b"]
+
+    def test_allof_mixed_pending_and_processed(self):
+        sim = Simulator()
+        a = sim.timeout(1.0, value="a")
+        sim.run()
+        b = sim.timeout(1.0, value="b")
+        barrier = AllOf(sim, [a, b])
+        sim.run()
+        assert barrier.value == ["a", "b"]
+
+    def test_allof_empty(self):
+        sim = Simulator()
+        barrier = AllOf(sim, [])
+        sim.run()
+        assert barrier.processed
