@@ -31,6 +31,7 @@ from repro.bench.cabinet import fig11_adaptive_vs_qilin
 from repro.bench.dgemm_sweep import fig8_dgemm_sweep
 from repro.bench.faults_bench import faults_study
 from repro.bench.linpack_sweep import fig9_linpack_sweep, fig10_split_ratio
+from repro.bench.fullsystem import fullsystem_bcast_sweep
 from repro.bench.pipeline_trace import table1_trace, worked_example
 from repro.bench.report import SeriesData
 from repro.bench.scaling import fig12_cabinet_scaling, fig13_progress
@@ -83,6 +84,10 @@ def _faults(quick: bool) -> SeriesData:
     return faults_study(n=30_000 if quick else 60_000)
 
 
+def _fullsystem(quick: bool) -> SeriesData:
+    return fullsystem_bcast_sweep(cabinets=4 if quick else 80)
+
+
 FIGURES: dict[str, Callable[[bool], SeriesData]] = {
     "fig8": _fig8,
     "fig9": _fig9,
@@ -93,6 +98,7 @@ FIGURES: dict[str, Callable[[bool], SeriesData]] = {
     "clock-sweep": _clock_sweep,
     "endgame-fallback": _endgame,
     "faults": _faults,
+    "fullsystem": _fullsystem,
 }
 
 #: Artifacts that render straight to text (no series structure).

@@ -1,0 +1,85 @@
+"""Full-machine BCAST sweep: Rmax per panel-broadcast algorithm.
+
+The paper's headline number — 0.563 PFLOPS on the 2560-node, 64 x 80-grid
+full system — was produced by HPL with a tuned ``BCAST`` setting.  This
+bench runs the analytic stepper over the real mixed E5540/E5450 population
+at the thermally-stable 575 MHz operating point once per algorithm in
+:data:`repro.mpi.bcast.BCAST_ALGORITHMS` (the `bcast_algo` config knob) and
+reports the Rmax each achieves against the paper's 563.1 TFLOPS.
+
+At Q = 80 grid columns the choice is material: binomial pays
+``ceil(log2 80) = 7`` full-panel message times per step, the rings pay ~2,
+and ``long`` halves the volume again at the cost of 2(Q-1) latencies —
+see ``docs/distributed.md`` for the closed forms.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import SeriesData
+from repro.bench.scaling import GRIDS, problem_size_for_cabinets
+from repro.exec import evaluate_points
+from repro.hpl.grid import ProcessGrid
+from repro.machine.cluster import Cluster
+from repro.machine.presets import FULL_SYSTEM_CABINETS, tianhe1_cluster
+from repro.model import calibration as cal
+from repro.mpi.bcast import BCAST_ALGORITHMS
+from repro.session import Scenario, run
+
+#: The paper's full-system Rmax (TFLOPS).
+PAPER_RMAX_TFLOPS = cal.LINPACK_FULL_SYSTEM / 1e12
+
+
+def _sweep_point(
+    algo: str, n: int, cabinets: int, seed: int, cluster_seed: int
+) -> float:
+    """One algorithm's full-machine run (the pool/cache worker)."""
+    cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=cluster_seed)
+    result = run(
+        Scenario(
+            configuration="acmlg_both",
+            n=n,
+            cluster=cluster,
+            grid=ProcessGrid(*GRIDS[cabinets]),
+            seed=seed,
+            overrides={"bcast_algo": algo},
+        )
+    )
+    return result.tflops
+
+
+def fullsystem_bcast_sweep(
+    cabinets: int = FULL_SYSTEM_CABINETS,
+    seed: int = 7,
+    cluster_seed: int = 2009,
+) -> SeriesData:
+    """Sweep the BCAST family on the full machine (or a quick-mode prefix)."""
+    if cabinets not in GRIDS:
+        raise ValueError(f"no grid defined for {cabinets} cabinets (have {sorted(GRIDS)})")
+    n = problem_size_for_cabinets(cabinets)
+    data = SeriesData(
+        title=(
+            f"Full-system Linpack vs BCAST algorithm "
+            f"({cabinets} cabinets, {GRIDS[cabinets][0]}x{GRIDS[cabinets][1]} grid, N={n})"
+        ),
+        x_label="BCAST algorithm (0=binomial, 1=1ring, 2=1rm, 3=long)",
+        y_label="TFLOPS",
+    )
+    tflops = evaluate_points(
+        "fullsystem.bcast",
+        _sweep_point,
+        [
+            dict(algo=algo, n=n, cabinets=cabinets, seed=seed, cluster_seed=cluster_seed)
+            for algo in BCAST_ALGORITHMS
+        ],
+    )
+    results = dict(zip(BCAST_ALGORITHMS, tflops))
+    for i, algo in enumerate(BCAST_ALGORITHMS):
+        data.add_point("Rmax", float(i), results[algo])
+        data.summary[f"{algo} Rmax (TFLOPS)"] = results[algo]
+    best = max(results, key=results.get)
+    data.summary["best algorithm"] = best
+    if cabinets == FULL_SYSTEM_CABINETS:
+        data.summary[f"best vs paper ({PAPER_RMAX_TFLOPS:.1f} TFLOPS)"] = (
+            results[best] / PAPER_RMAX_TFLOPS
+        )
+    return data

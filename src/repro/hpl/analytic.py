@@ -45,11 +45,57 @@ from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import ElementRateTable
 from repro.machine.specs import InterconnectSpec
 from repro.machine.variability import SlowNoise, VariabilitySpec
+from repro.mpi.bcast import canonical_algorithm
 from repro.util.rng import RngStream
 from repro.util.units import DOUBLE_BYTES, lu_flops
 from repro.util.validation import require, require_positive
 
 MAPPINGS = ("adaptive", "static", "qilin", "gpu_only", "cpu_only")
+
+
+def panel_bcast_time(algo: str, panel_bytes, q: int, latency: float, bandwidth):
+    """Alpha-beta completion time of one panel broadcast along a Q-rank row.
+
+    Mirrors the DES algorithms in :mod:`repro.mpi.bcast` in closed form
+    (B = panel bytes, a = latency, B/bw = serialisation time):
+
+    * ``binomial`` — ``ceil(log2 Q)`` full-message hops.
+    * ``1ring`` — pipelined chain: ~2 message times once streaming, plus the
+      remaining per-hop latencies.
+    * ``1rm`` — same chain volume, one extra latency (the root's second
+      send); its payoff is the *critical-path* time below, not this total.
+    * ``long`` — scatter + ring allgather: ``2 (Q-1)`` latencies but only
+      ``~2 B (Q-1)/Q`` bytes through any rank.
+
+    Works elementwise when *panel_bytes* is an array (the batch stepper).
+    ``bandwidth=None`` (no network) costs zero.
+    """
+    if q <= 1 or bandwidth is None:
+        return 0.0 * panel_bytes
+    message = latency + panel_bytes / bandwidth
+    if algo == "1ring":
+        return 2.0 * message + (q - 2) * latency
+    if algo == "1rm":
+        return 2.0 * message + (q - 1) * latency
+    if algo == "long":
+        return 2.0 * (q - 1) * latency + (2.0 * (q - 1) / q) * (panel_bytes / bandwidth)
+    return math.ceil(math.log2(q)) * message
+
+
+def panel_bcast_critical_time(algo: str, panel_bytes, q: int, latency: float, bandwidth):
+    """Time until the *next* panel's owner holds this panel.
+
+    Look-ahead only needs the next diagonal owner (the rank after the root)
+    to have the panel before the following step can start its factorization.
+    ``1rm`` serves that rank first with a single direct message — the whole
+    reason HPL pairs it with look-ahead; every other algorithm frees it only
+    when the broadcast completes.
+    """
+    if q <= 1 or bandwidth is None:
+        return 0.0 * panel_bytes
+    if algo == "1rm":
+        return latency + panel_bytes / bandwidth
+    return panel_bcast_time(algo, panel_bytes, q, latency, bandwidth)
 
 
 @dataclass(frozen=True)
@@ -69,10 +115,14 @@ class AnalyticConfig:
     # makespan would exceed a pure-CPU update on all four cores (transfer
     # core reclaimed, no PCIe traffic), fall back to the CPU path.
     endgame_cpu_fallback: bool = False
-    # Panel broadcast algorithm along grid rows: "binomial" costs
-    # ceil(log2 Q) alpha-beta hops; "ring" pipelines long messages down the
-    # chain (HPL's increasing-ring), costing ~2 message times once full.
-    panel_bcast: str = "binomial"
+    # Panel broadcast algorithm along grid rows — HPL's BCAST family (see
+    # repro.mpi.bcast and docs/distributed.md): "binomial" costs
+    # ceil(log2 Q) alpha-beta hops; "1ring" (alias "ring") pipelines long
+    # messages down the chain, ~2 message times once streaming; "1rm" frees
+    # the next panel's owner after a single message (the look-ahead
+    # critical path); "long" is the scatter+allgather spread-roll moving
+    # only ~2B(Q-1)/Q bytes per rank.
+    bcast_algo: str = "binomial"
 
     texture_limit: int = 8192
     panel_efficiency: float = 0.6  # CPU efficiency on the panel phase
@@ -82,10 +132,8 @@ class AnalyticConfig:
     def __post_init__(self) -> None:
         require(self.mapping in MAPPINGS, f"unknown mapping {self.mapping!r}")
         require_positive(self.nb, "nb")
-        require(
-            self.panel_bcast in ("binomial", "ring"),
-            f"unknown panel_bcast {self.panel_bcast!r}",
-        )
+        # Normalise aliases ("ring" -> "1ring") and reject unknown names.
+        object.__setattr__(self, "bcast_algo", canonical_algorithm(self.bcast_algo))
 
 
 @dataclass
@@ -495,15 +543,11 @@ class AnalyticHpl:
                 # pivot search allreduce per column of the panel
                 t_panel += jbw * self._alpha_beta(16.0, max(1, math.ceil(math.log2(P))))
             panel_bytes = panel_rows_local * jbw * DOUBLE_BYTES
-            if Q <= 1:
-                t_pbcast = 0.0
-            elif cfg.panel_bcast == "ring":
-                # Pipelined chain: once streaming, ~2 message times end to end.
-                t_pbcast = self._alpha_beta(panel_bytes, 2) + (Q - 2) * (
-                    self.net.latency if self.net else 0.0
-                )
-            else:
-                t_pbcast = self._alpha_beta(panel_bytes, math.ceil(math.log2(Q)))
+            net_latency = self.net.latency if self.net else 0.0
+            net_bandwidth = self.net.bandwidth if self.net else None
+            t_pbcast = panel_bcast_time(
+                cfg.bcast_algo, panel_bytes, Q, net_latency, net_bandwidth
+            )
             swap_bytes = jbw * n_loc_max * DOUBLE_BYTES
             t_swap = self._alpha_beta(swap_bytes, 1) if P > 1 else 0.0
             t_ubcast = self._alpha_beta(
@@ -512,8 +556,17 @@ class AnalyticHpl:
             t_comm = t_pbcast + t_swap + t_ubcast
             if cfg.lookahead:
                 # Depth-1 look-ahead: next panel's factorization + broadcast
-                # proceed in the shadow of the current trailing update.
-                step_time = max(t_update + t_dtrsm, t_panel + t_pbcast) + t_swap + t_ubcast
+                # proceed in the shadow of the current trailing update.  Only
+                # the next owner's copy gates the shadowed path (1rm delivers
+                # it in one message); the full broadcast still bounds the step.
+                t_pbcast_crit = panel_bcast_critical_time(
+                    cfg.bcast_algo, panel_bytes, Q, net_latency, net_bandwidth
+                )
+                step_time = (
+                    max(t_update + t_dtrsm, t_panel + t_pbcast_crit, t_pbcast)
+                    + t_swap
+                    + t_ubcast
+                )
             else:
                 step_time = t_panel + t_dtrsm + t_comm + t_update
 

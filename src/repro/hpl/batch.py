@@ -33,7 +33,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.hpl.analytic import AnalyticHpl, AnalyticResult
+from repro.hpl.analytic import (
+    AnalyticHpl,
+    AnalyticResult,
+    panel_bcast_critical_time,
+    panel_bcast_time,
+)
 from repro.machine.variability import SlowNoise
 from repro.util.rng import RngStream
 from repro.util.units import DOUBLE_BYTES, lu_flops
@@ -257,20 +262,28 @@ def run_batch(
         if P > 1:
             t_panel = t_panel + jbw * stepper._alpha_beta(16.0, max(1, log2P))
         panel_bytes = panel_rows_local * jbw * DOUBLE_BYTES
-        if Q <= 1:
-            t_pbcast = np.zeros(B)
-        elif cfg.panel_bcast == "ring":
-            t_pbcast = stepper._alpha_beta(panel_bytes, 2) + (Q - 2) * (
-                stepper.net.latency if stepper.net else 0.0
-            )
-        else:
-            t_pbcast = stepper._alpha_beta(panel_bytes, log2Q)
+        net_latency = stepper.net.latency if stepper.net else 0.0
+        net_bandwidth = stepper.net.bandwidth if stepper.net else None
+        t_pbcast = panel_bcast_time(
+            cfg.bcast_algo, panel_bytes.astype(float), Q, net_latency, net_bandwidth
+        )
+        if np.isscalar(t_pbcast):
+            t_pbcast = np.full(B, float(t_pbcast))
         swap_bytes = jbw * n_loc_max * DOUBLE_BYTES
         t_swap = stepper._alpha_beta(swap_bytes, 1) if P > 1 else np.zeros(B)
         t_ubcast = stepper._alpha_beta(jbw * n_loc_max * DOUBLE_BYTES, log2P)
         t_comm = t_pbcast + t_swap + t_ubcast
         if cfg.lookahead:
-            step_time = np.maximum(t_update + t_dtrsm, t_panel + t_pbcast) + t_swap + t_ubcast
+            t_pbcast_crit = panel_bcast_critical_time(
+                cfg.bcast_algo, panel_bytes.astype(float), Q, net_latency, net_bandwidth
+            )
+            step_time = (
+                np.maximum(
+                    np.maximum(t_update + t_dtrsm, t_panel + t_pbcast_crit), t_pbcast
+                )
+                + t_swap
+                + t_ubcast
+            )
         else:
             step_time = t_panel + t_dtrsm + t_comm + t_update
         elapsed = elapsed + np.where(active, step_time, 0.0)

@@ -6,21 +6,27 @@ iteration):
 1. **Panel gather + factor** — the grid column owning the panel gathers its
    distributed rows to the diagonal-block owner, which factors the panel
    with :func:`~repro.blas.dgetrf.dgetf2` (global pivot indices).
-2. **Panel broadcast** — the factored panel and pivots are broadcast to all
-   ranks (HPL broadcasts along process rows; we broadcast the full panel
-   world-wide, which simplifies the pivot/write-back logic — the analytic
-   model accounts the row-wise volumes the real code would move).
+2. **Panel scatter + row broadcast** — the diagonal owner scatters each grid
+   row's share of the factored panel back down its process column
+   (``scatterv``), then every owning-column rank broadcasts its share (plus
+   the pivots) along its process *row* with the configured HPL ``BCAST``
+   algorithm (binomial / 1ring / 1rm / long — see :mod:`repro.mpi.bcast`).
+   This is HPL's row-scoped panel broadcast: no rank ever receives panel
+   rows it does not need for its own L21/write-back, which is exactly the
+   per-rank volume the analytic model charges.
 3. **Pivot application** — each grid column applies the row interchanges to
    its non-panel columns; rows living on different grid rows are exchanged
    point-to-point, in pivot order.
 4. **U block row** — the grid row owning the diagonal block solves
    ``U12 = L11^-1 A12`` on its local trailing columns and broadcasts it down
-   each grid column.
+   each grid column (column-scoped sub-communicator).
 5. **Trailing update** — every rank performs its local share of
    ``A22 -= L21 @ U12`` through its :class:`RankEngine` (the hybrid DGEMM in
    a full simulation; instantaneous math in pure-numeric tests).
 
-The result passes the official HPL residual test (see tests/hpl/).
+The result passes the official HPL residual test (see tests/hpl/).  A
+drained calendar with ranks stuck in a collective surfaces as
+:class:`~repro.mpi.comm.CollectiveDeadlockError` naming ranks and tags.
 """
 
 from __future__ import annotations
@@ -33,8 +39,7 @@ import numpy as np
 from repro.blas.dgetrf import dgetf2
 from repro.blas.dtrsm import dtrsm
 from repro.hpl.grid import BlockCyclic, ProcessGrid
-from repro.mpi.comm import SimComm, SimMPI
-from repro.mpi.group import Group
+from repro.mpi.comm import SimComm, SimMPI, run_ranks
 from repro.sim import Event, Simulator
 from repro.util.validation import require
 
@@ -177,26 +182,22 @@ class DistributedLU:
         n = a.shape[0]
         locals_ = distribute_matrix(self.grid, a, self.nb)
         piv_store: dict[int, list[np.ndarray]] = {}
-        procs = []
         start = self.sim.now
-        for rank in range(self.grid.size):
-            comm = self.world.comm(rank)
-            procs.append(
-                self.sim.process(
-                    self._rank_lu(rank, n, locals_[rank], comm, piv_store),
-                    name=f"lu.rank{rank}",
-                )
-            )
-        self.sim.run(until=self.sim.all_of(procs))
+        values = run_ranks(
+            self.sim,
+            self.world,
+            lambda comm: self._rank_lu(comm.rank, n, locals_[comm.rank], comm, piv_store),
+            name="lu.rank",
+        )
         elapsed = self.sim.now - start
         piv = np.concatenate(piv_store[0]) if piv_store.get(0) else np.empty(0, dtype=np.int64)
         stats = []
-        for rank, proc in enumerate(procs):
+        for rank, value in enumerate(values):
             engine = self.engines[rank]
             stats.append(
                 RankStats(
                     rank=rank,
-                    elapsed=float(proc.value),
+                    elapsed=float(value),
                     update_time=getattr(engine, "update_time", 0.0),
                     cpu_phase_time=getattr(engine, "cpu_phase_time", 0.0),
                 )
@@ -225,7 +226,8 @@ class DistributedLU:
         p, q = grid.coords(rank)
         rows = BlockCyclic(n, nb, grid.nprow)
         cols = BlockCyclic(n, nb, grid.npcol)
-        col_group = Group(comm, grid.col_members(q), tag_space=("col", q))
+        col_group = grid.col_comm(comm)
+        row_group = grid.row_comm(comm)
         engine = self.engines[rank]
         my_row_globals = rows.globals_of(p)
         my_pivs: list[np.ndarray] = []
@@ -237,28 +239,36 @@ class DistributedLU:
             jbw = min(nb, n - j)
             owner_q = jb % grid.npcol
             owner_p = jb % grid.nprow
-            owner_rank = grid.rank_of(owner_p, owner_q)
 
             # 1. Panel gather (within the owning grid column) + factor.
-            payload = None
+            lr0 = rows.first_local_at_or_after(p, j)
+            part = None
             if q == owner_q:
-                lr0 = rows.first_local_at_or_after(p, j)
                 lcp = cols.local_index(j)
                 contribution = (my_row_globals[lr0:], local[lr0:, lcp : lcp + jbw].copy())
                 gathered = yield from col_group.gather(
                     contribution, root_local=owner_p, tag=("pg", jb)
                 )
+                parts = None
                 if p == owner_p:
                     panel = np.empty((n - j, jbw))
                     for globals_g, block in gathered:
                         panel[globals_g - j, :] = block
                     yield from engine.charge_cpu(panel_factor_flops(n - j, jbw))
                     piv = dgetf2(panel, offset=j)
-                    payload = (panel, piv)
+                    # Each grid row's share of L: its own globals >= j.
+                    parts = []
+                    for pp in range(grid.nprow):
+                        gsel = rows.globals_of(pp)
+                        gsel = gsel[rows.first_local_at_or_after(pp, j) :]
+                        parts.append((np.ascontiguousarray(panel[gsel - j, :]), piv))
+                # 2a. Scatter the factored shares back down the owning column.
+                part = yield from col_group.scatterv(parts, root_local=owner_p, tag=("ps", jb))
 
-            # 2. Full-panel broadcast from the diagonal owner.
-            panel, piv = yield from comm.bcast(
-                payload, root=owner_rank, algorithm=self.bcast_algorithm, tag=("pb", jb)
+            # 2b. Row-scoped broadcast of this grid row's share + pivots,
+            # with the configured HPL BCAST algorithm.
+            panel_rows, piv = yield from row_group.bcast(
+                part, root_local=owner_q, algorithm=self.bcast_algorithm, tag=("pb", jb)
             )
             my_pivs.append(piv)
 
@@ -270,20 +280,21 @@ class DistributedLU:
                 other_cols = np.arange(local.shape[1])
             yield from self._apply_swaps(local, piv, j, rows, p, q, other_cols, comm, jb)
 
-            # ...and write the factored panel into the owning column's rows.
+            # ...and write the factored share into the owning column's rows.
             if q == owner_q:
-                lr0 = rows.first_local_at_or_after(p, j)
                 lcp = cols.local_index(j)
-                local[lr0:, lcp : lcp + jbw] = panel[my_row_globals[lr0:] - j, :]
+                local[lr0:, lcp : lcp + jbw] = panel_rows
 
             # 4. U12 on the diagonal grid row, broadcast down each grid column.
+            # Every rank in grid row owner_p holds L11 (the first jbw rows of
+            # its share are globals j .. j+jbw-1, which that row owns).
             lc1 = cols.first_local_at_or_after(q, j + jbw)
             u12 = None
             if p == owner_p and lc1 < local.shape[1]:
                 lrp = rows.local_index(j)
                 a12 = local[lrp : lrp + jbw, lc1:]
                 yield from engine.charge_cpu(dtrsm_flops(jbw, a12.shape[1]))
-                dtrsm(panel[:jbw, :jbw], a12, side="left", uplo="lower", unit_diag=True)
+                dtrsm(panel_rows[:jbw, :jbw], a12, side="left", uplo="lower", unit_diag=True)
                 u12 = a12
             if grid.nprow > 1 and lc1 < local.shape[1]:
                 u12 = yield from col_group.bcast(u12, root_local=owner_p, tag=("ub", jb))
@@ -291,7 +302,7 @@ class DistributedLU:
             # 5. Local trailing update through the engine (the hybrid DGEMM).
             lr1 = rows.first_local_at_or_after(p, j + jbw)
             if lr1 < local.shape[0] and lc1 < local.shape[1] and u12 is not None:
-                l21 = panel[my_row_globals[lr1:] - j, :jbw]
+                l21 = panel_rows[lr1 - lr0 :, :]
                 c = local[lr1:, lc1:]
                 yield from engine.dgemm_update(l21, u12, c)
         return sim.now - t0

@@ -48,6 +48,26 @@ class ProcessGrid:
         """All ranks in grid column *q* (ordered by grid row)."""
         return [self.rank_of(p, q) for p in range(self.nprow)]
 
+    def row_comm(self, comm):
+        """Row sub-communicator for *comm*'s rank (local ranks = grid columns).
+
+        Topology is known to every rank, so this needs no collective
+        exchange — unlike ``comm.split`` it can be built mid-computation at
+        zero simulated cost.  Tag-namespaced per row, so the Q row
+        communicators never steal each other's messages.
+        """
+        from repro.mpi.group import Group  # local: hpl.grid must stay mpi-free at import
+
+        p, _ = self.coords(comm.rank)
+        return Group(comm, self.row_members(p), tag_space=("row", p))
+
+    def col_comm(self, comm):
+        """Column sub-communicator for *comm*'s rank (local ranks = grid rows)."""
+        from repro.mpi.group import Group
+
+        _, q = self.coords(comm.rank)
+        return Group(comm, self.col_members(q), tag_space=("col", q))
+
 
 class BlockCyclic:
     """1-D block-cyclic map of *n* items in blocks of *nb* over *nprocs*."""

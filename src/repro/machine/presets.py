@@ -131,6 +131,31 @@ N_E5540_NODES = 2048
 N_E5450_NODES = 512
 
 
+#: The paper's full-machine process grid: 64 x 80 = 5120 ranks, one per
+#: compute element of the 2560-node system (Section VI.A).
+FULL_SYSTEM_GRID = (64, 80)
+#: Cabinet count of the full machine (32 nodes per cabinet).
+FULL_SYSTEM_CABINETS = 80
+
+
+def full_system_cluster(
+    gpu_clock_mhz: float = DOWNCLOCKED_MHZ,
+    variability: VariabilitySpec = DEFAULT_VARIABILITY,
+    seed: int = 2009,
+):
+    """The full 2560-node TianHe-1, built and seeded — the 0.563 PFLOPS run.
+
+    Convenience for full-machine scenarios (``repro.bench fullsystem``):
+    all 80 cabinets at the thermally-stable 575 MHz operating point, paired
+    with :data:`FULL_SYSTEM_GRID`.
+    """
+    from repro.machine.cluster import Cluster  # local: presets stays spec-level
+
+    return Cluster(
+        tianhe1_cluster(FULL_SYSTEM_CABINETS, gpu_clock_mhz, variability), seed=seed
+    )
+
+
 def tianhe1_cluster(
     cabinets: int = 80,
     gpu_clock_mhz: float = DOWNCLOCKED_MHZ,

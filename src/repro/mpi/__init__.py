@@ -3,12 +3,34 @@
 Ranks are DES processes inside one :class:`~repro.sim.Simulator`; messages
 move through :class:`~repro.machine.interconnect.Interconnect` with real
 latency/bandwidth costs and land in per-rank mailboxes.  The API mirrors the
-mpi4py conventions the HPL port needs: point-to-point ``send``/``recv`` and
-the collectives HPL's panel broadcast relies on (binomial and ring
-broadcast, allreduce, gather, barrier) — all written as generators so rank
-code simply ``yield from comm.bcast(...)``.
+mpi4py conventions the HPL port needs: point-to-point ``send``/``recv``, the
+full collective set (``bcast``/``gather``/``scatterv``/``allgather``/
+``reduce``/``allreduce``/``barrier``), sub-communicators via
+``comm.split(color, key)`` and :class:`~repro.mpi.group.Group`, and HPL's
+panel-broadcast algorithm family (:mod:`repro.mpi.bcast`: ``binomial``,
+``1ring``, ``1rm``, ``long``) — all written as generators so rank code
+simply ``yield from comm.bcast(...)``.
 """
 
-from repro.mpi.comm import SimComm, SimMPI, payload_nbytes
+from repro.mpi.bcast import BCAST_ALGORITHMS, canonical_algorithm
+from repro.mpi.comm import (
+    CollectiveComm,
+    CollectiveDeadlockError,
+    SimComm,
+    SimMPI,
+    payload_nbytes,
+    run_ranks,
+)
+from repro.mpi.group import Group
 
-__all__ = ["SimMPI", "SimComm", "payload_nbytes"]
+__all__ = [
+    "BCAST_ALGORITHMS",
+    "CollectiveComm",
+    "CollectiveDeadlockError",
+    "Group",
+    "SimComm",
+    "SimMPI",
+    "canonical_algorithm",
+    "payload_nbytes",
+    "run_ranks",
+]

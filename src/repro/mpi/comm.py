@@ -9,8 +9,18 @@ Semantics:
   message is available; messages between the same pair with the same tag
   arrive in order.
 * Collectives are generator functions; every participating rank must call
-  the same collective (deadlocks surface as the simulator's drained-calendar
-  error rather than a hang).
+  the same collective.  When the simulator drains with ranks still waiting
+  inside one, :func:`run_ranks` turns the drained-calendar error into a
+  :class:`CollectiveDeadlockError` naming the stuck ranks, the collective,
+  and the tag.
+
+The full collective set (``bcast``/``gather``/``scatterv``/``allgather``/
+``reduce``/``allreduce``/``barrier``/``split``) lives in
+:class:`CollectiveComm` and is written against *local-rank* primitives, so
+the world communicator (:class:`SimComm`) and any sub-communicator
+(:class:`~repro.mpi.group.Group`, including the ones ``split`` builds) share
+one implementation.  Panel-broadcast algorithms (HPL's BCAST family) live in
+:mod:`repro.mpi.bcast`.
 
 Payload sizes are taken from the objects themselves (numpy arrays report
 their real ``nbytes``), so algorithmic message volumes are faithful.
@@ -18,6 +28,7 @@ their real ``nbytes``), so algorithmic message volumes are faithful.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
@@ -25,24 +36,43 @@ from typing import Any, Callable, Generator, Optional
 import numpy as np
 
 from repro.machine.interconnect import Interconnect
-from repro.sim import Event, Simulator
+from repro.mpi.bcast import ALGORITHMS, canonical_algorithm
+from repro.sim import Event, SimulationError, Simulator
 from repro.util.validation import require
 
 
 def payload_nbytes(obj: Any) -> float:
-    """Wire size of a message payload."""
+    """Wire size of a message payload.
+
+    Arrays report their true ``nbytes`` (0-byte arrays are free); containers
+    add 16 bytes of framing per element; dataclasses are costed field by
+    field; an object may pin its own wire size via a ``wire_nbytes``
+    attribute (the zero-byte filler pieces of the ``long`` broadcast do).
+    """
     if obj is None:
         return 8.0
     if isinstance(obj, np.ndarray):
         return float(obj.nbytes)
-    if isinstance(obj, (int, float, np.integer, np.floating)):
+    wire = getattr(obj, "wire_nbytes", None)
+    if wire is not None and not callable(wire):
+        return float(wire)
+    if isinstance(obj, (bool, int, float, np.integer, np.floating, np.bool_)):
         return 8.0
     if isinstance(obj, (tuple, list)):
         return sum(payload_nbytes(x) for x in obj) + 16.0
     if isinstance(obj, dict):
-        return sum(payload_nbytes(v) for v in obj.values()) + 16.0 * len(obj)
+        return (
+            sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+            + 16.0 * len(obj)
+        )
     if isinstance(obj, (bytes, bytearray, str)):
         return float(len(obj))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = dataclasses.fields(obj)
+        return (
+            sum(payload_nbytes(getattr(obj, f.name)) for f in fields)
+            + 16.0 * len(fields)
+        )
     return 64.0  # pickled small object
 
 
@@ -80,14 +110,25 @@ class _Mailbox:
         return event
 
 
+class CollectiveDeadlockError(SimulationError):
+    """The calendar drained while ranks were blocked inside a collective."""
+
+
 class SimMPI:
-    """The world: one communicator handle per rank over one interconnect."""
+    """The world: one communicator handle per rank over one interconnect.
+
+    With ``record_log=True`` every message injection and delivery is appended
+    to :attr:`log` as ``(kind, time, src, dst, tag, nbytes)`` tuples (kind is
+    ``"post"`` or ``"dlv"``, tags stringified via ``repr``) — the event trace
+    the determinism tests compare byte-for-byte between runs.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         n_ranks: int,
         interconnect: Optional[Interconnect] = None,
+        record_log: bool = False,
     ) -> None:
         require(n_ranks >= 1, "n_ranks must be >= 1")
         self.sim = sim
@@ -96,6 +137,10 @@ class SimMPI:
         self._mailboxes = [_Mailbox(sim) for _ in range(n_ranks)]
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        self.log: Optional[list[tuple]] = [] if record_log else None
+        # rank -> stack of (collective name, tag) currently entered; a
+        # non-empty stack after the calendar drains means that rank is stuck.
+        self._in_collective: dict[int, list[tuple[str, Any]]] = {}
 
     def comm(self, rank: int) -> "SimComm":
         require(0 <= rank < self.n_ranks, f"rank {rank} out of range")
@@ -115,18 +160,302 @@ class SimMPI:
         nbytes = payload_nbytes(payload)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if self.log is not None:
+            self.log.append(("post", self.sim.now, src, dst, repr(tag), nbytes))
         transit = self._transit(src, dst, nbytes)
         done = Event(self.sim)
 
         def on_arrival(_event: Event) -> None:
+            if self.log is not None:
+                self.log.append(("dlv", self.sim.now, src, dst, repr(tag), nbytes))
             self._mailboxes[dst].deliver(_Message(src, tag, payload))
             done.succeed(None)
 
         transit.add_callback(on_arrival)
         return done
 
+    # -- blocked-collective bookkeeping -------------------------------------------
+    def _collective_enter(self, rank: int, name: str, tag: Any) -> None:
+        self._in_collective.setdefault(rank, []).append((name, tag))
 
-class SimComm:
+    def _collective_exit(self, rank: int) -> None:
+        self._in_collective[rank].pop()
+
+    def blocked_collectives(self) -> dict[int, tuple[str, Any]]:
+        """rank -> (collective, tag) for every rank inside a collective now.
+
+        Innermost entry per rank (a barrier blocks in its allreduce's bcast:
+        the bcast is reported).  Empty when no rank is mid-collective.
+        """
+        return {
+            rank: stack[-1]
+            for rank, stack in sorted(self._in_collective.items())
+            if stack
+        }
+
+    def describe_blocked(self) -> str:
+        blocked = self.blocked_collectives()
+        parts = [
+            f"rank {rank} in {name}(tag={tag!r})"
+            for rank, (name, tag) in blocked.items()
+        ]
+        return (
+            "simulation deadlocked with ranks blocked in collectives: "
+            + "; ".join(parts)
+        )
+
+
+class CollectiveComm:
+    """The shared collective set, over abstract local-rank primitives.
+
+    Subclasses provide :attr:`size`, ``_lrank`` (this process's rank within
+    the communicator), ``_world``/``_world_rank`` (for deadlock bookkeeping),
+    and the ``_lisend``/``_lirecv``/``_lirecv_any`` event primitives; every
+    collective below is expressed purely in those, so world and
+    sub-communicators behave identically.
+    """
+
+    # -- subclass surface ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def _lrank(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def _world(self) -> SimMPI:
+        raise NotImplementedError
+
+    @property
+    def _world_rank(self) -> int:
+        raise NotImplementedError
+
+    def _lisend(self, payload: Any, dest: int, tag: Any) -> Event:
+        raise NotImplementedError
+
+    def _lirecv(self, source: int, tag: Any) -> Event:
+        raise NotImplementedError
+
+    def _lirecv_any(self, tag: Any) -> Event:
+        raise NotImplementedError
+
+    def _world_rank_of(self, local: int) -> int:
+        """Translate a local rank to a world rank."""
+        raise NotImplementedError
+
+    def _base_comm(self) -> "SimComm":
+        """This process's world communicator (for building sub-groups)."""
+        raise NotImplementedError
+
+    def _tag_space(self) -> Any:
+        """A communicator-identifying value used to namespace derived comms."""
+        raise NotImplementedError
+
+    # -- blocking wrappers the algorithms use -------------------------------------
+    def _lsend(self, payload: Any, dest: int, tag: Any) -> Generator[Event, Any, None]:
+        yield self._lisend(payload, dest, tag)
+
+    def _lrecv(self, source: int, tag: Any) -> Generator[Event, Any, Any]:
+        message = yield self._lirecv(source, tag)
+        return message.payload
+
+    def _lrecv_any(self, tag: Any) -> Generator[Event, Any, Any]:
+        message = yield self._lirecv_any(tag)
+        return message.payload
+
+    def _lsendrecv(self, payload: Any, peer: int, tag: Any) -> Generator[Event, Any, Any]:
+        self._lisend(payload, peer, tag)
+        message = yield self._lirecv(peer, tag)
+        return message.payload
+
+    # -- collectives --------------------------------------------------------------
+    def bcast(
+        self,
+        payload: Any,
+        root: int = 0,
+        algorithm: str = "binomial",
+        tag: Any = "__bcast__",
+    ) -> Generator[Event, Any, Any]:
+        """Broadcast from *root*; returns the payload on every rank.
+
+        *algorithm* selects the HPL BCAST family member (see
+        :mod:`repro.mpi.bcast`): ``binomial``, ``1ring`` (alias ``ring``),
+        ``1rm``, or ``long``.
+        """
+        fn = ALGORITHMS[canonical_algorithm(algorithm)]
+        if self.size == 1:
+            return payload
+        self._world._collective_enter(self._world_rank, "bcast", tag)
+        try:
+            return (yield from fn(self, payload, root, tag))
+        finally:
+            self._world._collective_exit(self._world_rank)
+
+    def gather(
+        self, payload: Any, root: int = 0, tag: Any = "__gather__"
+    ) -> Generator[Event, Any, Optional[list]]:
+        """Gather payloads to *root*; returns the rank-ordered list there."""
+        self._world._collective_enter(self._world_rank, "gather", tag)
+        try:
+            if self._lrank != root:
+                yield from self._lsend((self._lrank, payload), root, tag)
+                return None
+            items: dict[int, Any] = {root: payload}
+            for _ in range(self.size - 1):
+                src, item = yield from self._lrecv_any(tag)
+                items[src] = item
+            return [items[r] for r in range(self.size)]
+        finally:
+            self._world._collective_exit(self._world_rank)
+
+    def scatterv(
+        self, parts: Optional[list], root: int = 0, tag: Any = "__scatterv__"
+    ) -> Generator[Event, Any, Any]:
+        """Scatter one piece per rank from *root*; returns this rank's piece.
+
+        *parts* (length ``size``, possibly ragged — hence the ``v``) is only
+        read on the root; other ranks pass ``None``.
+        """
+        self._world._collective_enter(self._world_rank, "scatterv", tag)
+        try:
+            if self._lrank == root:
+                parts = list(parts)
+                require(
+                    len(parts) == self.size,
+                    f"scatterv needs {self.size} parts, got {len(parts)}",
+                )
+                for r in range(self.size):
+                    if r != root:
+                        yield from self._lsend(parts[r], r, tag)
+                return parts[root]
+            return (yield from self._lrecv(root, tag))
+        finally:
+            self._world._collective_exit(self._world_rank)
+
+    def allgather(
+        self, payload: Any, tag: Any = "__allgather__"
+    ) -> Generator[Event, Any, list]:
+        """Every rank's payload on every rank (ring algorithm, P-1 rounds)."""
+        self._world._collective_enter(self._world_rank, "allgather", tag)
+        try:
+            p = self.size
+            items: list[Any] = [None] * p
+            items[self._lrank] = payload
+            right = (self._lrank + 1) % p
+            left = (self._lrank - 1) % p
+            current = payload
+            for k in range(p - 1):
+                yield from self._lsend(current, right, (tag, k))
+                current = yield from self._lrecv(left, (tag, k))
+                items[(self._lrank - k - 1) % p] = current
+            return items
+        finally:
+            self._world._collective_exit(self._world_rank)
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        root: int = 0,
+        tag: Any = "__reduce__",
+    ) -> Generator[Event, Any, Any]:
+        """Binomial-tree reduction to *root* (None elsewhere).
+
+        Combination is absolute-rank-ordered (the MPI contract for
+        non-commutative ``op``): the tree folds toward rank 0 in rank order
+        — each rank combines its own block before the higher block it
+        receives — and the total hops to *root* when the two differ.
+        """
+        self._world._collective_enter(self._world_rank, "reduce", tag)
+        try:
+            p = self.size
+            r = self._lrank
+            mask = 1
+            while mask < p:
+                if r & mask:
+                    yield from self._lsend(value, r - mask, (tag, mask))
+                    value = None
+                    break
+                if r + mask < p:
+                    other = yield from self._lrecv(r + mask, (tag, mask))
+                    value = op(value, other)
+                mask <<= 1
+            if root != 0:
+                if r == 0:
+                    yield from self._lsend(value, root, (tag, "root"))
+                    value = None
+                elif r == root:
+                    value = yield from self._lrecv(0, (tag, "root"))
+            return value
+        finally:
+            self._world._collective_exit(self._world_rank)
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        tag: Any = "__allreduce__",
+    ) -> Generator[Event, Any, Any]:
+        """Reduce-to-all via recursive doubling (works for any power; falls
+        back to gather+bcast for non-power-of-two sizes)."""
+        p = self.size
+        if p == 1:
+            return value
+        self._world._collective_enter(self._world_rank, "allreduce", tag)
+        try:
+            if p & (p - 1) == 0:
+                mask = 1
+                while mask < p:
+                    peer = self._lrank ^ mask
+                    other = yield from self._lsendrecv(value, peer, (tag, mask))
+                    value = op(value, other) if self._lrank < peer else op(other, value)
+                    mask <<= 1
+                return value
+            gathered = yield from self.gather(value, root=0, tag=(tag, "g"))
+            if self._lrank == 0:
+                total = gathered[0]
+                for item in gathered[1:]:
+                    total = op(total, item)
+            else:
+                total = None
+            return (yield from self.bcast(total, root=0, tag=(tag, "b")))
+        finally:
+            self._world._collective_exit(self._world_rank)
+
+    def barrier(self) -> Generator[Event, Any, None]:
+        """Synchronise all ranks."""
+        yield from self.allreduce(0, tag="__barrier__")
+
+    def split(
+        self, color: Any, key: Optional[int] = None, tag: Any = "__split__"
+    ) -> Generator[Event, Any, Optional["Any"]]:
+        """MPI_Comm_split: partition this communicator by *color*.
+
+        Collective — every rank must call it.  Returns a
+        :class:`~repro.mpi.group.Group` containing the ranks that passed the
+        same color, ordered by ``(key, local rank)`` (``key=None`` keeps rank
+        order, matching ``MPI_UNDEFINED``-free usage); ranks passing
+        ``color=None`` participate in the exchange but get ``None`` back.
+        """
+        entries = yield from self.allgather((color, key, self._lrank), tag=(tag, "x"))
+        if color is None:
+            return None
+        ranked = sorted(
+            ((k if k is not None else lr, lr) for c, k, lr in entries if c == color)
+        )
+        members = [self._world_rank_of(lr) for _, lr in ranked]
+        from repro.mpi.group import Group  # deferred: group imports this module
+
+        return Group(
+            self._base_comm(),
+            members,
+            tag_space=(self._tag_space(), "split", color),
+        )
+
+
+class SimComm(CollectiveComm):
     """One rank's view of the world (mpi4py-flavoured API)."""
 
     def __init__(self, world: SimMPI, rank: int) -> None:
@@ -174,89 +503,62 @@ class SimComm:
         message = yield self.irecv(peer, tag)
         return message.payload
 
-    # -- collectives --------------------------------------------------------------
-    def bcast(
-        self,
-        payload: Any,
-        root: int = 0,
-        algorithm: str = "binomial",
-        tag: Any = "__bcast__",
-    ) -> Generator[Event, Any, Any]:
-        """Broadcast from *root*; returns the payload on every rank.
+    # -- CollectiveComm surface ---------------------------------------------------
+    @property
+    def _lrank(self) -> int:
+        return self.rank
 
-        ``binomial`` is the MPICH-style tree (log2 P rounds); ``ring`` is the
-        pipeline-friendly chain HPL favours for long panel messages.
-        """
-        require(algorithm in ("binomial", "ring"), f"unknown algorithm {algorithm!r}")
-        p = self.size
-        if p == 1:
-            return payload
-        if algorithm == "ring":
-            rel = (self.rank - root) % p
-            if rel != 0:
-                payload = yield from self.recv(source=(self.rank - 1) % p, tag=tag)
-            if rel != p - 1:
-                yield from self.send(payload, (self.rank + 1) % p, tag=tag)
-            return payload
-        # Binomial tree on relative ranks.
-        rel = (self.rank - root) % p
-        mask = 1
-        while mask < p:
-            if rel & mask:
-                src = ((rel - mask) + root) % p
-                payload = yield from self.recv(source=src, tag=tag)
-                break
-            mask <<= 1
-        mask >>= 1
-        while mask > 0:
-            if rel + mask < p:
-                dst = (rel + mask + root) % p
-                yield from self.send(payload, dst, tag=tag)
-            mask >>= 1
-        return payload
+    @property
+    def _world(self) -> SimMPI:
+        return self.world
 
-    def gather(
-        self, payload: Any, root: int = 0, tag: Any = "__gather__"
-    ) -> Generator[Event, Any, Optional[list]]:
-        """Gather payloads to *root*; returns the rank-ordered list there."""
-        if self.rank != root:
-            yield from self.send((self.rank, payload), root, tag=tag)
-            return None
-        items: dict[int, Any] = {root: payload}
-        for _ in range(self.size - 1):
-            src_rank, item = yield from self.recv(tag=tag)
-            items[src_rank] = item
-        return [items[r] for r in range(self.size)]
+    @property
+    def _world_rank(self) -> int:
+        return self.rank
 
-    def allreduce(
-        self, value: Any, op: Callable[[Any, Any], Any] = lambda a, b: a + b,
-        tag: Any = "__allreduce__",
-    ) -> Generator[Event, Any, Any]:
-        """Reduce-to-all via recursive doubling (works for any power; falls
-        back to gather+bcast for non-power-of-two sizes)."""
-        p = self.size
-        if p == 1:
-            return value
-        if p & (p - 1) == 0:
-            mask = 1
-            while mask < p:
-                peer = self.rank ^ mask
-                other = yield from self.sendrecv(value, peer, tag=(tag, mask))
-                value = op(value, other) if self.rank < peer else op(other, value)
-                mask <<= 1
-            return value
-        gathered = yield from self.gather(value, root=0, tag=(tag, "g"))
-        if self.rank == 0:
-            total = gathered[0]
-            for item in gathered[1:]:
-                total = op(total, item)
-        else:
-            total = None
-        return (yield from self.bcast(total, root=0, tag=(tag, "b")))
+    def _lisend(self, payload: Any, dest: int, tag: Any) -> Event:
+        return self.isend(payload, dest, tag)
 
-    def barrier(self) -> Generator[Event, Any, None]:
-        """Synchronise all ranks."""
-        yield from self.allreduce(0, tag="__barrier__")
+    def _lirecv(self, source: int, tag: Any) -> Event:
+        return self.irecv(source, tag)
+
+    def _lirecv_any(self, tag: Any) -> Event:
+        return self.irecv(None, tag)
+
+    def _world_rank_of(self, local: int) -> int:
+        return local
+
+    def _base_comm(self) -> "SimComm":
+        return self
+
+    def _tag_space(self) -> Any:
+        return "world"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimComm rank {self.rank}/{self.size}>"
+
+
+def run_ranks(
+    sim: Simulator,
+    world: SimMPI,
+    rank_main: Callable[[SimComm], Generator[Event, Any, Any]],
+    name: str = "rank",
+) -> list:
+    """Spawn ``rank_main(comm)`` on every rank and run all to completion.
+
+    Returns the per-rank return values (rank order).  A drained calendar
+    with ranks still inside a collective becomes a
+    :class:`CollectiveDeadlockError` naming the stuck ranks, the collective,
+    and the tag — instead of the engine's generic deadlock message.
+    """
+    procs = [
+        sim.process(rank_main(comm), name=f"{name}{comm.rank}")
+        for comm in world.comms()
+    ]
+    try:
+        sim.run(until=sim.all_of(procs))
+    except SimulationError as err:
+        if world.blocked_collectives():
+            raise CollectiveDeadlockError(world.describe_blocked()) from err
+        raise
+    return [proc.value for proc in procs]

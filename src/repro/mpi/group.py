@@ -2,20 +2,28 @@
 
 HPL communicates along process-grid rows (panel broadcast) and columns
 (pivot exchanges, U broadcast).  A :class:`Group` wraps a world communicator
-plus an ordered member list and re-implements the collectives on translated
-ranks, so grid code can say ``yield from row_group.bcast(...)``.
+plus an ordered member list and inherits the full collective set from
+:class:`~repro.mpi.comm.CollectiveComm` on translated ranks, so grid code
+can say ``yield from row_group.bcast(...)``.  ``comm.split(color, key)``
+builds these (the simulated MPI_Comm_split); :meth:`ProcessGrid.row_comm`
+and :meth:`ProcessGrid.col_comm <repro.hpl.grid.ProcessGrid>` build them
+directly from grid topology without a collective exchange.
+
+Messages inside a group travel with tags namespaced by ``tag_space`` so two
+groups over the same ranks (e.g. a row and a column sharing a corner rank)
+never steal each other's traffic.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Sequence
+from typing import Any, Generator, Optional, Sequence
 
-from repro.mpi.comm import SimComm
+from repro.mpi.comm import CollectiveComm, SimComm, SimMPI
 from repro.sim import Event
 from repro.util.validation import require
 
 
-class Group:
+class Group(CollectiveComm):
     """An ordered subset of world ranks, viewed from one member."""
 
     def __init__(self, comm: SimComm, members: Sequence[int], tag_space: Any = "grp") -> None:
@@ -35,6 +43,7 @@ class Group:
     def _tag(self, tag: Any) -> Any:
         return (self.tag_space, tag)
 
+    # -- point to point (local-rank addressed) ------------------------------------
     def send(self, payload: Any, dest_local: int, tag: Any = 0) -> Generator[Event, Any, None]:
         """Send to the group member at *dest_local*."""
         yield from self.comm.send(payload, self.members[dest_local], tag=self._tag(tag))
@@ -43,43 +52,79 @@ class Group:
         """Receive from the group member at *source_local*."""
         return (yield from self.comm.recv(source=self.members[source_local], tag=self._tag(tag)))
 
-    def bcast(
-        self, payload: Any, root_local: int = 0, algorithm: str = "binomial", tag: Any = "__b__"
+    # -- CollectiveComm surface ---------------------------------------------------
+    @property
+    def _lrank(self) -> int:
+        return self.local_rank
+
+    @property
+    def _world(self) -> SimMPI:
+        return self.comm.world
+
+    @property
+    def _world_rank(self) -> int:
+        return self.comm.rank
+
+    def _lisend(self, payload: Any, dest: int, tag: Any) -> Event:
+        return self.comm.isend(payload, self.members[dest], self._tag(tag))
+
+    def _lirecv(self, source: int, tag: Any) -> Event:
+        return self.comm.irecv(self.members[source], self._tag(tag))
+
+    def _lirecv_any(self, tag: Any) -> Event:
+        return self.comm.irecv(None, self._tag(tag))
+
+    def _world_rank_of(self, local: int) -> int:
+        return self.members[local]
+
+    def _base_comm(self) -> SimComm:
+        return self.comm
+
+    def _tag_space(self) -> Any:
+        return self.tag_space
+
+    # -- compat wrappers (historical ``root_local`` spelling) ---------------------
+    def bcast(  # type: ignore[override]
+        self,
+        payload: Any,
+        root_local: int = 0,
+        algorithm: str = "binomial",
+        tag: Any = "__b__",
     ) -> Generator[Event, Any, Any]:
         """Broadcast from the member at *root_local* to the whole group."""
-        p = self.size
-        if p == 1:
-            return payload
-        rel = (self.local_rank - root_local) % p
-        if algorithm == "ring":
-            if rel != 0:
-                payload = yield from self.recv((self.local_rank - 1) % p, tag=tag)
-            if rel != p - 1:
-                yield from self.send(payload, (self.local_rank + 1) % p, tag=tag)
-            return payload
-        mask = 1
-        while mask < p:
-            if rel & mask:
-                src = (rel - mask + root_local) % p
-                payload = yield from self.recv(src, tag=tag)
-                break
-            mask <<= 1
-        mask >>= 1
-        while mask > 0:
-            if rel + mask < p:
-                yield from self.send(payload, (rel + mask + root_local) % p, tag=tag)
-            mask >>= 1
-        return payload
+        return (
+            yield from CollectiveComm.bcast(
+                self, payload, root=root_local, algorithm=algorithm, tag=tag
+            )
+        )
 
-    def gather(
+    def gather(  # type: ignore[override]
         self, payload: Any, root_local: int = 0, tag: Any = "__g__"
-    ) -> Generator[Event, Any, Any]:
+    ) -> Generator[Event, Any, Optional[list]]:
         """Gather members' payloads (local-rank order) at *root_local*."""
-        if self.local_rank != root_local:
-            yield from self.send((self.local_rank, payload), root_local, tag=tag)
-            return None
-        items = {root_local: payload}
-        for _ in range(self.size - 1):
-            src, item = yield from self.comm.recv(tag=self._tag(tag))
-            items[src] = item
-        return [items[i] for i in range(self.size)]
+        return (
+            yield from CollectiveComm.gather(self, payload, root=root_local, tag=tag)
+        )
+
+    def scatterv(  # type: ignore[override]
+        self, parts: Optional[list], root_local: int = 0, tag: Any = "__sv__"
+    ) -> Generator[Event, Any, Any]:
+        """Scatter one piece per member from *root_local*."""
+        return (
+            yield from CollectiveComm.scatterv(self, parts, root=root_local, tag=tag)
+        )
+
+    def reduce(  # type: ignore[override]
+        self,
+        value: Any,
+        op=lambda a, b: a + b,
+        root_local: int = 0,
+        tag: Any = "__r__",
+    ) -> Generator[Event, Any, Any]:
+        """Reduce to the member at *root_local* (None elsewhere)."""
+        return (
+            yield from CollectiveComm.reduce(self, value, op=op, root=root_local, tag=tag)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Group {self.members} local {self.local_rank} tags {self.tag_space!r}>"

@@ -84,6 +84,9 @@ class DifferentialCase:
     gpu_clock_mhz: float = STANDARD_CLOCK_MHZ
     #: 1.0 = clean; < 1.0 injects a from-start GPU throttle at this depth.
     throttle_factor: float = 1.0
+    #: Panel-broadcast algorithm threaded into the analytic config — the
+    #: whole BCAST family must keep the twins inside the same bands.
+    bcast_algo: str = "binomial"
     n: int = 12000
     seed: int = GOLDEN_SEED
     tolerances: DifferentialTolerances = DifferentialTolerances()
@@ -114,6 +117,12 @@ MATRIX: tuple[DifferentialCase, ...] = tuple(
         ("e5540_downclocked", XEON_E5540, DOWNCLOCKED_MHZ),
     )
     for factor in (1.0, 0.75)
+) + tuple(
+    # The HPL BCAST family on the clean workhorse preset: the bcast_algo
+    # knob rides through Session overrides into the analytic cost model and
+    # must not move the twins out of the default bands.
+    DifferentialCase(name=f"e5540/clean/{algo}", bcast_algo=algo)
+    for algo in ("1ring", "1rm", "long")
 )
 
 
@@ -144,6 +153,7 @@ def analytic_run(case: DifferentialCase):
         seed=case.seed,
         collect_steps=True,
         faults=faults,
+        overrides={"bcast_algo": case.bcast_algo},
     )
     return Session(scenario).run()
 

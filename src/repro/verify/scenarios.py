@@ -27,6 +27,7 @@ from repro.machine.presets import (
     tianhe1_node,
 )
 from repro.machine.specs import ClusterSpec, CPUSpec
+from repro.mpi.bcast import BCAST_ALGORITHMS
 from repro.session import Scenario
 from repro.verify.tolerance import EXACT, Tolerance
 
@@ -95,7 +96,11 @@ def _single(configuration: Configuration, n: int, **kw) -> Callable[[], Scenario
     return build
 
 
-def _hetero(n: int, faults: Optional[FaultSpec] = None) -> Callable[[], Scenario]:
+def _hetero(
+    n: int,
+    faults: Optional[FaultSpec] = None,
+    overrides: Optional[dict] = None,
+) -> Callable[[], Scenario]:
     def build() -> Scenario:
         return Scenario(
             configuration=Configuration.ACMLG_BOTH,
@@ -105,6 +110,7 @@ def _hetero(n: int, faults: Optional[FaultSpec] = None) -> Callable[[], Scenario
             seed=GOLDEN_SEED,
             collect_steps=True,
             faults=faults,
+            overrides=overrides,
         )
 
     return build
@@ -148,6 +154,21 @@ def _catalogue() -> list[GoldenScenario]:
             build=_hetero(14000),
         )
     )
+    # 4-rank distributed run per HPL BCAST algorithm: same seeded mixed
+    # population, only the panel-broadcast cost model varies.  Guards the
+    # bcast_algo knob end to end (Session overrides -> AnalyticConfig ->
+    # panel_bcast_time) against silent cost-formula drift.
+    for algo in BCAST_ALGORITHMS:
+        entries.append(
+            GoldenScenario(
+                name=f"dist4_bcast_{algo}",
+                description=(
+                    f"mixed E5540/E5450 population on a 2x2 grid, N=14000, "
+                    f"{algo} panel broadcast"
+                ),
+                build=_hetero(14000, overrides={"bcast_algo": algo}),
+            )
+        )
     entries.append(
         GoldenScenario(
             name="fault_throttle",

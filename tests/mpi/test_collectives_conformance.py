@@ -1,0 +1,328 @@
+"""MPI conformance kit: every collective against a pure-python reference.
+
+Each collective runs on the simulated communicator and is compared against a
+*reference executor* — an independent, simulation-free implementation of the
+MPI contract computed directly from the per-rank inputs.  Roots sweep every
+rank, the panel-broadcast family sweeps every algorithm (and every accepted
+alias), and split-derived row/column sub-communicators are checked against
+the same references group by group.  Non-commutative reduction operators pin
+the absolute-rank combination order MPI mandates.
+
+Grid shapes cover the degenerate 1x1, flat 1x4, square 2x2, tall 4x2, and
+non-power-of-two 3x5 cases; 4x8 and 8x8 run behind the ``slow`` marker.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.hpl.grid import ProcessGrid
+from repro.machine.interconnect import Interconnect
+from repro.machine.presets import QDR_INFINIBAND
+from repro.mpi import BCAST_ALGORITHMS, SimMPI, run_ranks
+from repro.mpi.bcast import ALGORITHM_ALIASES
+from repro.sim import Simulator
+from tests.strategies import message_payloads
+
+#: The grid shapes the kit sweeps (see module docstring).
+GRID_SHAPES = [(1, 1), (1, 4), (2, 2), (4, 2), (3, 5)]
+#: World sizes those shapes induce (deduplicated, sorted).
+SIZES = sorted({p * q for p, q in GRID_SHAPES})
+#: Every accepted broadcast spelling: canonical names plus aliases.
+ALL_SPELLINGS = list(BCAST_ALGORITHMS) + sorted(ALGORITHM_ALIASES)
+
+
+def collective(size, rank_fn, with_network=True):
+    """Run ``rank_fn(comm)`` on a fresh *size*-rank world; per-rank results."""
+    sim = Simulator()
+    network = Interconnect(sim, QDR_INFINIBAND, size) if with_network else None
+    world = SimMPI(sim, size, network)
+    return run_ranks(sim, world, rank_fn)
+
+
+def same(a, b):
+    """Structural payload equality (arrays by dtype+shape+values)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and a.shape == b.shape
+            and np.array_equal(a, b)
+        )
+    if isinstance(a, (tuple, list)):
+        return (
+            type(a) is type(b)
+            and len(a) == len(b)
+            and all(same(x, y) for x, y in zip(a, b))
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(same(v, b[k]) for k, v in a.items())
+        )
+    return type(a) is type(b) and a == b
+
+
+# -- the reference executor ---------------------------------------------------
+# Pure functions from per-rank inputs to per-rank outputs: the MPI contract
+# with no network, no events, no rank programs.
+
+
+def ref_bcast(inputs, root):
+    return [inputs[root]] * len(inputs)
+
+
+def ref_gather(inputs, root):
+    return [list(inputs) if r == root else None for r in range(len(inputs))]
+
+
+def ref_scatterv(parts, root):
+    return list(parts)
+
+
+def ref_allgather(inputs):
+    return [list(inputs)] * len(inputs)
+
+
+def ref_reduce(inputs, op, root):
+    total = inputs[0]
+    for item in inputs[1:]:
+        total = op(total, item)
+    return [total if r == root else None for r in range(len(inputs))]
+
+
+def ref_allreduce(inputs, op):
+    return [ref_reduce(inputs, op, 0)[0]] * len(inputs)
+
+
+def bcast_payload(root):
+    """A root-distinctive payload exercising every split/join path of ``long``:
+    an array (split along axis 0), a dict (travels whole + fillers), bytes."""
+    return (np.arange(3 + root, dtype=np.float64) * 2.0, {"root": root}, b"panel")
+
+
+class TestBcastConformance:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("algorithm", ALL_SPELLINGS)
+    def test_every_algorithm_every_root(self, size, algorithm):
+        for root in range(size):
+            inputs = [bcast_payload(root) if r == root else None for r in range(size)]
+
+            def rank_fn(comm):
+                return (
+                    yield from comm.bcast(
+                        inputs[comm.rank], root=root, algorithm=algorithm
+                    )
+                )
+
+            results = collective(size, rank_fn)
+            expected = ref_bcast([bcast_payload(root)] * size, root)
+            assert all(same(r, e) for r, e in zip(results, expected))
+
+    @pytest.mark.parametrize("algorithm", BCAST_ALGORITHMS)
+    def test_unsplittable_payload(self, algorithm):
+        """Opaque payloads survive ``long``'s scatter via zero-byte fillers."""
+
+        def rank_fn(comm):
+            payload = {"pivots": [3, 1, 2], "tag": "opaque"} if comm.rank == 0 else None
+            return (yield from comm.bcast(payload, root=0, algorithm=algorithm))
+
+        results = collective(5, rank_fn)
+        assert all(same(r, {"pivots": [3, 1, 2], "tag": "opaque"}) for r in results)
+
+
+class TestCollectiveConformance:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather_every_root(self, size):
+        inputs = [("item", r, np.full(r, float(r))) for r in range(size)]
+        for root in range(size):
+
+            def rank_fn(comm):
+                return (yield from comm.gather(inputs[comm.rank], root=root))
+
+            results = collective(size, rank_fn)
+            expected = ref_gather(inputs, root)
+            assert all(same(r, e) for r, e in zip(results, expected))
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatterv_every_root(self, size):
+        for root in range(size):
+            # Ragged pieces (the v): rank r's piece has r+1 entries.
+            parts = [np.full(r + 1, root * 100.0 + r) for r in range(size)]
+
+            def rank_fn(comm):
+                mine = parts if comm.rank == root else None
+                return (yield from comm.scatterv(mine, root=root))
+
+            results = collective(size, rank_fn)
+            expected = ref_scatterv(parts, root)
+            assert all(same(r, e) for r, e in zip(results, expected))
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather(self, size):
+        inputs = [{"rank": r} for r in range(size)]
+
+        def rank_fn(comm):
+            return (yield from comm.allgather(inputs[comm.rank]))
+
+        results = collective(size, rank_fn)
+        expected = ref_allgather(inputs)
+        assert all(same(r, e) for r, e in zip(results, expected))
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_reduce_non_commutative_every_root(self, size):
+        """String concatenation pins MPI's absolute-rank combination order."""
+        inputs = [f"[{r}]" for r in range(size)]
+        op = lambda a, b: a + b
+        for root in range(size):
+
+            def rank_fn(comm):
+                return (yield from comm.reduce(inputs[comm.rank], op=op, root=root))
+
+            results = collective(size, rank_fn)
+            expected = ref_reduce(inputs, op, root)
+            assert results == expected
+            assert expected[root] == "".join(inputs)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_non_commutative(self, size):
+        """Both the recursive-doubling (power-of-two) and the gather+bcast
+        fallback path must fold in absolute rank order."""
+        inputs = [f"[{r}]" for r in range(size)]
+        op = lambda a, b: a + b
+
+        def rank_fn(comm):
+            return (yield from comm.allreduce(inputs[comm.rank], op=op))
+
+        results = collective(size, rank_fn)
+        assert results == ref_allreduce(inputs, op)
+
+    @pytest.mark.parametrize("size", [2, 4, 15])
+    def test_barrier_no_early_exit(self, size):
+        """No rank leaves the barrier before the last rank has entered."""
+
+        def rank_fn(comm):
+            yield comm.sim.timeout(comm.rank * 1e-3)
+            entered = comm.sim.now
+            yield from comm.barrier()
+            return entered, comm.sim.now
+
+        results = collective(size, rank_fn)
+        last_entry = max(entered for entered, _ in results)
+        assert all(exited >= last_entry for _, exited in results)
+
+
+class TestSplitConformance:
+    @pytest.mark.parametrize("shape", GRID_SHAPES)
+    def test_split_by_row_matches_grid_topology(self, shape):
+        """``split(color=row, key=col)`` rebuilds exactly the topology-derived
+        row communicators of :class:`ProcessGrid`."""
+        p, q = shape
+        grid = ProcessGrid(p, q)
+
+        def rank_fn(comm):
+            row, col = grid.coords(comm.rank)
+            group = yield from comm.split(row, key=col)
+            return group.members, group.local_rank
+
+        results = collective(p * q, rank_fn)
+        for rank, (members, local_rank) in enumerate(results):
+            row, col = grid.coords(rank)
+            assert members == grid.row_members(row)
+            assert local_rank == col
+
+    @pytest.mark.parametrize("shape", GRID_SHAPES)
+    def test_split_groups_run_conformant_collectives(self, shape):
+        """Column sub-communicators from ``split`` gather per-column payloads
+        that match the reference executed per group."""
+        p, q = shape
+        grid = ProcessGrid(p, q)
+
+        def rank_fn(comm):
+            row, col = grid.coords(comm.rank)
+            group = yield from comm.split(col, key=row)
+            return (yield from group.gather(("cell", row, col), root_local=0))
+
+        results = collective(p * q, rank_fn)
+        for col in range(q):
+            inputs = [("cell", row, col) for row in range(p)]
+            expected = ref_gather(inputs, 0)
+            got = [results[grid.rank_of(row, col)] for row in range(p)]
+            assert all(same(g, e) for g, e in zip(got, expected))
+
+    def test_split_key_reorders_members(self):
+        """A descending key reverses local rank order within each color."""
+
+        def rank_fn(comm):
+            group = yield from comm.split(comm.rank % 2, key=-comm.rank)
+            return group.members
+
+        results = collective(6, rank_fn)
+        assert results[0] == [4, 2, 0]
+        assert results[1] == [5, 3, 1]
+
+    def test_split_color_none_is_excluded(self):
+        """``color=None`` ranks take part in the exchange but get no group."""
+
+        def rank_fn(comm):
+            color = None if comm.rank == 2 else 0
+            group = yield from comm.split(color)
+            if group is None:
+                return None
+            return (yield from group.allgather(comm.rank))
+
+        results = collective(4, rank_fn)
+        assert results[2] is None
+        assert results[0] == results[1] == results[3] == [0, 1, 3]
+
+
+class TestPayloadRoundtrip:
+    """Property-based: any payload the wire model costs travels losslessly
+    through every broadcast algorithm (5 ranks: odd, so ``long`` splits
+    unevenly and pads with fillers)."""
+
+    @pytest.mark.parametrize("algorithm", BCAST_ALGORITHMS)
+    @settings(max_examples=25, deadline=None)
+    @given(payload=message_payloads)
+    def test_bcast_delivers_identical_payload(self, algorithm, payload):
+        def rank_fn(comm):
+            mine = payload if comm.rank == 1 else None
+            return (yield from comm.bcast(mine, root=1, algorithm=algorithm))
+
+        results = collective(5, rank_fn, with_network=False)
+        assert all(same(r, payload) for r in results)
+
+
+@pytest.mark.slow
+class TestLargeGridConformance:
+    """The same sweeps at HPL-realistic row widths (4x8 and 8x8 grids)."""
+
+    @pytest.mark.parametrize("size", [32, 64])
+    @pytest.mark.parametrize("algorithm", BCAST_ALGORITHMS)
+    def test_bcast(self, size, algorithm):
+        for root in (0, size // 2, size - 1):
+            inputs = [bcast_payload(root) if r == root else None for r in range(size)]
+
+            def rank_fn(comm):
+                return (
+                    yield from comm.bcast(
+                        inputs[comm.rank], root=root, algorithm=algorithm
+                    )
+                )
+
+            results = collective(size, rank_fn)
+            expected = ref_bcast([bcast_payload(root)] * size, root)
+            assert all(same(r, e) for r, e in zip(results, expected))
+
+    @pytest.mark.parametrize("size", [32, 64])
+    def test_reduce_non_commutative(self, size):
+        inputs = [f"[{r}]" for r in range(size)]
+        op = lambda a, b: a + b
+        for root in (0, 1, size - 1):
+
+            def rank_fn(comm):
+                return (yield from comm.reduce(inputs[comm.rank], op=op, root=root))
+
+            assert collective(size, rank_fn) == ref_reduce(inputs, op, root)

@@ -1,0 +1,127 @@
+"""Deadlock diagnostics: mismatched collectives name their stuck ranks.
+
+A drained calendar with ranks suspended inside a collective is the simulated
+analogue of a hung MPI job.  :func:`repro.mpi.run_ranks` must convert the
+engine's generic drained-calendar error into a
+:class:`~repro.mpi.CollectiveDeadlockError` that says *which* ranks are
+stuck in *which* collective on *which* tag — the information a real hang
+makes you attach a debugger to recover.
+"""
+
+import pytest
+
+from repro.machine.interconnect import Interconnect
+from repro.machine.presets import QDR_INFINIBAND
+from repro.mpi import CollectiveDeadlockError, SimMPI, run_ranks
+from repro.sim import Simulator
+
+
+def make_world(n):
+    sim = Simulator()
+    return sim, SimMPI(sim, n, Interconnect(sim, QDR_INFINIBAND, n))
+
+
+class TestDeadlockDiagnostics:
+    def test_missing_gather_participant_names_the_root(self):
+        """Rank 3 skips the gather; the root starves waiting for its item."""
+        sim, world = make_world(4)
+
+        def rank_main(comm):
+            if comm.rank == 3:
+                return None  # forgets to participate
+            return (yield from comm.gather(comm.rank, root=0))
+
+        with pytest.raises(CollectiveDeadlockError) as excinfo:
+            run_ranks(sim, world, rank_main)
+        message = str(excinfo.value)
+        assert "rank 0 in gather" in message
+        assert "__gather__" in message
+        # Ranks 1 and 2 sent and left the collective cleanly.
+        assert "rank 1" not in message and "rank 2" not in message
+
+    def test_skipped_split_blocks_everyone_in_the_exchange(self):
+        """``split`` is collective: one rank not calling it hangs the rest
+        inside the color/key allgather, and the diagnosis says so."""
+        sim, world = make_world(4)
+
+        def rank_main(comm):
+            if comm.rank == 3:
+                return None  # never calls split
+            group = yield from comm.split(comm.rank % 2)
+            return group.members
+
+        with pytest.raises(CollectiveDeadlockError) as excinfo:
+            run_ranks(sim, world, rank_main)
+        message = str(excinfo.value)
+        for rank in (0, 1, 2):
+            assert f"rank {rank} in allgather" in message
+        assert "__split__" in message
+
+    def test_mismatched_split_color_deadlocks_downstream_collective(self):
+        """The satellite scenario: ranks pair up by ``rank % 2`` but rank 2
+        passes the wrong color, landing in {1, 2, 3} instead of {0, 2}.  The
+        split itself completes — membership is consistent, just not what the
+        program *believes* — so the hang appears one collective later, when
+        rank 2 broadcasts on a group whose other members never will."""
+        sim, world = make_world(4)
+
+        def rank_main(comm):
+            intended = comm.rank % 2
+            color = 1 if comm.rank == 2 else intended  # the typo
+            group = yield from comm.split(color)
+            if intended == 0:
+                # The "even" protocol: the group leader broadcasts a token.
+                token = "go" if group.local_rank == 0 else None
+                return (yield from group.bcast(token, root_local=0))
+            return group.members
+
+        with pytest.raises(CollectiveDeadlockError) as excinfo:
+            run_ranks(sim, world, rank_main)
+        message = str(excinfo.value)
+        assert "rank 2 in bcast" in message
+        assert "rank 0" not in message  # alone in its group: size-1 bcast returns
+
+    def test_mismatched_tags_within_a_collective(self):
+        """Two halves of the world enter the same collective under different
+        tags; both sides starve and both tags appear in the diagnosis."""
+        sim, world = make_world(4)
+
+        def rank_main(comm):
+            tag = "epoch-a" if comm.rank < 2 else "epoch-b"
+            return (yield from comm.allgather(comm.rank, tag=tag))
+
+        with pytest.raises(CollectiveDeadlockError) as excinfo:
+            run_ranks(sim, world, rank_main)
+        message = str(excinfo.value)
+        assert "epoch-a" in message and "epoch-b" in message
+        for rank in range(4):
+            assert f"rank {rank} in allgather" in message
+
+    def test_bookkeeping_is_clean_after_success(self):
+        """A completed program leaves no rank marked as in-collective."""
+        sim, world = make_world(4)
+
+        def rank_main(comm):
+            yield from comm.barrier()
+            group = yield from comm.split(comm.rank // 2)
+            return (yield from group.allgather(comm.rank))
+
+        results = run_ranks(sim, world, rank_main)
+        assert results == [[0, 1], [0, 1], [2, 3], [2, 3]]
+        assert world.blocked_collectives() == {}
+
+    def test_non_collective_deadlock_stays_generic(self):
+        """A plain point-to-point starvation is not dressed up as a
+        collective deadlock — the engine's own error propagates."""
+        from repro.sim import SimulationError
+
+        sim, world = make_world(2)
+
+        def rank_main(comm):
+            if comm.rank == 0:
+                return (yield from comm.recv(source=1, tag="never-sent"))
+            return None
+
+        with pytest.raises(SimulationError) as excinfo:
+            run_ranks(sim, world, rank_main)
+        assert not isinstance(excinfo.value, CollectiveDeadlockError)

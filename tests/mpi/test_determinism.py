@@ -1,0 +1,144 @@
+"""Determinism & message-volume regression tests for the simulated MPI.
+
+The DES is seeded and single-threaded, so the *entire* message trace — every
+injection and delivery with its virtual timestamp, endpoints, tag and wire
+size (``SimMPI(record_log=True)``) — must be byte-identical between two runs
+of the same program, and identical again when the run executes inside an
+``repro.exec`` pool worker (fork/spawn must not leak nondeterminism into the
+calendar).  Message counts and volumes per broadcast algorithm are pinned as
+regression constants: they are the quantities the analytic cost model
+charges for, so a silent change here is a silent change to every
+full-machine projection.
+"""
+
+import numpy as np
+
+from repro.exec import ExecutionPolicy, run_tasks
+from repro.hpl.dist import DistributedLU
+from repro.hpl.grid import ProcessGrid
+from repro.machine.interconnect import Interconnect
+from repro.machine.presets import QDR_INFINIBAND
+from repro.mpi import BCAST_ALGORITHMS, SimMPI, run_ranks
+from repro.sim import Simulator
+
+#: Ranks and payload of the pinned broadcast workload (800-byte panel).
+PIN_RANKS = 8
+PIN_ROOT = 2
+PIN_DOUBLES = 100
+
+#: (messages, bytes) per algorithm for one 800-byte broadcast on 8 ranks.
+#: binomial/1ring/1rm deliver the full payload to each of the 7 non-roots;
+#: ``long`` scatters 7 pieces (696 B of the 800) then rolls all 8 pieces
+#: around the ring for 7 rounds (7 x 800 B) in 8*7 piece messages.
+EXPECTED_BCAST_TRAFFIC = {
+    "binomial": (7, 5600.0),
+    "1ring": (7, 5600.0),
+    "1rm": (7, 5600.0),
+    "long": (63, 6296.0),
+}
+
+
+def bcast_trace(algo):
+    """One traced broadcast+allreduce+barrier program; a picklable worker.
+
+    Returns everything a determinism comparison needs: the full message log,
+    the virtual clock, the traffic counters, and the per-rank values.
+    """
+    sim = Simulator()
+    world = SimMPI(
+        sim, PIN_RANKS, Interconnect(sim, QDR_INFINIBAND, PIN_RANKS), record_log=True
+    )
+    payload = np.arange(PIN_DOUBLES, dtype=np.float64)
+
+    def rank_main(comm):
+        mine = payload if comm.rank == PIN_ROOT else None
+        out = yield from comm.bcast(mine, root=PIN_ROOT, algorithm=algo, tag=("pb", 0))
+        total = yield from comm.allreduce(float(np.sum(out)))
+        yield from comm.barrier()
+        return total
+
+    values = run_ranks(sim, world, rank_main)
+    return {
+        "log": world.log,
+        "elapsed": sim.now,
+        "messages": world.messages_sent,
+        "bytes": world.bytes_sent,
+        "values": values,
+    }
+
+
+def lu_trace(algo):
+    """A traced end-to-end distributed LU (2x2 grid); a picklable worker."""
+    sim = Simulator()
+    grid = ProcessGrid(2, 2)
+    world = SimMPI(
+        sim, grid.size, Interconnect(sim, QDR_INFINIBAND, grid.size), record_log=True
+    )
+    lu = DistributedLU(sim, grid, nb=4, world=world, bcast_algorithm=algo)
+    a = np.random.default_rng(7).standard_normal((24, 24))
+    result = lu.factor(a)
+    return {
+        "log": world.log,
+        "elapsed": result.elapsed,
+        "messages": world.messages_sent,
+        "bytes": world.bytes_sent,
+    }
+
+
+class TestTraceDeterminism:
+    def test_bcast_trace_identical_across_runs(self):
+        for algo in BCAST_ALGORITHMS:
+            first, second = bcast_trace(algo), bcast_trace(algo)
+            assert first == second, f"{algo} trace diverged between runs"
+            assert len(first["log"]) == 2 * first["messages"]  # post + dlv each
+
+    def test_lu_trace_identical_across_runs(self):
+        for algo in BCAST_ALGORITHMS:
+            assert lu_trace(algo) == lu_trace(algo), f"{algo} LU trace diverged"
+
+    def test_trace_identical_under_pool_workers(self):
+        """Forked/spawned ``repro.exec`` workers replay the exact same DES:
+        the trace a worker produces is the one the parent process produces."""
+        calls = [dict(algo=algo) for algo in BCAST_ALGORITHMS]
+        pooled = run_tasks(
+            bcast_trace, calls, policy=ExecutionPolicy(jobs=2, cache=False)
+        )
+        inline = [bcast_trace(algo) for algo in BCAST_ALGORITHMS]
+        assert pooled == inline
+
+    def test_algorithms_share_values_not_schedules(self):
+        """All algorithms agree on the data; their message schedules differ."""
+        traces = {algo: bcast_trace(algo) for algo in BCAST_ALGORITHMS}
+        values = {algo: t["values"] for algo, t in traces.items()}
+        assert len({tuple(v) for v in values.values()}) == 1
+        assert traces["binomial"]["log"] != traces["1ring"]["log"]
+        assert traces["1ring"]["log"] != traces["1rm"]["log"]
+        assert traces["long"]["messages"] > traces["1ring"]["messages"]
+
+
+class TestTrafficRegression:
+    def test_bcast_message_counts_and_volumes(self):
+        """The pinned per-algorithm traffic of one 800-byte broadcast."""
+        for algo, (messages, volume) in EXPECTED_BCAST_TRAFFIC.items():
+            sim = Simulator()
+            world = SimMPI(
+                sim, PIN_RANKS, Interconnect(sim, QDR_INFINIBAND, PIN_RANKS)
+            )
+            payload = np.arange(PIN_DOUBLES, dtype=np.float64)
+
+            def rank_main(comm):
+                mine = payload if comm.rank == PIN_ROOT else None
+                return (
+                    yield from comm.bcast(mine, root=PIN_ROOT, algorithm=algo)
+                )
+
+            run_ranks(sim, world, rank_main)
+            assert world.messages_sent == messages, algo
+            assert world.bytes_sent == volume, algo
+
+    def test_long_moves_less_than_double_payload_per_rank(self):
+        """``long``'s whole-collective volume stays below 2x payload x (P-1):
+        the bandwidth bound that makes it the large-message choice."""
+        _, volume = EXPECTED_BCAST_TRAFFIC["long"]
+        payload_bytes = PIN_DOUBLES * 8
+        assert volume < 2 * payload_bytes * (PIN_RANKS - 1)

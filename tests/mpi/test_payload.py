@@ -1,0 +1,120 @@
+"""Wire-size model tests: every payload type ``payload_nbytes`` costs.
+
+Message volumes drive the alpha-beta timing of every collective, so the
+size model is part of the simulation's numerical contract: arrays must cost
+their true ``nbytes`` (including zero), containers their contents plus
+framing, and the ``long`` broadcast's zero-byte filler pieces exactly
+nothing — otherwise padding an unsplittable payload would change timings.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.bcast import FILLER, join_payload, split_payload
+from repro.mpi.comm import payload_nbytes
+
+
+class TestArrays:
+    def test_true_nbytes(self):
+        assert payload_nbytes(np.zeros((10, 10))) == 800.0
+        assert payload_nbytes(np.zeros(3, dtype=np.float32)) == 12.0
+        assert payload_nbytes(np.zeros(5, dtype=np.uint8)) == 5.0
+
+    def test_zero_byte_arrays_are_free(self):
+        assert payload_nbytes(np.empty(0)) == 0.0
+        assert payload_nbytes(np.empty((0, 7))) == 0.0
+
+
+class TestScalars:
+    def test_every_scalar_costs_eight(self):
+        for value in (0, -3, 3.14, True, False, None, np.int64(9), np.float64(2.5), np.bool_(True)):
+            assert payload_nbytes(value) == 8.0
+
+    def test_bytes_and_strings_cost_length(self):
+        assert payload_nbytes(b"") == 0.0
+        assert payload_nbytes(b"abcd") == 4.0
+        assert payload_nbytes(bytearray(b"xyz")) == 3.0
+        assert payload_nbytes("hello") == 5.0
+
+
+class TestContainers:
+    def test_tuple_and_list_add_framing(self):
+        assert payload_nbytes((np.zeros(4), np.zeros(6))) == 32 + 48 + 16
+        assert payload_nbytes([1, 2, 3]) == 3 * 8.0 + 16
+        assert payload_nbytes(()) == 16.0
+
+    def test_dict_costs_keys_values_and_framing(self):
+        assert payload_nbytes({}) == 0.0
+        assert payload_nbytes({"ab": 1}) == 2.0 + 8.0 + 16.0
+        assert payload_nbytes({"r": np.zeros(2)}) == 1.0 + 16.0 + 16.0
+
+    def test_nesting_recurses(self):
+        inner = (np.zeros(2), 1)  # 16 + 8 + 16
+        assert payload_nbytes([inner, inner]) == 2 * 40.0 + 16.0
+
+
+class TestDataclassesAndOverrides:
+    def test_dataclass_costed_field_by_field(self):
+        @dataclass
+        class Panel:
+            data: np.ndarray
+            jb: int
+
+        assert payload_nbytes(Panel(np.zeros(4), 3)) == 32.0 + 8.0 + 16.0 * 2
+
+    def test_dataclass_type_itself_falls_back(self):
+        @dataclass
+        class Panel:
+            jb: int
+
+        assert payload_nbytes(Panel) == 64.0  # the class, not an instance
+
+    def test_wire_nbytes_attribute_pins_the_size(self):
+        class Pinned:
+            wire_nbytes = 42.0
+
+        assert payload_nbytes(Pinned()) == 42.0
+
+    def test_callable_wire_nbytes_is_ignored(self):
+        class Tricky:
+            def wire_nbytes(self):  # a method, not a declared size
+                return 1.0
+
+        assert payload_nbytes(Tricky()) == 64.0
+
+    def test_filler_is_free(self):
+        assert payload_nbytes(FILLER) == 0.0
+
+    def test_opaque_object_fallback(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 64.0
+
+
+class TestSplitJoinVolume:
+    def test_array_split_conserves_volume_and_values(self):
+        payload = np.arange(100, dtype=np.float64)
+        pieces = split_payload(payload, 8)
+        assert sum(payload_nbytes(p) for p in pieces) == payload_nbytes(payload)
+        assert np.array_equal(join_payload(pieces), payload)
+
+    def test_ragged_split_pads_with_empty_pieces(self):
+        pieces = split_payload(np.arange(3, dtype=np.float64), 5)
+        assert [len(p) for p in pieces] == [1, 1, 1, 0, 0]
+        assert payload_nbytes(pieces[-1]) == 0.0
+
+    def test_unsplittable_payload_pads_with_fillers(self):
+        pieces = split_payload({"pivots": [1, 2]}, 4)
+        assert pieces[0] == {"pivots": [1, 2]}
+        assert all(p is FILLER for p in pieces[1:])
+        assert sum(payload_nbytes(p) for p in pieces) == payload_nbytes(pieces[0])
+        assert join_payload(pieces) == {"pivots": [1, 2]}
+
+    def test_tuple_splits_elementwise(self):
+        payload = (np.arange(10, dtype=np.float64), b"tag")
+        pieces = split_payload(payload, 3)
+        assert all(isinstance(p, tuple) and len(p) == 2 for p in pieces)
+        joined = join_payload(pieces)
+        assert np.array_equal(joined[0], payload[0]) and joined[1] == b"tag"

@@ -57,3 +57,51 @@ def observation_sequences(draw, n_cores: int = 3, max_length: int = 12):
     """Short sequences of consistent observations (mapper warm-up runs)."""
     length = draw(st.integers(1, max_length))
     return [draw(observations(n_cores=n_cores)) for _ in range(length)]
+
+
+# -- MPI message payloads -----------------------------------------------------
+#
+# Everything repro.mpi.comm.payload_nbytes knows how to cost and every shape
+# the BCAST ``long`` algorithm must split/rejoin losslessly: arrays (including
+# zero-size ones — a ragged scatter can hand a rank nothing), scalars, strings
+# and bytes, and containers nesting all of the above.
+
+#: Array shapes including empty axes (0-byte arrays must travel for free).
+array_shapes = st.sampled_from([(0,), (1,), (7,), (13,), (4, 3), (0, 5), (2, 2, 2)])
+
+#: Dtypes with distinct element sizes (wire volume must track ``nbytes``).
+array_dtypes = st.sampled_from(["float64", "int64", "uint8"])
+
+
+@st.composite
+def message_arrays(draw):
+    """Small numpy arrays of varied shape and dtype, deterministic values."""
+    import numpy as np
+
+    shape = draw(array_shapes)
+    dtype = draw(array_dtypes)
+    size = 1
+    for dim in shape:
+        size *= dim
+    data = draw(st.lists(st.integers(0, 100), min_size=size, max_size=size))
+    return np.array(data, dtype=dtype).reshape(shape)
+
+
+#: Scalar payloads: everything costed at 8 bytes, plus strings and bytes.
+message_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+    st.binary(max_size=8),
+)
+
+#: Full payload space: arrays, scalars, and containers mixing both.
+message_payloads = st.one_of(
+    message_arrays(),
+    message_scalars,
+    st.tuples(message_arrays(), message_scalars),
+    st.lists(message_scalars, max_size=3),
+    st.dictionaries(st.text(max_size=4), message_scalars, max_size=3),
+)

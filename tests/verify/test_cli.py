@@ -75,5 +75,5 @@ class TestCrossval:
         out_path = tmp_path / "crossval.json"
         code = main(["crossval", "--report-out", str(out_path)])
         assert code == 0
-        assert "6 trace(s) checked" in capsys.readouterr().out
+        assert "9 trace(s) checked" in capsys.readouterr().out
         assert json.loads(out_path.read_text())["ok"] is True

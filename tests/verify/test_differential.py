@@ -13,12 +13,15 @@ from repro.verify.tolerance import Band
 
 
 class TestMatrixShape:
-    def test_three_presets_times_fault_modes(self):
-        assert len(MATRIX) == 6
+    def test_three_presets_times_fault_modes_plus_bcast_cells(self):
+        assert len(MATRIX) == 9
         presets = {c.name.split("/")[0] for c in MATRIX}
         assert len(presets) == 3
         assert sum(c.faulted for c in MATRIX) == 3
-        assert sum(not c.faulted for c in MATRIX) == 3
+        assert sum(not c.faulted for c in MATRIX) == 6
+        # One clean cell per non-default broadcast algorithm.
+        assert {c.bcast_algo for c in MATRIX} == {"binomial", "1ring", "1rm", "long"}
+        assert all(not c.faulted for c in MATRIX if c.bcast_algo != "binomial")
 
     def test_names_are_unique(self):
         assert len({c.name for c in MATRIX}) == len(MATRIX)
