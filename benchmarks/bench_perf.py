@@ -11,7 +11,17 @@ each against the serial scalar oracle *on the same machine*:
 * ``cache``        — cold vs warm Fig. 9 through the on-disk result cache
   (warm must serve >= 90% of lookups from disk).
 * ``des_engine``   — raw kernel throughput on a relay-heavy workload mix
-  (event pooling + O(1) barriers).
+  (event pooling + O(1) barriers), run under a NullSink telemetry and
+  gated by a throughput floor (``--des-floor``).
+* ``telemetry_overhead`` — an instrumented fig9 sweep three ways (no
+  telemetry, NullSink, streaming run ledger); the streaming measurement is
+  recorded *into the ledger it creates*, and ``--check`` gates the
+  streaming sink at <=10% wall-time over the NullSink run.
+
+Every run also appends one flattened line to
+``benchmarks/BENCH_history.jsonl`` (disable with ``--no-history``) — the
+bench *trajectory* that ``python -m repro.obs regress`` compares against,
+instead of the single overwritten ``BENCH_perf.json`` snapshot.
 
 Usage::
 
@@ -35,9 +45,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import obs
 from repro.bench.linpack_sweep import _fig9_values
 from repro.exec import ExecutionPolicy, code_version, use
 from repro.hpl.driver import CONFIGURATIONS, Configuration
+from repro.obs import history as bench_history
 from repro.sim import Simulator
 from repro.sim.resources import Resource, Store
 from repro.util.io import atomic_write_text
@@ -48,6 +60,16 @@ DEFAULT_OUT = Path(__file__).parent / "out" / "BENCH_perf.json"
 QUICK_SIZES = (5750, 11500)
 FULL_SIZES = (5750, 11500, 23000, 34500, 46000)
 SEED = 7
+
+#: Engine-microbench throughput floor (events/s) asserted under --check.
+#: Conservative: local runs measure ~600k+; shared CI runners are slower.
+DEFAULT_DES_FLOOR = 150_000.0
+
+#: The streaming sink may add at most this fraction of wall time over the
+#: NullSink-instrumented sweep (plus a small absolute slack for sub-second
+#: timing noise).
+STREAMING_OVERHEAD_LIMIT = 0.10
+STREAMING_OVERHEAD_SLACK_S = 0.25
 
 
 def _timed(fn):
@@ -152,8 +174,52 @@ def _worker(sim, res, n):
         res.release(req)
 
 
+def bench_telemetry_overhead(sizes) -> dict:
+    """Instrumented fig9 sweep: bare vs NullSink vs streaming run ledger.
+
+    The streaming run records into a real ledger under
+    ``benchmarks/out/runs/`` and the measured overhead is written into that
+    ledger's own summary — the flight recorder carries its own cost.
+    """
+    configs = (Configuration.parse("acmlg_both"),)
+
+    def sweep(telemetry):
+        with obs.use(telemetry):
+            return _fig9_values(configs, sizes, None, SEED)
+
+    bare, bare_s = _timed(lambda: sweep(None))
+    null, null_s = _timed(lambda: sweep(obs.Telemetry(sink=obs.NULL_SINK)))
+    ledger = obs.RunLedger.open(
+        "bench-perf-overhead", config={"sizes": list(sizes)}
+    )
+    stream, stream_s = _timed(lambda: sweep(ledger.telemetry))
+    streaming_overhead = stream_s / null_s - 1.0 if null_s > 0 else 0.0
+    null_overhead = null_s / bare_s - 1.0 if bare_s > 0 else 0.0
+    summary = {
+        "bare_seconds": bare_s,
+        "null_sink_seconds": null_s,
+        "streaming_seconds": stream_s,
+        "null_overhead": null_overhead,
+        "streaming_overhead": streaming_overhead,
+    }
+    ledger.finish(summary)
+    flat = [(str(c), n) for c in configs for n in sizes]
+    return {
+        **summary,
+        "run_id": ledger.run_id,
+        "records_streamed": ledger.sink.records_written,
+        "values_identical": all(
+            bare[c][n] == null[c][n] == stream[c][n] for c, n in flat
+        ),
+    }
+
+
 def bench_des(quick: bool) -> dict:
-    """Kernel throughput: producers/consumers through a Store, mutex workers."""
+    """Kernel throughput: producers/consumers through a Store, mutex workers.
+
+    Runs under an ambient NullSink telemetry — the floor gate asserts the
+    zero-cost discipline holds with the hooks present but disabled.
+    """
     n = 5000 if quick else 20000
     sim = Simulator()
     done = sim.timeout(0.0)
@@ -163,7 +229,8 @@ def bench_des(quick: bool) -> dict:
         sim.process(_producer(store, n))
         sim.process(_consumer(store, n, done))
         sim.process(_worker(sim, res, n // 4))
-    _, wall = _timed(sim.run)
+    with obs.use(obs.Telemetry(sink=obs.NULL_SINK)):
+        _, wall = _timed(sim.run)
     return {
         "events_processed": sim.events_processed,
         "wall_seconds": wall,
@@ -185,11 +252,17 @@ def run_benchmarks(quick: bool, jobs: int) -> dict:
         "crossval": bench_crossval(quick, jobs),
         "cache": bench_cache(sizes, jobs),
         "des_engine": bench_des(quick),
+        "telemetry_overhead": bench_telemetry_overhead(QUICK_SIZES),
     }
 
 
-def check(report: dict) -> list[str]:
-    """The correctness gates (never the speedups) as a list of failures."""
+def check(report: dict, des_floor: float = DEFAULT_DES_FLOOR) -> list[str]:
+    """The correctness gates (never the cross-machine speedups) as failures.
+
+    The two throughput-ish gates — the DES floor and the streaming-sink
+    overhead cap — are deliberately loose: they catch order-of-magnitude
+    regressions and instrumentation on the hot path, not runner noise.
+    """
     failures = []
     if not report["fig9_sweep"]["parallel_bit_identical"]:
         failures.append("fig9: parallel results are not bit-identical to serial")
@@ -207,6 +280,25 @@ def check(report: dict) -> list[str]:
         )
     if not report["cache"]["values_identical"]:
         failures.append("cache: warm values differ from cold values")
+    eps = report["des_engine"]["events_per_second"] or 0.0
+    if eps < des_floor:
+        failures.append(
+            f"des: engine microbench {eps:,.0f} events/s fell below the "
+            f"{des_floor:,.0f} floor (NullSink telemetry active)"
+        )
+    overhead = report["telemetry_overhead"]
+    limit = (
+        overhead["null_sink_seconds"] * (1.0 + STREAMING_OVERHEAD_LIMIT)
+        + STREAMING_OVERHEAD_SLACK_S
+    )
+    if overhead["streaming_seconds"] > limit:
+        failures.append(
+            "telemetry: streaming sink added "
+            f"{overhead['streaming_overhead']:.1%} wall time "
+            f"(> {STREAMING_OVERHEAD_LIMIT:.0%} cap) on the instrumented fig9 sweep"
+        )
+    if not overhead["values_identical"]:
+        failures.append("telemetry: instrumented sweep values differ from bare run")
     return failures
 
 
@@ -222,12 +314,34 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", type=Path, default=DEFAULT_OUT, help=f"output path (default {DEFAULT_OUT})"
     )
+    parser.add_argument(
+        "--des-floor",
+        type=float,
+        default=DEFAULT_DES_FLOOR,
+        help=f"events/s floor for the engine microbench (default {DEFAULT_DES_FLOOR:,.0f})",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=bench_history.DEFAULT_HISTORY_PATH,
+        help=f"bench trajectory file (default {bench_history.DEFAULT_HISTORY_PATH})",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the bench trajectory",
+    )
     args = parser.parse_args(argv)
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     report = run_benchmarks(args.quick, jobs)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
+    if not args.no_history:
+        entry = bench_history.entry_from_report(report, wall_unix=time.time())
+        bench_history.append_entry(entry, args.history)
+        print(f"history: appended entry #{len(bench_history.load_history(args.history))} "
+              f"to {args.history}")
 
     f9, cv, ca, de = (
         report["fig9_sweep"], report["crossval"], report["cache"], report["des_engine"]
@@ -243,10 +357,15 @@ def main(argv=None) -> int:
     print(f"cache    cold {ca['cold_seconds']:.2f}s  warm {ca['warm_seconds']:.2f}s "
           f"({ca['warm_speedup']:.1f}x, {ca['warm_hit_rate']:.0%} hit)")
     print(f"des      {de['events_processed']} events at {de['events_per_second']:,.0f}/s")
+    to = report["telemetry_overhead"]
+    print(f"obs      bare {to['bare_seconds']:.2f}s  null {to['null_sink_seconds']:.2f}s "
+          f"({to['null_overhead']:+.1%})  streaming {to['streaming_seconds']:.2f}s "
+          f"({to['streaming_overhead']:+.1%}, {to['records_streamed']} records, "
+          f"ledger {to['run_id']})")
     print(f"report written to {args.out}")
 
     if args.check:
-        failures = check(report)
+        failures = check(report, des_floor=args.des_floor)
         for failure in failures:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)
         return 1 if failures else 0

@@ -138,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the telemetry metrics snapshot as JSON",
     )
     parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const=str(obs.DEFAULT_RUNS_ROOT),
+        default=None,
+        metavar="RUNS_DIR",
+        help="record the run as a streaming ledger under RUNS_DIR "
+        f"(default root: {obs.DEFAULT_RUNS_ROOT}); readable mid-run and "
+        "after a crash via 'python -m repro.obs'",
+    )
+    parser.add_argument(
         "--configurations",
         default=None,
         metavar="NAME[,NAME...]",
@@ -183,41 +193,66 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     # Telemetry is only constructed when an artifact was requested, so the
     # plain path stays exactly as before (no ambient sink, no-op guards).
-    telemetry = obs.Telemetry() if (args.trace_out or args.metrics_out) else None
+    ledger = None
+    if args.ledger is not None:
+        ledger = obs.RunLedger.open(
+            args.figure,
+            root=args.ledger,
+            config={"quick": args.quick, "format": args.format,
+                    "jobs": args.jobs, "cache": not args.no_cache},
+        )
+        telemetry = ledger.telemetry
+        if args.trace_out or args.metrics_out:
+            # Tee a recording ring alongside the stream so --trace-out can
+            # still export in-process (the ledger itself has 'obs trace').
+            telemetry.sink = obs.TeeSink(ledger.sink, obs.RecordingSink())
+        print(f"ledger: {ledger.directory}", file=sys.stderr)
+    else:
+        telemetry = obs.Telemetry() if (args.trace_out or args.metrics_out) else None
 
     policy = exec_policy.ExecutionPolicy(
         jobs=args.jobs, cache=not args.no_cache, vectorize=True
     )
 
-    with obs.use(telemetry), exec_policy.use(policy):
-        if args.figure in TEXT_ARTIFACTS:
-            if args.format != "text":
-                print(f"{args.figure} only supports --format text", file=sys.stderr)
-                return 2
-            if telemetry is not None:
-                with telemetry.wall_span("bench", args.figure, quick=args.quick):
+    summary: dict = {}
+    try:
+        with obs.use(telemetry), exec_policy.use(policy):
+            if args.figure in TEXT_ARTIFACTS:
+                if args.format != "text":
+                    print(f"{args.figure} only supports --format text", file=sys.stderr)
+                    return 2
+                if telemetry is not None:
+                    with telemetry.wall_span("bench", args.figure, quick=args.quick):
+                        output = TEXT_ARTIFACTS[args.figure](args.quick)
+                else:
                     output = TEXT_ARTIFACTS[args.figure](args.quick)
             else:
-                output = TEXT_ARTIFACTS[args.figure](args.quick)
-        else:
-            figure = FIGURES[args.figure]
-            if configurations is not None:
-                figure_fn = lambda quick: _fig9(quick, configurations)
-            else:
-                figure_fn = figure
-            if telemetry is not None:
-                with telemetry.wall_span("bench", args.figure, quick=args.quick):
+                figure = FIGURES[args.figure]
+                if configurations is not None:
+                    figure_fn = lambda quick: _fig9(quick, configurations)
+                else:
+                    figure_fn = figure
+                if telemetry is not None:
+                    with telemetry.wall_span("bench", args.figure, quick=args.quick):
+                        data = figure_fn(args.quick)
+                    data.attach_telemetry(telemetry)
+                else:
                     data = figure_fn(args.quick)
-                data.attach_telemetry(telemetry)
-            else:
-                data = figure_fn(args.quick)
-            output = {"text": data.render, "csv": data.to_csv, "json": data.to_json}[args.format]()
+                summary = dict(data.summary)
+                output = {"text": data.render, "csv": data.to_csv, "json": data.to_json}[args.format]()
+    except BaseException as error:
+        if ledger is not None:
+            ledger.fail(f"{type(error).__name__}: {error}")
+        raise
 
     if telemetry is not None:
         if args.trace_out:
             telemetry.write_chrome_trace(args.trace_out)
         if args.metrics_out:
             telemetry.write_metrics(args.metrics_out)
+    if ledger is not None:
+        summary["exec"] = policy.summary_line()
+        ledger.finish(summary)
     if args.out:
         atomic_write_text(args.out, output + "\n")
     else:

@@ -16,10 +16,17 @@ an accident:
   bit-identical to serial output (asserted by ``benchmarks/bench_perf.py
   --check`` and the CI bench-smoke lane).
 
-Two situations force the serial path regardless of the policy: ambient
-telemetry (worker-process spans/metrics cannot be merged back, and dropping
-them silently would make ``--trace-out`` lie) and running *inside* a worker
-(no nested pools).
+Telemetry in workers: when the ambient :class:`repro.obs.Telemetry` is
+ledger-backed (``shard_dir`` set — see :class:`repro.obs.ledger.RunLedger`),
+each worker process streams its spans into its own
+``spans-worker-<pid>.jsonl`` shard in that directory and snapshots its
+metrics to ``metrics-worker-<pid>.json``; the parent counts the shards into
+``exec.telemetry_shards`` on join so a missing shard is visible, and the
+ledger reader merges them back with worker labels.  Only a purely
+in-memory telemetry (a :class:`~repro.obs.RecordingSink` with nowhere to
+shard to) still forces the serial path — worker spans could not be merged
+back, and dropping them silently would make ``--trace-out`` lie.  Running
+*inside* a worker forces serial too (no nested pools).
 
 :func:`evaluate_points` layers the result cache on top: look up every point,
 fan the misses out, store what came back.  Cached values must round-trip
@@ -29,7 +36,9 @@ JSON; see :mod:`repro.exec.cache`.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
 
 from repro import obs
@@ -37,6 +46,12 @@ from repro.exec.cache import ResultCache, scenario_key
 from repro.exec.policy import ExecutionPolicy, current
 
 _IN_WORKER = False
+
+#: The worker's own telemetry, created once per (process, shard_dir).
+_WORKER_TELEMETRY: Optional[tuple[str, "obs.Telemetry"]] = None
+
+#: Shard files this process has already counted into ``exec.telemetry_shards``.
+_SEEN_SHARDS: set[str] = set()
 
 
 def _mark_worker() -> None:
@@ -49,6 +64,58 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer fork (cheap, inherits the imported package); fall back to spawn."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_telemetry(shard_dir: str) -> "obs.Telemetry":
+    """This worker's shard-backed telemetry (one stream per process).
+
+    ``fsync`` is off for worker shards — the parent outlives them and a
+    worker death loses at most one unflushed buffer, while a syscall per
+    flush on every worker would tax exactly the hot path the pool exists
+    to speed up.
+    """
+    global _WORKER_TELEMETRY
+    if _WORKER_TELEMETRY is None or _WORKER_TELEMETRY[0] != shard_dir:
+        from repro.obs.stream import StreamingSink
+
+        sink = StreamingSink(
+            Path(shard_dir) / f"spans-worker-{os.getpid()}.jsonl",
+            flush_records=64,
+            flush_interval=1.0,
+            fsync=False,
+        )
+        _WORKER_TELEMETRY = (shard_dir, obs.Telemetry(sink=sink))
+    return _WORKER_TELEMETRY[1]
+
+
+def _run_sharded(fn: Callable[..., Any], shard_dir: str, kwargs: dict) -> Any:
+    """Worker-side wrapper: run *fn* under this worker's shard telemetry."""
+    from repro.util.io import atomic_write_text
+
+    telemetry = _worker_telemetry(shard_dir)
+    with obs.use(telemetry):
+        result = fn(**kwargs)
+    telemetry.flush()
+    atomic_write_text(
+        Path(shard_dir) / f"metrics-worker-{os.getpid()}.json",
+        telemetry.metrics.to_json() + "\n",
+    )
+    return result
+
+
+def _register_shards(telemetry: "obs.Telemetry", shard_dir: Path) -> int:
+    """Count newly appeared worker shards into ``exec.telemetry_shards``.
+
+    Always touches the counter (even by zero) so "no shards arrived" shows
+    up as an explicit 0 in the snapshot instead of a missing metric.
+    """
+    shards = sorted(str(p) for p in Path(shard_dir).glob("spans-worker-*.jsonl"))
+    fresh = [s for s in shards if s not in _SEEN_SHARDS]
+    _SEEN_SHARDS.update(fresh)
+    telemetry.metrics.counter(
+        "exec.telemetry_shards", "per-worker span shards written into the run ledger"
+    ).inc(len(fresh))
+    return len(shards)
 
 
 def run_tasks(
@@ -70,16 +137,32 @@ def run_tasks(
         return []
     jobs = min(policy.resolved_jobs, len(calls))
     telemetry = obs.current()
-    parallel = jobs > 1 and not _IN_WORKER and telemetry is None
+    shard_dir = telemetry.shard_dir if telemetry is not None else None
+    parallel = (
+        jobs > 1 and not _IN_WORKER and (telemetry is None or shard_dir is not None)
+    )
     for _ in calls:
         policy.stats.count_task(parallel)
     if not parallel:
         return [fn(**kwargs) for kwargs in calls]
+    if telemetry is not None:
+        # Flush the parent stream before forking so the child never holds
+        # (or replays) buffered parent records.
+        telemetry.flush()
     with ProcessPoolExecutor(
         max_workers=jobs, mp_context=_pool_context(), initializer=_mark_worker
     ) as executor:
-        futures = [executor.submit(fn, **kwargs) for kwargs in calls]
-        return [future.result() for future in futures]
+        if shard_dir is not None:
+            futures = [
+                executor.submit(_run_sharded, fn, str(shard_dir), kwargs)
+                for kwargs in calls
+            ]
+        else:
+            futures = [executor.submit(fn, **kwargs) for kwargs in calls]
+        results = [future.result() for future in futures]
+    if telemetry is not None and shard_dir is not None:
+        _register_shards(telemetry, shard_dir)
+    return results
 
 
 def evaluate_points(

@@ -12,6 +12,16 @@ rests on — you cannot optimize hot paths you cannot see.  Three pieces:
   the active telemetry without threading it through every constructor.
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
   ``chrome://tracing``) and a plain-text flamegraph-style summary.
+* :mod:`repro.obs.stream` — incremental JSONL span/metric sinks
+  (:class:`StreamingSink` with bounded buffers, periodic flush+fsync and
+  rotation) plus the composable :class:`TeeSink` / :class:`SamplingSink`
+  wrappers, so a crashed run's telemetry is readable up to the last flush.
+* :mod:`repro.obs.ledger` — the per-run flight recorder under
+  ``benchmarks/out/runs/<run_id>/``: manifest, streamed span/metric shards
+  (including per-worker shards from :mod:`repro.exec.pool`), final summary.
+* :mod:`repro.obs.history` / :mod:`repro.obs.cli` — the bench trajectory
+  (``benchmarks/BENCH_history.jsonl``) and the ``python -m repro.obs`` CLI:
+  ``tail`` / ``summary`` / ``diff`` / ``trace`` / ``regress``.
 
 Instrumented layers: :class:`repro.sim.engine.Simulator` (event counts,
 queue depth, sim-vs-wall time), :class:`repro.core.adaptive.AdaptiveMapper`
@@ -23,6 +33,15 @@ no-op when telemetry is disabled.  See ``docs/observability.md``.
 """
 
 from repro.obs.export import chrome_trace_events, flame_summary, write_chrome_trace
+from repro.obs.ledger import (
+    DEFAULT_RUNS_ROOT,
+    LedgerView,
+    RunLedger,
+    latest_run,
+    load_run,
+    resolve_run,
+    run_dirs,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,7 +50,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Series,
 )
+from repro.obs.stream import (
+    SamplingSink,
+    StreamingSink,
+    TeeSink,
+    merge_streams,
+    read_stream,
+)
 from repro.obs.telemetry import (
+    DEFAULT_MAX_RECORDS,
     NULL_SINK,
     InstantRecord,
     NullSink,
@@ -62,4 +89,17 @@ __all__ = [
     "chrome_trace_events",
     "write_chrome_trace",
     "flame_summary",
+    "DEFAULT_MAX_RECORDS",
+    "StreamingSink",
+    "TeeSink",
+    "SamplingSink",
+    "read_stream",
+    "merge_streams",
+    "DEFAULT_RUNS_ROOT",
+    "RunLedger",
+    "LedgerView",
+    "load_run",
+    "run_dirs",
+    "latest_run",
+    "resolve_run",
 ]

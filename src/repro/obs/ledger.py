@@ -1,0 +1,366 @@
+"""The run ledger: a per-run flight recorder under ``benchmarks/out/runs/``.
+
+Every recorded run gets one directory::
+
+    benchmarks/out/runs/<run_id>/
+        manifest.json            # written first: who/what/when, code version
+        spans-main.jsonl         # streamed spans/instants (rotates at max_bytes)
+        spans-worker-<pid>.jsonl # per-worker shards from repro.exec.pool
+        metrics-worker-<pid>.json
+        metrics.jsonl            # metrics-registry checkpoints, one per flush
+        summary.json             # written last — its absence means the run died
+
+The manifest lands *before* the run starts and every span/metric record is
+flushed incrementally (:mod:`repro.obs.stream`), so a crashed, killed, or
+still-in-flight run is readable at any moment: :func:`load_run` merges the
+main stream with any worker shards (tracks prefixed ``worker-<pid>/`` so a
+Chrome trace shows one process group per worker), tolerates a truncated
+tail, and reports ``status`` as ``completed`` / ``failed`` / ``in-flight``
+depending on what ``summary.json`` says — or whether it exists at all.
+
+Adopted by :class:`repro.session.Session` (``ledger=`` argument), the bench
+CLI (``--ledger``), ``python -m repro.verify crossval --ledger``, and the
+perf harness (``benchmarks/bench_perf.py`` records its telemetry-overhead
+measurement into a ledger).  ``python -m repro.obs`` is the read side.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import (
+    DEFAULT_FLUSH_INTERVAL,
+    DEFAULT_FLUSH_RECORDS,
+    StreamingSink,
+    iter_jsonl,
+    merge_streams,
+)
+from repro.obs.telemetry import Telemetry
+from repro.util.io import atomic_write_text
+
+#: Where run ledgers live unless the caller overrides it.
+DEFAULT_RUNS_ROOT = Path("benchmarks") / "out" / "runs"
+
+MANIFEST_NAME = "manifest.json"
+SPANS_NAME = "spans-main.jsonl"
+METRICS_NAME = "metrics.jsonl"
+SUMMARY_NAME = "summary.json"
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def _slug(text: str) -> str:
+    return _SLUG_RE.sub("-", text).strip("-") or "run"
+
+
+def _code_version() -> str:
+    """The repo-wide source digest (lazy import: obs must not pull exec)."""
+    from repro.exec.cache import code_version
+
+    return code_version()
+
+
+class RunLedger:
+    """One run's flight recorder: manifest up front, streams while running,
+    summary on clean exit.
+
+    Construct through :meth:`open`; pass ``ledger.telemetry`` to (or install
+    ambiently around) whatever you are running.  Workers of
+    :func:`repro.exec.pool.run_tasks` discover the directory through
+    ``Telemetry.shard_dir`` and write their own ``spans-worker-<pid>``
+    shards into it.
+    """
+
+    def __init__(self, directory: Path, manifest: dict[str, Any], sink: StreamingSink) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+        self.sink = sink
+        self.telemetry = Telemetry(
+            sink=sink, metrics=MetricsRegistry(), shard_dir=self.directory
+        )
+        self._started = time.monotonic()
+        self._metric_checkpoints = 0
+        self._finished = False
+        sink.on_flush = self._checkpoint_metrics
+
+    # -- lifecycle -------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        name: str,
+        *,
+        root: Union[str, Path] = DEFAULT_RUNS_ROOT,
+        run_id: Optional[str] = None,
+        config: Optional[dict[str, Any]] = None,
+        flush_records: int = DEFAULT_FLUSH_RECORDS,
+        flush_interval: Optional[float] = DEFAULT_FLUSH_INTERVAL,
+        fsync: bool = True,
+        max_bytes: Optional[int] = None,
+    ) -> "RunLedger":
+        """Create the run directory, write the manifest, start streaming."""
+        root = Path(root)
+        if run_id is None:
+            run_id = f"{time.strftime('%Y%m%d-%H%M%S')}-{_slug(name)}-{os.getpid()}"
+        directory = root / _slug(run_id)
+        suffix = 0
+        while directory.exists():
+            suffix += 1
+            directory = root / f"{_slug(run_id)}-{suffix}"
+        directory.mkdir(parents=True)
+        manifest = {
+            "run_id": directory.name,
+            "name": name,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "created_unix": time.time(),
+            "pid": os.getpid(),
+            "argv": list(sys.argv),
+            "python": sys.version.split()[0],
+            "code_version": _code_version(),
+            "config": dict(config or {}),
+        }
+        atomic_write_text(directory / MANIFEST_NAME, json.dumps(manifest, indent=2, default=str) + "\n")
+        sink = StreamingSink(
+            directory / SPANS_NAME,
+            flush_records=flush_records,
+            flush_interval=flush_interval,
+            fsync=fsync,
+            max_bytes=max_bytes,
+        )
+        return cls(directory, manifest, sink)
+
+    @property
+    def run_id(self) -> str:
+        return self.manifest["run_id"]
+
+    def annotate(self, **fields: Any) -> None:
+        """Merge *fields* into the manifest and rewrite it atomically.
+
+        Used for facts only known after opening — the scenario hash, the
+        machine preset, the resolved execution policy.
+        """
+        self.manifest.update(fields)
+        atomic_write_text(
+            self.directory / MANIFEST_NAME,
+            json.dumps(self.manifest, indent=2, default=str) + "\n",
+        )
+
+    def _checkpoint_metrics(self) -> None:
+        """Append one metrics-registry checkpoint line (called per flush)."""
+        if not len(self.telemetry.metrics):
+            return
+        self._metric_checkpoints += 1
+        line = json.dumps(
+            {
+                "seq": self._metric_checkpoints,
+                "wall": time.time(),
+                "metrics": self.telemetry.metrics.scalar_summary(),
+            },
+            default=str,
+        )
+        with open(self.directory / METRICS_NAME, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            if self.sink.fsync:
+                os.fsync(handle.fileno())
+
+    def worker_shards(self) -> list[Path]:
+        """The per-worker span shards present in the run directory."""
+        return sorted(self.directory.glob("spans-worker-*.jsonl"))
+
+    def finish(
+        self, summary: Optional[dict[str, Any]] = None, status: str = "completed"
+    ) -> Path:
+        """Close the stream and write ``summary.json`` — the clean-exit marker."""
+        if self._finished:
+            return self.directory / SUMMARY_NAME
+        self.telemetry.sync_sink_metrics()
+        self.sink.close()
+        self._checkpoint_metrics()
+        document = {
+            "status": status,
+            "finished": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "wall_seconds": time.monotonic() - self._started,
+            "records_written": self.sink.records_written,
+            "flushes": self.sink.flushes,
+            "rotations": self.sink.rotations,
+            "worker_shards": [p.name for p in self.worker_shards()],
+            "summary": dict(summary or {}),
+        }
+        path = atomic_write_text(
+            self.directory / SUMMARY_NAME, json.dumps(document, indent=2, default=str) + "\n"
+        )
+        self._finished = True
+        return path
+
+    def fail(self, error: str) -> Path:
+        """Record an orderly failure (the run raised but did not die)."""
+        return self.finish({"error": error}, status="failed")
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self.fail(f"{exc_type.__name__}: {exc}")
+        elif not self._finished:
+            self.finish()
+
+
+# -- reading ------------------------------------------------------------------
+
+
+@dataclass
+class LedgerView:
+    """A parsed run ledger — everything readable, even from a dead run."""
+
+    directory: Path
+    manifest: dict[str, Any]
+    summary: Optional[dict[str, Any]]
+    spans: list = field(default_factory=list)
+    instants: list = field(default_factory=list)
+    metrics: list[dict[str, Any]] = field(default_factory=list)
+    worker_metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+    shards: list[str] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def run_id(self) -> str:
+        return str(self.manifest.get("run_id", self.directory.name))
+
+    @property
+    def name(self) -> str:
+        return str(self.manifest.get("name", ""))
+
+    @property
+    def status(self) -> str:
+        """``completed`` / ``failed`` from the summary; ``in-flight`` without one.
+
+        ``in-flight`` covers both a live run and a crashed one — the ledger
+        cannot tell them apart (that is the point: nothing at death time is
+        required for the record to be readable).
+        """
+        if self.summary is None:
+            return "in-flight"
+        return str(self.summary.get("status", "completed"))
+
+    def last_metrics(self) -> dict[str, Any]:
+        """The most recent metrics checkpoint's scalar summary."""
+        return dict(self.metrics[-1].get("metrics", {})) if self.metrics else {}
+
+    def span_counts(self) -> dict[str, int]:
+        """Span counts per track, first-appearance order."""
+        counts: dict[str, int] = {}
+        for span in self.spans:
+            counts[span.track] = counts.get(span.track, 0) + 1
+        return counts
+
+    def chrome_trace_events(self) -> list[dict[str, Any]]:
+        from repro.obs.export import chrome_trace_events
+
+        return chrome_trace_events(self.spans, self.instants)
+
+
+def load_run(directory: Union[str, Path]) -> LedgerView:
+    """Parse one run directory, tolerating everything a crash leaves behind.
+
+    Requires only ``manifest.json`` (written before the run starts);
+    missing or truncated streams, absent summaries and half-written worker
+    shards all degrade to partial data plus the ``truncated`` flag.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as error:
+        raise FileNotFoundError(f"{directory} is not a run ledger: {error}") from None
+
+    summary: Optional[dict[str, Any]] = None
+    try:
+        summary = json.loads((directory / SUMMARY_NAME).read_text())
+    except (OSError, ValueError):
+        summary = None
+
+    shards: list[tuple[str, Path]] = [("", directory / SPANS_NAME)]
+    shard_names: list[str] = []
+    for shard in sorted(directory.glob("spans-worker-*.jsonl")):
+        label = shard.name[len("spans-") : -len(".jsonl")]
+        shards.append((label, shard))
+        shard_names.append(shard.name)
+    spans, instants, truncated = merge_streams(shards)
+
+    metrics: list[dict[str, Any]] = []
+    metrics_path = directory / METRICS_NAME
+    if metrics_path.exists():
+        for record, ok in iter_jsonl(metrics_path):
+            if ok:
+                metrics.append(record)
+            else:
+                truncated = True
+
+    worker_metrics: dict[str, dict[str, Any]] = {}
+    for snapshot in sorted(directory.glob("metrics-worker-*.json")):
+        try:
+            worker_metrics[snapshot.stem[len("metrics-") :]] = json.loads(
+                snapshot.read_text()
+            )
+        except (OSError, ValueError):
+            truncated = True
+
+    return LedgerView(
+        directory=directory,
+        manifest=manifest,
+        summary=summary,
+        spans=spans,
+        instants=instants,
+        metrics=metrics,
+        worker_metrics=worker_metrics,
+        shards=shard_names,
+        truncated=truncated,
+    )
+
+
+def run_dirs(root: Union[str, Path] = DEFAULT_RUNS_ROOT) -> list[Path]:
+    """All run directories under *root* (those holding a manifest), sorted."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    return sorted(p for p in root.iterdir() if (p / MANIFEST_NAME).is_file())
+
+
+def latest_run(root: Union[str, Path] = DEFAULT_RUNS_ROOT) -> Optional[Path]:
+    """The most recently created run directory under *root*, or None."""
+    candidates = run_dirs(root)
+    if not candidates:
+        return None
+
+    def created(path: Path) -> float:
+        try:
+            return float(json.loads((path / MANIFEST_NAME).read_text())["created_unix"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return (path / MANIFEST_NAME).stat().st_mtime
+
+    return max(candidates, key=created)
+
+
+def resolve_run(spec: str, root: Union[str, Path] = DEFAULT_RUNS_ROOT) -> Path:
+    """Map a CLI run argument — a path, a run id, or ``latest`` — to a directory."""
+    if spec == "latest":
+        found = latest_run(root)
+        if found is None:
+            raise FileNotFoundError(f"no run ledgers under {root}")
+        return found
+    as_path = Path(spec)
+    if (as_path / MANIFEST_NAME).is_file():
+        return as_path
+    candidate = Path(root) / spec
+    if (candidate / MANIFEST_NAME).is_file():
+        return candidate
+    raise FileNotFoundError(f"no run ledger named {spec!r} (looked in {root})")

@@ -1,0 +1,403 @@
+"""Streaming telemetry: incremental JSONL sinks, rotation, tee and sampling.
+
+The :class:`~repro.obs.telemetry.RecordingSink` keeps everything in memory
+and exports at exit — fine for a figure, fatal for a multi-hour sweep: a
+killed run loses every span it ever recorded.  :class:`StreamingSink`
+inverts the trade: records are appended to a JSON-lines file through a
+small bounded buffer that is flushed (and optionally ``fsync``-ed) every
+*flush_records* records or *flush_interval* wall seconds, so a crashed or
+``SIGKILL``-ed run is readable up to the last flush.  Files rotate at
+*max_bytes* (``spans.jsonl`` → ``spans.jsonl.1`` …), keeping any single
+shard tail-able.
+
+The record format is one JSON object per line::
+
+    {"t": "span",    "track": ..., "name": ..., "start": ..., "end": ..., "args": {...}}
+    {"t": "instant", "track": ..., "name": ..., "ts": ..., "args": {...}}
+
+:func:`read_stream` is the tolerant reader: it walks rotated shards in
+order, parses every complete line, and treats a truncated or garbled tail
+(the signature of a crash mid-write) as end-of-stream rather than an error
+— reported via the ``truncated`` flag, never an exception.
+
+Two composable wrappers round the family out: :class:`TeeSink` fans every
+record out to several sinks (stream to disk *and* keep a bounded in-memory
+ring for the end-of-run report), and :class:`SamplingSink` deterministically
+keeps every *n*-th record per ``(track, name)`` — counter-based, never
+random, so sampled telemetry is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
+
+from repro.obs.telemetry import InstantRecord, SpanRecord, TelemetrySink
+
+#: Flush after this many buffered records unless configured otherwise.
+DEFAULT_FLUSH_RECORDS = 256
+
+#: Flush at least this often (wall seconds) while records keep arriving.
+DEFAULT_FLUSH_INTERVAL = 2.0
+
+
+def _span_line(track: str, name: str, start: float, end: float, args: dict) -> str:
+    return json.dumps(
+        {"t": "span", "track": track, "name": name, "start": start, "end": end,
+         "args": args},
+        default=str,
+    )
+
+
+def _instant_line(track: str, name: str, ts: float, args: dict) -> str:
+    return json.dumps(
+        {"t": "instant", "track": track, "name": name, "ts": ts, "args": args},
+        default=str,
+    )
+
+
+class StreamingSink(TelemetrySink):
+    """Appends span/instant records to a JSONL file as they close.
+
+    Parameters
+    ----------
+    path:
+        The active shard.  Rotated-out predecessors get numeric suffixes
+        (``path.1``, ``path.2`` …); :func:`stream_paths` lists the family
+        in write order.
+    flush_records / flush_interval:
+        Flush the buffer after this many records or this many wall seconds
+        since the last flush, whichever comes first.  ``flush_interval=None``
+        disables the timer (count-only flushing, fully deterministic for
+        tests).
+    fsync:
+        ``os.fsync`` after every flush so the bytes survive an OS-level
+        crash, not just a process kill.  Costs a syscall per flush; workers
+        writing high-rate shards may turn it off.
+    max_bytes:
+        Rotate the active file once it exceeds this size.  ``None`` never
+        rotates.
+    on_flush:
+        Called (with no arguments) after every successful flush — the run
+        ledger uses it to checkpoint the metrics registry alongside the
+        spans.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        flush_records: int = DEFAULT_FLUSH_RECORDS,
+        flush_interval: Optional[float] = DEFAULT_FLUSH_INTERVAL,
+        fsync: bool = True,
+        max_bytes: Optional[int] = None,
+        on_flush: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if flush_records < 1:
+            raise ValueError(f"flush_records must be >= 1 (got {flush_records})")
+        self.path = Path(path)
+        self.flush_records = int(flush_records)
+        self.flush_interval = flush_interval
+        self.fsync = bool(fsync)
+        self.max_bytes = max_bytes
+        self.on_flush = on_flush
+        self.records_written = 0
+        self.flushes = 0
+        self.rotations = 0
+        self._buffer: list[str] = []
+        self._open_spans: dict[tuple[str, str], list[tuple[float, dict]]] = {}
+        self._last_flush = time.monotonic()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+
+    # -- sink interface --------------------------------------------------------
+    def begin(self, track: str, name: str, ts: float, **args: Any) -> None:
+        self._open_spans.setdefault((track, name), []).append((ts, dict(args)))
+
+    def end(self, track: str, name: str, ts: float, **args: Any) -> None:
+        stack = self._open_spans.get((track, name))
+        if not stack:
+            raise ValueError(f"no open span {name!r} on track {track!r}")
+        start, start_args = stack.pop()
+        start_args.update(args)
+        self._emit(_span_line(track, name, start, ts, start_args))
+
+    def complete(self, track: str, name: str, start: float, end: float, **args: Any) -> None:
+        self._emit(_span_line(track, name, start, end, dict(args)))
+
+    def instant(self, track: str, name: str, ts: float, **args: Any) -> None:
+        self._emit(_instant_line(track, name, ts, dict(args)))
+
+    # -- buffering / durability ------------------------------------------------
+    def _emit(self, line: str) -> None:
+        if self._closed:
+            raise ValueError(f"StreamingSink({self.path}) is closed")
+        self._buffer.append(line)
+        self.records_written += 1
+        if len(self._buffer) >= self.flush_records:
+            self.flush()
+        elif (
+            self.flush_interval is not None
+            and time.monotonic() - self._last_flush >= self.flush_interval
+        ):
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the buffer through to disk (and fsync when configured)."""
+        if self._buffer:
+            self._file.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._last_flush = time.monotonic()
+        self.flushes += 1
+        if self.max_bytes is not None and self._file.tell() >= self.max_bytes:
+            self._rotate()
+        if self.on_flush is not None:
+            self.on_flush()
+
+    def _rotate(self) -> None:
+        """Shift the active file to the next numeric suffix and reopen."""
+        self._file.close()
+        self.rotations += 1
+        self.path.rename(self.path.with_name(f"{self.path.name}.{self.rotations}"))
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        """Flush everything and close the file.  Idempotent."""
+        if self._closed:
+            return
+        self.flush()
+        self._file.close()
+        self._closed = True
+
+    def open_spans(self) -> list[tuple[str, str]]:
+        """(track, name) of spans begun but not yet ended — a leak check."""
+        return [key for key, stack in self._open_spans.items() if stack]
+
+    def __enter__(self) -> "StreamingSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class TeeSink(TelemetrySink):
+    """Fans every record out to several child sinks.
+
+    The canonical composition: stream to disk for crash safety *and* keep a
+    (capped) :class:`~repro.obs.telemetry.RecordingSink` so the end-of-run
+    flame summary and Chrome trace still work without re-reading the file.
+    """
+
+    def __init__(self, *sinks: TelemetrySink) -> None:
+        self.sinks = tuple(sinks)
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return any(sink.enabled for sink in self.sinks)
+
+    def begin(self, track: str, name: str, ts: float, **args: Any) -> None:
+        for sink in self.sinks:
+            sink.begin(track, name, ts, **args)
+
+    def end(self, track: str, name: str, ts: float, **args: Any) -> None:
+        for sink in self.sinks:
+            sink.end(track, name, ts, **args)
+
+    def complete(self, track: str, name: str, start: float, end: float, **args: Any) -> None:
+        for sink in self.sinks:
+            sink.complete(track, name, start, end, **args)
+
+    def instant(self, track: str, name: str, ts: float, **args: Any) -> None:
+        for sink in self.sinks:
+            sink.instant(track, name, ts, **args)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+class SamplingSink(TelemetrySink):
+    """Deterministically forwards every *n*-th record per ``(track, name)``.
+
+    Sampling is decided when a span *closes* (so ``begin``/``end`` pairs
+    stay paired in the child) by a plain per-key counter — no RNG, so the
+    kept subset is identical run to run.  The first record of every key is
+    always kept; ``dropped`` counts what was not forwarded.
+    """
+
+    def __init__(self, sink: TelemetrySink, every: int) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1 (got {every})")
+        self.sink = sink
+        self.every = int(every)
+        self.dropped = 0
+        self._counts: dict[tuple[str, str, str], int] = {}
+        self._open_spans: dict[tuple[str, str], list[tuple[float, dict]]] = {}
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return self.sink.enabled
+
+    def _keep(self, kind: str, track: str, name: str) -> bool:
+        key = (kind, track, name)
+        count = self._counts.get(key, 0)
+        self._counts[key] = count + 1
+        if count % self.every == 0:
+            return True
+        self.dropped += 1
+        return False
+
+    def begin(self, track: str, name: str, ts: float, **args: Any) -> None:
+        self._open_spans.setdefault((track, name), []).append((ts, dict(args)))
+
+    def end(self, track: str, name: str, ts: float, **args: Any) -> None:
+        stack = self._open_spans.get((track, name))
+        if not stack:
+            raise ValueError(f"no open span {name!r} on track {track!r}")
+        start, start_args = stack.pop()
+        start_args.update(args)
+        if self._keep("span", track, name):
+            self.sink.complete(track, name, start, ts, **start_args)
+
+    def complete(self, track: str, name: str, start: float, end: float, **args: Any) -> None:
+        if self._keep("span", track, name):
+            self.sink.complete(track, name, start, end, **args)
+
+    def instant(self, track: str, name: str, ts: float, **args: Any) -> None:
+        if self._keep("instant", track, name):
+            self.sink.instant(track, name, ts, **args)
+
+    def flush(self) -> None:
+        flush = getattr(self.sink, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
+
+
+# -- reading ------------------------------------------------------------------
+
+
+def stream_paths(path: Union[str, Path]) -> list[Path]:
+    """The shard family for *path*, rotated-out files first, in write order."""
+    path = Path(path)
+    rotated = []
+    for candidate in path.parent.glob(f"{path.name}.*"):
+        suffix = candidate.name[len(path.name) + 1 :]
+        if suffix.isdigit():
+            rotated.append((int(suffix), candidate))
+    ordered = [p for _, p in sorted(rotated)]
+    if path.exists():
+        ordered.append(path)
+    return ordered
+
+
+def iter_jsonl(path: Union[str, Path]) -> Iterator[tuple[Optional[dict], bool]]:
+    """Yield ``(record, ok)`` per line; a malformed line yields ``(None, False)``.
+
+    A file truncated mid-line (the crash signature) produces exactly one
+    trailing ``(None, False)`` — callers decide whether that is an error.
+    Empty lines are skipped silently.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                yield None, False
+            else:
+                yield record, True
+
+
+def read_stream(
+    path: Union[str, Path],
+) -> tuple[list[SpanRecord], list[InstantRecord], bool]:
+    """Parse a streamed shard family into records.
+
+    Returns ``(spans, instants, truncated)`` where *truncated* is True when
+    any shard ended in an incomplete or garbled line — expected after a
+    crash, and the readable prefix is still returned in full.
+    """
+    spans: list[SpanRecord] = []
+    instants: list[InstantRecord] = []
+    truncated = False
+    for shard in stream_paths(path):
+        for record, ok in iter_jsonl(shard):
+            if not ok:
+                truncated = True
+                continue
+            kind = record.get("t")
+            try:
+                if kind == "span":
+                    spans.append(
+                        SpanRecord(
+                            record["track"], record["name"],
+                            float(record["start"]), float(record["end"]),
+                            dict(record.get("args") or {}),
+                        )
+                    )
+                elif kind == "instant":
+                    instants.append(
+                        InstantRecord(
+                            record["track"], record["name"], float(record["ts"]),
+                            dict(record.get("args") or {}),
+                        )
+                    )
+            except (KeyError, TypeError, ValueError):
+                truncated = True
+    return spans, instants, truncated
+
+
+def merge_streams(
+    shards: Sequence[tuple[str, Union[str, Path]]],
+) -> tuple[list[SpanRecord], list[InstantRecord], bool]:
+    """Merge labeled shard families into one record set.
+
+    *shards* is ``[(label, path), ...]``; a non-empty label is prefixed onto
+    every track (``"hpl/panel"`` → ``"w123/hpl/panel"``) so the Chrome-trace
+    exporter shows one process group per worker.  Spans are ordered by start
+    time across shards, instants by timestamp.
+    """
+    spans: list[SpanRecord] = []
+    instants: list[InstantRecord] = []
+    truncated = False
+    for label, path in shards:
+        shard_spans, shard_instants, shard_truncated = read_stream(path)
+        truncated = truncated or shard_truncated
+        if label:
+            shard_spans = [
+                SpanRecord(f"{label}/{s.track}", s.name, s.start, s.end, s.args)
+                for s in shard_spans
+            ]
+            shard_instants = [
+                InstantRecord(f"{label}/{i.track}", i.name, i.ts, i.args)
+                for i in shard_instants
+            ]
+        spans.extend(shard_spans)
+        instants.extend(shard_instants)
+    spans.sort(key=lambda s: (s.start, s.end))
+    instants.sort(key=lambda i: i.ts)
+    return spans, instants, truncated

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -84,15 +85,39 @@ class NullSink(TelemetrySink):
 NULL_SINK = NullSink()
 
 
+#: Ring-buffer cap for :class:`RecordingSink` — generous for any figure run,
+#: but bounded, so a runaway DES run degrades to "oldest spans dropped"
+#: instead of unbounded memory growth.  Pass ``max_records=None`` to opt out.
+DEFAULT_MAX_RECORDS = 1_000_000
+
+
 class RecordingSink(TelemetrySink):
-    """Collects spans and instants in memory for export after the run."""
+    """Collects spans and instants in memory for export after the run.
+
+    Both stores are ring buffers capped at *max_records* entries each
+    (:data:`DEFAULT_MAX_RECORDS` unless overridden): once full, the oldest
+    record is dropped and ``dropped`` incremented.  The drop count surfaces
+    in the metrics snapshot as ``obs.sink.dropped`` via
+    :meth:`Telemetry.sync_sink_metrics`, so capped telemetry is visible,
+    never silent.  For runs that must keep everything, stream to disk
+    instead (:class:`repro.obs.stream.StreamingSink`).
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.spans: list[SpanRecord] = []
-        self.instants: list[InstantRecord] = []
+    def __init__(self, max_records: Optional[int] = DEFAULT_MAX_RECORDS) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1 or None (got {max_records})")
+        self.max_records = max_records
+        self.spans: "deque[SpanRecord]" = deque(maxlen=max_records)
+        self.instants: "deque[InstantRecord]" = deque(maxlen=max_records)
+        self.dropped = 0
         self._open: dict[tuple[str, str], list[tuple[float, dict[str, Any]]]] = {}
+
+    def _append(self, store: deque, record: Any) -> None:
+        if store.maxlen is not None and len(store) == store.maxlen:
+            self.dropped += 1
+        store.append(record)
 
     def begin(self, track: str, name: str, ts: float, **args: Any) -> None:
         self._open.setdefault((track, name), []).append((ts, dict(args)))
@@ -103,13 +128,13 @@ class RecordingSink(TelemetrySink):
             raise ValueError(f"no open span {name!r} on track {track!r}")
         start, start_args = stack.pop()
         start_args.update(args)
-        self.spans.append(SpanRecord(track, name, start, ts, start_args))
+        self._append(self.spans, SpanRecord(track, name, start, ts, start_args))
 
     def complete(self, track: str, name: str, start: float, end: float, **args: Any) -> None:
-        self.spans.append(SpanRecord(track, name, start, end, dict(args)))
+        self._append(self.spans, SpanRecord(track, name, start, end, dict(args)))
 
     def instant(self, track: str, name: str, ts: float, **args: Any) -> None:
-        self.instants.append(InstantRecord(track, name, ts, dict(args)))
+        self._append(self.instants, InstantRecord(track, name, ts, dict(args)))
 
     def open_spans(self) -> list[tuple[str, str]]:
         """(track, name) of spans begun but not yet ended — a leak check."""
@@ -137,13 +162,70 @@ class Telemetry:
         self,
         sink: Optional[TelemetrySink] = None,
         metrics: Optional[MetricsRegistry] = None,
+        shard_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.sink = sink if sink is not None else RecordingSink()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Directory worker processes may write per-worker span shards into
+        #: (set by :class:`repro.obs.ledger.RunLedger`).  When present,
+        #: :func:`repro.exec.pool.run_tasks` keeps parallelism on under
+        #: ambient telemetry instead of falling back to the serial path.
+        self.shard_dir = Path(shard_dir) if shard_dir is not None else None
 
     @property
     def enabled(self) -> bool:
         return self.sink.enabled
+
+    def _recording_sink(self) -> Optional[RecordingSink]:
+        """The first :class:`RecordingSink` in the sink tree (tee-aware)."""
+        queue: list[TelemetrySink] = [self.sink]
+        while queue:
+            sink = queue.pop(0)
+            if isinstance(sink, RecordingSink):
+                return sink
+            queue.extend(getattr(sink, "sinks", ()))
+            child = getattr(sink, "sink", None)
+            if isinstance(child, TelemetrySink):
+                queue.append(child)
+        return None
+
+    def flush(self) -> None:
+        """Flush a streaming/tee sink through to disk (no-op otherwise)."""
+        flush = getattr(self.sink, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        """Close a streaming/tee sink (no-op otherwise)."""
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
+
+    def sync_sink_metrics(self) -> None:
+        """Mirror sink health (record counts, drops) into the metrics registry.
+
+        Called before every metrics export so ``obs.sink.dropped`` makes a
+        capped :class:`RecordingSink` (or a sampled stream) visible in the
+        snapshot rather than silently truncating the record.
+        """
+        recording = self._recording_sink()
+        if recording is not None:
+            gauge = self.metrics.gauge
+            gauge("obs.sink.spans", "spans held in the recording ring").set(
+                len(recording.spans)
+            )
+            gauge("obs.sink.instants", "instants held in the recording ring").set(
+                len(recording.instants)
+            )
+            gauge(
+                "obs.sink.dropped",
+                "records dropped by the recording ring's max_records cap",
+            ).set(recording.dropped)
+        written = getattr(self.sink, "records_written", None)
+        if written is not None:
+            self.metrics.gauge(
+                "obs.sink.records_written", "records streamed to disk"
+            ).set(written)
 
     # -- wall-clock spans (bench harness only; never on simulated paths) ------
     @contextmanager
@@ -175,9 +257,10 @@ class Telemetry:
         """The recorded spans/instants as Chrome trace-event dicts."""
         from repro.obs.export import chrome_trace_events
 
-        if not isinstance(self.sink, RecordingSink):
+        recording = self._recording_sink()
+        if recording is None:
             return []
-        return chrome_trace_events(self.sink.spans, self.sink.instants)
+        return chrome_trace_events(list(recording.spans), list(recording.instants))
 
     def write_chrome_trace(self, path: Union[str, Path]) -> Path:
         """Write the Chrome trace-event JSON array (Perfetto-loadable)."""
@@ -186,7 +269,8 @@ class Telemetry:
         return path
 
     def write_metrics(self, path: Union[str, Path]) -> Path:
-        """Write the metrics snapshot as JSON."""
+        """Write the metrics snapshot as JSON (sink health included)."""
+        self.sync_sink_metrics()
         path = Path(path)
         path.write_text(self.metrics.to_json() + "\n")
         return path
@@ -195,9 +279,10 @@ class Telemetry:
         """Plain-text flamegraph-style summary of the recorded spans."""
         from repro.obs.export import flame_summary
 
-        if not isinstance(self.sink, RecordingSink):
+        recording = self._recording_sink()
+        if recording is None:
             return ""
-        return flame_summary(self.sink.spans)
+        return flame_summary(list(recording.spans))
 
 
 # -- ambient telemetry --------------------------------------------------------

@@ -88,6 +88,31 @@ class Scenario:
             self.gpu_clock_mhz, self.variability, seed=self.cluster_seed
         )
 
+    def content_hash(self) -> str:
+        """A short stable digest of this scenario's full description.
+
+        Run ledgers record it in their manifest so two runs are comparable
+        exactly when their hashes match; it deliberately excludes the code
+        version (the manifest carries that separately).
+        """
+        import hashlib
+
+        from repro.exec.cache import canonical_json
+
+        payload = {
+            "configuration": self.configuration,
+            "n": self.n,
+            "cluster": None if self.cluster is None else repr(self.cluster),
+            "grid": (self.grid.nprow, self.grid.npcol),
+            "gpu_clock_mhz": self.gpu_clock_mhz,
+            "variability": self.variability,
+            "seed": self.seed,
+            "cluster_seed": self.cluster_seed,
+            "faults": self.faults,
+            "overrides": dict(self.overrides) if self.overrides else None,
+        }
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:16]
+
 
 class Session:
     """Executes a :class:`Scenario`; reusable, stateless between runs."""
@@ -95,7 +120,7 @@ class Session:
     def __init__(self, scenario: Scenario) -> None:
         self.scenario = scenario
 
-    def run(self, progress=None, telemetry=None) -> LinpackResult:
+    def run(self, progress=None, telemetry=None, ledger=None) -> LinpackResult:
         """Run the scenario once and return its :class:`LinpackResult`.
 
         *progress* is called with each panel's
@@ -104,22 +129,52 @@ class Session:
         receives per-panel spans, GFLOPS series and — under an active
         :class:`~repro.faults.FaultSpec` — the ``faults.*`` counters and
         fault-track instants.  Neither hook affects results.
+
+        *ledger* (a :class:`repro.obs.RunLedger`) turns the run into a
+        flight-recorded one: the scenario hash is stamped into the
+        manifest, spans/metrics stream incrementally into the run
+        directory, and a result summary (or the exception) is written on
+        exit — a killed run stays readable via ``python -m repro.obs``.
+        When *ledger* is given and *telemetry* is not, the ledger's
+        telemetry is used.
         """
         s = self.scenario
-        return _run_linpack(
-            s.configuration,
-            s.n,
-            s.build_cluster(),
-            s.grid,
-            seed=s.seed,
-            collect_steps=s.collect_steps,
-            overrides=dict(s.overrides) if s.overrides else None,
-            progress=progress,
-            telemetry=telemetry,
-            faults=s.faults,
-        )
+        if ledger is not None:
+            ledger.annotate(
+                scenario_hash=s.content_hash(),
+                scenario={"configuration": str(s.configuration), "n": s.n,
+                          "grid": [s.grid.nprow, s.grid.npcol], "seed": s.seed},
+            )
+            if telemetry is None:
+                telemetry = ledger.telemetry
+        try:
+            result = _run_linpack(
+                s.configuration,
+                s.n,
+                s.build_cluster(),
+                s.grid,
+                seed=s.seed,
+                collect_steps=s.collect_steps,
+                overrides=dict(s.overrides) if s.overrides else None,
+                progress=progress,
+                telemetry=telemetry,
+                faults=s.faults,
+            )
+        except BaseException as error:
+            if ledger is not None:
+                ledger.fail(f"{type(error).__name__}: {error}")
+            raise
+        if ledger is not None:
+            ledger.finish(
+                {
+                    "gflops": result.gflops,
+                    "elapsed_seconds": result.elapsed,
+                    "degraded": None if result.degraded is None else str(result.degraded),
+                }
+            )
+        return result
 
 
-def run(scenario: Scenario, progress=None, telemetry=None) -> LinpackResult:
+def run(scenario: Scenario, progress=None, telemetry=None, ledger=None) -> LinpackResult:
     """Convenience one-shot: ``Session(scenario).run(...)``."""
-    return Session(scenario).run(progress=progress, telemetry=telemetry)
+    return Session(scenario).run(progress=progress, telemetry=telemetry, ledger=ledger)

@@ -23,6 +23,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.obs.ledger import DEFAULT_RUNS_ROOT
 from repro.verify import differential, golden
 from repro.verify import scenarios as scenario_catalogue
 from repro.verify.divergence import DivergenceReport
@@ -90,6 +91,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not read or write the on-disk result cache",
     )
+    p.add_argument(
+        "--ledger",
+        nargs="?",
+        const=str(DEFAULT_RUNS_ROOT),
+        default=None,
+        metavar="RUNS_DIR",
+        help="stream the matrix run into a ledger under RUNS_DIR "
+        f"(default root: {DEFAULT_RUNS_ROOT}) for 'python -m repro.obs'",
+    )
     return parser
 
 
@@ -141,10 +151,37 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 def _cmd_crossval(args: argparse.Namespace) -> int:
     from repro import exec as exec_policy
+    from repro import obs
+
+    ledger = None
+    telemetry = None
+    if args.ledger is not None:
+        ledger = obs.RunLedger.open(
+            "verify-crossval",
+            root=args.ledger,
+            config={"jobs": args.jobs, "cache": not args.no_cache},
+        )
+        telemetry = ledger.telemetry
+        print(f"ledger: {ledger.directory}", file=sys.stderr)
 
     policy = exec_policy.ExecutionPolicy(jobs=args.jobs, cache=not args.no_cache)
-    with exec_policy.use(policy):
-        status = _finish(differential.run_matrix(), args.report_out)
+    try:
+        with obs.use(telemetry), exec_policy.use(policy):
+            if telemetry is not None:
+                with telemetry.wall_span("verify", "crossval"):
+                    report = differential.run_matrix()
+            else:
+                report = differential.run_matrix()
+    except BaseException as error:
+        if ledger is not None:
+            ledger.fail(f"{type(error).__name__}: {error}")
+        raise
+    status = _finish(report, args.report_out)
+    if ledger is not None:
+        ledger.finish(
+            {"ok": report.ok, "exec": policy.summary_line()},
+            status="completed" if report.ok else "failed",
+        )
     print(policy.summary_line(), file=sys.stderr)
     return status
 

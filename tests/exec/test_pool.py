@@ -7,11 +7,21 @@ import pytest
 from repro import obs
 from repro.exec import ExecutionPolicy, evaluate_points, run_tasks, use
 from repro.exec import pool as pool_mod
+from repro.obs.ledger import RunLedger, load_run
 from repro.util.rng import RngStream
 
 
 def square_plus(x: int, offset: int = 0) -> int:
     return x * x + offset
+
+
+def traced_square(x: int) -> int:
+    """Emits a span + counter through the ambient telemetry (worker-side)."""
+    telemetry = obs.current()
+    if telemetry is not None:
+        telemetry.sink.complete("task", f"x{x}", float(x), float(x) + 1.0)
+        telemetry.metrics.counter("tasks_run").inc()
+    return x * x
 
 
 def seeded_draw(seed: int) -> float:
@@ -60,13 +70,58 @@ class TestRunTasks:
         run_tasks(square_plus, [dict(x=1), dict(x=2)], policy=policy)
         assert policy.stats.parallel_tasks == 2
 
-    def test_telemetry_forces_serial(self):
+    def test_in_memory_telemetry_forces_serial(self):
+        # A plain RecordingSink has no shard_dir: worker spans could not be
+        # merged back, so the pool falls back to the serial path (not a drop).
         policy = ExecutionPolicy(jobs=4)
         with obs.use(obs.Telemetry()):
             result = run_tasks(square_plus, [dict(x=x) for x in range(4)], policy=policy)
         assert result == [0, 1, 4, 9]
         assert policy.stats.tasks == 4
         assert policy.stats.parallel_tasks == 0  # spans/metrics cannot merge back
+
+    def test_shard_backed_telemetry_stays_parallel(self, tmp_path):
+        ledger = RunLedger.open(
+            "pool-test", root=tmp_path / "runs",
+            flush_records=1, flush_interval=None, fsync=False,
+        )
+        policy = ExecutionPolicy(jobs=2)
+        with obs.use(ledger.telemetry):
+            result = run_tasks(
+                traced_square, [dict(x=x) for x in range(4)], policy=policy
+            )
+        assert result == [0, 1, 4, 9]
+        assert policy.stats.parallel_tasks == 4  # no serial fallback
+
+        shards = ledger.worker_shards()
+        assert shards  # workers streamed their spans into the run directory
+        counted = ledger.telemetry.metrics.scalar_summary()["exec.telemetry_shards"]
+        assert counted == len(shards)
+
+        ledger.finish()
+        view = load_run(ledger.directory)
+        worker_spans = [s for s in view.spans if s.track.startswith("worker-")]
+        assert sorted(s.name for s in worker_spans) == ["x0", "x1", "x2", "x3"]
+        assert view.worker_metrics  # metrics-worker-<pid>.json snapshots parsed
+        assert any(
+            "tasks_run" in snapshot for snapshot in view.worker_metrics.values()
+        )
+
+    def test_shard_counter_not_double_counted(self, tmp_path):
+        ledger = RunLedger.open(
+            "pool-recount", root=tmp_path / "runs",
+            flush_records=1, flush_interval=None, fsync=False,
+        )
+        policy = ExecutionPolicy(jobs=2)
+        with obs.use(ledger.telemetry):
+            run_tasks(traced_square, [dict(x=1), dict(x=2)], policy=policy)
+            first = ledger.telemetry.metrics.scalar_summary()["exec.telemetry_shards"]
+            run_tasks(traced_square, [dict(x=3), dict(x=4)], policy=policy)
+            second = ledger.telemetry.metrics.scalar_summary()["exec.telemetry_shards"]
+        # Only shards that newly appeared are counted on the second join.
+        assert second == len(ledger.worker_shards())
+        assert second >= first
+        ledger.finish()
 
     def test_in_worker_forces_serial(self, monkeypatch):
         monkeypatch.setattr(pool_mod, "_IN_WORKER", True)

@@ -1,0 +1,99 @@
+"""SIGKILL a streaming run mid-flight; the ledger must stay readable.
+
+This is the tentpole's whole point exercised end to end: a subprocess opens
+a :class:`repro.obs.RunLedger`, streams spans with per-record flushing,
+tells us where the ledger lives, and then blocks forever.  We SIGKILL it —
+no atexit, no finally, no summary — and assert that :func:`load_run`
+parses the directory and ``python -m repro.obs summary`` reports the
+partial run instead of crashing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.obs.cli import main as obs_main
+from repro.obs.ledger import load_run
+
+#: The src/ directory the victim subprocess must import repro from.
+REPRO_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+VICTIM = textwrap.dedent(
+    """
+    import sys, time
+    from repro.obs import RunLedger
+
+    ledger = RunLedger.open(
+        "crash-victim", root=sys.argv[1],
+        flush_records=1, flush_interval=None,
+    )
+    telemetry = ledger.telemetry
+    telemetry.metrics.counter("panels_done").inc(3)
+    for i in range(5):
+        telemetry.sink.complete("hpl/panel", f"p{i}", float(i), float(i) + 1.0)
+    print(ledger.directory, flush=True)   # parent: safe to kill now
+    time.sleep(300)                        # never reached alive
+    ledger.finish({"should": "never happen"})
+    """
+)
+
+
+@pytest.fixture
+def killed_run(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [REPRO_SRC, env.get("PYTHONPATH", "")])
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-c", VICTIM, str(tmp_path / "runs")],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        directory = process.stdout.readline().strip()
+        assert directory, process.stderr.read()
+        process.kill()  # SIGKILL: no cleanup of any kind runs
+        process.wait(timeout=30)
+        assert process.returncode == -signal.SIGKILL
+        yield directory
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+
+class TestCrashSafety:
+    def test_ledger_parses_after_sigkill(self, killed_run):
+        view = load_run(killed_run)
+        assert view.status == "in-flight"  # no summary.json was ever written
+        assert view.summary is None
+        # Every record was flushed (flush_records=1), so nothing was lost.
+        assert [s.name for s in view.spans] == [f"p{i}" for i in range(5)]
+        assert view.manifest["name"] == "crash-victim"
+
+    def test_metrics_checkpoints_survive(self, killed_run):
+        view = load_run(killed_run)
+        assert view.last_metrics().get("panels_done") == 3
+
+    def test_obs_summary_reports_partial_run(self, killed_run, capsys):
+        root = os.path.dirname(killed_run)
+        assert obs_main(["--root", root, "summary", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "status   in-flight" in out
+        assert "5 spans" in out
+        assert "run is in flight or died" in out
+
+    def test_obs_tail_reads_the_dead_stream(self, killed_run, capsys):
+        root = os.path.dirname(killed_run)
+        assert obs_main(["--root", root, "tail", "latest", "-n", "3"]) == 0
+        assert "p4" in capsys.readouterr().out

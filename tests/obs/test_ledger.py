@@ -1,0 +1,206 @@
+"""RunLedger round trips, crash tolerance, worker-shard merge, resolution."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.ledger import (
+    RunLedger,
+    latest_run,
+    load_run,
+    resolve_run,
+    run_dirs,
+)
+from repro.obs.stream import StreamingSink
+
+
+def _open(tmp_path, name="test-run", **kwargs):
+    kwargs.setdefault("flush_records", 1)
+    kwargs.setdefault("flush_interval", None)
+    kwargs.setdefault("fsync", False)
+    return RunLedger.open(name, root=tmp_path / "runs", **kwargs)
+
+
+class TestRunLedgerLifecycle:
+    def test_manifest_written_before_any_work(self, tmp_path):
+        ledger = _open(tmp_path, config={"quick": True})
+        manifest = json.loads((ledger.directory / "manifest.json").read_text())
+        assert manifest["name"] == "test-run"
+        assert manifest["config"] == {"quick": True}
+        assert manifest["code_version"]
+        assert manifest["run_id"] == ledger.run_id == ledger.directory.name
+        ledger.finish()
+
+    def test_round_trip_completed_run(self, tmp_path):
+        ledger = _open(tmp_path)
+        telemetry = ledger.telemetry
+        with telemetry.wall_span("bench", "fig9"):
+            telemetry.metrics.counter("panels").inc(3)
+        telemetry.sink.instant("bench", "milestone", 0.5)
+        ledger.finish({"gflops": 42.0})
+
+        view = load_run(ledger.directory)
+        assert view.status == "completed"
+        assert view.summary["summary"] == {"gflops": 42.0}
+        assert not view.truncated
+        assert view.span_counts() == {"bench": 1}
+        assert len(view.instants) == 1
+        assert view.last_metrics().get("panels") == 3
+        assert view.summary["records_written"] == 2
+
+    def test_annotate_merges_into_manifest(self, tmp_path):
+        ledger = _open(tmp_path)
+        ledger.annotate(scenario_hash="abc123", machine="cabinet-1")
+        manifest = json.loads((ledger.directory / "manifest.json").read_text())
+        assert manifest["scenario_hash"] == "abc123"
+        assert manifest["machine"] == "cabinet-1"
+        ledger.finish()
+
+    def test_unfinished_run_reads_as_in_flight(self, tmp_path):
+        ledger = _open(tmp_path)
+        ledger.sink.complete("hpl", "panel", 0.0, 1.0)
+        ledger.sink.flush()
+        # No finish(): exactly what a crashed or live run looks like.
+        view = load_run(ledger.directory)
+        assert view.status == "in-flight"
+        assert view.summary is None
+        assert [s.name for s in view.spans] == ["panel"]
+        ledger.finish()
+
+    def test_fail_records_the_error(self, tmp_path):
+        ledger = _open(tmp_path)
+        ledger.fail("ValueError: boom")
+        view = load_run(ledger.directory)
+        assert view.status == "failed"
+        assert view.summary["summary"]["error"] == "ValueError: boom"
+
+    def test_context_manager_finishes_or_fails(self, tmp_path):
+        with _open(tmp_path) as ledger:
+            pass
+        assert load_run(ledger.directory).status == "completed"
+
+        with pytest.raises(RuntimeError):
+            with _open(tmp_path) as ledger:
+                raise RuntimeError("kaput")
+        view = load_run(ledger.directory)
+        assert view.status == "failed"
+        assert "kaput" in view.summary["summary"]["error"]
+
+    def test_finish_is_idempotent(self, tmp_path):
+        ledger = _open(tmp_path)
+        first = ledger.finish({"a": 1})
+        second = ledger.finish({"b": 2})
+        assert first == second
+        assert load_run(ledger.directory).summary["summary"] == {"a": 1}
+
+    def test_run_id_collisions_get_suffixes(self, tmp_path):
+        a = _open(tmp_path, run_id="fixed")
+        b = _open(tmp_path, run_id="fixed")
+        assert a.directory != b.directory
+        assert b.directory.name == "fixed-1"
+        a.finish()
+        b.finish()
+
+    def test_metrics_checkpoints_stream_per_flush(self, tmp_path):
+        ledger = _open(tmp_path, flush_records=1)
+        ledger.telemetry.metrics.counter("events").inc(5)
+        ledger.sink.complete("t", "a", 0.0, 1.0)  # flush -> checkpoint
+        ledger.telemetry.metrics.counter("events").inc(2)
+        ledger.sink.complete("t", "b", 1.0, 2.0)
+        view = load_run(ledger.directory)
+        assert [c["metrics"]["events"] for c in view.metrics] == [5, 7]
+        ledger.finish()
+
+
+class TestWorkerShards:
+    def test_worker_shards_merge_with_labels(self, tmp_path):
+        ledger = _open(tmp_path)
+        ledger.sink.complete("bench", "sweep", 0.0, 9.0)
+        shard = StreamingSink(
+            ledger.directory / "spans-worker-4242.jsonl",
+            flush_records=1, flush_interval=None, fsync=False,
+        )
+        shard.complete("hpl/panel", "p0", 1.0, 2.0)
+        shard.close()
+        (ledger.directory / "metrics-worker-4242.json").write_text('{"panels": 7}')
+        ledger.finish()
+
+        view = load_run(ledger.directory)
+        assert view.shards == ["spans-worker-4242.jsonl"]
+        assert view.summary["worker_shards"] == ["spans-worker-4242.jsonl"]
+        tracks = {s.track for s in view.spans}
+        assert tracks == {"bench", "worker-4242/hpl/panel"}
+        assert view.worker_metrics == {"worker-4242": {"panels": 7}}
+
+    def test_chrome_trace_covers_worker_tracks(self, tmp_path):
+        ledger = _open(tmp_path)
+        shard = StreamingSink(
+            ledger.directory / "spans-worker-1.jsonl",
+            flush_records=1, flush_interval=None, fsync=False,
+        )
+        shard.complete("hpl/panel", "p0", 0.0, 1.0)
+        shard.close()
+        ledger.finish()
+        events = load_run(ledger.directory).chrome_trace_events()
+        assert any(e.get("ph") == "X" for e in events)
+
+
+class TestLoadRunTolerance:
+    def test_requires_only_the_manifest(self, tmp_path):
+        directory = tmp_path / "bare"
+        directory.mkdir()
+        (directory / "manifest.json").write_text('{"run_id": "bare", "name": "x"}')
+        view = load_run(directory)
+        assert view.status == "in-flight"
+        assert view.spans == [] and view.metrics == []
+
+    def test_non_ledger_directory_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run(tmp_path)
+
+    def test_torn_stream_tail_sets_truncated(self, tmp_path):
+        ledger = _open(tmp_path)
+        ledger.sink.complete("t", "whole", 0.0, 1.0)
+        ledger.sink.flush()
+        with open(ledger.directory / "spans-main.jsonl", "a") as handle:
+            handle.write('{"t": "span", "track": "t", "na')
+        view = load_run(ledger.directory)
+        assert view.truncated
+        assert [s.name for s in view.spans] == ["whole"]
+        ledger.finish()
+
+    def test_shard_dir_points_workers_at_the_run_directory(self, tmp_path):
+        ledger = _open(tmp_path)
+        assert ledger.telemetry.shard_dir == ledger.directory
+        assert Telemetry().shard_dir is None
+        ledger.finish()
+
+
+class TestResolution:
+    def test_run_dirs_latest_and_resolve(self, tmp_path):
+        root = tmp_path / "runs"
+        a = RunLedger.open("alpha", root=root, run_id="a", fsync=False)
+        a.manifest["created_unix"] = 100.0
+        a.annotate()
+        a.finish()
+        b = RunLedger.open("beta", root=root, run_id="b", fsync=False)
+        b.manifest["created_unix"] = 200.0
+        b.annotate()
+        b.finish()
+
+        assert [p.name for p in run_dirs(root)] == ["a", "b"]
+        assert latest_run(root).name == "b"
+        assert resolve_run("latest", root).name == "b"
+        assert resolve_run("a", root) == a.directory
+        assert resolve_run(str(b.directory), root) == b.directory
+        with pytest.raises(FileNotFoundError):
+            resolve_run("missing", root)
+
+    def test_empty_root_resolves_to_nothing(self, tmp_path):
+        assert run_dirs(tmp_path / "nope") == []
+        assert latest_run(tmp_path / "nope") is None
+        with pytest.raises(FileNotFoundError):
+            resolve_run("latest", tmp_path / "nope")

@@ -1,0 +1,207 @@
+"""StreamingSink / TeeSink / SamplingSink and the tolerant JSONL readers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import RecordingSink, Telemetry
+from repro.obs.stream import (
+    SamplingSink,
+    StreamingSink,
+    TeeSink,
+    merge_streams,
+    read_stream,
+    stream_paths,
+)
+
+
+class TestStreamingSink:
+    def test_records_survive_flush_and_parse(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = StreamingSink(path, flush_records=100, flush_interval=None)
+        sink.complete("hpl/panel", "p0", 0.0, 1.0, k=1)
+        sink.instant("hpl/panel", "tick", 0.5)
+        sink.flush()
+        spans, instants, truncated = read_stream(path)
+        assert not truncated
+        ((span,), (inst,)) = (spans, instants)
+        assert (span.track, span.name, span.start, span.end) == ("hpl/panel", "p0", 0.0, 1.0)
+        assert span.args == {"k": 1}
+        assert (inst.track, inst.name, inst.ts) == ("hpl/panel", "tick", 0.5)
+
+    def test_begin_end_pairs_like_recording_sink(self, tmp_path):
+        sink = StreamingSink(tmp_path / "s.jsonl", flush_interval=None)
+        sink.begin("t", "x", 0.0, a=1)
+        sink.begin("t", "x", 1.0)
+        sink.end("t", "x", 2.0)
+        assert sink.open_spans() == [("t", "x")]
+        sink.end("t", "x", 3.0, b=2)
+        sink.close()
+        spans, _, _ = read_stream(tmp_path / "s.jsonl")
+        assert [(s.start, s.end) for s in spans] == [(1.0, 2.0), (0.0, 3.0)]
+        assert spans[1].args == {"a": 1, "b": 2}
+
+    def test_unmatched_end_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            StreamingSink(tmp_path / "s.jsonl").end("t", "x", 1.0)
+
+    def test_buffer_flushes_at_flush_records(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sink = StreamingSink(path, flush_records=3, flush_interval=None, fsync=False)
+        sink.complete("t", "a", 0.0, 1.0)
+        sink.complete("t", "b", 1.0, 2.0)
+        assert path.read_text() == ""  # still buffered
+        sink.complete("t", "c", 2.0, 3.0)
+        assert len(path.read_text().splitlines()) == 3  # threshold flushed
+
+    def test_unflushed_tail_lost_flushed_prefix_kept(self, tmp_path):
+        # The crash contract: whatever was flushed parses; the buffer is gone.
+        path = tmp_path / "s.jsonl"
+        sink = StreamingSink(path, flush_records=2, flush_interval=None)
+        for i in range(5):
+            sink.complete("t", f"s{i}", float(i), float(i + 1))
+        # 4 records flushed (two batches of 2), the 5th still buffered.
+        spans, _, truncated = read_stream(path)
+        assert [s.name for s in spans] == ["s0", "s1", "s2", "s3"]
+        assert not truncated
+
+    def test_rotation_produces_ordered_family(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sink = StreamingSink(path, flush_records=1, flush_interval=None, max_bytes=120)
+        for i in range(8):
+            sink.complete("t", f"s{i}", float(i), float(i + 1))
+        sink.close()
+        assert sink.rotations >= 1
+        family = stream_paths(path)
+        assert family[-1] == path and len(family) == sink.rotations + 1
+        spans, _, truncated = read_stream(path)
+        assert [s.name for s in spans] == [f"s{i}" for i in range(8)]
+        assert not truncated
+
+    def test_truncated_tail_is_flagged_not_fatal(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sink = StreamingSink(path, flush_records=1, flush_interval=None)
+        sink.complete("t", "whole", 0.0, 1.0)
+        sink.close()
+        with open(path, "a") as handle:
+            handle.write('{"t": "span", "track": "t", "name": "torn", "sta')
+        spans, _, truncated = read_stream(path)
+        assert [s.name for s in spans] == ["whole"]
+        assert truncated
+
+    def test_on_flush_hook_fires(self, tmp_path):
+        calls = []
+        sink = StreamingSink(
+            tmp_path / "s.jsonl", flush_records=1, flush_interval=None,
+            on_flush=lambda: calls.append(1),
+        )
+        sink.complete("t", "a", 0.0, 1.0)
+        assert calls == [1]
+
+    def test_closed_sink_rejects_records(self, tmp_path):
+        sink = StreamingSink(tmp_path / "s.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.complete("t", "a", 0.0, 1.0)
+
+    def test_bad_flush_records_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            StreamingSink(tmp_path / "s.jsonl", flush_records=0)
+
+
+class TestTeeSink:
+    def test_fans_out_to_all_children(self, tmp_path):
+        recording = RecordingSink()
+        streaming = StreamingSink(tmp_path / "s.jsonl", flush_interval=None)
+        tee = TeeSink(streaming, recording)
+        tee.begin("t", "x", 0.0)
+        tee.end("t", "x", 1.0)
+        tee.complete("t", "y", 1.0, 2.0)
+        tee.instant("t", "m", 1.5)
+        tee.close()
+        assert [s.name for s in recording.spans] == ["x", "y"]
+        spans, instants, _ = read_stream(tmp_path / "s.jsonl")
+        assert [s.name for s in spans] == ["x", "y"]
+        assert len(instants) == 1
+
+    def test_enabled_follows_children(self, tmp_path):
+        from repro.obs import NULL_SINK
+
+        assert TeeSink(NULL_SINK).enabled is False
+        assert TeeSink(NULL_SINK, RecordingSink()).enabled is True
+
+    def test_telemetry_chrome_trace_finds_recording_through_tee(self, tmp_path):
+        recording = RecordingSink()
+        tee = TeeSink(StreamingSink(tmp_path / "s.jsonl", flush_interval=None), recording)
+        telemetry = Telemetry(sink=tee)
+        tee.complete("a/b", "x", 0.0, 1.0)
+        events = telemetry.chrome_trace()
+        assert any(e["ph"] == "X" for e in events)
+
+
+class TestSamplingSink:
+    def test_keeps_every_nth_per_key_deterministically(self):
+        child = RecordingSink()
+        sampler = SamplingSink(child, every=3)
+        for i in range(9):
+            sampler.complete("t", "hot", float(i), float(i + 1))
+        sampler.complete("t", "rare", 0.0, 1.0)  # first of a new key: kept
+        assert [s.start for s in child.spans if s.name == "hot"] == [0.0, 3.0, 6.0]
+        assert sum(1 for s in child.spans if s.name == "rare") == 1
+        assert sampler.dropped == 6
+
+    def test_begin_end_pairs_sampled_as_units(self):
+        child = RecordingSink()
+        sampler = SamplingSink(child, every=2)
+        for i in range(4):
+            sampler.begin("t", "x", float(i))
+            sampler.end("t", "x", float(i) + 0.5)
+        assert [s.start for s in child.spans] == [0.0, 2.0]
+        assert child.open_spans() == []  # nothing half-forwarded
+
+    def test_instants_sampled_independently(self):
+        child = RecordingSink()
+        sampler = SamplingSink(child, every=2)
+        for i in range(4):
+            sampler.instant("t", "m", float(i))
+        assert [i.ts for i in child.instants] == [0.0, 2.0]
+
+    def test_bad_every_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingSink(RecordingSink(), every=0)
+
+
+class TestMergeStreams:
+    def test_labels_prefix_tracks_and_order_by_time(self, tmp_path):
+        main = StreamingSink(tmp_path / "main.jsonl", flush_interval=None)
+        main.complete("hpl/panel", "p1", 1.0, 2.0)
+        main.close()
+        worker = StreamingSink(tmp_path / "w1.jsonl", flush_interval=None)
+        worker.complete("hpl/panel", "p0", 0.0, 1.0)
+        worker.close()
+        spans, _, truncated = merge_streams(
+            [("", tmp_path / "main.jsonl"), ("worker-9", tmp_path / "w1.jsonl")]
+        )
+        assert not truncated
+        assert [(s.track, s.name) for s in spans] == [
+            ("worker-9/hpl/panel", "p0"),
+            ("hpl/panel", "p1"),
+        ]
+
+    def test_missing_shard_is_empty_not_fatal(self, tmp_path):
+        spans, instants, truncated = merge_streams([("", tmp_path / "absent.jsonl")])
+        assert spans == [] and instants == [] and not truncated
+
+    def test_lines_are_plain_json(self, tmp_path):
+        sink = StreamingSink(tmp_path / "s.jsonl", flush_interval=None)
+        sink.complete("t", "x", 0.0, 1.0, note="hi")
+        sink.close()
+        (line,) = (tmp_path / "s.jsonl").read_text().splitlines()
+        record = json.loads(line)
+        assert record == {
+            "t": "span", "track": "t", "name": "x",
+            "start": 0.0, "end": 1.0, "args": {"note": "hi"},
+        }

@@ -58,6 +58,52 @@ class TestSinks:
         assert sink.tracks() == ["b", "a"]
 
 
+class TestRecordingRing:
+    def test_max_records_caps_spans_and_counts_drops(self):
+        sink = RecordingSink(max_records=3)
+        for i in range(5):
+            sink.complete("t", f"s{i}", float(i), float(i + 1))
+        assert [s.name for s in sink.spans] == ["s2", "s3", "s4"]  # oldest evicted
+        assert sink.dropped == 2
+
+    def test_instants_capped_independently(self):
+        sink = RecordingSink(max_records=2)
+        sink.complete("t", "span", 0.0, 1.0)
+        for i in range(3):
+            sink.instant("t", "m", float(i))
+        assert len(sink.spans) == 1  # span store unaffected by instant evictions
+        assert [inst.ts for inst in sink.instants] == [1.0, 2.0]
+        assert sink.dropped == 1
+
+    def test_default_cap_and_opt_out(self):
+        assert RecordingSink().spans.maxlen == obs.DEFAULT_MAX_RECORDS
+        assert RecordingSink(max_records=None).spans.maxlen is None
+        with pytest.raises(ValueError):
+            RecordingSink(max_records=0)
+
+    def test_sync_sink_metrics_exposes_ring_health(self):
+        t = Telemetry(sink=RecordingSink(max_records=1))
+        t.sink.complete("t", "a", 0.0, 1.0)
+        t.sink.complete("t", "b", 1.0, 2.0)
+        t.sync_sink_metrics()
+        assert t.metrics.gauge("obs.sink.spans").value() == 1
+        assert t.metrics.gauge("obs.sink.dropped").value() == 1
+
+    def test_write_metrics_includes_sink_health(self, tmp_path):
+        t = Telemetry()
+        t.sink.complete("t", "a", 0.0, 1.0)
+        snapshot = json.loads(t.write_metrics(tmp_path / "m.json").read_text())
+        assert {"obs.sink.spans", "obs.sink.dropped"} <= set(snapshot)
+
+    def test_capped_ring_still_exports(self):
+        sink = RecordingSink(max_records=2)
+        t = Telemetry(sink=sink)
+        for i in range(4):
+            sink.complete("a/b", f"s{i}", float(i), float(i + 1))
+        events = [e for e in t.chrome_trace() if e["ph"] == "X"]
+        assert [e["name"] for e in events] == ["s2", "s3"]
+
+
 class TestTelemetryHandle:
     def test_defaults(self):
         t = Telemetry()
