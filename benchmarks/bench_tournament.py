@@ -1,0 +1,137 @@
+"""The scheduler tournament bench — emits benchmarks/out/TOURNAMENT.json.
+
+Runs every DAG-capable scheduler in the :mod:`repro.sched` registry over
+the workload catalogue (tiled Cholesky / tiled LU / mixed kernel stream) on
+two machine variants, plus the HPL mid-run thermal-throttle experiment for
+the adaptive and static mappers, and ranks everything into one leaderboard
+(see :mod:`repro.sched.tournament`).
+
+``--check`` asserts the two pinned results:
+
+* the adaptive mapper beats the static peak split on throttle *recovery*
+  (the paper's central claim, as a ranked cell), and
+* HEFT wins at least one DAG workload cell (the PAPERS.md extension earns
+  its keep on dependency-heavy graphs).
+
+Every run appends one flattened line to ``benchmarks/BENCH_history.jsonl``
+(disable with ``--no-history``); ``python -m repro.obs regress`` tracks
+``tournament.adaptive_win_rate`` across runs.
+
+Usage::
+
+    python benchmarks/bench_tournament.py --quick --check
+    python benchmarks/bench_tournament.py --out benchmarks/out/TOURNAMENT.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.exec import ExecutionPolicy, code_version, use
+from repro.obs import history as bench_history
+from repro.sched.tournament import render_leaderboard, run_tournament
+from repro.util.io import atomic_write_text
+
+DEFAULT_OUT = Path(__file__).parent / "out" / "TOURNAMENT.json"
+
+
+def run_bench(quick: bool, jobs: int, cache: bool) -> dict:
+    policy = ExecutionPolicy(jobs=jobs, cache=cache)
+    with use(policy):
+        tournament = run_tournament(quick=quick)
+    return {
+        "meta": {
+            "quick": quick,
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "code_version": code_version(),
+            "exec": policy.summary_line(),
+        },
+        "tournament": tournament,
+    }
+
+
+def check(report: dict) -> list[str]:
+    """The pinned tournament results as hard failures."""
+    pins = report["tournament"]["pins"]
+    failures = []
+    if pins["adaptive_beats_static_throttle"] is not True:
+        failures.append(
+            "tournament: adaptive did not beat static on throttle recovery "
+            f"(pin={pins['adaptive_beats_static_throttle']!r})"
+        )
+    if not pins["heft_wins_dag_cell"]:
+        failures.append("tournament: HEFT won no DAG workload cell")
+    board = report["tournament"]["leaderboard"]
+    if len(board) < 6:
+        failures.append(
+            f"tournament: only {len(board)} schedulers competed (expected >= 6)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small grids (CI smoke)")
+    parser.add_argument(
+        "--check", action="store_true", help="assert the pinned tournament results"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: all cores)"
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help=f"output path (default {DEFAULT_OUT})"
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=bench_history.DEFAULT_HISTORY_PATH,
+        help=f"bench trajectory file (default {bench_history.DEFAULT_HISTORY_PATH})",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the bench trajectory",
+    )
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    report = run_bench(args.quick, jobs, cache=not args.no_cache)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
+    if not args.no_history:
+        entry = bench_history.entry_from_report(report, wall_unix=time.time())
+        bench_history.append_entry(entry, args.history)
+        print(
+            f"history: appended entry #{len(bench_history.load_history(args.history))} "
+            f"to {args.history}"
+        )
+
+    print(render_leaderboard(report["tournament"]))
+    print(f"adaptive win rate: {report['tournament']['adaptive_win_rate']:.2f}")
+    print(f"report written to {args.out}")
+    print(report["meta"]["exec"], file=sys.stderr)
+
+    if args.check:
+        failures = check(report)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,7 @@ def main(path: str | None = None) -> None:
         cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=2009)
         result = Session(
             Scenario(
-                configuration="acmlg_both", n=n, cluster=cluster, grid=grid,
+                scheduler="acmlg_both", n=n, cluster=cluster, grid=grid,
                 overrides={"nb": nb},
             )
         ).run()

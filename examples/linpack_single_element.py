@@ -25,7 +25,7 @@ def main(n_max: int = 46000) -> None:
     for n in sizes:
         row = [n]
         for config in CONFIGURATIONS:
-            gflops = Session(Scenario(configuration=config, n=n)).run().gflops
+            gflops = Session(Scenario(scheduler=config, n=n)).run().gflops
             results[config][n] = gflops
             row.append(f"{gflops:.1f}")
         table.add_row(*row)

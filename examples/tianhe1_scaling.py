@@ -38,7 +38,7 @@ def main(max_cabinets: int = 8) -> None:
         cluster = Cluster(tianhe1_cluster(cabinets=cabs), seed=2009)
         grid = ProcessGrid(*GRIDS[cabs])
         n = problem_size_for_cabinets(cabs)
-        result = Session(Scenario(configuration="acmlg_both", n=n, cluster=cluster, grid=grid)).run()
+        result = Session(Scenario(scheduler="acmlg_both", n=n, cluster=cluster, grid=grid)).run()
         base = base or result.tflops
         kw = TIANHE1_POWER.system_kw(cabs)
         table.add_row(
@@ -53,8 +53,8 @@ def main(max_cabinets: int = 8) -> None:
     procs = min(64, max_cabinets * 64)
     n = problem_size_for(procs)
     cluster = Cluster(tianhe1_cluster(cabinets=1, gpu_clock_mhz=750.0), seed=2009)
-    ours = Session(Scenario(configuration="acmlg_both", n=n, cluster=cluster, grid=grid_for(procs))).run()
-    qilin = Session(Scenario(configuration="qilin", n=n, cluster=cluster, grid=grid_for(procs))).run()
+    ours = Session(Scenario(scheduler="acmlg_both", n=n, cluster=cluster, grid=grid_for(procs))).run()
+    qilin = Session(Scenario(scheduler="qilin", n=n, cluster=cluster, grid=grid_for(procs))).run()
     training = TIANHE1_POWER.energy_kwh(cabinets=1, seconds=2 * 3600)
     print(f"adaptive vs Qilin at {procs} processes (N={n}):")
     print(f"  ours  {ours.gflops:8.1f} GFLOPS (no training)")

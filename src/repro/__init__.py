@@ -26,14 +26,14 @@ and execute it::
 
     from repro import Scenario, Session
 
-    result = Session(Scenario(configuration="acmlg_both", n=40000)).run()
+    result = Session(Scenario(scheduler="acmlg_both", n=40000)).run()
     print(f"{result.gflops:.1f} GFLOPS")
 
 and the same run under an injected mid-run GPU thermal throttle::
 
     from repro import FaultSpec, GpuThrottle
 
-    faulted = Scenario(configuration="acmlg_both", n=40000,
+    faulted = Scenario(scheduler="acmlg_both", n=40000,
                        faults=FaultSpec(throttles=(GpuThrottle(at=20.0,
                                         recovery_s=10.0),)))
     result = Session(faulted).run()

@@ -58,8 +58,8 @@ def fig11_adaptive_vs_qilin(
         n = problem_size_for(procs, per_element_n)
         ours, qilin = [], []
         for seed in seeds:
-            ours.append(run(Scenario(configuration="acmlg_both", n=n, cluster=cluster, grid=grid, seed=seed)).gflops)
-            qilin.append(run(Scenario(configuration="qilin", n=n, cluster=cluster, grid=grid, seed=seed)).gflops)
+            ours.append(run(Scenario(scheduler="acmlg_both", n=n, cluster=cluster, grid=grid, seed=seed)).gflops)
+            qilin.append(run(Scenario(scheduler="qilin", n=n, cluster=cluster, grid=grid, seed=seed)).gflops)
         ours_mean, qilin_mean = float(np.mean(ours)), float(np.mean(qilin))
         data.add_point("ours (adaptive)", procs, ours_mean)
         data.add_point("Qilin (trained)", procs, qilin_mean)

@@ -148,10 +148,18 @@ def build_parser() -> argparse.ArgumentParser:
         "after a crash via 'python -m repro.obs'",
     )
     parser.add_argument(
+        "--scheduler",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict fig9 to this scheduler (repeatable; registry names or "
+        "legacy configuration keys — see 'python -m repro.sched list')",
+    )
+    parser.add_argument(
         "--configurations",
         default=None,
         metavar="NAME[,NAME...]",
-        help="restrict fig9 to these configurations "
+        help="deprecated spelling of repeatable --scheduler "
         f"(valid: {', '.join(member.value for member in Configuration)})",
     )
     parser.add_argument(
@@ -177,16 +185,22 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"  {name}")
         return 0
 
-    configurations = None
+    requested = list(args.scheduler or [])
     if args.configurations is not None:
+        print(
+            "--configurations is deprecated; pass a repeatable --scheduler instead",
+            file=sys.stderr,
+        )
+        requested.extend(name.strip() for name in args.configurations.split(","))
+    configurations = None
+    if requested:
         if args.figure != "fig9":
-            print("--configurations only applies to fig9", file=sys.stderr)
+            print("--scheduler/--configurations only apply to fig9", file=sys.stderr)
             return 2
+        from repro.sched.builds import resolve_hpl_build
+
         try:
-            configurations = tuple(
-                Configuration.parse(name.strip())
-                for name in args.configurations.split(",")
-            )
+            configurations = tuple(resolve_hpl_build(name)[0] for name in requested)
         except ValueError as error:
             print(str(error), file=sys.stderr)
             return 2

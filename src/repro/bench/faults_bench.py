@@ -100,7 +100,7 @@ def throttle_recovery(
     The throttle fires at 35% of the clean run and needs the load shed below
     :data:`SHED_THRESHOLD` for ``RECOVERY_FRACTION`` of the run to lift.
     """
-    clean = run(Scenario(configuration=configuration, n=n, seed=seed, collect_steps=True))
+    clean = run(Scenario(scheduler=configuration, n=n, seed=seed, collect_steps=True))
     throttle = GpuThrottle(
         at=THROTTLE_AT_FRACTION * clean.elapsed,
         clock_factor=clock_factor,
@@ -109,7 +109,7 @@ def throttle_recovery(
     )
     faulted = run(
         Scenario(
-            configuration=configuration,
+            scheduler=configuration,
             n=n,
             seed=seed,
             collect_steps=True,
@@ -195,7 +195,7 @@ def faults_study(n: int = 60000, seed: int = 11) -> SeriesData:
         # rates (the cpu_only_dgemm fallback), not the crippled failsafe.
         dropped = run(
             Scenario(
-                configuration=Configuration.ACMLG_BOTH,
+                scheduler=Configuration.ACMLG_BOTH,
                 n=n // 2,
                 seed=seed,
                 variability=NO_VARIABILITY,
@@ -205,7 +205,7 @@ def faults_study(n: int = 60000, seed: int = 11) -> SeriesData:
         )
         cpu_only = run(
             Scenario(
-                configuration=Configuration.ACMLG_BOTH,
+                scheduler=Configuration.ACMLG_BOTH,
                 n=n // 2,
                 seed=seed,
                 variability=NO_VARIABILITY,

@@ -36,7 +36,7 @@ def _sweep_point(
     cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=cluster_seed)
     result = run(
         Scenario(
-            configuration="acmlg_both",
+            scheduler="acmlg_both",
             n=n,
             cluster=cluster,
             grid=ProcessGrid(*GRIDS[cabinets]),

@@ -36,7 +36,7 @@ def _fig9_point(
 ) -> float:
     """One Fig. 9 cell through the scalar oracle (the pool/cache worker)."""
     return run(
-        Scenario(configuration=configuration, n=n, variability=variability, seed=seed)
+        Scenario(scheduler=configuration, n=n, variability=variability, seed=seed)
     ).gflops
 
 
@@ -136,17 +136,24 @@ def fig9_linpack_sweep(
     seed: int = 7,
     configs: Sequence[str] = tuple(CONFIGURATIONS),
 ) -> SeriesData:
-    """Regenerate Fig. 9 plus the Section VI.B headline comparisons."""
+    """Regenerate Fig. 9 plus the Section VI.B headline comparisons.
+
+    *configs* accepts any HPL-capable scheduler spec — legacy configuration
+    keys (the paper's five) or canonical :mod:`repro.sched` registry names;
+    spellings are preserved, so cache keys and series labels are stable.
+    """
+    from repro.sched.builds import CONFIG_LABELS, resolve_hpl_build
+
     data = SeriesData(
         title="Fig 9 — Linpack performance by matrix size (GFLOPS, one compute element)",
         x_label="N",
         y_label="GFLOPS",
     )
-    configs = tuple(Configuration.parse(c) for c in configs)
+    configs = tuple(resolve_hpl_build(c)[0] for c in configs)
     values = _fig9_values(configs, sizes, variability, seed)
     for n in sizes:
         for config in configs:
-            data.add_point(config.label, n, values[config][n])
+            data.add_point(CONFIG_LABELS.get(config, config), n, values[config][n])
     top = max(sizes)
     if "acmlg_both" in configs:
         best = values["acmlg_both"][top]

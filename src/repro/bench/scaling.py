@@ -47,7 +47,7 @@ def _fig12_point(cabinets: int, n: int, seed: int, cluster_seed: int) -> float:
     cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=cluster_seed)
     result = run(
         Scenario(
-            configuration="acmlg_both", n=n, cluster=cluster,
+            scheduler="acmlg_both", n=n, cluster=cluster,
             grid=ProcessGrid(*GRIDS[cabinets]), seed=seed,
         )
     )
@@ -111,7 +111,7 @@ def fig13_progress(
     grid = ProcessGrid(*GRIDS[cabinets])
     result = run(
         Scenario(
-            configuration="acmlg_both", n=n, cluster=cluster, grid=grid,
+            scheduler="acmlg_both", n=n, cluster=cluster, grid=grid,
             seed=seed, collect_steps=True,
         )
     )

@@ -26,7 +26,7 @@ def _strong_scaling_point(cabinets: int, n: int, seed: int) -> float:
     cluster = Cluster(tianhe1_cluster(cabinets=cabinets), seed=2009)
     result = run(
         Scenario(
-            configuration="acmlg_both", n=n, cluster=cluster,
+            scheduler="acmlg_both", n=n, cluster=cluster,
             grid=ProcessGrid(*GRIDS[cabinets]), seed=seed,
         )
     )
@@ -67,7 +67,7 @@ def strong_scaling(
 def run_energy_ledger(seed: int = 7) -> SeriesData:
     """Energy of the full-system Linpack run vs the Qilin training bill."""
     cluster = Cluster(tianhe1_cluster(cabinets=80), seed=2009)
-    result = run(Scenario(configuration="acmlg_both", n=cal.FULL_SYSTEM_N, cluster=cluster, grid=ProcessGrid(64, 80), seed=seed))
+    result = run(Scenario(scheduler="acmlg_both", n=cal.FULL_SYSTEM_N, cluster=cluster, grid=ProcessGrid(64, 80), seed=seed))
     run_kwh = TIANHE1_POWER.energy_kwh(80, result.elapsed, clock_mhz=DOWNCLOCKED_MHZ)
     training_kwh = cal.QILIN_TRAINING_KWH_FULL_SYSTEM
     data = SeriesData(

@@ -37,7 +37,7 @@ def clock_sweep(
     best_stable = None
     for clock in clocks_mhz:
         cluster = Cluster(tianhe1_cluster(cabinets=cabinets, gpu_clock_mhz=clock), seed=2009)
-        result = run(Scenario(configuration="acmlg_both", n=n, cluster=cluster, grid=ProcessGrid(8, 8), seed=seed))
+        result = run(Scenario(scheduler="acmlg_both", n=n, cluster=cluster, grid=ProcessGrid(8, 8), seed=seed))
         kw = TIANHE1_POWER.system_kw(cabinets, clock_mhz=clock)
         green = TIANHE1_POWER.mflops_per_watt(result.gflops * 1e9, cabinets, clock_mhz=clock)
         data.add_point("TFLOPS", clock, result.tflops)
@@ -64,13 +64,13 @@ def endgame_fallback_study(
     grid = ProcessGrid(8, 8)
     base = run(
         Scenario(
-            configuration="acmlg_both", n=n, cluster=cluster, grid=grid,
+            scheduler="acmlg_both", n=n, cluster=cluster, grid=grid,
             seed=seed, collect_steps=True,
         )
     )
     opt = run(
         Scenario(
-            configuration="acmlg_both", n=n, cluster=cluster, grid=grid,
+            scheduler="acmlg_both", n=n, cluster=cluster, grid=grid,
             seed=seed, collect_steps=True,
             overrides={"endgame_cpu_fallback": True},
         )

@@ -1,96 +1,27 @@
-"""Saving and restoring the mapping databases.
+"""Deprecated location: persistence moved to :mod:`repro.sched.persistence`.
 
-Section IV.B: "The new mapping is the next initial mapping for a program,
-whose problem size is in the same range as the problem size of that
-program" — i.e. ``database_g``/``database_c`` outlive a single execution.
-This module serialises a mapper's databases to JSON so a later run (or a
-later process) starts from the learned mappings instead of the peak ratio,
-which is exactly how the paper's Fig. 8 "second run" numbers arise.
+This shim re-exports the registry-aware implementation so existing imports
+keep working.  New code should import from :mod:`repro.sched.persistence`.
 """
 
-from __future__ import annotations
+from repro.sched.persistence import (
+    FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
+    load_mapper,
+    load_named,
+    mapper_state,
+    restore_mapper,
+    restore_named,
+    save_mapper,
+)
 
-import json
-from pathlib import Path
-from typing import Union
-
-import numpy as np
-
-from repro.core.adaptive import AdaptiveMapper
-from repro.util.io import atomic_write_text
-from repro.util.validation import require
-
-FORMAT_VERSION = 1
-
-
-def mapper_state(mapper: AdaptiveMapper) -> dict:
-    """The mapper's databases as a JSON-serialisable dict."""
-    db_g = mapper.database_g
-    return {
-        "version": FORMAT_VERSION,
-        "database_g": {
-            "n_bins": db_g.n_bins,
-            "max_workload": db_g.max_workload,
-            "initial": db_g.initial,
-            "values": db_g.values().tolist(),
-            "written": db_g.written_mask().tolist(),
-        },
-        "database_c": {
-            "n_cores": mapper.database_c.n_cores,
-            "values": mapper.database_c.lookup().tolist(),
-        },
-        "min_gsplit": mapper.min_gsplit,
-        "min_csplit": mapper.min_csplit,
-        "updates": mapper.updates,
-    }
-
-
-def restore_mapper(state: dict, telemetry=None) -> AdaptiveMapper:
-    """Rebuild an :class:`AdaptiveMapper` from :func:`mapper_state` output.
-
-    Telemetry is deliberately *not* part of the persisted state: metrics
-    describe a live process, not the learned databases.  Pass *telemetry* to
-    start instrumenting the restored mapper; its counters/series begin at
-    whatever the supplied registry already holds (reset it explicitly with
-    ``telemetry.metrics.reset()`` for a clean slate) while ``updates`` —
-    part of the learned state — is restored from the file.  No silent
-    half-state either way.
-    """
-    require(state.get("version") == FORMAT_VERSION,
-            f"unsupported mapper state version {state.get('version')!r}")
-    g = state["database_g"]
-    c = state["database_c"]
-    mapper = AdaptiveMapper(
-        initial_gsplit=g["initial"],
-        n_cores=c["n_cores"],
-        max_workload=g["max_workload"],
-        n_bins=g["n_bins"],
-        min_gsplit=state["min_gsplit"],
-        min_csplit=state["min_csplit"],
-        telemetry=telemetry,
-    )
-    mapper.database_g._values = np.asarray(g["values"], dtype=float)
-    mapper.database_g._written = np.asarray(g["written"], dtype=bool)
-    require(mapper.database_g._values.shape == (g["n_bins"],), "corrupt database_g values")
-    mapper.database_c.store(np.asarray(c["values"], dtype=float))
-    mapper.database_c.history.clear()  # restoring is not an observed update
-    mapper.updates = int(state["updates"])
-    return mapper
-
-
-def save_mapper(mapper: AdaptiveMapper, path: Union[str, Path]) -> Path:
-    """Write the mapper's databases to *path* as JSON, atomically.
-
-    The payload goes through :func:`repro.util.io.atomic_write_text`
-    (same-directory temp + ``os.replace``), so a crash mid-write leaves
-    either the old file or the new one — never a truncated database.  The
-    learned ``database_g``/``database_c`` state is exactly what the paper's
-    "second run" numbers depend on; corrupting it would silently cost the
-    warm start.
-    """
-    return atomic_write_text(path, json.dumps(mapper_state(mapper), indent=2))
-
-
-def load_mapper(path: Union[str, Path], telemetry=None) -> AdaptiveMapper:
-    """Read databases previously written by :func:`save_mapper`."""
-    return restore_mapper(json.loads(Path(path).read_text()), telemetry=telemetry)
+__all__ = [
+    "FORMAT_VERSION",
+    "LEGACY_FORMAT_VERSION",
+    "load_mapper",
+    "load_named",
+    "mapper_state",
+    "restore_mapper",
+    "restore_named",
+    "save_mapper",
+]

@@ -1,116 +1,9 @@
-"""The two split databases of Section IV.B.
+"""Deprecated location: the split databases moved to :mod:`repro.sched.split`.
 
-``database_g`` holds one GSplit value per *workload bin*: "The database_g has
-J items.  Each item is a GSplit value for the problem size within a range,
-which is [(i-1)*W/J + 1, i*W/J] for item i.  The initial value of each item
-is the same, computed by P'_G / (P'_G + P'_C)."
-
-``database_c`` holds one CSplit value per CPU core, initialised to 1/n.
-
-Both databases record their write history, which is exactly the data Fig. 10
-plots (GPU split ratio vs. workload).
+This shim re-exports the public names so existing imports keep working;
+new code should import from :mod:`repro.sched`.
 """
 
-from __future__ import annotations
+from repro.sched.split import CoreSplitDatabase, SplitDatabase, SplitWrite
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.util.validation import require, require_fraction, require_positive
-
-
-@dataclass(frozen=True)
-class SplitWrite:
-    """One store into a split database (the history Fig. 10 is drawn from)."""
-
-    workload: float
-    value: float
-    bin_index: int
-
-
-class SplitDatabase:
-    """``database_g``: GSplit values indexed by workload bins."""
-
-    def __init__(self, n_bins: int, max_workload: float, initial: float) -> None:
-        require(n_bins >= 1, "n_bins must be >= 1")
-        require_positive(max_workload, "max_workload")
-        require_fraction(initial, "initial GSplit")
-        self.n_bins = n_bins
-        self.max_workload = float(max_workload)
-        self.initial = float(initial)
-        self._values = np.full(n_bins, float(initial))
-        self._written = np.zeros(n_bins, dtype=bool)
-        self.history: list[SplitWrite] = []
-
-    def bin_index(self, workload: float) -> int:
-        """The item covering *workload*; out-of-range workloads clamp.
-
-        Item i (0-based) covers ((i) * W/J, (i+1) * W/J] — the paper's
-        [(i-1)*W/J + 1, i*W/J] with 1-based i and integer flop counts.
-        """
-        require(workload >= 0, f"workload must be >= 0, got {workload}")
-        if workload <= 0:
-            return 0
-        width = self.max_workload / self.n_bins
-        return min(self.n_bins - 1, int(np.ceil(workload / width)) - 1)
-
-    def bin_range(self, index: int) -> tuple[float, float]:
-        """(low, high] workload bounds of item *index*."""
-        require(0 <= index < self.n_bins, f"bin index {index} out of range")
-        width = self.max_workload / self.n_bins
-        return index * width, (index + 1) * width
-
-    def lookup(self, workload: float) -> float:
-        """The GSplit to use for a DGEMM of *workload* flops."""
-        return float(self._values[self.bin_index(workload)])
-
-    def is_written(self, workload: float) -> bool:
-        """True if the bin covering *workload* has been updated since init."""
-        return bool(self._written[self.bin_index(workload)])
-
-    def store(self, workload: float, value: float) -> None:
-        """Write the newly computed mapping back (step 2 of Section IV.B)."""
-        require_fraction(value, "GSplit")
-        idx = self.bin_index(workload)
-        self._values[idx] = value
-        self._written[idx] = True
-        self.history.append(SplitWrite(workload, value, idx))
-
-    def values(self) -> np.ndarray:
-        """Current per-bin GSplit values (copy)."""
-        return self._values.copy()
-
-    def written_mask(self) -> np.ndarray:
-        """Which bins have been updated since initialisation."""
-        return self._written.copy()
-
-    def __len__(self) -> int:
-        return self.n_bins
-
-
-class CoreSplitDatabase:
-    """``database_c``: per-core CSplit values, initialised to 1/n."""
-
-    def __init__(self, n_cores: int) -> None:
-        require(n_cores >= 1, "n_cores must be >= 1")
-        self.n_cores = n_cores
-        self._values = np.full(n_cores, 1.0 / n_cores)
-        self.history: list[np.ndarray] = []
-
-    def lookup(self) -> np.ndarray:
-        """Current CSplit_i values (copy; always sums to 1)."""
-        return self._values.copy()
-
-    def store(self, values: "np.ndarray | list[float]") -> None:
-        """Write new per-core mappings; they must be a valid partition."""
-        arr = np.asarray(values, dtype=float)
-        require(arr.shape == (self.n_cores,), f"expected {self.n_cores} values, got {arr.shape}")
-        require(np.all(arr >= 0), f"CSplit values must be >= 0, got {arr}")
-        total = arr.sum()
-        require(abs(total - 1.0) < 1e-6, f"CSplit values must sum to 1, got {total}")
-        self._values = arr.copy()
-        self.history.append(arr.copy())
-
-    def __len__(self) -> int:
-        return self.n_cores
+__all__ = ["SplitDatabase", "CoreSplitDatabase", "SplitWrite"]

@@ -60,13 +60,14 @@ def batch_linpack(
     running the scalar driver per point (no telemetry, no faults, no step
     traces — exactly the sweep fast path).
     """
-    from repro.hpl.driver import Configuration, LinpackResult, _analytic_for
+    from repro.hpl.driver import LinpackResult, _analytic_for
+    from repro.sched.builds import resolve_hpl_build
 
-    configuration = Configuration.parse(configuration)
+    name, _ = resolve_hpl_build(configuration)
     stepper = _analytic_for(configuration, cluster, grid, seed, overrides)
     return [
         LinpackResult(
-            configuration=configuration.value,
+            configuration=name,
             n=result.n,
             grid=result.grid,
             gflops=result.gflops,

@@ -27,44 +27,14 @@ from repro.faults.spec import DegradedMode, FaultSpec
 from repro.hpl.analytic import AnalyticConfig, AnalyticHpl, AnalyticResult
 from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
-from repro.machine.presets import (
-    NB_CPU_ONLY,
-    NB_GPU,
-    STANDARD_CLOCK_MHZ,
-    tianhe1_cluster,
-)
+from repro.machine.presets import STANDARD_CLOCK_MHZ, tianhe1_cluster
 from repro.machine.variability import VariabilitySpec
-
-#: The five configurations of Fig. 8 / Fig. 9, by paper label.
-CONFIGURATIONS: dict[str, AnalyticConfig] = {
-    # Plain HPL 2.0 builds have no look-ahead; the framework configurations
-    # add it among the paper's "well-known optimizations".
-    "cpu": AnalyticConfig(
-        nb=NB_CPU_ONLY, mapping="cpu_only", pipelined=False, pinned=True, lookahead=False
-    ),
-    # The vendor-linked HPL moves HPL's *pageable* matrix memory on every
-    # call; 650 MB/s is the sustained pageable copy rate (the paper's §V.A
-    # illustration rounds it to 500).  The framework configurations manage
-    # their own pinned staging instead.
-    "acmlg": AnalyticConfig(
-        nb=NB_GPU, mapping="gpu_only", pipelined=False, pinned=False,
-        host_bw_override=650e6, lookahead=False,
-    ),
-    "acmlg_adaptive": AnalyticConfig(nb=NB_GPU, mapping="adaptive", pipelined=False, pinned=True),
-    "acmlg_pipe": AnalyticConfig(nb=NB_GPU, mapping="gpu_only", pipelined=True, pinned=True),
-    "acmlg_both": AnalyticConfig(nb=NB_GPU, mapping="adaptive", pipelined=True, pinned=True),
-}
-
-#: Paper-facing display names (legacy string view; prefer ``Configuration.label``).
-CONFIG_LABELS = {
-    "cpu": "CPU",
-    "acmlg": "ACMLG",
-    "acmlg_adaptive": "ACMLG+adaptive",
-    "acmlg_pipe": "ACMLG+pipe",
-    "acmlg_both": "ACMLG+both",
-    "qilin": "Qilin",
-    "static_peak": "Static",
-}
+from repro.sched.builds import (  # noqa: F401  (re-exported legacy home)
+    CONFIG_LABELS,
+    CONFIGURATIONS,
+    HPL_BUILDS,
+    resolve_hpl_build,
+)
 
 
 class Configuration(str, Enum):
@@ -119,13 +89,7 @@ class Configuration(str, Enum):
 
 
 _ANALYTIC: dict[Configuration, AnalyticConfig] = {
-    Configuration.CPU: CONFIGURATIONS["cpu"],
-    Configuration.ACMLG: CONFIGURATIONS["acmlg"],
-    Configuration.ACMLG_ADAPTIVE: CONFIGURATIONS["acmlg_adaptive"],
-    Configuration.ACMLG_PIPE: CONFIGURATIONS["acmlg_pipe"],
-    Configuration.ACMLG_BOTH: CONFIGURATIONS["acmlg_both"],
-    Configuration.QILIN: replace(CONFIGURATIONS["acmlg_both"], mapping="qilin"),
-    Configuration.STATIC_PEAK: replace(CONFIGURATIONS["acmlg_both"], mapping="static"),
+    member: HPL_BUILDS[member.value] for member in Configuration
 }
 
 
@@ -183,14 +147,15 @@ class LinpackResult:
 
 
 def _analytic_for(
-    configuration: "str | Configuration",
+    scheduler: "str | Configuration",
     cluster: Cluster,
     grid: ProcessGrid,
     seed: int,
     overrides: Optional[dict] = None,
     faults: Optional[FaultSpec] = None,
 ) -> AnalyticHpl:
-    config = replace(Configuration.parse(configuration).analytic, seed=seed)
+    _, build = resolve_hpl_build(scheduler)
+    config = replace(build, seed=seed)
     if overrides:
         config = replace(config, **validate_overrides(overrides))
     return AnalyticHpl(
@@ -204,7 +169,7 @@ def _analytic_for(
 
 
 def _run_linpack(
-    configuration: "str | Configuration",
+    scheduler: "str | Configuration",
     n: int,
     cluster: Cluster,
     grid: ProcessGrid,
@@ -217,24 +182,26 @@ def _run_linpack(
 ) -> LinpackResult:
     """The driver's run implementation (see :class:`repro.session.Session`).
 
-    *progress* is called with each panel's
-    :class:`~repro.hpl.analytic.StepTrace`.  *telemetry* records per-panel
-    spans and running-GFLOPS series; when None, the ambient
-    :func:`repro.obs.current` telemetry (installed by e.g. ``python -m
-    repro.bench ... --trace-out``) is used, so benchmark figures emit
+    *scheduler* is any HPL-capable scheduler spec — a registry name, a
+    legacy :class:`Configuration` key, or a
+    :class:`~repro.sched.base.Scheduler` instance.  *progress* is called
+    with each panel's :class:`~repro.hpl.analytic.StepTrace`.  *telemetry*
+    records per-panel spans and running-GFLOPS series; when None, the
+    ambient :func:`repro.obs.current` telemetry (installed by e.g. ``python
+    -m repro.bench ... --trace-out``) is used, so benchmark figures emit
     traces without any per-figure wiring.  Neither hook affects results.
     """
-    configuration = Configuration.parse(configuration)
+    name, _ = resolve_hpl_build(scheduler)
     if telemetry is None:
         telemetry = obs.current()
-    stepper = _analytic_for(configuration, cluster, grid, seed, overrides, faults)
+    stepper = _analytic_for(scheduler, cluster, grid, seed, overrides, faults)
     result = stepper.run(n, collect_steps=collect_steps, progress=progress, telemetry=telemetry)
     if telemetry is not None:
         telemetry.metrics.series(
             "hpl.final_gflops", "final GFLOPS per completed run"
-        ).append(n, result.gflops, configuration=configuration.value)
+        ).append(n, result.gflops, configuration=name)
     return LinpackResult(
-        configuration=configuration.value,
+        configuration=name,
         n=n,
         grid=(grid.nprow, grid.npcol),
         gflops=result.gflops,

@@ -46,6 +46,10 @@ TRACKED_METRICS: dict[str, str] = {
     # hovers around zero at quick sizes, where a relative comparison is
     # pure noise (the absolute gate lives in bench_perf --check).
     "telemetry_overhead.streaming_seconds": "lower",
+    # From bench_tournament.py: the fraction of tournament cells the paper's
+    # adaptive scheduler wins; a drop means a scheduler-zoo change shifted
+    # the competitive landscape (bench_perf entries simply lack the key).
+    "tournament.adaptive_win_rate": "higher",
 }
 
 #: Default regression threshold: worse by more than this fraction flags.

@@ -1,0 +1,90 @@
+"""Pluggable scheduling: the registry, the scheduler zoo, and task DAGs.
+
+The subsystem has three layers:
+
+* **Protocol + registry** — :class:`~repro.sched.base.Scheduler`,
+  :func:`register`, :func:`create`, :func:`names`, plus the ambient
+  :func:`use`/:func:`current` context mirroring :mod:`repro.exec.policy`
+  and :mod:`repro.obs`.
+* **The zoo** — the paper's mappers (``adaptive``, ``static``, ``qilin``,
+  ``gpu_only``, ``cpu_only``) in :mod:`repro.sched.mappers`, and the
+  PAPERS.md extensions ``heft``, ``work_stealing`` (XKaapi-style), and
+  ``hesp`` (partition search).
+* **Task-DAG substrate** — :mod:`repro.sched.dag`,
+  :mod:`repro.sched.devices`, :mod:`repro.sched.workloads`, and the
+  event-driven executor :mod:`repro.sched.simulate`, raced head-to-head by
+  ``benchmarks/bench_tournament.py``.
+
+``python -m repro.sched list`` prints the registry.  Attribute access is
+lazy (PEP 562) so importing :mod:`repro.sched` stays cheap and free of
+import cycles; the legacy homes under :mod:`repro.core` re-export from
+here.
+"""
+
+from __future__ import annotations
+
+_LAZY = {
+    # base / registry
+    "Scheduler": ("repro.sched.base", "Scheduler"),
+    "TaskRecord": ("repro.sched.base", "TaskRecord"),
+    "SchedulerInfo": ("repro.sched.registry", "SchedulerInfo"),
+    "DEFAULT_SCHEDULER": ("repro.sched.registry", "DEFAULT_SCHEDULER"),
+    "register": ("repro.sched.registry", "register"),
+    "names": ("repro.sched.registry", "names"),
+    "aliases": ("repro.sched.registry", "aliases"),
+    "canonical_name": ("repro.sched.registry", "canonical_name"),
+    "get": ("repro.sched.registry", "get"),
+    "create": ("repro.sched.registry", "create"),
+    "resolve_name": ("repro.sched.registry", "resolve_name"),
+    "describe": ("repro.sched.registry", "describe"),
+    "use": ("repro.sched.registry", "use"),
+    "current": ("repro.sched.registry", "current"),
+    # HPL builds
+    "CONFIGURATIONS": ("repro.sched.builds", "CONFIGURATIONS"),
+    "CONFIG_LABELS": ("repro.sched.builds", "CONFIG_LABELS"),
+    "HPL_BUILDS": ("repro.sched.builds", "HPL_BUILDS"),
+    "hpl_build": ("repro.sched.builds", "hpl_build"),
+    "resolve_hpl_build": ("repro.sched.builds", "resolve_hpl_build"),
+    # DAG substrate
+    "DagTask": ("repro.sched.dag", "DagTask"),
+    "TaskGraph": ("repro.sched.dag", "TaskGraph"),
+    "Device": ("repro.sched.devices", "Device"),
+    "DeviceSet": ("repro.sched.devices", "DeviceSet"),
+    "Workload": ("repro.sched.workloads", "Workload"),
+    "standard_workloads": ("repro.sched.workloads", "standard_workloads"),
+    "DagResult": ("repro.sched.simulate", "DagResult"),
+    "SimState": ("repro.sched.simulate", "SimState"),
+    "execute": ("repro.sched.simulate", "execute"),
+    # split machinery (moved from repro.core)
+    "AdaptiveMapper": ("repro.sched.adaptive", "AdaptiveMapper"),
+    "Observation": ("repro.sched.adaptive", "Observation"),
+    "StaticMapper": ("repro.sched.static_map", "StaticMapper"),
+    "QilinMapper": ("repro.sched.qilin", "QilinMapper"),
+    "SplitDatabase": ("repro.sched.split", "SplitDatabase"),
+    "CoreSplitDatabase": ("repro.sched.split", "CoreSplitDatabase"),
+    # persistence
+    "save_mapper": ("repro.sched.persistence", "save_mapper"),
+    "load_mapper": ("repro.sched.persistence", "load_mapper"),
+    "load_named": ("repro.sched.persistence", "load_named"),
+    "mapper_state": ("repro.sched.persistence", "mapper_state"),
+    "restore_mapper": ("repro.sched.persistence", "restore_mapper"),
+    "restore_named": ("repro.sched.persistence", "restore_named"),
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.sched' has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY))

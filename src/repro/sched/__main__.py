@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.sched``."""
+
+import sys
+
+from repro.sched.cli import main
+
+sys.exit(main())

@@ -1,0 +1,257 @@
+"""Two-level adaptive task mapping (Section IV).
+
+Level 1 (CPU vs GPU): look up GSplit in ``database_g`` by the DGEMM's flop
+count; after execution compute the *measured* rates ``P_G = W_G / T_G`` and
+``P_C = W_C / T_C`` (T_C is the slowest core — "the end time is the last who
+finishes") and store ``GSplit' = P_G / (P_G + P_C)`` back into the bin.
+
+Level 2 (between CPU cores): look up CSplit_i in ``database_c``; after
+execution compute ``P_Ci = W_C * CSplit_i / T_Ci`` per core and store
+``CSplit_i' = P_Ci / sum_j P_Cj``.
+
+The run-time overhead of an update is "5 system calls to get time, 8
+divisions, 3 database stores and several floating-point add operations" —
+modeled explicitly so benchmarks can report it against DGEMM time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.sched.split import CoreSplitDatabase, SplitDatabase
+from repro.obs.telemetry import current as _ambient_telemetry
+from repro.util.validation import require, require_fraction, require_nonnegative
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What the framework measures about one completed hybrid DGEMM.
+
+    ``core_workloads[i]`` / ``core_times[i]`` describe compute core *i*'s
+    share of the CPU portion; all quantities are host-visible (GPU time
+    includes transfers, exactly as a host-side timer would see it).
+    """
+
+    workload: float  # whole-call W = 2*M*N*K
+    gpu_workload: float
+    gpu_time: float
+    core_workloads: tuple[float, ...]
+    core_times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.workload, "workload")
+        require_nonnegative(self.gpu_workload, "gpu_workload")
+        require_nonnegative(self.gpu_time, "gpu_time")
+        require(
+            len(self.core_workloads) == len(self.core_times),
+            "core_workloads and core_times must have equal length",
+        )
+
+    @property
+    def cpu_workload(self) -> float:
+        return float(sum(self.core_workloads))
+
+    @property
+    def cpu_time(self) -> float:
+        """The CPU portion's completion time: the slowest core."""
+        return float(max(self.core_times)) if self.core_times else 0.0
+
+
+#: Cost model of one adaptive update (Section IV.C's overhead inventory).
+TIME_SYSCALL_S = 1e-7
+FLOP_OP_S = 2e-9
+DB_STORE_S = 5e-8
+UPDATE_SYSCALLS = 5
+UPDATE_DIVISIONS = 8
+UPDATE_STORES = 3
+UPDATE_ADDS = 6
+
+
+def update_overhead_seconds() -> float:
+    """Modeled wall time of one two-level mapping update (~1 microsecond)."""
+    return (
+        UPDATE_SYSCALLS * TIME_SYSCALL_S
+        + (UPDATE_DIVISIONS + UPDATE_ADDS) * FLOP_OP_S
+        + UPDATE_STORES * DB_STORE_S
+    )
+
+
+class AdaptiveMapper:
+    """The paper's two-level adaptive mapper.
+
+    ``min_gsplit`` guards against permanent GPU starvation: the raw update
+    rule maps a zero-work GPU to ``P_G = 0`` forever, so a bin that once
+    reaches 0 could never recover if conditions changed.  The floor is tiny
+    and configurable (set it to 0.0 for the literal paper rule).
+    """
+
+    name = "adaptive"
+    adapts_at_runtime = True
+
+    def __init__(
+        self,
+        initial_gsplit: float,
+        n_cores: int,
+        max_workload: float,
+        n_bins: int = 64,
+        min_gsplit: float = 0.01,
+        min_csplit: float = 0.02,
+        telemetry=None,
+    ) -> None:
+        require_fraction(initial_gsplit, "initial_gsplit")
+        require_fraction(min_gsplit, "min_gsplit")
+        require_fraction(min_csplit, "min_csplit")
+        require(min_csplit * n_cores < 1.0, "min_csplit too large for the core count")
+        self.database_g = SplitDatabase(n_bins, max_workload, initial_gsplit)
+        self.database_c = CoreSplitDatabase(n_cores)
+        self.min_gsplit = min_gsplit
+        self.min_csplit = min_csplit
+        self.updates = 0
+        self.gpu_lost = False
+        #: Optional :class:`repro.obs.Telemetry`; defaults to the ambient
+        #: :func:`repro.obs.current` one (None outside an ``obs.use`` block).
+        #: All hooks are guarded by ``is not None`` and never touch timing or
+        #: RNG state, so splits are bit-identical with telemetry on, off, or
+        #: attached mid-run.
+        self.telemetry = telemetry if telemetry is not None else _ambient_telemetry()
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Start (or stop, with None) publishing metrics for this mapper.
+
+        Metric state is *not* replayed: counters and series describe what was
+        observed while attached.  A restored mapper (see
+        :mod:`repro.sched.persistence`) therefore starts its metrics from
+        whatever the supplied registry holds — reset it explicitly via
+        ``telemetry.metrics.reset()`` for a clean slate.
+        """
+        self.telemetry = telemetry
+
+    # -- graceful degradation -----------------------------------------------------
+    def notify_gpu_lost(self) -> None:
+        """The GPU died: clamp GSplit to 0 until (if ever) it comes back.
+
+        The split databases are left untouched — on
+        :meth:`notify_gpu_restored` the mapper resumes from its learned
+        state and re-converges from there, exactly as the paper's framework
+        would after a driver restart.
+        """
+        self.gpu_lost = True
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "adaptive.gpu_loss_events", "GPU losses the mapper reacted to"
+            ).inc()
+
+    def notify_gpu_restored(self) -> None:
+        """The GPU is back: resume the learned split databases."""
+        self.gpu_lost = False
+
+    # -- step 1: obtain the mappings -------------------------------------------
+    def gsplit(self, workload: float) -> float:
+        """Level-1 lookup: the fraction of *workload* to run on the GPU."""
+        if self.gpu_lost:
+            return 0.0
+        if self.telemetry is not None:
+            kind = "hit" if self.database_g.is_written(workload) else "miss"
+            self.telemetry.metrics.counter(
+                "adaptive.bin_lookups", "database_g lookups by bin freshness"
+            ).inc(result=kind, bin=self.database_g.bin_index(workload))
+        return self.database_g.lookup(workload)
+
+    def csplits(self) -> np.ndarray:
+        """Level-2 lookup: per-compute-core fractions of the CPU portion."""
+        return self.database_c.lookup()
+
+    # -- step 2: measure and write back --------------------------------------------
+    def observe(self, obs: Observation) -> None:
+        """Fold a completed execution's measurements into both databases."""
+        if not self.gpu_lost:
+            # A dead GPU measures P_G = 0; folding that in would overwrite
+            # the learned splits the mapper resumes from on restoration.
+            self._update_level1(obs)
+        self._update_level2(obs)
+        self.updates += 1
+        if self.telemetry is not None:
+            self._publish(obs)
+
+    def _publish(self, obs: Observation) -> None:
+        """Record one update's outcome (time series keyed by update index)."""
+        metrics = self.telemetry.metrics
+        metrics.counter("adaptive.updates", "two-level mapping updates").inc()
+        metrics.counter(
+            "adaptive.overhead_seconds", "modeled update overhead (Section IV.C)"
+        ).inc(update_overhead_seconds())
+        metrics.series("adaptive.gsplit", "stored GSplit per update").append(
+            self.updates, self.database_g.lookup(obs.workload)
+        )
+        for i, csplit in enumerate(self.database_c.lookup()):
+            metrics.series("adaptive.csplit", "stored CSplit_i per update").append(
+                self.updates, float(csplit), core=i
+            )
+
+    def _update_level1(self, obs: Observation) -> None:
+        p_g = obs.gpu_workload / obs.gpu_time if obs.gpu_time > 0 else 0.0
+        cpu_time = obs.cpu_time
+        p_c = obs.cpu_workload / cpu_time if cpu_time > 0 else 0.0
+        if p_g + p_c <= 0.0:
+            return  # nothing measurable this round
+        new = p_g / (p_g + p_c)
+        new = min(1.0, max(self.min_gsplit, new))
+        self.database_g.store(obs.workload, new)
+
+    def _update_level2(self, obs: Observation) -> None:
+        if not obs.core_workloads or obs.cpu_workload <= 0.0:
+            return
+        rates = []
+        for w_i, t_i in zip(obs.core_workloads, obs.core_times):
+            if w_i > 0 and t_i > 0:
+                rates.append(w_i / t_i)
+            else:
+                rates.append(0.0)
+        total = sum(rates)
+        if total <= 0.0 or any(r == 0.0 for r in rates):
+            return  # a core measured nothing; keep the previous mapping
+        new = floor_normalize(np.array(rates) / total, self.min_csplit)
+        self.database_c.store(new)
+
+    # -- bookkeeping ------------------------------------------------------------------
+    @property
+    def total_overhead_seconds(self) -> float:
+        """Cumulative modeled mapping overhead over all updates."""
+        return self.updates * update_overhead_seconds()
+
+
+def floor_normalize(fractions: np.ndarray, floor: float) -> np.ndarray:
+    """Normalise *fractions* to sum 1 while keeping each at least *floor*.
+
+    Entries below the floor are pinned to it; the remainder is distributed
+    among the rest proportionally (iterating in case that pushes more
+    entries under).  Used by both split levels to prevent a device or core
+    that once measured slow from being starved forever.
+    """
+    new = np.asarray(fractions, dtype=float)
+    new = new / new.sum()
+    if floor <= 0.0:
+        return new
+    require(floor * len(new) <= 1.0 + 1e-12, "floor too large for the entry count")
+    low = new < floor
+    for _ in range(len(new)):
+        if not low.any() or low.all():
+            break
+        remainder = 1.0 - floor * low.sum()
+        scaled = np.where(low, floor, new * remainder / new[~low].sum())
+        newly_low = (~low) & (scaled < floor - 1e-15)
+        new = scaled
+        if not newly_low.any():
+            break
+        low = low | newly_low
+    return new / new.sum()
+
+
+def converged_gsplit(history: Sequence[float], tail: int = 5) -> float:
+    """Mean of the last *tail* stored splits — a convergence summary for tests."""
+    require(len(history) >= 1, "history is empty")
+    values = list(history)[-tail:]
+    return float(np.mean(values))

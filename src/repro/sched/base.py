@@ -1,0 +1,120 @@
+"""The pluggable scheduler protocol.
+
+A :class:`Scheduler` decides where work runs on a heterogeneous device set.
+Two capabilities exist, and an implementation may have either or both:
+
+* **HPL** (``supports_hpl``) — the scheduler maps the Linpack trailing
+  update through the analytic stepper / DES machinery.  Its
+  :meth:`Scheduler.hpl_config` returns the :class:`~repro.hpl.analytic.AnalyticConfig`
+  build it runs, and :meth:`Scheduler.make_mapper` constructs the run-time
+  mapper object (the ``gsplit``/``csplits``/``observe`` interface the hybrid
+  DGEMM executor drives).
+* **task DAG** (``supports_dag``) — the scheduler places tasks of a general
+  :class:`~repro.sched.dag.TaskGraph` onto a :class:`~repro.sched.devices.DeviceSet`
+  through the event-driven executor in :mod:`repro.sched.simulate`:
+  :meth:`prepare` sees the whole graph up front, :meth:`next_assignment` is
+  called whenever the executor can dispatch, and :meth:`observe` feeds back
+  each completed task's measured timing.
+
+Schedulers are registered by name in :mod:`repro.sched.registry`; the
+ambient :func:`repro.sched.use` / :func:`repro.sched.current` context
+mirrors :mod:`repro.exec.policy` and :mod:`repro.obs`.  See
+``docs/scheduling.md`` for a walkthrough of adding one.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hpl.analytic import AnalyticConfig
+    from repro.sched.dag import TaskGraph
+    from repro.sched.devices import DeviceSet
+    from repro.sched.simulate import SimState
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One completed DAG task, as reported back to :meth:`Scheduler.observe`."""
+
+    task_id: str
+    kind: str
+    flops: float
+    device_index: int
+    device_kind: str
+    start: float
+    finish: float
+    comm_time: float
+
+    @property
+    def exec_time(self) -> float:
+        return self.finish - self.start - self.comm_time
+
+
+class Scheduler(abc.ABC):
+    """Base class for pluggable schedulers (HPL and/or task-DAG capable).
+
+    Subclasses set the class attributes and implement the methods of the
+    capabilities they claim.  Instances are cheap and stateful per run —
+    the registry hands out a fresh instance per :func:`repro.sched.create`
+    call, so learned state never leaks between experiments.
+    """
+
+    #: Registry name (stable; persisted by :mod:`repro.sched.persistence`).
+    name: str = ""
+    #: One-line description shown by ``python -m repro.sched list``.
+    description: str = ""
+    #: Does the mapping react to run-time measurements?
+    adapts_at_runtime: bool = False
+    #: ``"paper"`` for the source paper's schedulers, ``"extension"`` for
+    #: the PAPERS.md reproductions (HEFT, XKaapi, HeSP).
+    source: str = "paper"
+    supports_hpl: bool = False
+    supports_dag: bool = False
+
+    # -- HPL capability ---------------------------------------------------
+    def hpl_config(self) -> "Optional[AnalyticConfig]":
+        """The analytic-stepper build this scheduler runs, or None."""
+        return None
+
+    def make_mapper(self, element, n: int, nb: int = 1216, **kw):
+        """Construct the run-time mapper driving the DES hybrid executor."""
+        raise NotImplementedError(f"{self.name} has no HPL mapper")
+
+    # -- task-DAG capability ----------------------------------------------
+    def prepare(self, graph: "TaskGraph", devices: "DeviceSet") -> None:
+        """Inspect the whole graph/device set before execution starts."""
+
+    def next_assignment(self, state: "SimState") -> Optional[tuple[str, int]]:
+        """The next ``(task_id, device_index)`` to dispatch, or None to wait.
+
+        ``state.ready`` lists dispatchable task ids (deterministic order);
+        ``state.devices`` the currently *alive* devices.  Returning None
+        tells the executor to advance time to the next task completion.
+        """
+        raise NotImplementedError(f"{self.name} does not schedule task DAGs")
+
+    def observe(self, record: TaskRecord) -> None:
+        """Feed back one completed task's measured timing."""
+
+    def choose_variant(self, workload, devices: "DeviceSet"):
+        """Pick a partitioning variant of *workload* (HeSP-style), or None.
+
+        Schedulers that co-optimise partition size override this to return
+        one of ``workload.variants(devices)``; everyone else runs the
+        workload's default graph.
+        """
+        return None
+
+    # -- persistence -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serialisable learned state (see :mod:`repro.sched.persistence`)."""
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} name={self.name!r}>"

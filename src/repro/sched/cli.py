@@ -1,0 +1,62 @@
+"""``python -m repro.sched`` — inspect the scheduler registry.
+
+``list`` prints one row per registered scheduler with its capabilities and
+legacy aliases; ``--json`` emits the same rows machine-readably (the CI
+scheduler lane asserts on it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.sched import registry
+
+
+def _render_table(rows: list[dict]) -> str:
+    headers = ("name", "source", "hpl", "dag", "adaptive", "description")
+    table = [
+        (
+            row["name"],
+            row["source"],
+            "yes" if row["hpl"] else "-",
+            "yes" if row["dag"] else "-",
+            "yes" if row["adaptive"] else "-",
+            row["description"]
+            + (f"  (aliases: {', '.join(row['aliases'])})" if row["aliases"] else ""),
+        )
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in table)) for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend("  ".join(r[i].ljust(widths[i]) for i in range(len(r))) for r in table)
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sched",
+        description="Inspect the pluggable scheduler registry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    list_cmd = sub.add_parser("list", help="list registered schedulers")
+    list_cmd.add_argument("--json", action="store_true", help="emit JSON rows")
+    args = parser.parse_args(argv)
+
+    rows = registry.describe()
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(_render_table(rows))
+        print(f"\n{len(rows)} schedulers; default: {registry.DEFAULT_SCHEDULER!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

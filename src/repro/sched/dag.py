@@ -1,0 +1,103 @@
+"""General task graphs — the non-HPL workload substrate.
+
+A :class:`TaskGraph` is a validated DAG of :class:`DagTask` nodes.  Tasks
+carry a flop count and an output size in bytes; an edge ``(u, v)`` means
+*v* consumes *u*'s output, so running them on different memory domains
+costs a PCIe transfer (see :class:`~repro.sched.devices.DeviceSet`).
+
+Graphs are deliberately plain data: generators live in
+:mod:`repro.sched.workloads`, placement in the schedulers, and timing in
+:mod:`repro.sched.simulate` — the separation HeSP-style partition search
+relies on (one workload, many graph variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class DagTask:
+    """One task: a kernel invocation with known cost and output size."""
+
+    id: str
+    kind: str  # kernel family, e.g. "potrf", "gemm", "conv"
+    flops: float
+    out_bytes: float
+    deps: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        require(self.flops >= 0, f"task {self.id}: flops must be >= 0")
+        require(self.out_bytes >= 0, f"task {self.id}: out_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """A validated DAG of tasks, with cached adjacency."""
+
+    name: str
+    tasks: tuple[DagTask, ...]
+    #: Free-form description of the variant (e.g. tile size) for reports.
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        ids = [t.id for t in self.tasks]
+        require(len(ids) == len(set(ids)), f"graph {self.name}: duplicate task ids")
+        known = set(ids)
+        for t in self.tasks:
+            for dep in t.deps:
+                require(
+                    dep in known,
+                    f"graph {self.name}: task {t.id} depends on unknown {dep!r}",
+                )
+        object.__setattr__(self, "_by_id", {t.id: t for t in self.tasks})
+        succ: dict[str, list[str]] = {t.id: [] for t in self.tasks}
+        for t in self.tasks:
+            for dep in t.deps:
+                succ[dep].append(t.id)
+        object.__setattr__(self, "_succ", {k: tuple(v) for k, v in succ.items()})
+        self.topo_order()  # raises on cycles
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task(self, task_id: str) -> DagTask:
+        return self._by_id[task_id]
+
+    def successors(self, task_id: str) -> tuple[str, ...]:
+        return self._succ[task_id]
+
+    def predecessors(self, task_id: str) -> tuple[str, ...]:
+        return self._by_id[task_id].deps
+
+    def topo_order(self) -> tuple[str, ...]:
+        """A deterministic topological order (Kahn, insertion-stable)."""
+        indeg = {t.id: len(t.deps) for t in self.tasks}
+        frontier = [t.id for t in self.tasks if indeg[t.id] == 0]
+        order: list[str] = []
+        while frontier:
+            tid = frontier.pop(0)
+            order.append(tid)
+            for s in self._succ[tid]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    frontier.append(s)
+        require(len(order) == len(self.tasks), f"graph {self.name}: cycle detected")
+        return tuple(order)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(t.flops for t in self.tasks)
+
+    @property
+    def critical_path_flops(self) -> float:
+        """Longest dependency chain, in flops (a lower bound on any schedule)."""
+        longest: dict[str, float] = {}
+        for tid in self.topo_order():
+            t = self._by_id[tid]
+            longest[tid] = t.flops + max(
+                (longest[d] for d in t.deps), default=0.0
+            )
+        return max(longest.values(), default=0.0)

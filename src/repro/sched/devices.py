@@ -1,0 +1,168 @@
+"""The device-set view of a compute element for task-DAG scheduling.
+
+A :class:`DeviceSet` flattens an :class:`~repro.machine.specs.ElementSpec`
+into schedulable devices: one per compute CPU core (the transfer core stays
+dedicated to staging, exactly as in Section IV.C) and one per GPU chip.
+Execution-time models reuse the machine model's calibrated curves — a CPU
+core sustains ``core_peak * dgemm_efficiency``; the GPU follows the
+saturating workload-efficiency curve ``eff_max * W / (W + w_half)`` plus the
+CAL kernel-launch overhead, which is what makes small tasks CPU-friendly and
+large tasks GPU-friendly (the tension every scheduler here negotiates).
+
+Data movement is modeled as memory *domains*: all CPU cores share ``host``;
+each GPU owns its local memory.  Crossing domains costs PCIe latency plus
+bytes over the pinned-path bandwidth.
+
+``GpuDropout`` faults from :mod:`repro.faults.spec` apply here too:
+:meth:`DeviceSet.from_element` drops GPUs whose dropout fires at or before
+time zero, and the executor kills them mid-run otherwise — a scheduler must
+never place work on a dead device (asserted by the property suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.machine.presets import tianhe1_element
+from repro.machine.specs import ElementSpec
+from repro.util.validation import require, require_positive
+
+#: Fixed per-task dispatch overhead on a CPU core (thread wake + BLAS setup).
+CPU_TASK_OVERHEAD_S = 5e-6
+
+
+@dataclass(frozen=True)
+class Device:
+    """One schedulable execution resource."""
+
+    index: int
+    kind: str  # "cpu" | "gpu"
+    name: str
+    memory_domain: str  # "host" or "gpu<N>"
+    peak_flops: float
+    #: CPU: sustained efficiency; GPU: eff_max of the saturating curve.
+    efficiency: float
+    #: GPU only: workload at which efficiency reaches eff_max/2.
+    w_half: float = 0.0
+    #: Fixed per-task overhead (kernel launch / dispatch), seconds.
+    task_overhead_s: float = 0.0
+    #: Dies at this virtual time (math.inf = never) — GpuDropout faults.
+    alive_until: float = math.inf
+
+    def exec_time(self, flops: float) -> float:
+        """Modeled execution time of a *flops*-sized task on this device."""
+        require(flops >= 0, "flops must be >= 0")
+        if flops == 0:
+            return self.task_overhead_s
+        if self.kind == "gpu":
+            eff = self.efficiency * flops / (flops + self.w_half)
+            return self.task_overhead_s + flops / (self.peak_flops * eff)
+        return self.task_overhead_s + flops / (self.peak_flops * self.efficiency)
+
+    def rate(self, flops: float) -> float:
+        """Effective flop rate for a *flops*-sized task (overhead included)."""
+        t = self.exec_time(flops)
+        return flops / t if t > 0 else 0.0
+
+    def alive_at(self, time: float) -> bool:
+        return time < self.alive_until
+
+
+@dataclass(frozen=True)
+class TransferPath:
+    """Cost model of crossing between two memory domains (the PCIe hop)."""
+
+    bandwidth: float  # bytes/s (effective pinned-path rate)
+    latency: float  # seconds per transfer
+
+    def time(self, nbytes: float) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class DeviceSet:
+    """The devices of one machine plus its inter-domain transfer model."""
+
+    name: str
+    devices: tuple[Device, ...]
+    transfer: TransferPath
+
+    def __post_init__(self) -> None:
+        require(len(self.devices) >= 1, "a device set needs at least one device")
+        for i, d in enumerate(self.devices):
+            require(d.index == i, f"device {d.name} index {d.index} != position {i}")
+
+    @classmethod
+    def from_element(
+        cls,
+        spec: Optional[ElementSpec] = None,
+        name: str = "element",
+        faults=None,
+    ) -> "DeviceSet":
+        """Flatten *spec* (default: the TianHe-1 E5540 element) into devices.
+
+        *faults* (a :class:`~repro.faults.spec.FaultSpec`) threads GPU
+        dropouts through: a dropout at t <= 0 removes the GPU entirely, a
+        later one sets its ``alive_until``.
+        """
+        spec = spec if spec is not None else tianhe1_element()
+        gpu_dies_at = math.inf
+        if faults is not None:
+            for dropout in getattr(faults, "dropouts", ()) or ():
+                gpu_dies_at = min(gpu_dies_at, dropout.at)
+        devices: list[Device] = []
+        for core in spec.compute_core_indices:
+            devices.append(
+                Device(
+                    index=len(devices),
+                    kind="cpu",
+                    name=f"cpu{core}",
+                    memory_domain="host",
+                    peak_flops=spec.cpu.core_peak_flops,
+                    efficiency=spec.cpu.dgemm_efficiency,
+                    task_overhead_s=CPU_TASK_OVERHEAD_S,
+                )
+            )
+        if gpu_dies_at > 0:
+            devices.append(
+                Device(
+                    index=len(devices),
+                    kind="gpu",
+                    name=spec.gpu.name.lower(),
+                    memory_domain="gpu0",
+                    peak_flops=spec.gpu.peak_flops(spec.gpu_clock_mhz),
+                    efficiency=spec.gpu.eff_max,
+                    w_half=spec.gpu.w_half,
+                    task_overhead_s=spec.gpu.kernel_launch_overhead,
+                    alive_until=gpu_dies_at,
+                )
+            )
+        return cls(
+            name=name,
+            devices=tuple(devices),
+            transfer=TransferPath(
+                bandwidth=spec.pcie.pinned_bw, latency=spec.pcie.latency
+            ),
+        )
+
+    @property
+    def cpus(self) -> tuple[Device, ...]:
+        return tuple(d for d in self.devices if d.kind == "cpu")
+
+    @property
+    def gpus(self) -> tuple[Device, ...]:
+        return tuple(d for d in self.devices if d.kind == "gpu")
+
+    def alive(self, time: float) -> tuple[Device, ...]:
+        """Devices still alive at virtual *time*."""
+        return tuple(d for d in self.devices if d.alive_at(time))
+
+    def comm_time(self, nbytes: float, src_domain: str, dst_domain: str) -> float:
+        """Transfer time for *nbytes* between two memory domains."""
+        if src_domain == dst_domain:
+            return 0.0
+        return self.transfer.time(nbytes)

@@ -1,0 +1,101 @@
+"""HEFT — Heterogeneous Earliest-Finish-Time list scheduling.
+
+The classic static heuristic (Topcuoglu, Hariri & Wu, TPDS 2002; the
+PAPERS.md line of DAG schedulers): rank every task by its *upward rank* —
+mean execution cost plus the most expensive path to an exit task, with mean
+communication cost on the edges — then place tasks in rank order on the
+device with the earliest finish time.
+
+The executor's pull protocol turns the placement phase into a list
+scheduler: among ready tasks HEFT always serves the highest-ranked one, and
+if that task's earliest-finish device is currently busy it *waits* for it
+(returns ``None``) instead of settling for a slower free device — the
+look-ahead that greedy mappers lack on critical-path-heavy DAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sched.base import Scheduler, TaskRecord
+from repro.sched.registry import SchedulerInfo, register
+
+
+class HeftScheduler(Scheduler):
+    """Upward-rank priorities + earliest-finish-time placement."""
+
+    name = "heft"
+    description = "HEFT list scheduling: upward ranks + earliest finish time"
+    adapts_at_runtime = False
+    source = "extension"
+    supports_hpl = False
+    supports_dag = True
+
+    def __init__(self) -> None:
+        self._rank: dict[str, float] = {}
+        #: device index -> modeled time it becomes free (our own book-keeping;
+        #: the executor only exposes busy/free, not remaining time).
+        self._avail: dict[int, float] = {}
+        self._devices = None
+
+    # -- planning ----------------------------------------------------------
+    def prepare(self, graph, devices) -> None:
+        self._devices = devices
+        self._avail = {}
+        alive = devices.alive(0.0)
+        # Mean comm cost of an edge: half the endpoint pairs cross domains
+        # in expectation when a GPU exists; zero on a CPU-only set.
+        has_gpu = any(d.kind == "gpu" for d in alive)
+        rank: dict[str, float] = {}
+        for tid in reversed(graph.topo_order()):
+            task = graph.task(tid)
+            mean_cost = sum(d.exec_time(task.flops) for d in alive) / len(alive)
+            succ_cost = 0.0
+            for s in graph.successors(tid):
+                edge = (
+                    devices.transfer.time(task.out_bytes) * 0.5 if has_gpu else 0.0
+                )
+                succ_cost = max(succ_cost, edge + rank[s])
+            rank[tid] = mean_cost + succ_cost
+        self._rank = rank
+
+    # -- placement ---------------------------------------------------------
+    def next_assignment(self, state) -> Optional[tuple[str, int]]:
+        if not state.ready:
+            return None
+        free = {d.index for d in state.free_devices}
+        if not free:
+            return None
+        # Highest upward rank first; ready-order breaks exact ties.
+        task_id = max(state.ready, key=lambda t: self._rank.get(t, 0.0))
+        best_idx, best_eft = None, None
+        for device in state.devices:
+            ready_at = max(state.time, self._avail.get(device.index, 0.0))
+            eft = (
+                ready_at
+                + state.comm_cost(task_id, device)
+                + device.exec_time(state.graph.task(task_id).flops)
+            )
+            if best_eft is None or eft < best_eft - 1e-12:
+                best_idx, best_eft = device.index, eft
+        if best_idx not in free:
+            # The globally best device is busy: wait for it rather than
+            # spill the critical path onto a slower device.
+            return None
+        self._avail[best_idx] = best_eft
+        return task_id, best_idx
+
+    def observe(self, record: TaskRecord) -> None:
+        # True finish replaces our estimate (they coincide in an exact sim).
+        self._avail[record.device_index] = record.finish
+
+
+register(
+    SchedulerInfo(
+        name="heft",
+        description=HeftScheduler.description,
+        factory=HeftScheduler,
+        source="extension",
+        supports_dag=True,
+    )
+)

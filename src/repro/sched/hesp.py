@@ -1,0 +1,85 @@
+"""HeSP-style joint partition-size + scheduling search.
+
+Models the core idea of the HeSP framework (arXiv 1602.05510): on a
+heterogeneous machine the task *granularity* is itself a scheduling
+decision — coarse tiles feed the GPU efficiently but starve the CPUs of
+parallelism; fine tiles do the opposite.  HeSP therefore simulates each
+candidate partitioning of a workload and commits to the one with the best
+predicted makespan.
+
+:meth:`HespScheduler.choose_variant` runs that search over
+``workload.variants(devices)`` using an internal greedy
+earliest-finish-time list scheduler as the placement engine (HeSP's own
+inner scheduler is a simple list heuristic; the search, not the placement,
+is its contribution).  Execution then uses the same greedy engine, so the
+simulated prediction and the tournament run agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sched.base import Scheduler
+from repro.sched.registry import SchedulerInfo, register
+
+
+class _GreedyEft(Scheduler):
+    """Internal placement engine: first ready task to its best free device."""
+
+    name = "_greedy_eft"
+    supports_dag = True
+
+    def next_assignment(self, state) -> Optional[tuple[str, int]]:
+        free = state.free_devices
+        if not free or not state.ready:
+            return None
+        task_id = state.ready[0]
+        best = min(
+            free, key=lambda d: (state.completion_estimate(task_id, d), d.index)
+        )
+        return task_id, best.index
+
+
+class HespScheduler(_GreedyEft):
+    """Partition-size search (simulate every variant) + greedy placement."""
+
+    name = "hesp"
+    description = "HeSP-style partition search: simulate tile-size variants, keep the best"
+    adapts_at_runtime = False
+    source = "extension"
+    supports_hpl = False
+    supports_dag = True
+
+    def __init__(self) -> None:
+        #: workload name -> chosen variant graph name (for reports/persistence).
+        self.chosen: dict[str, str] = {}
+
+    def choose_variant(self, workload, devices):
+        """Simulate every granularity of *workload*; return the fastest graph."""
+        from repro.sched.simulate import execute
+
+        best_graph, best_makespan = None, None
+        for graph in workload.variants(devices):
+            result = execute(graph, devices, _GreedyEft())
+            if best_makespan is None or result.makespan < best_makespan - 1e-12:
+                best_graph, best_makespan = graph, result.makespan
+        if best_graph is not None:
+            self.chosen[workload.name] = best_graph.name
+        return best_graph
+
+    def state_dict(self) -> dict:
+        return {"chosen": dict(self.chosen)}
+
+    def load_state(self, state: dict) -> None:
+        self.chosen = dict(state.get("chosen", {}))
+
+
+register(
+    SchedulerInfo(
+        name="hesp",
+        description=HespScheduler.description,
+        factory=HespScheduler,
+        source="extension",
+        supports_dag=True,
+    )
+)

@@ -1,0 +1,311 @@
+"""The paper's schedulers, re-homed as registered :class:`Scheduler` plugins.
+
+Five entries wrap the analytic-stepper mappings of Fig. 8/9 — the adaptive
+two-level framework, the Fatica-style static peak-ratio split, Qilin's
+train-then-freeze, and the two single-device baselines.  Each also schedules
+general task DAGs, so the tournament can race the paper's mappers against
+the PAPERS.md extensions (HEFT, work-stealing, HeSP) on the same machine:
+
+* ``adaptive`` places greedily by *earliest modeled finish*, then corrects
+  its per-device-kind rate model from measured timings — the DAG analogue
+  of the paper's measure-and-update rule.
+* ``static`` always prefers the highest-*peak* free device, ignoring task
+  size, launch overhead, and measurements — exactly the error source the
+  paper identifies (the GPU's effective rate is not its peak).
+* ``qilin`` trains per task-kind device preferences on the first
+  occurrences of each kind, then freezes them for the rest of the run.
+* ``gpu_only`` / ``cpu_only`` pin work to one device class (``gpu_only``
+  falls back to the CPUs once a ``GpuDropout`` fault removes the GPU).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sched.adaptive import AdaptiveMapper
+from repro.sched.base import Scheduler, TaskRecord
+from repro.sched.builds import HPL_BUILDS
+from repro.sched.qilin import QilinMapper
+from repro.sched.registry import SchedulerInfo, register
+from repro.sched.static_map import StaticMapper
+from repro.util.units import dgemm_flops
+
+
+def build_hpl_mapper(name: str, element, n: int, nb: int = 1216, **kw):
+    """The run-time mapper object for *name*'s DES twin (crossval helper)."""
+    from repro.sched.registry import create
+
+    return create(name).make_mapper(element, n, nb=nb, **kw)
+
+
+def _mapper_args(element, n: int, nb: int) -> tuple[float, int, float]:
+    return (
+        element.initial_gsplit,
+        len(element.compute_cores),
+        dgemm_flops(n, n, nb) * 1.05,
+    )
+
+
+class _GreedyDagMixin:
+    """Shared greedy dispatch: pick the best free device per ready task."""
+
+    def _score(self, state, task_id: str, device) -> float:
+        raise NotImplementedError
+
+    def next_assignment(self, state) -> Optional[tuple[str, int]]:
+        free = state.free_devices
+        if not free or not state.ready:
+            return None
+        task_id = state.ready[0]
+        best = min(free, key=lambda d: (self._score(state, task_id, d), d.index))
+        return task_id, best.index
+
+
+class AdaptiveScheduler(_GreedyDagMixin, Scheduler):
+    """The paper's framework: measured-rate feedback, per-device splits."""
+
+    name = "adaptive"
+    description = "paper's two-level adaptive mapper (measured-rate feedback)"
+    adapts_at_runtime = True
+    source = "paper"
+    supports_hpl = True
+    supports_dag = True
+
+    def __init__(self) -> None:
+        #: device kind -> learned slowdown factor (measured / modeled time).
+        self._correction: dict[str, float] = {}
+        self._devices = None
+
+    def hpl_config(self):
+        return HPL_BUILDS["adaptive"]
+
+    def make_mapper(self, element, n: int, nb: int = 1216, **kw):
+        gsplit, n_cores, max_workload = _mapper_args(element, n, nb)
+        return AdaptiveMapper(gsplit, n_cores, max_workload=max_workload, **kw)
+
+    def prepare(self, graph, devices) -> None:
+        self._devices = devices
+
+    def _score(self, state, task_id: str, device) -> float:
+        est = state.completion_estimate(task_id, device)
+        return est * self._correction.get(device.kind, 1.0)
+
+    def observe(self, record: TaskRecord) -> None:
+        # Measured-vs-modeled EWMA per device kind — the DAG analogue of the
+        # paper's GSplit update.  With an exact executor the ratio sits at
+        # 1.0; any divergence (noise models, device degradation) feeds back.
+        if self._devices is None:
+            return
+        modeled = self._devices.devices[record.device_index].exec_time(record.flops)
+        if modeled <= 0 or record.exec_time <= 0:
+            return
+        ratio = record.exec_time / modeled
+        prev = self._correction.get(record.device_kind, 1.0)
+        self._correction[record.device_kind] = 0.7 * prev + 0.3 * ratio
+
+    def state_dict(self) -> dict:
+        return {"correction": dict(self._correction)}
+
+    def load_state(self, state: dict) -> None:
+        self._correction = dict(state.get("correction", {}))
+
+
+class StaticScheduler(_GreedyDagMixin, Scheduler):
+    """Fatica-style static peak-ratio mapping — never reacts to measurements."""
+
+    name = "static"
+    description = "static peak-ratio split (Fatica baseline), no adaptation"
+    adapts_at_runtime = False
+    source = "paper"
+    supports_hpl = True
+    supports_dag = True
+
+    def hpl_config(self):
+        return HPL_BUILDS["static"]
+
+    def make_mapper(self, element, n: int, nb: int = 1216, **kw):
+        gsplit, n_cores, _ = _mapper_args(element, n, nb)
+        return StaticMapper(gsplit, n_cores)
+
+    def _score(self, state, task_id: str, device) -> float:
+        # Peak-ratio thinking: rank devices purely by peak flops, so the GPU
+        # absorbs even tiny tasks and pays its launch overhead every time.
+        return -device.peak_flops
+
+
+class QilinScheduler(_GreedyDagMixin, Scheduler):
+    """Qilin train-then-freeze: per-kind preferences fixed after training."""
+
+    name = "qilin"
+    description = "Qilin train-then-freeze mapping (MICRO'09)"
+    adapts_at_runtime = False
+    source = "paper"
+    supports_hpl = True
+    supports_dag = True
+
+    #: Measured samples per task kind before that kind's placement freezes.
+    TRAINING_SAMPLES = 4
+
+    def __init__(self) -> None:
+        self._samples: dict[str, dict[str, list[float]]] = {}
+        self._frozen: dict[str, str] = {}  # kind -> preferred device kind
+
+    def hpl_config(self):
+        return HPL_BUILDS["qilin"]
+
+    def make_mapper(self, element, n: int, nb: int = 1216, **kw):
+        gsplit, n_cores, max_workload = _mapper_args(element, n, nb)
+        return QilinMapper(gsplit, n_cores, max_workload=max_workload, **kw)
+
+    def _score(self, state, task_id: str, device) -> float:
+        kind = state.graph.task(task_id).kind
+        preferred = self._frozen.get(kind)
+        if preferred is not None:
+            # Frozen: strongly prefer the trained device class, break ties
+            # by modeled completion among that class.
+            penalty = 0.0 if device.kind == preferred else 1e9
+            return penalty + state.completion_estimate(task_id, device)
+        return state.completion_estimate(task_id, device)
+
+    def observe(self, record: TaskRecord) -> None:
+        if record.kind in self._frozen:
+            return  # run time: measurements are ignored (the defining flaw)
+        per_kind = self._samples.setdefault(record.kind, {})
+        rates = per_kind.setdefault(record.device_kind, [])
+        if record.exec_time > 0:
+            rates.append(record.flops / record.exec_time)
+        total = sum(len(v) for v in per_kind.values())
+        if total >= self.TRAINING_SAMPLES and len(per_kind) >= 1:
+            best = max(per_kind, key=lambda k: sum(per_kind[k]) / len(per_kind[k]))
+            self._frozen[record.kind] = best
+
+    def state_dict(self) -> dict:
+        return {"frozen": dict(self._frozen)}
+
+    def load_state(self, state: dict) -> None:
+        self._frozen = dict(state.get("frozen", {}))
+
+
+class GpuOnlyScheduler(_GreedyDagMixin, Scheduler):
+    """Everything on the GPU (vendor-library style); CPUs only as survival."""
+
+    name = "gpu_only"
+    description = "all work on the GPU (ACML-GPU style), CPU fallback on loss"
+    adapts_at_runtime = False
+    source = "paper"
+    supports_hpl = True
+    supports_dag = True
+
+    def hpl_config(self):
+        return HPL_BUILDS["gpu_only"]
+
+    def make_mapper(self, element, n: int, nb: int = 1216, **kw):
+        return StaticMapper(1.0, len(element.compute_cores))
+
+    def next_assignment(self, state) -> Optional[tuple[str, int]]:
+        if not state.ready:
+            return None
+        free_gpus = [d for d in state.free_devices if d.kind == "gpu"]
+        if free_gpus:
+            return state.ready[0], free_gpus[0].index
+        alive_gpus = [d for d in state.devices if d.kind == "gpu"]
+        if alive_gpus:
+            return None  # GPU busy: wait rather than spill to CPUs
+        # GpuDropout killed the GPU: degrade to the CPUs instead of stalling.
+        free = state.free_devices
+        if not free:
+            return None
+        return state.ready[0], free[0].index
+
+    def _score(self, state, task_id: str, device) -> float:  # pragma: no cover
+        return -device.peak_flops
+
+
+class CpuOnlyScheduler(_GreedyDagMixin, Scheduler):
+    """Plain CPU HPL: compute cores only, the GPU stays idle."""
+
+    name = "cpu_only"
+    description = "CPU cores only (plain HPL baseline)"
+    adapts_at_runtime = False
+    source = "paper"
+    supports_hpl = True
+    supports_dag = True
+
+    def hpl_config(self):
+        return HPL_BUILDS["cpu_only"]
+
+    def make_mapper(self, element, n: int, nb: int = 1216, **kw):
+        return StaticMapper(0.0, len(element.compute_cores))
+
+    def next_assignment(self, state) -> Optional[tuple[str, int]]:
+        if not state.ready:
+            return None
+        free_cpus = [d for d in state.free_devices if d.kind == "cpu"]
+        if not free_cpus:
+            return None
+        task_id = state.ready[0]
+        best = min(
+            free_cpus,
+            key=lambda d: (state.completion_estimate(task_id, d), d.index),
+        )
+        return task_id, best.index
+
+    def _score(self, state, task_id: str, device) -> float:  # pragma: no cover
+        return state.completion_estimate(task_id, device)
+
+
+register(
+    SchedulerInfo(
+        name="adaptive",
+        description=AdaptiveScheduler.description,
+        factory=AdaptiveScheduler,
+        source="paper",
+        supports_hpl=True,
+        supports_dag=True,
+        adapts_at_runtime=True,
+    ),
+    aliases=("acmlg_both", "acmlg_adaptive"),
+)
+register(
+    SchedulerInfo(
+        name="static",
+        description=StaticScheduler.description,
+        factory=StaticScheduler,
+        source="paper",
+        supports_hpl=True,
+        supports_dag=True,
+    ),
+    aliases=("static_peak",),
+)
+register(
+    SchedulerInfo(
+        name="qilin",
+        description=QilinScheduler.description,
+        factory=QilinScheduler,
+        source="paper",
+        supports_hpl=True,
+        supports_dag=True,
+    ),
+)
+register(
+    SchedulerInfo(
+        name="gpu_only",
+        description=GpuOnlyScheduler.description,
+        factory=GpuOnlyScheduler,
+        source="paper",
+        supports_hpl=True,
+        supports_dag=True,
+    ),
+    aliases=("acmlg", "acmlg_pipe"),
+)
+register(
+    SchedulerInfo(
+        name="cpu_only",
+        description=CpuOnlyScheduler.description,
+        factory=CpuOnlyScheduler,
+        source="paper",
+        supports_hpl=True,
+        supports_dag=True,
+    ),
+    aliases=("cpu",),
+)

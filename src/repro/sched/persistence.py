@@ -1,0 +1,192 @@
+"""Registry-aware persistence for schedulers and their learned databases.
+
+Format version 2 wraps every payload with the owning scheduler's registry
+name, so "the new mapping is the next initial mapping" (Section IV.B)
+round-trips for the whole zoo, not just the adaptive mapper::
+
+    {"version": 2, "scheduler": "qilin", "kind": "hpl_mapper", "state": {...}}
+
+``kind`` distinguishes the two stateful object families:
+
+* ``"hpl_mapper"`` — the run-time mapper objects driving the DES hybrid
+  executor (:class:`~repro.sched.adaptive.AdaptiveMapper` and friends);
+  their split databases are stored exactly as format 1 did.
+* ``"scheduler"`` — a :class:`~repro.sched.base.Scheduler` instance; its
+  :meth:`~repro.sched.base.Scheduler.state_dict` is stored and restored
+  through a fresh registry instance.
+
+Format 1 files (written by the pre-registry ``repro.core.persistence``)
+still load, as adaptive mappers.  :mod:`repro.core.persistence` re-exports
+this module for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.sched.adaptive import AdaptiveMapper
+from repro.sched.base import Scheduler
+from repro.sched.qilin import QilinMapper
+from repro.sched.static_map import StaticMapper
+from repro.util.io import atomic_write_text
+from repro.util.validation import require
+
+FORMAT_VERSION = 2
+#: The pre-registry format: a bare adaptive-mapper database dump.
+LEGACY_FORMAT_VERSION = 1
+
+
+# -- encoding ---------------------------------------------------------------
+
+def _adaptive_body(mapper: AdaptiveMapper) -> dict:
+    db_g = mapper.database_g
+    return {
+        "database_g": {
+            "n_bins": db_g.n_bins,
+            "max_workload": db_g.max_workload,
+            "initial": db_g.initial,
+            "values": db_g.values().tolist(),
+            "written": db_g.written_mask().tolist(),
+        },
+        "database_c": {
+            "n_cores": mapper.database_c.n_cores,
+            "values": mapper.database_c.lookup().tolist(),
+        },
+        "min_gsplit": mapper.min_gsplit,
+        "min_csplit": mapper.min_csplit,
+        "updates": mapper.updates,
+    }
+
+
+def mapper_state(obj, name: Optional[str] = None) -> dict:
+    """Serialise a mapper or :class:`Scheduler` to a format-2 payload.
+
+    *name* pins the registry name when the object alone is ambiguous (a
+    :class:`StaticMapper` backs ``static``, ``gpu_only`` *and* ``cpu_only``);
+    it defaults to the object's own ``name`` attribute.
+    """
+    if isinstance(obj, Scheduler):
+        return {
+            "version": FORMAT_VERSION,
+            "scheduler": name or obj.name,
+            "kind": "scheduler",
+            "state": obj.state_dict(),
+        }
+    if isinstance(obj, QilinMapper):
+        body = _adaptive_body(obj)
+        body["qilin"] = {
+            "frozen": obj.frozen,
+            "training_seconds": obj.training_seconds,
+            "training_observations": obj.training_observations,
+        }
+        return {
+            "version": FORMAT_VERSION,
+            "scheduler": name or "qilin",
+            "kind": "hpl_mapper",
+            "state": body,
+        }
+    if isinstance(obj, AdaptiveMapper):
+        return {
+            "version": FORMAT_VERSION,
+            "scheduler": name or "adaptive",
+            "kind": "hpl_mapper",
+            "state": _adaptive_body(obj),
+        }
+    if isinstance(obj, StaticMapper):
+        return {
+            "version": FORMAT_VERSION,
+            "scheduler": name or "static",
+            "kind": "hpl_mapper",
+            "state": {
+                "gsplit": obj.gsplit(0.0),
+                "n_cores": len(obj.csplits()),
+            },
+        }
+    raise TypeError(f"cannot persist {type(obj).__name__}")
+
+
+# -- decoding ---------------------------------------------------------------
+
+def _restore_adaptive(body: dict, cls=AdaptiveMapper, telemetry=None):
+    g = body["database_g"]
+    c = body["database_c"]
+    mapper = cls(
+        initial_gsplit=g["initial"],
+        n_cores=c["n_cores"],
+        max_workload=g["max_workload"],
+        n_bins=g["n_bins"],
+        min_gsplit=body["min_gsplit"],
+        min_csplit=body["min_csplit"],
+        telemetry=telemetry,
+    )
+    mapper.database_g._values = np.asarray(g["values"], dtype=float)
+    mapper.database_g._written = np.asarray(g["written"], dtype=bool)
+    require(mapper.database_g._values.shape == (g["n_bins"],), "corrupt database_g values")
+    mapper.database_c.store(np.asarray(c["values"], dtype=float))
+    mapper.database_c.history.clear()  # restoring is not an observed update
+    mapper.updates = int(body["updates"])
+    return mapper
+
+
+def restore_named(state: dict, telemetry=None) -> tuple[str, object]:
+    """Rebuild ``(scheduler_name, object)`` from a persisted payload.
+
+    Format-1 payloads restore as ``("adaptive", AdaptiveMapper)``.
+    """
+    version = state.get("version")
+    if version == LEGACY_FORMAT_VERSION:
+        return "adaptive", _restore_adaptive(state, telemetry=telemetry)
+    require(version == FORMAT_VERSION,
+            f"unsupported mapper state version {version!r}")
+    name = state["scheduler"]
+    kind = state["kind"]
+    body = state["state"]
+    if kind == "scheduler":
+        from repro.sched.registry import create
+
+        scheduler = create(name)
+        scheduler.load_state(body)
+        return name, scheduler
+    require(kind == "hpl_mapper", f"unknown persisted kind {kind!r}")
+    if "qilin" in body:
+        mapper = _restore_adaptive(body, cls=QilinMapper, telemetry=telemetry)
+        q = body["qilin"]
+        mapper.training_seconds = float(q["training_seconds"])
+        mapper.training_observations = int(q["training_observations"])
+        if q["frozen"]:
+            mapper.freeze()
+        return name, mapper
+    if "database_g" in body:
+        return name, _restore_adaptive(body, telemetry=telemetry)
+    return name, StaticMapper(body["gsplit"], body["n_cores"])
+
+
+def restore_mapper(state: dict, telemetry=None):
+    """Back-compat entry point: the restored object, name discarded."""
+    return restore_named(state, telemetry=telemetry)[1]
+
+
+# -- file I/O ---------------------------------------------------------------
+
+def save_mapper(obj, path: Union[str, Path], name: Optional[str] = None) -> Path:
+    """Write *obj*'s learned state to *path* as JSON, atomically.
+
+    The payload goes through :func:`repro.util.io.atomic_write_text`
+    (same-directory temp + ``os.replace``), so a crash mid-write leaves
+    either the old file or the new one — never a truncated database.
+    """
+    return atomic_write_text(path, json.dumps(mapper_state(obj, name=name), indent=2))
+
+
+def load_mapper(path: Union[str, Path], telemetry=None):
+    """Read an object previously written by :func:`save_mapper`."""
+    return restore_mapper(json.loads(Path(path).read_text()), telemetry=telemetry)
+
+
+def load_named(path: Union[str, Path], telemetry=None) -> tuple[str, object]:
+    """Like :func:`load_mapper`, but also returns the scheduler name."""
+    return restore_named(json.loads(Path(path).read_text()), telemetry=telemetry)

@@ -1,0 +1,67 @@
+"""Train-then-fix mapping modeled on Qilin (Luk, Hong & Kim, MICRO'09).
+
+Qilin "first needs to conduct a training step and does not tune the mapping
+when running" (Section II).  The mapper below is fed observations during an
+explicit *training phase* using the same update mathematics as the adaptive
+mapper; once :meth:`freeze` is called the databases never change again, so
+any drift between training conditions and run conditions (thermal warm-up,
+jitter, neighbours) turns into load imbalance.
+
+The class also carries the paper's training-cost accounting (Section VI.C):
+two hours per cabinet at 18.5 kW is 37 kWh per cabinet, 2 960 kWh for the
+full 80-cabinet system — the energy argument against training at petascale.
+"""
+
+from __future__ import annotations
+
+from repro.sched.adaptive import AdaptiveMapper, Observation
+from repro.util.validation import require, require_nonnegative
+
+
+class QilinMapper(AdaptiveMapper):
+    """Adaptive updates during training; frozen at run time."""
+
+    name = "qilin"
+    adapts_at_runtime = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._frozen = False
+        self.training_seconds = 0.0
+        self.training_observations = 0
+
+    @property
+    def frozen(self) -> bool:
+        """True once training has finished."""
+        return self._frozen
+
+    def observe(self, obs: Observation) -> None:
+        """Training observations update the databases; run-time ones do not."""
+        if self._frozen:
+            return
+        self.training_observations += 1
+        super().observe(obs)
+
+    def record_training_time(self, seconds: float) -> None:
+        """Accumulate wall time spent in the training phase."""
+        require(not self._frozen, "training already finished")
+        require_nonnegative(seconds, "seconds")
+        self.training_seconds += seconds
+
+    def freeze(self) -> None:
+        """End the training phase; mappings are fixed from here on."""
+        self._frozen = True
+
+    def training_energy_kwh(self, power_kw: float) -> float:
+        """Energy burned by training at the given machine power draw.
+
+        With the paper's numbers (2 h at 18.5 kW per cabinet) this returns
+        the 37 kWh/cabinet figure of Section VI.C.
+        """
+        require_nonnegative(power_kw, "power_kw")
+        return power_kw * self.training_seconds / 3600.0
+
+    @property
+    def total_overhead_seconds(self) -> float:
+        """Run-time overhead is zero; the cost was paid up front in training."""
+        return 0.0 if self._frozen else super().total_overhead_seconds

@@ -1,0 +1,172 @@
+"""Name-based scheduler registry plus the ambient scheduler context.
+
+The registry maps stable names to :class:`~repro.sched.base.Scheduler`
+factories.  Legacy :class:`~repro.hpl.driver.Configuration` keys register as
+*aliases*: ``"acmlg_both"`` resolves to the ``adaptive`` scheduler while
+keeping its own name (and its exact historical
+:class:`~repro.hpl.analytic.AnalyticConfig` build, see
+:mod:`repro.sched.builds`), so golden traces, result labels and cache keys
+are byte-stable across the migration.
+
+The ambient context mirrors :mod:`repro.exec.policy` and :mod:`repro.obs`::
+
+    import repro.sched as sched
+
+    with sched.use("heft"):
+        ...               # sched.current() -> "heft" inside the block
+
+``current()`` returns :data:`DEFAULT_SCHEDULER` when no ``use`` block is
+active, so a :class:`~repro.session.Scenario` built without an explicit
+``scheduler=`` runs the paper's full framework.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Union
+
+from repro.sched.base import Scheduler
+from repro.util.validation import require
+
+#: The scheduler a Scenario uses when neither ``scheduler=`` nor an ambient
+#: ``use(...)`` block names one: the paper's full framework.
+DEFAULT_SCHEDULER = "adaptive"
+
+
+@dataclass(frozen=True)
+class SchedulerInfo:
+    """One registry entry: a named scheduler factory plus its capabilities."""
+
+    name: str
+    description: str
+    factory: Callable[[], Scheduler] = field(repr=False)
+    source: str = "paper"  # "paper" | "extension"
+    supports_hpl: bool = False
+    supports_dag: bool = False
+    adapts_at_runtime: bool = False
+
+
+_REGISTRY: dict[str, SchedulerInfo] = {}
+#: Legacy configuration name -> canonical scheduler name.
+_ALIASES: dict[str, str] = {}
+
+
+def register(info: SchedulerInfo, aliases: tuple[str, ...] = ()) -> SchedulerInfo:
+    """Add *info* under its name (plus legacy *aliases*); idempotent re-adds."""
+    existing = _REGISTRY.get(info.name)
+    require(
+        existing is None or existing == info,
+        f"scheduler {info.name!r} already registered with different metadata",
+    )
+    _REGISTRY[info.name] = info
+    for alias in aliases:
+        require(
+            _ALIASES.get(alias, info.name) == info.name,
+            f"alias {alias!r} already points at {_ALIASES.get(alias)!r}",
+        )
+        _ALIASES[alias] = info.name
+    return info
+
+
+def names() -> list[str]:
+    """Canonical scheduler names, registration order."""
+    _ensure_builtin()
+    return list(_REGISTRY)
+
+
+def aliases() -> dict[str, str]:
+    """Legacy-name -> canonical-name mapping (the Configuration keys)."""
+    _ensure_builtin()
+    return dict(_ALIASES)
+
+
+def canonical_name(name: str) -> str:
+    """Resolve *name* (canonical or alias) to its canonical registry name."""
+    _ensure_builtin()
+    resolved = _ALIASES.get(name, name)
+    if resolved not in _REGISTRY:
+        valid = ", ".join(list(_REGISTRY) + sorted(_ALIASES))
+        raise ValueError(
+            f"unknown scheduler {name!r}; valid schedulers/aliases: {valid}"
+        )
+    return resolved
+
+
+def get(name: str) -> SchedulerInfo:
+    """The :class:`SchedulerInfo` for *name* (aliases resolve)."""
+    return _REGISTRY[canonical_name(name)]
+
+
+def create(name: str) -> Scheduler:
+    """A fresh scheduler instance for *name* (aliases resolve)."""
+    return get(name).factory()
+
+
+def resolve_name(spec: "Union[str, Scheduler]") -> str:
+    """Validate *spec* into a scheduler name, preserving alias spellings.
+
+    Strings (including legacy :class:`~repro.hpl.driver.Configuration`
+    members, which are ``str`` subclasses) are validated against the
+    registry but returned *as given* — ``"acmlg_both"`` stays
+    ``"acmlg_both"`` so downstream labels and cache keys are unchanged.
+    Scheduler instances resolve to their ``name``.
+    """
+    if isinstance(spec, Scheduler):
+        return spec.name
+    name = str(spec)
+    canonical_name(name)  # raises on unknown names
+    return name
+
+
+def describe() -> list[dict]:
+    """One row per canonical scheduler for ``python -m repro.sched list``."""
+    _ensure_builtin()
+    rows = []
+    for info in _REGISTRY.values():
+        entry_aliases = sorted(a for a, c in _ALIASES.items() if c == info.name)
+        rows.append(
+            {
+                "name": info.name,
+                "description": info.description,
+                "source": info.source,
+                "hpl": info.supports_hpl,
+                "dag": info.supports_dag,
+                "adaptive": info.adapts_at_runtime,
+                "aliases": entry_aliases,
+            }
+        )
+    return rows
+
+
+def _ensure_builtin() -> None:
+    """Import the built-in scheduler modules (registration side effects)."""
+    from repro.sched import mappers, heft, affinity, hesp  # noqa: F401
+
+
+# -- ambient context -------------------------------------------------------
+
+_STACK: list["Union[str, Scheduler]"] = []
+
+
+def current() -> "Union[str, Scheduler]":
+    """The innermost ambient scheduler spec (default: ``"adaptive"``)."""
+    return _STACK[-1] if _STACK else DEFAULT_SCHEDULER
+
+
+@contextmanager
+def use(spec: "Optional[Union[str, Scheduler]]") -> Iterator[None]:
+    """Install *spec* as the ambient scheduler for the ``with`` block.
+
+    ``use(None)`` is a no-op context (mirrors ``exec.use``/``obs.use``), so
+    call sites can thread an optional scheduler without branching.
+    """
+    if spec is None:
+        yield
+        return
+    resolve_name(spec)  # validate before installing
+    _STACK.append(spec)
+    try:
+        yield
+    finally:
+        _STACK.pop()

@@ -1,0 +1,193 @@
+"""Event-driven executor for task DAGs on a heterogeneous device set.
+
+:func:`execute` drives a :class:`~repro.sched.base.Scheduler` through the
+pull protocol of :meth:`~repro.sched.base.Scheduler.next_assignment`: while
+devices are free, the scheduler is asked for ``(task_id, device_index)``
+pairs; returning ``None`` advances virtual time to the next task completion
+(and feeds the finished task back through
+:meth:`~repro.sched.base.Scheduler.observe`).  The executor owns timing and
+data movement — a task whose dependency outputs live on another memory
+domain pays the PCIe transfer before it starts — so plan-based (HEFT, HeSP)
+and reactive (adaptive, work-stealing) schedulers compete on identical
+physics.
+
+Assignment legality is enforced here, not trusted: unknown or not-ready
+tasks, busy devices, and devices already lost to a ``GpuDropout`` fault all
+raise immediately.  A device that dies *mid-task* loses the task — it is
+re-queued and the simulation clock jumps to the death time, modeling the
+detect-and-resubmit recovery of Section VI.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.sched.base import Scheduler, TaskRecord
+from repro.sched.dag import TaskGraph
+from repro.sched.devices import Device, DeviceSet
+from repro.util.validation import require
+
+
+@dataclass
+class SimState:
+    """The executor's live state, as seen by a scheduler's decision hook."""
+
+    graph: TaskGraph
+    device_set: DeviceSet
+    time: float = 0.0
+    #: Dispatchable task ids, deterministic (dependency-completion) order.
+    ready: tuple[str, ...] = ()
+    #: device index -> task id currently running there.
+    busy: dict = field(default_factory=dict)
+    #: task id -> memory domain where its output currently lives.
+    location: dict = field(default_factory=dict)
+    records: list = field(default_factory=list)
+
+    @property
+    def devices(self) -> tuple[Device, ...]:
+        """Devices still alive at the current virtual time."""
+        return self.device_set.alive(self.time)
+
+    @property
+    def free_devices(self) -> tuple[Device, ...]:
+        """Alive devices with no task running."""
+        return tuple(d for d in self.devices if d.index not in self.busy)
+
+    def comm_cost(self, task_id: str, device: Device) -> float:
+        """Transfer time to stage *task_id*'s inputs onto *device*."""
+        task = self.graph.task(task_id)
+        total = 0.0
+        for dep in task.deps:
+            src = self.location.get(dep, "host")
+            total += self.device_set.comm_time(
+                self.graph.task(dep).out_bytes, src, device.memory_domain
+            )
+        return total
+
+    def completion_estimate(self, task_id: str, device: Device) -> float:
+        """Modeled finish time of dispatching *task_id* on *device* now."""
+        task = self.graph.task(task_id)
+        return self.time + self.comm_cost(task_id, device) + device.exec_time(task.flops)
+
+
+@dataclass(frozen=True)
+class DagResult:
+    """One scheduler's run over one graph on one device set."""
+
+    graph_name: str
+    scheduler: str
+    makespan: float
+    total_flops: float
+    records: tuple[TaskRecord, ...]
+
+    @property
+    def throughput(self) -> float:
+        """Sustained flop rate over the whole run (flops / makespan)."""
+        return self.total_flops / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def gpu_task_fraction(self) -> float:
+        """Fraction of tasks that ran on a GPU."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.device_kind == "gpu") / len(self.records)
+
+    def busy_seconds(self) -> dict[int, float]:
+        """Per-device busy time (comm + execution)."""
+        busy: dict[int, float] = {}
+        for r in self.records:
+            busy[r.device_index] = busy.get(r.device_index, 0.0) + (r.finish - r.start)
+        return busy
+
+    def summary(self) -> dict:
+        return {
+            "graph": self.graph_name,
+            "scheduler": self.scheduler,
+            "makespan_s": self.makespan,
+            "throughput_gflops": self.throughput / 1e9,
+            "tasks": len(self.records),
+            "gpu_task_fraction": self.gpu_task_fraction,
+        }
+
+
+def execute(graph: TaskGraph, devices: DeviceSet, scheduler: Scheduler) -> DagResult:
+    """Run *graph* on *devices* under *scheduler*; returns the timed result."""
+    require(scheduler.supports_dag, f"scheduler {scheduler.name!r} is HPL-only")
+    scheduler.prepare(graph, devices)
+    state = SimState(graph=graph, device_set=devices)
+
+    indeg = {t.id: len(t.deps) for t in graph.tasks}
+    ready: list[str] = [tid for tid in graph.topo_order() if indeg[tid] == 0]
+    state.ready = tuple(ready)
+    #: min-heap of (finish_time, seq, task_id, device_index, start, comm).
+    running: list[tuple[float, int, str, int, float, float]] = []
+    seq = 0
+    done: set[str] = set()
+
+    while len(done) < len(graph.tasks):
+        # -- dispatch phase: drain the scheduler while it has moves -------
+        while state.ready and state.free_devices:
+            assignment = scheduler.next_assignment(state)
+            if assignment is None:
+                break
+            task_id, dev_idx = assignment
+            require(task_id in state.ready,
+                    f"{scheduler.name} assigned non-ready task {task_id!r}")
+            require(0 <= dev_idx < len(devices.devices),
+                    f"{scheduler.name} assigned unknown device {dev_idx}")
+            device = devices.devices[dev_idx]
+            require(dev_idx not in state.busy,
+                    f"{scheduler.name} double-booked device {device.name}")
+            require(device.alive_at(state.time),
+                    f"{scheduler.name} assigned {task_id!r} to dead device {device.name}")
+            task = graph.task(task_id)
+            comm = state.comm_cost(task_id, device)
+            finish = state.time + comm + device.exec_time(task.flops)
+            heapq.heappush(running, (finish, seq, task_id, dev_idx, state.time, comm))
+            seq += 1
+            state.busy[dev_idx] = task_id
+            ready.remove(task_id)
+            state.ready = tuple(ready)
+
+        if not running:
+            raise RuntimeError(
+                f"scheduler {scheduler.name!r} stalled on {graph.name}: "
+                f"{len(ready)} tasks ready, nothing running"
+            )
+
+        # -- completion phase: advance to the next event ------------------
+        finish, _, task_id, dev_idx, start, comm = heapq.heappop(running)
+        device = devices.devices[dev_idx]
+        del state.busy[dev_idx]
+        if finish > device.alive_until:
+            # The device died mid-task: the work is lost and re-queued; the
+            # clock advances to the death so `alive()` now excludes it.
+            state.time = max(state.time, device.alive_until)
+            ready.insert(0, task_id)
+            state.ready = tuple(ready)
+            continue
+        state.time = finish
+        done.add(task_id)
+        task = graph.task(task_id)
+        state.location[task_id] = device.memory_domain
+        record = TaskRecord(
+            task_id=task_id, kind=task.kind, flops=task.flops,
+            device_index=dev_idx, device_kind=device.kind,
+            start=start, finish=finish, comm_time=comm,
+        )
+        state.records.append(record)
+        scheduler.observe(record)
+        for succ in graph.successors(task_id):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+        state.ready = tuple(ready)
+
+    return DagResult(
+        graph_name=graph.name,
+        scheduler=scheduler.name,
+        makespan=state.time,
+        total_flops=graph.total_flops,
+        records=tuple(state.records),
+    )

@@ -1,0 +1,43 @@
+"""Static peak-ratio mapping — the baseline the paper improves on.
+
+This is the Fatica-style approach (reference [17] of the paper): the
+CPU/GPU split is fixed at the *peak performance* ratio and the CPU share is
+divided evenly among the compute cores.  It never reacts to measured rates,
+so it carries both error sources the paper identifies: the GPU's effective
+rate is workload-dependent (not its peak), and the cores are not equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sched.adaptive import Observation
+from repro.util.validation import require, require_fraction
+
+
+class StaticMapper:
+    """Fixed GSplit, even CSplits, no run-time adaptation."""
+
+    name = "static"
+    adapts_at_runtime = False
+
+    def __init__(self, gsplit: float, n_cores: int) -> None:
+        require_fraction(gsplit, "gsplit")
+        require(n_cores >= 1, "n_cores must be >= 1")
+        self._gsplit = float(gsplit)
+        self._csplits = np.full(n_cores, 1.0 / n_cores)
+        self.updates = 0  # stays 0 forever; present for interface parity
+
+    def gsplit(self, workload: float) -> float:
+        """The same split for every workload — the defining limitation."""
+        return self._gsplit
+
+    def csplits(self) -> np.ndarray:
+        return self._csplits.copy()
+
+    def observe(self, obs: Observation) -> None:
+        """Measurements are ignored (static)."""
+
+    @property
+    def total_overhead_seconds(self) -> float:
+        return 0.0

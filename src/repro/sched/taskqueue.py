@@ -1,0 +1,304 @@
+"""Task-queue construction for GPU DGEMM (Section V.C).
+
+Matrices exceeding the GPU's 8192x8192 texture limit are split: A1 by rows,
+B by columns (Fig. 5), and — for square DGEMMs whose K also exceeds the
+limit — along K as well, with C blocks accumulating on the GPU across the K
+chunks.  The resulting tasks are ordered by the "bounce corner turn"
+(serpentine) so that consecutive tasks share an operand block; together with
+a residency plan over the GPU's local memory this decides which blocks must
+actually cross the PCIe bus ("When T1 is executed, matrix A1 does not need
+to be transferred, so neither do B2 for T3 and A2 for T2").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.units import DOUBLE_BYTES
+from repro.util.validation import require, require_positive
+
+
+def split_extents(total: int, limit: int) -> list[tuple[int, int]]:
+    """Split ``total`` into near-equal contiguous blocks of at most ``limit``.
+
+    Returns ``(start, size)`` pairs.  Near-equal blocks (rather than
+    limit-sized blocks plus a remainder) keep the pipeline stages balanced.
+    """
+    require(total >= 0, "total must be >= 0")
+    require_positive(limit, "limit")
+    if total == 0:
+        return []
+    n_blocks = -(-total // limit)  # ceil
+    base, extra = divmod(total, n_blocks)
+    out: list[tuple[int, int]] = []
+    start = 0
+    for i in range(n_blocks):
+        size = base + (1 if i < extra else 0)
+        out.append((start, size))
+        start += size
+    return out
+
+
+def bounce_corner_turn_order(rows: int, cols: int) -> list[tuple[int, int]]:
+    """Serpentine task order over the (row, col) block grid.
+
+    For the paper's 2x2 example this yields (0,0), (0,1), (1,1), (1,0) —
+    i.e. T0, T1, T3, T2 — so each step shares either its A row block or its
+    B column block with the previous step.
+    """
+    require(rows >= 0 and cols >= 0, "grid dimensions must be >= 0")
+    order: list[tuple[int, int]] = []
+    for i in range(rows):
+        cols_iter = range(cols) if i % 2 == 0 else range(cols - 1, -1, -1)
+        for j in cols_iter:
+            order.append((i, j))
+    return order
+
+
+@dataclass
+class GpuTask:
+    """One pipeline task: the (i, j, p) block product ``C_ij += A_ip @ B_pj``."""
+
+    index: int
+    row: int
+    col: int
+    kblock: int
+    row_start: int
+    col_start: int
+    k_start: int
+    m: int
+    n: int
+    k: int
+    is_first_k: bool
+    is_last_k: bool
+    send_a: bool = True
+    send_b: bool = True
+    send_c_in: bool = False
+
+    @property
+    def a_bytes(self) -> int:
+        return self.m * self.k * DOUBLE_BYTES
+
+    @property
+    def b_bytes(self) -> int:
+        return self.k * self.n * DOUBLE_BYTES
+
+    @property
+    def c_bytes(self) -> int:
+        return self.m * self.n * DOUBLE_BYTES
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes this task actually moves host -> GPU."""
+        total = 0
+        if self.send_a:
+            total += self.a_bytes
+        if self.send_b:
+            total += self.b_bytes
+        if self.send_c_in:
+            total += self.c_bytes
+        return total
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes moved GPU -> host (C block, once, after the last K chunk)."""
+        return self.c_bytes if self.is_last_k else 0
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+
+@dataclass
+class TaskQueue:
+    """An ordered task list plus its transfer accounting."""
+
+    tasks: list[GpuTask]
+    grid: tuple[int, int, int]  # (row blocks, col blocks, K blocks)
+    input_bytes: int = 0
+    output_bytes: int = 0
+    naive_input_bytes: int = 0
+    resends: int = 0
+    #: Operand touches satisfied by a block already resident on the GPU —
+    #: the wins the bounce-corner-turn ordering exists to create.
+    reuse_hits: int = 0
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def bytes_saved_fraction(self) -> float:
+        """Input traffic saved by reuse versus re-sending every operand."""
+        if self.naive_input_bytes == 0:
+            return 0.0
+        return 1.0 - self.input_bytes / self.naive_input_bytes
+
+
+def effective_block_limits(
+    m1: int,
+    n: int,
+    k: int,
+    texture_limit: int,
+    gpu_memory_bytes: Optional[float],
+    eo_block_rows: int,
+) -> tuple[int, int, int]:
+    """Shrink the per-axis block limits until a task's working set fits.
+
+    The working set of one task is its A block, its B block (streamed in
+    half-width strips, as the kernel consumes B column-wise), and either the
+    CB0/CB1 output buffers (single-K case) or a full resident C block (K is
+    split and C accumulates on the GPU).  Starting from the texture limit,
+    the largest axis limit is halved until this fits local memory — so an
+    8192-square task (the paper's single-task boundary) fits in the RV770's
+    1 GB, while larger calls split.
+    """
+    limits = [texture_limit, texture_limit, texture_limit]  # rows, cols, K
+
+    def working_set(rl: int, cl: int, kl: int) -> float:
+        mb, nb, kb = min(m1, rl), min(n, cl), min(k, kl)
+        multi_k = k > kl
+        c_bytes = (
+            mb * nb * DOUBLE_BYTES
+            if multi_k
+            else 2 * min(eo_block_rows, mb) * nb * DOUBLE_BYTES
+        )
+        return (mb * kb + kb * nb / 2.0) * DOUBLE_BYTES + c_bytes
+
+    if gpu_memory_bytes is not None:
+        for _ in range(64):
+            if working_set(*limits) <= gpu_memory_bytes or max(limits) <= 1:
+                break
+            limits[limits.index(max(limits))] = max(1, max(limits) // 2)
+    return limits[0], limits[1], limits[2]
+
+
+def build_task_queue(
+    m1: int,
+    n: int,
+    k: int,
+    texture_limit: int = 8192,
+    reuse: bool = True,
+    beta_nonzero: bool = True,
+    gpu_memory_bytes: Optional[float] = None,
+    eo_block_rows: int = 512,
+    telemetry=None,
+) -> TaskQueue:
+    """Split the GPU portion ``C1[m1,n] (+)= A1[m1,k] @ B[k,n]`` into tasks.
+
+    ``reuse=False`` models a vendor library that re-stages every operand per
+    task; ``reuse=True`` applies bounce-corner-turn ordering with an LRU
+    residency plan over ``gpu_memory_bytes`` (default: unlimited).  An
+    optional :class:`repro.obs.Telemetry` receives queue-construction
+    counters (tasks, reuse hits, resends, staged vs naive bytes).
+    """
+    require(m1 >= 0 and n >= 0 and k >= 0, "dimensions must be >= 0")
+    row_limit, col_limit, k_limit = effective_block_limits(
+        m1, n, k, texture_limit, gpu_memory_bytes, eo_block_rows
+    )
+    row_blocks = split_extents(m1, row_limit)
+    col_blocks = split_extents(n, col_limit)
+    k_blocks = split_extents(k, k_limit)
+    if not row_blocks or not col_blocks or not k_blocks:
+        return TaskQueue(tasks=[], grid=(len(row_blocks), len(col_blocks), len(k_blocks)))
+
+    order = (
+        bounce_corner_turn_order(len(row_blocks), len(col_blocks))
+        if reuse
+        else [(i, j) for i in range(len(row_blocks)) for j in range(len(col_blocks))]
+    )
+
+    tasks: list[GpuTask] = []
+    resident: dict[tuple, int] = {}  # block key -> bytes, insertion-ordered (LRU)
+    resends = 0
+    reuse_hits = 0
+
+    def touch(key: tuple, nbytes: int, pinned_keys: set) -> bool:
+        """Ensure *key* is resident; returns True if it had to be sent."""
+        nonlocal resends, reuse_hits
+        if key in resident:
+            resident[key] = resident.pop(key)  # refresh LRU position
+            reuse_hits += 1
+            return False
+        if gpu_memory_bytes is not None:
+            budget = gpu_memory_bytes
+            while resident and sum(resident.values()) + nbytes > budget:
+                victim = next((kk for kk in resident if kk not in pinned_keys), None)
+                if victim is None:
+                    break
+                del resident[victim]
+        was_ever_sent = key in sent_once
+        if was_ever_sent:
+            resends += 1
+        sent_once.add(key)
+        resident[key] = nbytes
+        return True
+
+    sent_once: set[tuple] = set()
+    index = 0
+    multi_k = len(k_blocks) > 1
+    for (i, j) in order:
+        row_start, m = row_blocks[i]
+        col_start, nn = col_blocks[j]
+        # C_ij must be resident across all K chunks when K is split; with a
+        # single K chunk the EO double buffer (2 x H x n) suffices instead.
+        c_key = ("C", i, j)
+        c_bytes = (
+            m * nn * DOUBLE_BYTES if multi_k else 2 * min(eo_block_rows, m) * nn * DOUBLE_BYTES
+        )
+        pinned = {c_key}
+        if gpu_memory_bytes is not None:
+            resident[c_key] = c_bytes
+        for p, (k_start, kk) in enumerate(k_blocks):
+            a_key = ("A", i, p)
+            b_key = ("B", p, j)
+            pinned_now = pinned | {a_key, b_key}
+            if reuse:
+                send_a = touch(a_key, m * kk * DOUBLE_BYTES, pinned_now)
+                send_b = touch(b_key, kk * nn * DOUBLE_BYTES, pinned_now)
+            else:
+                send_a = send_b = True
+            task = GpuTask(
+                index=index,
+                row=i,
+                col=j,
+                kblock=p,
+                row_start=row_start,
+                col_start=col_start,
+                k_start=k_start,
+                m=m,
+                n=nn,
+                k=kk,
+                is_first_k=(p == 0),
+                is_last_k=(p == len(k_blocks) - 1),
+                send_a=send_a,
+                send_b=send_b,
+                send_c_in=(p == 0 and beta_nonzero),
+            )
+            tasks.append(task)
+            index += 1
+        if gpu_memory_bytes is not None:
+            resident.pop(c_key, None)
+
+    queue = TaskQueue(
+        tasks=tasks,
+        grid=(len(row_blocks), len(col_blocks), len(k_blocks)),
+        input_bytes=sum(t.input_bytes for t in tasks),
+        output_bytes=sum(t.output_bytes for t in tasks),
+        resends=resends,
+        reuse_hits=reuse_hits,
+    )
+    # Naive traffic: every operand staged for every task it participates in.
+    naive = sum(t.a_bytes + t.b_bytes for t in tasks)
+    if beta_nonzero:
+        naive += sum(t.c_bytes for t in tasks if t.is_first_k)
+    queue.naive_input_bytes = naive
+    if telemetry is not None:
+        counter = telemetry.metrics.counter
+        counter("taskqueue.queues", "task queues built").inc()
+        counter("taskqueue.tasks", "GPU tasks created").inc(len(tasks))
+        counter("taskqueue.reuse_hits", "operand touches served from residency").inc(reuse_hits)
+        counter("taskqueue.resends", "operands evicted and re-staged").inc(resends)
+        counter("taskqueue.input_bytes", "bytes staged host->GPU").inc(queue.input_bytes)
+        counter("taskqueue.naive_input_bytes", "bytes a no-reuse library would stage").inc(naive)
+    return queue

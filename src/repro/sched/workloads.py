@@ -1,0 +1,216 @@
+"""Task-DAG workload generators: tiled Cholesky, tiled LU, mixed kernel stream.
+
+These open the machine model to non-HPL work (the ROADMAP's "scheduler zoo +
+non-HPL workloads" item).  Each workload builds deterministic
+:class:`~repro.sched.dag.TaskGraph` instances; :meth:`Workload.variants`
+returns the same computation at several tile granularities, which is the
+search space a HeSP-style scheduler optimises over (arXiv 1602.05510: the
+partitioning decision is part of the scheduling problem).
+
+Kernel costs use the textbook flop counts on ``b``-sized tiles:
+
+* Cholesky: ``potrf`` b³/3, ``trsm`` b³, ``syrk`` b³, ``gemm`` 2b³.
+* LU (tiled, no pivoting across tiles): ``getrf`` 2b³/3, ``trsm`` b³,
+  ``gemm`` 2b³.
+* Mixed stream: an inference-style sequence of small kernels in R parallel
+  chains — a few large ``gemm`` tasks among many small ``conv``/``norm``
+  tasks, sized so neither a pure-GPU nor a pure-CPU placement wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.sched.dag import DagTask, TaskGraph
+from repro.util.units import DOUBLE_BYTES
+from repro.util.validation import require
+
+
+def tiled_cholesky(n_tiles: int = 6, tile: int = 2048) -> TaskGraph:
+    """The tiled Cholesky DAG on an ``n_tiles`` x ``n_tiles`` tile grid."""
+    require(n_tiles >= 1, "n_tiles must be >= 1")
+    require(tile >= 1, "tile must be >= 1")
+    b3 = float(tile) ** 3
+    tile_bytes = tile * tile * DOUBLE_BYTES
+    tasks: list[DagTask] = []
+
+    def add(tid: str, kind: str, flops: float, deps: Sequence[str]) -> None:
+        tasks.append(
+            DagTask(id=tid, kind=kind, flops=flops, out_bytes=tile_bytes, deps=tuple(deps))
+        )
+
+    for k in range(n_tiles):
+        deps = [f"syrk_{k}_{k}_{k-1}"] if k > 0 else []
+        add(f"potrf_{k}", "potrf", b3 / 3.0, deps)
+        for i in range(k + 1, n_tiles):
+            deps = [f"potrf_{k}"]
+            if k > 0:
+                deps.append(f"gemm_{i}_{k}_{k-1}")
+            add(f"trsm_{i}_{k}", "trsm", b3, deps)
+        for i in range(k + 1, n_tiles):
+            deps = [f"trsm_{i}_{k}"]
+            if k > 0:
+                deps.append(f"syrk_{i}_{i}_{k-1}")
+            add(f"syrk_{i}_{i}_{k}", "syrk", b3, deps)
+            for j in range(k + 1, i):
+                deps = [f"trsm_{i}_{k}", f"trsm_{j}_{k}"]
+                if k > 0:
+                    deps.append(f"gemm_{i}_{j}_{k-1}")
+                add(f"gemm_{i}_{j}_{k}", "gemm", 2.0 * b3, deps)
+    return TaskGraph(
+        name=f"cholesky[{n_tiles}x{n_tiles},b={tile}]",
+        tasks=tuple(tasks),
+        meta={"workload": "cholesky", "n_tiles": n_tiles, "tile": tile},
+    )
+
+
+def tiled_lu(n_tiles: int = 6, tile: int = 2048) -> TaskGraph:
+    """The tiled LU DAG (block factorization without cross-tile pivoting)."""
+    require(n_tiles >= 1, "n_tiles must be >= 1")
+    require(tile >= 1, "tile must be >= 1")
+    b3 = float(tile) ** 3
+    tile_bytes = tile * tile * DOUBLE_BYTES
+    tasks: list[DagTask] = []
+
+    def add(tid: str, kind: str, flops: float, deps: Sequence[str]) -> None:
+        tasks.append(
+            DagTask(id=tid, kind=kind, flops=flops, out_bytes=tile_bytes, deps=tuple(deps))
+        )
+
+    for k in range(n_tiles):
+        deps = [f"gemm_{k}_{k}_{k-1}"] if k > 0 else []
+        add(f"getrf_{k}", "getrf", 2.0 * b3 / 3.0, deps)
+        for i in range(k + 1, n_tiles):
+            deps_r = [f"getrf_{k}"]
+            deps_c = [f"getrf_{k}"]
+            if k > 0:
+                deps_r.append(f"gemm_{k}_{i}_{k-1}")
+                deps_c.append(f"gemm_{i}_{k}_{k-1}")
+            add(f"trsm_r_{k}_{i}", "trsm", b3, deps_r)  # row panel U
+            add(f"trsm_c_{i}_{k}", "trsm", b3, deps_c)  # column panel L
+        for i in range(k + 1, n_tiles):
+            for j in range(k + 1, n_tiles):
+                deps = [f"trsm_c_{i}_{k}", f"trsm_r_{k}_{j}"]
+                if k > 0:
+                    deps.append(f"gemm_{i}_{j}_{k-1}")
+                add(f"gemm_{i}_{j}_{k}", "gemm", 2.0 * b3, deps)
+    return TaskGraph(
+        name=f"lu[{n_tiles}x{n_tiles},b={tile}]",
+        tasks=tuple(tasks),
+        meta={"workload": "lu", "n_tiles": n_tiles, "tile": tile},
+    )
+
+
+def mixed_stream(chains: int = 8, depth: int = 6, big_every: int = 3) -> TaskGraph:
+    """An inference-style stream: parallel chains of small kernels + big GEMMs.
+
+    Every ``big_every``-th stage of a chain is a large ``gemm`` (GPU
+    territory); the rest are small ``conv``/``norm`` kernels whose launch
+    overhead makes them CPU territory.  A final ``reduce`` joins the chains.
+    """
+    require(chains >= 1 and depth >= 1, "chains and depth must be >= 1")
+    small_flops = 2.0e8  # ~0.2 Gflop conv tile
+    norm_flops = 4.0e7
+    big_flops = 2.0 * 3072.0**3  # one large GEMM
+    small_bytes = 512 * 512 * DOUBLE_BYTES
+    big_bytes = 3072 * 3072 * DOUBLE_BYTES
+    tasks: list[DagTask] = []
+    heads: list[str] = []
+    for c in range(chains):
+        prev: tuple[str, ...] = ()
+        for d in range(depth):
+            tid = f"c{c}_s{d}"
+            if big_every > 0 and d % big_every == big_every - 1:
+                kind, flops, out = "gemm", big_flops, big_bytes
+            elif d % 2 == 0:
+                kind, flops, out = "conv", small_flops, small_bytes
+            else:
+                kind, flops, out = "norm", norm_flops, small_bytes
+            tasks.append(DagTask(id=tid, kind=kind, flops=flops, out_bytes=out, deps=prev))
+            prev = (tid,)
+        heads.append(prev[0])
+    tasks.append(
+        DagTask(id="reduce", kind="reduce", flops=norm_flops, out_bytes=small_bytes,
+                deps=tuple(heads))
+    )
+    return TaskGraph(
+        name=f"stream[{chains}x{depth}]",
+        tasks=tuple(tasks),
+        meta={"workload": "stream", "chains": chains, "depth": depth},
+    )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named workload with a default graph plus partitioning variants."""
+
+    name: str
+    description: str
+    build: Callable[[], TaskGraph] = field(repr=False)
+    #: Alternative granularities of the same computation (HeSP search space).
+    variant_builds: tuple[Callable[[], TaskGraph], ...] = field(
+        default=(), repr=False
+    )
+
+    def graph(self) -> TaskGraph:
+        return self.build()
+
+    def variants(self, devices=None) -> list[TaskGraph]:
+        """Every granularity, default first (at least one entry)."""
+        graphs = [self.build()]
+        graphs.extend(b() for b in self.variant_builds)
+        return graphs
+
+
+def _cholesky_workload(n_tiles: int, tile: int) -> Workload:
+    total = n_tiles * tile
+    return Workload(
+        name="cholesky",
+        description=f"tiled Cholesky factorization of a {total}x{total} matrix",
+        build=lambda: tiled_cholesky(n_tiles, tile),
+        variant_builds=tuple(
+            (lambda t=t: tiled_cholesky(max(1, total // t), t))
+            for t in _variant_tiles(tile)
+        ),
+    )
+
+
+def _lu_workload(n_tiles: int, tile: int) -> Workload:
+    total = n_tiles * tile
+    return Workload(
+        name="lu",
+        description=f"tiled LU factorization of a {total}x{total} matrix",
+        build=lambda: tiled_lu(n_tiles, tile),
+        variant_builds=tuple(
+            (lambda t=t: tiled_lu(max(1, total // t), t)) for t in _variant_tiles(tile)
+        ),
+    )
+
+
+def _variant_tiles(tile: int) -> tuple[int, ...]:
+    """Coarser and finer granularities around the default tile size."""
+    return (tile * 2, tile // 2)
+
+
+def _stream_workload(chains: int, depth: int) -> Workload:
+    return Workload(
+        name="stream",
+        description=f"mixed small-kernel inference stream ({chains} chains x {depth})",
+        build=lambda: mixed_stream(chains, depth),
+    )
+
+
+def standard_workloads(quick: bool = False) -> dict[str, Workload]:
+    """The tournament's workload catalogue (smaller graphs under *quick*)."""
+    if quick:
+        return {
+            "cholesky": _cholesky_workload(4, 2048),
+            "lu": _lu_workload(4, 2048),
+            "stream": _stream_workload(6, 6),
+        }
+    return {
+        "cholesky": _cholesky_workload(8, 2048),
+        "lu": _lu_workload(8, 2048),
+        "stream": _stream_workload(12, 9),
+    }

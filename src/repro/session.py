@@ -1,33 +1,42 @@
 """The front door: describe a run as data, then execute it.
 
 A :class:`Scenario` is a frozen, keyword-only description of one Linpack
-experiment — which :class:`~repro.hpl.driver.Configuration` to build, the
-problem order, the machine it runs over, the variability and fault schedule
-it meets, and the seeds that make all of it reproducible.  A
+experiment — which scheduler maps it (a :mod:`repro.sched` registry name,
+legacy configuration key, or :class:`~repro.sched.base.Scheduler`
+instance), the problem order, the machine it runs over, the variability and
+fault schedule it meets, and the seeds that make all of it reproducible.  A
 :class:`Session` executes a scenario::
 
     from repro.session import Scenario, Session
 
-    result = Session(Scenario(configuration="acmlg_both", n=40000)).run()
+    result = Session(Scenario(scheduler="adaptive", n=40000)).run()
     print(result.gflops, result.degraded)
 
-Every knob is validated at construction time (unknown configurations and
-typo'd ``overrides`` keys raise immediately, with the valid names in the
-message), so a scenario that constructs is a scenario that runs.  The old
-free functions ``run_linpack`` / ``run_linpack_element`` survive as
-deprecated shims delegating to the same implementation.
+With no explicit ``scheduler=``, the ambient :func:`repro.sched.use`
+context decides (defaulting to the paper's full adaptive framework).  Every
+knob is validated at construction time (unknown schedulers, DAG-only
+schedulers and typo'd ``overrides`` keys raise immediately, with the valid
+names in the message), so a scenario that constructs is a scenario that
+runs.
+
+``configuration=`` is the deprecated spelling of ``scheduler=`` from before
+the registry existed; it still works — legacy keys like ``"acmlg_both"``
+resolve to the same builds, byte for byte — but emits a
+:class:`DeprecationWarning` with the migration note.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Union
 
 from repro.faults.spec import FaultSpec
 from repro.hpl.driver import (
     Configuration,
     LinpackResult,
     _run_linpack,
+    resolve_hpl_build,
     single_element_cluster,
     validate_overrides,
 )
@@ -35,9 +44,13 @@ from repro.hpl.grid import ProcessGrid
 from repro.machine.cluster import Cluster
 from repro.machine.presets import STANDARD_CLOCK_MHZ
 from repro.machine.variability import VariabilitySpec
+from repro.sched.base import Scheduler
 from repro.util.validation import require, require_positive
 
 __all__ = ["Scenario", "Session", "run"]
+
+#: A scheduler spec: registry name, legacy configuration key, or instance.
+SchedulerSpec = Union[str, Configuration, Scheduler]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -49,9 +62,15 @@ class Scenario:
     ``cluster_seed``).  Passing an explicit ``cluster`` means the machine is
     already fully specified — combining it with ``gpu_clock_mhz`` or
     ``variability`` is rejected rather than silently ignored.
+
+    ``scheduler`` accepts any HPL-capable spec and defaults to the ambient
+    :func:`repro.sched.current` one.  ``configuration`` is the deprecated
+    alias; passing it warns and folds into ``scheduler`` (the field then
+    reads ``None``, so ``dataclasses.replace`` on a parsed scenario never
+    re-warns).
     """
 
-    configuration: "str | Configuration"
+    scheduler: Optional[SchedulerSpec] = None
     n: int
     cluster: Optional[Cluster] = None
     grid: "ProcessGrid | tuple[int, int]" = (1, 1)
@@ -62,12 +81,33 @@ class Scenario:
     faults: Optional[FaultSpec] = None
     overrides: Optional[Mapping] = None
     collect_steps: bool = False
+    #: Deprecated alias of ``scheduler`` (pre-registry API); warns on use.
+    configuration: Optional[SchedulerSpec] = None
 
     def __post_init__(self) -> None:
         require_positive(self.n, "n")
-        object.__setattr__(
-            self, "configuration", Configuration.parse(self.configuration)
-        )
+        scheduler = self.scheduler
+        if self.configuration is not None:
+            warnings.warn(
+                "Scenario(configuration=...) is deprecated; pass "
+                "scheduler=... instead (legacy configuration keys like "
+                "'acmlg_both' are accepted unchanged). See docs/scheduling.md.",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            require(
+                scheduler is None,
+                "pass either scheduler= or the deprecated configuration=, not both",
+            )
+            scheduler = self.configuration
+            object.__setattr__(self, "configuration", None)
+        if scheduler is None:
+            from repro import sched
+
+            scheduler = sched.current()
+        # Validates the spec and rejects DAG-only schedulers up front.
+        resolve_hpl_build(scheduler)
+        object.__setattr__(self, "scheduler", scheduler)
         validate_overrides(dict(self.overrides) if self.overrides else None)
         if not isinstance(self.grid, ProcessGrid):
             nprow, npcol = self.grid
@@ -79,6 +119,13 @@ class Scenario:
                 "an explicit cluster already fixes the machine; do not also "
                 "pass gpu_clock_mhz or variability",
             )
+
+    @property
+    def scheduler_name(self) -> str:
+        """The scheduler's name, preserving legacy alias spellings."""
+        if isinstance(self.scheduler, Scheduler):
+            return self.scheduler.name
+        return str(self.scheduler)
 
     def build_cluster(self) -> Cluster:
         """The cluster this scenario runs over (building the default lazily)."""
@@ -93,14 +140,17 @@ class Scenario:
 
         Run ledgers record it in their manifest so two runs are comparable
         exactly when their hashes match; it deliberately excludes the code
-        version (the manifest carries that separately).
+        version (the manifest carries that separately).  The scheduler
+        enters by name — legacy spellings hash as they always did — so a
+        :class:`Scheduler` instance with in-run learned state hashes like a
+        fresh one of its kind.
         """
         import hashlib
 
         from repro.exec.cache import canonical_json
 
         payload = {
-            "configuration": self.configuration,
+            "configuration": self.scheduler_name,
             "n": self.n,
             "cluster": None if self.cluster is None else repr(self.cluster),
             "grid": (self.grid.nprow, self.grid.npcol),
@@ -142,14 +192,16 @@ class Session:
         if ledger is not None:
             ledger.annotate(
                 scenario_hash=s.content_hash(),
-                scenario={"configuration": str(s.configuration), "n": s.n,
+                scenario={"scheduler": s.scheduler_name,
+                          "configuration": s.scheduler_name,  # legacy key
+                          "n": s.n,
                           "grid": [s.grid.nprow, s.grid.npcol], "seed": s.seed},
             )
             if telemetry is None:
                 telemetry = ledger.telemetry
         try:
             result = _run_linpack(
-                s.configuration,
+                s.scheduler,
                 s.n,
                 s.build_cluster(),
                 s.grid,

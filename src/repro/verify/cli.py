@@ -73,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("crossval", help="run the analytic-vs-DES differential matrix")
     p.add_argument(
+        "--scheduler",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="re-run the matrix with this HPL-capable scheduler instead of "
+        "the default adaptive framework (repeatable; see "
+        "'python -m repro.sched list')",
+    )
+    p.add_argument(
         "--report-out",
         type=Path,
         default=None,
@@ -164,14 +173,22 @@ def _cmd_crossval(args: argparse.Namespace) -> int:
         telemetry = ledger.telemetry
         print(f"ledger: {ledger.directory}", file=sys.stderr)
 
+    cases = None
+    if args.scheduler:
+        try:
+            cases = differential.cases_for_schedulers(args.scheduler)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+
     policy = exec_policy.ExecutionPolicy(jobs=args.jobs, cache=not args.no_cache)
     try:
         with obs.use(telemetry), exec_policy.use(policy):
             if telemetry is not None:
                 with telemetry.wall_span("verify", "crossval"):
-                    report = differential.run_matrix()
+                    report = differential.run_matrix(cases)
             else:
-                report = differential.run_matrix()
+                report = differential.run_matrix(cases)
     except BaseException as error:
         if ledger is not None:
             ledger.fail(f"{type(error).__name__}: {error}")

@@ -28,12 +28,10 @@ implementations of the same degradation that must tell the same story.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.core.adaptive import AdaptiveMapper
 from repro.faults.spec import FaultSpec, GpuThrottle
 from repro.hpl.analytic import StepTrace
-from repro.hpl.driver import Configuration
 from repro.hpl.element_linpack import ElementLinpack, ElementStep
 from repro.machine.cluster import Cluster
 from repro.machine.node import ComputeElement
@@ -47,9 +45,9 @@ from repro.machine.presets import (
 )
 from repro.machine.specs import ClusterSpec, CPUSpec
 from repro.machine.variability import NO_VARIABILITY
+from repro.sched.mappers import build_hpl_mapper
 from repro.session import Scenario, Session
 from repro.sim import Simulator
-from repro.util.units import dgemm_flops
 from repro.verify.divergence import Divergence, DivergenceReport
 from repro.verify.invariants import check_run
 from repro.verify.scenarios import GOLDEN_SEED
@@ -80,6 +78,9 @@ class DifferentialCase:
     """One cell of the scenario matrix: a machine preset x a fault mode."""
 
     name: str
+    #: HPL-capable scheduler spec (registry name or legacy configuration
+    #: key); both twins run the same one.
+    scheduler: str = "acmlg_both"
     cpu: CPUSpec = XEON_E5540
     gpu_clock_mhz: float = STANDARD_CLOCK_MHZ
     #: 1.0 = clean; < 1.0 injects a from-start GPU throttle at this depth.
@@ -126,6 +127,32 @@ MATRIX: tuple[DifferentialCase, ...] = tuple(
 )
 
 
+def cases_for_schedulers(
+    schedulers: Sequence[str],
+    base: Optional[tuple[DifferentialCase, ...]] = None,
+) -> tuple[DifferentialCase, ...]:
+    """The matrix re-run per scheduler (``crossval --scheduler`` expansion).
+
+    Each requested scheduler gets its own copy of *base* (default: the full
+    :data:`MATRIX`) with cells renamed ``<scheduler>/<cell>``.  Unknown or
+    DAG-only schedulers are rejected up front by
+    :func:`~repro.sched.builds.resolve_hpl_build`.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.sched.builds import resolve_hpl_build
+
+    base = tuple(base if base is not None else MATRIX)
+    cases = []
+    for scheduler in schedulers:
+        name, _ = resolve_hpl_build(scheduler)
+        cases.extend(
+            dc_replace(case, scheduler=name, name=f"{name}/{case.name}")
+            for case in base
+        )
+    return tuple(cases)
+
+
 def _single_element_cluster(case: DifferentialCase) -> Cluster:
     """A deterministic one-element-population cluster matching the preset."""
     spec = ClusterSpec(
@@ -147,7 +174,7 @@ def analytic_run(case: DifferentialCase):
             throttles=(GpuThrottle(at=0.0, clock_factor=case.throttle_factor),)
         )
     scenario = Scenario(
-        configuration=Configuration.ACMLG_BOTH,
+        scheduler=case.scheduler,
         n=case.n,
         cluster=_single_element_cluster(case),
         seed=case.seed,
@@ -172,11 +199,7 @@ def des_run(case: DifferentialCase, nb: int = 1216):
         tianhe1_node(case.cpu, spec_clock).elements[0],
         variability=NO_VARIABILITY,
     )
-    mapper = AdaptiveMapper(
-        element.initial_gsplit,
-        len(element.compute_cores),
-        max_workload=dgemm_flops(case.n, case.n, nb) * 1.05,
-    )
+    mapper = build_hpl_mapper(case.scheduler, element, case.n, nb=nb)
     runner = ElementLinpack(element, mapper, nb=nb, jitter=False)
     runner.run_to_completion(case.n)  # warm the databases
     return runner.run_to_completion(case.n, collect_steps=True), mapper
@@ -235,11 +258,14 @@ def _compare(case: DifferentialCase, analytic, des, mapper) -> DivergenceReport:
                 detail="mapper-database trajectory diverged from the analytic split",
             ))
 
-    # Both twins must be internally consistent too.
+    # Both twins must be internally consistent too.  Only mappers that carry
+    # split databases (adaptive/qilin) have database invariants to check —
+    # the static mapper stores a fixed split, not a learned one.
     report.extend(check_run(analytic, trace=f"{name}/analytic").divergences)
-    from repro.verify.invariants import check_mapper_databases
+    if hasattr(mapper, "database_g"):
+        from repro.verify.invariants import check_mapper_databases
 
-    report.extend(check_mapper_databases(mapper, trace=f"{name}/mapper"))
+        report.extend(check_mapper_databases(mapper, trace=f"{name}/mapper"))
     return report
 
 

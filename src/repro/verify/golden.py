@@ -45,7 +45,7 @@ def _trace_payload(entry: GoldenScenario) -> dict:
         "name": entry.name,
         "description": entry.description,
         "scenario": {
-            "configuration": str(scenario.configuration),
+            "configuration": scenario.scheduler_name,
             "n": scenario.n,
             "grid": list(result.grid),
             "seed": scenario.seed,

@@ -85,7 +85,7 @@ class GoldenScenario:
 def _single(configuration: Configuration, n: int, **kw) -> Callable[[], Scenario]:
     def build() -> Scenario:
         return Scenario(
-            configuration=configuration,
+            scheduler=configuration,
             n=n,
             seed=GOLDEN_SEED,
             cluster_seed=GOLDEN_CLUSTER_SEED,
@@ -103,7 +103,7 @@ def _hetero(
 ) -> Callable[[], Scenario]:
     def build() -> Scenario:
         return Scenario(
-            configuration=Configuration.ACMLG_BOTH,
+            scheduler=Configuration.ACMLG_BOTH,
             n=n,
             grid=(2, 2),
             cluster=small_cluster((XEON_E5540, XEON_E5450)),

@@ -80,7 +80,7 @@ def small_scenario(configuration=Configuration.ACMLG_BOTH, **kw):
     """A small seeded Scenario — the suites' canonical N=12000 single element."""
     kw.setdefault("n", 12000)
     kw.setdefault("seed", TEST_SEED)
-    return Scenario(configuration=configuration, **kw)
+    return Scenario(scheduler=configuration, **kw)
 
 
 @pytest.fixture

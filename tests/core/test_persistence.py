@@ -72,7 +72,7 @@ class TestAtomicSave:
 
         mapper.observe(make_obs(5e11, 0.889, 170e9, [9e9, 10e9, 11e9]))
         save_mapper(mapper, path)
-        assert json.loads(path.read_text())["updates"] == 3
+        assert json.loads(path.read_text())["state"]["updates"] == 3
         assert sorted(p.name for p in tmp_path.iterdir()) == ["db.json"]
 
     def test_failed_write_keeps_old_file_and_leaves_no_temp(self, tmp_path, monkeypatch):

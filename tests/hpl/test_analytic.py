@@ -35,7 +35,7 @@ class TestAnalyticBasics:
     def run(self, config_name="acmlg_both", n=10000, **kw):
         return run_scenario(
             Scenario(
-                configuration=config_name, n=n, variability=NO_VARIABILITY, **kw
+                scheduler=config_name, n=n, variability=NO_VARIABILITY, **kw
             )
         )
 
@@ -76,7 +76,7 @@ class TestAnalyticBasics:
 
     def test_unknown_configuration_rejected(self):
         with pytest.raises(ValueError, match="valid configurations"):
-            Scenario(configuration="nope", n=1000)
+            Scenario(scheduler="nope", n=1000)
 
     def test_grid_larger_than_table_rejected(self):
         cluster = single_element_cluster()
@@ -95,7 +95,7 @@ class TestPaperOrderings:
     def results(self):
         return {
             name: run_scenario(
-                Scenario(configuration=name, n=46000, variability=NO_VARIABILITY)
+                Scenario(scheduler=name, n=46000, variability=NO_VARIABILITY)
             ).gflops
             for name in CONFIGURATIONS
         }
@@ -132,7 +132,7 @@ class TestMultiElement:
         cluster = Cluster(tianhe1_cluster(cabinets=1), seed=2009)
         r = run_scenario(
             Scenario(
-                configuration="acmlg_both", n=280_000, cluster=cluster,
+                scheduler="acmlg_both", n=280_000, cluster=cluster,
                 grid=ProcessGrid(8, 8),
             )
         )
@@ -145,14 +145,14 @@ class TestMultiElement:
         """
         one = run_scenario(
             Scenario(
-                configuration="acmlg_both", n=280_000,
+                scheduler="acmlg_both", n=280_000,
                 cluster=Cluster(tianhe1_cluster(cabinets=1), seed=2009),
                 grid=ProcessGrid(8, 8),
             )
         )
         four = run_scenario(
             Scenario(
-                configuration="acmlg_both", n=560_000,
+                scheduler="acmlg_both", n=560_000,
                 cluster=Cluster(tianhe1_cluster(cabinets=4), seed=2009),
                 grid=ProcessGrid(16, 16),
             )
@@ -166,13 +166,13 @@ class TestMultiElement:
         for seed in (1, 2, 3):
             ours = run_scenario(
                 Scenario(
-                    configuration="acmlg_both", n=150_000, cluster=cluster,
+                    scheduler="acmlg_both", n=150_000, cluster=cluster,
                     grid=ProcessGrid(8, 8), seed=seed,
                 )
             )
             qilin = run_scenario(
                 Scenario(
-                    configuration="qilin", n=150_000, cluster=cluster,
+                    scheduler="qilin", n=150_000, cluster=cluster,
                     grid=ProcessGrid(8, 8), seed=seed,
                 )
             )
@@ -184,7 +184,7 @@ class TestMultiElement:
         cluster = Cluster(tianhe1_cluster(cabinets=1), seed=2009)
         r = run_scenario(
             Scenario(
-                configuration="acmlg_both", n=200_000, cluster=cluster,
+                scheduler="acmlg_both", n=200_000, cluster=cluster,
                 grid=ProcessGrid(8, 8), collect_steps=True,
             )
         )
@@ -196,7 +196,7 @@ class TestMultiElement:
     def test_mean_gsplit_recorded(self):
         r = run_scenario(
             Scenario(
-                configuration="acmlg_both", n=20000, variability=NO_VARIABILITY,
+                scheduler="acmlg_both", n=20000, variability=NO_VARIABILITY,
                 collect_steps=True,
             )
         )

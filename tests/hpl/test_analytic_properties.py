@@ -15,12 +15,12 @@ from repro.util.units import lu_flops
 
 
 def run_element(configuration, n, **kw):
-    return run_scenario(Scenario(configuration=configuration, n=n, **kw))
+    return run_scenario(Scenario(scheduler=configuration, n=n, **kw))
 
 
 def run_grid(configuration, n, cluster, grid, **kw):
     return run_scenario(
-        Scenario(configuration=configuration, n=n, cluster=cluster, grid=grid, **kw)
+        Scenario(scheduler=configuration, n=n, cluster=cluster, grid=grid, **kw)
     )
 
 

@@ -16,7 +16,7 @@ TOL = 1e-9
 
 def _scalar_gflops(configuration, n, seed=SEED, grid=(1, 1)):
     return run(
-        Scenario(configuration=configuration, n=n, seed=seed, grid=grid)
+        Scenario(scheduler=configuration, n=n, seed=seed, grid=grid)
     ).gflops
 
 

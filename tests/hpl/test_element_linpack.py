@@ -63,7 +63,7 @@ class TestCrossValidation:
         runner.run_to_completion(n)  # warm databases (second-run protocol)
         des = runner.run_to_completion(n).gflops
         analytic = run_scenario(
-            Scenario(configuration="acmlg_both", n=n, variability=NO_VARIABILITY)
+            Scenario(scheduler="acmlg_both", n=n, variability=NO_VARIABILITY)
         ).gflops
         # The analytic stepper assumes converged splits and folds DTRSM into
         # the update's effective rate, so it sits above the exact DES run;

@@ -85,7 +85,7 @@ class TestMixedClusterLinpack:
         cluster = Cluster(spec, seed=2009)
         result = run_scenario(
             Scenario(
-                configuration="acmlg_both", n=400_000, cluster=cluster,
+                scheduler="acmlg_both", n=400_000, cluster=cluster,
                 grid=ProcessGrid(16, 32),
             )
         )

@@ -115,7 +115,7 @@ class TestHplInstrumentation:
         telemetry = obs.Telemetry()
         steps = []
         result = run_scenario(
-            Scenario(configuration="acmlg_both", n=11500),
+            Scenario(scheduler="acmlg_both", n=11500),
             progress=steps.append,
             telemetry=telemetry,
         )
@@ -154,7 +154,7 @@ class TestBitIdentical:
         assert np.array_equal(amb_db, base_db)
 
     def test_linpack_result_identical(self):
-        scenario = Scenario(configuration="acmlg_both", n=11500)
+        scenario = Scenario(scheduler="acmlg_both", n=11500)
         plain = run_scenario(scenario)
         traced = run_scenario(scenario, telemetry=obs.Telemetry())
         assert traced.gflops == plain.gflops

@@ -1,0 +1,67 @@
+"""CLI surfaces of the scheduler API: sched list, --scheduler flags."""
+
+import json
+
+import pytest
+
+from repro.sched import cli as sched_cli
+from repro.verify import differential
+
+
+class TestSchedList:
+    def test_list_shows_the_whole_zoo(self, capsys):
+        assert sched_cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("adaptive", "static", "qilin", "heft", "work_stealing", "hesp"):
+            assert name in out
+        assert "aliases: acmlg_adaptive, acmlg_both" in out
+
+    def test_list_json_is_machine_readable(self, capsys):
+        assert sched_cli.main(["list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) >= 6  # the ISSUE acceptance floor
+        assert {"name", "description", "source", "hpl", "dag", "aliases"} <= set(
+            rows[0]
+        )
+
+
+class TestBenchSchedulerFlag:
+    def test_unknown_scheduler_fails_fast(self, capsys):
+        from repro.bench import cli as bench_cli
+
+        assert bench_cli.main(["fig9", "--scheduler", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_scheduler_flag_is_fig9_only(self, capsys):
+        from repro.bench import cli as bench_cli
+
+        assert bench_cli.main(["fig8", "--scheduler", "adaptive"]) == 2
+        assert "only apply to fig9" in capsys.readouterr().err
+
+    def test_deprecated_configurations_spelling_warns(self, capsys):
+        from repro.bench import cli as bench_cli
+
+        assert bench_cli.main(["fig8", "--configurations", "acmlg_both"]) == 2
+        assert "--configurations is deprecated" in capsys.readouterr().err
+
+
+class TestCrossvalSchedulerExpansion:
+    def test_cases_are_renamed_per_scheduler(self):
+        base = (differential.DifferentialCase(name="e5540/clean", n=8000),)
+        cases = differential.cases_for_schedulers(["static", "qilin"], base=base)
+        assert [c.name for c in cases] == ["static/e5540/clean", "qilin/e5540/clean"]
+        assert [c.scheduler for c in cases] == ["static", "qilin"]
+
+    def test_default_base_is_the_full_matrix(self):
+        cases = differential.cases_for_schedulers(["adaptive"])
+        assert len(cases) == len(differential.MATRIX)
+
+    def test_dag_only_schedulers_are_rejected(self):
+        with pytest.raises(ValueError):
+            differential.cases_for_schedulers(["heft"])
+
+    def test_crossval_cli_rejects_unknown_scheduler(self, capsys):
+        from repro.verify import cli as verify_cli
+
+        assert verify_cli.main(["crossval", "--scheduler", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err

@@ -1,0 +1,122 @@
+"""Task graphs and the workload generators behind the tournament."""
+
+import pytest
+
+from repro.sched.dag import DagTask, TaskGraph
+from repro.sched.workloads import (
+    mixed_stream,
+    standard_workloads,
+    tiled_cholesky,
+    tiled_lu,
+)
+
+
+def chain(n: int = 4, flops: float = 1e9) -> TaskGraph:
+    tasks = tuple(
+        DagTask(id=f"t{i}", kind="gemm", flops=flops, out_bytes=8.0,
+                deps=(f"t{i-1}",) if i else ())
+        for i in range(n)
+    )
+    return TaskGraph(name="chain", tasks=tasks)
+
+
+class TestTaskGraphValidation:
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError, match="flops"):
+            DagTask(id="x", kind="gemm", flops=-1.0, out_bytes=0.0)
+
+    def test_duplicate_ids_rejected(self):
+        t = DagTask(id="a", kind="gemm", flops=1.0, out_bytes=0.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskGraph(name="dup", tasks=(t, t))
+
+    def test_unknown_dependency_rejected(self):
+        t = DagTask(id="a", kind="gemm", flops=1.0, out_bytes=0.0, deps=("ghost",))
+        with pytest.raises(ValueError, match="unknown"):
+            TaskGraph(name="bad", tasks=(t,))
+
+    def test_cycle_rejected(self):
+        a = DagTask(id="a", kind="gemm", flops=1.0, out_bytes=0.0, deps=("b",))
+        b = DagTask(id="b", kind="gemm", flops=1.0, out_bytes=0.0, deps=("a",))
+        with pytest.raises(ValueError, match="cycle"):
+            TaskGraph(name="loop", tasks=(a, b))
+
+
+class TestTaskGraphQueries:
+    def test_topo_order_respects_dependencies(self):
+        graph = tiled_cholesky(4, 256)
+        seen = set()
+        for tid in graph.topo_order():
+            assert all(dep in seen for dep in graph.predecessors(tid))
+            seen.add(tid)
+        assert len(seen) == len(graph)
+
+    def test_successors_invert_predecessors(self):
+        graph = tiled_lu(3, 256)
+        for task in graph.tasks:
+            for dep in task.deps:
+                assert task.id in graph.successors(dep)
+
+    def test_critical_path_of_a_chain_is_its_total(self):
+        graph = chain(5, flops=2e9)
+        assert graph.critical_path_flops == pytest.approx(graph.total_flops)
+        assert graph.total_flops == pytest.approx(5 * 2e9)
+
+    def test_critical_path_of_a_diamond_is_the_longest_arm(self):
+        tasks = (
+            DagTask(id="src", kind="gemm", flops=1e9, out_bytes=8.0),
+            DagTask(id="fast", kind="gemm", flops=1e9, out_bytes=8.0, deps=("src",)),
+            DagTask(id="slow", kind="gemm", flops=5e9, out_bytes=8.0, deps=("src",)),
+            DagTask(id="sink", kind="gemm", flops=1e9, out_bytes=8.0,
+                    deps=("fast", "slow")),
+        )
+        graph = TaskGraph(name="diamond", tasks=tasks)
+        assert graph.critical_path_flops == pytest.approx(1e9 + 5e9 + 1e9)
+
+
+class TestWorkloadGenerators:
+    def test_cholesky_task_count(self):
+        # Per elimination step k on T tiles: 1 potrf + (T-k-1) trsm +
+        # (T-k-1) syrk + C(T-k-1, 2) gemm.
+        T = 5
+        graph = tiled_cholesky(T, 128)
+        expected = sum(
+            1 + 2 * (T - k - 1) + (T - k - 1) * (T - k - 2) // 2 for k in range(T)
+        )
+        assert len(graph) == expected
+
+    def test_lu_task_count(self):
+        T = 4
+        graph = tiled_lu(T, 128)
+        expected = sum(1 + 2 * (T - k - 1) + (T - k - 1) ** 2 for k in range(T))
+        assert len(graph) == expected
+
+    def test_stream_mixes_kernel_kinds(self):
+        graph = mixed_stream(chains=4, depth=6)
+        kinds = {t.kind for t in graph.tasks}
+        assert {"gemm", "conv", "norm", "reduce"} <= kinds
+        assert len(graph) == 4 * 6 + 1
+
+    def test_generators_are_deterministic(self):
+        a, b = tiled_cholesky(4, 512), tiled_cholesky(4, 512)
+        assert a.name == b.name
+        assert [t.id for t in a.tasks] == [t.id for t in b.tasks]
+        assert [t.flops for t in a.tasks] == [t.flops for t in b.tasks]
+
+    def test_standard_workloads_expose_variants(self):
+        catalogue = standard_workloads(quick=True)
+        assert set(catalogue) == {"cholesky", "lu", "stream"}
+        for name, workload in catalogue.items():
+            variants = workload.variants()
+            assert len(variants) >= 1
+            # Default graph first; every variant computes the same workload.
+            assert variants[0].name == workload.graph().name
+            assert all(v.meta["workload"] == name for v in variants)
+
+    def test_variants_change_granularity_not_problem(self):
+        cholesky = standard_workloads(quick=True)["cholesky"]
+        variants = cholesky.variants()
+        tiles = {(v.meta["n_tiles"], v.meta["tile"]) for v in variants}
+        assert len(tiles) == len(variants)  # each variant a distinct tiling
+        sizes = {v.meta["n_tiles"] * v.meta["tile"] for v in variants}
+        assert len(sizes) == 1  # ...of the same matrix

@@ -1,0 +1,84 @@
+"""The DeviceSet view of a compute element, including GpuDropout faults."""
+
+import math
+
+import pytest
+
+from repro.faults.spec import FaultSpec, GpuDropout
+from repro.machine.presets import tianhe1_element
+from repro.sched.devices import DeviceSet
+
+
+@pytest.fixture
+def element_devices():
+    return DeviceSet.from_element(tianhe1_element(), name="tianhe1")
+
+
+class TestFromElement:
+    def test_one_device_per_compute_core_plus_gpu(self, element_devices):
+        spec = tianhe1_element()
+        assert len(element_devices.cpus) == len(spec.compute_core_indices)
+        assert len(element_devices.gpus) == 1
+        assert [d.index for d in element_devices.devices] == list(
+            range(len(element_devices.devices))
+        )
+
+    def test_memory_domains(self, element_devices):
+        assert all(d.memory_domain == "host" for d in element_devices.cpus)
+        assert element_devices.gpus[0].memory_domain == "gpu0"
+
+    def test_default_devices_never_die(self, element_devices):
+        assert all(d.alive_until == math.inf for d in element_devices.devices)
+        assert element_devices.alive(1e9) == element_devices.devices
+
+
+class TestExecModel:
+    def test_exec_time_monotone_in_flops(self, element_devices):
+        for device in element_devices.devices:
+            times = [device.exec_time(f) for f in (1e6, 1e8, 1e10, 1e12)]
+            assert times == sorted(times)
+            assert all(t > 0 for t in times)
+
+    def test_small_tasks_favor_cpu_large_tasks_favor_gpu(self, element_devices):
+        # The tension every scheduler negotiates: kernel-launch overhead and
+        # the saturating efficiency curve make the GPU lose on tiny kernels.
+        cpu, gpu = element_devices.cpus[0], element_devices.gpus[0]
+        assert cpu.exec_time(1e5) < gpu.exec_time(1e5)
+        assert gpu.exec_time(5e10) < cpu.exec_time(5e10)
+
+    def test_gpu_rate_approaches_but_never_exceeds_eff_max(self, element_devices):
+        gpu = element_devices.gpus[0]
+        assert gpu.rate(1e13) < gpu.peak_flops * gpu.efficiency
+        assert gpu.rate(1e13) > gpu.rate(1e9)
+
+    def test_comm_free_within_a_domain(self, element_devices):
+        assert element_devices.comm_time(1e9, "host", "host") == 0.0
+        assert element_devices.comm_time(1e9, "gpu0", "gpu0") == 0.0
+
+    def test_cross_domain_comm_pays_latency_plus_bandwidth(self, element_devices):
+        small = element_devices.comm_time(8.0, "host", "gpu0")
+        big = element_devices.comm_time(1e9, "host", "gpu0")
+        assert small >= element_devices.transfer.latency
+        assert big > small
+
+
+class TestGpuDropoutFaults:
+    def test_dropout_at_time_zero_removes_the_gpu(self):
+        faults = FaultSpec(dropouts=(GpuDropout(at=0.0),))
+        devices = DeviceSet.from_element(tianhe1_element(), faults=faults)
+        assert devices.gpus == ()
+        assert len(devices.cpus) >= 1
+
+    def test_later_dropout_sets_alive_until(self):
+        faults = FaultSpec(dropouts=(GpuDropout(at=2.5),))
+        devices = DeviceSet.from_element(tianhe1_element(), faults=faults)
+        (gpu,) = devices.gpus
+        assert gpu.alive_until == 2.5
+        assert gpu.alive_at(2.0) and not gpu.alive_at(2.5)
+        assert gpu not in devices.alive(3.0)
+        assert all(d.kind == "cpu" for d in devices.alive(3.0))
+
+    def test_earliest_dropout_wins(self):
+        faults = FaultSpec(dropouts=(GpuDropout(at=5.0), GpuDropout(at=1.0)))
+        devices = DeviceSet.from_element(tianhe1_element(), faults=faults)
+        assert devices.gpus[0].alive_until == 1.0

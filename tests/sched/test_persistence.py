@@ -1,0 +1,125 @@
+"""Registry-aware persistence: every scheduler round-trips with its name."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sched import persistence, registry
+from repro.sched.adaptive import AdaptiveMapper
+from repro.sched.qilin import QilinMapper
+from repro.sched.static_map import StaticMapper
+
+#: Sample learned state per scheduler, fed through load_state before saving
+#: so the round trip carries real payloads, not just empty dicts.
+SAMPLE_STATE = {
+    "adaptive": {"correction": {"gpu": 1.15, "cpu": 0.98}},
+    "qilin": {"frozen": {"gemm": "gpu", "norm": "cpu"}},
+    "hesp": {"chosen": {"cholesky": "cholesky[4x4,b=2048]"}},
+}
+
+
+class TestSchedulerRoundTrip:
+    @pytest.mark.parametrize("name", registry.names())
+    def test_every_registered_scheduler_round_trips(self, name, tmp_path):
+        scheduler = registry.create(name)
+        scheduler.load_state(SAMPLE_STATE.get(name, {}))
+        path = persistence.save_mapper(scheduler, tmp_path / f"{name}.json")
+
+        loaded_name, loaded = persistence.load_named(path)
+        assert loaded_name == name
+        assert type(loaded) is type(scheduler)
+        assert loaded.state_dict() == scheduler.state_dict()
+
+    def test_payload_carries_name_and_kind(self, tmp_path):
+        scheduler = registry.create("heft")
+        payload = persistence.mapper_state(scheduler)
+        assert payload["version"] == persistence.FORMAT_VERSION
+        assert payload["scheduler"] == "heft"
+        assert payload["kind"] == "scheduler"
+
+    def test_save_is_valid_json(self, tmp_path):
+        path = persistence.save_mapper(
+            registry.create("work_stealing"), tmp_path / "ws.json"
+        )
+        payload = json.loads(path.read_text())
+        assert payload["scheduler"] == "work_stealing"
+
+
+def _warmed_adaptive(cls=AdaptiveMapper):
+    mapper = cls(0.889, 3, max_workload=1e13, n_bins=16)
+    mapper.database_g.store(2.0e12, 0.72)
+    mapper.database_g.store(7.5e12, 0.81)
+    mapper.database_c.store([0.5, 0.3, 0.2])
+    mapper.updates = 2
+    return mapper
+
+
+class TestHplMapperRoundTrip:
+    def test_adaptive_mapper_databases_survive(self, tmp_path):
+        mapper = _warmed_adaptive()
+        path = persistence.save_mapper(mapper, tmp_path / "adaptive.json")
+        name, restored = persistence.load_named(path)
+        assert name == "adaptive"
+        assert isinstance(restored, AdaptiveMapper)
+        np.testing.assert_allclose(
+            restored.database_g.values(), mapper.database_g.values()
+        )
+        np.testing.assert_array_equal(
+            restored.database_g.written_mask(), mapper.database_g.written_mask()
+        )
+        np.testing.assert_allclose(
+            restored.database_c.lookup(), mapper.database_c.lookup()
+        )
+        assert restored.updates == 2
+
+    def test_qilin_mapper_keeps_training_and_freeze(self, tmp_path):
+        mapper = _warmed_adaptive(QilinMapper)
+        mapper.training_seconds = 12.5
+        mapper.training_observations = 4
+        mapper.freeze()
+        path = persistence.save_mapper(mapper, tmp_path / "qilin.json")
+        name, restored = persistence.load_named(path)
+        assert name == "qilin"
+        assert isinstance(restored, QilinMapper)
+        assert restored.frozen
+        assert restored.training_seconds == 12.5
+        assert restored.training_observations == 4
+
+    @pytest.mark.parametrize("name,gsplit", [
+        ("static", 0.889), ("gpu_only", 1.0), ("cpu_only", 0.0),
+    ])
+    def test_static_mappers_need_a_pinned_name(self, name, gsplit, tmp_path):
+        # One StaticMapper class backs three registry entries; the explicit
+        # name parameter disambiguates them in the payload.
+        mapper = StaticMapper(gsplit, 3)
+        path = persistence.save_mapper(mapper, tmp_path / f"{name}.json", name=name)
+        loaded_name, restored = persistence.load_named(path)
+        assert loaded_name == name
+        assert isinstance(restored, StaticMapper)
+        assert restored.gsplit(1e12) == pytest.approx(gsplit)
+
+    def test_restore_is_not_an_observed_update(self, tmp_path):
+        mapper = _warmed_adaptive()
+        path = persistence.save_mapper(mapper, tmp_path / "m.json")
+        _, restored = persistence.load_named(path)
+        assert restored.database_g.history == []
+        assert restored.database_c.history == []
+
+
+class TestLegacyFormat:
+    def test_format_1_payloads_load_as_adaptive(self):
+        body = persistence.mapper_state(_warmed_adaptive())["state"]
+        legacy = {**body, "version": persistence.LEGACY_FORMAT_VERSION}
+        name, restored = persistence.restore_named(legacy)
+        assert name == "adaptive"
+        assert isinstance(restored, AdaptiveMapper)
+        assert restored.updates == 2
+
+    def test_unknown_version_is_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            persistence.restore_named({"version": 99})
+
+    def test_unpersistable_objects_are_rejected(self):
+        with pytest.raises(TypeError, match="cannot persist"):
+            persistence.mapper_state(object())

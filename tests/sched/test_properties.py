@@ -1,0 +1,95 @@
+"""Property suite for the scheduler zoo (hypothesis).
+
+The invariants the ISSUE pins: split fractions stay in [0, 1] and CSplits
+partition to 1 under any consistent observation stream, texture-limit
+splits tile the matrix exactly, and no scheduler ever completes work on a
+GPU after a ``GpuDropout`` killed it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.spec import FaultSpec, GpuDropout
+from repro.machine.presets import tianhe1_element
+from repro.sched import registry
+from repro.sched.adaptive import AdaptiveMapper
+from repro.sched.devices import DeviceSet
+from repro.sched.simulate import execute
+from repro.sched.taskqueue import split_extents
+from repro.sched.workloads import tiled_cholesky
+from tests.strategies import observation_sequences, workloads
+
+DAG_SCHEDULERS = [
+    name for name in registry.names() if registry.get(name).supports_dag
+]
+
+
+class TestSplitInvariants:
+    @given(observation_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_gsplit_stays_a_fraction_under_any_stream(self, observations):
+        mapper = AdaptiveMapper(0.889, 3, max_workload=1.7e13, n_bins=16)
+        for obs in observations:
+            mapper.observe(obs)
+            values = mapper.database_g.values()
+            assert (values >= 0.0).all() and (values <= 1.0).all()
+            # Written bins respect the starvation guard too.
+            written = mapper.database_g.written_mask()
+            assert (values[written] >= mapper.min_gsplit).all()
+
+    @given(observation_sequences(), workloads)
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_is_always_a_valid_fraction(self, observations, workload):
+        mapper = AdaptiveMapper(0.889, 3, max_workload=1.7e13, n_bins=16)
+        for obs in observations:
+            mapper.observe(obs)
+        assert 0.0 <= mapper.gsplit(min(workload, mapper.database_g.max_workload)) <= 1.0
+
+    @given(observation_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_csplits_always_partition_to_one(self, observations):
+        mapper = AdaptiveMapper(0.889, 3, max_workload=1.7e13, n_bins=16)
+        for obs in observations:
+            mapper.observe(obs)
+            csplits = mapper.csplits()
+            assert (csplits >= 0.0).all()
+            assert abs(csplits.sum() - 1.0) < 1e-6
+
+
+class TestTextureLimitSplits:
+    @given(st.integers(1, 50_000), st.integers(1, 8192))
+    @settings(max_examples=60, deadline=None)
+    def test_extents_tile_the_axis_exactly(self, total, limit):
+        extents = split_extents(total, limit)
+        assert extents[0][0] == 0
+        covered = 0
+        for start, length in extents:
+            assert start == covered  # contiguous, in order
+            assert 1 <= length <= limit
+            covered += length
+        assert covered == total
+
+    @given(st.integers(1, 8192))
+    @settings(max_examples=20, deadline=None)
+    def test_within_limit_needs_no_split(self, total):
+        assert split_extents(total, 8192) == [(0, total)]
+
+
+class TestNoWorkOnDroppedGpus:
+    @given(
+        st.sampled_from(DAG_SCHEDULERS),
+        st.floats(0.0, 0.2, allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_no_gpu_record_survives_past_the_dropout(self, name, death_time):
+        devices = DeviceSet.from_element(
+            tianhe1_element(),
+            faults=FaultSpec(dropouts=(GpuDropout(at=death_time),)),
+        )
+        graph = tiled_cholesky(3, 512)
+        result = execute(graph, devices, registry.create(name))
+        # The graph always completes, and nothing finishes on a dead GPU.
+        assert len(result.records) == len(graph)
+        for record in result.records:
+            if record.device_kind == "gpu":
+                assert record.finish <= death_time + 1e-12

@@ -1,0 +1,107 @@
+"""The scheduler registry: names, aliases, resolution, ambient context."""
+
+import pytest
+
+from repro.hpl.driver import Configuration
+from repro.sched import registry
+from repro.sched.base import Scheduler
+
+#: Every scheduler the zoo ships (ISSUE acceptance: >= 6 registered).
+EXPECTED_NAMES = {
+    "adaptive", "static", "qilin", "gpu_only", "cpu_only",
+    "heft", "work_stealing", "hesp",
+}
+
+
+class TestRegistry:
+    def test_zoo_is_registered(self):
+        names = registry.names()
+        assert EXPECTED_NAMES <= set(names)
+        assert len(names) >= 6
+
+    def test_every_entry_declares_a_capability(self):
+        for name in registry.names():
+            info = registry.get(name)
+            assert info.description, name
+            assert info.supports_hpl or info.supports_dag, name
+            assert info.source in ("paper", "extension"), name
+
+    def test_extensions_are_marked(self):
+        for name in ("heft", "work_stealing", "hesp"):
+            assert registry.get(name).source == "extension"
+        for name in ("adaptive", "static", "qilin"):
+            assert registry.get(name).source == "paper"
+
+    def test_legacy_configuration_keys_are_aliases(self):
+        aliases = registry.aliases()
+        assert aliases["acmlg_both"] == "adaptive"
+        assert aliases["acmlg"] == "gpu_only"
+        assert aliases["acmlg_pipe"] == "gpu_only"
+        assert aliases["cpu"] == "cpu_only"
+        # Every legacy Configuration member resolves somewhere.
+        for member in Configuration:
+            assert registry.canonical_name(str(member)) in registry.names()
+
+    def test_canonical_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            registry.canonical_name("not_a_scheduler")
+
+    def test_create_returns_fresh_instances(self):
+        a, b = registry.create("adaptive"), registry.create("adaptive")
+        assert a is not b
+        assert isinstance(a, Scheduler)
+        assert a.name == "adaptive"
+
+    def test_create_resolves_aliases_but_keeps_canonical_name(self):
+        sch = registry.create("acmlg_both")
+        assert sch.name == "adaptive"
+
+    def test_describe_rows_carry_aliases(self):
+        rows = {row["name"]: row for row in registry.describe()}
+        assert "acmlg_both" in rows["adaptive"]["aliases"]
+        assert rows["heft"]["dag"] and not rows["heft"]["hpl"]
+
+
+class TestResolveName:
+    def test_alias_spelling_is_preserved(self):
+        # Golden traces and cache keys depend on this: legacy spellings
+        # validate against the registry but pass through unchanged.
+        assert registry.resolve_name("acmlg_both") == "acmlg_both"
+        assert registry.resolve_name("adaptive") == "adaptive"
+        assert registry.resolve_name(Configuration.CPU) == "cpu"
+
+    def test_scheduler_instances_resolve_to_their_name(self):
+        assert registry.resolve_name(registry.create("heft")) == "heft"
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError):
+            registry.resolve_name("bogus")
+
+
+class TestAmbientContext:
+    def test_default_is_the_papers_framework(self):
+        assert registry.current() == registry.DEFAULT_SCHEDULER == "adaptive"
+
+    def test_use_nests_and_restores(self):
+        with registry.use("heft"):
+            assert registry.current() == "heft"
+            with registry.use("static"):
+                assert registry.current() == "static"
+            assert registry.current() == "heft"
+        assert registry.current() == "adaptive"
+
+    def test_use_none_is_a_noop(self):
+        with registry.use(None):
+            assert registry.current() == "adaptive"
+
+    def test_use_validates_before_installing(self):
+        with pytest.raises(ValueError):
+            with registry.use("bogus"):
+                pass  # pragma: no cover - use() must raise first
+        assert registry.current() == "adaptive"
+
+    def test_use_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with registry.use("qilin"):
+                raise RuntimeError("boom")
+        assert registry.current() == "adaptive"

@@ -1,0 +1,177 @@
+"""The event-driven DAG executor and the scheduler zoo's behavior on it."""
+
+import pytest
+
+from repro.faults.spec import FaultSpec, GpuDropout
+from repro.machine.presets import tianhe1_element
+from repro.sched import registry
+from repro.sched.base import Scheduler
+from repro.sched.devices import DeviceSet
+from repro.sched.simulate import execute
+from repro.sched.workloads import mixed_stream, standard_workloads, tiled_cholesky
+
+DAG_SCHEDULERS = [
+    name for name in registry.names() if registry.get(name).supports_dag
+]
+
+
+@pytest.fixture
+def devices():
+    return DeviceSet.from_element(tianhe1_element(), name="tianhe1")
+
+
+@pytest.fixture
+def small_graph():
+    return tiled_cholesky(3, 512)
+
+
+class TestExecutorContract:
+    @pytest.mark.parametrize("name", DAG_SCHEDULERS)
+    def test_every_scheduler_completes_the_graph(self, name, devices, small_graph):
+        result = execute(small_graph, devices, registry.create(name))
+        assert result.scheduler == registry.canonical_name(name)
+        assert len(result.records) == len(small_graph)
+        assert {r.task_id for r in result.records} == {
+            t.id for t in small_graph.tasks
+        }
+        assert result.makespan > 0
+
+    @pytest.mark.parametrize("name", DAG_SCHEDULERS)
+    def test_records_respect_dependencies(self, name, devices, small_graph):
+        result = execute(small_graph, devices, registry.create(name))
+        finish = {r.task_id: r.finish for r in result.records}
+        start = {r.task_id: r.start for r in result.records}
+        for task in small_graph.tasks:
+            for dep in task.deps:
+                assert finish[dep] <= start[task.id] + 1e-12
+
+    @pytest.mark.parametrize("name", DAG_SCHEDULERS)
+    def test_no_device_runs_two_tasks_at_once(self, name, devices, small_graph):
+        result = execute(small_graph, devices, registry.create(name))
+        per_device: dict = {}
+        for r in sorted(result.records, key=lambda r: r.start):
+            intervals = per_device.setdefault(r.device_index, [])
+            if intervals:
+                assert intervals[-1][1] <= r.start + 1e-12
+            intervals.append((r.start, r.finish))
+
+    @pytest.mark.parametrize("name", DAG_SCHEDULERS)
+    def test_makespan_bounded_below_by_critical_path(self, name, devices, small_graph):
+        # No schedule beats the critical path run entirely at the fastest
+        # large-task rate in the set.
+        result = execute(small_graph, devices, registry.create(name))
+        best_rate = max(d.rate(1e12) for d in devices.devices)
+        assert result.makespan >= small_graph.critical_path_flops / best_rate
+
+    @pytest.mark.parametrize("name", DAG_SCHEDULERS)
+    def test_two_fresh_runs_are_identical(self, name, devices, small_graph):
+        a = execute(small_graph, devices, registry.create(name))
+        b = execute(small_graph, devices, registry.create(name))
+        assert a.records == b.records
+        assert a.makespan == b.makespan
+
+    def test_hpl_only_schedulers_are_rejected(self, devices, small_graph):
+        class HplOnly(Scheduler):
+            name = "hpl_only_stub"
+            supports_hpl = True
+            supports_dag = False
+
+        with pytest.raises(ValueError, match="HPL-only"):
+            execute(small_graph, devices, HplOnly())
+
+    def test_illegal_assignments_raise(self, devices, small_graph):
+        class Cheater(Scheduler):
+            name = "cheater"
+            supports_dag = True
+
+            def next_assignment(self, state):
+                return state.ready[0], 0  # device 0 regardless of busy state
+
+        class DoubleBooker(Cheater):
+            def next_assignment(self, state):
+                # Hand out the same device while the executor thinks it free:
+                # assign a task that is not ready.
+                return state.graph.topo_order()[-1], 0
+
+        with pytest.raises(ValueError, match="non-ready"):
+            execute(small_graph, devices, DoubleBooker())
+
+
+class TestPlacementPersonalities:
+    def test_cpu_only_never_touches_the_gpu(self, devices, small_graph):
+        result = execute(small_graph, devices, registry.create("cpu_only"))
+        assert all(r.device_kind == "cpu" for r in result.records)
+        assert result.gpu_task_fraction == 0.0
+
+    def test_gpu_only_runs_everything_on_the_gpu(self, devices, small_graph):
+        result = execute(small_graph, devices, registry.create("gpu_only"))
+        assert all(r.device_kind == "gpu" for r in result.records)
+        assert result.gpu_task_fraction == 1.0
+
+    def test_adaptive_splits_stream_work_by_task_size(self, devices):
+        # The mixed stream is built so neither pure placement wins: big GEMMs
+        # belong on the GPU, launch-overhead-dominated small kernels on CPUs.
+        graph = mixed_stream(chains=6, depth=6)
+        adaptive = execute(graph, devices, registry.create("adaptive"))
+        cpu_only = execute(graph, devices, registry.create("cpu_only"))
+        gpu_only = execute(graph, devices, registry.create("gpu_only"))
+        assert adaptive.makespan < cpu_only.makespan
+        assert adaptive.makespan < gpu_only.makespan
+        assert 0.0 < adaptive.gpu_task_fraction < 1.0
+
+    def test_work_stealing_uses_the_whole_machine(self, devices):
+        graph = mixed_stream(chains=6, depth=6)
+        result = execute(graph, devices, registry.create("work_stealing"))
+        used = {r.device_index for r in result.records}
+        assert len(used) == len(devices.devices)
+
+    def test_qilin_freezes_per_kind_placement(self, devices):
+        graph = mixed_stream(chains=6, depth=6)
+        scheduler = registry.create("qilin")
+        execute(graph, devices, scheduler)
+        # After training every recurring kind has a frozen preference.
+        assert "gemm" in scheduler._frozen
+
+    def test_hesp_chooses_a_variant_per_workload(self, devices):
+        workload = standard_workloads(quick=True)["cholesky"]
+        scheduler = registry.create("hesp")
+        graph = scheduler.choose_variant(workload, devices)
+        assert graph is not None
+        assert graph.name in {v.name for v in workload.variants(devices)}
+        assert scheduler.chosen["cholesky"] == graph.name
+
+    def test_heft_ranks_entry_tasks_above_exits(self, devices, small_graph):
+        scheduler = registry.create("heft")
+        scheduler.prepare(small_graph, devices)
+        order = small_graph.topo_order()
+        assert scheduler._rank[order[0]] > scheduler._rank[order[-1]]
+
+
+class TestGpuDeathMidRun:
+    def _faulted_devices(self, at: float) -> DeviceSet:
+        return DeviceSet.from_element(
+            tianhe1_element(), faults=FaultSpec(dropouts=(GpuDropout(at=at),))
+        )
+
+    @pytest.mark.parametrize("name", DAG_SCHEDULERS)
+    def test_death_requeues_and_the_graph_still_finishes(self, name, devices):
+        graph = tiled_cholesky(3, 512)
+        clean = execute(graph, devices, registry.create(name))
+        # Kill the GPU mid-run: halfway through the clean makespan.
+        death = clean.makespan / 2
+        faulted = execute(
+            graph, self._faulted_devices(death), registry.create(name)
+        )
+        assert len(faulted.records) == len(graph)
+        # No completed GPU work after the death; lost work re-ran on CPUs.
+        for r in faulted.records:
+            if r.device_kind == "gpu":
+                assert r.finish <= death + 1e-12
+
+    def test_gpu_only_degrades_to_cpus_instead_of_stalling(self):
+        graph = tiled_cholesky(3, 512)
+        result = execute(
+            graph, self._faulted_devices(1e-5), registry.create("gpu_only")
+        )
+        assert len(result.records) == len(graph)
+        assert any(r.device_kind == "cpu" for r in result.records)

@@ -1,0 +1,150 @@
+"""The scheduler tournament: the two regression pins and determinism.
+
+The ISSUE pins two results as acceptance gates, asserted here directly:
+
+* the adaptive framework beats the static peak split on throttle recovery
+  (the paper's central claim, raced head-to-head), and
+* HEFT wins at least one DAG workload cell (the PAPERS.md extension earns
+  its keep on dependency-heavy graphs).
+"""
+
+import pytest
+
+from repro import exec as exec_policy
+from repro.exec import ExecutionPolicy
+from repro.exec.cache import canonical_json
+from repro.sched import registry, tournament
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One full quick tournament shared by the assertion tests."""
+    return tournament.run_tournament(quick=True)
+
+
+class TestPins:
+    def test_adaptive_beats_static_on_throttle_recovery(self, quick_report):
+        pins = quick_report["pins"]
+        assert pins["adaptive_beats_static_throttle"] is True
+        recovery = {
+            c["scheduler"]: c["recovery"] for c in quick_report["hpl_cells"]
+        }
+        assert recovery["adaptive"] > recovery["static"]
+
+    def test_heft_wins_at_least_one_dag_cell(self, quick_report):
+        pins = quick_report["pins"]
+        assert pins["heft_wins_dag_cell"] is True
+        assert len(pins["heft_winning_cells"]) >= 1
+
+    def test_adaptive_losses_are_reported_honestly(self, quick_report):
+        # The leaderboard must not hide where the paper's scheduler loses:
+        # every rank-!= 1 adaptive cell appears in the losses list.
+        losses = {l["cell"] for l in quick_report["pins"]["adaptive_dag_losses"]}
+        expected = {
+            f"{c['machine']}/{c['workload']}"
+            for c in quick_report["dag_cells"]
+            if c["scheduler"] == "adaptive" and c["rank"] != 1
+        }
+        assert losses == expected
+
+
+class TestReportShape:
+    def test_grid_is_complete(self, quick_report):
+        n_sched = len(tournament.dag_schedulers())
+        n_cells = n_sched * len(quick_report["machines"]) * len(
+            quick_report["workloads"]
+        )
+        assert len(quick_report["dag_cells"]) == n_cells
+
+    def test_leaderboard_covers_the_zoo(self, quick_report):
+        board = quick_report["leaderboard"]
+        assert len(board) >= 6
+        assert [row["rank"] for row in board] == list(range(1, len(board) + 1))
+        wins = [row["wins"] for row in board]
+        assert wins == sorted(wins, reverse=True)
+
+    def test_win_rate_matches_the_board(self, quick_report):
+        total = len(
+            {(c["machine"], c["workload"]) for c in quick_report["dag_cells"]}
+        ) + 1  # + the throttle cell
+        adaptive = next(
+            row for row in quick_report["leaderboard"]
+            if row["scheduler"] == "adaptive"
+        )
+        assert quick_report["adaptive_win_rate"] == pytest.approx(
+            adaptive["wins"] / total
+        )
+        assert 0.0 < quick_report["adaptive_win_rate"] <= 1.0
+
+    def test_ranked_cells_annotate_winner_and_gap(self, quick_report):
+        for cell in quick_report["dag_cells"]:
+            assert cell["rel_makespan"] >= 1.0
+            assert (cell["rank"] == 1) == (cell["rel_makespan"] == 1.0) or (
+                cell["rel_makespan"] == pytest.approx(1.0)
+            )
+
+    def test_render_tells_the_whole_story(self, quick_report):
+        text = tournament.render_leaderboard(quick_report)
+        assert "pins:" in text
+        assert "HEFT wins a DAG cell: True" in text
+        for row in quick_report["leaderboard"]:
+            assert row["scheduler"] in text
+
+
+class TestDeterminism:
+    def test_leaderboard_is_byte_identical_across_cached_runs(self, tmp_path):
+        kwargs = dict(
+            quick=True,
+            schedulers=("adaptive", "static", "heft"),
+            machines=("tianhe1",),
+            workloads=("stream",),
+        )
+        first = ExecutionPolicy(jobs=1, cache=True, cache_dir=tmp_path)
+        with exec_policy.use(first):
+            r1 = tournament.run_tournament(**kwargs)
+        second = ExecutionPolicy(jobs=1, cache=True, cache_dir=tmp_path)
+        with exec_policy.use(second):
+            r2 = tournament.run_tournament(**kwargs)
+        assert canonical_json(r1) == canonical_json(r2)
+        # The second run must have been served from the cache, not recomputed.
+        assert second.stats.cache_hits > 0
+        assert second.stats.cache_misses == 0
+
+
+class TestRankingUnits:
+    CELLS = [
+        {"scheduler": "a", "machine": "m", "workload": "w", "makespan_s": 2.0},
+        {"scheduler": "b", "machine": "m", "workload": "w", "makespan_s": 1.0},
+        {"scheduler": "c", "machine": "m", "workload": "w", "makespan_s": 4.0},
+    ]
+
+    def test_rank_dag_cells_orders_by_makespan(self):
+        ranked = tournament._rank_dag_cells(self.CELLS)
+        by_sched = {c["scheduler"]: c for c in ranked}
+        assert by_sched["b"]["rank"] == 1 and by_sched["b"]["winner"] == "b"
+        assert by_sched["a"]["rel_makespan"] == pytest.approx(2.0)
+        assert by_sched["c"]["rel_makespan"] == pytest.approx(4.0)
+
+    def test_ties_break_by_scheduler_name(self):
+        tied = [dict(c, makespan_s=1.0) for c in self.CELLS]
+        ranked = tournament._rank_dag_cells(tied)
+        assert [c["scheduler"] for c in ranked] == ["a", "b", "c"]
+
+    def test_leaderboard_sums_dag_and_hpl_wins(self):
+        dag = tournament._rank_dag_cells(self.CELLS)
+        hpl = [
+            {"scheduler": "a", "recovery": 0.9},
+            {"scheduler": "b", "recovery": 0.4},
+        ]
+        board = tournament._leaderboard(dag, hpl)
+        top = board[0]
+        assert top["scheduler"] == "b"  # 1 dag win beats a's 1 hpl win on rel
+        a_row = next(r for r in board if r["scheduler"] == "a")
+        assert a_row["hpl_wins"] == 1 and a_row["dag_wins"] == 0
+
+    def test_schedulers_capability_filters(self):
+        assert "heft" in tournament.dag_schedulers()
+        assert "heft" not in tournament.hpl_schedulers()
+        assert "adaptive" in tournament.hpl_schedulers()
+        for name in tournament.dag_schedulers():
+            assert registry.get(name).supports_dag

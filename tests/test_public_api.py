@@ -56,7 +56,7 @@ class TestPublicApi:
         cluster = Cluster(tianhe1_cluster(cabinets=1))
         result = Session(
             Scenario(
-                configuration="acmlg_both", n=80_000, cluster=cluster,
+                scheduler="acmlg_both", n=80_000, cluster=cluster,
                 grid=ProcessGrid(2, 2),
             )
         ).run()

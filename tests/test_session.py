@@ -47,33 +47,46 @@ class TestConfigurationEnum:
 class TestScenarioValidation:
     def test_unknown_configuration_raises_at_construction(self):
         with pytest.raises(ValueError, match="valid configurations"):
-            Scenario(configuration="nope", n=N)
+            Scenario(scheduler="nope", n=N)
 
     def test_unknown_override_key_raises_at_construction(self):
         with pytest.raises(ValueError, match="valid fields"):
-            Scenario(configuration="cpu", n=N, overrides={"mappingg": "cpu_only"})
+            Scenario(scheduler="cpu", n=N, overrides={"mappingg": "cpu_only"})
 
     def test_nonpositive_n_rejected(self):
         with pytest.raises(ValueError):
-            Scenario(configuration="cpu", n=0)
+            Scenario(scheduler="cpu", n=0)
 
     def test_cluster_conflicts_with_machine_knobs(self):
         cluster = single_element_cluster()
         with pytest.raises(ValueError, match="explicit cluster"):
             Scenario(
-                configuration="cpu", n=N, cluster=cluster, variability=VariabilitySpec()
+                scheduler="cpu", n=N, cluster=cluster, variability=VariabilitySpec()
             )
         with pytest.raises(ValueError, match="explicit cluster"):
-            Scenario(configuration="cpu", n=N, cluster=cluster, gpu_clock_mhz=575.0)
+            Scenario(scheduler="cpu", n=N, cluster=cluster, gpu_clock_mhz=575.0)
 
     def test_grid_tuple_is_normalized(self):
-        scenario = Scenario(configuration="cpu", n=N, grid=(2, 3))
+        scenario = Scenario(scheduler="cpu", n=N, grid=(2, 3))
         assert isinstance(scenario.grid, ProcessGrid)
         assert (scenario.grid.nprow, scenario.grid.npcol) == (2, 3)
 
-    def test_configuration_is_normalized_to_the_enum(self):
-        scenario = Scenario(configuration="acmlg_both", n=N)
-        assert scenario.configuration is Configuration.ACMLG_BOTH
+    def test_scheduler_spelling_is_preserved(self):
+        scenario = Scenario(scheduler="acmlg_both", n=N)
+        assert scenario.scheduler == "acmlg_both"
+        assert scenario.scheduler_name == "acmlg_both"
+        assert Scenario(scheduler="adaptive", n=N).scheduler_name == "adaptive"
+
+    def test_dag_only_scheduler_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="task-DAG only"):
+            Scenario(scheduler="heft", n=N)
+
+    def test_ambient_scheduler_is_the_default(self):
+        from repro import sched
+
+        assert Scenario(n=N).scheduler_name == "adaptive"
+        with sched.use("static"):
+            assert Scenario(n=N).scheduler_name == "static"
 
     def test_validate_overrides_lists_valid_fields(self):
         with pytest.raises(ValueError, match="nb"):
@@ -84,17 +97,17 @@ class TestScenarioValidation:
 
 class TestSessionRuns:
     def test_run_returns_a_result(self):
-        result = Session(Scenario(configuration="cpu", n=N)).run()
+        result = Session(Scenario(scheduler="cpu", n=N)).run()
         assert result.gflops > 0
         assert result.configuration == "cpu"
         assert result.degraded is None
 
     def test_module_level_run_matches_session(self):
-        scenario = Scenario(configuration="acmlg_both", n=N)
+        scenario = Scenario(scheduler="acmlg_both", n=N)
         assert run(scenario).gflops == Session(scenario).run().gflops
 
     def test_static_peak_configuration_runs(self):
-        result = run(Scenario(configuration=Configuration.STATIC_PEAK, n=N))
+        result = run(Scenario(scheduler=Configuration.STATIC_PEAK, n=N))
         assert result.gflops > 0
 
     def test_explicit_cluster_and_grid(self):
@@ -103,17 +116,46 @@ class TestSessionRuns:
 
         cluster = Cluster(tianhe1_cluster(cabinets=1), seed=2009)
         result = run(
-            Scenario(configuration="acmlg_both", n=2 * N, cluster=cluster, grid=(2, 2))
+            Scenario(scheduler="acmlg_both", n=2 * N, cluster=cluster, grid=(2, 2))
         )
         assert result.grid == (2, 2)
         assert result.gflops > 0
 
 
 class TestDeprecatedShims:
+    def test_configuration_kwarg_warns_and_folds_into_scheduler(self):
+        with pytest.warns(DeprecationWarning, match="scheduler="):
+            scenario = Scenario(configuration="acmlg_both", n=N)
+        assert scenario.configuration is None  # folded away after parsing
+        assert scenario.scheduler_name == "acmlg_both"
+
+    def test_configuration_kwarg_matches_scheduler_kwarg_exactly(self):
+        with pytest.warns(DeprecationWarning):
+            old = run(Scenario(configuration="acmlg_both", n=N))
+        new = run(Scenario(scheduler="acmlg_both", n=N))
+        assert old.gflops == new.gflops
+        assert run(Scenario(scheduler="adaptive", n=N)).gflops == new.gflops
+
+    def test_replace_on_parsed_scenario_does_not_rewarn(self):
+        import dataclasses
+        import warnings
+
+        with pytest.warns(DeprecationWarning):
+            scenario = Scenario(configuration="cpu", n=N)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            clone = dataclasses.replace(scenario, n=2 * N)
+        assert clone.scheduler_name == "cpu"
+
+    def test_both_kwargs_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                Scenario(configuration="cpu", scheduler="adaptive", n=N)
+
     def test_run_linpack_element_warns_and_matches_session(self):
         with pytest.warns(DeprecationWarning, match="run_linpack_element"):
             old = run_linpack_element("acmlg_both", N, seed=7)
-        new = Session(Scenario(configuration="acmlg_both", n=N, seed=7)).run()
+        new = Session(Scenario(scheduler="acmlg_both", n=N, seed=7)).run()
         assert old.gflops == new.gflops
         assert old.elapsed == new.elapsed
 
@@ -122,6 +164,6 @@ class TestDeprecatedShims:
         with pytest.warns(DeprecationWarning, match="run_linpack"):
             old = run_linpack("cpu", N, cluster, ProcessGrid(1, 1), seed=7)
         new = run(
-            Scenario(configuration="cpu", n=N, cluster=cluster, seed=7)
+            Scenario(scheduler="cpu", n=N, cluster=cluster, seed=7)
         )
         assert old.gflops == new.gflops

@@ -5,8 +5,7 @@ from dataclasses import replace
 
 import pytest
 
-import repro.hpl.driver as driver
-from repro.hpl.driver import Configuration
+from repro.sched import builds
 from repro.verify import golden
 from repro.verify.golden import DEFAULT_GOLDEN_DIR, check, diff_rows, record, trace_path
 
@@ -66,10 +65,10 @@ class TestCheck:
     def test_perturbed_model_constant_fails_readably(self, recorded_dir, monkeypatch):
         """The acceptance probe: nudge panel efficiency by ~2%, expect a
         divergence naming the trace, the step and the metric."""
-        cfg = driver._ANALYTIC[Configuration.ACMLG_BOTH]
+        cfg = builds.HPL_BUILDS["acmlg_both"]
         monkeypatch.setitem(
-            driver._ANALYTIC,
-            Configuration.ACMLG_BOTH,
+            builds.HPL_BUILDS,
+            "acmlg_both",
             replace(cfg, panel_efficiency=cfg.panel_efficiency - 0.01),
         )
         report = check(["fig8_acmlg_both"], golden_dir=recorded_dir)

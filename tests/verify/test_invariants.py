@@ -29,7 +29,7 @@ from repro.verify.divergence import VerificationError
 @pytest.fixture(scope="module")
 def clean_result():
     scenario = Scenario(
-        configuration=Configuration.ACMLG_BOTH, n=9000, seed=11, collect_steps=True
+        scheduler=Configuration.ACMLG_BOTH, n=9000, seed=11, collect_steps=True
     )
     return Session(scenario).run()
 
@@ -40,7 +40,7 @@ class TestFlopConservation:
 
     def test_requires_collected_steps(self):
         result = Session(
-            Scenario(configuration="acmlg_both", n=9000, seed=11)
+            Scenario(scheduler="acmlg_both", n=9000, seed=11)
         ).run()
         divs = check_flop_conservation(result)
         assert divs and "collect" in divs[0].tolerance
@@ -145,7 +145,7 @@ class TestFaultConsistency:
 
         result = Session(
             Scenario(
-                configuration="acmlg_both",
+                scheduler="acmlg_both",
                 n=9000,
                 seed=11,
                 collect_steps=True,
@@ -219,7 +219,7 @@ class TestRunWatcher:
     def test_watch_accepts_an_instrumented_run(self):
         with watch("watched") as watcher:
             Session(
-                Scenario(configuration="acmlg_both", n=9000, seed=11)
+                Scenario(scheduler="acmlg_both", n=9000, seed=11)
             ).run(telemetry=watcher.telemetry)
         assert watcher.report.ok
         # The run actually published something — the watcher saw real data.
