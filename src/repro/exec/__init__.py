@@ -7,6 +7,9 @@ worth of scenarios" (:mod:`repro.bench`, :mod:`repro.verify`):
   jobs/cache/vectorize configuration (serial and uncached by default; the
   CLIs install a real policy from ``--jobs``/``--no-cache``).
 * :func:`run_tasks` — ordered, deterministic process-pool fan-out.
+* :class:`WorkerPool` / :func:`in_worker` — the persistent, submit-oriented
+  pool the async session runtime (:mod:`repro.session.runtime`) keeps alive
+  across thousands of submissions, with the same fork/nesting contract.
 * :func:`evaluate_points` — the cache-aware sweep combinator.
 * :class:`ResultCache` / :func:`scenario_key` / :func:`code_version` — the
   content-addressed on-disk result store under ``benchmarks/out/cache/``.
@@ -24,7 +27,7 @@ from repro.exec.policy import (
     current,
     use,
 )
-from repro.exec.pool import evaluate_points, run_tasks
+from repro.exec.pool import WorkerPool, evaluate_points, in_worker, run_tasks
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -32,10 +35,12 @@ __all__ = [
     "ExecutionPolicy",
     "SERIAL_POLICY",
     "ResultCache",
+    "WorkerPool",
     "canonical_json",
     "code_version",
     "current",
     "evaluate_points",
+    "in_worker",
     "run_tasks",
     "scenario_key",
     "use",

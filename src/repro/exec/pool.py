@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
 
@@ -46,6 +46,11 @@ from repro.exec.cache import ResultCache, scenario_key
 from repro.exec.policy import ExecutionPolicy, current
 
 _IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process (nested pools are forbidden)."""
+    return _IN_WORKER
 
 #: The worker's own telemetry, created once per (process, shard_dir).
 _WORKER_TELEMETRY: Optional[tuple[str, "obs.Telemetry"]] = None
@@ -118,6 +123,76 @@ def _register_shards(telemetry: "obs.Telemetry", shard_dir: Path) -> int:
     return len(shards)
 
 
+class WorkerPool:
+    """A persistent, submit-oriented twin of :func:`run_tasks`'s pool.
+
+    :func:`run_tasks` opens a pool, fans one batch out, and tears it down —
+    right for a sweep, wrong for a long-lived runtime that keeps thousands
+    of scenarios in flight over hours.  ``WorkerPool`` keeps the executor
+    (same fork-preferring context, same never-nest initializer) alive
+    across submissions; :class:`repro.session.runtime.AsyncSession` drives
+    it one job at a time as its fair-share scheduler grants slots.
+
+    ``serial=True`` (or running inside a pool worker, where nesting is
+    forbidden) degrades to inline execution: :meth:`submit` runs the
+    callable immediately in the caller's process and returns an
+    already-completed future.  Callers therefore never distinguish the two
+    modes — but note that in serial mode a job can never be observed
+    *running*, only *finished*, which is exactly why a cancel on the serial
+    path must be a no-op completion rather than a hang.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, *, serial: Optional[bool] = None) -> None:
+        resolved = os.cpu_count() or 1 if jobs is None else max(1, int(jobs))
+        if serial is None:
+            serial = resolved <= 1 or _IN_WORKER
+        self.size = 1 if serial else resolved
+        self._executor: Optional[ProcessPoolExecutor] = None
+        if not serial:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.size,
+                mp_context=_pool_context(),
+                initializer=_mark_worker,
+            )
+        self._closed = False
+
+    @property
+    def serial(self) -> bool:
+        """True when submissions run inline in the caller's process."""
+        return self._executor is None
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> "Future[Any]":
+        """Run ``fn(*args, **kwargs)`` on a worker (or inline when serial).
+
+        Always returns a :class:`concurrent.futures.Future`; on the serial
+        path it is already resolved by the time it is returned.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self._executor is not None:
+            return self._executor.submit(fn, *args, **kwargs)
+        future: "Future[Any]" = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as error:  # noqa: BLE001 - mirrored into the future
+            future.set_exception(error)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear the executor down.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
 def run_tasks(
     fn: Callable[..., Any],
     calls: Sequence[dict],
@@ -135,6 +210,20 @@ def run_tasks(
     calls = list(calls)
     if not calls:
         return []
+    if policy.runtime == "async" and not _IN_WORKER:
+        import asyncio
+
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            # No loop in this thread: route the batch through the async
+            # session runtime (fair-share scheduler over the same worker
+            # contract).  Inside a running loop we fall through to the
+            # classic pool — run_tasks must stay callable from sync code
+            # that an async application drove via an executor thread.
+            from repro.session.runtime import map_tasks
+
+            return map_tasks(fn, calls, policy=policy, label=label)
     jobs = min(policy.resolved_jobs, len(calls))
     telemetry = obs.current()
     shard_dir = telemetry.shard_dir if telemetry is not None else None

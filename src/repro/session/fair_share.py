@@ -1,0 +1,252 @@
+"""Fair-share admission: round-robin pool slots across named tenants.
+
+Pure bookkeeping, deliberately free of asyncio and processes so the same
+state machine serves three masters: the
+:class:`~repro.session.runtime.AsyncSession` event loop, the hypothesis
+property suite (arbitrary submit/cancel/finish interleavings in
+``tests/session/test_properties.py``), and the soak harness's invariant
+checks.  The runtime asks :meth:`FairShareScheduler.next_job` whenever a
+slot may have freed; everything else is the runtime's problem.
+
+The contract:
+
+* **Bounded admission** — each tenant has a FIFO queue of at most
+  ``max_queued`` jobs; a submit beyond that raises :class:`AdmissionFull`
+  immediately (backpressure, never silent loss).
+* **Per-tenant in-flight cap** — at most ``max_in_flight`` of a tenant's
+  jobs hold pool slots at once, so one tenant flooding the queue cannot
+  starve the others out of the pool.
+* **Round-robin fairness** — slots are granted by cycling tenants in
+  first-submission order, one grant per turn.  Among continuously
+  backlogged tenants with equal caps, granted counts can never differ by
+  more than one — the bounded-skew invariant the soak harness pins.
+* **Conservation** — every submitted job is at every moment in exactly one
+  of: queued, in-flight, or forgotten-because-finished/cancelled.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, Optional
+
+__all__ = [
+    "AdmissionFull",
+    "UnknownJob",
+    "FairShareScheduler",
+    "DEFAULT_MAX_IN_FLIGHT",
+    "DEFAULT_MAX_QUEUED",
+]
+
+#: Per-tenant in-flight slots unless the tenant overrides it.
+DEFAULT_MAX_IN_FLIGHT = 4
+
+#: Per-tenant admission-queue bound unless the tenant overrides it.
+DEFAULT_MAX_QUEUED = 1024
+
+
+class AdmissionFull(RuntimeError):
+    """A tenant's admission queue is at its bound; submit again later."""
+
+
+class UnknownJob(KeyError):
+    """The job id is not (or no longer) known to the scheduler."""
+
+
+@dataclass
+class _Tenant:
+    """One tenant's queue and caps (internal)."""
+
+    name: str
+    max_in_flight: int
+    max_queued: int
+    queued: Deque[str] = field(default_factory=deque)
+    in_flight: int = 0
+    granted: int = 0  # lifetime grants, for fairness accounting
+
+
+class FairShareScheduler:
+    """Round-robin slot allocator over named tenants.
+
+    *slots* bounds the total jobs in flight across all tenants (the size
+    of the worker pool); per-tenant caps bound each tenant's share of it.
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        *,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        max_queued: int = DEFAULT_MAX_QUEUED,
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1 (got {slots})")
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1 (got {max_in_flight})")
+        if max_queued < 1:
+            raise ValueError(f"max_queued must be >= 1 (got {max_queued})")
+        self.slots = int(slots)
+        self.default_max_in_flight = int(max_in_flight)
+        self.default_max_queued = int(max_queued)
+        self._tenants: "OrderedDict[str, _Tenant]" = OrderedDict()
+        self._jobs: Dict[str, str] = {}  # job id -> tenant name (queued or in flight)
+        self._in_flight: set[str] = set()
+        self._rr: list[str] = []  # tenant visit order for the next grant scan
+        self.total_in_flight = 0
+
+    # -- tenants ---------------------------------------------------------------
+    def tenant(
+        self,
+        name: str,
+        *,
+        max_in_flight: Optional[int] = None,
+        max_queued: Optional[int] = None,
+    ) -> None:
+        """Declare *name* (idempotent), optionally overriding its caps.
+
+        Tenants are auto-declared with the defaults on first submit; an
+        explicit call pins custom caps.  Shrinking a cap below the current
+        occupancy is allowed — the scheduler simply stops granting until
+        the tenant drains under it.
+        """
+        entry = self._tenants.get(name)
+        if entry is None:
+            entry = _Tenant(
+                name,
+                self.default_max_in_flight,
+                self.default_max_queued,
+            )
+            self._tenants[name] = entry
+            self._rr.append(name)
+        if max_in_flight is not None:
+            if max_in_flight < 1:
+                raise ValueError(f"max_in_flight must be >= 1 (got {max_in_flight})")
+            entry.max_in_flight = int(max_in_flight)
+        if max_queued is not None:
+            if max_queued < 1:
+                raise ValueError(f"max_queued must be >= 1 (got {max_queued})")
+            entry.max_queued = int(max_queued)
+
+    def tenants(self) -> list[str]:
+        """Tenant names in first-submission order."""
+        return list(self._tenants)
+
+    # -- job lifecycle ---------------------------------------------------------
+    def submit(self, tenant: str, job_id: str) -> None:
+        """Queue *job_id* under *tenant*; raises :class:`AdmissionFull` at
+        the bound and ``ValueError`` on a duplicate id."""
+        if job_id in self._jobs:
+            raise ValueError(f"duplicate job id {job_id!r}")
+        self.tenant(tenant)
+        entry = self._tenants[tenant]
+        if len(entry.queued) >= entry.max_queued:
+            raise AdmissionFull(
+                f"tenant {tenant!r} admission queue is full "
+                f"({entry.max_queued} queued); retry after a completion"
+            )
+        entry.queued.append(job_id)
+        self._jobs[job_id] = tenant
+
+    def next_job(self) -> Optional[str]:
+        """Grant one slot: the next queued job in round-robin tenant order.
+
+        Returns ``None`` when nothing can start (no slots free, or every
+        backlogged tenant is at its in-flight cap).  The granted job moves
+        from queued to in flight.
+        """
+        if self.total_in_flight >= self.slots:
+            return None
+        # One full cycle over tenants starting at the round-robin cursor.
+        for index, name in enumerate(self._rr):
+            entry = self._tenants[name]
+            if entry.queued and entry.in_flight < entry.max_in_flight:
+                job_id = entry.queued.popleft()
+                entry.in_flight += 1
+                entry.granted += 1
+                self.total_in_flight += 1
+                self._in_flight.add(job_id)
+                # Rotate: tenants after this one get the next grants first.
+                self._rr = self._rr[index + 1 :] + self._rr[: index + 1]
+                return job_id
+        return None
+
+    def finish(self, job_id: str) -> None:
+        """Release *job_id*'s slot (completed, failed, or cancelled-while-running)."""
+        tenant = self._jobs.pop(job_id, None)
+        if tenant is None or job_id not in self._in_flight:
+            if tenant is not None:  # it was only queued; restore and complain
+                self._jobs[job_id] = tenant
+            raise UnknownJob(f"job {job_id!r} is not in flight")
+        self._in_flight.discard(job_id)
+        entry = self._tenants[tenant]
+        entry.in_flight -= 1
+        self.total_in_flight -= 1
+
+    def cancel_queued(self, job_id: str) -> bool:
+        """Remove *job_id* from its admission queue if it has not started.
+
+        Returns True when the job was still queued (now forgotten); False
+        when it is already in flight (the caller owns that race) or not
+        known at all.
+        """
+        tenant = self._jobs.get(job_id)
+        if tenant is None or job_id in self._in_flight:
+            return False
+        entry = self._tenants[tenant]
+        try:
+            entry.queued.remove(job_id)
+        except ValueError:
+            return False
+        del self._jobs[job_id]
+        return True
+
+    # -- introspection ---------------------------------------------------------
+    def queued_count(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            entry = self._tenants.get(tenant)
+            return len(entry.queued) if entry else 0
+        return sum(len(t.queued) for t in self._tenants.values())
+
+    def in_flight_count(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            entry = self._tenants.get(tenant)
+            return entry.in_flight if entry else 0
+        return self.total_in_flight
+
+    def granted_count(self, tenant: str) -> int:
+        entry = self._tenants.get(tenant)
+        return entry.granted if entry else 0
+
+    def iter_jobs(self) -> Iterator[tuple[str, str, str]]:
+        """``(job_id, tenant, 'queued'|'in-flight')`` for every live job."""
+        for job_id, tenant in self._jobs.items():
+            state = "in-flight" if job_id in self._in_flight else "queued"
+            yield job_id, tenant, state
+
+    def check_invariants(self) -> None:
+        """Assert internal conservation; raises AssertionError on breakage.
+
+        Called by the property suite after every operation — the invariants
+        here are the machine-checked form of the module contract.
+        """
+        assert self.total_in_flight <= self.slots, "global slot cap exceeded"
+        assert self.total_in_flight == len(self._in_flight)
+        per_tenant_flight: Dict[str, int] = {}
+        for job_id in self._in_flight:
+            per_tenant_flight[self._jobs[job_id]] = (
+                per_tenant_flight.get(self._jobs[job_id], 0) + 1
+            )
+        total = 0
+        for name, entry in self._tenants.items():
+            assert entry.in_flight == per_tenant_flight.get(name, 0)
+            assert entry.in_flight <= entry.max_in_flight, (
+                f"tenant {name!r} over its in-flight cap"
+            )
+            assert len(entry.queued) <= entry.max_queued, (
+                f"tenant {name!r} over its admission bound"
+            )
+            for job_id in entry.queued:
+                assert self._jobs.get(job_id) == name
+            total += len(entry.queued) + entry.in_flight
+        assert total == len(self._jobs), "job conservation violated"
+        assert sorted(self._rr) == sorted(self._tenants), "round-robin ring drifted"

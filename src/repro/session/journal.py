@@ -1,0 +1,187 @@
+"""Checkpoint/resume for sweeps: a crash-safe journal of completed scenarios.
+
+A :class:`SweepJournal` is an append-only JSONL file — one line per
+*completed* scenario, written and ``fsync``-ed before the result is
+reported to the caller.  Kill the process at any instant and the journal
+holds every scenario that finished except possibly none (the fsync ran) —
+the in-flight ones simply never made it in.  On restart,
+:meth:`SweepJournal.plan` compares the journal against the sweep's scenario
+list and returns exactly the un-journaled remainder to re-run, so an
+interrupted campaign loses at most the scenarios that were actually in
+flight at the kill, never completed work.
+
+The journal composes with the :class:`repro.obs.RunLedger` flight recorder:
+:meth:`SweepJournal.in_ledger` places ``scenarios.jsonl`` inside the run
+directory and stamps the manifest, so ``python -m repro.obs`` tooling and
+the checkpoint read the same directory.  Reading uses the same tolerant
+:func:`repro.obs.stream.iter_jsonl` machinery as the span streams: a line
+truncated by the kill is reported as ``truncated``, never an exception.
+
+Record format (one JSON object per line)::
+
+    {"v": 1, "hash": "<scenario content hash>", "tenant": "...",
+     "scheduler": "...", "n": ..., "seed": ...,
+     "gflops": ..., "elapsed": ..., "degraded": null | "...", "wall": ...}
+
+Scenarios are identified by :meth:`repro.session.Scenario.content_hash`
+with *multiset* semantics: a sweep listing the same scenario twice re-runs
+it once per missing completion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
+
+from repro.obs.stream import iter_jsonl
+from repro.session.scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.hpl.driver import LinpackResult
+    from repro.obs.ledger import RunLedger
+
+__all__ = ["SweepJournal", "ResumePlan", "JOURNAL_NAME"]
+
+#: The journal's file name inside a run-ledger directory.
+JOURNAL_NAME = "scenarios.jsonl"
+
+
+@dataclass(frozen=True)
+class ResumePlan:
+    """What :meth:`SweepJournal.plan` decided.
+
+    ``done`` maps sweep indices to their journaled records; ``pending``
+    lists ``(index, scenario)`` pairs that must (re-)run.  Indices refer to
+    the scenario sequence handed to :meth:`~SweepJournal.plan`, so a driver
+    can merge re-run results back into sweep order.
+    """
+
+    done: dict[int, dict[str, Any]]
+    pending: tuple[tuple[int, Scenario], ...]
+
+    @property
+    def resumed(self) -> bool:
+        """True when the journal already held at least one completion."""
+        return bool(self.done)
+
+
+class SweepJournal:
+    """Append-only completion journal; one fsync-ed JSON line per scenario."""
+
+    def __init__(self, path: Union[str, Path], *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+        self.records_written = 0
+
+    @classmethod
+    def in_ledger(cls, ledger: "RunLedger", *, fsync: bool = True) -> "SweepJournal":
+        """The journal co-located with a run ledger's flight recorder."""
+        journal = cls(ledger.directory / JOURNAL_NAME, fsync=fsync)
+        ledger.annotate(sweep_journal=JOURNAL_NAME)
+        return journal
+
+    # -- writing ---------------------------------------------------------------
+    def record(
+        self,
+        scenario: Scenario,
+        result: "LinpackResult",
+        *,
+        tenant: str = "default",
+    ) -> dict[str, Any]:
+        """Journal one completed scenario; durable before this returns."""
+        payload = {
+            "v": 1,
+            "hash": scenario.content_hash(),
+            "tenant": tenant,
+            "scheduler": scenario.scheduler_name,
+            "n": scenario.n,
+            "seed": scenario.seed,
+            "gflops": result.gflops,
+            "elapsed": result.elapsed,
+            "degraded": None if result.degraded is None else str(result.degraded),
+            "wall": time.time(),
+        }
+        self.append(payload)
+        return payload
+
+    def append(self, payload: dict[str, Any]) -> None:
+        """Append one raw record line, flush, and fsync (when configured)."""
+        if self._closed:
+            raise ValueError(f"SweepJournal({self.path}) is closed")
+        self._file.write(json.dumps(payload, default=str) + "\n")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Close the file.  Idempotent."""
+        if self._closed:
+            return
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- reading ---------------------------------------------------------------
+    @staticmethod
+    def load(path: Union[str, Path]) -> tuple[list[dict[str, Any]], bool]:
+        """All parseable records plus a ``truncated`` flag.
+
+        A missing file is an empty journal (fresh sweep); a torn tail (the
+        kill signature) drops only the torn line.
+        """
+        path = Path(path)
+        if not path.exists():
+            return [], False
+        records: list[dict[str, Any]] = []
+        truncated = False
+        for record, ok in iter_jsonl(path):
+            if ok and isinstance(record, dict) and "hash" in record:
+                records.append(record)
+            else:
+                truncated = True
+        return records, truncated
+
+    @classmethod
+    def plan(
+        cls, path: Union[str, Path], scenarios: Sequence[Scenario]
+    ) -> ResumePlan:
+        """Split *scenarios* into journaled completions and pending re-runs.
+
+        Matching is by content hash with multiset semantics: each journaled
+        completion satisfies one occurrence of its hash, in sweep order.
+        Journal entries for scenarios no longer in the sweep are ignored —
+        a narrowed resume is legal and re-runs nothing it does not need.
+        """
+        records, _ = cls.load(path)
+        by_hash: dict[str, list[dict[str, Any]]] = {}
+        for record in records:
+            by_hash.setdefault(str(record["hash"]), []).append(record)
+        done: dict[int, dict[str, Any]] = {}
+        pending: list[tuple[int, Scenario]] = []
+        for index, scenario in enumerate(scenarios):
+            bucket = by_hash.get(scenario.content_hash())
+            if bucket:
+                done[index] = bucket.pop(0)
+            else:
+                pending.append((index, scenario))
+        return ResumePlan(done=done, pending=tuple(pending))
+
+    @staticmethod
+    def completion_counts(path: Union[str, Path]) -> Counter:
+        """Hash -> journaled completion count (progress probes, tests)."""
+        records, _ = SweepJournal.load(path)
+        return Counter(str(record["hash"]) for record in records)

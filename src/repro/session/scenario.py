@@ -1,16 +1,10 @@
-"""The front door: describe a run as data, then execute it.
+"""The :class:`Scenario` description: one experiment, fully validated.
 
 A :class:`Scenario` is a frozen, keyword-only description of one Linpack
 experiment — which scheduler maps it (a :mod:`repro.sched` registry name,
 legacy configuration key, or :class:`~repro.sched.base.Scheduler`
 instance), the problem order, the machine it runs over, the variability and
-fault schedule it meets, and the seeds that make all of it reproducible.  A
-:class:`Session` executes a scenario::
-
-    from repro.session import Scenario, Session
-
-    result = Session(Scenario(scheduler="adaptive", n=40000)).run()
-    print(result.gflops, result.degraded)
+fault schedule it meets, and the seeds that make all of it reproducible.
 
 With no explicit ``scheduler=``, the ambient :func:`repro.sched.use`
 context decides (defaulting to the paper's full adaptive framework).  Every
@@ -23,6 +17,10 @@ runs.
 the registry existed; it still works — legacy keys like ``"acmlg_both"``
 resolve to the same builds, byte for byte — but emits a
 :class:`DeprecationWarning` with the migration note.
+
+Execution lives next door: :mod:`repro.session.sync` for the one-shot
+blocking :class:`~repro.session.Session`, :mod:`repro.session.runtime` for
+the asyncio multi-tenant front-end.
 """
 
 from __future__ import annotations
@@ -34,8 +32,6 @@ from typing import Mapping, Optional, Union
 from repro.faults.spec import FaultSpec
 from repro.hpl.driver import (
     Configuration,
-    LinpackResult,
-    _run_linpack,
     resolve_hpl_build,
     single_element_cluster,
     validate_overrides,
@@ -47,7 +43,7 @@ from repro.machine.variability import VariabilitySpec
 from repro.sched.base import Scheduler
 from repro.util.validation import require, require_positive
 
-__all__ = ["Scenario", "Session", "run"]
+__all__ = ["Scenario", "SchedulerSpec"]
 
 #: A scheduler spec: registry name, legacy configuration key, or instance.
 SchedulerSpec = Union[str, Configuration, Scheduler]
@@ -162,71 +158,3 @@ class Scenario:
             "overrides": dict(self.overrides) if self.overrides else None,
         }
         return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:16]
-
-
-class Session:
-    """Executes a :class:`Scenario`; reusable, stateless between runs."""
-
-    def __init__(self, scenario: Scenario) -> None:
-        self.scenario = scenario
-
-    def run(self, progress=None, telemetry=None, ledger=None) -> LinpackResult:
-        """Run the scenario once and return its :class:`LinpackResult`.
-
-        *progress* is called with each panel's
-        :class:`~repro.hpl.analytic.StepTrace`; *telemetry* (a
-        :class:`repro.obs.Telemetry`, defaulting to the ambient one)
-        receives per-panel spans, GFLOPS series and — under an active
-        :class:`~repro.faults.FaultSpec` — the ``faults.*`` counters and
-        fault-track instants.  Neither hook affects results.
-
-        *ledger* (a :class:`repro.obs.RunLedger`) turns the run into a
-        flight-recorded one: the scenario hash is stamped into the
-        manifest, spans/metrics stream incrementally into the run
-        directory, and a result summary (or the exception) is written on
-        exit — a killed run stays readable via ``python -m repro.obs``.
-        When *ledger* is given and *telemetry* is not, the ledger's
-        telemetry is used.
-        """
-        s = self.scenario
-        if ledger is not None:
-            ledger.annotate(
-                scenario_hash=s.content_hash(),
-                scenario={"scheduler": s.scheduler_name,
-                          "configuration": s.scheduler_name,  # legacy key
-                          "n": s.n,
-                          "grid": [s.grid.nprow, s.grid.npcol], "seed": s.seed},
-            )
-            if telemetry is None:
-                telemetry = ledger.telemetry
-        try:
-            result = _run_linpack(
-                s.scheduler,
-                s.n,
-                s.build_cluster(),
-                s.grid,
-                seed=s.seed,
-                collect_steps=s.collect_steps,
-                overrides=dict(s.overrides) if s.overrides else None,
-                progress=progress,
-                telemetry=telemetry,
-                faults=s.faults,
-            )
-        except BaseException as error:
-            if ledger is not None:
-                ledger.fail(f"{type(error).__name__}: {error}")
-            raise
-        if ledger is not None:
-            ledger.finish(
-                {
-                    "gflops": result.gflops,
-                    "elapsed_seconds": result.elapsed,
-                    "degraded": None if result.degraded is None else str(result.degraded),
-                }
-            )
-        return result
-
-
-def run(scenario: Scenario, progress=None, telemetry=None, ledger=None) -> LinpackResult:
-    """Convenience one-shot: ``Session(scenario).run(...)``."""
-    return Session(scenario).run(progress=progress, telemetry=telemetry, ledger=ledger)

@@ -1,0 +1,104 @@
+"""The one-shot blocking :class:`Session`: run a scenario, get a result.
+
+This is the original ``repro.session`` execution API, kept byte-identical:
+:class:`~repro.session.runtime.AsyncSession` builds on the same
+``_run_linpack`` call, so a scenario run through either front-end produces
+the same :class:`~repro.hpl.driver.LinpackResult`.
+
+Resource discipline: every sink the session itself wires up — the ledger's
+streaming sink, its metrics checkpoints — is closed on *every* exit path,
+including exceptions raised before the run proper starts (a scenario hash
+that fails to canonicalise, a manifest rewrite hitting a full disk) and
+exceptions raised by the failure handler itself.  A failing scenario must
+not leak file descriptors: the soak harness churns thousands of runs and
+asserts the fd table stays flat.
+"""
+
+from __future__ import annotations
+
+from repro.hpl.driver import LinpackResult, _run_linpack
+from repro.session.scenario import Scenario
+
+__all__ = ["Session", "run"]
+
+
+class Session:
+    """Executes a :class:`Scenario`; reusable, stateless between runs."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+
+    def run(self, progress=None, telemetry=None, ledger=None) -> LinpackResult:
+        """Run the scenario once and return its :class:`LinpackResult`.
+
+        *progress* is called with each panel's
+        :class:`~repro.hpl.analytic.StepTrace`; *telemetry* (a
+        :class:`repro.obs.Telemetry`, defaulting to the ambient one)
+        receives per-panel spans, GFLOPS series and — under an active
+        :class:`~repro.faults.FaultSpec` — the ``faults.*`` counters and
+        fault-track instants.  Neither hook affects results.
+
+        *ledger* (a :class:`repro.obs.RunLedger`) turns the run into a
+        flight-recorded one: the scenario hash is stamped into the
+        manifest, spans/metrics stream incrementally into the run
+        directory, and a result summary (or the exception) is written on
+        exit — a killed run stays readable via ``python -m repro.obs``.
+        When *ledger* is given and *telemetry* is not, the ledger's
+        telemetry is used.
+
+        The ledger is closed on every exit path: a raising run records a
+        ``failed`` summary, and even a failure *while recording the
+        failure* still closes the streaming sink, so a scenario that blows
+        up cannot leak the ledger's file descriptors.
+        """
+        if ledger is None:
+            return self._execute(progress, telemetry)
+        try:
+            s = self.scenario
+            ledger.annotate(
+                scenario_hash=s.content_hash(),
+                scenario={"scheduler": s.scheduler_name,
+                          "configuration": s.scheduler_name,  # legacy key
+                          "n": s.n,
+                          "grid": [s.grid.nprow, s.grid.npcol], "seed": s.seed},
+            )
+            if telemetry is None:
+                telemetry = ledger.telemetry
+            result = self._execute(progress, telemetry)
+        except BaseException as error:
+            try:
+                ledger.fail(f"{type(error).__name__}: {error}")
+            finally:
+                # Belt and braces: fail() normally closes the sink, but if
+                # it raised partway (disk full mid-summary) the fd must
+                # still go.  close() is idempotent.
+                ledger.sink.close()
+            raise
+        ledger.finish(
+            {
+                "gflops": result.gflops,
+                "elapsed_seconds": result.elapsed,
+                "degraded": None if result.degraded is None else str(result.degraded),
+            }
+        )
+        return result
+
+    def _execute(self, progress, telemetry) -> LinpackResult:
+        s = self.scenario
+        return _run_linpack(
+            s.scheduler,
+            s.n,
+            s.build_cluster(),
+            s.grid,
+            seed=s.seed,
+            collect_steps=s.collect_steps,
+            overrides=dict(s.overrides) if s.overrides else None,
+            progress=progress,
+            telemetry=telemetry,
+            faults=s.faults,
+        )
+
+
+def run(scenario: Scenario, progress=None, telemetry=None, ledger=None) -> LinpackResult:
+    """Convenience one-shot: ``Session(scenario).run(...)``."""
+    return Session(scenario).run(progress=progress, telemetry=telemetry, ledger=ledger)

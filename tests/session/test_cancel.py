@@ -1,0 +1,182 @@
+"""Cancellation semantics, pinned per state and per execution path.
+
+The contract (``repro.session.runtime`` module docstring):
+
+* queued jobs cancel immediately;
+* running jobs cancel at completion — the worker's result is discarded;
+* jobs whose execution already finished treat ``cancel()`` as a no-op
+  completion.  On the serial fallback path (``WorkerPool`` running jobs
+  inline — including the nested-worker case where pools are forbidden)
+  that is the *only* possible outcome: a cancel there must return False
+  and the job must still complete — never hang.
+
+Every await in this file is wrapped in a timeout so a regression shows up
+as a test failure, not a stuck CI job.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+import repro.exec.pool as pool_mod
+from repro.session import AsyncRuntime, AsyncSession, RunState, Scenario
+
+N = 8000
+TIMEOUT = 60.0
+
+
+def scenario(n=N):
+    return Scenario(scheduler="cpu", n=n)
+
+
+def _slow_job(seconds):
+    """Module-level (picklable) job body that just burns wall clock."""
+    time.sleep(seconds)
+    return seconds
+
+
+async def _within(awaitable):
+    return await asyncio.wait_for(awaitable, timeout=TIMEOUT)
+
+
+class TestCancelQueued:
+    def test_cancel_queued_is_immediately_terminal(self):
+        async def main():
+            async with AsyncSession(serial=True, max_in_flight=1) as session:
+                running = session.submit(scenario())
+                queued = session.submit(scenario(n=N + 100))
+                assert queued.state is RunState.PENDING
+                assert queued.cancel() is True
+                # Terminal right away -- no waiting on the running job.
+                assert queued.state is RunState.CANCELLED
+                assert queued.terminal_transitions == 1
+                with pytest.raises(asyncio.CancelledError):
+                    await _within(queued.result())
+                await _within(session.drain())
+                return session, running
+
+        session, running = asyncio.run(main())
+        assert running.state is RunState.COMPLETED
+        assert session.cancelled == 1
+        assert session.completed == 1
+
+    def test_cancelled_queued_job_frees_its_slot_for_others(self):
+        async def main():
+            async with AsyncSession(serial=True, max_in_flight=1) as session:
+                first = session.submit(scenario())
+                victim = session.submit(scenario(n=N + 100))
+                survivor = session.submit(scenario(n=N + 200))
+                victim.cancel()
+                await _within(session.drain())
+                return first, victim, survivor
+
+        first, victim, survivor = asyncio.run(main())
+        assert first.state is RunState.COMPLETED
+        assert victim.state is RunState.CANCELLED
+        assert survivor.state is RunState.COMPLETED
+
+
+class TestCancelRunning:
+    def test_running_job_cancels_at_completion_result_discarded(self):
+        async def main():
+            async with AsyncRuntime(slots=1, serial=False) as runtime:
+                handle = runtime.submit_job(_slow_job, {"seconds": 1.0})
+                # Give the pool a beat to pick it up.
+                deadline = time.monotonic() + TIMEOUT
+                while handle.state is RunState.PENDING:
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.01)
+                assert handle.state is RunState.RUNNING
+                cancelled = handle.cancel()
+                state = await _within(handle.wait())
+                return handle, cancelled, state
+
+        handle, cancelled, state = asyncio.run(main())
+        assert cancelled is True
+        assert state is RunState.CANCELLED
+        assert handle.terminal_transitions == 1
+
+        async def fetch():
+            with pytest.raises(asyncio.CancelledError):
+                await _within(handle.result())
+
+        asyncio.run(fetch())
+
+
+class TestCancelSerialFallback:
+    def test_serial_path_cancel_is_noop_completion_not_a_hang(self):
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                handle = session.submit(scenario())
+                # Inline execution already ran inside submit(); the state
+                # is RUNNING only because finalization waits for the loop.
+                assert handle.state is RunState.RUNNING
+                assert handle.cancel() is False
+                result = await _within(handle.result())
+                return handle, result
+
+        handle, result = asyncio.run(main())
+        assert handle.state is RunState.COMPLETED
+        assert handle.terminal_transitions == 1
+        assert result.gflops > 0
+
+    def test_nested_worker_forces_serial_and_cancel_stays_noop(self, monkeypatch):
+        monkeypatch.setattr(pool_mod, "_IN_WORKER", True)
+
+        async def main():
+            async with AsyncSession() as session:  # no explicit serial=
+                assert session.pool.serial, "nested pool must degrade to serial"
+                handle = session.submit(scenario())
+                assert handle.cancel() is False
+                result = await _within(handle.result())
+                return handle, result, session
+
+        handle, result, session = asyncio.run(main())
+        assert handle.state is RunState.COMPLETED
+        assert result.gflops > 0
+        assert session.cancelled == 0
+
+
+class TestCancelTerminal:
+    def test_cancel_after_completion_returns_false(self):
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                handle = session.submit(scenario())
+                await _within(handle.result())
+                return handle
+
+        handle = asyncio.run(main())
+        assert handle.cancel() is False
+        assert handle.state is RunState.COMPLETED
+        assert handle.terminal_transitions == 1
+
+    def test_second_cancel_of_cancelled_job_returns_false(self):
+        async def main():
+            async with AsyncSession(serial=True, max_in_flight=1) as session:
+                session.submit(scenario())
+                queued = session.submit(scenario(n=N + 100))
+                assert queued.cancel() is True
+                assert queued.cancel() is False
+                await _within(session.drain())
+                return queued
+
+        queued = asyncio.run(main())
+        assert queued.terminal_transitions == 1
+
+
+class TestCloseCancelsQueued:
+    def test_close_cancels_backlog_but_finishes_in_flight(self):
+        async def main():
+            session = AsyncSession(serial=True, max_in_flight=1)
+            async with session:
+                running = session.submit(scenario())
+                backlog = [session.submit(scenario(n=N + 100 * i)) for i in (1, 2)]
+                # __aexit__ -> close(cancel_queued=True)
+            return running, backlog
+
+        running, backlog = asyncio.run(main())
+        assert running.state is RunState.COMPLETED
+        assert [h.state for h in backlog] == [RunState.CANCELLED, RunState.CANCELLED]
+        for handle in backlog:
+            assert handle.terminal_transitions == 1

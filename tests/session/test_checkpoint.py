@@ -1,0 +1,197 @@
+"""SweepJournal: the checkpoint format and the resume plan.
+
+Planning is by scenario content hash with multiset semantics, and reading
+must tolerate the kill signature — a torn final line — because the whole
+point of the journal is being read after a SIGKILL
+(``test_resume_crash.py`` does that for real).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.session import (
+    JOURNAL_NAME,
+    ResumePlan,
+    Scenario,
+    Session,
+    SweepJournal,
+    run_sweep,
+)
+
+N = 8000
+
+
+def scenario(n=N, seed=7):
+    return Scenario(scheduler="cpu", n=n, seed=seed)
+
+
+class TestRoundTrip:
+    def test_record_then_load(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        s = scenario()
+        result = Session(s).run()
+        with SweepJournal(path) as journal:
+            payload = journal.record(s, result, tenant="team-a")
+            assert journal.records_written == 1
+        records, truncated = SweepJournal.load(path)
+        assert not truncated
+        assert len(records) == 1
+        record = records[0]
+        assert record["hash"] == s.content_hash()
+        assert record["tenant"] == "team-a"
+        assert record["scheduler"] == "cpu"
+        assert record["n"] == N
+        assert record["gflops"] == result.gflops
+        assert record["elapsed"] == result.elapsed
+        assert record["degraded"] is None
+        assert payload["hash"] == record["hash"]
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            journal.append({"hash": "x"})
+
+    def test_missing_file_is_an_empty_journal(self, tmp_path):
+        records, truncated = SweepJournal.load(tmp_path / "never-written.jsonl")
+        assert records == []
+        assert truncated is False
+
+    def test_fsync_off_still_round_trips(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path, fsync=False) as journal:
+            journal.record(scenario(), Session(scenario()).run())
+        records, _ = SweepJournal.load(path)
+        assert len(records) == 1
+
+
+class TestTornTail:
+    def test_torn_final_line_drops_only_that_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        s1, s2 = scenario(), scenario(n=N + 100)
+        result = Session(s1).run()
+        with SweepJournal(path) as journal:
+            journal.record(s1, result)
+            journal.record(s2, Session(s2).run())
+        # Simulate the kill landing mid-write of the second record.
+        raw = path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        path.write_bytes(lines[0] + lines[1][: len(lines[1]) // 2])
+
+        records, truncated = SweepJournal.load(path)
+        assert truncated is True
+        assert [r["hash"] for r in records] == [s1.content_hash()]
+
+        plan = SweepJournal.plan(path, [s1, s2])
+        assert list(plan.done) == [0]
+        assert [index for index, _ in plan.pending] == [1]
+
+
+class TestPlan:
+    def test_fresh_journal_means_everything_pending(self, tmp_path):
+        scenarios = [scenario(n=N + 100 * i) for i in range(3)]
+        plan = SweepJournal.plan(tmp_path / "j.jsonl", scenarios)
+        assert plan.done == {}
+        assert [i for i, _ in plan.pending] == [0, 1, 2]
+        assert plan.resumed is False
+
+    def test_partial_journal_splits_exactly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        scenarios = [scenario(n=N + 100 * i) for i in range(4)]
+        with SweepJournal(path) as journal:
+            journal.record(scenarios[1], Session(scenarios[1]).run())
+            journal.record(scenarios[3], Session(scenarios[3]).run())
+        plan = SweepJournal.plan(path, scenarios)
+        assert sorted(plan.done) == [1, 3]
+        assert [i for i, _ in plan.pending] == [0, 2]
+        assert plan.resumed is True
+
+    def test_duplicate_scenarios_use_multiset_semantics(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        s = scenario()
+        with SweepJournal(path) as journal:
+            journal.record(s, Session(s).run())
+        # The sweep lists the same scenario twice; one completion satisfies
+        # exactly one occurrence.
+        plan = SweepJournal.plan(path, [s, s])
+        assert list(plan.done) == [0]
+        assert [i for i, _ in plan.pending] == [1]
+
+    def test_journal_entries_outside_the_sweep_are_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        in_sweep, dropped = scenario(), scenario(n=N + 100)
+        with SweepJournal(path) as journal:
+            journal.record(dropped, Session(dropped).run())
+            journal.record(in_sweep, Session(in_sweep).run())
+        plan = SweepJournal.plan(path, [in_sweep])
+        assert list(plan.done) == [0]
+        assert plan.pending == ()
+
+    def test_completion_counts(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        s = scenario()
+        result = Session(s).run()
+        with SweepJournal(path) as journal:
+            journal.record(s, result)
+            journal.record(s, result)
+        counts = SweepJournal.completion_counts(path)
+        assert counts == {s.content_hash(): 2}
+
+
+class TestInLedger:
+    def test_journal_lands_in_the_run_directory(self, tmp_path):
+        ledger = obs.RunLedger.open("checkpoint-test", root=tmp_path)
+        journal = SweepJournal.in_ledger(ledger)
+        try:
+            assert journal.path == ledger.directory / JOURNAL_NAME
+            manifest = json.loads((ledger.directory / "manifest.json").read_text())
+            assert manifest["sweep_journal"] == JOURNAL_NAME
+        finally:
+            journal.close()
+            ledger.finish({})
+
+
+class TestRunSweep:
+    def test_resume_skips_journaled_scenarios(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        scenarios = [scenario(n=N + 100 * i) for i in range(4)]
+        first = run_sweep(scenarios, journal_path=path, serial=True)
+        assert [row["n"] for row in first] == [s.n for s in scenarios]
+        assert len(SweepJournal.load(path)[0]) == 4
+
+        # Second invocation: nothing pending, journal untouched, same rows.
+        before = path.read_bytes()
+        second = run_sweep(scenarios, journal_path=path, serial=True)
+        assert path.read_bytes() == before
+        assert [row["hash"] for row in second] == [row["hash"] for row in first]
+        assert [row["gflops"] for row in second] == [row["gflops"] for row in first]
+
+    def test_resume_false_reruns_and_appends(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        scenarios = [scenario(), scenario(n=N + 100)]
+        run_sweep(scenarios, journal_path=path, serial=True)
+        run_sweep(scenarios, journal_path=path, serial=True, resume=False)
+        assert len(SweepJournal.load(path)[0]) == 4
+
+    def test_tenant_of_lands_in_the_journal(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        scenarios = [scenario(n=N + 100 * i) for i in range(2)]
+        run_sweep(
+            scenarios,
+            journal_path=path,
+            serial=True,
+            tenant_of=lambda index, s: f"tenant-{index}",
+        )
+        records, _ = SweepJournal.load(path)
+        assert sorted(r["tenant"] for r in records) == ["tenant-0", "tenant-1"]
+
+    def test_resume_plan_construction(self):
+        # The resume=False branch builds a ResumePlan by hand; keep the
+        # shape honest.
+        scenarios = (scenario(),)
+        plan = ResumePlan(done={}, pending=tuple(enumerate(scenarios)))
+        assert plan.resumed is False
+        assert plan.pending[0][1] is scenarios[0]

@@ -1,0 +1,200 @@
+"""FairShareScheduler contract: round-robin order, caps, backpressure.
+
+Pure state-machine tests — no asyncio, no processes — pinning the exact
+semantics the runtime, the property suite, and the soak harness all rely
+on.
+"""
+
+import pytest
+
+from repro.session import AdmissionFull, FairShareScheduler
+from repro.session.fair_share import UnknownJob
+
+
+def drain_grants(scheduler, limit=1000):
+    granted = []
+    for _ in range(limit):
+        job = scheduler.next_job()
+        if job is None:
+            break
+        granted.append(job)
+    return granted
+
+
+class TestRoundRobin:
+    def test_single_tenant_is_fifo(self):
+        s = FairShareScheduler(slots=2, max_in_flight=2)
+        for i in range(4):
+            s.submit("a", f"a{i}")
+        assert drain_grants(s) == ["a0", "a1"]
+        s.finish("a0")
+        assert s.next_job() == "a2"
+
+    def test_tenants_alternate(self):
+        s = FairShareScheduler(slots=4, max_in_flight=4)
+        for i in range(2):
+            s.submit("a", f"a{i}")
+            s.submit("b", f"b{i}")
+        assert drain_grants(s) == ["a0", "b0", "a1", "b1"]
+
+    def test_late_tenant_joins_the_rotation(self):
+        s = FairShareScheduler(slots=6, max_in_flight=6)
+        for i in range(3):
+            s.submit("a", f"a{i}")
+        assert s.next_job() == "a0"
+        for i in range(3):
+            s.submit("b", f"b{i}")
+        # b joins at the back of the ring and alternates from there on.
+        assert drain_grants(s) == ["a1", "b0", "a2", "b1", "b2"]
+
+    def test_backlogged_tenants_granted_counts_skew_at_most_one(self):
+        s = FairShareScheduler(slots=4, max_in_flight=4)
+        tenants = ("a", "b", "c")
+        seq = {t: 0 for t in tenants}
+        for i in range(30):
+            t = tenants[i % 3]
+            s.submit(t, f"{t}{seq[t]}")
+            seq[t] += 1
+        # Churn: repeatedly grant-to-capacity, then finish everything.
+        while True:
+            granted = drain_grants(s)
+            if not granted:
+                break
+            for job in granted:
+                s.finish(job)
+            counts = [s.granted_count(t) for t in tenants]
+            live = [t for t in tenants if s.queued_count(t) or s.in_flight_count(t)]
+            if len(live) == len(tenants):
+                assert max(counts) - min(counts) <= 1, counts
+            s.check_invariants()
+        assert [s.granted_count(t) for t in tenants] == [10, 10, 10]
+
+
+class TestCaps:
+    def test_global_slot_cap(self):
+        s = FairShareScheduler(slots=2, max_in_flight=10)
+        for i in range(5):
+            s.submit("a", f"a{i}")
+        assert len(drain_grants(s)) == 2
+        assert s.next_job() is None
+        s.finish("a0")
+        assert s.next_job() == "a2"
+
+    def test_per_tenant_in_flight_cap_cannot_be_starved_through(self):
+        s = FairShareScheduler(slots=8, max_in_flight=2)
+        for i in range(6):
+            s.submit("hog", f"h{i}")
+        s.submit("small", "s0")
+        granted = drain_grants(s)
+        assert granted.count("s0") == 1
+        assert sum(job.startswith("h") for job in granted) == 2
+        assert s.in_flight_count("hog") == 2
+
+    def test_admission_bound_raises_admission_full(self):
+        s = FairShareScheduler(slots=1, max_queued=2)
+        s.submit("a", "a0")
+        s.submit("a", "a1")
+        with pytest.raises(AdmissionFull):
+            s.submit("a", "a2")
+        # Other tenants are unaffected by a's backpressure.
+        s.submit("b", "b0")
+
+    def test_admission_bound_counts_queued_not_in_flight(self):
+        s = FairShareScheduler(slots=4, max_in_flight=4, max_queued=1)
+        s.submit("a", "a0")
+        assert s.next_job() == "a0"  # dequeued -> queue empty again
+        s.submit("a", "a1")
+        with pytest.raises(AdmissionFull):
+            s.submit("a", "a2")
+
+    def test_per_tenant_overrides(self):
+        s = FairShareScheduler(slots=8, max_in_flight=1)
+        s.tenant("big", max_in_flight=3)
+        for i in range(4):
+            s.submit("big", f"b{i}")
+            s.submit("small", f"s{i}")
+        granted = drain_grants(s)
+        assert sum(j.startswith("b") for j in granted) == 3
+        assert sum(j.startswith("s") for j in granted) == 1
+
+    def test_duplicate_job_id_rejected(self):
+        s = FairShareScheduler(slots=1)
+        s.submit("a", "j")
+        with pytest.raises(ValueError, match="duplicate"):
+            s.submit("b", "j")
+
+
+class TestCancelAndFinish:
+    def test_cancel_queued_removes_the_job(self):
+        s = FairShareScheduler(slots=1)
+        s.submit("a", "a0")
+        s.submit("a", "a1")
+        assert s.next_job() == "a0"
+        assert s.cancel_queued("a1") is True
+        assert s.queued_count() == 0
+        s.check_invariants()
+
+    def test_cancel_in_flight_returns_false(self):
+        s = FairShareScheduler(slots=1)
+        s.submit("a", "a0")
+        assert s.next_job() == "a0"
+        assert s.cancel_queued("a0") is False
+        assert s.in_flight_count() == 1
+
+    def test_cancel_unknown_returns_false(self):
+        s = FairShareScheduler(slots=1)
+        assert s.cancel_queued("nope") is False
+
+    def test_finish_requires_in_flight(self):
+        s = FairShareScheduler(slots=1)
+        s.submit("a", "a0")
+        with pytest.raises(UnknownJob):
+            s.finish("a0")  # still queued
+        assert s.queued_count("a") == 1  # complaint must not lose the job
+        s.check_invariants()
+        with pytest.raises(UnknownJob):
+            s.finish("ghost")
+
+    def test_conservation_through_mixed_churn(self):
+        s = FairShareScheduler(slots=3, max_in_flight=2)
+        live = set()
+        for i in range(12):
+            t = "ab"[i % 2]
+            s.submit(t, f"j{i}")
+            live.add(f"j{i}")
+        while live:
+            for job in drain_grants(s):
+                s.finish(job)
+                live.discard(job)
+            for job in list(live):
+                if s.cancel_queued(job):
+                    live.discard(job)
+            s.check_invariants()
+        assert s.queued_count() == 0
+        assert s.in_flight_count() == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"slots": 0},
+        {"slots": 1, "max_in_flight": 0},
+        {"slots": 1, "max_queued": 0},
+    ])
+    def test_constructor_bounds(self, kwargs):
+        with pytest.raises(ValueError):
+            FairShareScheduler(**kwargs)
+
+    def test_tenant_override_bounds(self):
+        s = FairShareScheduler(slots=1)
+        with pytest.raises(ValueError):
+            s.tenant("a", max_in_flight=0)
+        with pytest.raises(ValueError):
+            s.tenant("a", max_queued=-1)
+
+    def test_iter_jobs_reports_states(self):
+        s = FairShareScheduler(slots=1)
+        s.submit("a", "a0")
+        s.submit("a", "a1")
+        s.next_job()
+        states = {job: state for job, _, state in s.iter_jobs()}
+        assert states == {"a0": "in-flight", "a1": "queued"}

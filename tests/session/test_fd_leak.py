@@ -1,0 +1,126 @@
+"""Session.run must close its ledger on *every* exit path.
+
+A failing scenario must not leak file descriptors: the soak harness churns
+thousands of runs and asserts the process fd table stays flat, which is
+only possible if the ledger's streaming sink is closed when the run
+raises — including when it raises *before* the run proper starts (the
+scenario hash failing to canonicalise) and when the failure handler itself
+blows up partway.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.session.sync as sync_mod
+from repro import obs
+from repro.session import Scenario, Session
+
+N = 8000
+
+
+def _fd_count() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+def _sink_closed(ledger) -> bool:
+    return ledger.sink._closed
+
+
+def scenario(n=N):
+    return Scenario(scheduler="cpu", n=n)
+
+
+class TestFailingRunClosesLedger:
+    def test_raising_run_records_failure_and_closes_sink(self, tmp_path, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("solver blew up")
+
+        monkeypatch.setattr(sync_mod, "_run_linpack", explode)
+        ledger = obs.RunLedger.open("fd-test", root=tmp_path)
+        with pytest.raises(RuntimeError, match="solver blew up"):
+            Session(scenario()).run(ledger=ledger)
+
+        assert _sink_closed(ledger)
+        summary = json.loads((ledger.directory / "summary.json").read_text())
+        assert summary["status"] == "failed"
+        assert "solver blew up" in summary["summary"]["error"]
+
+    def test_failure_before_the_run_starts_still_closes_sink(
+        self, tmp_path, monkeypatch
+    ):
+        # The first thing run() does with a ledger is hash the scenario;
+        # a failure there must not leave the stream open.
+        monkeypatch.setattr(
+            Scenario,
+            "content_hash",
+            lambda self: (_ for _ in ()).throw(ValueError("unhashable")),
+        )
+        ledger = obs.RunLedger.open("fd-test", root=tmp_path)
+        with pytest.raises(ValueError, match="unhashable"):
+            Session(scenario()).run(ledger=ledger)
+        assert _sink_closed(ledger)
+        summary = json.loads((ledger.directory / "summary.json").read_text())
+        assert summary["status"] == "failed"
+
+    def test_failing_failure_handler_still_closes_sink(self, tmp_path, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("primary failure")
+
+        monkeypatch.setattr(sync_mod, "_run_linpack", explode)
+        ledger = obs.RunLedger.open("fd-test", root=tmp_path)
+
+        # fail() itself dies partway (summary disk full, say) -- the
+        # original error must still propagate and the sink must still
+        # close.
+        def broken_fail(error):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(ledger, "fail", broken_fail)
+        with pytest.raises(OSError, match="no space left"):
+            Session(scenario()).run(ledger=ledger)
+        assert _sink_closed(ledger)
+
+    def test_successful_run_finishes_ledger(self, tmp_path):
+        ledger = obs.RunLedger.open("fd-test", root=tmp_path)
+        result = Session(scenario()).run(ledger=ledger)
+        assert result.gflops > 0
+        assert _sink_closed(ledger)
+        summary = json.loads((ledger.directory / "summary.json").read_text())
+        assert summary["status"] == "completed"
+        assert summary["summary"]["gflops"] == result.gflops
+
+
+class TestFdTableStaysFlat:
+    def test_repeated_failing_runs_leak_no_fds(self, tmp_path, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(sync_mod, "_run_linpack", explode)
+
+        def churn(rounds):
+            for i in range(rounds):
+                ledger = obs.RunLedger.open(f"leak-{i}", root=tmp_path)
+                with pytest.raises(RuntimeError):
+                    Session(scenario()).run(ledger=ledger)
+
+        churn(3)  # warmup: lazy imports, logging, pytest internals
+        before = _fd_count()
+        churn(20)
+        after = _fd_count()
+        assert after <= before, f"fd table grew: {before} -> {after}"
+
+    def test_repeated_successful_runs_leak_no_fds(self, tmp_path):
+        def churn(rounds):
+            for i in range(rounds):
+                ledger = obs.RunLedger.open(f"ok-{i}", root=tmp_path)
+                Session(scenario()).run(ledger=ledger)
+
+        churn(2)
+        before = _fd_count()
+        churn(10)
+        after = _fd_count()
+        assert after <= before, f"fd table grew: {before} -> {after}"

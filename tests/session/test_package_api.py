@@ -1,0 +1,98 @@
+"""The session package front door: re-exports, parity, picklability.
+
+``repro.session`` grew from a module into a package; every name the old
+module exported must keep its import path, and the sync :class:`Session`
+must stay byte-identical to what the async runtime produces for the same
+scenario.
+"""
+
+import asyncio
+import pickle
+
+from repro.session import (
+    AdmissionFull,
+    AsyncRuntime,
+    AsyncSession,
+    FairShareScheduler,
+    ResumePlan,
+    RunHandle,
+    RunState,
+    Scenario,
+    Session,
+    SessionEvent,
+    SweepJournal,
+    run,
+    run_sweep,
+)
+
+N = 8000
+
+
+class TestReExports:
+    def test_scenario_and_session_live_where_they_always_did(self):
+        import repro
+        import repro.session.scenario
+        import repro.session.sync
+
+        assert Scenario is repro.session.scenario.Scenario
+        assert Session is repro.session.sync.Session
+        assert repro.Scenario is Scenario
+        assert repro.Session is Session
+
+    def test_all_is_complete(self):
+        import repro.session as pkg
+
+        for name in pkg.__all__:
+            assert hasattr(pkg, name), name
+        for name in ("Scenario", "Session", "run", "AsyncSession", "RunHandle"):
+            assert name in pkg.__all__
+
+    def test_module_level_run_still_works(self):
+        scenario = Scenario(scheduler="cpu", n=N)
+        assert run(scenario).gflops == Session(scenario).run().gflops
+
+
+class TestScenarioPicklability:
+    """Scenarios cross the process boundary on every async submit."""
+
+    def test_round_trips_through_pickle(self):
+        scenario = Scenario(scheduler="acmlg_both", n=N, seed=11)
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone == scenario
+        assert clone.content_hash() == scenario.content_hash()
+
+    def test_pickled_scenario_runs_identically(self):
+        scenario = Scenario(scheduler="adaptive", n=N)
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert Session(clone).run().gflops == Session(scenario).run().gflops
+
+
+class TestAsyncSyncParity:
+    def test_async_results_are_byte_identical_to_sync(self):
+        scenarios = [
+            Scenario(scheduler="cpu", n=N),
+            Scenario(scheduler="adaptive", n=N, seed=3),
+            Scenario(scheduler="acmlg_both", n=2 * N),
+        ]
+        expected = [Session(s).run() for s in scenarios]
+
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                handles = [session.submit(s) for s in scenarios]
+                return [await handle.result() for handle in handles]
+
+        got = asyncio.run(main())
+        for want, have in zip(expected, got):
+            assert have.gflops == want.gflops
+            assert have.elapsed == want.elapsed
+            assert have.configuration == want.configuration
+
+    def test_pool_mode_matches_serial_mode(self):
+        scenarios = [Scenario(scheduler="cpu", n=N + 500 * i) for i in range(4)]
+
+        async def main(serial):
+            async with AsyncSession(slots=2, serial=serial) as session:
+                handles = [session.submit(s) for s in scenarios]
+                return [(await h.result()).gflops for h in handles]
+
+        assert asyncio.run(main(True)) == asyncio.run(main(False))

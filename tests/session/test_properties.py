@@ -1,0 +1,215 @@
+"""Property suite: arbitrary churn never breaks the session invariants.
+
+Three machines, three properties:
+
+* :class:`FairShareScheduler` — any executable stream of
+  submit/grant/finish/cancel ops keeps :meth:`check_invariants` green
+  after *every* op (caps, conservation, ring integrity), and admission is
+  rejected exactly at the queue bound;
+* the :class:`AsyncSession` runtime — any interleaving of submits,
+  cancels, and event-loop yields ends with every handle in **exactly one**
+  terminal state and the per-tenant in-flight caps never exceeded;
+* :meth:`SweepJournal.plan` — for any synthesized journal (including a
+  torn tail) the plan is a partition: done and pending cover the sweep
+  exactly once, and done never claims more completions than journaled.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.session import (
+    AdmissionFull,
+    AsyncRuntime,
+    FairShareScheduler,
+    RunState,
+    SweepJournal,
+)
+from tests.strategies import (
+    churn_op_streams,
+    runtime_op_streams,
+    scheduler_shapes,
+)
+
+
+class TestSchedulerProperties:
+    @given(shape=scheduler_shapes, ops=churn_op_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_any_churn_stream_keeps_invariants(self, shape, ops):
+        slots, max_in_flight, max_queued = shape
+        scheduler = FairShareScheduler(
+            slots, max_in_flight=max_in_flight, max_queued=max_queued
+        )
+        seq = 0
+        queued: list[str] = []
+        in_flight: list[str] = []
+        for kind, tenant, selector in ops:
+            if kind == "submit":
+                job_id = f"job-{seq}"
+                seq += 1
+                was_full = scheduler.queued_count(tenant) >= (
+                    scheduler._tenants[tenant].max_queued
+                    if tenant in scheduler._tenants
+                    else max_queued
+                )
+                try:
+                    scheduler.submit(tenant, job_id)
+                except AdmissionFull:
+                    assert was_full, "AdmissionFull below the bound"
+                else:
+                    assert not was_full, "admission above the bound"
+                    queued.append(job_id)
+            elif kind == "grant":
+                granted = scheduler.next_job()
+                if granted is not None:
+                    assert granted in queued
+                    queued.remove(granted)
+                    in_flight.append(granted)
+            elif kind == "finish" and in_flight:
+                job_id = in_flight.pop(selector % len(in_flight))
+                scheduler.finish(job_id)
+            elif kind == "cancel" and queued:
+                job_id = queued[selector % len(queued)]
+                assert scheduler.cancel_queued(job_id) is True
+                queued.remove(job_id)
+            scheduler.check_invariants()
+            assert scheduler.queued_count() == len(queued)
+            assert scheduler.in_flight_count() == len(in_flight)
+
+    @given(shape=scheduler_shapes, ops=churn_op_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_draining_after_any_churn_reaches_empty(self, shape, ops):
+        slots, max_in_flight, max_queued = shape
+        scheduler = FairShareScheduler(
+            slots, max_in_flight=max_in_flight, max_queued=max_queued
+        )
+        seq = 0
+        for kind, tenant, _ in ops:
+            if kind == "submit":
+                try:
+                    scheduler.submit(tenant, f"job-{seq}")
+                except AdmissionFull:
+                    pass
+                seq += 1
+        # Fully drain: keep granting and finishing until quiescent.
+        for _ in range(10_000):
+            granted = scheduler.next_job()
+            if granted is None:
+                if scheduler.in_flight_count() == 0:
+                    break
+                for job_id, _, state in list(scheduler.iter_jobs()):
+                    if state == "in-flight":
+                        scheduler.finish(job_id)
+            scheduler.check_invariants()
+        assert scheduler.queued_count() == 0
+        assert scheduler.in_flight_count() == 0
+
+
+def _echo(value):
+    """Module-level job body: returns its argument."""
+    return value
+
+
+class TestRuntimeProperties:
+    @given(ops=runtime_op_streams, max_in_flight=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_every_handle_reaches_exactly_one_terminal_state(
+        self, ops, max_in_flight
+    ):
+        async def main():
+            handles = []
+            max_seen = 0
+            async with AsyncRuntime(
+                slots=2, serial=True, max_in_flight=max_in_flight, max_queued=4
+            ) as runtime:
+                for kind, tenant, selector in ops:
+                    if kind == "submit":
+                        try:
+                            handles.append(
+                                runtime.submit_job(
+                                    _echo, {"value": len(handles)}, tenant=tenant
+                                )
+                            )
+                        except AdmissionFull:
+                            pass
+                    elif kind == "cancel" and handles:
+                        handles[selector % len(handles)].cancel()
+                    elif kind == "yield":
+                        await asyncio.sleep(0)
+                    runtime.scheduler.check_invariants()
+                    for name in runtime.scheduler.tenants():
+                        flight = runtime.scheduler.in_flight_count(name)
+                        assert flight <= max_in_flight
+                        max_seen = max(max_seen, flight)
+                await runtime.drain()
+            return handles, runtime
+
+        handles, runtime = asyncio.run(main())
+        for handle in handles:
+            assert handle.state.terminal, handle.state
+            assert handle.terminal_transitions == 1
+        completed = sum(h.state is RunState.COMPLETED for h in handles)
+        cancelled = sum(h.state is RunState.CANCELLED for h in handles)
+        assert completed + cancelled == len(handles)
+        assert runtime.completed == completed
+        assert runtime.cancelled == cancelled
+        assert runtime.live_jobs == 0
+        # Completed echoes kept their own payloads (no result crosstalk).
+        for index, handle in enumerate(handles):
+            if handle.state is RunState.COMPLETED:
+                assert handle._result == index
+
+
+#: Hash alphabet small enough that synthesized journals collide with the
+#: sweep constantly (the interesting multiset cases).
+_hashes = st.sampled_from([f"h{i}" for i in range(6)])
+
+
+class _FakeScenario:
+    """Duck-typed stand-in: plan() only calls content_hash()."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def content_hash(self):
+        return self.value
+
+
+class TestResumePlanProperties:
+    @given(
+        sweep=st.lists(_hashes, max_size=12),
+        journaled=st.lists(_hashes, max_size=12),
+        torn=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_plan_is_a_partition_of_the_sweep(self, tmp_path_factory, sweep, journaled, torn):
+        path = tmp_path_factory.mktemp("plan") / "j.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for value in journaled:
+                handle.write('{"hash": "%s", "gflops": 1.0}\n' % value)
+            if torn:
+                handle.write('{"hash": "h0", "gflo')  # kill signature
+
+        scenarios = [_FakeScenario(value) for value in sweep]
+        plan = SweepJournal.plan(path, scenarios)
+
+        done_indices = sorted(plan.done)
+        pending_indices = sorted(index for index, _ in plan.pending)
+        assert sorted(done_indices + pending_indices) == list(range(len(sweep)))
+        assert not set(done_indices) & set(pending_indices)
+
+        # Done never claims more completions of a hash than were journaled
+        # (the torn line must not count), and every pending scenario truly
+        # had no unclaimed completion left.
+        from collections import Counter
+
+        journal_counts = Counter(journaled)
+        done_counts = Counter(sweep[i] for i in done_indices)
+        for value, count in done_counts.items():
+            assert count <= journal_counts[value]
+        pending_counts = Counter(sweep[i] for i in pending_indices)
+        for value in pending_counts:
+            assert done_counts.get(value, 0) == min(
+                journal_counts.get(value, 0), Counter(sweep)[value]
+            )

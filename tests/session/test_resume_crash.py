@@ -1,0 +1,147 @@
+"""SIGKILL a sweep mid-flight; resume must lose only in-flight work.
+
+Mirrors ``tests/obs/test_crash_safety.py``: a subprocess drives
+:func:`repro.session.run_sweep` over a fixed scenario list, printing its
+journal path up front; the parent waits until at least three completions
+are journaled, then SIGKILLs it — no atexit, no finally, no journal
+close.  The assertions are the checkpoint contract:
+
+* the journal is readable (a torn tail drops only the torn line);
+* :meth:`SweepJournal.plan` re-runs **exactly** the un-journaled
+  scenarios — completed work is never repeated, in-flight work is never
+  silently dropped;
+* after resuming, the merged journal equals an uninterrupted run's, as a
+  completion multiset and value-for-value (runs are deterministic).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.session import Scenario, SweepJournal, run_sweep
+
+REPRO_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+#: The sweep both the victim and the parent agree on.
+SWEEP_NS = [8000 + 100 * i for i in range(10)]
+KILL_AFTER = 3  # journaled completions before the parent pulls the trigger
+
+
+def sweep_scenarios():
+    return [Scenario(scheduler="cpu", n=n) for n in SWEEP_NS]
+
+
+VICTIM = textwrap.dedent(
+    """
+    import sys, time
+    import repro.session.runtime as runtime
+    from repro.session import Scenario, run_sweep
+
+    # Slow each scenario down so the parent's kill lands mid-sweep
+    # deterministically; the journal record itself is untouched.
+    _original = runtime._execute_scenario
+    def _slowed(scenario, events_path=None):
+        result = _original(scenario, events_path)
+        time.sleep(0.25)
+        return result
+    runtime._execute_scenario = _slowed
+
+    journal = sys.argv[1]
+    print(journal, flush=True)           # parent: poll this, then kill
+    scenarios = [Scenario(scheduler="cpu", n=8000 + 100 * i) for i in range(10)]
+    run_sweep(scenarios, journal_path=journal, serial=True)
+    print("SWEEP-FINISHED", flush=True)  # must never be reached
+    """
+)
+
+
+@pytest.fixture
+def killed_sweep(tmp_path):
+    """Journal path of a sweep whose driver was SIGKILLed mid-flight."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [REPRO_SRC, env.get("PYTHONPATH", "")])
+    )
+    journal = tmp_path / "sweep.jsonl"
+    process = subprocess.Popen(
+        [sys.executable, "-c", VICTIM, str(journal)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        printed = process.stdout.readline().strip()
+        assert printed == str(journal), process.stderr.read()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            records, _ = SweepJournal.load(journal)
+            if len(records) >= KILL_AFTER:
+                break
+            assert process.poll() is None, (
+                "sweep finished before the kill: " + process.stderr.read()
+            )
+            time.sleep(0.01)
+        else:
+            pytest.fail("sweep never journaled enough completions to kill")
+        process.kill()  # SIGKILL: no cleanup of any kind runs
+        process.wait(timeout=30)
+        assert process.returncode == -signal.SIGKILL
+        yield journal
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+
+class TestResumeAfterSigkill:
+    def test_exactly_the_unjournaled_scenarios_are_pending(self, killed_sweep):
+        scenarios = sweep_scenarios()
+        records, _ = SweepJournal.load(killed_sweep)
+        assert KILL_AFTER <= len(records) < len(scenarios)
+
+        plan = SweepJournal.plan(killed_sweep, scenarios)
+        journaled = sorted(r["hash"] for r in records)
+        done_hashes = sorted(scenarios[i].content_hash() for i in plan.done)
+        pending_hashes = sorted(s.content_hash() for _, s in plan.pending)
+        assert done_hashes == journaled
+        assert sorted(done_hashes + pending_hashes) == sorted(
+            s.content_hash() for s in scenarios
+        )
+
+    def test_resume_reruns_only_pending_and_merges_to_uninterrupted(
+        self, killed_sweep, tmp_path
+    ):
+        scenarios = sweep_scenarios()
+        survived = len(SweepJournal.load(killed_sweep)[0])
+
+        rows = run_sweep(scenarios, journal_path=killed_sweep, serial=True)
+        assert [row["n"] for row in rows] == SWEEP_NS
+
+        # The journal gained exactly the scenarios that had not completed:
+        # at most the in-flight one (plus the never-started tail) was lost,
+        # and nothing completed was re-run.
+        merged = SweepJournal.load(killed_sweep)[0]
+        assert len(merged) == survived + (len(scenarios) - survived)
+
+        reference = run_sweep(
+            scenarios, journal_path=tmp_path / "uninterrupted.jsonl", serial=True
+        )
+        assert SweepJournal.completion_counts(
+            killed_sweep
+        ) == SweepJournal.completion_counts(tmp_path / "uninterrupted.jsonl")
+        # Deterministic runs: the merged sweep's values equal the
+        # uninterrupted sweep's, row for row.
+        assert [row["gflops"] for row in rows] == [
+            row["gflops"] for row in reference
+        ]
+        assert [row["hash"] for row in rows] == [row["hash"] for row in reference]

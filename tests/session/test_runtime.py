@@ -1,0 +1,233 @@
+"""AsyncSession runtime behavior: streaming, lifecycle, tenancy, ledger.
+
+Serial mode (inline execution on the event-loop thread) keeps these fast
+and deterministic; pool-specific behavior has its own coverage in
+``test_package_api.py`` (parity) and ``test_cancel.py`` (interruption).
+"""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.session import (
+    AdmissionFull,
+    AsyncSession,
+    RunState,
+    Scenario,
+    Session,
+)
+
+N = 8000
+
+
+def scenario(n=N, scheduler="cpu", **kwargs):
+    return Scenario(scheduler=scheduler, n=n, **kwargs)
+
+
+def _boom(message):
+    """Module-level (hence picklable) job body that always raises."""
+    raise RuntimeError(message)
+
+
+class TestLifecycle:
+    def test_handle_reaches_exactly_one_terminal_state(self):
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                handles = [session.submit(scenario(n=N + 100 * i)) for i in range(5)]
+                await session.drain()
+                return handles
+
+        handles = asyncio.run(main())
+        for handle in handles:
+            assert handle.state is RunState.COMPLETED
+            assert handle.terminal_transitions == 1
+
+    def test_wait_returns_terminal_state_without_raising(self):
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                handle = session.submit(scenario())
+                return await handle.wait()
+
+        assert asyncio.run(main()) is RunState.COMPLETED
+
+    def test_failed_run_raises_original_error_from_result(self):
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                handle = session.submit_job(_boom, {"message": "kaboom"})
+                with pytest.raises(RuntimeError, match="kaboom") as excinfo:
+                    await handle.result()
+                return handle, excinfo.value
+
+        handle, error = asyncio.run(main())
+        assert handle.state is RunState.FAILED
+        assert handle.terminal_transitions == 1
+        assert handle.exception() is error
+
+    def test_submit_after_close_raises(self):
+        async def main():
+            session = AsyncSession(serial=True)
+            await session.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                session.submit(scenario())
+
+        asyncio.run(main())
+
+    def test_close_is_idempotent(self):
+        async def main():
+            session = AsyncSession(serial=True)
+            session.submit(scenario())
+            await session.close()
+            await session.close()
+
+        asyncio.run(main())
+
+    def test_submit_outside_loop_raises(self):
+        session_holder = {}
+
+        async def make():
+            session_holder["s"] = AsyncSession(serial=True)
+
+        asyncio.run(make())
+        with pytest.raises(RuntimeError):
+            session_holder["s"].submit(scenario())
+
+    def test_runtime_counters(self):
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                good = [session.submit(scenario(n=N + 100 * i)) for i in range(3)]
+                bad = session.submit_job(_boom, {"message": "bogus"})
+                await session.drain()
+                return session
+
+        session = asyncio.run(main())
+        assert session.submitted == 4
+        assert session.completed == 3
+        assert session.failed == 1
+        assert session.cancelled == 0
+        assert session.live_jobs == 0
+
+
+class TestTenancy:
+    def test_admission_full_surfaces_to_submit(self):
+        async def main():
+            async with AsyncSession(serial=True, max_in_flight=1, max_queued=1) as session:
+                # Serial execution resolves inline but finalization waits
+                # for the event loop, so submitting without awaiting builds
+                # real backlog: one in flight, one queued, third bounced.
+                first = session.submit(scenario(), tenant="t")
+                second = session.submit(scenario(n=N + 100), tenant="t")
+                with pytest.raises(AdmissionFull):
+                    session.submit(scenario(n=N + 200), tenant="t")
+                await session.drain()
+                return first, second
+
+        first, second = asyncio.run(main())
+        assert first.state is RunState.COMPLETED
+        assert second.state is RunState.COMPLETED
+
+    def test_tenants_tracked_per_submission(self):
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                a = session.submit(scenario(), tenant="alpha")
+                b = session.submit(scenario(n=N + 100), tenant="beta")
+                await session.drain()
+                return session, a, b
+
+        session, a, b = asyncio.run(main())
+        assert (a.tenant, b.tenant) == ("alpha", "beta")
+        assert session.scheduler.tenants() == ["alpha", "beta"]
+        assert session.scheduler.granted_count("alpha") == 1
+        assert session.scheduler.granted_count("beta") == 1
+
+
+class TestStreaming:
+    def test_stream_yields_states_spans_and_metrics(self):
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                handle = session.submit(scenario(), stream=True)
+                events = [event async for event in handle.stream()]
+                return handle, events
+
+        handle, events = asyncio.run(main())
+        kinds = [event.kind for event in events]
+        states = [e.data["state"] for e in events if e.kind == "state"]
+        assert states == ["pending", "running", "completed"]
+        assert "span" in kinds, kinds
+        assert kinds.count("metrics") == 1
+        metrics = next(e for e in events if e.kind == "metrics")
+        assert isinstance(metrics.data.get("metrics"), dict)
+        for event in events:
+            assert event.job_id == handle.job_id
+
+    def test_stream_replays_history_after_completion(self):
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                handle = session.submit(scenario(), stream=True)
+                await handle.result()
+                first = [event.kind async for event in handle.stream()]
+                second = [event.kind async for event in handle.stream()]
+                return first, second
+
+        first, second = asyncio.run(main())
+        assert first == second
+        assert first[0] == "state"
+
+    def test_stream_without_telemetry_has_lifecycle_only(self):
+        async def main():
+            async with AsyncSession(serial=True) as session:
+                handle = session.submit(scenario())  # stream defaults off
+                await handle.result()
+                return [event.kind async for event in handle.stream()]
+
+        assert set(asyncio.run(main())) == {"state"}
+
+
+class TestLedgerIntegration:
+    def test_ledger_holds_journal_and_event_streams(self, tmp_path):
+        ledger = obs.RunLedger.open("session-test", root=tmp_path)
+
+        async def main():
+            async with AsyncSession(serial=True, ledger=ledger) as session:
+                handles = [
+                    session.submit(scenario(n=N + 100 * i), stream=True)
+                    for i in range(2)
+                ]
+                return [await h.result() for h in handles]
+
+        results = asyncio.run(main())
+        ledger.finish({"jobs": len(results)})
+
+        journal = ledger.directory / "scenarios.jsonl"
+        assert journal.exists()
+        assert len(journal.read_text().splitlines()) == 2
+        streams = sorted((ledger.directory / "streams").glob("events-*.jsonl"))
+        assert len(streams) == 2
+
+        import json
+
+        manifest = json.loads((ledger.directory / "manifest.json").read_text())
+        assert manifest["sweep_journal"] == "scenarios.jsonl"
+
+    def test_journal_matches_sync_results(self, tmp_path):
+        from repro.session import SweepJournal
+
+        scenarios = [scenario(n=N + 100 * i) for i in range(3)]
+        path = tmp_path / "j.jsonl"
+
+        async def main():
+            async with AsyncSession(serial=True, journal=path) as session:
+                for s in scenarios:
+                    session.submit(s)
+                await session.drain()
+
+        asyncio.run(main())
+        records, truncated = SweepJournal.load(path)
+        assert not truncated
+        by_hash = {r["hash"]: r for r in records}
+        for s in scenarios:
+            want = Session(s).run()
+            got = by_hash[s.content_hash()]
+            assert got["gflops"] == want.gflops
+            assert got["elapsed"] == want.elapsed
+            assert got["n"] == s.n

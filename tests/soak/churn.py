@@ -1,0 +1,384 @@
+#!/usr/bin/env python
+"""Soak/churn harness for the async multi-tenant session runtime.
+
+Submits, cancels, and resumes waves of mixed scenarios across named
+tenants against one long-lived :class:`repro.session.AsyncSession`,
+sampling the process's open-fd count and resident set as it goes.  The
+pinned invariants — violations are printed and exit the process nonzero:
+
+1. **One terminal state** — every submitted handle ends COMPLETED or
+   CANCELLED exactly once (``terminal_transitions == 1``); nothing fails,
+   nothing hangs, nothing double-fires.
+2. **Accounting** — per tenant, ``submitted == completed + cancelled``
+   after every wave (no lost or duplicated scenarios).
+3. **Bounded completion skew** — in waves without cancellation, while
+   every tenant still has backlog, round-robin granting keeps per-tenant
+   grant counts within ``slots + 1`` of each other.
+4. **Flat resources** — after a warmup window (first quarter of the run),
+   the open-fd count never exceeds its warmup high-water mark plus a
+   small allowance, and RSS stays within a bounded envelope of its
+   warmup level.
+5. **Resume is a replay** — a :func:`repro.session.run_sweep` journal,
+   resumed, re-runs nothing: the journal file is byte-identical after the
+   second invocation.
+
+Usage::
+
+    python tests/soak/churn.py --quick --report soak_report.json   # CI lane
+    python tests/soak/churn.py --duration 120                      # full soak
+
+``--quick`` is time-budgeted (a few seconds, serial execution) so the CI
+lane and the pytest wrapper (``tests/soak/test_soak.py``) stay cheap; the
+full run drives the real process pool for minutes and churns thousands of
+scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+if __package__ in (None, ""):  # running as a script: find src/ ourselves
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.session import (  # noqa: E402
+    AdmissionFull,
+    AsyncSession,
+    RunState,
+    Scenario,
+    SweepJournal,
+    run_sweep,
+)
+
+#: Scenario mix the waves cycle through (every HPL-capable family).
+SCHEDULERS = ("cpu", "adaptive", "acmlg_both", "static")
+
+#: Problem sizes small enough that one run is ~10-20 ms.
+BASE_N = 8000
+
+#: Post-warmup fd allowance over the warmup high-water mark.
+FD_ALLOWANCE = 8
+
+#: Post-warmup RSS envelope: warmup high-water mark times this, plus slack.
+RSS_FACTOR = 1.35
+RSS_SLACK_KB = 64 * 1024
+
+#: Fairness bound: grant-count skew among backlogged tenants (invariant 3).
+def fair_skew_bound(slots: int) -> int:
+    return slots + 1
+
+
+def fd_count() -> Optional[int]:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+def rss_kb() -> Optional[int]:
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return None
+
+
+def wave_scenarios(wave: int, count: int) -> list[Scenario]:
+    """A deterministic mixed batch for one tenant in one wave."""
+    return [
+        Scenario(
+            scheduler=SCHEDULERS[(wave + k) % len(SCHEDULERS)],
+            n=BASE_N + 100 * ((wave * 7 + k) % 12),
+            seed=1 + (k % 5),
+        )
+        for k in range(count)
+    ]
+
+
+class Violations:
+    def __init__(self) -> None:
+        self.items: list[str] = []
+
+    def check(self, ok: bool, message: str) -> None:
+        if not ok:
+            self.items.append(message)
+            print(f"VIOLATION: {message}", file=sys.stderr)
+
+
+async def run_wave(
+    session: AsyncSession,
+    tenants: list[str],
+    wave: int,
+    per_tenant: int,
+    *,
+    cancel_every: int,
+    violations: Violations,
+) -> dict[str, Any]:
+    """One churn wave: interleaved submits, optional cancels, full drain."""
+    handles: dict[str, list] = {t: [] for t in tenants}
+    batches = {t: wave_scenarios(wave, per_tenant) for t in tenants}
+    grant_base = {t: session.scheduler.granted_count(t) for t in tenants}
+
+    for k in range(per_tenant):
+        for tenant in tenants:
+            scenario = batches[tenant][k]
+            while True:
+                try:
+                    handles[tenant].append(
+                        session.submit(scenario, tenant=tenant)
+                    )
+                    break
+                except AdmissionFull:
+                    await asyncio.sleep(0.001)  # backpressure: drain a bit
+
+    cancels = {t: 0 for t in tenants}
+    if cancel_every:
+        for tenant in tenants:
+            for handle in handles[tenant][::cancel_every]:
+                if handle.cancel():
+                    cancels[tenant] += 1
+
+    # Drain while sampling fairness (cancel-free waves only: cancellation
+    # empties queues asymmetrically, which is allowed to skew grants).
+    max_skew = 0
+    while session.live_jobs:
+        await asyncio.sleep(0)
+        if not cancel_every and all(
+            session.scheduler.queued_count(t) > 0 for t in tenants
+        ):
+            deltas = [
+                session.scheduler.granted_count(t) - grant_base[t]
+                for t in tenants
+            ]
+            max_skew = max(max_skew, max(deltas) - min(deltas))
+    await session.drain()
+
+    stats = {"completed": 0, "cancelled": 0, "failed": 0, "max_fair_skew": max_skew}
+    for tenant in tenants:
+        completed = cancelled = 0
+        for handle in handles[tenant]:
+            violations.check(
+                handle.state.terminal and handle.terminal_transitions == 1,
+                f"wave {wave} {handle.label}: terminal_transitions="
+                f"{handle.terminal_transitions} state={handle.state.value}",
+            )
+            if handle.state is RunState.COMPLETED:
+                completed += 1
+            elif handle.state is RunState.CANCELLED:
+                cancelled += 1
+            else:
+                stats["failed"] += 1
+                violations.check(
+                    False,
+                    f"wave {wave} {handle.label}: unexpected terminal state "
+                    f"{handle.state.value}: {handle.exception()!r}",
+                )
+        violations.check(
+            completed + cancelled == per_tenant,
+            f"wave {wave} tenant {tenant}: submitted {per_tenant} != "
+            f"completed {completed} + cancelled {cancelled}",
+        )
+        stats["completed"] += completed
+        stats["cancelled"] += cancelled
+    if not cancel_every:
+        violations.check(
+            max_skew <= fair_skew_bound(session.pool.size),
+            f"wave {wave}: fair-share grant skew {max_skew} exceeds bound "
+            f"{fair_skew_bound(session.pool.size)}",
+        )
+    return stats
+
+
+def resume_cycle(
+    spool: Path, wave: int, *, serial: bool, violations: Violations
+) -> int:
+    """Checkpoint/resume churn: sweep, then resume; resume must replay."""
+    journal = spool / f"resume-{wave}.jsonl"
+    sweep = [Scenario(scheduler="cpu", n=BASE_N + 100 * i) for i in range(6)]
+    rows = run_sweep(sweep, journal_path=journal, serial=serial)
+    violations.check(
+        len(rows) == len(sweep),
+        f"wave {wave}: resume sweep returned {len(rows)} rows",
+    )
+    before = journal.read_bytes()
+    again = run_sweep(sweep, journal_path=journal, serial=serial)
+    violations.check(
+        journal.read_bytes() == before,
+        f"wave {wave}: resume re-ran journaled scenarios",
+    )
+    violations.check(
+        [r["gflops"] for r in again] == [r["gflops"] for r in rows],
+        f"wave {wave}: resumed rows differ from the original run's",
+    )
+    journal.unlink()
+    return len(sweep)
+
+
+async def churn(args: argparse.Namespace, violations: Violations) -> dict[str, Any]:
+    tenants = [f"tenant-{i}" for i in range(args.tenants)]
+    samples: list[dict[str, Any]] = []
+    totals = {"submitted": 0, "completed": 0, "cancelled": 0, "waves": 0,
+              "resumed_scenarios": 0, "max_fair_skew": 0}
+    started = time.monotonic()
+    warmup_until = started + args.duration * 0.25
+
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as spool:
+        async with AsyncSession(
+            slots=args.slots, serial=args.serial or None
+        ) as session:
+            wave = 0
+            while (
+                time.monotonic() - started < args.duration or wave < 2
+            ):
+                cancel_every = 3 if wave % 2 == 1 else 0
+                stats = await run_wave(
+                    session,
+                    tenants,
+                    wave,
+                    args.wave_size,
+                    cancel_every=cancel_every,
+                    violations=violations,
+                )
+                if wave % 3 == 2:
+                    totals["resumed_scenarios"] += await asyncio.to_thread(
+                        resume_cycle,
+                        Path(spool),
+                        wave,
+                        serial=bool(args.serial),
+                        violations=violations,
+                    )
+                totals["submitted"] += args.wave_size * len(tenants)
+                totals["completed"] += stats["completed"]
+                totals["cancelled"] += stats["cancelled"]
+                totals["max_fair_skew"] = max(
+                    totals["max_fair_skew"], stats["max_fair_skew"]
+                )
+                totals["waves"] += 1
+                samples.append(
+                    {
+                        "wall": round(time.monotonic() - started, 3),
+                        "wave": wave,
+                        "warmup": time.monotonic() < warmup_until,
+                        "fd": fd_count(),
+                        "rss_kb": rss_kb(),
+                        "completed": stats["completed"],
+                        "cancelled": stats["cancelled"],
+                    }
+                )
+                wave += 1
+
+    # Resource flatness (invariant 4), judged over the sample trail.
+    with_fd = [s for s in samples if s["fd"] is not None]
+    warm = [s for s in with_fd if s["warmup"]] or with_fd[:1]
+    later = [s for s in with_fd if not s["warmup"]]
+    resources: dict[str, Any] = {"supported": bool(with_fd)}
+    if with_fd and later:
+        fd_mark = max(s["fd"] for s in warm)
+        fd_peak = max(s["fd"] for s in later)
+        resources.update(fd_warmup_mark=fd_mark, fd_post_warmup_peak=fd_peak)
+        violations.check(
+            fd_peak <= fd_mark + FD_ALLOWANCE,
+            f"fd table grew after warmup: {fd_mark} -> {fd_peak}",
+        )
+        rss_marks = [s["rss_kb"] for s in warm if s["rss_kb"]]
+        rss_peaks = [s["rss_kb"] for s in later if s["rss_kb"]]
+        if rss_marks and rss_peaks:
+            rss_mark, rss_peak = max(rss_marks), max(rss_peaks)
+            resources.update(
+                rss_warmup_mark_kb=rss_mark, rss_post_warmup_peak_kb=rss_peak
+            )
+            violations.check(
+                rss_peak <= rss_mark * RSS_FACTOR + RSS_SLACK_KB,
+                f"RSS grew after warmup: {rss_mark} kB -> {rss_peak} kB",
+            )
+
+    return {
+        "config": {
+            "quick": args.quick,
+            "duration": args.duration,
+            "tenants": args.tenants,
+            "wave_size": args.wave_size,
+            "slots": args.slots,
+            "serial": bool(args.serial),
+        },
+        "totals": totals,
+        "resources": resources,
+        "samples": samples,
+        "violations": violations.items,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python tests/soak/churn.py",
+        description="Churn the async session runtime and pin its invariants.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="time-budgeted CI mode: a few seconds, serial execution",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="target wall-clock budget (default: 6 with --quick, 120 without)",
+    )
+    parser.add_argument("--tenants", type=int, default=3, metavar="N")
+    parser.add_argument(
+        "--wave-size", type=int, default=None, metavar="N",
+        help="scenarios per tenant per wave (default: 25 quick, 50 full)",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=None, metavar="N",
+        help="worker pool size (default: all cores; ignored with --serial)",
+    )
+    parser.add_argument(
+        "--serial", action="store_true",
+        help="inline execution instead of the process pool (implied by --quick)",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="FILE.json",
+        help="write the sample trail and invariant results as JSON",
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.serial = True
+    if args.duration is None:
+        args.duration = 6.0 if args.quick else 120.0
+    if args.wave_size is None:
+        args.wave_size = 25 if args.quick else 50
+    if args.tenants < 2:
+        print("--tenants must be >= 2 (fairness needs neighbors)", file=sys.stderr)
+        return 2
+
+    violations = Violations()
+    report = asyncio.run(churn(args, violations))
+
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+    totals = report["totals"]
+    print(
+        f"soak: {totals['waves']} waves, {totals['submitted']} submitted, "
+        f"{totals['completed']} completed, {totals['cancelled']} cancelled, "
+        f"{totals['resumed_scenarios']} resumed, "
+        f"max fair skew {totals['max_fair_skew']}, "
+        f"{len(report['violations'])} violations"
+    )
+    return 1 if report["violations"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

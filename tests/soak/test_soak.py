@@ -1,0 +1,57 @@
+"""In-process pytest wrapper around the churn harness's --quick mode.
+
+Keeps the soak invariants under the ordinary test runner (a few seconds,
+serial execution); the CI ``soak`` lane runs ``churn.py`` standalone with
+a longer budget and uploads the report as an artifact.  Deselect with
+``-m 'not soak'`` when iterating.
+"""
+
+import json
+
+import pytest
+
+from tests.soak import churn
+
+pytestmark = pytest.mark.soak
+
+
+class TestQuickChurn:
+    def test_quick_churn_holds_every_invariant(self, tmp_path):
+        report_path = tmp_path / "soak_report.json"
+        exit_code = churn.main(
+            ["--quick", "--duration", "4", "--report", str(report_path)]
+        )
+        report = json.loads(report_path.read_text())
+        assert report["violations"] == [], report["violations"]
+        assert exit_code == 0
+
+        totals = report["totals"]
+        assert totals["waves"] >= 2
+        assert totals["submitted"] >= 100, "churn volume collapsed"
+        assert totals["completed"] + totals["cancelled"] == totals["submitted"]
+        assert totals["resumed_scenarios"] > 0, "resume churn never ran"
+
+        resources = report["resources"]
+        if resources["supported"]:
+            assert "fd_warmup_mark" in resources
+            for sample in report["samples"]:
+                assert sample["fd"] is not None
+
+    def test_violations_exit_nonzero(self, tmp_path, monkeypatch):
+        # Force a violation to prove the harness actually fails loudly
+        # instead of reporting green no matter what.
+        monkeypatch.setattr(churn, "fair_skew_bound", lambda slots: -1)
+        exit_code = churn.main(["--quick", "--duration", "1"])
+        assert exit_code == 1
+
+
+class TestHarnessPieces:
+    def test_wave_scenarios_are_deterministic_and_mixed(self):
+        first = churn.wave_scenarios(3, 12)
+        again = churn.wave_scenarios(3, 12)
+        assert first == again
+        assert len({s.scheduler_name for s in first}) == len(churn.SCHEDULERS)
+        assert len({s.n for s in first}) > 1
+
+    def test_parser_rejects_single_tenant(self, capsys):
+        assert churn.main(["--quick", "--tenants", "1"]) == 2

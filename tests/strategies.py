@@ -105,3 +105,42 @@ message_payloads = st.one_of(
     st.lists(message_scalars, max_size=3),
     st.dictionaries(st.text(max_size=4), message_scalars, max_size=3),
 )
+
+
+# -- session runtime churn ----------------------------------------------------
+#
+# Abstract operation streams for the fair-share scheduler and the async
+# session runtime (tests/session/test_properties.py).  Ops are tagged
+# tuples interpreted against live state: the integer picks a target job
+# *modulo the current live set*, so every generated stream is executable —
+# shrinking stays effective because no op is ever discarded as invalid.
+
+#: Tenant name pool: small enough that streams collide tenants constantly.
+tenant_names = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+
+#: One abstract churn op: (kind, tenant-for-submits, job-selector).
+churn_op = st.tuples(
+    st.sampled_from(["submit", "grant", "finish", "cancel"]),
+    tenant_names,
+    st.integers(0, 63),
+)
+
+#: Streams of churn ops, long enough to fill and drain small schedulers.
+churn_op_streams = st.lists(churn_op, max_size=80)
+
+#: Scheduler shapes that hit every cap with streams of the above length.
+scheduler_shapes = st.tuples(
+    st.integers(1, 6),  # slots
+    st.integers(1, 4),  # max_in_flight
+    st.integers(1, 8),  # max_queued
+)
+
+#: Runtime interleavings: submit under a tenant, cancel a live handle, or
+#: yield to the event loop (letting finalizations land between ops).
+runtime_op = st.tuples(
+    st.sampled_from(["submit", "cancel", "yield"]),
+    tenant_names,
+    st.integers(0, 63),
+)
+
+runtime_op_streams = st.lists(runtime_op, max_size=40)
