@@ -71,6 +71,44 @@ class InstantEngine:
         yield  # pragma: no cover
 
 
+class FlopsEngine:
+    """Real math, time charged from flop counts at fixed device rates.
+
+    The scalable middle ground between :class:`InstantEngine` (no timing at
+    all) and :class:`ElementEngine` (full mapper/pipeline machinery per
+    rank): the trailing update and the CPU-side phases take
+    ``flops / rate`` simulated seconds, nothing else.  One instance per rank
+    is cheap enough to run 8x8 and 16x16 process grids through the DES/
+    analytic crossval matrix, while keeping the timing non-trivial (compute
+    overlaps communication, the critical path is real).
+    """
+
+    def __init__(self, gemm_rate: float = 2.5e11, cpu_rate: float = 4.0e10) -> None:
+        require(gemm_rate > 0 and cpu_rate > 0, "engine rates must be > 0")
+        self.sim: Optional[Simulator] = None  # bound by DistributedLU.factor
+        self.gemm_rate = gemm_rate
+        self.cpu_rate = cpu_rate
+        self.update_time = 0.0
+        self.cpu_phase_time = 0.0
+
+    def dgemm_update(self, l21: np.ndarray, u12: np.ndarray, c: np.ndarray):
+        m, k = l21.shape
+        n = u12.shape[1]
+        c -= l21 @ u12
+        duration = 2.0 * m * n * k / self.gemm_rate
+        self.update_time += duration
+        assert self.sim is not None, "FlopsEngine used outside DistributedLU"
+        yield self.sim.timeout(duration)
+
+    def charge_cpu(self, flops: float):
+        if flops <= 0:
+            return
+        duration = flops / self.cpu_rate
+        self.cpu_phase_time += duration
+        assert self.sim is not None, "FlopsEngine used outside DistributedLU"
+        yield self.sim.timeout(duration)
+
+
 class ElementEngine:
     """Engine backed by one compute element: hybrid DGEMM + CPU-side phases.
 
@@ -174,6 +212,9 @@ class DistributedLU:
         self.world = world
         self.engines = list(engines) if engines is not None else [InstantEngine()] * grid.size
         require(len(self.engines) == grid.size, "one engine per rank required")
+        for engine in self.engines:
+            if getattr(engine, "sim", False) is None:  # an unbound FlopsEngine
+                engine.sim = sim
         self.bcast_algorithm = bcast_algorithm
 
     def factor(self, a: np.ndarray) -> FactorResult:

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 import numpy as np
@@ -76,37 +75,182 @@ def payload_nbytes(obj: Any) -> float:
     return 64.0  # pickled small object
 
 
-@dataclass
 class _Message:
-    src: int
-    tag: Any
-    payload: Any
+    """A posted payload with its routing metadata.
+
+    ``taken`` supports the mailbox's lazy multi-index invalidation: a message
+    consumed through one index leaves flagged carcasses in the others, which
+    are discarded when they surface at a deque front.
+    """
+
+    __slots__ = ("src", "tag", "payload", "taken")
+
+    def __init__(self, src: int, tag: Any, payload: Any) -> None:
+        self.src = src
+        self.tag = tag
+        self.payload = payload
+        self.taken = False
+
+
+#: Interned-tag sentinel for unhashable tags (they ride the wildcard path).
+_UNHASHABLE = -1
 
 
 class _Mailbox:
-    """Per-rank in-order mailbox with (source, tag) matching."""
+    """Per-rank in-order mailbox with (source, tag) matching.
 
-    def __init__(self, sim: Simulator) -> None:
+    The matching hot path is keyed, not scanned: every message is indexed
+    under its interned ``tag_id * n_ranks + src`` key and under its bare
+    ``tag_id``, both arrival-ordered, so the collective machinery's exact
+    ``(source, tag)`` receives and gather's ``(ANY, tag)`` receives are O(1)
+    dict+deque operations regardless of how much unrelated traffic is
+    buffered.  A full arrival-order deque backs the rare wildcard receives
+    (``source=None``/``tag=None`` through the public API, unhashable tags).
+    Consuming through one index marks the message ``taken``; stale carcasses
+    in the other indexes are popped lazily when they reach a deque front
+    (every index is pruned as it is touched, so garbage stays bounded by the
+    live backlog in FIFO workloads).
+
+    Pending receives (waiters) are the matching structures mirrored: keyed
+    deques of ``(seq, event)`` plus a wildcard list, with a global sequence
+    so a delivery always wakes the **earliest-posted** matching waiter —
+    exactly the FIFO semantics of the old single-deque predicate scan.
+    """
+
+    __slots__ = (
+        "sim",
+        "n_ranks",
+        "_by_key",
+        "_by_tag",
+        "_arrivals",
+        "_wait_by_key",
+        "_wait_by_tag",
+        "_wait_wild",
+        "_wseq",
+    )
+
+    def __init__(self, sim: Simulator, n_ranks: int) -> None:
         self.sim = sim
-        self._queue: deque[_Message] = deque()
-        self._waiters: deque[tuple[Callable[[_Message], bool], Event]] = deque()
+        self.n_ranks = n_ranks
+        self._by_key: dict[int, deque[_Message]] = {}
+        self._by_tag: dict[int, deque[_Message]] = {}
+        self._arrivals: deque[_Message] = deque()
+        self._wait_by_key: dict[int, deque[tuple[int, Event]]] = {}
+        self._wait_by_tag: dict[int, deque[tuple[int, Event]]] = {}
+        self._wait_wild: list[tuple[int, Optional[int], Any, Event]] = []
+        self._wseq = 0
 
-    def deliver(self, message: _Message) -> None:
-        for i, (predicate, event) in enumerate(self._waiters):
-            if predicate(message):
-                del self._waiters[i]
-                event.succeed(message)
-                return
-        self._queue.append(message)
+    def deliver(self, message: _Message, tag_id: int) -> None:
+        src = message.src
+        # Earliest-posted matching waiter wins, across all waiter classes.
+        best_seq: Optional[int] = None
+        key = -1
+        key_q = tag_q = None
+        if tag_id != _UNHASHABLE:
+            key = tag_id * self.n_ranks + src
+            key_q = self._wait_by_key.get(key)
+            if key_q:
+                best_seq = key_q[0][0]
+            tag_q = self._wait_by_tag.get(tag_id)
+            if tag_q and (best_seq is None or tag_q[0][0] < best_seq):
+                best_seq = tag_q[0][0]
+        wild_at = -1
+        if self._wait_wild:
+            tag = message.tag
+            for i, (seq, w_src, w_tag, _event) in enumerate(self._wait_wild):
+                if best_seq is not None and seq > best_seq:
+                    break
+                if (w_src is None or w_src == src) and (w_tag is None or w_tag == tag):
+                    best_seq = seq
+                    wild_at = i
+                    break
+        if best_seq is not None:
+            if wild_at >= 0:
+                event = self._wait_wild.pop(wild_at)[3]
+            elif key_q and key_q[0][0] == best_seq:
+                event = key_q.popleft()[1]
+            else:
+                assert tag_q is not None
+                event = tag_q.popleft()[1]
+            event.succeed(message)
+            return
+        # No waiter: index the message (pruning each front as it is touched).
+        arrivals = self._arrivals
+        while arrivals and arrivals[0].taken:
+            arrivals.popleft()
+        arrivals.append(message)
+        if tag_id != _UNHASHABLE:
+            bucket = self._by_key.get(key)
+            if bucket is None:
+                self._by_key[key] = deque((message,))
+            else:
+                while bucket and bucket[0].taken:
+                    bucket.popleft()
+                bucket.append(message)
+            bucket = self._by_tag.get(tag_id)
+            if bucket is None:
+                self._by_tag[tag_id] = deque((message,))
+            else:
+                while bucket and bucket[0].taken:
+                    bucket.popleft()
+                bucket.append(message)
 
-    def take(self, predicate: Callable[[_Message], bool]) -> Event:
+    def _next_seq(self) -> int:
+        seq = self._wseq
+        self._wseq = seq + 1
+        return seq
+
+    def take_exact(self, key: int) -> Event:
+        """Receive the earliest message matching an interned (tag, src) key."""
         event = Event(self.sim)
-        for i, message in enumerate(self._queue):
-            if predicate(message):
-                del self._queue[i]
+        bucket = self._by_key.get(key)
+        if bucket:
+            while bucket:
+                message = bucket.popleft()
+                if not message.taken:
+                    message.taken = True
+                    event.succeed(message)
+                    return event
+        waiters = self._wait_by_key.get(key)
+        if waiters is None:
+            waiters = self._wait_by_key[key] = deque()
+        waiters.append((self._next_seq(), event))
+        return event
+
+    def take_tag(self, tag_id: int) -> Event:
+        """Receive the earliest message with this tag from any source."""
+        event = Event(self.sim)
+        bucket = self._by_tag.get(tag_id)
+        if bucket:
+            while bucket:
+                message = bucket.popleft()
+                if not message.taken:
+                    message.taken = True
+                    event.succeed(message)
+                    return event
+        waiters = self._wait_by_tag.get(tag_id)
+        if waiters is None:
+            waiters = self._wait_by_tag[tag_id] = deque()
+        waiters.append((self._next_seq(), event))
+        return event
+
+    def take_wild(self, source: Optional[int], tag: Any) -> Event:
+        """Receive by linear arrival-order scan (wildcards, unhashable tags)."""
+        event = Event(self.sim)
+        arrivals = self._arrivals
+        while arrivals and arrivals[0].taken:
+            arrivals.popleft()
+        for i, message in enumerate(arrivals):
+            if message.taken:
+                continue
+            if (source is None or message.src == source) and (
+                tag is None or message.tag == tag
+            ):
+                message.taken = True
+                del arrivals[i]
                 event.succeed(message)
                 return event
-        self._waiters.append((predicate, event))
+        self._wait_wild.append((self._next_seq(), source, tag, event))
         return event
 
 
@@ -134,13 +278,21 @@ class SimMPI:
         self.sim = sim
         self.n_ranks = n_ranks
         self.network = interconnect
-        self._mailboxes = [_Mailbox(sim) for _ in range(n_ranks)]
+        self._mailboxes = [_Mailbox(sim, n_ranks) for _ in range(n_ranks)]
         self.messages_sent = 0
         self.bytes_sent = 0.0
         self.log: Optional[list[tuple]] = [] if record_log else None
-        # rank -> stack of (collective name, tag) currently entered; a
+        # Tag interning: every distinct tag value gets a small integer id
+        # (and a cached repr for the record_log), so the mailbox hot path
+        # works on pre-hashed int keys instead of re-hashing tuple tags and
+        # re-formatting strings per message.
+        self._tag_ids: dict[Any, int] = {}
+        self._tag_reprs: list[str] = []
+        # Per-rank stack of (collective name, tag) currently entered; a
         # non-empty stack after the calendar drains means that rank is stuck.
-        self._in_collective: dict[int, list[tuple[str, Any]]] = {}
+        self._in_collective: list[list[tuple[str, Any]]] = [
+            [] for _ in range(n_ranks)
+        ]
 
     def comm(self, rank: int) -> "SimComm":
         require(0 <= rank < self.n_ranks, f"rank {rank} out of range")
@@ -155,20 +307,38 @@ class SimMPI:
             return self.sim.timeout(0.0)
         return self.network.send(src, dst, nbytes)
 
+    def _intern_tag(self, tag: Any) -> int:
+        """The small-int id (and cached repr) for *tag*.
+
+        Unhashable tags get the :data:`_UNHASHABLE` sentinel and travel the
+        mailbox's wildcard scan path instead of the keyed indexes.
+        """
+        try:
+            tag_id = self._tag_ids.get(tag)
+        except TypeError:
+            return _UNHASHABLE
+        if tag_id is None:
+            tag_id = len(self._tag_reprs)
+            self._tag_ids[tag] = tag_id
+            self._tag_reprs.append(repr(tag))
+        return tag_id
+
     def _post(self, src: int, dst: int, tag: Any, payload: Any) -> Event:
         """Inject a message; returns the delivery event."""
         nbytes = payload_nbytes(payload)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        tag_id = self._intern_tag(tag)
         if self.log is not None:
-            self.log.append(("post", self.sim.now, src, dst, repr(tag), nbytes))
+            tag_repr = repr(tag) if tag_id == _UNHASHABLE else self._tag_reprs[tag_id]
+            self.log.append(("post", self.sim.now, src, dst, tag_repr, nbytes))
         transit = self._transit(src, dst, nbytes)
         done = Event(self.sim)
 
         def on_arrival(_event: Event) -> None:
             if self.log is not None:
-                self.log.append(("dlv", self.sim.now, src, dst, repr(tag), nbytes))
-            self._mailboxes[dst].deliver(_Message(src, tag, payload))
+                self.log.append(("dlv", self.sim.now, src, dst, tag_repr, nbytes))
+            self._mailboxes[dst].deliver(_Message(src, tag, payload), tag_id)
             done.succeed(None)
 
         transit.add_callback(on_arrival)
@@ -176,7 +346,7 @@ class SimMPI:
 
     # -- blocked-collective bookkeeping -------------------------------------------
     def _collective_enter(self, rank: int, name: str, tag: Any) -> None:
-        self._in_collective.setdefault(rank, []).append((name, tag))
+        self._in_collective[rank].append((name, tag))
 
     def _collective_exit(self, rank: int) -> None:
         self._in_collective[rank].pop()
@@ -189,7 +359,7 @@ class SimMPI:
         """
         return {
             rank: stack[-1]
-            for rank, stack in sorted(self._in_collective.items())
+            for rank, stack in enumerate(self._in_collective)
             if stack
         }
 
@@ -482,11 +652,15 @@ class SimComm(CollectiveComm):
 
     def irecv(self, source: Optional[int] = None, tag: Any = None) -> Event:
         """Post a receive; the event succeeds with the matching message."""
-
-        def predicate(msg: _Message) -> bool:
-            return (source is None or msg.src == source) and (tag is None or msg.tag == tag)
-
-        return self.world._mailboxes[self.rank].take(predicate)
+        mailbox = self.world._mailboxes[self.rank]
+        if tag is None:
+            return mailbox.take_wild(source, None)
+        tag_id = self.world._intern_tag(tag)
+        if tag_id == _UNHASHABLE:
+            return mailbox.take_wild(source, tag)
+        if source is None:
+            return mailbox.take_tag(tag_id)
+        return mailbox.take_exact(tag_id * self.world.n_ranks + source)
 
     def recv(
         self, source: Optional[int] = None, tag: Any = None

@@ -35,13 +35,24 @@ class Group(CollectiveComm):
         self.members = members
         self.local_rank = members.index(comm.rank)
         self.tag_space = tag_space
+        # Namespaced-tag memo: grid collectives reuse a small set of tags per
+        # group, so the (tag_space, tag) wrapper tuple is built once per tag
+        # instead of once per message.
+        self._tag_memo: dict[Any, Any] = {}
 
     @property
     def size(self) -> int:
         return len(self.members)
 
     def _tag(self, tag: Any) -> Any:
-        return (self.tag_space, tag)
+        memo = self._tag_memo
+        try:
+            cached = memo.get(tag)
+        except TypeError:  # unhashable tag: build the wrapper each time
+            return (self.tag_space, tag)
+        if cached is None:
+            cached = memo[tag] = (self.tag_space, tag)
+        return cached
 
     # -- point to point (local-rank addressed) ------------------------------------
     def send(self, payload: Any, dest_local: int, tag: Any = 0) -> Generator[Event, Any, None]:

@@ -98,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report regressions but exit 0 (CI on shared runners)",
     )
+    p.add_argument(
+        "--block",
+        action="append",
+        default=None,
+        metavar="METRIC",
+        help="metric that exits 1 even under --warn-only (repeatable; "
+        "the bench-smoke lane blocks on des_engine.events_per_second)",
+    )
     return parser
 
 
@@ -237,6 +245,13 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         return 0
     for regression in regressions:
         print(f"REGRESSION: {regression.describe()}", file=sys.stderr)
+    blocking = [r for r in regressions if r.metric in set(args.block or ())]
+    if blocking:
+        # Promoted metrics gate unconditionally: --warn-only covers runner
+        # noise on advisory metrics, not the hot-path throughput contract.
+        for regression in blocking:
+            print(f"regress: {regression.metric} is blocking", file=sys.stderr)
+        return 1
     if args.warn_only:
         print("regress: --warn-only set; exiting 0", file=sys.stderr)
         return 0

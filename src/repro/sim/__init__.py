@@ -25,6 +25,7 @@ are resources.  The engine is a deliberately compact SimPy-style kernel:
 from repro.sim.engine import (
     AllOf,
     AnyOf,
+    BatchTimeout,
     Event,
     Process,
     SimStats,
@@ -38,6 +39,7 @@ from repro.sim.trace import TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BatchTimeout",
     "Event",
     "Process",
     "SimulationError",

@@ -1,39 +1,89 @@
 """Discrete-event simulation kernel: clock, events, processes, combinators.
 
-The design follows the classic event-calendar architecture: a priority queue
-of ``(time, sequence)``-ordered events; processing an event runs its callbacks,
+The design follows the classic event-calendar architecture: a calendar of
+``(time, sequence)``-ordered events; processing an event runs its callbacks,
 which typically resume generator processes, which schedule further events.
 Two events at the same virtual time are processed in scheduling order, making
 every simulation fully deterministic.
+
+The calendar is a **calendar queue** (R. Brown, CACM 1988): events are
+binned into fixed-width time buckets held in a dict keyed by the bucket
+index, with a small heap of bucket keys.  Enqueue is an O(1) amortized
+append; only the *front* bucket is heap-ordered, so pops cost
+``O(log bucket_size)`` instead of ``O(log calendar_size)``.  The bucket
+width adapts to the observed event density (see :meth:`Simulator._advance`),
+and because the bucket index is a monotone function of the timestamp, the
+pop order is always exactly the ``(when, sequence)`` total order the old
+single-heap calendar produced — golden traces are byte-identical across the
+two implementations.
+
+Same-timestamp *device-completion* events can additionally be coalesced
+through :meth:`Simulator.schedule_batch`: all completions sharing a
+timestamp become one :class:`BatchTimeout` calendar entry carrying a numpy
+payload, so a million-completion epoch costs one dispatch instead of a
+million generator resumes.  :meth:`Simulator.step_batch` drains a whole
+same-time epoch in one call.
 """
 
 from __future__ import annotations
 
-import heapq
 import time
-from dataclasses import dataclass
-from typing import Any, Callable, Generator, Iterable, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence
+
+import numpy as np
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the DES kernel (not for modeled failures)."""
 
 
-@dataclass(frozen=True)
 class SimStats:
     """Kernel bookkeeping at one instant (see :meth:`Simulator.stats`)."""
 
-    now: float
-    events_scheduled: int
-    events_processed: int
-    queue_depth: int
-    max_queue_depth: int
-    wall_seconds: float
+    __slots__ = (
+        "now",
+        "events_scheduled",
+        "events_processed",
+        "queue_depth",
+        "max_queue_depth",
+        "wall_seconds",
+    )
+
+    def __init__(
+        self,
+        now: float,
+        events_scheduled: int,
+        events_processed: int,
+        queue_depth: int,
+        max_queue_depth: int,
+        wall_seconds: float,
+    ) -> None:
+        self.now = now
+        self.events_scheduled = events_scheduled
+        self.events_processed = events_processed
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+        self.wall_seconds = wall_seconds
 
     @property
     def sim_per_wall(self) -> float:
         """Virtual seconds simulated per wall-clock second inside run()."""
         return self.now / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimStats(now={self.now!r}, events_scheduled={self.events_scheduled!r}, "
+            f"events_processed={self.events_processed!r}, queue_depth={self.queue_depth!r}, "
+            f"max_queue_depth={self.max_queue_depth!r}, wall_seconds={self.wall_seconds!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimStats):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in SimStats.__slots__
+        )
 
 
 class Event:
@@ -48,6 +98,10 @@ class Event:
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_poolable")
 
     _PENDING = object()
+
+    #: How many logical events this calendar entry stands for.  Plain events
+    #: are singletons; :class:`BatchTimeout` overrides this per instance.
+    _nevents = 1
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -139,6 +193,36 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         sim._enqueue(self, delay=self.delay)
+
+
+class BatchTimeout(Event):
+    """One calendar entry standing for *count* same-timestamp completions.
+
+    Created by :meth:`Simulator.schedule_batch`.  ``value`` is the numpy
+    array of the coalesced completions' values (input order preserved
+    within the batch); ``count`` is how many logical events this entry
+    represents — the kernel's ``events_processed``/queue-depth accounting
+    weights the entry accordingly, so throughput numbers stay comparable
+    with the one-Event-per-completion encoding.
+    """
+
+    __slots__ = ("delay", "count", "_nevents")
+
+    def __init__(
+        self, sim: "Simulator", delay: float, values: np.ndarray, count: int
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"batch delay must be >= 0, got {delay}")
+        if count < 1:
+            raise ValueError(f"batch count must be >= 1, got {count}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self.count = int(count)
+        self._nevents = self.count
+        self._ok = True
+        self._value = values
+        sim._batch_extra += self.count - 1
+        sim._enqueue(self, delay=self.delay, weight=self.count)
 
 
 class Process(Event):
@@ -284,23 +368,53 @@ class AnyOf(_Condition):
             self.fail(event._value)
 
 
+#: Bucket index used for non-finite timestamps (run-until-inf style events);
+#: far beyond any finite calendar position.
+_FAR_BUCKET = 1 << 120
+
+#: Calendar-queue tuning constants.  A bucket whose activation finds more
+#: than _SHRINK_ENTRIES entries spanning more than _SHRINK_DISTINCT distinct
+#: timestamps narrows the width toward _TARGET_DISTINCT timestamps/bucket;
+#: _GROW_STREAK consecutive near-empty activations with a long key heap
+#: widen it.  Resizes redistribute all buffered entries (O(n), rare) and
+#: depend only on the event stream, never on wall time — determinism holds.
+_SHRINK_ENTRIES = 512
+_SHRINK_DISTINCT = 64
+_TARGET_DISTINCT = 16
+_GROW_STREAK = 64
+_GROW_FACTOR = 8.0
+_MIN_WIDTH = 1e-18
+_MAX_WIDTH = 1e18
+
+
 class Simulator:
     """The event loop and virtual clock."""
 
     __slots__ = (
         "_now",
-        "_queue",
         "_sequence",
         "_running",
         "events_processed",
         "max_queue_depth",
         "_wall_seconds",
         "_event_pool",
+        "_batch_extra",
+        # calendar queue
+        "_front",
+        "_front_hi",
+        "_buckets",
+        "_bucket_keys",
+        "_count",
+        "_width",
+        "_inv_width",
+        "_sparse_streak",
+        "calendar_resizes",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, bucket_width: float = 1.0) -> None:
+        if not (bucket_width > 0.0):
+            raise ValueError(f"bucket_width must be > 0, got {bucket_width}")
         self._now = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._running = False
         # Always-on integer bookkeeping (a few adds per event — cheap, and
@@ -311,13 +425,36 @@ class Simulator:
         # Recycled kernel-internal events (process init/relay).  Every resume
         # of an already-fired target otherwise allocates a fresh Event; at
         # millions of events per run that allocation is the kernel's hottest
-        # line after the heap itself.
+        # line after the calendar itself.
         self._event_pool: list[Event] = []
+        # Extra logical events carried by BatchTimeout entries (stats only).
+        self._batch_extra = 0
+        # -- calendar queue ---------------------------------------------------
+        # _front is the heap-ordered head segment of the calendar: every
+        # buffered entry whose bucket index is <= _front_hi.  All later
+        # entries sit in unsorted per-bucket lists in _buckets, with the
+        # pending bucket indices in the _bucket_keys min-heap.  _count is the
+        # total number of buffered *logical* events (batch entries weighted).
+        self._front: list[tuple[float, int, Event]] = []
+        self._front_hi = 0
+        self._buckets: dict[int, list[tuple[float, int, Event]]] = {}
+        self._bucket_keys: list[int] = []
+        self._count = 0
+        self._width = float(bucket_width)
+        self._inv_width = 1.0 / self._width
+        self._sparse_streak = 0
+        #: Lifetime count of adaptive bucket-width changes (observability).
+        self.calendar_resizes = 0
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def bucket_width(self) -> float:
+        """Current calendar-queue bucket width in virtual seconds."""
+        return self._width
 
     # -- factory helpers ------------------------------------------------------
     def event(self) -> Event:
@@ -340,6 +477,59 @@ class Simulator:
         """Race over *events*."""
         return AnyOf(self, events)
 
+    def schedule_batch(
+        self,
+        delays: "np.ndarray | Sequence[float]",
+        values: Optional["np.ndarray | Sequence[Any]"] = None,
+        on_complete: Optional[Callable[[Event], None]] = None,
+    ) -> list[BatchTimeout]:
+        """Schedule many completion events at once, coalesced by timestamp.
+
+        All completions sharing a delay become **one** :class:`BatchTimeout`
+        calendar entry whose value is the numpy array of their *values*
+        (input order preserved within each batch); with ``values=None`` the
+        value is simply the shared delay, skipping the per-event regroup
+        entirely.  ``events_processed`` and the queue-depth counters weight
+        each entry by its batch size, so kernel accounting is identical to
+        scheduling one :class:`Timeout` per completion — only the dispatch
+        cost collapses from O(events) to O(distinct timestamps).
+
+        This is the numpy fast path for same-time *device-completion* storms
+        (a wave of DMA transfers finishing on the same tick, a bucket of
+        ranks leaving a barrier): payloads that are plain numbers vectorize;
+        payloads needing per-event callbacks should stay on :meth:`timeout`.
+        Returns the batch entries in increasing-timestamp order.
+        """
+        delay_array = np.asarray(delays, dtype=np.float64).ravel()
+        if delay_array.size == 0:
+            return []
+        if np.any(delay_array < 0) or not np.all(np.isfinite(delay_array)):
+            raise ValueError("batch delays must be finite and >= 0")
+        events: list[BatchTimeout] = []
+        if values is None:
+            uniq, counts = np.unique(delay_array, return_counts=True)
+            for d, n in zip(uniq.tolist(), counts.tolist()):
+                events.append(BatchTimeout(self, d, d, n))
+        else:
+            value_array = np.asarray(values)
+            if value_array.shape[0] != delay_array.shape[0]:
+                raise ValueError(
+                    f"values length {value_array.shape[0]} != delays length "
+                    f"{delay_array.shape[0]}"
+                )
+            uniq, counts = np.unique(delay_array, return_counts=True)
+            # Stable grouping: within a timestamp, values keep input order.
+            order = np.argsort(delay_array, kind="stable")
+            grouped = value_array[order]
+            start = 0
+            for d, n in zip(uniq.tolist(), counts.tolist()):
+                events.append(BatchTimeout(self, d, grouped[start : start + n], n))
+                start += n
+        if on_complete is not None:
+            for event in events:
+                event.add_callback(on_complete)
+        return events
+
     def _internal_event(self) -> Event:
         """A pooled kernel-internal event (recycled by :meth:`step`)."""
         pool = self._event_pool
@@ -355,21 +545,147 @@ class Simulator:
         return event
 
     # -- calendar --------------------------------------------------------------
-    def _enqueue(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
-        self._sequence += 1
-        if len(self._queue) > self.max_queue_depth:
-            self.max_queue_depth = len(self._queue)
+    def _enqueue(self, event: Event, delay: float, weight: int = 1) -> None:
+        when = self._now + delay
+        seq = self._sequence
+        self._sequence = seq + 1
+        entry = (when, seq, event)
+        try:
+            idx = int(when * self._inv_width)
+        except (OverflowError, ValueError):  # pragma: no cover - inf/nan delay
+            idx = _FAR_BUCKET
+        front = self._front
+        if front:
+            if idx <= self._front_hi:
+                heappush(front, entry)
+            else:
+                bucket = self._buckets.get(idx)
+                if bucket is None:
+                    self._buckets[idx] = [entry]
+                    heappush(self._bucket_keys, idx)
+                else:
+                    bucket.append(entry)
+        elif self._bucket_keys and idx >= self._bucket_keys[0]:
+            # The front drained and this entry belongs at-or-behind the next
+            # pending bucket: keep it bucketed so _advance stays in charge.
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                self._buckets[idx] = [entry]
+                heappush(self._bucket_keys, idx)
+            else:
+                bucket.append(entry)
+        else:
+            # Empty calendar front, and nothing pending earlier: this entry
+            # *is* the new front.
+            front.append(entry)
+            self._front_hi = idx
+        count = self._count + weight
+        self._count = count
+        if count > self.max_queue_depth:
+            self.max_queue_depth = count
+
+    def _advance(self) -> None:
+        """Activate the earliest pending bucket as the new calendar front.
+
+        Also the adaptive-resize hook: activation is the one moment a whole
+        bucket is visible at once, so density statistics are free here.
+        """
+        keys = self._bucket_keys
+        if not keys:
+            return
+        idx = heappop(keys)
+        bucket = self._buckets.pop(idx)
+        n = len(bucket)
+        if n > _SHRINK_ENTRIES:
+            distinct = len({entry[0] for entry in bucket})
+            if distinct > _SHRINK_DISTINCT and self._width > _MIN_WIDTH:
+                # Overfull bucket with genuinely spread timestamps (not one
+                # big same-time batch): narrow toward the target density.
+                lo = min(entry[0] for entry in bucket)
+                hi = max(entry[0] for entry in bucket)
+                span = hi - lo
+                if span > 0.0:
+                    new_width = max(
+                        span * _TARGET_DISTINCT / distinct, _MIN_WIDTH
+                    )
+                    self._front_hi = idx  # make the bucket the front first
+                    heapify(bucket)
+                    self._front[:] = bucket
+                    self._set_width(new_width)
+                    return
+            self._sparse_streak = 0
+        elif n <= 1:
+            self._sparse_streak += 1
+            if (
+                self._sparse_streak >= _GROW_STREAK
+                and len(keys) > _GROW_STREAK
+                and self._width < _MAX_WIDTH
+            ):
+                self._sparse_streak = 0
+                self._front_hi = idx
+                self._front[:] = bucket
+                self._set_width(min(self._width * _GROW_FACTOR, _MAX_WIDTH))
+                return
+        else:
+            self._sparse_streak = 0
+        heapify(bucket)
+        self._front[:] = bucket
+        self._front_hi = idx
+
+    def _set_width(self, width: float) -> None:
+        """Rebuild the calendar with a new bucket width (order-preserving)."""
+        entries = list(self._front)
+        for bucket in self._buckets.values():
+            entries.extend(bucket)
+        self.calendar_resizes += 1
+        self._width = float(width)
+        self._inv_width = 1.0 / self._width
+        self._buckets.clear()
+        self._bucket_keys.clear()
+        self._front[:] = []
+        if not entries:
+            self._front_hi = 0
+            return
+        inv = self._inv_width
+        min_when = min(entry[0] for entry in entries)
+        try:
+            hi = int(min_when * inv)
+        except (OverflowError, ValueError):  # pragma: no cover - inf front
+            hi = _FAR_BUCKET
+        front = self._front
+        buckets = self._buckets
+        for entry in entries:
+            try:
+                idx = int(entry[0] * inv)
+            except (OverflowError, ValueError):  # pragma: no cover
+                idx = _FAR_BUCKET
+            if idx <= hi:
+                front.append(entry)
+            else:
+                bucket = buckets.get(idx)
+                if bucket is None:
+                    buckets[idx] = [entry]
+                else:
+                    bucket.append(entry)
+        heapify(front)
+        self._front_hi = hi
+        self._bucket_keys[:] = buckets.keys()
+        heapify(self._bucket_keys)
 
     def step(self) -> None:
-        """Process exactly one event from the calendar."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event calendar")
-        when, _, event = heapq.heappop(self._queue)
+        """Process exactly one calendar entry (a batch entry counts as many)."""
+        front = self._front
+        if not front:
+            self._advance()
+            if not front:
+                raise SimulationError("step() on an empty event calendar")
+        when, _, event = heappop(front)
         if when < self._now:  # pragma: no cover - internal invariant
             raise SimulationError("event calendar went backwards in time")
         self._now = when
-        self.events_processed += 1
+        nevents = event._nevents
+        self.events_processed += nevents
+        self._count -= nevents
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
@@ -384,22 +700,49 @@ class Simulator:
             # resume) and no outside references survive processing.
             self._event_pool.append(event)
 
+    def step_batch(self) -> int:
+        """Drain the entire next same-timestamp epoch; returns events processed.
+
+        Processes every calendar entry scheduled at the next pending
+        timestamp, *including* entries scheduled at that same timestamp by
+        the callbacks it runs (zero-delay follow-ons stay inside the epoch).
+        One :class:`BatchTimeout` dispatch counts all its coalesced
+        completions.
+        """
+        epoch = self.peek()
+        if epoch == float("inf"):
+            raise SimulationError("step_batch() on an empty event calendar")
+        before = self.events_processed
+        step = self.step
+        while self._count and self.peek() == epoch:
+            step()
+        return self.events_processed - before
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        front = self._front
+        if not front:
+            self._advance()
+            if not front:
+                return float("inf")
+        return front[0][0]
 
     def stats(self) -> SimStats:
         """Kernel counters: event totals, queue depths, sim-vs-wall time.
 
-        ``events_scheduled`` is the lifetime enqueue count (``_sequence``);
-        ``wall_seconds`` accumulates real time spent inside :meth:`run`, so
-        ``stats().sim_per_wall`` is the simulator's speed ratio.
+        ``events_scheduled`` counts every logical event ever enqueued
+        (batch entries weighted by their size); ``queue_depth`` and
+        ``max_queue_depth`` count *buffered* logical events across the
+        whole calendar — the heap-ordered front segment plus every pending
+        bucket, weighted the same way; ``wall_seconds`` accumulates real
+        time spent inside :meth:`run`, so ``stats().sim_per_wall`` is the
+        simulator's speed ratio.
         """
         return SimStats(
             now=self._now,
-            events_scheduled=self._sequence,
+            events_scheduled=self._sequence + self._batch_extra,
             events_processed=self.events_processed,
-            queue_depth=len(self._queue),
+            queue_depth=self._count,
             max_queue_depth=self.max_queue_depth,
             wall_seconds=self._wall_seconds,
         )
@@ -418,16 +761,15 @@ class Simulator:
         wall_start = time.perf_counter()
         try:
             # Local bindings: these loops are the kernel's hottest lines.
-            queue = self._queue
             step = self.step
             if until is None:
-                while queue:
+                while self._count:
                     step()
                 return None
             if isinstance(until, Event):
                 target = until
                 while not target.processed:
-                    if not queue:
+                    if not self._count:
                         raise SimulationError(
                             "calendar drained before the awaited event triggered (deadlock)"
                         )
@@ -439,7 +781,8 @@ class Simulator:
             horizon = float(until)
             if horizon < self._now:
                 raise ValueError(f"cannot run until {horizon} (< now={self._now})")
-            while queue and queue[0][0] <= horizon:
+            peek = self.peek
+            while self._count and peek() <= horizon:
                 step()
             self._now = max(self._now, horizon)
             return None

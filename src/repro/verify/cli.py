@@ -14,6 +14,11 @@ gate fails, so the drift is reviewable without re-running anything.
 ``crossval`` additionally accepts ``--jobs N`` (fan the independent matrix
 cells across worker processes) and ``--no-cache`` (skip the on-disk result
 cache); a one-line ``exec:`` summary on stderr reports what happened.
+
+``crossval`` also runs the grid-scale DES cells (2x2 up to 8x8 process
+grids through the full Simulator/SimMPI/DistributedLU stack, checked for
+network-independence bit-identity, HPL residual, and an analytic elapsed
+band): ``--no-grid`` skips them, ``--grid-slow`` adds the 16x16 tier.
 """
 
 from __future__ import annotations
@@ -109,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the matrix run into a ledger under RUNS_DIR "
         f"(default root: {DEFAULT_RUNS_ROOT}) for 'python -m repro.obs'",
     )
+    p.add_argument(
+        "--no-grid",
+        action="store_true",
+        help="skip the grid-scale DES cells (distributed LU on 2x2..8x8 grids)",
+    )
+    p.add_argument(
+        "--grid-slow",
+        action="store_true",
+        help="also run the slow grid tier (the 16x16 / 256-rank cell)",
+    )
     return parser
 
 
@@ -181,14 +196,30 @@ def _cmd_crossval(args: argparse.Namespace) -> int:
             print(str(error), file=sys.stderr)
             return 2
 
+    grid_cases: tuple = ()
+    if not args.no_grid:
+        from repro.verify import gridcases
+
+        grid_cases = gridcases.GRID_MATRIX
+        if args.grid_slow:
+            grid_cases = grid_cases + gridcases.GRID_MATRIX_SLOW
+
+    def _run_full() -> DivergenceReport:
+        full = differential.run_matrix(cases)
+        if grid_cases:
+            from repro.verify import gridcases
+
+            full.extend(gridcases.run_grid_matrix(grid_cases))
+        return full
+
     policy = exec_policy.ExecutionPolicy(jobs=args.jobs, cache=not args.no_cache)
     try:
         with obs.use(telemetry), exec_policy.use(policy):
             if telemetry is not None:
                 with telemetry.wall_span("verify", "crossval"):
-                    report = differential.run_matrix(cases)
+                    report = _run_full()
             else:
-                report = differential.run_matrix(cases)
+                report = _run_full()
     except BaseException as error:
         if ledger is not None:
             ledger.fail(f"{type(error).__name__}: {error}")

@@ -1,0 +1,199 @@
+"""Grid-scale DES crossval cells: distributed LU on real process grids.
+
+The differential matrix (:mod:`repro.verify.differential`) cross-validates
+the analytic stepper against its single-element DES twin; these cells grow
+the DES side to *real process grids*.  Each cell runs the full numeric
+distributed LU (:class:`~repro.hpl.dist.DistributedLU`) over simulated MPI
+on a P x Q grid with a :class:`~repro.hpl.dist.FlopsEngine` per rank, and
+checks three independently-derivable properties:
+
+* **Network independence of the numerics** — the pivots and the factored
+  matrix must be bit-identical between a run over the QDR interconnect and
+  a zero-time reference run with no network at all.  Timing machinery that
+  leaks into the math (an event reordering changing a pivot decision, a
+  payload aliased by the transport) is exactly the class of bug the
+  calendar/mailbox hot paths could introduce.
+* **HPL residual** — the factorization solves ``A x = b`` and must pass the
+  official Top500 acceptance test, on every grid size.
+* **Elapsed sanity band** — the simulated elapsed time must be at least the
+  critical rank's pure-compute time (nothing in the model runs faster than
+  its own devices) and at most the *fully serialised* bound: every rank's
+  compute plus every message traversing the network one at a time.  A
+  scheduler bug that loses parallelism or a calendar bug that drops
+  concurrency lands outside this band long before it corrupts numerics.
+
+The default matrix runs 2x2 through **8x8** (64 ranks — the "largest
+DES-feasible machine" floor the bench tracker pins); the slow tier adds
+16x16 (256 ranks).  ``python -m repro.verify crossval`` appends these cells
+to the differential matrix unless ``--no-grid`` is passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hpl.dist import DistributedLU, FactorResult, FlopsEngine, InstantEngine
+from repro.hpl.grid import ProcessGrid
+from repro.hpl.solve import HPL_THRESHOLD, hpl_residual_ok, solve_from_factorization
+from repro.machine.interconnect import Interconnect
+from repro.machine.presets import QDR_INFINIBAND
+from repro.mpi.comm import SimMPI
+from repro.sim import SimStats, Simulator
+from repro.verify.divergence import Divergence, DivergenceReport
+from repro.verify.scenarios import GOLDEN_SEED
+
+
+@dataclass(frozen=True)
+class GridCase:
+    """One grid-scale DES cell: a P x Q process grid factoring an N x N matrix."""
+
+    name: str
+    nprow: int
+    npcol: int
+    n: int
+    nb: int
+    bcast_algo: str = "binomial"
+    seed: int = GOLDEN_SEED
+    #: Slack multiplier on the serialised upper bound (absorbs the alpha-beta
+    #: model's per-hop framing; the bound itself is already conservative).
+    elapsed_slack: float = 1.05
+
+    @property
+    def ranks(self) -> int:
+        return self.nprow * self.npcol
+
+
+#: Default matrix: every size the fast crossval lane runs.  The 8x8 cell is
+#: the acceptance floor — the DES matrix must include >= one 64-rank grid.
+GRID_MATRIX: tuple[GridCase, ...] = (
+    GridCase(name="grid2x2", nprow=2, npcol=2, n=64, nb=8),
+    GridCase(name="grid4x4", nprow=4, npcol=4, n=128, nb=8),
+    GridCase(name="grid8x8", nprow=8, npcol=8, n=256, nb=8),
+    GridCase(name="grid8x8/1rm", nprow=8, npcol=8, n=256, nb=8, bcast_algo="1rm"),
+)
+
+#: Slow tier (CI full lane / ``--grid-slow``): the 256-rank grid.
+GRID_MATRIX_SLOW: tuple[GridCase, ...] = (
+    GridCase(name="grid16x16", nprow=16, npcol=16, n=512, nb=8),
+)
+
+
+@dataclass
+class GridOutcome:
+    """One cell's timed run, reference run, and structured comparison."""
+
+    case: GridCase
+    timed: FactorResult
+    reference: FactorResult
+    sim_stats: SimStats
+    report: DivergenceReport
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+def _factor(case: GridCase, with_network: bool) -> tuple[FactorResult, SimStats]:
+    sim = Simulator()
+    grid = ProcessGrid(case.nprow, case.npcol)
+    network = Interconnect(sim, QDR_INFINIBAND, grid.size) if with_network else None
+    world = SimMPI(sim, grid.size, network)
+    engines = (
+        [FlopsEngine() for _ in range(grid.size)]
+        if with_network
+        else [InstantEngine()] * grid.size
+    )
+    lu = DistributedLU(
+        sim, grid, case.nb, world, engines=engines, bcast_algorithm=case.bcast_algo
+    )
+    rng = np.random.default_rng(case.seed)
+    a = rng.standard_normal((case.n, case.n))
+    return lu.factor(a), sim.stats()
+
+
+def run_grid_case(case: GridCase) -> GridOutcome:
+    """Run one grid cell (timed + no-network reference) and compare."""
+    timed, sim_stats = _factor(case, with_network=True)
+    reference, _ = _factor(case, with_network=False)
+    report = DivergenceReport(checked=[case.name])
+
+    # 1. Network independence: pivots and factored locals bit-identical.
+    if not np.array_equal(timed.piv, reference.piv):
+        report.add(Divergence(
+            trace=case.name, metric="piv",
+            expected=float(len(reference.piv)),
+            actual=float(np.count_nonzero(timed.piv == reference.piv)),
+            tolerance="bit-identical",
+            detail="pivot sequence differs between networked and reference runs",
+        ))
+    mismatched = sum(
+        0 if np.array_equal(t, r) else 1
+        for t, r in zip(timed.locals_, reference.locals_)
+    )
+    if mismatched:
+        report.add(Divergence(
+            trace=case.name, metric="locals", expected=0.0,
+            actual=float(mismatched), tolerance="bit-identical",
+            detail="factored local blocks differ between networked and reference runs",
+        ))
+
+    # 2. The official HPL acceptance test.
+    grid = ProcessGrid(case.nprow, case.npcol)
+    b = np.random.default_rng(case.seed + 1).standard_normal(case.n)
+    a = np.random.default_rng(case.seed).standard_normal((case.n, case.n))
+    x = solve_from_factorization(grid, timed, case.n, case.nb, b)
+    residual, ok = hpl_residual_ok(a, x, b)
+    if not ok:
+        report.add(Divergence(
+            trace=case.name, metric="residual", expected=HPL_THRESHOLD,
+            actual=residual, tolerance=f"< {HPL_THRESHOLD:g}",
+            detail="factorization fails the official HPL residual test",
+        ))
+
+    # 3. Elapsed sanity band: critical-rank compute <= elapsed <= serialised.
+    per_rank = [s.update_time + s.cpu_phase_time for s in timed.stats]
+    lower = max(per_rank)
+    serialised_comm = (
+        timed.messages * QDR_INFINIBAND.latency
+        + timed.bytes_sent / QDR_INFINIBAND.bandwidth
+    )
+    upper = (sum(per_rank) + serialised_comm) * case.elapsed_slack
+    if not lower <= timed.elapsed:
+        report.add(Divergence(
+            trace=case.name, metric="elapsed_lb", expected=lower,
+            actual=timed.elapsed, tolerance="elapsed >= critical-rank compute",
+            detail="simulated run finished faster than its own devices allow",
+        ))
+    if not timed.elapsed <= upper:
+        report.add(Divergence(
+            trace=case.name, metric="elapsed_ub", expected=upper,
+            actual=timed.elapsed, tolerance="elapsed <= fully-serialised bound",
+            detail="simulated run slower than executing everything serially",
+        ))
+    return GridOutcome(
+        case=case, timed=timed, reference=reference,
+        sim_stats=sim_stats, report=report,
+    )
+
+
+def _grid_case_report(case: GridCase) -> dict:
+    """One cell's report as a dict (the pool/cache worker for the matrix)."""
+    return run_grid_case(case).report.to_dict()
+
+
+def run_grid_matrix(
+    cases: Optional[tuple[GridCase, ...]] = None,
+) -> DivergenceReport:
+    """Run the grid matrix; one aggregated report (pool/cache-aware)."""
+    from repro.exec import evaluate_points
+
+    cases = tuple(cases if cases is not None else GRID_MATRIX)
+    report = DivergenceReport()
+    for payload in evaluate_points(
+        "verify.crossval.grid", _grid_case_report, [dict(case=case) for case in cases]
+    ):
+        report.extend(DivergenceReport.from_dict(payload))
+    return report

@@ -1,0 +1,249 @@
+"""Property suite: the calendar queue against the heapq reference order.
+
+The bucket calendar replaced the single-heap event calendar; its contract
+is that the pop order is **exactly** the ``(when, sequence)`` total order
+the heap produced — same-time FIFO included — under every workload: random
+delay streams, zero delays, duplicate timestamps, and streams dense or
+sparse enough to trigger the adaptive bucket-width resize in either
+direction.  Each property replays the schedule through an inline heapq
+model and compares the full firing order.
+"""
+
+import heapq
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import BatchTimeout, SimulationError, Simulator
+
+# Delay streams: mixes of zero, tiny, unit-scale and bucket-spanning delays,
+# with duplicates made likely by drawing from a coarse lattice.
+_delay = st.one_of(
+    st.just(0.0),
+    st.integers(min_value=0, max_value=40).map(lambda k: k * 0.25),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False),
+)
+
+
+def _fire_order(sim: Simulator, delays):
+    """Schedule all *delays* up front; return indices in firing order."""
+    order = []
+    for i, delay in enumerate(delays):
+        sim.timeout(delay).add_callback(lambda e, i=i: order.append(i))
+    sim.run()
+    return order
+
+
+def _heapq_order(delays):
+    """The reference order: a plain (when, sequence) heap."""
+    heap = [(delay, seq) for seq, delay in enumerate(delays)]
+    heapq.heapify(heap)
+    return [seq for _, seq in [heapq.heappop(heap) for _ in range(len(heap))]]
+
+
+class TestPopOrderMatchesHeapq:
+    @given(st.lists(_delay, max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_static_schedule(self, delays):
+        assert _fire_order(Simulator(), delays) == _heapq_order(delays)
+
+    @given(st.lists(_delay, max_size=200), st.floats(min_value=1e-3, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_any_initial_bucket_width(self, delays, width):
+        assert _fire_order(Simulator(bucket_width=width), delays) == _heapq_order(delays)
+
+    @given(st.lists(st.lists(_delay, max_size=12), max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_dynamic_schedule(self, waves):
+        """Events scheduled *during* the run (follow-on waves) stay ordered.
+
+        Each fired event schedules its wave of follow-ons relative to its
+        own timestamp — the enqueue-while-draining path where the drained
+        front must hand ordering back to the bucket heap correctly.
+        """
+        sim = Simulator()
+        order = []
+        labels = []
+
+        def schedule(delays, base_label):
+            for j, delay in enumerate(delays):
+                label = (*base_label, j)
+                labels.append(label)
+                follow_on = waves[len(label)] if len(label) < len(waves) else []
+                sim.timeout(delay).add_callback(
+                    lambda e, label=label, fo=follow_on: (
+                        order.append(label),
+                        schedule(fo, label),
+                    )
+                )
+
+        if waves:
+            schedule(waves[0], ())
+        sim.run()
+        assert sorted(order) == sorted(labels)
+        # The reference: replay the same recursive schedule on a heap model.
+        ref_order = []
+        heap = []
+        seq = 0
+
+        def ref_schedule(now, delays, base_label):
+            nonlocal seq
+            for j, delay in enumerate(delays):
+                heapq.heappush(heap, (now + delay, seq, (*base_label, j)))
+                seq += 1
+
+        if waves:
+            ref_schedule(0.0, waves[0], ())
+        while heap:
+            when, _, label = heapq.heappop(heap)
+            ref_order.append(label)
+            follow_on = waves[len(label)] if len(label) < len(waves) else []
+            ref_schedule(when, follow_on, label)
+        assert order == ref_order
+
+
+class TestResizeWorkloads:
+    def test_shrink_resize_preserves_order(self):
+        """An overfull, spread-out bucket narrows the width mid-run."""
+        sim = Simulator()  # width 1.0: all of [1, 2) lands in one bucket
+        delays = [0.5] + [1.0 + (i % 600) / 601.0 for i in range(700)]
+        assert _fire_order(sim, delays) == _heapq_order(delays)
+        assert sim.calendar_resizes >= 1
+        assert sim.bucket_width < 1.0
+
+    def test_grow_resize_preserves_order(self):
+        """A long run of near-empty buckets widens the width mid-run."""
+        sim = Simulator()
+        delays = [i + 0.5 for i in range(400)]
+        assert _fire_order(sim, delays) == _heapq_order(delays)
+        assert sim.calendar_resizes >= 1
+        assert sim.bucket_width > 1.0
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_random_stream_after_forced_resize(self, data):
+        sim = Simulator()
+        head = [0.25] + [1.0 + (i % 600) / 601.0 for i in range(700)]
+        tail = data.draw(st.lists(_delay, max_size=100))
+        delays = head + tail
+        assert _fire_order(sim, delays) == _heapq_order(delays)
+
+
+class TestQueueDepthAccounting:
+    def test_depth_counts_all_buckets(self):
+        """Satellite regression: depth = total buffered events across the
+        calendar (front + every pending bucket), not one heap's length."""
+        sim = Simulator()
+        # 3 in the front bucket (width 1.0 -> bucket 0), 5 + 2 in future ones.
+        for _ in range(3):
+            sim.timeout(0.25)
+        for _ in range(5):
+            sim.timeout(3.5)
+        for _ in range(2):
+            sim.timeout(7.25)
+        stats = sim.stats()
+        assert stats.queue_depth == 10
+        assert stats.max_queue_depth == 10
+        sim.run()
+        assert sim.stats().queue_depth == 0
+        assert sim.stats().max_queue_depth == 10
+        assert sim.events_processed == 10
+
+    def test_max_depth_tracks_peak_not_final(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.timeout(1.0)
+        sim.run()
+        for _ in range(2):
+            sim.timeout(1.0)
+        sim.run()
+        assert sim.stats().max_queue_depth == 4
+
+    def test_batch_entries_weighted(self):
+        """One BatchTimeout counts as its batch size everywhere."""
+        sim = Simulator()
+        sim.schedule_batch(np.array([1.0] * 500 + [2.0] * 300))
+        stats = sim.stats()
+        assert stats.queue_depth == 800
+        assert stats.events_scheduled == 800
+        sim.run()
+        stats = sim.stats()
+        assert stats.events_processed == 800
+        assert stats.queue_depth == 0
+        assert stats.max_queue_depth == 800
+
+
+class TestBatchDispatch:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=20).map(lambda k: k * 0.5),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_batch_completion_times_match_scalar(self, delays):
+        """schedule_batch fires at the same instants as per-event timeouts."""
+        scalar = Simulator()
+        fired_scalar = []
+        for d in delays:
+            scalar.timeout(d).add_callback(lambda e, d=d: fired_scalar.append((scalar.now, d)))
+        scalar.run()
+
+        batched = Simulator()
+        fired_batched = []
+
+        def on_complete(event):
+            fired_batched.extend((batched.now, event.value) for _ in range(event.count))
+
+        batched.schedule_batch(np.asarray(delays), on_complete=on_complete)
+        batched.run()
+        assert sorted(fired_batched) == sorted(fired_scalar)
+        assert batched.events_processed == scalar.events_processed
+
+    def test_values_keep_input_order_within_batch(self):
+        sim = Simulator()
+        delays = [2.0, 1.0, 2.0, 1.0, 2.0]
+        values = [10, 11, 12, 13, 14]
+        batches = sim.schedule_batch(delays, values=values)
+        sim.run()
+        assert [b.delay for b in batches] == [1.0, 2.0]
+        assert batches[0].value.tolist() == [11, 13]
+        assert batches[1].value.tolist() == [10, 12, 14]
+
+    def test_step_batch_drains_one_epoch(self):
+        sim = Simulator()
+        sim.schedule_batch([1.0] * 10)
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        assert sim.step_batch() == 11
+        assert sim.now == 1.0
+        assert sim.stats().queue_depth == 1
+
+    def test_step_batch_includes_same_time_follow_ons(self):
+        sim = Simulator()
+        sim.timeout(1.0).add_callback(lambda e: sim.timeout(0.0))
+        sim.timeout(2.0)
+        assert sim.step_batch() == 2  # the 1.0 event and its 0-delay follow-on
+        assert sim.now == 1.0
+
+    def test_step_batch_on_empty_raises(self):
+        import pytest
+
+        with pytest.raises(SimulationError):
+            Simulator().step_batch()
+
+    def test_batch_rejects_bad_input(self):
+        import pytest
+
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_batch([-1.0])
+        with pytest.raises(ValueError):
+            sim.schedule_batch([float("inf")])
+        with pytest.raises(ValueError):
+            sim.schedule_batch([1.0, 2.0], values=[1])
+        with pytest.raises(ValueError):
+            BatchTimeout(sim, 1.0, np.array([1.0]), count=0)
+        assert sim.schedule_batch([]) == []

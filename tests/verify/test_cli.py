@@ -72,8 +72,20 @@ class TestDiff:
 
 class TestCrossval:
     def test_crossval_runs_the_matrix(self, tmp_path, capsys):
+        from repro.verify import differential, gridcases
+
         out_path = tmp_path / "crossval.json"
         code = main(["crossval", "--report-out", str(out_path)])
         assert code == 0
-        assert "9 trace(s) checked" in capsys.readouterr().out
+        expected = len(differential.MATRIX) + len(gridcases.GRID_MATRIX)
+        assert f"{expected} trace(s) checked" in capsys.readouterr().out
         assert json.loads(out_path.read_text())["ok"] is True
+
+    def test_crossval_no_grid_skips_the_grid_cells(self, tmp_path, capsys):
+        from repro.verify import differential
+
+        out_path = tmp_path / "crossval.json"
+        code = main(["crossval", "--no-grid", "--report-out", str(out_path)])
+        assert code == 0
+        expected = len(differential.MATRIX)
+        assert f"{expected} trace(s) checked" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Grid-scale DES crossval cells (distributed LU on real process grids)."""
+
+import numpy as np
+import pytest
+
+from repro.verify.divergence import DivergenceReport
+from repro.verify.gridcases import (
+    GRID_MATRIX,
+    GRID_MATRIX_SLOW,
+    GridCase,
+    run_grid_case,
+    run_grid_matrix,
+)
+
+
+class TestMatrixShape:
+    def test_default_matrix_reaches_8x8(self):
+        # The acceptance floor: the default DES matrix includes >= one
+        # 64-rank grid cell.
+        assert any(case.ranks >= 64 for case in GRID_MATRIX)
+
+    def test_slow_tier_reaches_16x16(self):
+        assert any(case.ranks >= 256 for case in GRID_MATRIX_SLOW)
+
+    def test_names_unique(self):
+        names = [c.name for c in GRID_MATRIX + GRID_MATRIX_SLOW]
+        assert len(names) == len(set(names))
+
+
+class TestSmallCells:
+    def test_2x2_cell_passes(self):
+        outcome = run_grid_case(GRID_MATRIX[0])
+        assert outcome.ok, outcome.report.render()
+        assert outcome.timed.messages > 0
+        assert outcome.timed.elapsed > 0.0
+        # The reference run has no network and instant engines: zero time.
+        assert outcome.reference.elapsed == 0.0
+
+    def test_network_independence_check_fires(self):
+        # Corrupt a local block after the fact: the comparison must notice.
+        outcome = run_grid_case(GRID_MATRIX[0])
+        outcome.timed.locals_[0][0, 0] += 1.0
+        assert not np.array_equal(
+            outcome.timed.locals_[0], outcome.reference.locals_[0]
+        )
+
+    def test_matrix_runner_aggregates(self):
+        report = run_grid_matrix(GRID_MATRIX[:1])
+        assert isinstance(report, DivergenceReport)
+        assert report.ok, report.render()
+        assert report.checked == [GRID_MATRIX[0].name]
+
+
+class TestElapsedBand:
+    def test_lower_bound_is_positive(self):
+        outcome = run_grid_case(GridCase(name="t", nprow=2, npcol=2, n=64, nb=8))
+        per_rank = [s.update_time + s.cpu_phase_time for s in outcome.timed.stats]
+        assert max(per_rank) > 0.0
+        assert outcome.timed.elapsed >= max(per_rank)
+
+
+@pytest.mark.slow
+class TestLargeGrids:
+    def test_8x8_cell_passes(self):
+        case = next(c for c in GRID_MATRIX if c.ranks == 64)
+        outcome = run_grid_case(case)
+        assert outcome.ok, outcome.report.render()
+
+    def test_16x16_cell_passes(self):
+        outcome = run_grid_case(GRID_MATRIX_SLOW[0])
+        assert outcome.ok, outcome.report.render()
