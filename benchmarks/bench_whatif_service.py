@@ -1,0 +1,277 @@
+"""Throughput gate for the what-if query service — emits BENCH_whatif_service.json.
+
+Stands up an in-process :class:`repro.campaign.service.WhatIfService`
+(serial pool, no rate limit, fresh cache dir), answers one cold query to
+warm the cache, then hammers the *warm* path two ways:
+
+* ``direct``  — ``await service.answer(...)`` in a tight loop, no HTTP:
+  the ceiling of the answer path itself (memo lookup + counters).
+* ``http``    — 8 keep-alive asyncio client connections issuing
+  sequential ``POST /query`` requests against the real server loop: the
+  headline ``warm_queries_per_second`` plus per-request ``p99_latency_ms``.
+
+The warm contract is asserted structurally, not just timed: every warm
+response body must be byte-identical to the cold one, and the pool must
+see **zero** submissions after the single cold query (checked via the
+ambient ``session.submitted`` counter).
+
+Every run appends one line to ``benchmarks/BENCH_history.jsonl`` (disable
+with ``--no-history``) so ``python -m repro.obs regress`` tracks the
+service's trajectory alongside the DES and sweep benches.
+
+Usage::
+
+    python benchmarks/bench_whatif_service.py --quick --check
+    python benchmarks/bench_whatif_service.py --out benchmarks/out/BENCH_whatif_service.json
+
+``--check`` enforces the warm-throughput floor (default 5,000 q/s over
+HTTP, ``--floor`` to override) and the structural gates; the CI campaign
+lane runs it with ``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs
+from repro.campaign.service import WhatIfService
+from repro.exec import ExecutionPolicy, code_version, use
+from repro.obs import history as bench_history
+from repro.util.io import atomic_write_text
+
+DEFAULT_OUT = Path(__file__).parent / "out" / "BENCH_whatif_service.json"
+
+#: The warm cell every query asks about: a quick element run (~ms to
+#: compute cold, so the bench is dominated by serving, not simulating).
+QUERY = {"n": 8000, "machine": "element", "scheduler": "adaptive"}
+
+CONNECTIONS = 8
+QUICK_REQUESTS_PER_CONNECTION = 250
+FULL_REQUESTS_PER_CONNECTION = 1250
+DIRECT_QUICK = 2_000
+DIRECT_FULL = 10_000
+
+#: --check floor: warm queries/second over HTTP, single process.  Local
+#: runs measure ~15k; the floor leaves 3x for slow shared runners while
+#: still catching an accidental re-normalization or pool round-trip on
+#: the warm path (either costs an order of magnitude).
+DEFAULT_FLOOR = 5_000.0
+
+
+async def _client(
+    host: str, port: int, requests: int, payload: bytes, latencies: list[float]
+) -> set[bytes]:
+    """One keep-alive connection issuing sequential warm queries."""
+    reader, writer = await asyncio.open_connection(host, port)
+    request = (
+        b"POST /query HTTP/1.1\r\nHost: bench\r\n"
+        b"Content-Type: application/json\r\nX-Tenant: bench\r\n"
+        b"Content-Length: " + str(len(payload)).encode() + b"\r\n\r\n" + payload
+    )
+    bodies: set[bytes] = set()
+    try:
+        for _ in range(requests):
+            start = time.perf_counter()
+            writer.write(request)
+            await writer.drain()
+            status_line = await reader.readline()
+            if b"200" not in status_line:
+                raise RuntimeError(f"warm query failed: {status_line!r}")
+            length = 0
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                if header.lower().startswith(b"content-length"):
+                    length = int(header.partition(b":")[2])
+            bodies.add(await reader.readexactly(length))
+            latencies.append(time.perf_counter() - start)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return bodies
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def _bench(quick: bool, telemetry: obs.Telemetry) -> dict:
+    per_connection = (
+        QUICK_REQUESTS_PER_CONNECTION if quick else FULL_REQUESTS_PER_CONNECTION
+    )
+    direct_n = DIRECT_QUICK if quick else DIRECT_FULL
+    payload = json.dumps(QUERY).encode()
+    submitted = telemetry.metrics.counter("session.submitted")
+
+    with tempfile.TemporaryDirectory(prefix="bench-whatif-") as tmp:
+        service = WhatIfService(serial=True, cache_dir=Path(tmp), rate=None)
+        await service.start()
+        try:
+            cold_start = time.perf_counter()
+            cold_body, cold_status = await service.answer(QUERY, tenant="bench")
+            cold_seconds = time.perf_counter() - cold_start
+            pool_tasks_after_cold = submitted.value()
+
+            direct_start = time.perf_counter()
+            for _ in range(direct_n):
+                await service.answer(QUERY, tenant="bench")
+            direct_seconds = time.perf_counter() - direct_start
+
+            latencies: list[float] = []
+            http_start = time.perf_counter()
+            body_sets = await asyncio.gather(
+                *[
+                    _client(service.host, service.port, per_connection, payload, latencies)
+                    for _ in range(CONNECTIONS)
+                ]
+            )
+            http_seconds = time.perf_counter() - http_start
+        finally:
+            await service.stop()
+
+    bodies = set().union(*body_sets)
+    latencies.sort()
+    total = CONNECTIONS * per_connection
+    return {
+        "cold_status": cold_status,
+        "cold_seconds": cold_seconds,
+        "connections": CONNECTIONS,
+        "warm_queries": total,
+        "warm_seconds": http_seconds,
+        "warm_queries_per_second": total / http_seconds if http_seconds > 0 else None,
+        "p50_latency_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_latency_ms": _percentile(latencies, 0.99) * 1e3,
+        "direct_queries": direct_n,
+        "direct_seconds": direct_seconds,
+        "direct_queries_per_second": (
+            direct_n / direct_seconds if direct_seconds > 0 else None
+        ),
+        "warm_bodies_identical_to_cold": bodies == {cold_body},
+        "pool_tasks_total": submitted.value(),
+        "pool_tasks_during_warm": submitted.value() - pool_tasks_after_cold,
+        "service_stats": dict(service.stats),
+    }
+
+
+def run_benchmark(quick: bool) -> dict:
+    telemetry = obs.Telemetry()
+    with obs.use(telemetry), use(ExecutionPolicy(jobs=1)):
+        section = asyncio.run(_bench(quick, telemetry))
+    return {
+        "meta": {
+            "quick": quick,
+            "jobs": 1,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "code_version": code_version(),
+        },
+        "whatif_service": section,
+    }
+
+
+def check(report: dict, floor: float = DEFAULT_FLOOR) -> list[str]:
+    """The warm-path gates: throughput floor + the structural contract."""
+    failures = []
+    section = report["whatif_service"]
+    qps = section["warm_queries_per_second"] or 0.0
+    if qps < floor:
+        failures.append(
+            f"whatif: warm throughput {qps:,.0f} q/s over HTTP fell below "
+            f"the {floor:,.0f} q/s floor"
+        )
+    if section["cold_status"] != "cold":
+        failures.append(
+            "whatif: first query against a fresh cache was "
+            f"{section['cold_status']!r}, not 'cold' (stale cache dir?)"
+        )
+    if section["pool_tasks_during_warm"] != 0:
+        failures.append(
+            f"whatif: warm queries scheduled {section['pool_tasks_during_warm']} "
+            "pool task(s); warm answers must come from cache alone"
+        )
+    if not section["warm_bodies_identical_to_cold"]:
+        failures.append(
+            "whatif: warm response bodies are not byte-identical to the cold one"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller run (CI smoke)")
+    parser.add_argument(
+        "--check", action="store_true", help="assert the warm-path gates"
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR,
+        help=f"warm queries/s floor for --check (default {DEFAULT_FLOOR:,.0f})",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help=f"output path (default {DEFAULT_OUT})"
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=bench_history.DEFAULT_HISTORY_PATH,
+        help=f"bench trajectory file (default {bench_history.DEFAULT_HISTORY_PATH})",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the bench trajectory",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.quick)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
+    if not args.no_history:
+        entry = bench_history.entry_from_report(report, wall_unix=time.time())
+        bench_history.append_entry(entry, args.history)
+        print(
+            f"history: appended entry #{len(bench_history.load_history(args.history))} "
+            f"to {args.history}"
+        )
+
+    section = report["whatif_service"]
+    print(
+        f"whatif   cold {section['cold_seconds'] * 1e3:.1f}ms  "
+        f"warm {section['warm_queries']} queries over {section['connections']} "
+        f"connections in {section['warm_seconds']:.2f}s "
+        f"({section['warm_queries_per_second']:,.0f} q/s, "
+        f"p50 {section['p50_latency_ms']:.2f}ms, p99 {section['p99_latency_ms']:.2f}ms)"
+    )
+    print(
+        f"direct   {section['direct_queries']} answer() calls at "
+        f"{section['direct_queries_per_second']:,.0f} q/s  "
+        f"pool tasks during warm phase: {section['pool_tasks_during_warm']}  "
+        f"bodies identical: {section['warm_bodies_identical_to_cold']}"
+    )
+    print(f"report written to {args.out}")
+
+    if args.check:
+        failures = check(report, floor=args.floor)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

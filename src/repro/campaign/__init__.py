@@ -1,0 +1,83 @@
+"""Declarative experiment campaigns and the what-if query service.
+
+The campaign engine turns the execution stack (scenarios, the asyncio
+session runtime, the content-addressed result cache, the sweep journal)
+into something you *declare* rather than script:
+
+* :class:`Campaign` — a frozen scenario matrix (sizes x machines x
+  schedulers x bcasts x faults x reps) that expands deterministically
+  into :class:`CampaignCell`\\ s (``docs/campaigns.md``);
+* :func:`run_campaign` — cache-first, journaled, resumable execution,
+  returning a :class:`CampaignResult` with per-cell provenance;
+* :mod:`repro.campaign.extract` — pluggable named metric extractors
+  (hpcbench-style) feeding the JSONL/CSV/HTML exporters in
+  :mod:`repro.campaign.export`;
+* :class:`WhatIfService` — the ``python -m repro.campaign serve`` HTTP
+  service: warm queries from cache with zero pool tasks, cold queries
+  coalesced onto the fair-share pool, per-tenant rate limits.
+"""
+
+from repro.campaign.export import read_jsonl, to_csv, to_html, to_jsonl, write_artifacts
+from repro.campaign.extract import (
+    HplExtractor,
+    MetricExtractor,
+    RawExtractor,
+    extract_metrics,
+    extractor_names,
+    metric_extractor,
+    register_extractor,
+)
+from repro.campaign.model import (
+    MACHINES,
+    Campaign,
+    CampaignCell,
+    FaultModel,
+    MachinePreset,
+    fault_model,
+    fault_names,
+    machine_names,
+    machine_preset,
+)
+from repro.campaign.runner import (
+    DEFAULT_CAMPAIGN_ROOT,
+    RECORD_FIELDS,
+    CampaignResult,
+    CellOutcome,
+    normalize_record,
+    run_campaign,
+)
+from repro.campaign.service import DEFAULT_SEED, TokenBucket, WhatIfService, normalize_query
+
+__all__ = [
+    "Campaign",
+    "CampaignCell",
+    "CampaignResult",
+    "CellOutcome",
+    "DEFAULT_CAMPAIGN_ROOT",
+    "DEFAULT_SEED",
+    "FaultModel",
+    "HplExtractor",
+    "MACHINES",
+    "MachinePreset",
+    "MetricExtractor",
+    "RawExtractor",
+    "RECORD_FIELDS",
+    "TokenBucket",
+    "WhatIfService",
+    "extract_metrics",
+    "extractor_names",
+    "fault_model",
+    "fault_names",
+    "machine_names",
+    "machine_preset",
+    "metric_extractor",
+    "normalize_query",
+    "normalize_record",
+    "read_jsonl",
+    "register_extractor",
+    "run_campaign",
+    "to_csv",
+    "to_html",
+    "to_jsonl",
+    "write_artifacts",
+]

@@ -1,0 +1,323 @@
+"""``python -m repro.campaign`` — campaigns and the what-if service.
+
+Subcommands::
+
+    list      machine presets, fault models, extractors, example campaigns
+    show      expand a campaign spec and print its cells (no execution)
+    run       execute a campaign (cache-first, journaled) and write the
+              JSONL/CSV/HTML artifacts under benchmarks/out/campaigns/<name>
+    serve     start the what-if HTTP/JSON service
+    query     POST one what-if query to a running server
+    smoke     in-process end-to-end check: start a server, run a cold and a
+              warm query, verify parity and shut down cleanly (the CI lane)
+
+Campaign specs are JSON files in the :meth:`Campaign.from_dict` shape, or
+one of the built-in examples (``--example``).  ``run --quick`` substitutes
+small problem sizes so the full artifact path exercises in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.campaign.export import write_artifacts
+from repro.campaign.extract import extractor_names
+from repro.campaign.model import (
+    MACHINES,
+    Campaign,
+    fault_names,
+    machine_names,
+)
+from repro.campaign.runner import DEFAULT_CAMPAIGN_ROOT, run_campaign
+from repro.campaign.service import WhatIfService
+from repro.util.tables import TextTable
+
+#: Built-in example campaigns (also the CLI's documentation-by-example).
+EXAMPLE_CAMPAIGNS: dict[str, dict[str, Any]] = {
+    "paper-element": {
+        "name": "paper-element",
+        "matrix": {
+            "machine": ["element"],
+            "scheduler": ["adaptive", "static", "cpu_only"],
+            "n": [20000, 30000, 40000],
+        },
+    },
+    "faults-cabinet": {
+        "name": "faults-cabinet",
+        "matrix": {
+            "machine": ["tianhe1-cabinet"],
+            "scheduler": ["adaptive", "static"],
+            "n": [60000],
+            "fault": ["none", "stragglers-2pct", "gpu-throttle"],
+        },
+    },
+    "exascale-node": {
+        "name": "exascale-node",
+        "matrix": {
+            "machine": ["frontier-node"],
+            "scheduler": ["adaptive", "static"],
+            "n": [120000, 160000],
+        },
+    },
+}
+
+#: Sizes `run --quick` substitutes, keeping every other axis intact.
+QUICK_SIZES = (8000, 12000)
+
+
+def load_campaign(args: argparse.Namespace) -> Campaign:
+    if args.example is not None:
+        payload = EXAMPLE_CAMPAIGNS[args.example]
+    elif args.spec is not None:
+        payload = json.loads(Path(args.spec).read_text())
+    else:
+        raise SystemExit("give a campaign: --spec FILE or --example NAME")
+    campaign = Campaign.from_dict(payload)
+    if getattr(args, "quick", False):
+        campaign = campaign.scaled(sizes=QUICK_SIZES)
+    return campaign
+
+
+def _add_campaign_source(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--spec", type=Path, help="campaign spec JSON file")
+    group.add_argument(
+        "--example",
+        choices=sorted(EXAMPLE_CAMPAIGNS),
+        help="a built-in example campaign",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="declarative experiment campaigns and the what-if service",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="presets, fault models, extractors, examples")
+
+    p = sub.add_parser("show", help="expand a campaign and print its cells")
+    _add_campaign_source(p)
+    p.add_argument("--quick", action="store_true", help="substitute quick sizes")
+
+    p = sub.add_parser("run", help="execute a campaign and write artifacts")
+    _add_campaign_source(p)
+    p.add_argument("--quick", action="store_true", help="substitute quick sizes")
+    p.add_argument("--jobs", type=int, default=None, help="worker processes")
+    p.add_argument("--serial", action="store_true", help="run in-process")
+    p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    p.add_argument("--no-resume", action="store_true", help="ignore an existing journal")
+    p.add_argument(
+        "--out", type=Path, default=None,
+        help=f"artifact directory (default: {DEFAULT_CAMPAIGN_ROOT}/<name>)",
+    )
+
+    p = sub.add_parser("serve", help="start the what-if HTTP/JSON service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument("--jobs", type=int, default=None, help="worker processes")
+    p.add_argument("--serial", action="store_true", help="run queries in-process")
+    p.add_argument("--cache-dir", type=Path, default=None, help="result cache directory")
+    p.add_argument(
+        "--rate", type=float, default=None,
+        help="per-tenant rate limit in queries/sec (default: unlimited)",
+    )
+    p.add_argument("--burst", type=int, default=20, help="rate-limit burst size")
+
+    p = sub.add_parser("query", help="POST one what-if query to a server")
+    p.add_argument("--url", default="http://127.0.0.1:8787", help="server base URL")
+    p.add_argument("--tenant", default="cli", help="X-Tenant header value")
+    p.add_argument(
+        "query", help='query JSON, e.g. \'{"n": 20000, "machine": "element"}\''
+    )
+
+    p = sub.add_parser(
+        "smoke", help="start an in-process server, verify cold+warm, shut down"
+    )
+    p.add_argument("--cache-dir", type=Path, default=None, help="result cache directory")
+    p.add_argument("--n", type=int, default=8000, help="problem size to query")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    table = TextTable(
+        ["preset", "elements", "default grid", "description"],
+        title="machine presets",
+    )
+    for name in machine_names():
+        preset = MACHINES[name]
+        grid = f"{preset.default_grid[0]}x{preset.default_grid[1]}"
+        table.add_row(name, preset.n_elements, grid, preset.description)
+    print(table.render())
+    print(f"fault models: {', '.join(fault_names())}, stragglers-<percent>pct")
+    print(f"extractors:   {', '.join(extractor_names())}")
+    table = TextTable(["example", "cells", "matrix"], title="example campaigns")
+    for name, payload in sorted(EXAMPLE_CAMPAIGNS.items()):
+        campaign = Campaign.from_dict(payload)
+        axes = {k: len(v) for k, v in payload["matrix"].items()}
+        table.add_row(name, campaign.n_cells, json.dumps(axes))
+    print(table.render())
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    campaign = load_campaign(args)
+    cells = campaign.expand()
+    table = TextTable(
+        ["cell", "machine", "scheduler", "n", "grid", "bcast", "fault", "rep", "seed"],
+        title=f"campaign {campaign.name!r}: {len(cells)} cells",
+    )
+    for cell in cells:
+        table.add_row(
+            cell.cell_id, cell.machine, cell.scheduler, cell.n,
+            f"{cell.grid[0]}x{cell.grid[1]}", cell.bcast or "-", cell.fault,
+            cell.rep, cell.seed,
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    campaign = load_campaign(args)
+    out_dir = args.out if args.out is not None else DEFAULT_CAMPAIGN_ROOT / campaign.name
+    print(f"campaign {campaign.name!r}: {campaign.n_cells} cells", flush=True)
+    result = run_campaign(
+        campaign,
+        jobs=args.jobs,
+        serial=True if args.serial else None,
+        use_cache=not args.no_cache,
+        journal_path=out_dir / "journal.jsonl",
+        resume=not args.no_resume,
+    )
+    paths = write_artifacts(result, out_dir)
+    summary = result.summary()
+    print(
+        f"done: {summary['cells']} cells, {summary['cache_hits']} from cache, "
+        f"best {summary['best_tflops']:.3f} TFLOPS"
+        if summary["best_tflops"] is not None
+        else f"done: {summary['cells']} cells, {summary['cache_hits']} from cache"
+    )
+    for kind, path in paths.items():
+        print(f"  {kind:5s} {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = WhatIfService(
+        host=args.host,
+        port=args.port,
+        slots=args.jobs,
+        serial=True if args.serial else None,
+        cache_dir=args.cache_dir,
+        rate=args.rate,
+        burst=args.burst,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        print(f"what-if service on http://{service.host}:{service.port}", flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _http_post(url: str, path: str, payload: dict, tenant: str) -> tuple[int, dict, bytes]:
+    """POST via http.client; returns (status, lowercase headers, body)."""
+    import http.client
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url)
+    conn = http.client.HTTPConnection(parts.hostname, parts.port or 80, timeout=30)
+    try:
+        conn.request(
+            "POST",
+            path,
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json", "X-Tenant": tenant},
+        )
+        response = conn.getresponse()
+        body = response.read()
+        headers = {name.lower(): value for name, value in response.getheaders()}
+        return response.status, headers, body
+    finally:
+        conn.close()
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    payload = json.loads(args.query)
+    status, headers, body = _http_post(args.url, "/query", payload, args.tenant)
+    print(f"HTTP {status}  X-Cache: {headers.get('x-cache', '-')}")
+    sys.stdout.write(body.decode())
+    return 0 if status == 200 else 1
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """The CI lane's live-server check: cold query, warm query, parity."""
+
+    async def _smoke() -> int:
+        service = WhatIfService(
+            serial=True, cache_dir=args.cache_dir, rate=50.0, burst=10
+        )
+        async with service:
+            print(f"smoke: server on port {service.port}", flush=True)
+            loop = asyncio.get_running_loop()
+            query = {"n": args.n, "machine": "element", "scheduler": "adaptive"}
+
+            def roundtrip() -> tuple[int, dict, bytes]:
+                return _http_post(
+                    f"http://127.0.0.1:{service.port}", "/query", query, "smoke"
+                )
+
+            status, headers, cold = await loop.run_in_executor(None, roundtrip)
+            assert status == 200, f"cold query failed: HTTP {status}: {cold.decode()!r}"
+            first = headers["x-cache"]
+            status, headers, warm = await loop.run_in_executor(None, roundtrip)
+            assert status == 200, f"warm query failed: HTTP {status}"
+            assert headers["x-cache"] == "warm", f"expected warm, got {headers['x-cache']}"
+            assert warm == cold, "warm body differs from cold body"
+            print(
+                f"smoke: first={first} then=warm, {len(cold)}-byte bodies identical, "
+                f"stats={service.stats}"
+            )
+        print("smoke: clean shutdown")
+        return 0
+
+    return asyncio.run(_smoke())
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "show": _cmd_show,
+    "run": _cmd_run,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
+    "smoke": _cmd_smoke,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (FileNotFoundError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

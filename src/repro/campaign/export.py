@@ -1,0 +1,181 @@
+"""Campaign exporters: JSONL, CSV, and a static HTML report.
+
+All three render the same flat rows (:meth:`CampaignResult.rows`): one
+object per cell with ``coordinates`` (the matrix point), ``metrics`` (the
+campaign's extractor output) and ``provenance`` (cache hit or run, cache
+key prefix, code version, journal).  JSONL is the machine interchange
+format and round-trips losslessly (:func:`read_jsonl` — the hypothesis
+suite pins row == parse(dump(row))); CSV flattens for spreadsheets; the
+HTML report is a single self-contained file with the campaign's
+declarative spec, a summary strip, and a per-cell table whose provenance
+column shows exactly where every number came from.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Union
+
+from repro.exec.cache import canonical_json
+from repro.util.io import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign.runner import CampaignResult
+
+__all__ = ["to_jsonl", "read_jsonl", "to_csv", "to_html", "write_artifacts"]
+
+
+def to_jsonl(result: "CampaignResult") -> str:
+    """One canonical-JSON line per cell (deterministic key order)."""
+    return "".join(canonical_json(row) + "\n" for row in result.rows())
+
+
+def read_jsonl(text_or_path: Union[str, Path]) -> list[dict[str, Any]]:
+    """Parse rows back from a JSONL export (string or file path)."""
+    if isinstance(text_or_path, Path):
+        text = text_or_path.read_text()
+    else:
+        text = text_or_path
+    rows = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def _flat(row: dict[str, Any]) -> dict[str, Any]:
+    """One row flattened for tabular output (coordinate/metric/prov columns)."""
+    out: dict[str, Any] = {"cell_id": row["cell_id"]}
+    for key, value in row["coordinates"].items():
+        out[key] = "x".join(str(v) for v in value) if isinstance(value, list) else value
+    for key, value in row["metrics"].items():
+        if key not in out:
+            out[key] = value
+    prov = row["provenance"]
+    out["cache"] = prov.get("cache")
+    out["code_version"] = prov.get("code_version")
+    out["key"] = prov.get("key")
+    return out
+
+
+def to_csv(result: "CampaignResult") -> str:
+    """Flat CSV; header union over all rows, in first-seen order."""
+    rows = [_flat(row) for row in result.rows()]
+    header: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
+    lines = [",".join(header)]
+    for row in rows:
+        cells = []
+        for key in header:
+            value = row.get(key)
+            text = "" if value is None else str(value)
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            cells.append(text)
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+_HTML_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; font-size: 0.85rem; }
+th, td { border: 1px solid #d0d0da; padding: 0.3rem 0.6rem; text-align: right; }
+th { background: #f0f0f6; position: sticky; top: 0; }
+td.text, th.text { text-align: left; }
+.hit { color: #1b7a3d; } .miss { color: #9a4b00; }
+.summary { display: flex; gap: 2rem; margin: 1rem 0; }
+.summary div { background: #f6f6fb; padding: 0.6rem 1rem; border-radius: 6px; }
+.summary b { display: block; font-size: 1.2rem; }
+pre { background: #f6f6fb; padding: 0.8rem; overflow-x: auto; font-size: 0.8rem; }
+footer { margin-top: 2rem; color: #777; font-size: 0.75rem; }
+"""
+
+
+def to_html(result: "CampaignResult") -> str:
+    """A single static HTML report with per-cell provenance."""
+    rows = [_flat(row) for row in result.rows()]
+    summary = result.summary()
+    header: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
+    numeric = {
+        key: all(isinstance(r.get(key), (int, float)) and not isinstance(r.get(key), bool)
+                 for r in rows if r.get(key) is not None)
+        for key in header
+    }
+
+    def cell_html(key: str, value: Any) -> str:
+        css = [] if numeric.get(key) else ["text"]
+        if key == "cache":
+            css.append("hit" if value == "hit" else "miss")
+        text = "" if value is None else (
+            f"{value:.4g}" if isinstance(value, float) else str(value)
+        )
+        cls = f' class="{" ".join(css)}"' if css else ""
+        return f"<td{cls}>{html.escape(text)}</td>"
+
+    body_rows = "\n".join(
+        "<tr>" + "".join(cell_html(key, row.get(key)) for key in header) + "</tr>"
+        for row in rows
+    )
+    head_row = "".join(
+        f'<th{"" if numeric.get(key) else " class=text"}>{html.escape(key)}</th>'
+        for key in header
+    )
+    best = summary.get("best_tflops")
+    summary_html = (
+        f"<div><b>{summary['cells']}</b>cells</div>"
+        f"<div><b>{summary['cache_hits']}</b>cache hits</div>"
+        f"<div><b>{'' if best is None else f'{best:.4g}'}</b>best TFLOPS</div>"
+        f"<div><b>{html.escape(str(summary['code_version']))}</b>code version</div>"
+    )
+    spec = json.dumps(result.campaign.to_dict(), indent=2)
+    return f"""<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>campaign: {html.escape(result.campaign.name)}</title>
+<style>{_HTML_STYLE}</style></head>
+<body>
+<h1>Campaign report — {html.escape(result.campaign.name)}</h1>
+<div class="summary">{summary_html}</div>
+<h2>Cells</h2>
+<table><thead><tr>{head_row}</tr></thead>
+<tbody>
+{body_rows}
+</tbody></table>
+<h2>Declarative spec</h2>
+<pre>{html.escape(spec)}</pre>
+<footer>Static report; every value traceable via its cache key and code
+version. Extractor: {html.escape(result.campaign.extractor)}.</footer>
+</body></html>
+"""
+
+
+def write_artifacts(result: "CampaignResult", out_dir: Union[str, Path]) -> dict[str, Path]:
+    """Write campaign.jsonl / campaign.csv / report.html / campaign.json.
+
+    Returns the path of each artifact.  Writes are atomic.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "jsonl": out_dir / "campaign.jsonl",
+        "csv": out_dir / "campaign.csv",
+        "html": out_dir / "report.html",
+        "spec": out_dir / "campaign.json",
+    }
+    atomic_write_text(paths["jsonl"], to_jsonl(result))
+    atomic_write_text(paths["csv"], to_csv(result))
+    atomic_write_text(paths["html"], to_html(result))
+    atomic_write_text(
+        paths["spec"], json.dumps(result.campaign.to_dict(), indent=2) + "\n"
+    )
+    return paths

@@ -1,0 +1,154 @@
+"""Pluggable metric extraction: run records in, flat structured metrics out.
+
+The hpcbench idiom (SNIPPETS.md's ``HPLExtractor``): a benchmark's raw
+output is parsed by a named *extractor* into a flat ``{metric: value}``
+dict with declared units, so exporters and reports never touch raw run
+records.  Here the "raw output" is the journal-shaped completion record a
+campaign run produces for each cell (the same dict
+:meth:`repro.session.SweepJournal.record` writes, which is also what the
+result cache stores), plus the cell's own coordinates.
+
+Extractors are registered by name (:func:`register_extractor`); a campaign
+names its extractor as data (``extractor="hpl"``) and validation happens at
+:class:`~repro.campaign.model.Campaign` construction.  Every extractor
+declares its metric names and units up front (:attr:`MetricExtractor.METRICS`)
+so exporters can emit stable headers even for cells that failed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+__all__ = [
+    "MetricExtractor",
+    "HplExtractor",
+    "RawExtractor",
+    "register_extractor",
+    "metric_extractor",
+    "extractor_names",
+]
+
+
+class MetricExtractor:
+    """Base extractor: subclass, declare METRICS, implement :meth:`extract`.
+
+    ``METRICS`` maps metric name -> unit string ("" for dimensionless).
+    :meth:`extract` receives the cell (a
+    :class:`~repro.campaign.model.CampaignCell`) and the raw completion
+    record, and returns a dict whose keys are a subset of ``METRICS``.
+    """
+
+    name: str = ""
+    METRICS: dict[str, str] = {}
+
+    def extract(self, cell: Any, record: Mapping[str, Any]) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def header(self) -> tuple[str, ...]:
+        """Stable column order for tabular exporters."""
+        return tuple(self.METRICS)
+
+
+_EXTRACTORS: dict[str, MetricExtractor] = {}
+
+
+def register_extractor(cls: type) -> type:
+    """Class decorator: instantiate and register under ``cls.name``."""
+    instance = cls()
+    if not instance.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty name")
+    _EXTRACTORS[instance.name] = instance
+    return cls
+
+
+def metric_extractor(name: str) -> MetricExtractor:
+    """Look up an extractor; unknown names raise with the valid list."""
+    extractor = _EXTRACTORS.get(name)
+    if extractor is None:
+        raise ValueError(
+            f"unknown metric extractor {name!r}; valid: {', '.join(sorted(_EXTRACTORS))}"
+        )
+    return extractor
+
+
+def extractor_names() -> tuple[str, ...]:
+    return tuple(sorted(_EXTRACTORS))
+
+
+@register_extractor
+class HplExtractor(MetricExtractor):
+    """Structured HPL metrics from a campaign completion record.
+
+    The analogue of hpcbench's ``HPLExtractor`` — size/grid/time/flops plus
+    the derived figures the paper reports: TFLOPS, fraction of the grid's
+    aggregate peak, and whether the run degraded (fault injection).
+    """
+
+    name = "hpl"
+    METRICS = {
+        "size_n": "",
+        "size_p": "",
+        "size_q": "",
+        "gflops": "GFlop/s",
+        "tflops": "TFlop/s",
+        "time": "s",
+        "efficiency": "fraction of peak",
+        "degraded": "",
+        "scheduler": "",
+        "machine": "",
+        "fault": "",
+        "bcast": "",
+        "rep": "",
+    }
+
+    def extract(self, cell: Any, record: Mapping[str, Any]) -> dict[str, Any]:
+        from repro.campaign.model import machine_preset
+
+        gflops = float(record["gflops"])
+        peak = machine_preset(cell.machine).peak_gflops(cell.grid)
+        return {
+            "size_n": cell.n,
+            "size_p": cell.grid[0],
+            "size_q": cell.grid[1],
+            "gflops": gflops,
+            "tflops": gflops / 1e3,
+            "time": float(record["elapsed"]),
+            "efficiency": gflops / peak if peak > 0 else 0.0,
+            "degraded": record.get("degraded"),
+            "scheduler": cell.scheduler,
+            "machine": cell.machine,
+            "fault": cell.fault,
+            "bcast": cell.bcast,
+            "rep": cell.rep,
+        }
+
+
+@register_extractor
+class RawExtractor(MetricExtractor):
+    """Pass the completion record through untouched (debugging aid)."""
+
+    name = "raw"
+    METRICS = {
+        "scheduler": "",
+        "n": "",
+        "seed": "",
+        "gflops": "GFlop/s",
+        "elapsed": "s",
+        "degraded": "",
+    }
+
+    def extract(self, cell: Any, record: Mapping[str, Any]) -> dict[str, Any]:
+        return {key: record.get(key) for key in self.METRICS}
+
+
+def extract_metrics(
+    extractor: "str | MetricExtractor",
+    cell: Any,
+    record: Optional[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """One cell's metrics (``{}`` for a cell with no record, e.g. mid-resume)."""
+    if isinstance(extractor, str):
+        extractor = metric_extractor(extractor)
+    if record is None:
+        return {}
+    return extractor.extract(cell, record)

@@ -1,0 +1,530 @@
+"""Campaigns as data: a scenario matrix that expands deterministically.
+
+A :class:`Campaign` is the declarative layer the ROADMAP's "hpcbench-style
+campaign engine" item asks for: one frozen object describing a *matrix* of
+experiments — problem sizes x machine presets x schedulers x broadcast
+algorithms x fault models x repetitions — that :meth:`Campaign.expand`
+turns into a flat, ordered, duplicate-free tuple of :class:`CampaignCell`
+objects.  Every cell knows how to build its :class:`~repro.session.Scenario`
+and how to key itself into the content-addressed result cache.
+
+Determinism is the contract (pinned by ``tests/campaign/test_properties.py``):
+
+* expansion iterates the axes in one canonical order (machine, scheduler,
+  n, grid, bcast, fault, rep) regardless of how the campaign was declared,
+  so :meth:`Campaign.from_dict` yields the same cells for any permutation
+  of the matrix keys;
+* per-cell seeds derive from the campaign seed and the cell's *semantic*
+  coordinates (:func:`repro.util.rng.derive_seed`), never from its position,
+  so adding a size to the matrix does not re-seed the existing cells;
+* cell cache keys include the **machine preset identity** (spec digest +
+  cluster seed, see :meth:`MachinePreset.identity`) alongside the scenario
+  hash — two presets with otherwise-equal scenario fields can never alias
+  a cache entry (``tests/campaign/test_cache_key.py`` pins the collision).
+
+Machine presets cover both the paper's TianHe-1 (element / cabinet / full
+system) and a Frontier-style exascale node (PAPERS.md, arXiv 2304.10397);
+fault models are named, data-only recipes ("stragglers-2pct") expanded
+against the preset's element population at scenario-build time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.exec.cache import canonical_json, scenario_key
+from repro.faults.spec import FaultSpec, GpuDropout, GpuThrottle, Straggler
+from repro.machine.cluster import Cluster, spec_digest
+from repro.machine.specs import ClusterSpec
+from repro.util.rng import RngStream, derive_seed
+from repro.util.validation import require, require_positive
+
+__all__ = [
+    "Campaign",
+    "CampaignCell",
+    "FaultModel",
+    "MachinePreset",
+    "MACHINES",
+    "fault_model",
+    "machine_preset",
+    "machine_names",
+    "fault_names",
+]
+
+
+# -- machine presets -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MachinePreset:
+    """A named machine a campaign cell can run on.
+
+    ``builder`` returns the :class:`~repro.machine.specs.ClusterSpec` (or
+    ``None`` for the single-element testbed, which the scenario layer
+    builds internally from its own knobs).  The preset's :meth:`identity`
+    is pure data — name, spec digest, cluster seed — and is what cache
+    keys embed.
+    """
+
+    name: str
+    description: str
+    default_grid: tuple[int, int]
+    cluster_seed: int = 2009
+    builder: Optional[Callable[[], ClusterSpec]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def spec(self) -> Optional[ClusterSpec]:
+        return None if self.builder is None else self.builder()
+
+    @property
+    def n_elements(self) -> int:
+        spec = self.spec()
+        return 1 if spec is None else spec.total_elements
+
+    def build_cluster(self) -> Optional[Cluster]:
+        """The live machine (``None`` for the single-element testbed)."""
+        spec = self.spec()
+        if spec is None:
+            return None
+        return Cluster(spec, seed=self.cluster_seed)
+
+    def identity(self) -> dict[str, Any]:
+        """Stable cache-key data: never a live object, never an address."""
+        spec = self.spec()
+        return {
+            "name": self.name,
+            "spec": "single-element" if spec is None else spec_digest(spec),
+            "seed": self.cluster_seed,
+        }
+
+    def peak_gflops(self, grid: tuple[int, int]) -> float:
+        """Aggregate peak of the *grid's* share of the machine, in GFLOPS."""
+        ranks = grid[0] * grid[1]
+        spec = self.spec()
+        if spec is None:
+            from repro.machine.presets import tianhe1_element
+
+            return tianhe1_element().peak_flops / 1e9
+        element = spec.node_specs[0][1].elements[0]
+        return ranks * element.peak_flops / 1e9
+
+
+def _tianhe1_cabinet_spec() -> ClusterSpec:
+    from repro.machine.presets import tianhe1_cluster
+
+    return tianhe1_cluster(cabinets=1)
+
+
+def _tianhe1_full_spec() -> ClusterSpec:
+    from repro.machine.presets import FULL_SYSTEM_CABINETS, tianhe1_cluster
+
+    return tianhe1_cluster(cabinets=FULL_SYSTEM_CABINETS)
+
+
+def _frontier_node_spec() -> ClusterSpec:
+    from repro.machine.presets import frontier_cluster
+
+    return frontier_cluster(nodes=1)
+
+
+def _frontier_64node_spec() -> ClusterSpec:
+    from repro.machine.presets import frontier_cluster
+
+    return frontier_cluster(nodes=64)
+
+
+#: The preset registry: the machines a campaign (or what-if query) may name.
+MACHINES: dict[str, MachinePreset] = {
+    preset.name: preset
+    for preset in (
+        MachinePreset(
+            name="element",
+            description="one TianHe-1 compute element (E5540 + RV770 at 750 MHz)",
+            default_grid=(1, 1),
+        ),
+        MachinePreset(
+            name="tianhe1-cabinet",
+            description="one TianHe-1 cabinet: 32 nodes / 64 elements at 575 MHz",
+            default_grid=(8, 8),
+            builder=_tianhe1_cabinet_spec,
+        ),
+        MachinePreset(
+            name="tianhe1-full",
+            description="the full 2560-node TianHe-1 (the paper's 0.563 PFLOPS run)",
+            default_grid=(64, 80),
+            builder=_tianhe1_full_spec,
+        ),
+        MachinePreset(
+            name="frontier-node",
+            description="one Frontier-style node: 8 MI250X GCDs (arXiv 2304.10397)",
+            default_grid=(2, 4),
+            builder=_frontier_node_spec,
+        ),
+        MachinePreset(
+            name="frontier-64node",
+            description="64 Frontier-style nodes: 512 GCDs over Slingshot-11",
+            default_grid=(16, 32),
+            builder=_frontier_64node_spec,
+        ),
+    )
+}
+
+
+def machine_preset(name: str) -> MachinePreset:
+    """Look up a preset by name; unknown names raise with the valid list."""
+    preset = MACHINES.get(name)
+    if preset is None:
+        raise ValueError(
+            f"unknown machine preset {name!r}; valid: {', '.join(sorted(MACHINES))}"
+        )
+    return preset
+
+
+def machine_names() -> tuple[str, ...]:
+    return tuple(sorted(MACHINES))
+
+
+# -- fault models --------------------------------------------------------------
+
+_STRAGGLER_RE = re.compile(r"^stragglers-([0-9]+(?:\.[0-9]+)?)pct$")
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A named, machine-independent fault recipe.
+
+    Campaigns name fault models as strings; the model expands against a
+    concrete element population only when the cell builds its scenario, so
+    "stragglers-2pct" means 2% of *whichever machine* the cell runs on.
+    Element selection is seeded (:class:`~repro.util.rng.RngStream`), so
+    the same cell always degrades the same elements.
+    """
+
+    name: str
+    kind: str  # "none" | "stragglers" | "gpu-throttle" | "gpu-dropout"
+    fraction: float = 0.0
+    factor: float = 0.5
+
+    def build(self, n_elements: int, seed: int) -> Optional[FaultSpec]:
+        """The concrete :class:`FaultSpec` for a machine of *n_elements*."""
+        if self.kind == "none":
+            return None
+        if self.kind == "stragglers":
+            count = max(1, round(self.fraction * n_elements))
+            count = min(count, n_elements)
+            rng = RngStream(seed).child(f"faults/{self.name}").generator()
+            elements = sorted(
+                int(i) for i in rng.choice(n_elements, size=count, replace=False)
+            )
+            return FaultSpec(
+                stragglers=tuple(
+                    Straggler(at=0.0, element=i, factor=self.factor, side="both")
+                    for i in elements
+                )
+            )
+        if self.kind == "gpu-throttle":
+            return FaultSpec(throttles=(GpuThrottle(at=0.0, clock_factor=self.factor),))
+        if self.kind == "gpu-dropout":
+            return FaultSpec(dropouts=(GpuDropout(at=0.0, element=0),))
+        raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+#: Named fault models every campaign can reference.
+_NAMED_FAULTS: dict[str, FaultModel] = {
+    "none": FaultModel(name="none", kind="none"),
+    "stragglers-2pct": FaultModel(name="stragglers-2pct", kind="stragglers", fraction=0.02),
+    "stragglers-5pct": FaultModel(name="stragglers-5pct", kind="stragglers", fraction=0.05),
+    "gpu-throttle": FaultModel(name="gpu-throttle", kind="gpu-throttle", factor=575.0 / 750.0),
+    "gpu-dropout": FaultModel(name="gpu-dropout", kind="gpu-dropout"),
+}
+
+
+def fault_model(name: str) -> FaultModel:
+    """Resolve a fault-model name, including parametric ``stragglers-<X>pct``."""
+    model = _NAMED_FAULTS.get(name)
+    if model is not None:
+        return model
+    match = _STRAGGLER_RE.match(name)
+    if match:
+        pct = float(match.group(1))
+        require(0.0 < pct <= 100.0, f"straggler percentage out of range in {name!r}")
+        return FaultModel(name=name, kind="stragglers", fraction=pct / 100.0)
+    raise ValueError(
+        f"unknown fault model {name!r}; valid: {', '.join(sorted(_NAMED_FAULTS))} "
+        "or 'stragglers-<percent>pct'"
+    )
+
+
+def fault_names() -> tuple[str, ...]:
+    return tuple(sorted(_NAMED_FAULTS))
+
+
+# -- cells ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One fully-resolved point of a campaign's matrix."""
+
+    campaign: str
+    machine: str
+    scheduler: str
+    n: int
+    grid: tuple[int, int]
+    bcast: Optional[str]
+    fault: str
+    rep: int
+    seed: int
+
+    @property
+    def coordinates(self) -> dict[str, Any]:
+        """The cell's semantic coordinates (what reports key rows by)."""
+        return {
+            "campaign": self.campaign,
+            "machine": self.machine,
+            "scheduler": self.scheduler,
+            "n": self.n,
+            "grid": list(self.grid),
+            "bcast": self.bcast,
+            "fault": self.fault,
+            "rep": self.rep,
+        }
+
+    @property
+    def cell_id(self) -> str:
+        """Short stable id (coordinates only; used in reports and journals)."""
+        return hashlib.sha256(canonical_json(self.coordinates).encode()).hexdigest()[:12]
+
+    def scenario(self) -> "Any":
+        """The executable :class:`~repro.session.Scenario` for this cell."""
+        from repro.session import Scenario
+
+        preset = machine_preset(self.machine)
+        faults = fault_model(self.fault).build(preset.n_elements, self.seed)
+        overrides = {"bcast_algo": self.bcast} if self.bcast else None
+        return Scenario(
+            scheduler=self.scheduler,
+            n=self.n,
+            cluster=preset.build_cluster(),
+            grid=self.grid,
+            seed=self.seed,
+            faults=faults,
+            overrides=overrides,
+        )
+
+    def cache_key(self) -> str:
+        """The cell's content address in the :class:`repro.exec.ResultCache`.
+
+        The **machine identity is part of the key** — not just the
+        scenario-field hash — so two presets whose scenario-visible fields
+        coincide (same n, grid, scheduler, seed) still key apart.  The
+        code-version digest enters through :func:`repro.exec.scenario_key`.
+
+        The campaign *name* is deliberately **not** part of the key: it is
+        provenance, not content.  Two campaigns (or a campaign and a
+        what-if query) asking for the same semantic point — same machine,
+        scenario, fault model, and derived seed — share one cache entry,
+        which is what lets a campaign run pre-warm the what-if service.
+        """
+        preset = machine_preset(self.machine)
+        coords = {k: v for k, v in self.coordinates.items() if k != "campaign"}
+        return scenario_key(
+            "campaign.cell",
+            {
+                "machine": preset.identity(),
+                "scenario": self.scenario().content_hash(),
+                "coordinates": coords,
+            },
+        )
+
+
+# -- the campaign --------------------------------------------------------------
+
+#: from_dict/to_dict axis spellings, in canonical expansion order.
+_AXIS_ALIASES: dict[str, tuple[str, ...]] = {
+    "machines": ("machine", "machines"),
+    "schedulers": ("scheduler", "schedulers"),
+    "sizes": ("n", "sizes", "size"),
+    "grids": ("grid", "grids"),
+    "bcasts": ("bcast", "bcasts", "bcast_algo"),
+    "faults": ("fault", "faults"),
+}
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A declarative scenario matrix; see the module docstring.
+
+    Every axis is a tuple of values; the matrix is their full cross
+    product, times ``repetitions``.  ``grids`` entries may be ``None``
+    (use the machine preset's default grid) or an explicit ``(P, Q)``.
+    Validation happens at construction: unknown machines, fault models,
+    schedulers and broadcast algorithms raise immediately.
+    """
+
+    name: str
+    sizes: tuple[int, ...]
+    machines: tuple[str, ...] = ("element",)
+    schedulers: tuple[str, ...] = ("adaptive",)
+    bcasts: tuple[Optional[str], ...] = (None,)
+    faults: tuple[str, ...] = ("none",)
+    grids: tuple[Optional[tuple[int, int]], ...] = (None,)
+    repetitions: int = 1
+    seed: int = 7
+    extractor: str = "hpl"
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "a campaign needs a name")
+        require(len(self.sizes) >= 1, "a campaign needs at least one problem size")
+        object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        for n in self.sizes:
+            require_positive(n, "campaign size")
+        object.__setattr__(self, "machines", tuple(self.machines))
+        object.__setattr__(self, "schedulers", tuple(self.schedulers))
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(
+            self,
+            "grids",
+            tuple(None if g is None else (int(g[0]), int(g[1])) for g in self.grids),
+        )
+        require_positive(self.repetitions, "repetitions")
+        for machine in self.machines:
+            machine_preset(machine)
+        for fault in self.faults:
+            fault_model(fault)
+        from repro.sched.builds import resolve_hpl_build
+
+        for scheduler in self.schedulers:
+            resolve_hpl_build(scheduler)
+        from repro.mpi.bcast import canonical_algorithm
+
+        canonical: list[Optional[str]] = []
+        for bcast in self.bcasts:
+            canonical.append(None if bcast is None else canonical_algorithm(bcast))
+        object.__setattr__(self, "bcasts", tuple(canonical))
+        from repro.campaign.extract import metric_extractor
+
+        metric_extractor(self.extractor)
+
+    # -- declarative round-trip ------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Campaign":
+        """Build a campaign from declarative data (JSON-shaped).
+
+        The ``matrix`` mapping accepts the axis spellings in
+        ``_AXIS_ALIASES`` in **any key order** — expansion order does not
+        depend on it.  Unknown matrix keys raise.
+        """
+        payload = dict(payload)
+        matrix = dict(payload.pop("matrix", {}))
+        kwargs: dict[str, Any] = {
+            "name": payload.pop("name"),
+            "repetitions": payload.pop("repetitions", 1),
+            "seed": payload.pop("seed", 7),
+            "extractor": payload.pop("extractor", "hpl"),
+        }
+        if payload:
+            raise ValueError(
+                f"unknown campaign key(s): {', '.join(sorted(payload))} "
+                "(valid: name, matrix, repetitions, seed, extractor)"
+            )
+        for axis, spellings in _AXIS_ALIASES.items():
+            found = [key for key in spellings if key in matrix]
+            if len(found) > 1:
+                raise ValueError(f"matrix declares {axis} more than once: {found}")
+            if not found:
+                continue
+            values = matrix.pop(found[0])
+            if not isinstance(values, (list, tuple)):
+                values = [values]
+            if axis == "grids":
+                values = [None if v is None else tuple(v) for v in values]
+            kwargs[axis] = tuple(values)
+        if matrix:
+            valid = ", ".join(sorted(s for aliases in _AXIS_ALIASES.values() for s in aliases))
+            raise ValueError(
+                f"unknown matrix axis key(s): {', '.join(sorted(matrix))} (valid: {valid})"
+            )
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The canonical declarative form (round-trips through from_dict)."""
+        return {
+            "name": self.name,
+            "matrix": {
+                "machine": list(self.machines),
+                "scheduler": list(self.schedulers),
+                "n": list(self.sizes),
+                "grid": [None if g is None else list(g) for g in self.grids],
+                "bcast": list(self.bcasts),
+                "fault": list(self.faults),
+            },
+            "repetitions": self.repetitions,
+            "seed": self.seed,
+            "extractor": self.extractor,
+        }
+
+    # -- expansion -------------------------------------------------------------
+    def expand(self) -> tuple[CampaignCell, ...]:
+        """The matrix as a flat, ordered, duplicate-free tuple of cells.
+
+        Axis iteration order is canonical (machine, scheduler, n, grid,
+        bcast, fault, rep); duplicate coordinates — e.g. the same size
+        listed twice, or two grid entries resolving to the same ``(P, Q)``
+        on the same machine — expand once, first occurrence wins.
+        """
+        cells: list[CampaignCell] = []
+        seen: set[tuple] = set()
+        for machine in self.machines:
+            preset = machine_preset(machine)
+            for scheduler in self.schedulers:
+                for n in self.sizes:
+                    for grid in self.grids:
+                        resolved = preset.default_grid if grid is None else grid
+                        for bcast in self.bcasts:
+                            for fault in self.faults:
+                                for rep in range(self.repetitions):
+                                    coords = (
+                                        machine, scheduler, n, resolved, bcast, fault, rep,
+                                    )
+                                    if coords in seen:
+                                        continue
+                                    seen.add(coords)
+                                    cells.append(
+                                        CampaignCell(
+                                            campaign=self.name,
+                                            machine=machine,
+                                            scheduler=scheduler,
+                                            n=n,
+                                            grid=resolved,
+                                            bcast=bcast,
+                                            fault=fault,
+                                            rep=rep,
+                                            seed=derive_seed(
+                                                self.seed,
+                                                "campaign",
+                                                machine,
+                                                scheduler,
+                                                str(n),
+                                                f"{resolved[0]}x{resolved[1]}",
+                                                str(bcast),
+                                                fault,
+                                                str(rep),
+                                            ),
+                                        )
+                                    )
+        return tuple(cells)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.expand())
+
+    def scaled(self, *, sizes: Optional[Sequence[int]] = None) -> "Campaign":
+        """A copy with substituted sizes (the CLIs' ``--quick`` hook)."""
+        if sizes is None:
+            return self
+        return replace(self, sizes=tuple(sizes))

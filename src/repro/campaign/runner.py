@@ -1,0 +1,197 @@
+"""Execute a campaign: cache-first, pool-parallel, checkpoint/resume.
+
+:func:`run_campaign` is the driver between the declarative
+:class:`~repro.campaign.model.Campaign` and the execution stack that
+already exists below it:
+
+* every expanded cell is first looked up in the content-addressed
+  :class:`repro.exec.ResultCache` under its :meth:`CampaignCell.cache_key`
+  (machine identity included — see the model docs); hits never touch the
+  pool and are counted into the ambient ``exec.cache.*`` obs counters;
+* misses run through :func:`repro.session.run_sweep` — the asyncio
+  fair-share runtime over the persistent worker pool — with a
+  :class:`~repro.session.SweepJournal` checkpoint, so a SIGKILLed campaign
+  re-runs exactly its un-journaled cells on the next invocation
+  (``tests/campaign/test_resume_crash.py``);
+* fresh completions are written back to the cache, so the next run — or a
+  long-running what-if service pointed at the same cache directory — is
+  warm.
+
+Every outcome carries provenance: whether it came from cache or a run, the
+cell's cache key, the code version the value was computed under, and the
+journal it was checkpointed through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro import obs
+from repro.campaign.extract import extract_metrics, metric_extractor
+from repro.campaign.model import Campaign, CampaignCell
+from repro.exec import DEFAULT_CACHE_DIR, ResultCache, code_version
+from repro.exec.policy import current as current_policy
+
+__all__ = [
+    "CellOutcome",
+    "CampaignResult",
+    "run_campaign",
+    "normalize_record",
+    "RECORD_FIELDS",
+    "DEFAULT_CAMPAIGN_ROOT",
+]
+
+#: Where campaign artifacts (journal, exports, report) land by default.
+DEFAULT_CAMPAIGN_ROOT = Path("benchmarks") / "out" / "campaigns"
+
+#: The deterministic slice of a journal record a campaign caches and reports.
+#: "wall" (clock time) and "tenant" (who ran it) are provenance, not content —
+#: keeping them out makes a cached cell byte-identical to a fresh run's, which
+#: the what-if service's warm-vs-cold parity contract relies on.
+RECORD_FIELDS = ("v", "hash", "scheduler", "n", "seed", "gflops", "elapsed", "degraded")
+
+
+def normalize_record(record: dict[str, Any]) -> dict[str, Any]:
+    """Project a journal-shaped record onto its deterministic fields."""
+    return {key: record.get(key) for key in RECORD_FIELDS}
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One cell's result: the raw record plus where it came from."""
+
+    cell: CampaignCell
+    record: Optional[dict[str, Any]]
+    provenance: dict[str, Any]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign run produced, in expansion order."""
+
+    campaign: Campaign
+    outcomes: list[CellOutcome] = field(default_factory=list)
+
+    @property
+    def cells(self) -> list[CampaignCell]:
+        return [outcome.cell for outcome in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.provenance.get("cache") == "hit")
+
+    def rows(self) -> list[dict[str, Any]]:
+        """One flat, JSON-ready row per cell: coordinates + metrics + provenance."""
+        extractor = metric_extractor(self.campaign.extractor)
+        rows = []
+        for outcome in self.outcomes:
+            rows.append(
+                {
+                    "cell_id": outcome.cell.cell_id,
+                    "coordinates": outcome.cell.coordinates,
+                    "metrics": extract_metrics(extractor, outcome.cell, outcome.record),
+                    "provenance": outcome.provenance,
+                }
+            )
+        return rows
+
+    def summary(self) -> dict[str, Any]:
+        rows = self.rows()
+        tflops = [
+            row["metrics"]["tflops"]
+            for row in rows
+            if isinstance(row["metrics"].get("tflops"), (int, float))
+        ]
+        return {
+            "campaign": self.campaign.name,
+            "cells": len(self.outcomes),
+            "cache_hits": self.cache_hits,
+            "code_version": code_version(),
+            "best_tflops": max(tflops) if tflops else None,
+        }
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    jobs: Optional[int] = None,
+    serial: Optional[bool] = None,
+    use_cache: bool = True,
+    cache_dir: Union[str, Path, None] = None,
+    journal_path: Union[str, Path, None] = None,
+    resume: bool = True,
+) -> CampaignResult:
+    """Run every cell of *campaign*; see the module docstring for the flow.
+
+    ``journal_path`` defaults to
+    ``benchmarks/out/campaigns/<name>/journal.jsonl``; pass an explicit
+    path to isolate runs (tests do).  With ``resume=True`` (default) a
+    journal left by a killed run is honored — already-journaled cells are
+    not re-executed.
+    """
+    from repro.session import run_sweep
+
+    cells = list(campaign.expand())
+    cache = ResultCache(Path(cache_dir) if cache_dir else DEFAULT_CACHE_DIR)
+    if journal_path is None:
+        journal_path = DEFAULT_CAMPAIGN_ROOT / campaign.name / "journal.jsonl"
+    journal_path = Path(journal_path)
+
+    policy = current_policy()
+    records: dict[int, Optional[dict[str, Any]]] = {}
+    provenance: dict[int, dict[str, Any]] = {}
+    missing: list[tuple[int, CampaignCell, str]] = []
+    version = code_version()
+    for index, cell in enumerate(cells):
+        key = cell.cache_key()
+        base = {"key": key[:16], "code_version": version, "cell_id": cell.cell_id}
+        if use_cache:
+            hit, value = cache.get(key)
+            policy.stats.count_cache(hit)
+            if hit:
+                records[index] = value
+                provenance[index] = {**base, "cache": "hit", "journal": None}
+                continue
+        missing.append((index, cell, key))
+
+    telemetry = obs.current()
+    if telemetry is not None:
+        telemetry.metrics.counter(
+            "campaign.cells", "campaign cells resolved (cache or run)"
+        ).inc(len(cells))
+        telemetry.metrics.counter(
+            "campaign.cell_runs", "campaign cells that had to execute"
+        ).inc(len(missing))
+
+    if missing:
+        scenarios = [cell.scenario() for _, cell, _ in missing]
+        results = run_sweep(
+            scenarios,
+            journal_path=journal_path,
+            slots=jobs,
+            serial=serial,
+            resume=resume,
+            tenant_of=lambda i, _s: f"campaign/{campaign.name}",
+        )
+        for (index, cell, key), record in zip(missing, results):
+            record = normalize_record(record)
+            records[index] = record
+            provenance[index] = {
+                "key": key[:16],
+                "code_version": version,
+                "cell_id": cell.cell_id,
+                "cache": "miss",
+                "journal": str(journal_path),
+            }
+            if use_cache:
+                cache.put(key, record, task="campaign.cell", args=cell.coordinates)
+
+    return CampaignResult(
+        campaign=campaign,
+        outcomes=[
+            CellOutcome(cell=cell, record=records[i], provenance=provenance[i])
+            for i, cell in enumerate(cells)
+        ],
+    )

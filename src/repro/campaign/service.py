@@ -1,0 +1,485 @@
+"""The what-if query service: warm answers from cache, cold ones from the pool.
+
+``python -m repro.campaign serve`` exposes the campaign cell model over a
+small asyncio HTTP/JSON API, so a client can ask "what would the adaptive
+scheduler do at N=60000 on a Frontier node with 2% stragglers?" and get an
+answer without knowing anything about scenarios, pools or caches:
+
+* **warm** queries — any cell whose content key is already in the
+  in-memory memo or the on-disk :class:`repro.exec.ResultCache` (e.g. a
+  prior query, or a campaign run over the same matrix) — are answered
+  inline, with **zero pool tasks scheduled**;
+* **cold** queries are admitted to an :class:`~repro.session.AsyncSession`
+  under the caller's tenant (fair-share scheduling, bounded admission);
+  *identical* cold queries arriving while one is in flight **coalesce**
+  onto the same pool task and all receive its answer;
+* per-tenant token-bucket rate limits answer **429** with ``Retry-After``
+  when a caller exceeds its budget.
+
+The response *body* for a cell is built deterministically from the cell
+and its normalized record, so a warm answer is **byte-identical** to the
+cold answer that first produced it; cache status travels in the
+``X-Cache`` header (``warm`` / ``cold``), never in the body.  Cache
+warmth, coalescing and latency land in the ambient :mod:`repro.obs`
+telemetry as ``whatif.*`` counters plus the ``exec.cache.*`` hit/miss
+counters the rest of the execution stack already uses.
+
+The wire protocol is deliberately minimal HTTP/1.1 (stdlib-only, one
+reader task per connection, keep-alive), enough for ``http.client``,
+``curl`` and the in-process bench/test harnesses:
+
+==========  =========  ====================================================
+method      path       semantics
+==========  =========  ====================================================
+GET         /healthz   liveness: ``{"ok": true}``
+GET         /presets   machine presets, fault models, extractors
+GET         /stats     query/warmth/coalescing counters for this server
+POST        /query     a what-if query (JSON body, see ``normalize_query``)
+==========  =========  ====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro import obs
+from repro.campaign.extract import extract_metrics
+from repro.campaign.model import (
+    Campaign,
+    CampaignCell,
+    fault_names,
+    machine_names,
+    machine_preset,
+)
+from repro.campaign.runner import normalize_record
+from repro.exec import DEFAULT_CACHE_DIR, ResultCache, code_version
+from repro.exec.cache import canonical_json
+from repro.exec.policy import current as current_policy
+from repro.session import AdmissionFull, AsyncSession
+
+__all__ = ["WhatIfService", "normalize_query", "TokenBucket", "DEFAULT_SEED"]
+
+#: Base seed a query's cell seed derives from; matches Campaign's default so
+#: campaign runs with the default seed pre-warm the service.
+DEFAULT_SEED = 7
+
+_QUERY_KEYS = {
+    "machine", "scheduler", "n", "grid", "bcast", "fault",
+    "straggler_pct", "rep", "seed", "campaign",
+}
+
+
+def normalize_query(payload: Mapping[str, Any]) -> CampaignCell:
+    """A JSON query -> the one :class:`CampaignCell` it denotes.
+
+    The query is routed through a single-point :class:`Campaign` and
+    :meth:`~Campaign.expand`, so seed derivation, grid defaulting and
+    validation are *the same code path* a campaign uses — a query for a
+    point some campaign already ran keys into the same cache entry.
+
+    Keys: ``n`` (required), ``machine``, ``scheduler``, ``grid``,
+    ``bcast``, ``fault`` (or ``straggler_pct`` as a shorthand for
+    ``stragglers-<pct>pct``), ``rep``, ``seed``, ``campaign`` (label only).
+    """
+    payload = dict(payload)
+    unknown = set(payload) - _QUERY_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown query key(s): {', '.join(sorted(unknown))} "
+            f"(valid: {', '.join(sorted(_QUERY_KEYS))})"
+        )
+    if "n" not in payload:
+        raise ValueError("a what-if query needs a problem size 'n'")
+    fault = payload.get("fault")
+    if "straggler_pct" in payload:
+        if fault is not None:
+            raise ValueError("give either 'fault' or 'straggler_pct', not both")
+        fault = f"stragglers-{float(payload['straggler_pct']):g}pct"
+    rep = int(payload.get("rep", 0))
+    if rep < 0:
+        raise ValueError("rep must be >= 0")
+    grid = payload.get("grid")
+    campaign = Campaign(
+        name=str(payload.get("campaign", "whatif")),
+        sizes=(int(payload["n"]),),
+        machines=(str(payload.get("machine", "element")),),
+        schedulers=(str(payload.get("scheduler", "adaptive")),),
+        bcasts=(payload.get("bcast"),),
+        faults=(fault or "none",),
+        grids=(None if grid is None else (int(grid[0]), int(grid[1])),),
+        repetitions=rep + 1,
+        seed=int(payload.get("seed", DEFAULT_SEED)),
+    )
+    return campaign.expand()[rep]
+
+
+class TokenBucket:
+    """Per-tenant token buckets: ``rate`` tokens/s, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError("rate must be > 0 and burst >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._buckets: dict[str, tuple[float, float]] = {}  # tenant -> (tokens, at)
+
+    def try_acquire(self, tenant: str, now: Optional[float] = None) -> float:
+        """Take one token; returns 0.0 on success, else seconds to retry."""
+        now = time.monotonic() if now is None else now
+        tokens, at = self._buckets.get(tenant, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - at) * self.rate)
+        if tokens >= 1.0:
+            self._buckets[tenant] = (tokens - 1.0, now)
+            return 0.0
+        self._buckets[tenant] = (tokens, now)
+        return (1.0 - tokens) / self.rate
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str, headers: Optional[dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class WhatIfService:
+    """The serving loop; see the module docstring for the contract.
+
+    Parameters
+    ----------
+    slots / serial:
+        Worker-pool shape for cold queries (``serial=True`` keeps
+        everything in-process — the test fixture's mode).
+    cache_dir:
+        Backing :class:`ResultCache` directory; share it with campaign
+        runs to serve their cells warm.
+    rate / burst:
+        Per-tenant token-bucket limit for ``POST /query``.  ``rate=None``
+        disables limiting (the throughput bench's mode).
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slots: Optional[int] = None,
+        serial: Optional[bool] = None,
+        cache_dir: Union[str, Path, None] = None,
+        rate: Optional[float] = None,
+        burst: int = 20,
+        use_disk_cache: bool = True,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self._slots = slots
+        self._serial = serial
+        self.cache = ResultCache(Path(cache_dir) if cache_dir else DEFAULT_CACHE_DIR)
+        self._use_disk_cache = bool(use_disk_cache)
+        self.limiter = None if rate is None else TokenBucket(rate, burst)
+        self._memo: dict[str, bytes] = {}
+        # payload (canonical JSON) -> (cell, cache key): normalize_query
+        # re-expands a single-point Campaign and hashes a scenario on every
+        # call, which dominates the warm path; repeat queries skip it.
+        self._query_memo: dict[str, tuple[CampaignCell, str]] = {}
+        self._inflight: dict[str, "asyncio.Future[bytes]"] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._session: Optional[AsyncSession] = None
+        self.stats: dict[str, int] = {
+            "queries": 0, "warm": 0, "cold": 0, "coalesced": 0,
+            "rate_limited": 0, "rejected": 0, "errors": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._session = AsyncSession(slots=self._slots, serial=self._serial)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for future in self._inflight.values():
+            if not future.done():
+                future.cancel()
+        self._inflight.clear()
+        if self._session is not None:
+            await self._session.close()
+            self._session = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def __aenter__(self) -> "WhatIfService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # -- metrics ---------------------------------------------------------------
+    def _count(self, stat: str, help: str) -> None:
+        self.stats[stat] += 1
+        telemetry = obs.current()
+        if telemetry is not None:
+            telemetry.metrics.counter(f"whatif.{stat}", help).inc()
+
+    def _observe_latency(self, seconds: float) -> None:
+        telemetry = obs.current()
+        if telemetry is not None:
+            telemetry.metrics.histogram(
+                "whatif.latency", "what-if query latency (s)"
+            ).observe(seconds)
+
+    # -- the query path --------------------------------------------------------
+    def _body_for(self, cell: CampaignCell, key: str, record: dict[str, Any]) -> bytes:
+        """The deterministic response body — identical warm or cold."""
+        return (
+            canonical_json(
+                {
+                    "cell_id": cell.cell_id,
+                    "coordinates": cell.coordinates,
+                    "key": key[:16],
+                    "code_version": code_version(),
+                    "record": record,
+                    "metrics": extract_metrics("hpl", cell, record),
+                }
+            ).encode()
+            + b"\n"
+        )
+
+    async def answer(self, payload: Mapping[str, Any], *, tenant: str = "anon") -> tuple[bytes, str]:
+        """Answer one query; returns ``(body, cache_status)``.
+
+        ``cache_status`` is ``"warm"`` (memo or disk cache; no pool task),
+        ``"cold"`` (this query ran it) or ``"coalesced"`` (rode an
+        identical in-flight query's pool task).
+        """
+        started = time.monotonic()
+        self._count("queries", "what-if queries received")
+        query_key = canonical_json(dict(payload))
+        memoized = self._query_memo.get(query_key)
+        if memoized is None:
+            cell = normalize_query(payload)
+            key = cell.cache_key()
+            self._query_memo[query_key] = (cell, key)
+        else:
+            cell, key = memoized
+
+        body = self._memo.get(key)
+        if body is None and self._use_disk_cache:
+            hit, value = self.cache.get(key)
+            if hit:
+                body = self._body_for(cell, key, normalize_record(value))
+                self._memo[key] = body
+        if body is not None:
+            current_policy().stats.count_cache(True)
+            self._count("warm", "what-if queries answered from cache")
+            self._observe_latency(time.monotonic() - started)
+            return body, "warm"
+
+        future = self._inflight.get(key)
+        if future is not None:
+            self._count("coalesced", "what-if queries coalesced onto in-flight work")
+            body = await asyncio.shield(future)
+            self._observe_latency(time.monotonic() - started)
+            return body, "coalesced"
+
+        current_policy().stats.count_cache(False)
+        assert self._session is not None, "service is not started"
+        scenario = cell.scenario()
+        # Register the in-flight future BEFORE submitting: identical queries
+        # arriving while this one executes must find it and coalesce rather
+        # than scheduling their own pool task.
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self._count("cold", "what-if queries that scheduled a run")
+        try:
+            try:
+                handle = self._session.submit(scenario, tenant=f"whatif/{tenant}")
+            except AdmissionFull as exc:
+                self._count("rejected", "what-if queries rejected at admission")
+                raise _HttpError(503, str(exc), {"Retry-After": "1"}) from exc
+            result = await handle.result()
+            record = normalize_record(
+                {
+                    "v": 1,
+                    "hash": scenario.content_hash(),
+                    "scheduler": scenario.scheduler_name,
+                    "n": scenario.n,
+                    "seed": scenario.seed,
+                    "gflops": result.gflops,
+                    "elapsed": result.elapsed,
+                    "degraded": None if result.degraded is None else str(result.degraded),
+                }
+            )
+            body = self._body_for(cell, key, record)
+            self._memo[key] = body
+            if self._use_disk_cache:
+                self.cache.put(key, record, task="campaign.cell", args=cell.coordinates)
+            future.set_result(body)
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            future.exception()  # mark retrieved; the raise below reports it
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        self._observe_latency(time.monotonic() - started)
+        return body, "cold"
+
+    # -- HTTP ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, response, extra = await self._route(method, path, headers, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                _write_response(writer, status, response, extra, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                # Swallowing CancelledError here is deliberate: the loop is
+                # tearing down and a handler task that ends "cancelled" makes
+                # asyncio's stream protocol log a spurious traceback.
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _route(
+        self, method: str, path: str, headers: Mapping[str, str], body: bytes
+    ) -> tuple[int, bytes, dict[str, str]]:
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, b'{"ok": true}\n', {}
+            if method == "GET" and path == "/stats":
+                payload = dict(self.stats)
+                payload["memo_entries"] = len(self._memo)
+                payload["in_flight"] = len(self._inflight)
+                return 200, (json.dumps(payload) + "\n").encode(), {}
+            if method == "GET" and path == "/presets":
+                payload = {
+                    "machines": {
+                        name: {
+                            "description": machine_preset(name).description,
+                            "default_grid": list(machine_preset(name).default_grid),
+                            "elements": machine_preset(name).n_elements,
+                        }
+                        for name in machine_names()
+                    },
+                    "faults": list(fault_names()) + ["stragglers-<percent>pct"],
+                }
+                return 200, (json.dumps(payload) + "\n").encode(), {}
+            if path == "/query":
+                if method != "POST":
+                    return 405, b'{"error": "POST only"}\n', {"Allow": "POST"}
+                tenant = headers.get("x-tenant", "anon")
+                if self.limiter is not None:
+                    retry = self.limiter.try_acquire(tenant)
+                    if retry > 0.0:
+                        self._count("rate_limited", "what-if queries 429ed")
+                        return (
+                            429,
+                            b'{"error": "rate limited"}\n',
+                            {"Retry-After": f"{retry:.3f}"},
+                        )
+                try:
+                    payload = json.loads(body.decode() or "{}")
+                    if not isinstance(payload, dict):
+                        raise ValueError("query body must be a JSON object")
+                except ValueError as exc:
+                    raise _HttpError(400, f"bad query: {exc}") from exc
+                try:
+                    answer, cache_status = await self.answer(payload, tenant=tenant)
+                except (ValueError, TypeError, KeyError) as exc:
+                    raise _HttpError(400, f"bad query: {exc}") from exc
+                return 200, answer, {"X-Cache": cache_status}
+            return 404, b'{"error": "not found"}\n', {}
+        except _HttpError as exc:
+            if exc.status >= 500:
+                self._count("errors", "what-if queries that failed")
+            return (
+                exc.status,
+                (json.dumps({"error": exc.message}) + "\n").encode(),
+                exc.headers,
+            )
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            self._count("errors", "what-if queries that failed")
+            return 500, (json.dumps({"error": str(exc)}) + "\n").encode(), {}
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[tuple[str, str, dict[str, str], bytes]]:
+    """Parse one HTTP/1.1 request; None on clean EOF before a request line."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not line or not line.strip():
+        return None
+    try:
+        method, path, _version = line.decode().split(None, 2)
+    except ValueError:
+        return None
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, headers, body
+
+
+def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    extra: Mapping[str, str],
+    keep_alive: bool,
+) -> None:
+    head = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)

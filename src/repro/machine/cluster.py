@@ -96,6 +96,23 @@ class ElementRateTable:
         )
 
 
+def spec_digest(spec: ClusterSpec) -> str:
+    """A short, process-stable digest of a full :class:`ClusterSpec`.
+
+    Covers every field of the spec tree (node populations, GPU/CPU/PCIe
+    constants, interconnect, variability), so two machines differing in any
+    calibrated number digest differently while the same preset digests
+    identically in every process.  This is what cache keys and scenario
+    content hashes use as the machine identity — never ``repr`` of a live
+    object, which bakes in a memory address.
+    """
+    import hashlib
+
+    from repro.exec.cache import canonical_json
+
+    return hashlib.sha256(canonical_json(spec).encode()).hexdigest()[:16]
+
+
 class Cluster:
     """A TianHe-1-like machine: spec + frozen per-element random draws.
 
@@ -118,6 +135,27 @@ class Cluster:
         depth_rng = self._stream.child("drift").generator()
         self._drift_depths = var.thermal_drift_depth * depth_rng.uniform(0.5, 1.5, size=n)
         self._table: Optional[ElementRateTable] = None
+
+    def content_key(self) -> dict:
+        """The machine's identity as cache-key data: spec digest + seed.
+
+        Everything that determines behaviour enters — the spec through
+        :func:`spec_digest`, the frozen random draws through ``seed`` —
+        and nothing process-local does, so the same preset built twice
+        (or in two processes) keys identically and two different presets
+        can never alias.
+        """
+        return {
+            "name": self.spec.name,
+            "spec": spec_digest(self.spec),
+            "seed": self.seed,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.spec.name!r}, elements={self.n_elements}, "
+            f"seed={self.seed}, spec={spec_digest(self.spec)})"
+        )
 
     @property
     def n_elements(self) -> int:

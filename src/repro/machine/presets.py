@@ -156,6 +156,89 @@ def full_system_cluster(
     )
 
 
+# -- Frontier-style exascale node (PAPERS.md: arXiv 2304.10397) ----------------
+#
+# The campaign layer's second machine family: one node of a Frontier-like
+# exascale system — 4x MI250X (8 GCDs, each a "compute element" here) fed by
+# a 64-core Trento EPYC, GCDs linked to the host over Infinity Fabric and
+# nodes over Slingshot-11.  Constants follow the public HPL-on-Frontier
+# numbers (arXiv 2304.10397): ~26.5 TFLOPS FP64 vector peak per GCD at
+# 1.7 GHz, 64 GB HBM2e per GCD, ~36 GB/s host<->GCD per direction, 4x25 GB/s
+# NICs per node.  The point is not RV770-grade calibration — it is a second,
+# honestly-different preset so campaigns and what-if queries span machine
+# generations, with identities that can never alias in the result cache.
+
+#: An 8-core slice of the 64-core EPYC 7A53 (Trento, Zen 3): one slice per
+#: GCD, 16 DP flops/cycle at the 2.0 GHz all-core base.
+EPYC_TRENTO_SLICE = CPUSpec(
+    name="EPYC 7A53 slice",
+    n_cores=8,
+    core_peak_flops=32.0e9,
+    dgemm_efficiency=0.90,
+)
+
+#: One Graphics Compute Die of an AMD Instinct MI250X.
+MI250X_GCD = GPUSpec(
+    name="MI250X GCD",
+    ref_clock_mhz=1700.0,
+    peak_flops_at_ref=26.5e12,
+    ref_mem_clock_mhz=1600.0,
+    local_memory_bytes=64 * GB,
+    max_texture_dim=65536,
+    eff_max=0.82,  # rocBLAS dgemm fraction of vector peak at large N
+    w_half=6e12,   # efficiency knee: GCDs need multi-Tflop tiles to saturate
+    kernel_launch_overhead=6e-6,
+)
+
+#: Host<->GCD Infinity Fabric path (modelled through the PCIe-path shape).
+INFINITY_FABRIC = PCIeSpec(
+    pageable_bw=16.0 * GB,
+    pinned_bw=36.0 * GB,
+    gpu_bw=200.0 * GB,
+    latency=2e-6,
+    pinned_chunk_bytes=64 * MB,
+)
+
+#: Slingshot-11: four 200 Gb/s NICs per node, ~2 us MPI latency.
+SLINGSHOT_11 = InterconnectSpec(bandwidth=100.0 * GB, latency=2e-6)
+
+#: MI250X reference clock (per-GCD peak is quoted at 1.7 GHz).
+FRONTIER_CLOCK_MHZ = 1700.0
+
+
+def frontier_element(gpu_clock_mhz: float = FRONTIER_CLOCK_MHZ) -> ElementSpec:
+    """One Frontier compute element: an EPYC slice driving one MI250X GCD."""
+    return ElementSpec(
+        cpu=EPYC_TRENTO_SLICE,
+        gpu=MI250X_GCD,
+        pcie=INFINITY_FABRIC,
+        gpu_clock_mhz=gpu_clock_mhz,
+        transfer_core=0,
+    )
+
+
+def frontier_node(gpu_clock_mhz: float = FRONTIER_CLOCK_MHZ) -> NodeSpec:
+    """One Frontier-style node: 8 GCD-elements, 512 GB of host DDR4."""
+    element = frontier_element(gpu_clock_mhz)
+    return NodeSpec(elements=(element,) * 8, shared_memory_bytes=512 * GB)
+
+
+def frontier_cluster(
+    nodes: int = 1,
+    gpu_clock_mhz: float = FRONTIER_CLOCK_MHZ,
+    variability: VariabilitySpec = DEFAULT_VARIABILITY,
+) -> ClusterSpec:
+    """A Frontier-style machine of *nodes* nodes (8 GCD-elements each)."""
+    return ClusterSpec(
+        name=f"Frontier[{nodes} nodes]",
+        cabinets=nodes,
+        nodes_per_cabinet=1,
+        node_specs=((0, frontier_node(gpu_clock_mhz)),),
+        interconnect=SLINGSHOT_11,
+        variability=variability,
+    )
+
+
 def tianhe1_cluster(
     cabinets: int = 80,
     gpu_clock_mhz: float = DOWNCLOCKED_MHZ,

@@ -58,6 +58,11 @@ TRACKED_METRICS: dict[str, str] = {
     # adaptive scheduler wins; a drop means a scheduler-zoo change shifted
     # the competitive landscape (bench_perf entries simply lack the key).
     "tournament.adaptive_win_rate": "higher",
+    # From bench_whatif_service.py: the warm-path throughput gate of the
+    # what-if query service (HTTP, 8 keep-alive connections, single
+    # process) and its per-request tail latency.
+    "whatif_service.warm_queries_per_second": "higher",
+    "whatif_service.p99_latency_ms": "lower",
 }
 
 #: Default regression threshold: worse by more than this fraction flags.

@@ -139,7 +139,10 @@ class Scenario:
         version (the manifest carries that separately).  The scheduler
         enters by name — legacy spellings hash as they always did — so a
         :class:`Scheduler` instance with in-run learned state hashes like a
-        fresh one of its kind.
+        fresh one of its kind.  An explicit cluster enters through
+        :meth:`repro.machine.cluster.Cluster.content_key` (spec digest +
+        seed), so the hash is stable across processes and two different
+        machine presets with otherwise-equal scenario fields never collide.
         """
         import hashlib
 
@@ -148,7 +151,7 @@ class Scenario:
         payload = {
             "configuration": self.scheduler_name,
             "n": self.n,
-            "cluster": None if self.cluster is None else repr(self.cluster),
+            "cluster": None if self.cluster is None else self.cluster.content_key(),
             "grid": (self.grid.nprow, self.grid.npcol),
             "gpu_clock_mhz": self.gpu_clock_mhz,
             "variability": self.variability,

@@ -1,0 +1,133 @@
+"""Fixtures for the campaign + what-if service end-to-end kit.
+
+The central fixture is ``whatif_server``: a live :class:`WhatIfService`
+bound to an ephemeral port, its asyncio event loop running in a daemon
+thread, its worker pool in serial mode (everything in-process — fast and
+deterministic), its result cache in a per-test temp directory.  Tests
+talk to it over real HTTP via :func:`post_query` / :func:`get_json`, so
+the wire path — parsing, headers, keep-alive, status codes — is what's
+under test, not a shortcut around it.
+
+Telemetry: ``campaign_telemetry`` installs an ambient
+:class:`repro.obs.Telemetry` and a fresh :class:`ExecutionPolicy` *before*
+the server starts.  The ambient stacks are module-level (visible across
+threads), so counters incremented on the server's loop thread —
+``session.submitted``, ``exec.cache.*``, ``whatif.*`` — are exactly what
+the test thread asserts on.  That is the mechanism behind the kit's two
+core assertions: a warm query schedules **zero pool tasks**, and N
+identical concurrent cold queries schedule **one**.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from typing import Any, Optional
+
+import pytest
+
+from repro import obs
+from repro.campaign.service import WhatIfService
+from repro.exec import policy as exec_policy
+
+
+class ServerFixture:
+    """A running service + the loop handle tests use to reach it."""
+
+    def __init__(self, service: WhatIfService, loop: asyncio.AbstractEventLoop):
+        self.service = service
+        self.loop = loop
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        *,
+        tenant: str = "test",
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One HTTP round-trip; returns (status, lowercased headers, body)."""
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {"X-Tenant": tenant}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                {name.lower(): value for name, value in response.getheaders()},
+                data,
+            )
+        finally:
+            conn.close()
+
+    def post_query(self, query: dict, *, tenant: str = "test"):
+        return self.request("POST", "/query", query, tenant=tenant)
+
+    def get_json(self, path: str) -> Any:
+        status, _, body = self.request("GET", path)
+        assert status == 200, f"GET {path} -> {status}: {body.decode()!r}"
+        return json.loads(body)
+
+
+@pytest.fixture
+def campaign_telemetry():
+    """Ambient telemetry + a fresh exec policy, shared with the loop thread."""
+    telemetry = obs.Telemetry()
+    policy = exec_policy.ExecutionPolicy(jobs=1)
+    with obs.use(telemetry), exec_policy.use(policy):
+        yield telemetry
+
+
+@pytest.fixture
+def make_whatif_server(tmp_path, campaign_telemetry):
+    """Factory fixture: start a serial in-process server with chosen knobs."""
+    started: list[tuple[ServerFixture, threading.Thread]] = []
+
+    def start(**kwargs: Any) -> ServerFixture:
+        kwargs.setdefault("serial", True)
+        kwargs.setdefault("cache_dir", tmp_path / "cache")
+        service = WhatIfService(**kwargs)
+        ready = threading.Event()
+        loop_holder: dict[str, asyncio.AbstractEventLoop] = {}
+
+        async def _run() -> None:
+            await service.start()
+            loop_holder["loop"] = asyncio.get_running_loop()
+            ready.set()
+            try:
+                await service.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await service.stop()
+
+        thread = threading.Thread(target=lambda: asyncio.run(_run()), daemon=True)
+        thread.start()
+        assert ready.wait(timeout=30), "what-if server never came up"
+        fixture = ServerFixture(service, loop_holder["loop"])
+        started.append((fixture, thread))
+        return fixture
+
+    yield start
+
+    for fixture, thread in started:
+        for task in asyncio.all_tasks(fixture.loop):
+            fixture.loop.call_soon_threadsafe(task.cancel)
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "server thread failed to shut down"
+
+
+@pytest.fixture
+def whatif_server(make_whatif_server):
+    """The default server: serial pool, per-test cache, no rate limit."""
+    return make_whatif_server()

@@ -1,0 +1,149 @@
+"""Cache-key identity: machine presets must never alias a cache entry.
+
+The regression this pins: ``Scenario.content_hash()`` used to fold the
+cluster in as ``repr(self.cluster)`` — the default object repr, i.e. a
+memory address.  Two consequences, both fatal for a content-addressed
+cache:
+
+* the hash changed between processes (same scenario, different address),
+  so resume and cross-run caching silently missed; and
+* it carried no spec information beyond the address, so two *different*
+  machine presets with otherwise-equal scenario fields could collide.
+
+Now the cluster contributes ``Cluster.content_key()`` (name, spec digest,
+seed) and campaign cache keys additionally embed
+:meth:`MachinePreset.identity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.campaign.model import Campaign, CampaignCell, machine_preset
+from repro.machine.cluster import Cluster, spec_digest
+from repro.machine.presets import frontier_cluster, tianhe1_cluster
+from repro.session import Scenario
+
+
+def cell_for(machine: str, **kw) -> CampaignCell:
+    defaults = dict(
+        campaign="keys", machine=machine, scheduler="adaptive", n=8000,
+        grid=(2, 2), bcast=None, fault="none", rep=0, seed=1234,
+    )
+    defaults.update(kw)
+    return CampaignCell(**defaults)
+
+
+class TestClusterContentKey:
+    def test_repr_is_stable_and_address_free(self):
+        spec = tianhe1_cluster(cabinets=1)
+        a, b = Cluster(spec, seed=2009), Cluster(spec, seed=2009)
+        assert repr(a) == repr(b)
+        assert "0x" not in repr(a)
+        assert spec_digest(spec) in repr(a)
+
+    def test_content_key_equal_for_equal_machines(self):
+        spec = tianhe1_cluster(cabinets=1)
+        assert Cluster(spec, seed=2009).content_key() == Cluster(
+            spec, seed=2009
+        ).content_key()
+
+    def test_content_key_tracks_spec_and_seed(self):
+        tianhe = Cluster(tianhe1_cluster(cabinets=1), seed=2009)
+        frontier = Cluster(frontier_cluster(nodes=1), seed=2009)
+        reseeded = Cluster(tianhe1_cluster(cabinets=1), seed=2010)
+        keys = [c.content_key() for c in (tianhe, frontier, reseeded)]
+        assert len({tuple(sorted(k.items())) for k in keys}) == 3
+
+    def test_spec_digest_sees_component_changes(self):
+        spec = tianhe1_cluster(cabinets=1)
+        slowed = replace(spec, variability=spec.variability)
+        assert spec_digest(spec) == spec_digest(slowed)  # no-op replace
+        downclocked = replace(
+            spec, interconnect=replace(spec.interconnect, latency=1e-3)
+        )
+        assert spec_digest(spec) != spec_digest(downclocked)
+
+
+class TestScenarioHashStability:
+    def test_equal_cluster_scenarios_hash_equal(self):
+        spec = tianhe1_cluster(cabinets=1)
+        a = Scenario(scheduler="adaptive", n=8000, cluster=Cluster(spec, seed=2009))
+        b = Scenario(scheduler="adaptive", n=8000, cluster=Cluster(spec, seed=2009))
+        assert a.content_hash() == b.content_hash()
+
+    def test_different_machines_hash_differently(self):
+        a = Scenario(
+            scheduler="adaptive", n=8000,
+            cluster=Cluster(tianhe1_cluster(cabinets=1), seed=2009), grid=(2, 4),
+        )
+        b = Scenario(
+            scheduler="adaptive", n=8000,
+            cluster=Cluster(frontier_cluster(nodes=1), seed=2009), grid=(2, 4),
+        )
+        assert a.content_hash() != b.content_hash()
+
+
+class TestCampaignCellKeys:
+    def test_presets_with_equal_scenario_fields_do_not_alias(self):
+        # Same n, grid, scheduler, seed — only the preset differs.  Before
+        # the fix these could collide (the cluster's contribution was an
+        # unstable address, equal by coincidence or absent).
+        tianhe = cell_for("tianhe1-cabinet")
+        frontier = cell_for("frontier-node")
+        assert tianhe.cache_key() != frontier.cache_key()
+
+    def test_key_is_reproducible(self):
+        assert cell_for("element").cache_key() == cell_for("element").cache_key()
+
+    def test_campaign_name_is_provenance_not_content(self):
+        # A campaign run and a what-if query for the same semantic point
+        # must share one cache entry — that is how campaigns pre-warm the
+        # service.
+        a = cell_for("element", campaign="nightly")
+        b = cell_for("element", campaign="whatif")
+        assert a.cache_key() == b.cache_key()
+        assert a.cell_id != b.cell_id  # reports still tell them apart
+
+    def test_every_other_coordinate_is_content(self):
+        base = cell_for("element")
+        variants = [
+            cell_for("element", scheduler="static"),
+            cell_for("element", n=12000),
+            cell_for("element", grid=(1, 1)),
+            cell_for("element", bcast="binomial"),
+            cell_for("element", fault="gpu-throttle"),
+            cell_for("element", rep=1, seed=4321),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == 1 + len(variants)
+
+    def test_cross_process_key_stability(self):
+        # The original bug was address-dependence: the same cell hashed
+        # differently in a fresh interpreter.  Recompute in a subprocess.
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        code = (
+            "from tests.campaign.test_cache_key import cell_for;"
+            "print(cell_for('tianhe1-cabinet').cache_key())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            cwd=str(Path(src).parent),
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+        )
+        assert out.stdout.strip() == cell_for("tianhe1-cabinet").cache_key()
+
+    def test_preset_identity_in_campaign_expansion(self):
+        campaign = Campaign(
+            name="alias", sizes=(8000,), machines=("tianhe1-cabinet", "frontier-node"),
+            grids=((2, 2),),
+        )
+        cells = campaign.expand()
+        assert len({c.cache_key() for c in cells}) == len(cells)

@@ -1,0 +1,141 @@
+"""Metric extractors and the JSONL/CSV/HTML exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.export import read_jsonl, to_csv, to_html, to_jsonl, write_artifacts
+from repro.campaign.extract import (
+    MetricExtractor,
+    extract_metrics,
+    extractor_names,
+    metric_extractor,
+    register_extractor,
+)
+from repro.campaign.model import Campaign, CampaignCell, machine_preset
+from repro.campaign.runner import CampaignResult, CellOutcome, normalize_record
+
+
+def fake_record(gflops: float = 75.0, elapsed: float = 4.5) -> dict:
+    return normalize_record(
+        {
+            "v": 1, "hash": "f" * 16, "scheduler": "adaptive", "n": 8000,
+            "seed": 1, "gflops": gflops, "elapsed": elapsed, "degraded": None,
+            "wall": 123.0, "tenant": "x",  # volatile fields normalize away
+        }
+    )
+
+
+def fake_result(n_cells: int = 2) -> CampaignResult:
+    campaign = Campaign(name="fake", sizes=tuple(8000 + 1000 * i for i in range(n_cells)))
+    outcomes = []
+    for i, cell in enumerate(campaign.expand()):
+        outcomes.append(
+            CellOutcome(
+                cell=cell,
+                record=fake_record(gflops=70.0 + i),
+                provenance={
+                    "key": f"{i:016x}", "code_version": "deadbeef",
+                    "cell_id": cell.cell_id,
+                    "cache": "hit" if i % 2 else "miss", "journal": None,
+                },
+            )
+        )
+    return CampaignResult(campaign=campaign, outcomes=outcomes)
+
+
+class TestExtractors:
+    def test_registry_names(self):
+        assert "hpl" in extractor_names() and "raw" in extractor_names()
+        with pytest.raises(ValueError, match="valid:"):
+            metric_extractor("perf")
+
+    def test_hpl_extractor_metrics(self):
+        cell = fake_result().cells[0]
+        metrics = extract_metrics("hpl", cell, fake_record(gflops=75.0, elapsed=4.5))
+        assert metrics["gflops"] == 75.0
+        assert metrics["tflops"] == pytest.approx(0.075)
+        assert metrics["time"] == 4.5
+        peak = machine_preset("element").peak_gflops((1, 1))
+        assert metrics["efficiency"] == pytest.approx(75.0 / peak)
+        assert 0 < metrics["efficiency"] < 1
+        assert metrics["machine"] == "element"
+        assert set(metrics) == set(metric_extractor("hpl").METRICS)
+
+    def test_missing_record_extracts_empty(self):
+        cell = fake_result().cells[0]
+        assert extract_metrics("hpl", cell, None) == {}
+
+    def test_custom_extractor_registration(self):
+        @register_extractor
+        class _Doubler(MetricExtractor):
+            name = "test-doubler"
+            METRICS = {"double_gflops": "GFlop/s"}
+
+            def extract(self, cell, record):
+                return {"double_gflops": 2 * record["gflops"]}
+
+        try:
+            cell = fake_result().cells[0]
+            out = extract_metrics("test-doubler", cell, fake_record(gflops=10.0))
+            assert out == {"double_gflops": 20.0}
+            # A campaign can name it declaratively now.
+            Campaign(name="custom", sizes=(8000,), extractor="test-doubler")
+        finally:
+            from repro.campaign import extract as extract_mod
+
+            extract_mod._EXTRACTORS.pop("test-doubler", None)
+
+    def test_normalize_record_strips_volatile_fields(self):
+        record = fake_record()
+        assert "wall" not in record and "tenant" not in record
+        assert record["gflops"] == 75.0
+
+
+class TestExporters:
+    def test_jsonl_round_trips(self):
+        result = fake_result(3)
+        rows = result.rows()
+        assert read_jsonl(to_jsonl(result)) == json.loads(json.dumps(rows))
+
+    def test_jsonl_is_line_per_cell_and_deterministic(self):
+        result = fake_result(3)
+        text = to_jsonl(result)
+        assert text.count("\n") == 3
+        assert text == to_jsonl(result)
+
+    def test_csv_header_and_rows(self):
+        result = fake_result(2)
+        lines = to_csv(result).strip().splitlines()
+        assert len(lines) == 3
+        header = lines[0].split(",")
+        for column in ("cell_id", "machine", "scheduler", "n", "gflops", "cache", "key"):
+            assert column in header
+        first = dict(zip(header, lines[1].split(",")))
+        assert first["cache"] == "miss" and first["gflops"] == "70.0"
+
+    def test_html_report_contains_provenance(self):
+        result = fake_result(2)
+        html_text = to_html(result)
+        assert "<!doctype html>" in html_text
+        for outcome in result.outcomes:
+            assert outcome.cell.cell_id in html_text
+            assert outcome.provenance["key"] in html_text
+        assert "deadbeef" in html_text  # code version
+        assert ">hit</td>" in html_text and ">miss</td>" in html_text
+        import html as html_mod
+
+        spec = json.dumps(result.campaign.to_dict(), indent=2)
+        assert html_mod.escape(spec)[:40] in html_text
+
+    def test_write_artifacts(self, tmp_path):
+        result = fake_result(2)
+        paths = write_artifacts(result, tmp_path / "out")
+        assert set(paths) == {"jsonl", "csv", "html", "spec"}
+        for path in paths.values():
+            assert path.exists() and path.stat().st_size > 0
+        spec = json.loads(paths["spec"].read_text())
+        assert Campaign.from_dict(spec) == result.campaign
+        assert read_jsonl(paths["jsonl"]) == json.loads(json.dumps(result.rows()))

@@ -1,0 +1,187 @@
+"""The declarative campaign model: presets, faults, expansion, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.model import (
+    MACHINES,
+    Campaign,
+    fault_model,
+    machine_names,
+    machine_preset,
+)
+
+
+class TestMachinePresets:
+    def test_registry_covers_paper_and_exascale_machines(self):
+        # The acceptance floor: TianHe-1 (the paper) AND a Frontier-style
+        # node (PAPERS.md, arXiv 2304.10397) must both be queryable.
+        names = machine_names()
+        assert "element" in names
+        assert "tianhe1-cabinet" in names and "tianhe1-full" in names
+        assert "frontier-node" in names and "frontier-64node" in names
+
+    def test_element_preset_has_no_cluster(self):
+        preset = machine_preset("element")
+        assert preset.spec() is None
+        assert preset.build_cluster() is None
+        assert preset.n_elements == 1
+        assert preset.identity()["spec"] == "single-element"
+
+    def test_frontier_node_shape(self):
+        preset = machine_preset("frontier-node")
+        assert preset.n_elements == 8  # 4 MI250X = 8 GCDs
+        assert preset.default_grid == (2, 4)
+        cluster = preset.build_cluster()
+        assert cluster.n_elements == 8
+        # An MI250X GCD is ~2 orders of magnitude past the paper's RV770.
+        element_peak = machine_preset("element").peak_gflops((1, 1))
+        frontier_peak = preset.peak_gflops((1, 1))
+        assert frontier_peak > 20 * element_peak
+
+    def test_identity_distinguishes_presets(self):
+        identities = [
+            tuple(sorted(machine_preset(name).identity().items()))
+            for name in machine_names()
+        ]
+        assert len(set(identities)) == len(identities)
+
+    def test_unknown_preset_raises_with_valid_list(self):
+        with pytest.raises(ValueError, match="element"):
+            machine_preset("summit")
+
+
+class TestFaultModels:
+    def test_none_builds_nothing(self):
+        assert fault_model("none").build(64, seed=1) is None
+
+    def test_straggler_fraction_scales_with_machine(self):
+        spec = fault_model("stragglers-2pct").build(100, seed=1)
+        assert len(spec.stragglers) == 2
+        spec = fault_model("stragglers-2pct").build(5120, seed=1)
+        assert len(spec.stragglers) == round(0.02 * 5120)
+
+    def test_straggler_selection_is_seeded(self):
+        a = fault_model("stragglers-5pct").build(64, seed=9)
+        b = fault_model("stragglers-5pct").build(64, seed=9)
+        c = fault_model("stragglers-5pct").build(64, seed=10)
+        assert [s.element for s in a.stragglers] == [s.element for s in b.stragglers]
+        assert [s.element for s in a.stragglers] != [s.element for s in c.stragglers]
+
+    def test_parametric_straggler_names(self):
+        model = fault_model("stragglers-7.5pct")
+        assert model.fraction == pytest.approx(0.075)
+        with pytest.raises(ValueError):
+            fault_model("stragglers-200pct")
+        with pytest.raises(ValueError, match="stragglers-<percent>pct"):
+            fault_model("bitflips")
+
+    def test_small_machine_still_gets_one_straggler(self):
+        spec = fault_model("stragglers-2pct").build(1, seed=3)
+        assert len(spec.stragglers) == 1
+
+
+class TestCampaignExpansion:
+    def test_cross_product_shape_and_order(self):
+        campaign = Campaign(
+            name="shape",
+            sizes=(8000, 12000),
+            schedulers=("adaptive", "static"),
+            faults=("none", "gpu-throttle"),
+            repetitions=2,
+        )
+        cells = campaign.expand()
+        assert len(cells) == 2 * 2 * 2 * 2
+        # Canonical nesting: scheduler varies slower than n, n slower than
+        # fault, fault slower than rep.
+        assert [c.scheduler for c in cells[:8]] == ["adaptive"] * 8
+        assert [c.n for c in cells[:4]] == [8000] * 4
+        assert [(c.fault, c.rep) for c in cells[:4]] == [
+            ("none", 0), ("none", 1), ("gpu-throttle", 0), ("gpu-throttle", 1),
+        ]
+
+    def test_default_grid_comes_from_preset(self):
+        campaign = Campaign(name="grids", sizes=(8000,), machines=("tianhe1-cabinet",))
+        (cell,) = campaign.expand()
+        assert cell.grid == MACHINES["tianhe1-cabinet"].default_grid
+
+    def test_duplicate_axis_values_expand_once(self):
+        campaign = Campaign(name="dupes", sizes=(8000, 8000, 12000))
+        assert [c.n for c in campaign.expand()] == [8000, 12000]
+
+    def test_seed_is_semantic_not_positional(self):
+        base = Campaign(name="seeds", sizes=(8000, 12000))
+        grown = Campaign(name="seeds", sizes=(4000, 8000, 12000))
+        by_n_base = {c.n: c.seed for c in base.expand()}
+        by_n_grown = {c.n: c.seed for c in grown.expand()}
+        assert by_n_base == {n: by_n_grown[n] for n in by_n_base}
+
+    def test_bcast_aliases_canonicalize(self):
+        campaign = Campaign(name="bcast", sizes=(8000,), bcasts=("ring",))
+        assert campaign.bcasts == ("1ring",)
+
+    def test_scenario_carries_faults_and_overrides(self):
+        campaign = Campaign(
+            name="scenario",
+            sizes=(8000,),
+            machines=("tianhe1-cabinet",),
+            faults=("stragglers-5pct",),
+            bcasts=("binomial",),
+        )
+        (cell,) = campaign.expand()
+        scenario = cell.scenario()
+        assert scenario.cluster is not None
+        assert len(scenario.faults.stragglers) == round(0.05 * 64)
+        assert scenario.overrides == {"bcast_algo": "binomial"}
+        assert (scenario.grid.nprow, scenario.grid.npcol) == (8, 8)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(sizes=()), "at least one"),
+            (dict(sizes=(8000,), machines=("summit",)), "unknown machine"),
+            (dict(sizes=(8000,), schedulers=("fifo",)), "no HPL build"),
+            (dict(sizes=(8000,), faults=("bitflips",)), "unknown fault"),
+            (dict(sizes=(8000,), bcasts=("gossip",)), "unknown broadcast"),
+            (dict(sizes=(8000,), extractor="perf"), "unknown metric extractor"),
+            (dict(sizes=(-5,)), "must be > 0"),
+            (dict(sizes=(8000,), repetitions=0), "must be > 0"),
+        ],
+    )
+    def test_validation_happens_at_construction(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            Campaign(name="bad", **kwargs)
+
+
+class TestDeclarativeRoundTrip:
+    def test_from_dict_accepts_aliases_and_scalars(self):
+        campaign = Campaign.from_dict(
+            {"name": "aliased", "matrix": {"size": 8000, "machines": "element"}}
+        )
+        assert campaign.sizes == (8000,)
+        assert campaign.machines == ("element",)
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(ValueError, match="unknown campaign key"):
+            Campaign.from_dict({"name": "x", "matrix": {"n": [1000]}, "color": "red"})
+        with pytest.raises(ValueError, match="unknown matrix axis"):
+            Campaign.from_dict({"name": "x", "matrix": {"n": [1000], "gpu": ["a"]}})
+
+    def test_duplicate_axis_spellings_raise(self):
+        with pytest.raises(ValueError, match="more than once"):
+            Campaign.from_dict(
+                {"name": "x", "matrix": {"n": [1000], "size": [2000]}}
+            )
+
+    def test_to_dict_round_trips(self):
+        campaign = Campaign(
+            name="rt",
+            sizes=(8000, 12000),
+            machines=("element", "frontier-node"),
+            faults=("none", "stragglers-2pct"),
+            grids=(None, (2, 4)),
+            repetitions=2,
+            seed=99,
+        )
+        assert Campaign.from_dict(campaign.to_dict()) == campaign

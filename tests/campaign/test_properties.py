@@ -1,0 +1,121 @@
+"""Property suite: campaign expansion and export laws.
+
+Campaign expansion is the layer everything downstream keys off — cache
+keys, journals, reports — so its laws are pinned property-style over the
+full declarative input space (``tests.strategies.campaign_specs``):
+
+* **deterministic**: expanding twice yields identical cells;
+* **duplicate-free**: no two cells share semantic coordinates;
+* **order-stable**: matrix key order (and alias spelling) never changes
+  the expansion;
+* **seed-stable**: a cell's seed depends on its coordinates, not its
+  position — growing an axis never re-seeds existing cells;
+* **round-trip**: ``from_dict(to_dict(c)) == c`` and JSONL rows survive
+  dump/parse byte-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.campaign.export import read_jsonl, to_jsonl
+from repro.campaign.model import Campaign
+from repro.campaign.runner import CampaignResult, CellOutcome, normalize_record
+from tests.strategies import campaign_sizes, campaign_specs
+
+#: Expansion is pure compute — no per-example setup to reset.
+RELAXED = settings(
+    max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+def coords_tuple(cell):
+    return tuple(
+        (k, tuple(v) if isinstance(v, list) else v)
+        for k, v in sorted(cell.coordinates.items())
+    )
+
+
+@given(spec=campaign_specs())
+@RELAXED
+def test_expansion_is_deterministic(spec):
+    campaign = Campaign.from_dict(spec)
+    assert campaign.expand() == campaign.expand()
+
+
+@given(spec=campaign_specs())
+@RELAXED
+def test_expansion_is_duplicate_free(spec):
+    cells = Campaign.from_dict(spec).expand()
+    assert len({coords_tuple(c) for c in cells}) == len(cells)
+    assert len({c.cell_id for c in cells}) == len(cells)
+
+
+@given(spec=campaign_specs())
+@RELAXED
+def test_expansion_is_stable_under_matrix_key_permutation(spec):
+    reference = Campaign.from_dict(spec).expand()
+    permuted = dict(spec)
+    permuted["matrix"] = dict(reversed(list(spec["matrix"].items())))
+    assert Campaign.from_dict(permuted).expand() == reference
+
+
+@given(spec=campaign_specs())
+@RELAXED
+def test_declarative_round_trip(spec):
+    campaign = Campaign.from_dict(spec)
+    assert Campaign.from_dict(campaign.to_dict()) == campaign
+    # And through actual JSON text, not just dicts.
+    assert Campaign.from_dict(json.loads(json.dumps(campaign.to_dict()))) == campaign
+
+
+@given(spec=campaign_specs(), extra_sizes=campaign_sizes)
+@RELAXED
+def test_growing_an_axis_never_reseeds_existing_cells(spec, extra_sizes):
+    base = Campaign.from_dict(spec)
+    grown_spec = dict(spec)
+    grown_spec["matrix"] = dict(spec["matrix"])
+    key = next(k for k in ("n", "size", "sizes") if k in grown_spec["matrix"])
+    old = grown_spec["matrix"][key]
+    old_list = old if isinstance(old, list) else [old]
+    grown_spec["matrix"][key] = old_list + [
+        s for s in extra_sizes if s not in old_list
+    ]
+    grown = Campaign.from_dict(grown_spec)
+    base_seeds = {coords_tuple(c): c.seed for c in base.expand()}
+    grown_seeds = {coords_tuple(c): c.seed for c in grown.expand()}
+    for coords, seed in base_seeds.items():
+        assert grown_seeds[coords] == seed
+
+
+@given(spec=campaign_specs())
+@RELAXED
+def test_jsonl_rows_round_trip(spec):
+    campaign = Campaign.from_dict(spec)
+    cells = campaign.expand()[:6]
+    outcomes = [
+        CellOutcome(
+            cell=cell,
+            record=normalize_record(
+                {
+                    "v": 1, "hash": "0" * 16, "scheduler": cell.scheduler,
+                    "n": cell.n, "seed": cell.seed,
+                    "gflops": 50.0 + i, "elapsed": 1.0 + i, "degraded": None,
+                }
+            ),
+            provenance={
+                "key": f"{i:016x}", "code_version": "cafebabe",
+                "cell_id": cell.cell_id, "cache": "miss", "journal": None,
+            },
+        )
+        for i, cell in enumerate(cells)
+    ]
+    result = CampaignResult(campaign=campaign, outcomes=outcomes)
+    rows = result.rows()
+    parsed = read_jsonl(to_jsonl(result))
+    assert parsed == json.loads(json.dumps(rows))
+    # Dumping the parse reproduces the exact bytes (canonical form).
+    reparsed = CampaignResult(campaign=campaign, outcomes=outcomes)
+    assert to_jsonl(reparsed) == to_jsonl(result)

@@ -1,0 +1,165 @@
+"""SIGKILL a campaign mid-run; resume must re-run exactly the lost cells.
+
+Same harness as ``tests/session/test_resume_crash.py``, one layer up: the
+victim subprocess drives :func:`run_campaign` (journal at argv[1], disk
+cache disabled so only the journal can save work), the parent SIGKILLs it
+after a few journaled completions, and the assertions pin the campaign
+checkpoint contract:
+
+* the resume plan for the campaign's scenarios re-runs **exactly** the
+  un-journaled cells;
+* a resuming :func:`run_campaign` submits **only** those cells to the pool
+  (``session.submitted`` equals the lost count) and completes every cell;
+* the merged journal equals an uninterrupted campaign's, as a completion
+  multiset.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import obs
+from repro.campaign.model import Campaign
+from repro.campaign.runner import run_campaign
+from repro.exec import policy as exec_policy
+from repro.session import SweepJournal
+
+REPRO_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+#: The campaign both the victim and the parent agree on: ten element cells.
+CAMPAIGN = Campaign(
+    name="crash-campaign",
+    sizes=tuple(8000 + 100 * i for i in range(10)),
+    schedulers=("cpu",),
+)
+KILL_AFTER = 3
+
+VICTIM = textwrap.dedent(
+    """
+    import sys, time
+    import repro.session.runtime as runtime
+    from repro.campaign.model import Campaign
+    from repro.campaign.runner import run_campaign
+
+    _original = runtime._execute_scenario
+    def _slowed(scenario, events_path=None):
+        result = _original(scenario, events_path)
+        time.sleep(0.25)   # let the parent's kill land mid-campaign
+        return result
+    runtime._execute_scenario = _slowed
+
+    journal = sys.argv[1]
+    print(journal, flush=True)
+    campaign = Campaign(
+        name="crash-campaign",
+        sizes=tuple(8000 + 100 * i for i in range(10)),
+        schedulers=("cpu",),
+    )
+    run_campaign(
+        campaign, serial=True, use_cache=False, journal_path=journal, resume=True
+    )
+    print("CAMPAIGN-FINISHED", flush=True)   # must never be reached
+    """
+)
+
+
+@pytest.fixture
+def killed_campaign(tmp_path):
+    """Journal path of a campaign whose driver was SIGKILLed mid-run."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [REPRO_SRC, env.get("PYTHONPATH", "")])
+    )
+    journal = tmp_path / "campaign.jsonl"
+    process = subprocess.Popen(
+        [sys.executable, "-c", VICTIM, str(journal)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        printed = process.stdout.readline().strip()
+        assert printed == str(journal), process.stderr.read()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            records, _ = SweepJournal.load(journal)
+            if len(records) >= KILL_AFTER:
+                break
+            assert process.poll() is None, (
+                "campaign finished before the kill: " + process.stderr.read()
+            )
+            time.sleep(0.01)
+        else:
+            pytest.fail("campaign never journaled enough completions to kill")
+        process.kill()
+        process.wait(timeout=30)
+        assert process.returncode == -signal.SIGKILL
+        yield journal
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+
+class TestCampaignResumeAfterSigkill:
+    def test_plan_pends_exactly_the_unjournaled_cells(self, killed_campaign):
+        scenarios = [cell.scenario() for cell in CAMPAIGN.expand()]
+        records, _ = SweepJournal.load(killed_campaign)
+        assert KILL_AFTER <= len(records) < len(scenarios)
+
+        plan = SweepJournal.plan(killed_campaign, scenarios)
+        journaled = sorted(r["hash"] for r in records)
+        done = sorted(scenarios[i].content_hash() for i in plan.done)
+        pending = sorted(s.content_hash() for _, s in plan.pending)
+        assert done == journaled
+        assert sorted(done + pending) == sorted(s.content_hash() for s in scenarios)
+
+    def test_resume_submits_only_the_lost_cells_and_completes_all(
+        self, killed_campaign, tmp_path
+    ):
+        survived = len(SweepJournal.load(killed_campaign)[0])
+        lost = len(CAMPAIGN.expand()) - survived
+
+        telemetry = obs.Telemetry()
+        with obs.use(telemetry), exec_policy.use(exec_policy.ExecutionPolicy(jobs=1)):
+            result = run_campaign(
+                CAMPAIGN,
+                serial=True,
+                use_cache=False,
+                journal_path=killed_campaign,
+                resume=True,
+            )
+            submitted = telemetry.metrics.counter("session.submitted").value()
+
+        # Only the un-journaled cells hit the pool; every cell has a record.
+        assert submitted == lost
+        assert len(result.outcomes) == len(CAMPAIGN.expand())
+        assert all(o.record is not None and o.record["gflops"] > 0 for o in result.outcomes)
+        assert [o.record["n"] for o in result.outcomes] == list(CAMPAIGN.sizes)
+
+        # The merged journal equals an uninterrupted campaign's, and the
+        # records match it value-for-value (runs are deterministic).
+        reference_journal = tmp_path / "uninterrupted.jsonl"
+        reference = run_campaign(
+            CAMPAIGN,
+            serial=True,
+            use_cache=False,
+            journal_path=reference_journal,
+            resume=True,
+        )
+        assert SweepJournal.completion_counts(
+            killed_campaign
+        ) == SweepJournal.completion_counts(reference_journal)
+        assert [o.record for o in result.outcomes] == [
+            o.record for o in reference.outcomes
+        ]

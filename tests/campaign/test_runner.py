@@ -1,0 +1,88 @@
+"""Campaign execution: cache-first resolution, provenance, journaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.campaign.model import Campaign
+from repro.campaign.runner import run_campaign
+from repro.exec import policy as exec_policy
+from repro.session import SweepJournal
+
+QUICK = Campaign(name="runner-quick", sizes=(8000, 9000), schedulers=("adaptive",))
+
+
+@pytest.fixture
+def telemetry():
+    telemetry = obs.Telemetry()
+    with obs.use(telemetry), exec_policy.use(exec_policy.ExecutionPolicy(jobs=1)):
+        yield telemetry
+
+
+def run_quick(tmp_path, **kw):
+    kw.setdefault("serial", True)
+    kw.setdefault("cache_dir", tmp_path / "cache")
+    kw.setdefault("journal_path", tmp_path / "journal.jsonl")
+    return run_campaign(QUICK, **kw)
+
+
+class TestRunCampaign:
+    def test_first_run_is_all_misses_and_journaled(self, tmp_path, telemetry):
+        result = run_quick(tmp_path)
+        assert len(result.outcomes) == 2
+        assert result.cache_hits == 0
+        assert all(o.provenance["cache"] == "miss" for o in result.outcomes)
+        assert all(o.record["gflops"] > 0 for o in result.outcomes)
+        records, _ = SweepJournal.load(tmp_path / "journal.jsonl")
+        assert len(records) == 2
+        counters = telemetry.metrics
+        assert counters.counter("campaign.cells").value() == 2
+        assert counters.counter("campaign.cell_runs").value() == 2
+        assert counters.counter("exec.cache.misses").value() == 2
+
+    def test_second_run_is_all_hits_with_zero_pool_tasks(self, tmp_path, telemetry):
+        first = run_quick(tmp_path)
+        submitted_after_first = telemetry.metrics.counter("session.submitted").value()
+        second = run_quick(tmp_path, journal_path=tmp_path / "second.jsonl")
+        assert second.cache_hits == 2
+        assert all(o.provenance["cache"] == "hit" for o in second.outcomes)
+        # Warm resolution schedules nothing: the submitted counter did not
+        # move, and the second journal was never created.
+        assert (
+            telemetry.metrics.counter("session.submitted").value()
+            == submitted_after_first
+        )
+        assert not (tmp_path / "second.jsonl").exists()
+        # Byte-level determinism: a cached record equals the fresh one.
+        assert [o.record for o in second.outcomes] == [
+            o.record for o in first.outcomes
+        ]
+
+    def test_no_cache_bypasses_lookup_and_store(self, tmp_path, telemetry):
+        run_quick(tmp_path, use_cache=False)
+        result = run_quick(
+            tmp_path, use_cache=False, journal_path=tmp_path / "j2.jsonl"
+        )
+        assert result.cache_hits == 0
+        assert telemetry.metrics.counter("exec.cache.hits").value() == 0
+
+    def test_records_are_normalized(self, tmp_path, telemetry):
+        result = run_quick(tmp_path)
+        for outcome in result.outcomes:
+            assert "wall" not in outcome.record
+            assert "tenant" not in outcome.record
+
+    def test_provenance_names_key_and_journal(self, tmp_path, telemetry):
+        result = run_quick(tmp_path)
+        for outcome in result.outcomes:
+            assert outcome.provenance["key"] == outcome.cell.cache_key()[:16]
+            assert outcome.provenance["journal"] == str(tmp_path / "journal.jsonl")
+            assert outcome.provenance["cell_id"] == outcome.cell.cell_id
+
+    def test_summary(self, tmp_path, telemetry):
+        result = run_quick(tmp_path)
+        summary = result.summary()
+        assert summary["campaign"] == "runner-quick"
+        assert summary["cells"] == 2 and summary["cache_hits"] == 0
+        assert summary["best_tflops"] > 0

@@ -1,0 +1,203 @@
+"""End-to-end what-if service kit: parity, coalescing, rate limits.
+
+Everything here goes over real HTTP against the in-process server fixture
+(``tests/campaign/conftest.py``).  The three contracts the ISSUE pins:
+
+* **warm-vs-cold parity** — the response body for a cell is byte-identical
+  whether it was just computed or served from cache; only the ``X-Cache``
+  header differs, and a warm answer schedules **zero pool tasks**
+  (``session.submitted`` does not move);
+* **coalescing** — N concurrent identical cold queries produce exactly
+  **one** pool task (``session.submitted == 1``, ``exec.cache.misses ==
+  1``) and N identical bodies;
+* **backpressure** — a tenant over its token-bucket budget gets 429 +
+  ``Retry-After`` without disturbing other tenants.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.campaign.model import Campaign
+from repro.campaign.runner import run_campaign
+
+SMALL = {"n": 8000, "machine": "element", "scheduler": "adaptive"}
+
+
+def counter(telemetry, name: str) -> float:
+    return telemetry.metrics.counter(name).value()
+
+
+class TestEndpoints:
+    def test_healthz(self, whatif_server):
+        assert whatif_server.get_json("/healthz") == {"ok": True}
+
+    def test_presets_lists_machines_and_faults(self, whatif_server):
+        payload = whatif_server.get_json("/presets")
+        assert "element" in payload["machines"]
+        assert "frontier-node" in payload["machines"]
+        assert payload["machines"]["frontier-node"]["elements"] == 8
+        assert "stragglers-2pct" in payload["faults"]
+
+    def test_unknown_path_is_404(self, whatif_server):
+        status, _, _ = whatif_server.request("GET", "/nope")
+        assert status == 404
+
+    def test_query_requires_post(self, whatif_server):
+        status, headers, _ = whatif_server.request("GET", "/query")
+        assert status == 405
+        assert headers["allow"] == "POST"
+
+    def test_bad_queries_are_400(self, whatif_server):
+        for payload in (
+            {},  # no n
+            {"n": 8000, "machine": "summit"},
+            {"n": 8000, "color": "red"},
+            {"n": 8000, "fault": "none", "straggler_pct": 2},
+        ):
+            status, _, body = whatif_server.post_query(payload)
+            assert status == 400, payload
+            assert "error" in json.loads(body)
+
+    def test_unparseable_body_is_400(self, whatif_server):
+        conn_status, _, body = whatif_server.request("POST", "/query")
+        assert conn_status == 400  # empty body -> no 'n'
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", whatif_server.port, timeout=30)
+        try:
+            conn.request("POST", "/query", body="{not json", headers={"X-Tenant": "t"})
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+
+class TestWarmColdParity:
+    def test_cold_then_warm_byte_identical(self, whatif_server, campaign_telemetry):
+        status, headers, cold_body = whatif_server.post_query(SMALL)
+        assert status == 200
+        assert headers["x-cache"] == "cold"
+        submitted = counter(campaign_telemetry, "session.submitted")
+        assert submitted == 1
+
+        status, headers, warm_body = whatif_server.post_query(SMALL)
+        assert status == 200
+        assert headers["x-cache"] == "warm"
+        # THE acceptance criterion: byte-identical body, zero pool tasks.
+        assert warm_body == cold_body
+        assert counter(campaign_telemetry, "session.submitted") == submitted
+        assert counter(campaign_telemetry, "whatif.warm") == 1
+        assert counter(campaign_telemetry, "exec.cache.hits") == 1
+
+        payload = json.loads(cold_body)
+        assert payload["record"]["gflops"] > 0
+        assert payload["metrics"]["tflops"] > 0
+        assert payload["coordinates"]["machine"] == "element"
+
+    def test_warm_across_restart_from_disk_cache(self, make_whatif_server, tmp_path):
+        first = make_whatif_server(cache_dir=tmp_path / "shared")
+        _, headers, cold_body = first.post_query(SMALL)
+        assert headers["x-cache"] == "cold"
+
+        second = make_whatif_server(cache_dir=tmp_path / "shared")
+        status, headers, warm_body = second.post_query(SMALL)
+        assert status == 200
+        assert headers["x-cache"] == "warm"
+        assert warm_body == cold_body
+
+    def test_campaign_run_pre_warms_the_service(
+        self, make_whatif_server, tmp_path, campaign_telemetry
+    ):
+        cache_dir = tmp_path / "shared"
+        campaign = Campaign(name="pre-warm", sizes=(8000,))
+        run_campaign(
+            campaign,
+            serial=True,
+            cache_dir=cache_dir,
+            journal_path=tmp_path / "journal.jsonl",
+        )
+        submitted = counter(campaign_telemetry, "session.submitted")
+
+        server = make_whatif_server(cache_dir=cache_dir)
+        status, headers, body = server.post_query(SMALL)
+        assert status == 200
+        assert headers["x-cache"] == "warm"
+        assert counter(campaign_telemetry, "session.submitted") == submitted
+        assert json.loads(body)["record"]["gflops"] > 0
+
+    def test_distinct_queries_do_not_alias(self, whatif_server):
+        _, headers_a, body_a = whatif_server.post_query(SMALL)
+        _, headers_b, body_b = whatif_server.post_query({**SMALL, "n": 9000})
+        assert headers_b["x-cache"] == "cold"
+        assert body_a != body_b
+
+
+class TestCoalescing:
+    def test_identical_concurrent_queries_share_one_pool_task(
+        self, whatif_server, campaign_telemetry
+    ):
+        n_clients = 6
+        query = {"n": 12000, "machine": "element"}  # slow enough to overlap
+        with ThreadPoolExecutor(max_workers=n_clients) as pool:
+            results = list(
+                pool.map(
+                    lambda i: whatif_server.post_query(query, tenant=f"client-{i}"),
+                    range(n_clients),
+                )
+            )
+        assert all(status == 200 for status, _, _ in results)
+        bodies = {body for _, _, body in results}
+        assert len(bodies) == 1  # every client got the same bytes
+
+        # Exactly ONE pool task and one cache miss for all six clients; the
+        # other five either coalesced onto it or (a late arrival) hit the
+        # now-warm cache.
+        assert counter(campaign_telemetry, "session.submitted") == 1
+        assert counter(campaign_telemetry, "exec.cache.misses") == 1
+        statuses = [headers["x-cache"] for _, headers, _ in results]
+        assert statuses.count("cold") == 1
+        coalesced = counter(campaign_telemetry, "whatif.coalesced")
+        warm = counter(campaign_telemetry, "whatif.warm")
+        assert coalesced + warm == n_clients - 1
+        assert whatif_server.service.stats["queries"] == n_clients
+
+
+class TestRateLimits:
+    def test_over_budget_tenant_gets_429_with_retry_after(self, make_whatif_server):
+        server = make_whatif_server(rate=0.5, burst=2)
+        server.post_query(SMALL, tenant="greedy")  # cold; consumes token 1
+
+        status, _, _ = server.post_query(SMALL, tenant="greedy")
+        assert status == 200  # token 2, warm
+        status, headers, body = server.post_query(SMALL, tenant="greedy")
+        assert status == 429
+        assert float(headers["retry-after"]) > 0
+        assert json.loads(body) == {"error": "rate limited"}
+        assert server.service.stats["rate_limited"] >= 1
+
+        # Another tenant has its own bucket and is unaffected.
+        status, headers, _ = server.post_query(SMALL, tenant="patient")
+        assert status == 200
+        assert headers["x-cache"] == "warm"
+
+    def test_bucket_refills(self, make_whatif_server):
+        server = make_whatif_server(rate=50.0, burst=1)
+        assert server.post_query(SMALL, tenant="t")[0] == 200
+        status, headers, _ = server.post_query(SMALL, tenant="t")
+        if status == 429:  # drained; refills at 50/s
+            import time
+
+            time.sleep(float(headers["retry-after"]) + 0.05)
+            assert server.post_query(SMALL, tenant="t")[0] == 200
+
+
+class TestStats:
+    def test_stats_reflect_traffic(self, whatif_server):
+        whatif_server.post_query(SMALL)
+        whatif_server.post_query(SMALL)
+        stats = whatif_server.get_json("/stats")
+        assert stats["queries"] == 2
+        assert stats["cold"] == 1 and stats["warm"] == 1
+        assert stats["memo_entries"] == 1
+        assert stats["in_flight"] == 0

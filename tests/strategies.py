@@ -144,3 +144,75 @@ runtime_op = st.tuples(
 )
 
 runtime_op_streams = st.lists(runtime_op, max_size=40)
+
+
+# -- campaign matrices ---------------------------------------------------------
+#
+# Declarative campaign specs for tests/campaign/test_properties.py.  Axes draw
+# from the real registries (machine presets, schedulers, bcast algorithms,
+# fault models) so every generated campaign passes construction-time
+# validation; expansion-level properties never build a cluster, so the big
+# presets are cheap to include.
+
+#: Problem sizes small enough to be plausible, with duplicates allowed
+#: (expansion must dedupe them).
+campaign_sizes = st.lists(
+    st.sampled_from([4000, 8000, 12000, 20000, 40000]), min_size=1, max_size=4
+)
+
+campaign_machines = st.lists(
+    st.sampled_from(
+        ["element", "tianhe1-cabinet", "tianhe1-full", "frontier-node", "frontier-64node"]
+    ),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+campaign_schedulers = st.lists(
+    st.sampled_from(["adaptive", "static", "cpu"]), min_size=1, max_size=2, unique=True
+)
+
+#: None (preset default) plus explicit bcasts, including an alias that must
+#: canonicalize ("ring" -> "1ring").
+campaign_bcasts = st.lists(
+    st.sampled_from([None, "binomial", "1ring", "ring", "long"]),
+    min_size=1,
+    max_size=2,
+    unique=True,
+)
+
+campaign_faults = st.lists(
+    st.sampled_from(["none", "stragglers-2pct", "stragglers-3.5pct", "gpu-throttle"]),
+    min_size=1,
+    max_size=2,
+    unique=True,
+)
+
+campaign_grids = st.lists(
+    st.sampled_from([None, (1, 1), (2, 2), (2, 4)]), min_size=1, max_size=2, unique=True
+)
+
+
+@st.composite
+def campaign_specs(draw) -> dict:
+    """A declarative campaign payload in the :meth:`Campaign.from_dict` shape."""
+    matrix: dict = {"n": draw(campaign_sizes)}
+    if draw(st.booleans()):
+        matrix["machine"] = draw(campaign_machines)
+    if draw(st.booleans()):
+        matrix["scheduler"] = draw(campaign_schedulers)
+    if draw(st.booleans()):
+        matrix["bcast"] = draw(campaign_bcasts)
+    if draw(st.booleans()):
+        matrix["fault"] = draw(campaign_faults)
+    if draw(st.booleans()):
+        matrix["grid"] = [
+            None if g is None else list(g) for g in draw(campaign_grids)
+        ]
+    return {
+        "name": draw(st.sampled_from(["alpha", "sweep-7", "exa"])),
+        "matrix": matrix,
+        "repetitions": draw(st.integers(1, 3)),
+        "seed": draw(st.integers(0, 2**32 - 1)),
+    }
